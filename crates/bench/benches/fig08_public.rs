@@ -1,0 +1,36 @@
+//! Figure 8 reproduction: end-to-end speedups over MADlib+PostgreSQL for
+//! the publicly available datasets, warm (8a) and cold (8b) cache.
+
+use dana::SystemParams;
+use dana_bench::{geomean, paper, print_comparison, run_systems, Row, within_band};
+use dana_workloads::workload;
+
+fn main() {
+    let p = SystemParams::default();
+    for (warm, title, table) in [
+        (true, "Figure 8a: public datasets, warm cache", &paper::FIG8_WARM),
+        (false, "Figure 8b: public datasets, cold cache", &paper::FIG8_COLD),
+    ] {
+        let mut gp_rows = Vec::new();
+        let mut dana_rows = Vec::new();
+        for (name, paper_gp, paper_dana) in table.iter() {
+            let w = workload(name).expect("registry row");
+            let t = run_systems(&w, warm, &p);
+            gp_rows.push(Row { name: name.to_string(), paper: *paper_gp, ours: t.gp_speedup() });
+            dana_rows.push(Row {
+                name: name.to_string(),
+                paper: *paper_dana,
+                ours: t.dana_speedup(),
+            });
+        }
+        print_comparison(&format!("{title} — Greenplum speedup"), "x", &gp_rows);
+        print_comparison(&format!("{title} — DAnA speedup"), "x", &dana_rows);
+        let ours_geo = geomean(&dana_rows.iter().map(|r| r.ours).collect::<Vec<_>>());
+        let paper_geo = geomean(&dana_rows.iter().map(|r| r.paper).collect::<Vec<_>>());
+        println!(
+            "shape check: DAnA wins everywhere: {}   geomean paper {paper_geo:.1}x vs ours {ours_geo:.1}x   rows within 3x: {:.0}%",
+            dana_rows.iter().all(|r| r.ours > 1.0),
+            100.0 * within_band(&dana_rows, 3.0)
+        );
+    }
+}

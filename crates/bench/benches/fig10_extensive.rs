@@ -1,0 +1,35 @@
+//! Figure 10 reproduction: synthetic-extensive (S/E) speedups, warm and
+//! cold — the out-of-memory group (up to 38 GB against an 8 GB pool).
+
+use dana::SystemParams;
+use dana_bench::{paper, print_comparison, run_systems, Row, within_band};
+use dana_workloads::workload;
+
+fn main() {
+    let p = SystemParams::default();
+    for (warm, title, table) in [
+        (true, "Figure 10a: S/E datasets, warm cache", &paper::FIG10_WARM),
+        (false, "Figure 10b: S/E datasets, cold cache", &paper::FIG10_COLD),
+    ] {
+        let mut gp_rows = Vec::new();
+        let mut dana_rows = Vec::new();
+        for (name, paper_gp, paper_dana) in table.iter() {
+            let w = workload(name).expect("registry row");
+            let t = run_systems(&w, warm, &p);
+            gp_rows.push(Row { name: name.to_string(), paper: *paper_gp, ours: t.gp_speedup() });
+            dana_rows.push(Row { name: name.to_string(), paper: *paper_dana, ours: t.dana_speedup() });
+        }
+        print_comparison(&format!("{title} — Greenplum speedup"), "x", &gp_rows);
+        print_comparison(&format!("{title} — DAnA speedup"), "x", &dana_rows);
+        let max_is_logistic = dana_rows
+            .iter()
+            .max_by(|a, b| a.ours.total_cmp(&b.ours))
+            .map(|r| r.name == "S/E Logistic")
+            .unwrap_or(false);
+        println!(
+            "shape check: S/E Logistic is the headline win (paper 278x): {}   rows within 3x: {:.0}%",
+            max_is_logistic,
+            100.0 * within_band(&dana_rows, 3.0)
+        );
+    }
+}

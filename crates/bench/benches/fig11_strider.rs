@@ -1,0 +1,43 @@
+//! Figure 11 reproduction: DAnA with and without Striders (warm cache,
+//! MADlib+PostgreSQL baseline). The paper attributes 4.6× of DAnA's
+//! average benefit to the Striders.
+
+use dana::{analytic_dana, analytic_madlib, ExecutionMode, SystemParams};
+use dana_bench::{geomean, paper, print_comparison, Row};
+use dana_workloads::workload;
+
+fn main() {
+    let p = SystemParams::default();
+    let mut with_rows = Vec::new();
+    let mut without_rows = Vec::new();
+    for (name, paper_without, paper_with) in paper::FIG11.iter() {
+        let w = workload(name).expect("registry row");
+        let madlib = analytic_madlib(&w, true, &p).total_seconds;
+        let with = madlib
+            / analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
+        let without = madlib
+            / analytic_dana(&w, ExecutionMode::CpuFed, true, &p).unwrap().total_seconds;
+        with_rows.push(Row { name: name.to_string(), paper: *paper_with, ours: with });
+        without_rows.push(Row { name: name.to_string(), paper: *paper_without, ours: without });
+    }
+    print_comparison("Figure 11 — DAnA without Striders (speedup over MADlib+PG)", "x", &without_rows);
+    print_comparison("Figure 11 — DAnA with Striders", "x", &with_rows);
+
+    let ours_with = geomean(&with_rows.iter().map(|r| r.ours).collect::<Vec<_>>());
+    let ours_without = geomean(&without_rows.iter().map(|r| r.ours).collect::<Vec<_>>());
+    let paper_with = geomean(&with_rows.iter().map(|r| r.paper).collect::<Vec<_>>());
+    let paper_without = geomean(&without_rows.iter().map(|r| r.paper).collect::<Vec<_>>());
+    println!(
+        "\nStrider amplification: paper {:.1}x (10.8/2.3), ours {:.1}x ({:.1}/{:.1})",
+        paper_with / paper_without,
+        ours_with / ours_without,
+        ours_with,
+        ours_without
+    );
+    let wins = with_rows
+        .iter()
+        .zip(&without_rows)
+        .filter(|(w, wo)| w.ours > wo.ours)
+        .count();
+    println!("shape check: Striders help on {wins}/14 workloads (paper: 14/14)");
+}

@@ -1,0 +1,41 @@
+//! Figure 13 reproduction: Greenplum segment sweep (PostgreSQL, 4, 8, 16
+//! segments) on the public datasets, runtimes relative to 8 segments.
+
+use dana::{analytic_greenplum, analytic_madlib, SystemParams};
+use dana_bench::{geomean, paper};
+use dana_workloads::workload;
+
+fn main() {
+    let p = SystemParams::default();
+    println!("=== Figure 13: Greenplum performance vs segments (relative to 8 segments; higher = faster) ===");
+    println!(
+        "{:<20} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "workload", "PG paper", "PG ours", "4s paper", "4s ours", "16s paper", "16s ours"
+    );
+    let mut ours_pg = Vec::new();
+    let mut ours_4 = Vec::new();
+    let mut ours_16 = Vec::new();
+    for (name, pg_paper, s4_paper, s16_paper) in paper::FIG13.iter() {
+        let w = workload(name).expect("registry row");
+        let base = analytic_greenplum(&w, 8, true, &p).total_seconds;
+        let pg = base / analytic_madlib(&w, true, &p).total_seconds;
+        let s4 = base / analytic_greenplum(&w, 4, true, &p).total_seconds;
+        let s16 = base / analytic_greenplum(&w, 16, true, &p).total_seconds;
+        println!(
+            "{:<20} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
+            name, pg_paper, pg, s4_paper, s4, s16_paper, s16
+        );
+        ours_pg.push(pg);
+        ours_4.push(s4);
+        ours_16.push(s16);
+    }
+    let (gpg, g4, g16) = (geomean(&ours_pg), geomean(&ours_4), geomean(&ours_16));
+    println!(
+        "{:<20} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
+        "geomean", 0.54, gpg, 0.96, g4, 0.89, g16
+    );
+    println!(
+        "\nshape check: 8 segments is the best configuration overall: {}",
+        gpg < 1.0 && g4 < 1.0 && g16 < 1.02
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 16 reproduction: DAnA vs TABLA-generated accelerators.
+//!
+//! TABLA [5] compiles the same update rules to an FPGA but (1) is fed by
+//! the CPU (no Striders) and (2) runs a single-threaded engine. The paper
+//! measures 4.7× geomean in DAnA's favor, attributing it to Strider
+//! interleaving and multi-threading.
+
+use dana::{analytic_dana, ExecutionMode, SystemParams};
+use dana_bench::{geomean, paper, print_comparison, Row};
+use dana_storage::DiskModel;
+use dana_workloads::workload;
+
+fn main() {
+    let mut p = SystemParams::default();
+    p.disk = DiskModel::instant(); // accelerator-side comparison
+    let mut rows = Vec::new();
+    for (name, paper_speedup) in paper::FIG16.iter() {
+        let w = workload(name).expect("registry row");
+        let dana = analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
+        let tabla = analytic_dana(&w, ExecutionMode::Tabla, true, &p).unwrap().total_seconds;
+        rows.push(Row { name: name.to_string(), paper: *paper_speedup, ours: tabla / dana });
+    }
+    print_comparison("Figure 16 — DAnA speedup over TABLA", "x", &rows);
+    let ours_geo = geomean(&rows.iter().map(|r| r.ours).collect::<Vec<_>>());
+    println!(
+        "\nshape check: DAnA wins overall (paper geomean 3.8x): ours {ours_geo:.1}x, wins on {}/10 workloads (paper: 9/10)",
+        rows.iter().filter(|r| r.ours > 1.0).count()
+    );
+}

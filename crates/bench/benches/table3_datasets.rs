@@ -1,0 +1,48 @@
+//! Table 3 + Table 4 reproduction: dataset/workload inventory and the FPGA
+//! platform specification.
+
+use dana_bench::fmt_seconds;
+use dana_fpga::FpgaSpec;
+use dana_workloads::all_workloads;
+
+fn main() {
+    println!("=== Table 3: datasets and machine learning models ===");
+    println!(
+        "{:<20} {:<28} {:>16} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "algorithm", "model topology", "tuples", "our tuples", "pages(32K)", "size MB"
+    );
+    for w in all_workloads() {
+        let topo = match w.lrmf {
+            Some((r, c, k)) => format!("{r}, {c}, {k}"),
+            None => w.features.to_string(),
+        };
+        println!(
+            "{:<20} {:<28} {:>16} {:>12} {:>12} {:>10} {:>10}",
+            w.name,
+            w.algorithm.name(),
+            topo,
+            w.paper_tuples,
+            w.tuples,
+            w.pages_for(32 * 1024),
+            w.bytes() / 1_000_000,
+        );
+    }
+    println!("\n(paper page counts: our layout differs in header bytes; see DESIGN.md)");
+
+    let f = FpgaSpec::vu9p();
+    println!("\n=== Table 4: FPGA specification ({}) ===", f.name);
+    println!(
+        "LUTs: {}K   Flip-Flops: {}K   Frequency: {} MHz   BRAM: {} MB   DSPs: {}",
+        f.luts / 1000,
+        f.flip_flops / 1000,
+        (f.clock.hz / 1.0e6) as u64,
+        f.bram_bytes / (1024 * 1024),
+        f.dsp_slices
+    );
+    println!(
+        "max compute units: {}   baseline AXI bandwidth: {:.1} GB/s (fitted; DESIGN.md §7)",
+        f.max_compute_units,
+        f.axi_bandwidth / 1.0e9
+    );
+    let _ = fmt_seconds(1.0);
+}

@@ -1,0 +1,195 @@
+//! The paper's published numbers, transcribed from the evaluation (§7).
+//!
+//! Sources: Table 5 (absolute runtimes), the data tables embedded in the
+//! arXiv figures for Figs. 8–16. Where the PDF prints both chart labels and
+//! data tables, the data tables win.
+
+/// Table 5 absolute runtimes in seconds: (workload, MADlib+PostgreSQL,
+/// MADlib+Greenplum, DAnA+PostgreSQL).
+pub const TABLE5: [(&str, f64, f64, f64); 14] = [
+    ("Remote Sensing LR", 3.6, 1.1, 0.1),
+    ("WLAN", 14.0, 14.0, 0.61),
+    ("Remote Sensing SVM", 1.7, 0.6, 0.09),
+    ("Netflix", 62.3, 69.2, 7.89),
+    ("Patient", 2.8, 0.9, 1.18),
+    ("Blog Feedback", 1.6, 0.5, 0.34),
+    ("S/N Logistic", 3292.0, 2993.0, 131.0),
+    ("S/N SVM", 3386.0, 770.0, 244.0),
+    ("S/N LRMF", 23.0, 3.0, 2.0),
+    ("S/N Linear", 1747.0, 1456.0, 335.0),
+    ("S/E Logistic", 240_300.0, 30_600.0, 684.0),
+    ("S/E SVM", 360.0, 324.0, 72.0),
+    ("S/E LRMF", 3276.0, 1584.0, 2340.0),
+    ("S/E Linear", 23_796.0, 19_332.0, 1008.0),
+];
+
+/// Figure 8a (warm cache, public datasets): (workload, Greenplum speedup,
+/// DAnA speedup) over MADlib+PostgreSQL.
+pub const FIG8_WARM: [(&str, f64, f64); 6] = [
+    ("Remote Sensing LR", 3.4, 28.2),
+    ("WLAN", 1.0, 18.42),
+    ("Remote Sensing SVM", 2.7, 15.1),
+    ("Netflix", 0.9, 6.32),
+    ("Patient", 3.0, 3.65),
+    ("Blog Feedback", 3.1, 1.86),
+];
+
+/// Figure 8b (cold cache, public datasets).
+pub const FIG8_COLD: [(&str, f64, f64); 6] = [
+    ("Remote Sensing LR", 3.2, 4.89),
+    ("WLAN", 1.0, 14.58),
+    ("Remote Sensing SVM", 2.4, 8.61),
+    ("Netflix", 0.9, 6.01),
+    ("Patient", 2.4, 2.23),
+    ("Blog Feedback", 2.6, 1.48),
+];
+
+/// Figure 9 (synthetic nominal): warm then cold.
+pub const FIG9_WARM: [(&str, f64, f64); 4] = [
+    ("S/N Logistic", 1.1, 20.16),
+    ("S/N SVM", 4.4, 8.7),
+    ("S/N LRMF", 7.99, 4.17),
+    ("S/N Linear", 1.2, 41.81),
+];
+
+pub const FIG9_COLD: [(&str, f64, f64); 4] = [
+    ("S/N Logistic", 1.1, 10.05),
+    ("S/N SVM", 5.5, 6.47),
+    ("S/N LRMF", 7.78, 4.36),
+    ("S/N Linear", 1.2, 28.74),
+];
+
+/// Figure 10 (synthetic extensive): warm then cold.
+pub const FIG10_WARM: [(&str, f64, f64); 4] = [
+    ("S/E Logistic", 7.85, 278.24),
+    ("S/E SVM", 1.11, 4.71),
+    ("S/E LRMF", 2.08, 1.12),
+    ("S/E Linear", 1.23, 19.01),
+];
+
+pub const FIG10_COLD: [(&str, f64, f64); 4] = [
+    ("S/E Logistic", 7.83, 243.78),
+    ("S/E SVM", 0.77, 4.35),
+    ("S/E LRMF", 1.13, 1.12),
+    ("S/E Linear", 1.23, 17.02),
+];
+
+/// Figure 11: (workload, DAnA-without-Striders speedup, DAnA speedup) over
+/// warm MADlib+PostgreSQL.
+pub const FIG11: [(&str, f64, f64); 14] = [
+    ("Remote Sensing LR", 4.0, 28.2),
+    ("WLAN", 12.21, 18.42),
+    ("Remote Sensing SVM", 1.93, 15.1),
+    ("Netflix", 0.58, 6.32),
+    ("Patient", 0.76, 3.65),
+    ("Blog Feedback", 1.14, 1.86),
+    ("S/N Logistic", 19.0, 20.16),
+    ("S/N SVM", 2.25, 8.70),
+    ("S/N LRMF", 0.85, 4.17),
+    ("S/N Linear", 6.28, 41.81),
+    ("S/E Logistic", 2.91, 278.24),
+    ("S/E SVM", 1.76, 4.72),
+    ("S/E LRMF", 0.29, 1.12),
+    ("S/E Linear", 6.63, 19.02),
+];
+
+/// Figure 13: Greenplum runtime relative to 8 segments (higher = faster),
+/// rows = (workload, PostgreSQL, 4 segments, 16 segments).
+pub const FIG13: [(&str, f64, f64, f64); 6] = [
+    ("Remote Sensing LR", 0.31, 0.87, 0.69),
+    ("WLAN", 1.03, 1.21, 0.95),
+    ("Remote Sensing SVM", 0.42, 0.96, 1.26),
+    ("Netflix", 1.14, 1.02, 0.90),
+    ("Patient", 0.42, 0.97, 0.73),
+    ("Blog Feedback", 0.39, 0.80, 0.95),
+];
+
+/// Figure 14: FPGA-time speedup over baseline bandwidth at (0.25×, 0.5×,
+/// 2×, 4×) bandwidth.
+pub const FIG14: [(&str, [f64; 4]); 14] = [
+    ("Remote Sensing LR", [0.7, 0.9, 1.1, 1.13]),
+    ("WLAN", [1.0, 1.0, 1.0, 1.0]),
+    ("Remote Sensing SVM", [0.6, 0.8, 1.1, 1.2]),
+    ("Netflix", [0.8, 0.9, 1.1, 1.1]),
+    ("Patient", [0.9, 1.0, 1.0, 1.0]),
+    ("Blog Feedback", [1.0, 1.0, 1.0, 1.0]),
+    ("S/N Logistic", [0.4, 0.7, 1.4, 1.7]),
+    ("S/N SVM", [0.5, 0.7, 1.2, 1.4]),
+    ("S/N LRMF", [0.9, 1.0, 1.0, 1.0]),
+    ("S/N Linear", [0.3, 0.6, 1.5, 2.1]),
+    ("S/E Logistic", [0.4, 0.7, 1.4, 1.8]),
+    ("S/E SVM", [0.4, 0.7, 1.3, 1.6]),
+    ("S/E LRMF", [1.0, 1.0, 1.0, 1.0]),
+    ("S/E Linear", [0.3, 0.6, 1.6, 2.1]),
+];
+
+/// Figure 15a: phase fractions (export, transform, analytics) per
+/// (library, workload).
+pub const FIG15A: [(&str, &str, f64, f64, f64); 10] = [
+    ("Liblinear", "Remote Sensing LR", 0.8405, 0.0483, 0.1112),
+    ("DimmWitted", "Remote Sensing LR", 0.5672, 0.0326, 0.4002),
+    ("Liblinear", "WLAN", 0.8383, 0.0374, 0.1244),
+    ("DimmWitted", "WLAN", 0.6264, 0.0279, 0.3456),
+    ("Liblinear", "S/N Logistic", 0.5742, 0.0196, 0.4062),
+    ("DimmWitted", "S/N Logistic", 0.6465, 0.0221, 0.3314),
+    ("Liblinear", "Remote Sensing SVM", 0.6924, 0.0383, 0.2693),
+    ("DimmWitted", "Remote Sensing SVM", 0.5792, 0.0320, 0.3887),
+    ("Liblinear", "S/N SVM", 0.6554, 0.0209, 0.3236),
+    ("DimmWitted", "S/N SVM", 0.6561, 0.021, 0.3230),
+];
+
+/// Figure 15c: end-to-end speedup over MADlib+PostgreSQL per workload:
+/// (workload, Liblinear, DimmWitted, DAnA). NaN = unsupported.
+pub const FIG15C: [(&str, f64, f64, f64); 5] = [
+    ("Remote Sensing LR", 0.375, 0.25, 28.2),
+    ("WLAN", 6.29, 4.7, 18.42),
+    ("S/N Logistic", 5.528, 7.35, 20.16),
+    ("Remote Sensing SVM", 0.14, 0.117, 15.1),
+    ("S/N SVM", 0.1, 0.1, 8.7),
+];
+
+/// Figure 16: DAnA's compute speedup over TABLA.
+pub const FIG16: [(&str, f64); 10] = [
+    ("Remote Sensing LR", 10.35),
+    ("WLAN", 0.79),
+    ("Remote Sensing SVM", 12.33),
+    ("Netflix", 8.13),
+    ("Patient", 4.05),
+    ("Blog Feedback", 5.43),
+    ("S/N Logistic", 1.01),
+    ("S/N SVM", 1.13),
+    ("S/N LRMF", 4.96),
+    ("S/N Linear", 5.90),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geomean;
+
+    #[test]
+    fn fig8_warm_geomean_is_the_papers_headline() {
+        // Abstract: "on average, 8.3× end-to-end speedup" over PostgreSQL
+        // and 4.0× over Greenplum-relative ratios.
+        let dana = geomean(&FIG8_WARM.iter().map(|r| r.2).collect::<Vec<_>>());
+        assert!((dana - 8.3).abs() < 0.2, "geomean {dana}");
+        let gp = geomean(&FIG8_WARM.iter().map(|r| r.1).collect::<Vec<_>>());
+        assert!((dana / gp - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn fig11_average_strider_benefit_is_4_6x() {
+        let with = geomean(&FIG11.iter().map(|r| r.2).collect::<Vec<_>>());
+        let without = geomean(&FIG11.iter().map(|r| r.1).collect::<Vec<_>>());
+        assert!((with / without - 4.6).abs() < 0.3, "{}", with / without);
+    }
+
+    #[test]
+    fn table5_matches_fig8_ratios() {
+        // Table 5's RS-LR row (3.6 s vs 0.1 s) is Fig. 8's 28.2× bar
+        // within rounding.
+        let (_, pg, _, dana) = TABLE5[0];
+        let ratio = pg / dana;
+        assert!(ratio > 25.0 && ratio < 40.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Compiler error types.
+
+use std::fmt;
+
+/// Errors from scheduling or hardware generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompilerError {
+    /// Per-AU scratchpad slots exhausted during allocation.
+    OutOfSlots { au: u16, slots: u16 },
+    /// A model variable is used both elementwise and via gather.
+    MixedModelUse(String),
+    /// An indexed (gathered) model must be rank-2.
+    BadIndexedModel(String),
+    /// The FPGA cannot host even a single-thread design.
+    InsufficientResources(String),
+    /// The engine rejected the generated design (scheduler bug surfaced).
+    EngineRejected(String),
+    /// Unsupported graph shape.
+    Unsupported(String),
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::OutOfSlots { au, slots } => {
+                write!(f, "AU {au} exhausted its {slots} scratchpad slots")
+            }
+            CompilerError::MixedModelUse(name) => {
+                write!(f, "model '{name}' is used both elementwise and via lookup")
+            }
+            CompilerError::BadIndexedModel(name) => {
+                write!(f, "gathered model '{name}' must be rank-2")
+            }
+            CompilerError::InsufficientResources(msg) => {
+                write!(f, "insufficient FPGA resources: {msg}")
+            }
+            CompilerError::EngineRejected(msg) => {
+                write!(f, "generated design rejected by engine: {msg}")
+            }
+            CompilerError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+pub type CompilerResult<T> = Result<T, CompilerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompilerError::OutOfSlots { au: 3, slots: 128 };
+        assert!(e.to_string().contains("AU 3"));
+        assert!(CompilerError::MixedModelUse("mo".into()).to_string().contains("mo"));
+    }
+}

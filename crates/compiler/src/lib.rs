@@ -1,0 +1,28 @@
+//! DAnA's backend: the hardware generator and the compiler/scheduler (§6).
+//!
+//! "DAnA's translator, scheduler, and hardware generator together configure
+//! the accelerator design for the UDF and create its runtime schedule."
+//!
+//! * [`schedule`] — maps every atomic sub-node of the hDFG onto the AU/AC
+//!   fabric, inserting the inter-AC bus transfers the topology requires,
+//!   and emits the execution engine's micro-instruction schedule (§6.2).
+//! * [`hwgen`] — divides the FPGA's resources between the access engine
+//!   (page buffers + Striders) and the execution engine, and explores the
+//!   thread-count / ACs-per-thread trade-off with a static performance
+//!   estimator, choosing "the smallest and best-performing design point"
+//!   (§6.1).
+//!
+//! The top-level entry point is [`compile`], which packages the scheduled
+//! engine design, the generated Strider program, and the resource budget
+//! into a [`CompiledAccelerator`] ready to be deployed into the catalog.
+
+pub mod error;
+pub mod hwgen;
+pub mod schedule;
+
+pub use error::{CompilerError, CompilerResult};
+pub use hwgen::{
+    compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
+    DSP_SLICES_PER_AU,
+};
+pub use schedule::{schedule_hdfg, ScheduleParams};

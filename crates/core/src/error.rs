@@ -1,0 +1,80 @@
+//! Top-level error type: every layer's failures, unified.
+
+use std::fmt;
+
+/// Errors surfaced by the DAnA system façade.
+#[derive(Debug)]
+pub enum DanaError {
+    Storage(dana_storage::StorageError),
+    Dsl(dana_dsl::DslError),
+    Compiler(dana_compiler::CompilerError),
+    Engine(dana_engine::EngineError),
+    Strider(dana_strider::StriderError),
+    /// SQL the query front end cannot parse.
+    Query(String),
+    /// Catalog blob corruption (deserialize failure).
+    Blob(String),
+}
+
+impl fmt::Display for DanaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DanaError::Storage(e) => write!(f, "storage: {e}"),
+            DanaError::Dsl(e) => write!(f, "dsl: {e}"),
+            DanaError::Compiler(e) => write!(f, "compiler: {e}"),
+            DanaError::Engine(e) => write!(f, "engine: {e}"),
+            DanaError::Strider(e) => write!(f, "strider: {e}"),
+            DanaError::Query(msg) => write!(f, "query: {msg}"),
+            DanaError::Blob(msg) => write!(f, "catalog blob: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DanaError {}
+
+impl From<dana_storage::StorageError> for DanaError {
+    fn from(e: dana_storage::StorageError) -> DanaError {
+        DanaError::Storage(e)
+    }
+}
+
+impl From<dana_dsl::DslError> for DanaError {
+    fn from(e: dana_dsl::DslError) -> DanaError {
+        DanaError::Dsl(e)
+    }
+}
+
+impl From<dana_compiler::CompilerError> for DanaError {
+    fn from(e: dana_compiler::CompilerError) -> DanaError {
+        DanaError::Compiler(e)
+    }
+}
+
+impl From<dana_engine::EngineError> for DanaError {
+    fn from(e: dana_engine::EngineError) -> DanaError {
+        DanaError::Engine(e)
+    }
+}
+
+impl From<dana_strider::StriderError> for DanaError {
+    fn from(e: dana_strider::StriderError) -> DanaError {
+        DanaError::Strider(e)
+    }
+}
+
+pub type DanaResult<T> = Result<T, DanaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DanaError = dana_storage::StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e: DanaError = dana_dsl::DslError::NoModelUpdate.into();
+        assert!(e.to_string().contains("dsl"));
+        let e = DanaError::Query("bad".into());
+        assert!(e.to_string().contains("query"));
+    }
+}

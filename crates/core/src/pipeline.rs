@@ -1,0 +1,462 @@
+//! The DAnA system façade: catalog + buffer pool + compiler + accelerator.
+//!
+//! Mirrors Fig. 2's flow end-to-end:
+//!
+//! 1. [`Dana::deploy`] — the UDF is translated (hDFG), compiled (hardware
+//!    generator + scheduler), and its artifacts — Strider instructions,
+//!    engine design, schedule — are stored in the RDBMS catalog;
+//! 2. [`Dana::execute`] — a SQL query names the UDF; the RDBMS side fills
+//!    the buffer pool while the access engine walks the pages with Striders
+//!    and the execution engine trains the model;
+//! 3. the returned [`DanaReport`] carries the trained model and the
+//!    simulated end-to-end timing with the pipeline-overlap semantics of
+//!    [`crate::runtime`].
+
+use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate};
+use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
+use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
+use dana_hdfg::translate;
+use dana_ml::CpuModel;
+use dana_storage::{
+    AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
+    Tuple,
+};
+use dana_strider::{disassemble, AccessEngine, AccessEngineConfig, AccessStats};
+
+use crate::error::{DanaError, DanaResult};
+use crate::query::parse_query;
+use crate::report::{DanaReport, DanaTiming, QueryOutcome};
+use crate::runtime::{compose, EpochCosts, ExecutionMode};
+
+/// Per-tuple CPU→FPGA handshake cost in the Strider-less ablation
+/// ("significant overhead due to the handshaking between CPU and FPGA",
+/// §5.1.1).
+pub const CPU_FEED_HANDSHAKE_S: f64 = 0.35e-6;
+
+/// Catalog payload: everything the query path needs to reconstruct the
+/// accelerator (stored as the `design_blob` JSON).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CatalogBlob {
+    design: EngineDesign,
+    budget: ResourceBudget,
+    estimate: PerfEstimate,
+}
+
+/// What `deploy` reports back to the data scientist.
+#[derive(Debug, Clone)]
+pub struct DeployInfo {
+    pub udf_name: String,
+    pub num_threads: u16,
+    pub acs_per_thread: u16,
+    pub num_striders: u32,
+    pub estimate: PerfEstimate,
+    /// The generated Strider program, disassembled.
+    pub strider_listing: String,
+    /// Micro-instruction count of the engine schedule.
+    pub micro_ops: usize,
+}
+
+/// The DAnA-enhanced database system.
+pub struct Dana {
+    catalog: Catalog,
+    pool: BufferPool,
+    disk: DiskModel,
+    fpga: FpgaSpec,
+    cpu: CpuModel,
+}
+
+impl Dana {
+    pub fn new(fpga: FpgaSpec, pool: BufferPoolConfig, disk: DiskModel) -> Dana {
+        Dana { catalog: Catalog::new(), pool: BufferPool::new(pool), disk, fpga, cpu: CpuModel::i7_6700() }
+    }
+
+    /// The paper's default setup: VU9P FPGA, 8 GB pool of 32 KB pages,
+    /// SSD-class disk (§7).
+    pub fn default_system() -> Dana {
+        Dana::new(FpgaSpec::vu9p(), BufferPoolConfig::paper_default(), DiskModel::ssd())
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn fpga(&self) -> &FpgaSpec {
+        &self.fpga
+    }
+
+    pub fn pool_stats(&self) -> dana_storage::BufferPoolStats {
+        self.pool.stats()
+    }
+
+    /// Registers a training table.
+    pub fn create_table(&mut self, name: &str, heap: HeapFile) -> DanaResult<HeapId> {
+        Ok(self.catalog.create_table(name, heap)?)
+    }
+
+    /// Warm-cache setup: loads the table into the buffer pool without
+    /// charging query I/O.
+    pub fn prewarm(&mut self, table: &str) -> DanaResult<usize> {
+        let entry = self.catalog.table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let n = self.pool.prewarm(heap_id, heap)?;
+        self.pool.reset_stats();
+        Ok(n)
+    }
+
+    /// Cold-cache setup: drops every cached page.
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
+        self.pool.reset_stats();
+    }
+
+    /// Compiles a UDF for `table` and stores the accelerator in the
+    /// catalog under the UDF's name.
+    pub fn deploy(&mut self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
+        let acc = self.compile_for(spec, table, None)?;
+        let blob = CatalogBlob {
+            design: acc.design.clone(),
+            budget: acc.budget,
+            estimate: acc.estimate,
+        };
+        let words = dana_strider::isa::encode_program(&acc.strider_program)?;
+        self.catalog.deploy_accelerator(AcceleratorEntry {
+            udf_name: spec.name.clone(),
+            strider_program: words,
+            design_blob: serde_json::to_string(&blob)
+                .map_err(|e| DanaError::Blob(e.to_string()))?,
+            merge_coef: spec.merge_coef(),
+            num_threads: acc.design.num_threads as u32,
+            description: format!(
+                "{} threads × {} ACs, {} Striders",
+                acc.design.num_threads, acc.design.acs_per_thread, acc.budget.num_page_buffers
+            ),
+        });
+        Ok(DeployInfo {
+            udf_name: spec.name.clone(),
+            num_threads: acc.design.num_threads,
+            acs_per_thread: acc.design.acs_per_thread,
+            num_striders: acc.budget.num_page_buffers,
+            estimate: acc.estimate,
+            strider_listing: disassemble(&acc.strider_program),
+            micro_ops: acc.design.program.micro_ops(),
+        })
+    }
+
+    /// Parses DSL source text and deploys it (the paper's end-user path).
+    pub fn deploy_source(
+        &mut self,
+        source: &str,
+        default_name: &str,
+        table: &str,
+    ) -> DanaResult<DeployInfo> {
+        let spec = dana_dsl::parse_udf(source, default_name)?;
+        self.deploy(&spec, table)
+    }
+
+    /// Executes `SELECT * FROM dana.<udf>('<table>');`.
+    pub fn execute(&mut self, sql: &str) -> DanaResult<QueryOutcome> {
+        let call = parse_query(sql)?;
+        let report = self.run_udf(&call.udf, &call.table)?;
+        Ok(QueryOutcome { udf: call.udf, table: call.table, report })
+    }
+
+    /// Runs a deployed accelerator by UDF name (full-Strider mode).
+    pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        let entry = self.catalog.accelerator(udf)?;
+        let blob: CatalogBlob = serde_json::from_str(&entry.design_blob)
+            .map_err(|e| DanaError::Blob(e.to_string()))?;
+        // Exercise the catalog round trip: the stored Strider words must
+        // decode back into a program.
+        let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
+        debug_assert!(!decoded.is_empty());
+        self.run_compiled(&blob.design, blob.budget, blob.estimate, table, ExecutionMode::Strider)
+    }
+
+    /// Compiles a spec ad hoc and runs it in the given mode (the Fig. 11 /
+    /// Fig. 16 ablation entry point; nothing is stored in the catalog).
+    pub fn train_with_spec(
+        &mut self,
+        spec: &dana_dsl::AlgoSpec,
+        table: &str,
+        mode: ExecutionMode,
+    ) -> DanaResult<DanaReport> {
+        let threads = match mode {
+            ExecutionMode::Tabla => Some(1),
+            _ => None,
+        };
+        let acc = self.compile_for(spec, table, threads)?;
+        self.run_compiled(&acc.design, acc.budget, acc.estimate, table, mode)
+    }
+
+    fn compile_for(
+        &self,
+        spec: &dana_dsl::AlgoSpec,
+        table: &str,
+        threads: Option<u32>,
+    ) -> DanaResult<CompiledAccelerator> {
+        let (entry, heap) = self.catalog.table_heap(table)?;
+        let hdfg = translate(spec);
+        let input = CompileInput {
+            hdfg: &hdfg,
+            fpga: self.fpga,
+            layout: *heap.layout(),
+            schema_columns: heap.schema().len(),
+            expected_tuples: entry.tuple_count,
+        };
+        Ok(match threads {
+            Some(t) => compile_with_threads(&input, t)?,
+            None => compile(&input)?,
+        })
+    }
+
+    fn run_compiled(
+        &mut self,
+        design: &EngineDesign,
+        budget: ResourceBudget,
+        _estimate: PerfEstimate,
+        table: &str,
+        mode: ExecutionMode,
+    ) -> DanaResult<DanaReport> {
+        let entry = self.catalog.table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let pool = &mut self.pool;
+        let axi = AxiLink::with_bandwidth(self.fpga.axi_bandwidth);
+        let access = AccessEngine::for_table(
+            *heap.layout(),
+            heap.schema().clone(),
+            AccessEngineConfig::new(budget.num_page_buffers.max(1), self.fpga.clock, axi),
+        );
+
+        // ---- data path: pool → (Striders | CPU) → tuples ---------------
+        let io_before = pool.stats().io_seconds;
+        let mut tuples: Vec<Vec<f32>> = Vec::with_capacity(heap.tuple_count() as usize);
+        let mut access_stats = AccessStats::default();
+        for page_no in 0..heap.page_count() {
+            let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
+            let bytes = pool.frame_bytes(frame);
+            if mode.uses_striders() {
+                let (page_tuples, cycles) = access.extract_page(bytes)?;
+                access_stats.strider_cycles += cycles;
+                access_stats.tuples += page_tuples.len() as u64;
+                tuples.extend(page_tuples.into_iter().map(|t| t.values));
+            } else {
+                let page = dana_storage::HeapPage::from_bytes(bytes.to_vec(), *heap.layout())?;
+                for slot in 0..page.tuple_count() {
+                    let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
+                    tuples.push(t.values.iter().map(|d| d.as_f32()).collect());
+                    access_stats.tuples += 1;
+                }
+            }
+            access_stats.pages += 1;
+            pool.unpin(frame);
+        }
+        access_stats.bytes_transferred = access_stats.pages * heap.layout().page_size as u64;
+        access_stats.conversion_cycles = access_stats.tuples * heap.schema().len() as u64;
+        access_stats.axi_seconds =
+            axi.stream_time(access_stats.bytes_transferred, heap.layout().page_size as u64);
+        access_stats.access_seconds = access.access_seconds(&access_stats);
+        let io_first = pool.stats().io_seconds - io_before;
+
+        // ---- compute path -----------------------------------------------
+        let engine = ExecutionEngine::new(design.clone())?;
+        let init: Vec<Vec<f32>> = design
+            .models
+            .iter()
+            .map(|m| {
+                if m.broadcast_slots.is_some() {
+                    vec![0.0; m.elements()]
+                } else {
+                    dana_ml::default_lrmf_init(m.elements())
+                }
+            })
+            .collect();
+        let mut store = ModelStore::new(design, init)?;
+        let stats = engine.run_training(&tuples, &mut store)?;
+
+        // ---- timing composition ------------------------------------------
+        let epochs = stats.epochs_run.max(1);
+        let clock = self.fpga.clock;
+        let page_size = heap.layout().page_size;
+        let missing_later = heap
+            .page_count()
+            .saturating_sub(pool.config().frames() as u32) as f64;
+        let width = heap.schema().len();
+        let tuple_bytes = heap.layout().tuple_bytes;
+        let float_bytes = tuples.len() as f64 * width as f64 * 4.0;
+        let costs = EpochCosts {
+            io_first,
+            io_later: missing_later * self.disk.read_time(page_size as u64),
+            axi: access_stats.axi_seconds,
+            strider: clock.to_seconds(
+                access_stats.strider_cycles.div_ceil(budget.num_page_buffers.max(1) as u64),
+            ),
+            engine: stats.cycles as f64 / epochs as f64 / clock.hz,
+            cpu_feed: tuples.len() as f64
+                * (tuple_bytes as f64 * self.cpu.deform_s_per_byte
+                    + width as f64 * self.cpu.conv_s_per_value
+                    + CPU_FEED_HANDSHAKE_S)
+                + float_bytes / self.fpga.axi_bandwidth,
+            fill: axi.burst_time(page_size as u64),
+        };
+        let timing: DanaTiming = compose(mode, epochs, &costs);
+
+        let model_names = design.models.iter().map(|m| m.name.clone()).collect();
+        Ok(DanaReport {
+            models: store.into_values(),
+            model_names,
+            epochs_run: stats.epochs_run,
+            converged_early: stats.converged_early,
+            num_threads: design.num_threads,
+            timing,
+            engine: stats,
+            access: access_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_dsl::zoo::{linear_regression, DenseParams};
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{HeapFileBuilder, Schema};
+
+    fn small_system() -> Dana {
+        Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig { pool_bytes: 64 << 20, page_size: 8 * 1024 },
+            DiskModel::ssd(),
+        )
+    }
+
+    fn linreg_heap(n: usize, d: usize) -> HeapFile {
+        let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.5).collect();
+        let mut b =
+            HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let x: Vec<f32> =
+                (0..d).map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0).collect();
+            let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            b.insert(&Tuple::training(&x, y)).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn deploy_then_execute_via_sql() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(500, 8)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            learning_rate: 0.2,
+            merge_coef: 8,
+            epochs: 25,
+        })
+        .unwrap();
+        let info = db.deploy(&spec, "t").unwrap();
+        assert!(info.num_threads >= 1);
+        assert!(info.strider_listing.contains("readB"));
+        assert_eq!(db.catalog().accelerator_names(), vec!["linearR"]);
+
+        let out = db.execute("SELECT * FROM dana.linearR('t');").unwrap();
+        assert_eq!(out.udf, "linearR");
+        let w = out.report.dense_model();
+        // The planted model is 0.3i − 0.5.
+        for (i, v) in w.iter().enumerate() {
+            let truth = 0.3 * i as f32 - 0.5;
+            assert!((v - truth).abs() < 0.05, "w[{i}] = {v}, truth {truth}");
+        }
+        assert!(out.report.timing.total_seconds > 0.0);
+        assert!(out.report.timing.engine_seconds > 0.0);
+    }
+
+    #[test]
+    fn deploy_from_source_text() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(200, 10)).unwrap();
+        let src = dana_dsl::zoo::linear_regression_source(10, 8, 5);
+        let info = db.deploy_source(&src, "fallback", "t").unwrap();
+        assert_eq!(info.udf_name, "linearR");
+        assert!(db.run_udf("linearR", "t").is_ok());
+    }
+
+    #[test]
+    fn warm_cache_is_faster_than_cold() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(3000, 16)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 16,
+            learning_rate: 0.1,
+            merge_coef: 8,
+            epochs: 3,
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+
+        db.clear_cache();
+        let cold = db.run_udf("linearR", "t").unwrap();
+        assert!(cold.timing.io_seconds > 0.0);
+
+        db.prewarm("t").unwrap();
+        let warm = db.run_udf("linearR", "t").unwrap();
+        assert_eq!(warm.timing.io_seconds, 0.0);
+        assert!(warm.timing.total_seconds < cold.timing.total_seconds);
+        // Same pages, same schedule → identical models.
+        assert_eq!(warm.models, cold.models);
+    }
+
+    #[test]
+    fn strider_mode_beats_cpu_fed() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(2000, 32)).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 32,
+            learning_rate: 0.1,
+            merge_coef: 16,
+            epochs: 2,
+        })
+        .unwrap();
+        let with = db.train_with_spec(&spec, "t", ExecutionMode::Strider).unwrap();
+        let without = db.train_with_spec(&spec, "t", ExecutionMode::CpuFed).unwrap();
+        assert!(
+            with.timing.total_seconds < without.timing.total_seconds,
+            "Striders must win: {} vs {}",
+            with.timing.total_seconds,
+            without.timing.total_seconds
+        );
+        // Same math either way.
+        assert_eq!(with.models, without.models);
+    }
+
+    #[test]
+    fn tabla_mode_is_single_threaded_and_slower() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(2000, 32)).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 32,
+            learning_rate: 0.1,
+            merge_coef: 16,
+            epochs: 2,
+        })
+        .unwrap();
+        let dana = db.train_with_spec(&spec, "t", ExecutionMode::Strider).unwrap();
+        let tabla = db.train_with_spec(&spec, "t", ExecutionMode::Tabla).unwrap();
+        assert_eq!(tabla.num_threads, 1);
+        assert!(tabla.engine.cycles > dana.engine.cycles);
+        assert!(tabla.timing.total_seconds > dana.timing.total_seconds);
+    }
+
+    #[test]
+    fn unknown_udf_or_table_errors() {
+        let mut db = small_system();
+        assert!(db.execute("SELECT * FROM dana.ghost('t');").is_err());
+        db.create_table("t", linreg_heap(100, 4)).unwrap();
+        let spec = linear_regression(DenseParams { n_features: 4, ..Default::default() }).unwrap();
+        db.deploy(&spec, "t").unwrap();
+        assert!(db.run_udf("linearR", "missing_table").is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! The SQL front door: `SELECT * FROM dana.<udf>('<table>');` (§4.3).
+//!
+//! "The RDBMS parses, optimizes, and executes the query while treating the
+//! UDF as a black box" (§3) — here the interesting query shape is exactly
+//! the UDF invocation, so the parser accepts that form (case-insensitive
+//! keywords, optional schema prefix, single- or double-quoted table names).
+
+use crate::error::{DanaError, DanaResult};
+
+/// A parsed accelerated-UDF invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryCall {
+    pub udf: String,
+    pub table: String,
+}
+
+/// Parses `SELECT * FROM dana.linearR('training_data_table');`.
+pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
+    let s = sql.trim().trim_end_matches(';').trim();
+    let lower = s.to_ascii_lowercase();
+    let rest = lower
+        .strip_prefix("select")
+        .ok_or_else(|| err("expected SELECT"))?
+        .trim_start();
+    let rest = rest.strip_prefix('*').ok_or_else(|| err("expected SELECT *"))?.trim_start();
+    let rest = rest.strip_prefix("from").ok_or_else(|| err("expected FROM"))?.trim_start();
+    // Work on the original string from here to preserve identifier case.
+    let tail = &s[s.len() - rest.len()..];
+    let open = tail.find('(').ok_or_else(|| err("expected UDF call '(...)'"))?;
+    let close = tail.rfind(')').ok_or_else(|| err("unclosed ')'"))?;
+    if close < open {
+        return Err(err("malformed parentheses"));
+    }
+    let mut udf = tail[..open].trim();
+    if let Some(dot) = udf.rfind('.') {
+        let schema = &udf[..dot];
+        if !schema.eq_ignore_ascii_case("dana") {
+            return Err(err(&format!("unknown schema '{schema}' (expected dana)")));
+        }
+        udf = &udf[dot + 1..];
+    }
+    if udf.is_empty() || !udf.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(&format!("bad UDF name '{udf}'")));
+    }
+    let arg = tail[open + 1..close].trim();
+    let table = arg
+        .strip_prefix('\'')
+        .and_then(|a| a.strip_suffix('\''))
+        .or_else(|| arg.strip_prefix('"').and_then(|a| a.strip_suffix('"')))
+        .unwrap_or(arg)
+        .trim();
+    if table.is_empty() {
+        return Err(err("empty table name"));
+    }
+    Ok(QueryCall { udf: udf.to_string(), table: table.to_string() })
+}
+
+fn err(msg: &str) -> DanaError {
+    DanaError::Query(msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse_query("SELECT * FROM dana.linearR('training_data_table');").unwrap();
+        assert_eq!(q.udf, "linearR");
+        assert_eq!(q.table, "training_data_table");
+    }
+
+    #[test]
+    fn schema_prefix_is_optional() {
+        let q = parse_query("select * from svm('t1')").unwrap();
+        assert_eq!(q.udf, "svm");
+        assert_eq!(q.table, "t1");
+    }
+
+    #[test]
+    fn case_and_quotes_flexible() {
+        let q = parse_query("SELECT * FROM DANA.logisticR(\"wlan\");").unwrap();
+        assert_eq!(q.udf, "logisticR");
+        assert_eq!(q.table, "wlan");
+        let q = parse_query("select * from dana.lrmf(netflix)").unwrap();
+        assert_eq!(q.table, "netflix");
+    }
+
+    #[test]
+    fn preserves_identifier_case() {
+        let q = parse_query("SELECT * FROM dana.MyUdf('MyTable');").unwrap();
+        assert_eq!(q.udf, "MyUdf");
+        assert_eq!(q.table, "MyTable");
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "INSERT INTO t VALUES (1)",
+            "SELECT x FROM dana.f('t')",
+            "SELECT * FROM dana.f",
+            "SELECT * FROM other.f('t')",
+            "SELECT * FROM dana.f('')",
+            "SELECT * FROM dana.f)t'(",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Run reports: trained models plus the simulated-time breakdown.
+
+use dana_engine::EngineStats;
+use dana_strider::AccessStats;
+
+/// Simulated seconds.
+pub type Seconds = f64;
+
+/// Where the time went. All values are simulated seconds; `total_seconds`
+/// composes them with the overlap semantics of [`crate::runtime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DanaTiming {
+    /// Disk → buffer pool (misses only; zero in the warm-cache setting for
+    /// resident tables).
+    pub io_seconds: Seconds,
+    /// Buffer pool → FPGA page streaming.
+    pub axi_seconds: Seconds,
+    /// Strider extraction (already divided across parallel Striders).
+    pub strider_seconds: Seconds,
+    /// Execution-engine compute (all threads).
+    pub engine_seconds: Seconds,
+    /// One-time deployment/configuration transfer.
+    pub setup_seconds: Seconds,
+    /// End-to-end, with pipeline overlap applied.
+    pub total_seconds: Seconds,
+}
+
+/// The result of one accelerated training run.
+#[derive(Debug, Clone)]
+pub struct DanaReport {
+    /// Trained model values, one vec per model variable (row-major), in
+    /// the UDF's declaration order.
+    pub models: Vec<Vec<f32>>,
+    /// Model variable names aligned with `models`.
+    pub model_names: Vec<String>,
+    pub epochs_run: u32,
+    pub converged_early: bool,
+    /// Threads the deployed design runs.
+    pub num_threads: u16,
+    pub timing: DanaTiming,
+    pub engine: EngineStats,
+    pub access: AccessStats,
+}
+
+impl DanaReport {
+    /// The model for a named variable.
+    pub fn model(&self, name: &str) -> Option<&[f32]> {
+        self.model_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.models[i].as_slice())
+    }
+
+    /// Single-model convenience (dense algorithms).
+    pub fn dense_model(&self) -> &[f32] {
+        assert_eq!(self.models.len(), 1, "UDF has {} models", self.models.len());
+        &self.models[0]
+    }
+}
+
+/// A query execution outcome: what ran, and its report.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub udf: String,
+    pub table: String,
+    pub report: DanaReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DanaReport {
+        DanaReport {
+            models: vec![vec![1.0, 2.0], vec![3.0]],
+            model_names: vec!["w".into(), "b".into()],
+            epochs_run: 1,
+            converged_early: false,
+            num_threads: 4,
+            timing: DanaTiming::default(),
+            engine: EngineStats::default(),
+            access: AccessStats::default(),
+        }
+    }
+
+    #[test]
+    fn model_lookup_by_name() {
+        let r = report();
+        assert_eq!(r.model("w"), Some(&[1.0, 2.0][..]));
+        assert_eq!(r.model("b"), Some(&[3.0][..]));
+        assert_eq!(r.model("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 models")]
+    fn dense_model_requires_single_model() {
+        let _ = report().dense_model();
+    }
+}

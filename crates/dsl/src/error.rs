@@ -1,0 +1,75 @@
+//! DSL errors: construction, parsing, and validation failures.
+
+use std::fmt;
+
+/// Errors raised while building, parsing, or validating a UDF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// A variable is used before any statement assigns it.
+    UseBeforeDef(String),
+    /// A variable name is declared twice.
+    DuplicateVar(String),
+    /// Operand dimensions cannot be broadcast together.
+    DimMismatch { op: String, left: Vec<usize>, right: Vec<usize> },
+    /// Group-op axis out of range for the operand's rank.
+    BadAxis { axis: usize, rank: usize },
+    /// The spec never calls `setModel`.
+    NoModelUpdate,
+    /// `setModel` source dims disagree with the model's dims.
+    ModelShapeMismatch { model: Vec<usize>, update: Vec<usize> },
+    /// `setModel` on a single-model algo is ambiguous / wrong target kind.
+    BadModelTarget(String),
+    /// Merge references an unknown or non-mergeable variable.
+    BadMerge(String),
+    /// Merge coefficient must be ≥ 1.
+    BadMergeCoef(u32),
+    /// Convergence condition variable must be a scalar comparison result.
+    BadConvergence(String),
+    /// Textual parse error with 1-based line number.
+    Parse { line: usize, msg: String },
+    /// Anything else.
+    Invalid(String),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::UseBeforeDef(v) => write!(f, "variable '{v}' used before definition"),
+            DslError::DuplicateVar(v) => write!(f, "variable '{v}' declared twice"),
+            DslError::DimMismatch { op, left, right } => {
+                write!(f, "operands of '{op}' cannot broadcast: {left:?} vs {right:?}")
+            }
+            DslError::BadAxis { axis, rank } => {
+                write!(f, "group axis {axis} out of range for rank-{rank} operand")
+            }
+            DslError::NoModelUpdate => write!(f, "UDF never calls setModel"),
+            DslError::ModelShapeMismatch { model, update } => {
+                write!(f, "setModel shape mismatch: model {model:?} vs update {update:?}")
+            }
+            DslError::BadModelTarget(msg) => write!(f, "bad setModel target: {msg}"),
+            DslError::BadMerge(msg) => write!(f, "bad merge: {msg}"),
+            DslError::BadMergeCoef(c) => write!(f, "merge coefficient must be ≥ 1, got {c}"),
+            DslError::BadConvergence(msg) => write!(f, "bad convergence: {msg}"),
+            DslError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            DslError::Invalid(msg) => write!(f, "invalid UDF: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+pub type DslResult<T> = Result<T, DslError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = DslError::DimMismatch { op: "*".into(), left: vec![5], right: vec![2, 3] };
+        let s = e.to_string();
+        assert!(s.contains('*') && s.contains("[5]") && s.contains("[2, 3]"));
+        let e = DslError::Parse { line: 7, msg: "unexpected ')'".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

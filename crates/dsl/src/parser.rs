@@ -1,0 +1,707 @@
+//! Textual front end: parses the paper's DSL surface syntax into an
+//! [`AlgoSpec`].
+//!
+//! The accepted grammar covers the paper's §4.3 listings verbatim (modulo
+//! Python's significant whitespace, which the DSL never relies on):
+//!
+//! ```text
+//! # declarations
+//! mo  = dana.model([10])            # or model([5][2]) / model([5, 2])
+//! in  = dana.input([10])
+//! out = dana.output()
+//! lr  = dana.meta(0.3)
+//! linearR = dana.algo(mo, in, out)  # names the UDF; operand list is informational
+//!
+//! # update rule
+//! s    = sigma(mo * in, 1)
+//! er   = s - out
+//! grad = er * in
+//!
+//! # merge + optimizer
+//! grad  = linearR.merge(grad, 8, "+")
+//! up    = lr * grad
+//! mo_up = mo - up
+//! linearR.setModel(mo_up)
+//! linearR.setEpochs(10000)
+//! ```
+//!
+//! Built-ins: `sigmoid gaussian sqrt sigma pi norm lookup merge setModel
+//! setModelRow setEpochs setConvergence`. Lines starting with `#` or `//`
+//! are comments. A `prefix.` before any call (e.g. `dana.`, `linearR.`) is
+//! accepted and ignored — it is Python object syntax, not semantics.
+
+use std::collections::HashMap;
+
+use crate::ast::{AlgoSpec, MergeOp};
+use crate::builder::{AlgoBuilder, VarRef};
+use crate::error::{DslError, DslResult};
+
+/// Parses DSL source text into a validated [`AlgoSpec`].
+///
+/// `default_name` names the UDF when the source contains no
+/// `name = dana.algo(...)` line.
+pub fn parse_udf(source: &str, default_name: &str) -> DslResult<AlgoSpec> {
+    let mut p = Parser {
+        builder: AlgoBuilder::new(default_name),
+        names: HashMap::new(),
+        model_names: Vec::new(),
+        meta_values: HashMap::new(),
+        algo_named: false,
+        pending_name: None,
+    };
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        p.statement(line, lineno + 1)?;
+    }
+    // The UDF name may have been discovered after construction began.
+    let mut builder = p.builder;
+    if let Some(name) = p.pending_name {
+        builder.set_name(&name);
+    }
+    builder.finish()
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('#').unwrap_or(line.len());
+    let cut2 = line.find("//").unwrap_or(line.len());
+    &line[..cut.min(cut2)]
+}
+
+struct Parser {
+    builder: AlgoBuilder,
+    /// Source name → current binding (reassignment rebinds, SSA-style).
+    names: HashMap<String, VarRef>,
+    /// Names declared as models (for `setModel(x)`'s one-argument form).
+    model_names: Vec<String>,
+    /// Meta constants usable where integers are expected (merge coef, axis).
+    meta_values: HashMap<String, f64>,
+    algo_named: bool,
+    pending_name: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Sym(char),
+}
+
+fn tokenize(line: &str, lineno: usize) -> DslResult<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && matches!(bytes[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v = text.parse::<f64>().map_err(|_| DslError::Parse {
+                    line: lineno,
+                    msg: format!("bad number '{text}'"),
+                })?;
+                toks.push(Tok::Num(v));
+            }
+            '"' | '\u{201c}' | '\u{201d}' => {
+                // Accept straight and typographic quotes (the paper's PDF
+                // listings use curly quotes around merge ops).
+                let close = |ch: char| ch == '"' || ch == '\u{201c}' || ch == '\u{201d}';
+                i += 1;
+                let start = i;
+                while i < bytes.len() && !close(bytes[i]) {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DslError::Parse { line: lineno, msg: "unterminated string".into() });
+                }
+                toks.push(Tok::Str(bytes[start..i].iter().collect()));
+                i += 1;
+            }
+            '=' | '+' | '-' | '*' | '/' | '(' | ')' | '[' | ']' | ',' | '.' | '<' | '>' => {
+                toks.push(Tok::Sym(c));
+                i += 1;
+            }
+            other => {
+                return Err(DslError::Parse {
+                    line: lineno,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Cursor over a token list.
+struct Cur<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> DslResult<()> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn err(&self, msg: String) -> DslError {
+        DslError::Parse { line: self.line, msg }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+impl Parser {
+    fn statement(&mut self, line: &str, lineno: usize) -> DslResult<()> {
+        let toks = tokenize(line, lineno)?;
+        let mut cur = Cur { toks: &toks, pos: 0, line: lineno };
+        // `target = rhs` — a single top-level '=' separates the two forms.
+        let is_assign = matches!(
+            (&toks.first(), &toks.get(1)),
+            (Some(Tok::Ident(_)), Some(Tok::Sym('=')))
+        );
+        if is_assign {
+            let Some(Tok::Ident(target)) = cur.next() else { unreachable!() };
+            cur.expect_sym('=')?;
+            self.assignment(&target, &mut cur)?;
+        } else {
+            self.call_statement(&mut cur)?;
+        }
+        if !cur.at_end() {
+            return Err(cur.err("trailing tokens".into()));
+        }
+        Ok(())
+    }
+
+    /// `target = <declaration | merge | expression>`
+    fn assignment(&mut self, target: &str, cur: &mut Cur) -> DslResult<()> {
+        // Look ahead for a call head: `[prefix .] callee (`.
+        if let Some((callee, args_at)) = call_head(cur) {
+            match callee.as_str() {
+                "model" | "input" | "output" | "meta" | "algo" => {
+                    cur.pos = args_at;
+                    return self.declaration(target, &callee, cur);
+                }
+                "merge" => {
+                    cur.pos = args_at;
+                    return self.merge_call(target, cur);
+                }
+                _ => {}
+            }
+        }
+        let value = self.expr(cur)?;
+        self.names.insert(target.to_string(), value);
+        Ok(())
+    }
+
+    /// Parses `model([5][2])`-style dims: `[a][b]`, `[a, b]`, or `()`.
+    fn dims(&mut self, cur: &mut Cur) -> DslResult<Vec<usize>> {
+        let mut dims = Vec::new();
+        while cur.eat_sym('[') {
+            loop {
+                match cur.next() {
+                    Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 1.0 => dims.push(v as usize),
+                    other => return Err(cur.err(format!("expected dimension, got {other:?}"))),
+                }
+                if cur.eat_sym(',') {
+                    continue;
+                }
+                cur.expect_sym(']')?;
+                break;
+            }
+        }
+        Ok(dims)
+    }
+
+    fn declaration(&mut self, target: &str, kind: &str, cur: &mut Cur) -> DslResult<()> {
+        cur.expect_sym('(')?;
+        match kind {
+            "model" | "input" => {
+                let dims = self.dims(cur)?;
+                cur.expect_sym(')')?;
+                let v = if kind == "model" {
+                    self.model_names.push(target.to_string());
+                    self.builder.model(target, &dims)
+                } else {
+                    self.builder.input(target, &dims)
+                };
+                self.names.insert(target.to_string(), v);
+            }
+            "output" => {
+                let dims = self.dims(cur)?;
+                cur.expect_sym(')')?;
+                let v = if dims.is_empty() {
+                    self.builder.output(target)
+                } else {
+                    self.builder.output_dims(target, &dims)
+                };
+                self.names.insert(target.to_string(), v);
+            }
+            "meta" => {
+                let value = match cur.next() {
+                    Some(Tok::Num(v)) => v,
+                    Some(Tok::Sym('-')) => match cur.next() {
+                        Some(Tok::Num(v)) => -v,
+                        other => return Err(cur.err(format!("expected number, got {other:?}"))),
+                    },
+                    other => return Err(cur.err(format!("expected number, got {other:?}"))),
+                };
+                cur.expect_sym(')')?;
+                let v = self.builder.meta(target, value);
+                self.names.insert(target.to_string(), v);
+                self.note_meta(target, value);
+            }
+            "algo" => {
+                // `linearR = dana.algo(mo, in, out)` — record the UDF name;
+                // the operand list is documentation (links are implied by use).
+                while cur.next().is_some_and(|t| t != Tok::Sym(')')) {}
+                if self.algo_named {
+                    return Err(cur.err("dana.algo(...) appears twice".into()));
+                }
+                self.algo_named = true;
+                self.pending_name = Some(target.to_string());
+            }
+            _ => unreachable!("declaration() called for {kind}"),
+        }
+        Ok(())
+    }
+
+    fn merge_call(&mut self, target: &str, cur: &mut Cur) -> DslResult<()> {
+        cur.expect_sym('(')?;
+        let var = self.expr(cur)?;
+        cur.expect_sym(',')?;
+        let coef = self.const_u32(cur)?;
+        cur.expect_sym(',')?;
+        let op = match cur.next() {
+            Some(Tok::Str(s)) => MergeOp::parse(&s)?,
+            other => return Err(cur.err(format!("expected merge op string, got {other:?}"))),
+        };
+        cur.expect_sym(')')?;
+        let merged = self.builder.merge(var, coef, op)?;
+        self.names.insert(target.to_string(), merged);
+        Ok(())
+    }
+
+    /// A statement-position call: `setModel(x)`, `setEpochs(10)`, …
+    fn call_statement(&mut self, cur: &mut Cur) -> DslResult<()> {
+        let Some((callee, args_at)) = call_head(cur) else {
+            return Err(cur.err("expected assignment or built-in call".into()));
+        };
+        cur.pos = args_at;
+        cur.expect_sym('(')?;
+        match callee.as_str() {
+            "setModel" => {
+                let first = self.expr(cur)?;
+                if cur.eat_sym(',') {
+                    // Two-argument form: setModel(model, source).
+                    let src = self.expr(cur)?;
+                    cur.expect_sym(')')?;
+                    self.builder.set_model(first, src)?;
+                } else {
+                    cur.expect_sym(')')?;
+                    let model = self.unique_model(cur.line)?;
+                    self.builder.set_model(model, first)?;
+                }
+            }
+            "setModelRow" => {
+                let model = self.expr(cur)?;
+                cur.expect_sym(',')?;
+                let idx = self.expr(cur)?;
+                cur.expect_sym(',')?;
+                let src = self.expr(cur)?;
+                cur.expect_sym(')')?;
+                self.builder.set_model_row(model, idx, src)?;
+            }
+            "setEpochs" => {
+                let n = self.const_u32(cur)?;
+                cur.expect_sym(')')?;
+                self.builder.set_epochs(n);
+            }
+            "setConvergence" => {
+                let cond = self.expr(cur)?;
+                let cap = if cur.eat_sym(',') { self.const_u32(cur)? } else { 100_000 };
+                cur.expect_sym(')')?;
+                self.builder.set_convergence(cond, cap);
+            }
+            other => return Err(cur.err(format!("unknown statement '{other}(...)'"))),
+        }
+        Ok(())
+    }
+
+    /// `setModel(x)`'s single-argument form targets the UDF's only model.
+    fn unique_model(&self, line: usize) -> DslResult<VarRef> {
+        match &self.model_names[..] {
+            [one] => Ok(self.names[one]),
+            [] => Err(DslError::Parse { line, msg: "setModel(x): no model declared".into() }),
+            _ => Err(DslError::Parse {
+                line,
+                msg: "setModel(x) is ambiguous with several models; use setModel(model, x)".into(),
+            }),
+        }
+    }
+
+    fn const_u32(&mut self, cur: &mut Cur) -> DslResult<u32> {
+        match cur.next() {
+            Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u32),
+            // A named meta constant is also accepted (merge_coef in §4.3).
+            Some(Tok::Ident(name)) => {
+                let v = *self
+                    .meta_values
+                    .get(&name)
+                    .ok_or_else(|| cur.err(format!("'{name}' is not a meta constant")))?;
+                if v.fract() != 0.0 || v < 0.0 {
+                    return Err(cur.err(format!("'{name}' = {v} is not a whole number")));
+                }
+                Ok(v as u32)
+            }
+            other => Err(cur.err(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn expr(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        self.cmp(cur)
+    }
+
+    fn cmp(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        let lhs = self.addsub(cur)?;
+        if cur.eat_sym('<') {
+            let rhs = self.addsub(cur)?;
+            return self.builder.lt(lhs, rhs);
+        }
+        if cur.eat_sym('>') {
+            let rhs = self.addsub(cur)?;
+            return self.builder.gt(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn addsub(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        let mut acc = self.muldiv(cur)?;
+        loop {
+            if cur.eat_sym('+') {
+                let rhs = self.muldiv(cur)?;
+                acc = self.builder.add(acc, rhs)?;
+            } else if cur.eat_sym('-') {
+                let rhs = self.muldiv(cur)?;
+                acc = self.builder.sub(acc, rhs)?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn muldiv(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        let mut acc = self.unary(cur)?;
+        loop {
+            if cur.eat_sym('*') {
+                let rhs = self.unary(cur)?;
+                acc = self.builder.mul(acc, rhs)?;
+            } else if cur.eat_sym('/') {
+                let rhs = self.unary(cur)?;
+                acc = self.builder.div(acc, rhs)?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn unary(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        if cur.eat_sym('-') {
+            let zero = self.builder.constant(0.0);
+            let v = self.unary(cur)?;
+            return self.builder.sub(zero, v);
+        }
+        self.primary(cur)
+    }
+
+    fn primary(&mut self, cur: &mut Cur) -> DslResult<VarRef> {
+        if cur.eat_sym('(') {
+            let v = self.expr(cur)?;
+            cur.expect_sym(')')?;
+            return Ok(v);
+        }
+        match cur.next() {
+            Some(Tok::Num(v)) => Ok(self.builder.constant(v)),
+            Some(Tok::Ident(name)) => {
+                // Method-call prefix: `x.f(args)` — skip the receiver.
+                if cur.peek() == Some(&Tok::Sym('.')) {
+                    cur.pos += 1;
+                    match cur.next() {
+                        Some(Tok::Ident(f)) => return self.func_call(&f, cur),
+                        other => return Err(cur.err(format!("expected method, got {other:?}"))),
+                    }
+                }
+                if cur.peek() == Some(&Tok::Sym('(')) {
+                    return self.func_call(&name, cur);
+                }
+                self.names
+                    .get(&name)
+                    .copied()
+                    .ok_or_else(|| cur.err(format!("unknown variable '{name}'")))
+            }
+            other => Err(cur.err(format!("expected expression, got {other:?}"))),
+        }
+    }
+
+    fn func_call(&mut self, f: &str, cur: &mut Cur) -> DslResult<VarRef> {
+        cur.expect_sym('(')?;
+        match f {
+            "sigmoid" | "gaussian" | "sqrt" => {
+                let a = self.expr(cur)?;
+                cur.expect_sym(')')?;
+                Ok(match f {
+                    "sigmoid" => self.builder.sigmoid(a),
+                    "gaussian" => self.builder.gaussian(a),
+                    _ => self.builder.sqrt(a),
+                })
+            }
+            "sigma" | "pi" | "norm" => {
+                let a = self.expr(cur)?;
+                cur.expect_sym(',')?;
+                let axis = self.const_u32(cur)? as usize;
+                cur.expect_sym(')')?;
+                match f {
+                    "sigma" => self.builder.sigma(a, axis),
+                    "pi" => self.builder.pi(a, axis),
+                    _ => self.builder.norm(a, axis),
+                }
+            }
+            "lookup" => {
+                let m = self.expr(cur)?;
+                cur.expect_sym(',')?;
+                let i = self.expr(cur)?;
+                cur.expect_sym(')')?;
+                self.builder.lookup(m, i)
+            }
+            other => Err(cur.err(format!("unknown function '{other}'"))),
+        }
+    }
+}
+
+/// If the cursor sits at `[prefix .] ident (`, returns the callee name and
+/// the position of its '(' without consuming anything.
+fn call_head(cur: &Cur) -> Option<(String, usize)> {
+    let t = cur.toks;
+    let p = cur.pos;
+    match (t.get(p), t.get(p + 1), t.get(p + 2), t.get(p + 3)) {
+        (Some(Tok::Ident(_)), Some(Tok::Sym('.')), Some(Tok::Ident(f)), Some(Tok::Sym('('))) => {
+            Some((f.clone(), p + 3))
+        }
+        (Some(Tok::Ident(f)), Some(Tok::Sym('(')), _, _) => Some((f.clone(), p + 1)),
+        _ => None,
+    }
+}
+
+impl Parser {
+    fn note_meta(&mut self, name: &str, value: f64) {
+        self.meta_values.insert(name.to_string(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Convergence, DataKind};
+
+    const LINEAR: &str = r#"
+        # Linear regression (paper §4.3)
+        mo  = dana.model([10])
+        in  = dana.input([10])
+        out = dana.output()
+        lr  = dana.meta(0.3)
+        merge_coef = dana.meta(8)
+        linearR = dana.algo(mo, in, out)
+
+        s = sigma(mo * in, 1)
+        er = s - out
+        grad = er * in
+        grad = linearR.merge(grad, merge_coef, "+")
+        up = lr * grad
+        mo_up = mo - up
+        linearR.setModel(mo_up)
+        linearR.setEpochs(10000)
+    "#;
+
+    #[test]
+    fn parses_paper_linear_regression() {
+        let spec = parse_udf(LINEAR, "fallback").unwrap();
+        assert_eq!(spec.name, "linearR");
+        assert_eq!(spec.input_width(), 10);
+        assert_eq!(spec.model_elements(), 10);
+        assert_eq!(spec.merge_coef(), 8);
+        assert_eq!(spec.convergence, Convergence::Epochs(10000));
+        assert_eq!(spec.vars_of_kind(DataKind::Meta).count(), 2);
+    }
+
+    #[test]
+    fn convergence_form_parses() {
+        let src = r#"
+            mo = model([4])
+            in = input([4])
+            out = output()
+            cf = meta(0.01)
+            s = sigma(mo * in, 1)
+            er = s - out
+            grad = er * in
+            mo_up = mo - grad
+            setModel(mo_up)
+            n = norm(grad, 1)
+            conv = n < cf
+            setConvergence(conv, 1000)
+        "#;
+        let spec = parse_udf(src, "lin").unwrap();
+        assert!(matches!(spec.convergence, Convergence::Condition { max_epochs: 1000, .. }));
+    }
+
+    #[test]
+    fn parenthesized_and_negated_expressions() {
+        let src = r#"
+            mo = model([4])
+            in = input([4])
+            out = output()
+            s = sigma(mo * in, 1)
+            d = -(s - out)
+            grad = d * in
+            mo_up = mo + grad
+            setModel(mo_up)
+            setEpochs(5)
+        "#;
+        let spec = parse_udf(src, "neg").unwrap();
+        assert!(spec.stmts.len() >= 5);
+    }
+
+    #[test]
+    fn averaged_merge_variant_parses() {
+        // The paper's second merge example: average partial models.
+        let src = r#"
+            mo = model([4])
+            in = input([4])
+            out = output()
+            lr = meta(0.1)
+            mc = meta(8)
+            s = sigma(mo * in, 1)
+            er = s - out
+            grad = er * in
+            up = lr * grad
+            mo_up = mo - up
+            m1 = merge(mo_up, mc, "+")
+            m2 = m1 / mc
+            setModel(m2)
+            setEpochs(3)
+        "#;
+        let spec = parse_udf(src, "psgd").unwrap();
+        assert_eq!(spec.merge_coef(), 8);
+        // post-merge region contains the division
+        let m = spec.merge.as_ref().unwrap();
+        assert!(m.boundary < spec.stmts.len());
+    }
+
+    #[test]
+    fn unknown_variable_errors_with_line() {
+        let src = "mo = model([4])\nz = mo * ghost\n";
+        let err = parse_udf(src, "x").unwrap_err();
+        match err {
+            DslError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("ghost"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = r#"
+            # leading comment
+            mo = model([2])   # trailing comment
+            in = input([2])
+            out = output()    // c++-style too
+
+            s = sigma(mo * in, 1)
+            er = s - out
+            g = er * in
+            mo_up = mo - g
+            setModel(mo_up)
+            setEpochs(1)
+        "#;
+        assert!(parse_udf(src, "c").is_ok());
+    }
+
+    #[test]
+    fn curly_quotes_accepted() {
+        let src = "mo = model([2])\nin = input([2])\nout = output()\ns = sigma(mo * in, 1)\ner = s - out\ng = er * in\ng = merge(g, 4, \u{201c}+\u{201d})\nmo_up = mo - g\nsetModel(mo_up)\nsetEpochs(1)\n";
+        let spec = parse_udf(src, "q").unwrap();
+        assert_eq!(spec.merge_coef(), 4);
+    }
+
+    #[test]
+    fn matrix_dims_both_syntaxes() {
+        for decl in ["model([5][2])", "model([5, 2])"] {
+            let src = format!(
+                "mo = {decl}\nin = input([2])\nout = output()\np = mo * in\ns = sigma(p, 1)\nq = s - out\ng = q * in\nmo2 = mo - g\nsetModel(mo2)\nsetEpochs(1)\n"
+            );
+            // [5][2]*[2] broadcasts; sigma axis1 → [5]; [5]-scalar… shapes
+            // here are contrived — the point is the dims parse.
+            let result = parse_udf(&src, "m");
+            // shape errors are fine; parse errors are not.
+            if let Err(DslError::Parse { .. }) = result {
+                panic!("dims syntax '{decl}' failed to parse");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected(){
+        let src = "mo = model([2]) extra\n";
+        assert!(matches!(parse_udf(src, "x"), Err(DslError::Parse { .. })));
+    }
+}

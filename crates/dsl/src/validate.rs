@@ -1,0 +1,287 @@
+//! Whole-spec validation: the global checks the translator performs before
+//! accepting a UDF (§4.4).
+//!
+//! The builder validates locally (operand shapes) as statements are
+//! recorded; this module validates the *assembled* spec, whichever front
+//! end produced it:
+//!
+//! 1. every operand is declared, and `inter` operands are assigned before
+//!    use (the program is straight-line SSA);
+//! 2. statement shapes re-derive cleanly (defense against hand-built specs);
+//! 3. at least one `setModel`, and each update's shape matches its model;
+//! 4. the merge variable exists and its boundary is in range;
+//! 5. a convergence condition, if any, is a scalar comparison result.
+
+use std::collections::HashSet;
+
+use crate::ast::{AlgoSpec, Convergence, DataKind, Dims, ModelUpdate, OpKind, Stmt, VarId};
+use crate::error::{DslError, DslResult};
+
+/// Validates `spec`, returning the first violation found.
+pub fn validate(spec: &AlgoSpec) -> DslResult<()> {
+    check_straight_line(spec)?;
+    check_shapes(spec)?;
+    check_model_updates(spec)?;
+    check_merge(spec)?;
+    check_convergence(spec)?;
+    Ok(())
+}
+
+fn var_name(spec: &AlgoSpec, id: VarId) -> String {
+    spec.vars
+        .get(id.0 as usize)
+        .map(|v| v.name.clone())
+        .unwrap_or_else(|| format!("<var {}>", id.0))
+}
+
+fn check_straight_line(spec: &AlgoSpec) -> DslResult<()> {
+    let mut defined: HashSet<VarId> = spec
+        .vars
+        .iter()
+        .filter(|v| v.kind != DataKind::Inter)
+        .map(|v| v.id)
+        .collect();
+    for stmt in &spec.stmts {
+        for opnd in stmt.op.operands() {
+            if opnd.0 as usize >= spec.vars.len() {
+                return Err(DslError::Invalid(format!("operand {} undeclared", opnd.0)));
+            }
+            if !defined.contains(&opnd) {
+                return Err(DslError::UseBeforeDef(var_name(spec, opnd)));
+            }
+        }
+        if stmt.target.0 as usize >= spec.vars.len() {
+            return Err(DslError::Invalid(format!("target {} undeclared", stmt.target.0)));
+        }
+        defined.insert(stmt.target);
+    }
+    Ok(())
+}
+
+/// Re-derives each statement's output shape and compares it with the
+/// target variable's declared shape.
+fn check_shapes(spec: &AlgoSpec) -> DslResult<()> {
+    for stmt in &spec.stmts {
+        let derived = derive_shape(spec, stmt)?;
+        let declared = &spec.var(stmt.target).dims;
+        if &derived != declared {
+            return Err(DslError::Invalid(format!(
+                "statement writing '{}' derives shape {derived} but variable declares {declared}",
+                var_name(spec, stmt.target)
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn derive_shape(spec: &AlgoSpec, stmt: &Stmt) -> DslResult<Dims> {
+    let dims = |v: VarId| spec.var(v).dims.clone();
+    match &stmt.op {
+        OpKind::Binary(op, a, b) => dims(*a).broadcast(&dims(*b), op.symbol()),
+        OpKind::Unary(_, a) | OpKind::Identity(a) => Ok(dims(*a)),
+        OpKind::Group(_, a, axis) => dims(*a).reduce(*axis),
+        OpKind::Gather { matrix, index } => {
+            let m = dims(*matrix);
+            if m.rank() != 2 {
+                return Err(DslError::Invalid(format!(
+                    "gather from non-matrix '{}'",
+                    var_name(spec, *matrix)
+                )));
+            }
+            if !dims(*index).is_scalar() {
+                return Err(DslError::Invalid("gather index must be scalar".into()));
+            }
+            Ok(Dims::vector(m.0[1]))
+        }
+        OpKind::Const(_) => Ok(Dims::scalar()),
+    }
+}
+
+fn check_model_updates(spec: &AlgoSpec) -> DslResult<()> {
+    if spec.model_updates.is_empty() {
+        return Err(DslError::NoModelUpdate);
+    }
+    for mu in &spec.model_updates {
+        let model = spec.var(mu.model());
+        if model.kind != DataKind::Model {
+            return Err(DslError::BadModelTarget(format!(
+                "'{}' is not a model variable",
+                model.name
+            )));
+        }
+        let src = spec.var(mu.source());
+        match mu {
+            ModelUpdate::Whole { .. } => {
+                if src.dims != model.dims {
+                    return Err(DslError::ModelShapeMismatch {
+                        model: model.dims.0.clone(),
+                        update: src.dims.0.clone(),
+                    });
+                }
+            }
+            ModelUpdate::Row { index, .. } => {
+                if model.dims.rank() != 2 {
+                    return Err(DslError::BadModelTarget(format!(
+                        "row update needs a rank-2 model, '{}' is {}",
+                        model.name, model.dims
+                    )));
+                }
+                let row = Dims::vector(model.dims.0[1]);
+                if src.dims != row {
+                    return Err(DslError::ModelShapeMismatch {
+                        model: row.0.clone(),
+                        update: src.dims.0.clone(),
+                    });
+                }
+                if !spec.var(*index).dims.is_scalar() {
+                    return Err(DslError::BadModelTarget("row index must be scalar".into()));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_merge(spec: &AlgoSpec) -> DslResult<()> {
+    if let Some(m) = &spec.merge {
+        if m.coef == 0 {
+            return Err(DslError::BadMergeCoef(0));
+        }
+        if m.var.0 as usize >= spec.vars.len() {
+            return Err(DslError::BadMerge(format!("merge var {} undeclared", m.var.0)));
+        }
+        if m.boundary > spec.stmts.len() {
+            return Err(DslError::BadMerge(format!(
+                "merge boundary {} beyond {} statements",
+                m.boundary,
+                spec.stmts.len()
+            )));
+        }
+        // The merged variable must be produced by the pre-merge region.
+        let produced_before = spec.stmts[..m.boundary].iter().any(|s| s.target == m.var)
+            || spec.var(m.var).kind != DataKind::Inter;
+        if !produced_before {
+            return Err(DslError::BadMerge(format!(
+                "merged variable '{}' is not available at the merge boundary",
+                var_name(spec, m.var)
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_convergence(spec: &AlgoSpec) -> DslResult<()> {
+    if let Convergence::Condition { var, max_epochs } = &spec.convergence {
+        if *max_epochs == 0 {
+            return Err(DslError::BadConvergence("max_epochs must be ≥ 1".into()));
+        }
+        if var.0 as usize >= spec.vars.len() {
+            return Err(DslError::BadConvergence(format!("condition var {} undeclared", var.0)));
+        }
+        let decl = spec.var(*var);
+        if !decl.dims.is_scalar() {
+            return Err(DslError::BadConvergence(format!(
+                "condition '{}' must be scalar, is {}",
+                decl.name, decl.dims
+            )));
+        }
+        // It must be the result of a comparison (Gt/Lt) so the hardware can
+        // treat it as a boolean flag.
+        let is_cmp = spec.stmts.iter().any(|s| {
+            s.target == *var
+                && matches!(
+                    s.op,
+                    OpKind::Binary(crate::ast::BinOp::Gt, _, _)
+                        | OpKind::Binary(crate::ast::BinOp::Lt, _, _)
+                )
+        });
+        if !is_cmp {
+            return Err(DslError::BadConvergence(format!(
+                "condition '{}' is not produced by a comparison",
+                decl.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, MergeOp, MergeSpec, VarDecl};
+
+    /// Hand-builds a minimal valid spec: m := m - (m * x summed) … enough
+    /// structure to probe each validator clause.
+    fn hand_spec() -> AlgoSpec {
+        let vars = vec![
+            VarDecl { id: VarId(0), name: "m".into(), kind: DataKind::Model, dims: Dims::vector(4), meta_value: None },
+            VarDecl { id: VarId(1), name: "x".into(), kind: DataKind::Input, dims: Dims::vector(4), meta_value: None },
+            VarDecl { id: VarId(2), name: "p".into(), kind: DataKind::Inter, dims: Dims::vector(4), meta_value: None },
+            VarDecl { id: VarId(3), name: "u".into(), kind: DataKind::Inter, dims: Dims::vector(4), meta_value: None },
+        ];
+        let stmts = vec![
+            Stmt { target: VarId(2), op: OpKind::Binary(BinOp::Mul, VarId(0), VarId(1)) },
+            Stmt { target: VarId(3), op: OpKind::Binary(BinOp::Sub, VarId(0), VarId(2)) },
+        ];
+        AlgoSpec {
+            name: "hand".into(),
+            vars,
+            stmts,
+            merge: None,
+            convergence: Convergence::Epochs(1),
+            model_updates: vec![ModelUpdate::Whole { model: VarId(0), source: VarId(3) }],
+        }
+    }
+
+    #[test]
+    fn hand_built_spec_validates() {
+        validate(&hand_spec()).unwrap();
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut spec = hand_spec();
+        spec.stmts.swap(0, 1); // 'u' now reads 'p' before its definition
+        assert!(matches!(validate(&spec), Err(DslError::UseBeforeDef(_))));
+    }
+
+    #[test]
+    fn declared_shape_must_match_derived() {
+        let mut spec = hand_spec();
+        spec.vars[2].dims = Dims::vector(3); // lie about p's shape
+        assert!(validate(&spec).is_err());
+    }
+
+    #[test]
+    fn merge_boundary_out_of_range() {
+        let mut spec = hand_spec();
+        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 99 });
+        assert!(matches!(validate(&spec), Err(DslError::BadMerge(_))));
+    }
+
+    #[test]
+    fn merge_var_must_precede_boundary() {
+        let mut spec = hand_spec();
+        // p is defined by stmt 0; boundary 0 means nothing is produced yet.
+        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 0 });
+        assert!(matches!(validate(&spec), Err(DslError::BadMerge(_))));
+        // boundary 1 (after stmt 0) is fine.
+        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 1 });
+        validate(&spec).unwrap();
+    }
+
+    #[test]
+    fn non_model_set_model_target_rejected() {
+        let mut spec = hand_spec();
+        spec.model_updates = vec![ModelUpdate::Whole { model: VarId(1), source: VarId(3) }];
+        assert!(matches!(validate(&spec), Err(DslError::BadModelTarget(_))));
+    }
+
+    #[test]
+    fn convergence_must_be_comparison() {
+        let mut spec = hand_spec();
+        // 'u' is a Sub result, not a comparison.
+        spec.convergence = Convergence::Condition { var: VarId(3), max_epochs: 10 };
+        assert!(matches!(validate(&spec), Err(DslError::BadConvergence(_))));
+    }
+}

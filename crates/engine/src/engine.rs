@@ -1,0 +1,951 @@
+//! The multi-threaded execution engine interpreter.
+//!
+//! "Our reconfigurable execution engine architecture can run multiple
+//! threads of parallel update rules for different data tuples. ... Results
+//! across the threads are combined via a computationally-enabled tree bus
+//! in accordance to the merge function." (§5.2)
+//!
+//! Execution is batch-structured: each batch assigns one tuple per thread,
+//! runs the per-tuple program on every (active) thread in lockstep, merges
+//! the designated variable on the tree bus, runs the post-merge program on
+//! the merge result, and writes the model back. Cycle accounting follows
+//! the static schedule: the paper's §6.1 estimator works *because*
+//! "the hDFG does not change, there is no hardware managed cache, and the
+//! accelerator architecture is fixed during execution" — properties this
+//! interpreter preserves exactly.
+
+use dana_dsl::MergeOp;
+
+use crate::error::{EngineError, EngineResult};
+use crate::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
+
+/// Shared-bus width in f32 elements per cycle, for model write-back and
+/// broadcast (a 512-bit data bus).
+pub const BUS_WORDS: u64 = 16;
+
+/// Concurrent ports on the row-indexed model memory (BRAM banking).
+/// Gathers and row scatters from different threads contend for these —
+/// the structural reason LRMF "does not experience a higher performance
+/// with increasing number of threads" (§7.2, Fig. 12).
+pub const MODEL_PORTS: u64 = 4;
+
+/// A dense or row-indexed model variable held in on-chip model memory.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelDesc {
+    pub name: String,
+    /// Rows (1 for flat vectors/scalars treated as a single row).
+    pub rows: usize,
+    /// Elements per row.
+    pub cols: usize,
+    /// For dense models: the per-thread scratchpad locations holding the
+    /// model's elements (row-major), refreshed by broadcast each batch.
+    /// Row-indexed (LRMF) models gather rows on demand instead.
+    pub broadcast_slots: Option<Vec<Loc>>,
+}
+
+impl ModelDesc {
+    pub fn elements(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// How threads' results combine at the batch boundary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum MergePlan {
+    /// No merge: single-threaded designs.
+    None,
+    /// Combine the variable at `slots` (per-thread locations) into thread
+    /// 0's copies with `op` on the tree bus.
+    Whole { op: MergeOp, slots: Vec<Loc> },
+}
+
+/// A model write-back performed at the end of each batch.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ModelWrite {
+    /// The whole model becomes the values at `src` (read from thread 0
+    /// after the post-merge program).
+    Whole { model: u8, src: Vec<Loc> },
+    /// Row scatter (LRMF): each *active thread* writes its computed row
+    /// `src` to `model[index]`, applied in thread order on the tree bus.
+    Row { model: u8, index: Loc, src: Vec<Loc> },
+}
+
+/// Convergence control.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ConvergenceCheck {
+    /// Fixed number of epochs.
+    Epochs(u32),
+    /// Stop when thread 0's `slot` is non-zero at an epoch boundary, with a
+    /// cap.
+    Condition { slot: Loc, max_epochs: u32 },
+}
+
+impl ConvergenceCheck {
+    pub fn max_epochs(&self) -> u32 {
+        match self {
+            ConvergenceCheck::Epochs(n) => *n,
+            ConvergenceCheck::Condition { max_epochs, .. } => *max_epochs,
+        }
+    }
+}
+
+/// The complete compiled engine design: architecture parameters plus the
+/// program and all data bindings. Produced by `dana-compiler`, stored in
+/// the catalog, executed here.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineDesign {
+    pub num_threads: u16,
+    pub acs_per_thread: u16,
+    pub slots_per_au: u16,
+    /// Inter-AC bus lanes available per step.
+    pub bus_lanes: u16,
+    pub program: EngineProgram,
+    /// Where each element of the concatenated input vector is loaded.
+    pub input_slots: Vec<Loc>,
+    /// Where each label element is loaded.
+    pub output_slots: Vec<Loc>,
+    /// Meta constants preloaded once per deployment.
+    pub meta: Vec<(Loc, f32)>,
+    pub models: Vec<ModelDesc>,
+    pub merge: MergePlan,
+    pub model_writes: Vec<ModelWrite>,
+    pub convergence: ConvergenceCheck,
+}
+
+impl EngineDesign {
+    pub fn aus_per_thread(&self) -> u16 {
+        self.acs_per_thread * AUS_PER_AC
+    }
+
+    /// Serializes to the catalog's design blob.
+    pub fn to_blob(&self) -> String {
+        serde_json::to_string(self).expect("design serializes")
+    }
+
+    /// Restores from a catalog blob.
+    pub fn from_blob(blob: &str) -> Result<EngineDesign, String> {
+        serde_json::from_str(blob).map_err(|e| e.to_string())
+    }
+}
+
+/// Global model storage (the BRAM-resident model memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStore {
+    values: Vec<Vec<f32>>,
+}
+
+impl ModelStore {
+    /// Initializes storage for `design` with the provided initial values
+    /// (one vec per model, row-major).
+    pub fn new(design: &EngineDesign, init: Vec<Vec<f32>>) -> EngineResult<ModelStore> {
+        if init.len() != design.models.len() {
+            return Err(EngineError::ModelShape(format!(
+                "{} models supplied, design has {}",
+                init.len(),
+                design.models.len()
+            )));
+        }
+        for (v, m) in init.iter().zip(&design.models) {
+            if v.len() != m.elements() {
+                return Err(EngineError::ModelShape(format!(
+                    "model '{}' has {} elements, got {}",
+                    m.name,
+                    m.elements(),
+                    v.len()
+                )));
+            }
+        }
+        Ok(ModelStore { values: init })
+    }
+
+    /// Zero-initialized storage.
+    pub fn zeroed(design: &EngineDesign) -> ModelStore {
+        ModelStore { values: design.models.iter().map(|m| vec![0.0; m.elements()]).collect() }
+    }
+
+    pub fn model(&self, idx: usize) -> &[f32] {
+        &self.values[idx]
+    }
+
+    pub fn model_mut(&mut self, idx: usize) -> &mut Vec<f32> {
+        &mut self.values[idx]
+    }
+
+    pub fn into_values(self) -> Vec<Vec<f32>> {
+        self.values
+    }
+}
+
+/// Cycle and progress counters for one training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    pub cycles: u64,
+    pub epochs_run: u32,
+    pub batches: u64,
+    pub tuples_processed: u64,
+    pub converged_early: bool,
+    /// Breakdown (sums to ≈ cycles).
+    pub compute_cycles: u64,
+    pub merge_cycles: u64,
+    pub broadcast_cycles: u64,
+}
+
+/// The interpreter.
+pub struct ExecutionEngine {
+    design: EngineDesign,
+    /// Model-row elements gathered per tuple by the per-tuple program
+    /// (precomputed for port-contention accounting).
+    gather_elems: u64,
+}
+
+impl ExecutionEngine {
+    /// Validates the design's program against its structural constraints
+    /// and constructs the engine.
+    pub fn new(design: EngineDesign) -> EngineResult<ExecutionEngine> {
+        validate(&design)?;
+        let gather_elems = design
+            .program
+            .per_tuple
+            .iter()
+            .flat_map(|s| &s.ops)
+            .map(|o| match o {
+                MicroOp::Gather { dst, .. } => dst.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        Ok(ExecutionEngine { design, gather_elems })
+    }
+
+    pub fn design(&self) -> &EngineDesign {
+        &self.design
+    }
+
+    /// Runs training to convergence (or the epoch cap). `tuples` holds the
+    /// extracted training data (each `Vec<f32>` = inputs then labels, in
+    /// schema order); `store` holds the models and receives the result.
+    pub fn run_training(
+        &self,
+        tuples: &[Vec<f32>],
+        store: &mut ModelStore,
+    ) -> EngineResult<EngineStats> {
+        let d = &self.design;
+        let width = d.input_slots.len() + d.output_slots.len();
+        for t in tuples {
+            if t.len() != width {
+                return Err(EngineError::TupleWidth { got: t.len(), expected: width });
+            }
+        }
+        let mut mem: Vec<Vec<Vec<f32>>> = (0..d.num_threads)
+            .map(|_| vec![vec![0.0f32; d.slots_per_au as usize]; d.aus_per_thread() as usize])
+            .collect();
+        // Meta constants are configuration data: loaded once, to every thread.
+        for m in &mut mem {
+            for (loc, v) in &d.meta {
+                m[loc.au as usize][loc.slot as usize] = *v;
+            }
+        }
+        let mut stats = EngineStats::default();
+        let max_epochs = d.convergence.max_epochs();
+        for _epoch in 0..max_epochs {
+            let converged = self.run_epoch(tuples, store, &mut mem, &mut stats)?;
+            stats.epochs_run += 1;
+            if converged {
+                stats.converged_early = true;
+                break;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs one epoch; returns whether the convergence condition fired.
+    fn run_epoch(
+        &self,
+        tuples: &[Vec<f32>],
+        store: &mut ModelStore,
+        mem: &mut [Vec<Vec<f32>>],
+        stats: &mut EngineStats,
+    ) -> EngineResult<bool> {
+        let d = &self.design;
+        let threads = d.num_threads as usize;
+        for batch in tuples.chunks(threads.max(1)) {
+            self.broadcast_models(store, mem, stats);
+            // Per-tuple programs run in lockstep across active threads.
+            for (t, tuple) in batch.iter().enumerate() {
+                self.load_tuple(&mut mem[t], tuple);
+                self.exec_steps(&d.program.per_tuple, t, mem, store)?;
+            }
+            stats.compute_cycles += d.program.per_tuple_cycles();
+            // Model-memory port contention: all threads' row gathers share
+            // MODEL_PORTS BRAM ports.
+            if self.gather_elems > 0 {
+                stats.merge_cycles +=
+                    (batch.len() as u64 * self.gather_elems).div_ceil(MODEL_PORTS);
+            }
+            // Tree-bus merge into thread 0.
+            stats.merge_cycles += self.merge(batch.len(), mem);
+            // Post-merge program on thread 0.
+            self.exec_steps(&d.program.post_merge, 0, mem, store)?;
+            stats.compute_cycles += d.program.post_merge_cycles();
+            // Model write-back.
+            stats.merge_cycles += self.write_models(batch.len(), mem, store)?;
+            stats.batches += 1;
+            stats.tuples_processed += batch.len() as u64;
+        }
+        stats.cycles = stats.compute_cycles + stats.merge_cycles + stats.broadcast_cycles;
+        // Convergence condition: evaluated once per epoch (§4.4) on the
+        // state left by the final batch.
+        if let ConvergenceCheck::Condition { slot, .. } = &d.convergence {
+            let v = mem[0][slot.au as usize][slot.slot as usize];
+            return Ok(v != 0.0);
+        }
+        Ok(false)
+    }
+
+    /// Streams dense models from model memory to every thread's scratchpad.
+    fn broadcast_models(
+        &self,
+        store: &ModelStore,
+        mem: &mut [Vec<Vec<f32>>],
+        stats: &mut EngineStats,
+    ) {
+        for (mi, mdesc) in self.design.models.iter().enumerate() {
+            let Some(slots) = &mdesc.broadcast_slots else { continue };
+            let values = store.model(mi);
+            for m in mem.iter_mut() {
+                for (loc, v) in slots.iter().zip(values) {
+                    m[loc.au as usize][loc.slot as usize] = *v;
+                }
+            }
+            // One stream over the shared bus; all threads listen.
+            stats.broadcast_cycles += (values.len() as u64).div_ceil(BUS_WORDS);
+        }
+    }
+
+    fn load_tuple(&self, thread_mem: &mut [Vec<f32>], tuple: &[f32]) {
+        let d = &self.design;
+        for (k, loc) in d.input_slots.iter().enumerate() {
+            thread_mem[loc.au as usize][loc.slot as usize] = tuple[k];
+        }
+        let base = d.input_slots.len();
+        for (k, loc) in d.output_slots.iter().enumerate() {
+            thread_mem[loc.au as usize][loc.slot as usize] = tuple[base + k];
+        }
+    }
+
+    fn exec_steps(
+        &self,
+        steps: &[Step],
+        thread: usize,
+        mem: &mut [Vec<Vec<f32>>],
+        store: &mut ModelStore,
+    ) -> EngineResult<()> {
+        for step in steps {
+            // Reads happen before writes within a step (register-file
+            // semantics): gather all writes first.
+            let mut writes: Vec<(Loc, f32)> = Vec::with_capacity(step.ops.len());
+            for op in &step.ops {
+                match op {
+                    MicroOp::Alu { au, op, a, b, dst } => {
+                        let av = self.read(&mem[thread], a);
+                        let bv = self.read(&mem[thread], b);
+                        writes.push((Loc::new(*au, *dst), op.apply(av, bv)));
+                    }
+                    MicroOp::Gather { model, index, dst } => {
+                        let row = self.row_index(&mem[thread], index, *model, store)?;
+                        let mdesc = &self.design.models[*model as usize];
+                        let base = row * mdesc.cols;
+                        for (k, loc) in dst.iter().enumerate() {
+                            writes.push((*loc, store.model(*model as usize)[base + k]));
+                        }
+                    }
+                    MicroOp::Scatter { model, index, src } => {
+                        let row = self.row_index(&mem[thread], index, *model, store)?;
+                        let mdesc = &self.design.models[*model as usize];
+                        let base = row * mdesc.cols;
+                        for (k, loc) in src.iter().enumerate() {
+                            let v = mem[thread][loc.au as usize][loc.slot as usize];
+                            store.model_mut(*model as usize)[base + k] = v;
+                        }
+                    }
+                }
+            }
+            for (loc, v) in writes {
+                mem[thread][loc.au as usize][loc.slot as usize] = v;
+            }
+        }
+        Ok(())
+    }
+
+    fn read(&self, thread_mem: &[Vec<f32>], src: &Src) -> f32 {
+        match src {
+            Src::Slot(l) => thread_mem[l.au as usize][l.slot as usize],
+            Src::Const(c) => *c,
+        }
+    }
+
+    fn row_index(
+        &self,
+        thread_mem: &[Vec<f32>],
+        index: &Src,
+        model: u8,
+        _store: &ModelStore,
+    ) -> EngineResult<usize> {
+        let raw = self.read(thread_mem, index);
+        let row = raw.round() as i64;
+        let rows = self.design.models[model as usize].rows;
+        if row < 0 || row as usize >= rows {
+            return Err(EngineError::RowOutOfRange { model, row, rows });
+        }
+        Ok(row as usize)
+    }
+
+    /// Tree-bus merge of the designated variable into thread 0. Returns the
+    /// cycles charged.
+    fn merge(&self, active: usize, mem: &mut [Vec<Vec<f32>>]) -> u64 {
+        let MergePlan::Whole { op, slots } = &self.design.merge else {
+            return 0;
+        };
+        if active <= 1 {
+            return 0;
+        }
+        for loc in slots {
+            let mut acc = mem[0][loc.au as usize][loc.slot as usize];
+            for t in mem.iter().take(active).skip(1) {
+                let v = t[loc.au as usize][loc.slot as usize];
+                acc = match op {
+                    MergeOp::Sum | MergeOp::Avg => acc + v,
+                    MergeOp::Max => acc.max(v),
+                };
+            }
+            if *op == MergeOp::Avg {
+                acc /= active as f32;
+            }
+            mem[0][loc.au as usize][loc.slot as usize] = acc;
+        }
+        // Elements stream through a log-depth ALU tree.
+        slots.len() as u64 + (64 - (active as u64 - 1).leading_zeros() as u64)
+    }
+
+    /// Applies model write-backs; returns tree-bus cycles charged.
+    fn write_models(
+        &self,
+        active: usize,
+        mem: &[Vec<Vec<f32>>],
+        store: &mut ModelStore,
+    ) -> EngineResult<u64> {
+        let mut cycles = 0u64;
+        for w in &self.design.model_writes {
+            match w {
+                ModelWrite::Whole { model, src } => {
+                    let m = store.model_mut(*model as usize);
+                    debug_assert_eq!(m.len(), src.len());
+                    for (k, loc) in src.iter().enumerate() {
+                        m[k] = mem[0][loc.au as usize][loc.slot as usize];
+                    }
+                    cycles += (src.len() as u64).div_ceil(BUS_WORDS);
+                }
+                ModelWrite::Row { model, index, src } => {
+                    // Every active thread scatters its rows through the
+                    // shared model-memory ports — the LRMF merge overhead
+                    // of §7.2.
+                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    for t in 0..active {
+                        let raw = mem[t][index.au as usize][index.slot as usize];
+                        let row = raw.round() as i64;
+                        let mdesc = &self.design.models[*model as usize];
+                        if row < 0 || row as usize >= mdesc.rows {
+                            return Err(EngineError::RowOutOfRange {
+                                model: *model,
+                                row,
+                                rows: mdesc.rows,
+                            });
+                        }
+                        let base = row as usize * mdesc.cols;
+                        let m = store.model_mut(*model as usize);
+                        for (k, loc) in src.iter().enumerate() {
+                            m[base + k] = mem[t][loc.au as usize][loc.slot as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cycles)
+    }
+
+    /// Static per-batch cycle estimate (used by the compiler's performance
+    /// estimator; tests pin it to the interpreter's accounting).
+    pub fn estimated_batch_cycles(&self, active: usize) -> u64 {
+        let d = &self.design;
+        let mut c = d.program.per_tuple_cycles() + d.program.post_merge_cycles();
+        if let MergePlan::Whole { slots, .. } = &d.merge {
+            if active > 1 {
+                c += slots.len() as u64 + (64 - (active as u64 - 1).leading_zeros() as u64);
+            }
+        }
+        for m in &d.models {
+            if m.broadcast_slots.is_some() {
+                c += (m.elements() as u64).div_ceil(BUS_WORDS);
+            }
+        }
+        for w in &d.model_writes {
+            match w {
+                ModelWrite::Whole { src, .. } => c += (src.len() as u64).div_ceil(BUS_WORDS),
+                ModelWrite::Row { src, .. } => {
+                    c += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS)
+                }
+            }
+        }
+        if self.gather_elems > 0 {
+            c += (active as u64 * self.gather_elems).div_ceil(MODEL_PORTS);
+        }
+        c
+    }
+}
+
+/// Structural validation of a design's program.
+fn validate(d: &EngineDesign) -> EngineResult<()> {
+    let aus = d.aus_per_thread();
+    let check_loc = |loc: &Loc| -> EngineResult<()> {
+        if loc.au >= aus {
+            return Err(EngineError::BadAu { au: loc.au, aus_per_thread: aus });
+        }
+        if loc.slot >= d.slots_per_au {
+            return Err(EngineError::BadSlot { slot: loc.slot, slots: d.slots_per_au });
+        }
+        Ok(())
+    };
+    let check_src = |src: &Src| -> EngineResult<()> {
+        if let Src::Slot(l) = src {
+            check_loc(l)?;
+        }
+        Ok(())
+    };
+    for (si, step) in d.program.per_tuple.iter().chain(&d.program.post_merge).enumerate() {
+        let mut used: Vec<u16> = Vec::new();
+        for op in &step.ops {
+            for au in op.occupied_aus() {
+                if au >= aus {
+                    return Err(EngineError::BadAu { au, aus_per_thread: aus });
+                }
+                if used.contains(&au) {
+                    return Err(EngineError::AuConflict { step: si, au });
+                }
+                used.push(au);
+            }
+            match op {
+                MicroOp::Alu { au, op: alu, a, b, dst } => {
+                    check_src(a)?;
+                    check_src(b)?;
+                    check_loc(&Loc::new(*au, *dst))?;
+                    if *alu != AluOp::Mov {
+                        for s in [a, b] {
+                            if let Src::Slot(l) = s {
+                                if l.ac() != au / AUS_PER_AC {
+                                    return Err(EngineError::CrossClusterRead {
+                                        step: si,
+                                        au: *au,
+                                        src_au: l.au,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                MicroOp::Gather { model, index, dst } => {
+                    if *model as usize >= d.models.len() {
+                        return Err(EngineError::BadModel(*model));
+                    }
+                    check_src(index)?;
+                    for l in dst {
+                        check_loc(l)?;
+                    }
+                }
+                MicroOp::Scatter { model, index, src } => {
+                    if *model as usize >= d.models.len() {
+                        return Err(EngineError::BadModel(*model));
+                    }
+                    check_src(index)?;
+                    for l in src {
+                        check_loc(l)?;
+                    }
+                }
+            }
+        }
+        let movs = step.cross_cluster_movs();
+        if movs > d.bus_lanes as usize {
+            return Err(EngineError::BusOversubscribed {
+                step: si,
+                movs,
+                lanes: d.bus_lanes as usize,
+            });
+        }
+    }
+    for (loc, _) in &d.meta {
+        check_loc(loc)?;
+    }
+    for loc in d.input_slots.iter().chain(&d.output_slots) {
+        check_loc(loc)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-scheduled 2-feature linear regression:
+    ///   per-tuple:  p_k = w_k * x_k; s = p_0 + p_1; er = s − y; g_k = er·x_k
+    ///   merge:      Σ g over threads
+    ///   post-merge: w_k ← w_k − lr·g_k
+    /// Slot map (per AU): 0 = x_k, 1 = w_k, 2 = p/er/g scratch, 3 = y,
+    /// 4 = updated w.
+    fn linreg_design(num_threads: u16) -> EngineDesign {
+        let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
+        let s = |au, slot| Src::Slot(Loc::new(au, slot));
+        let per_tuple = vec![
+            Step { ops: vec![alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2), alu(1, AluOp::Mul, s(1, 0), s(1, 1), 2)] },
+            Step { ops: vec![alu(0, AluOp::Add, s(0, 2), s(1, 2), 2)] },
+            Step { ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)] },
+            Step { ops: vec![alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2), alu(1, AluOp::Mul, s(0, 2), s(1, 0), 2)] },
+        ];
+        let lr = 0.05f32;
+        let post_merge = vec![
+            Step {
+                ops: vec![
+                    alu(0, AluOp::Mul, Src::Const(lr), s(0, 2), 2),
+                    alu(1, AluOp::Mul, Src::Const(lr), s(1, 2), 2),
+                ],
+            },
+            Step {
+                ops: vec![
+                    alu(0, AluOp::Sub, s(0, 1), s(0, 2), 4),
+                    alu(1, AluOp::Sub, s(1, 1), s(1, 2), 4),
+                ],
+            },
+        ];
+        EngineDesign {
+            num_threads,
+            acs_per_thread: 1,
+            slots_per_au: 8,
+            bus_lanes: 1,
+            program: EngineProgram { per_tuple, post_merge },
+            input_slots: vec![Loc::new(0, 0), Loc::new(1, 0)],
+            output_slots: vec![Loc::new(0, 3)],
+            meta: vec![],
+            models: vec![ModelDesc {
+                name: "w".into(),
+                rows: 1,
+                cols: 2,
+                broadcast_slots: Some(vec![Loc::new(0, 1), Loc::new(1, 1)]),
+            }],
+            merge: MergePlan::Whole {
+                op: MergeOp::Sum,
+                slots: vec![Loc::new(0, 2), Loc::new(1, 2)],
+            },
+            model_writes: vec![ModelWrite::Whole { model: 0, src: vec![Loc::new(0, 4), Loc::new(1, 4)] }],
+            convergence: ConvergenceCheck::Epochs(1),
+        }
+    }
+
+    /// Software reference for the same batched GD step.
+    fn reference_epoch(tuples: &[Vec<f32>], w: &mut [f32; 2], threads: usize, lr: f32) {
+        for batch in tuples.chunks(threads) {
+            let mut g = [0.0f32; 2];
+            for t in batch {
+                let s = w[0] * t[0] + w[1] * t[1];
+                let er = s - t[2];
+                g[0] += er * t[0];
+                g[1] += er * t[1];
+            }
+            w[0] -= lr * g[0];
+            w[1] -= lr * g[1];
+        }
+    }
+
+    fn make_tuples(n: usize) -> Vec<Vec<f32>> {
+        // y = 2x0 − x1 with deterministic inputs.
+        (0..n)
+            .map(|k| {
+                let x0 = (k % 7) as f32 * 0.25;
+                let x1 = (k % 5) as f32 * 0.5 - 1.0;
+                vec![x0, x1, 2.0 * x0 - x1]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_software_reference_single_thread() {
+        let design = linreg_design(1);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let tuples = make_tuples(40);
+        let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        engine.run_training(&tuples, &mut store).unwrap();
+        let mut w = [0.0f32; 2];
+        reference_epoch(&tuples, &mut w, 1, 0.05);
+        let got = store.model(0);
+        assert!((got[0] - w[0]).abs() < 1e-5, "{got:?} vs {w:?}");
+        assert!((got[1] - w[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn engine_matches_software_reference_multi_thread() {
+        for threads in [2u16, 4, 8] {
+            let design = linreg_design(threads);
+            let engine = ExecutionEngine::new(design.clone()).unwrap();
+            let tuples = make_tuples(50); // non-divisible: final partial batch
+            let mut store = ModelStore::new(&design, vec![vec![0.1, -0.1]]).unwrap();
+            let stats = engine.run_training(&tuples, &mut store).unwrap();
+            let mut w = [0.1f32, -0.1];
+            reference_epoch(&tuples, &mut w, threads as usize, 0.05);
+            let got = store.model(0);
+            assert!((got[0] - w[0]).abs() < 1e-4, "threads {threads}: {got:?} vs {w:?}");
+            assert!((got[1] - w[1]).abs() < 1e-4);
+            assert_eq!(stats.tuples_processed, 50);
+            assert_eq!(stats.batches, (50 + threads as u64 - 1) / threads as u64);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let design = linreg_design(4);
+        let mut design = design;
+        design.convergence = ConvergenceCheck::Epochs(30);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let tuples = make_tuples(64);
+        let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        engine.run_training(&tuples, &mut store).unwrap();
+        let w = store.model(0);
+        // True model is (2, −1).
+        assert!((w[0] - 2.0).abs() < 0.1, "w = {w:?}");
+        assert!((w[1] + 1.0).abs() < 0.1, "w = {w:?}");
+    }
+
+    #[test]
+    fn more_threads_fewer_cycles() {
+        let tuples = make_tuples(256);
+        let mut cycles = Vec::new();
+        for threads in [1u16, 4, 16] {
+            let design = linreg_design(threads);
+            let engine = ExecutionEngine::new(design.clone()).unwrap();
+            let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+            let stats = engine.run_training(&tuples, &mut store).unwrap();
+            cycles.push(stats.cycles);
+        }
+        assert!(cycles[1] < cycles[0], "{cycles:?}");
+        assert!(cycles[2] < cycles[1], "{cycles:?}");
+    }
+
+    #[test]
+    fn stats_match_static_estimate() {
+        let design = linreg_design(4);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let tuples = make_tuples(16); // 4 full batches
+        let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        let stats = engine.run_training(&tuples, &mut store).unwrap();
+        let per_batch = engine.estimated_batch_cycles(4);
+        assert_eq!(stats.cycles, 4 * per_batch);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        // One AU; gather row j of a 4×2 model, add 1 to each element,
+        // scatter it back.
+        let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
+        let s = |au, slot| Src::Slot(Loc::new(au, slot));
+        let design = EngineDesign {
+            num_threads: 1,
+            acs_per_thread: 1,
+            slots_per_au: 8,
+            bus_lanes: 1,
+            program: EngineProgram {
+                per_tuple: vec![
+                    Step {
+                        ops: vec![MicroOp::Gather {
+                            model: 0,
+                            index: s(0, 0),
+                            dst: vec![Loc::new(0, 1), Loc::new(0, 2)],
+                        }],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Add, s(0, 1), Src::Const(1.0), 1)],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Add, s(0, 2), Src::Const(1.0), 2)],
+                    },
+                    Step {
+                        ops: vec![MicroOp::Scatter {
+                            model: 0,
+                            index: s(0, 0),
+                            src: vec![Loc::new(0, 1), Loc::new(0, 2)],
+                        }],
+                    },
+                ],
+                post_merge: vec![],
+            },
+            input_slots: vec![Loc::new(0, 0)],
+            output_slots: vec![],
+            meta: vec![],
+            models: vec![ModelDesc { name: "L".into(), rows: 4, cols: 2, broadcast_slots: None }],
+            merge: MergePlan::None,
+            model_writes: vec![],
+            convergence: ConvergenceCheck::Epochs(1),
+        };
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let init = vec![(0..8).map(|v| v as f32).collect::<Vec<f32>>()];
+        let mut store = ModelStore::new(&design, init).unwrap();
+        // Touch rows 2 and 0.
+        engine.run_training(&[vec![2.0], vec![0.0]], &mut store).unwrap();
+        assert_eq!(store.model(0), &[1.0, 2.0, 2.0, 3.0, 5.0, 6.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_out_of_range_is_an_error() {
+        let design = EngineDesign {
+            num_threads: 1,
+            acs_per_thread: 1,
+            slots_per_au: 4,
+            bus_lanes: 1,
+            program: EngineProgram {
+                per_tuple: vec![Step {
+                    ops: vec![MicroOp::Gather {
+                        model: 0,
+                        index: Src::Slot(Loc::new(0, 0)),
+                        dst: vec![Loc::new(0, 1)],
+                    }],
+                }],
+                post_merge: vec![],
+            },
+            input_slots: vec![Loc::new(0, 0)],
+            output_slots: vec![],
+            meta: vec![],
+            models: vec![ModelDesc { name: "L".into(), rows: 2, cols: 1, broadcast_slots: None }],
+            merge: MergePlan::None,
+            model_writes: vec![],
+            convergence: ConvergenceCheck::Epochs(1),
+        };
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let mut store = ModelStore::zeroed(&design);
+        let err = engine.run_training(&[vec![5.0]], &mut store).unwrap_err();
+        assert!(matches!(err, EngineError::RowOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validation_catches_au_conflict() {
+        let mut design = linreg_design(1);
+        design.program.per_tuple[0].ops.push(MicroOp::Alu {
+            au: 0,
+            op: AluOp::Add,
+            a: Src::Const(0.0),
+            b: Src::Const(0.0),
+            dst: 5,
+        });
+        assert!(matches!(
+            ExecutionEngine::new(design),
+            Err(EngineError::AuConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_cross_cluster_read() {
+        let mut design = linreg_design(1);
+        design.acs_per_thread = 2;
+        // AU 0 (cluster 0) adding from AU 9 (cluster 1) without a Mov.
+        design.program.per_tuple[0].ops[0] = MicroOp::Alu {
+            au: 0,
+            op: AluOp::Add,
+            a: Src::Slot(Loc::new(9, 0)),
+            b: Src::Const(0.0),
+            dst: 0,
+        };
+        assert!(matches!(
+            ExecutionEngine::new(design),
+            Err(EngineError::CrossClusterRead { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bus_oversubscription() {
+        let mut design = linreg_design(1);
+        design.acs_per_thread = 2;
+        design.bus_lanes = 1;
+        design.program.per_tuple[0] = Step {
+            ops: vec![
+                MicroOp::Alu { au: 0, op: AluOp::Mov, a: Src::Slot(Loc::new(8, 0)), b: Src::Const(0.0), dst: 0 },
+                MicroOp::Alu { au: 1, op: AluOp::Mov, a: Src::Slot(Loc::new(9, 0)), b: Src::Const(0.0), dst: 0 },
+            ],
+        };
+        assert!(matches!(
+            ExecutionEngine::new(design),
+            Err(EngineError::BusOversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_slot_and_au() {
+        let mut design = linreg_design(1);
+        design.program.per_tuple[0].ops[0] = MicroOp::Alu {
+            au: 0,
+            op: AluOp::Add,
+            a: Src::Slot(Loc::new(0, 99)),
+            b: Src::Const(0.0),
+            dst: 0,
+        };
+        assert!(matches!(ExecutionEngine::new(design), Err(EngineError::BadSlot { .. })));
+        let mut design = linreg_design(1);
+        design.program.per_tuple[0].ops[0] = MicroOp::Alu {
+            au: 42,
+            op: AluOp::Add,
+            a: Src::Const(0.0),
+            b: Src::Const(0.0),
+            dst: 0,
+        };
+        assert!(matches!(ExecutionEngine::new(design), Err(EngineError::BadAu { .. })));
+    }
+
+    #[test]
+    fn tuple_width_checked() {
+        let design = linreg_design(1);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let mut store = ModelStore::zeroed(&design);
+        let err = engine.run_training(&[vec![1.0, 2.0]], &mut store).unwrap_err();
+        assert!(matches!(err, EngineError::TupleWidth { got: 2, expected: 3 }));
+    }
+
+    #[test]
+    fn convergence_condition_stops_early() {
+        // Condition slot: constant 1.0 written every batch → converges after
+        // epoch 1 despite a 100-epoch cap.
+        let mut design = linreg_design(1);
+        design.program.post_merge.push(Step {
+            ops: vec![MicroOp::Alu {
+                au: 0,
+                op: AluOp::Mov,
+                a: Src::Const(1.0),
+                b: Src::Const(0.0),
+                dst: 6,
+            }],
+        });
+        design.convergence = ConvergenceCheck::Condition { slot: Loc::new(0, 6), max_epochs: 100 };
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        let stats = engine.run_training(&make_tuples(8), &mut store).unwrap();
+        assert_eq!(stats.epochs_run, 1);
+        assert!(stats.converged_early);
+    }
+
+    #[test]
+    fn design_blob_round_trips() {
+        let design = linreg_design(4);
+        let blob = design.to_blob();
+        let back = EngineDesign::from_blob(&blob).unwrap();
+        assert_eq!(design, back);
+    }
+
+    #[test]
+    fn model_store_shape_checked() {
+        let design = linreg_design(1);
+        assert!(ModelStore::new(&design, vec![vec![0.0; 3]]).is_err());
+        assert!(ModelStore::new(&design, vec![]).is_err());
+        assert!(ModelStore::new(&design, vec![vec![0.0; 2]]).is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! Execution-engine error types.
+
+use std::fmt;
+
+/// Errors from validating or executing engine programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An AU index exceeds the per-thread allocation.
+    BadAu { au: u16, aus_per_thread: u16 },
+    /// A memory slot exceeds the per-AU scratchpad.
+    BadSlot { slot: u16, slots: u16 },
+    /// Two micro-ops target the same AU in one step.
+    AuConflict { step: usize, au: u16 },
+    /// A non-Mov micro-op reads across cluster boundaries.
+    CrossClusterRead { step: usize, au: u16, src_au: u16 },
+    /// More cross-cluster transfers in a step than bus lanes.
+    BusOversubscribed { step: usize, movs: usize, lanes: usize },
+    /// A gather/scatter references an unknown model id.
+    BadModel(u8),
+    /// A gathered/scattered row index is out of the model's range.
+    RowOutOfRange { model: u8, row: i64, rows: usize },
+    /// Model store shape disagrees with the design.
+    ModelShape(String),
+    /// Tuple width disagrees with the design's input+output slots.
+    TupleWidth { got: usize, expected: usize },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadAu { au, aus_per_thread } => {
+                write!(f, "AU {au} out of range ({aus_per_thread} per thread)")
+            }
+            EngineError::BadSlot { slot, slots } => {
+                write!(f, "slot {slot} out of range ({slots} per AU)")
+            }
+            EngineError::AuConflict { step, au } => {
+                write!(f, "step {step}: AU {au} issued two operations")
+            }
+            EngineError::CrossClusterRead { step, au, src_au } => {
+                write!(f, "step {step}: AU {au} reads AU {src_au} across clusters without a Mov")
+            }
+            EngineError::BusOversubscribed { step, movs, lanes } => {
+                write!(f, "step {step}: {movs} cross-cluster transfers exceed {lanes} bus lanes")
+            }
+            EngineError::BadModel(m) => write!(f, "unknown model id {m}"),
+            EngineError::RowOutOfRange { model, row, rows } => {
+                write!(f, "model {model}: row {row} outside 0..{rows}")
+            }
+            EngineError::ModelShape(msg) => write!(f, "model shape: {msg}"),
+            EngineError::TupleWidth { got, expected } => {
+                write!(f, "tuple has {got} values, engine expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+pub type EngineResult<T> = Result<T, EngineError>;

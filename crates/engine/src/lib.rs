@@ -1,0 +1,43 @@
+//! DAnA's execution engine (§5.2).
+//!
+//! The engine is a hierarchy: **threads** (architecturally identical, each
+//! processing a different training tuple) contain **analytic clusters**
+//! (ACs; the control hubs of Fig. 7a), each a fixed group of **8 analytic
+//! units** (AUs; the pipelined compute elements of Fig. 7b). Threads'
+//! results combine on a "computationally-enabled tree bus in accordance to
+//! the merge function".
+//!
+//! The paper's Appendix B (the execution-engine ISA listing) is not part of
+//! the available text, so this crate defines a concrete ISA faithful to
+//! everything §5.2 *does* specify:
+//!
+//! * **Variable-Length Selective SIMD**: each scheduled [`isa::Step`] is an
+//!   AC-level instruction; AUs not mentioned in a step execute a NOP
+//!   ("Each AU within a cluster is expected to execute either a cluster
+//!   level instruction ... or a no-operation"); per-AU source/destination
+//!   specifiers ride along ("Finer details about the source type, source
+//!   operands, and destination type can be stored in each individual AU").
+//! * **Locality rules**: an AU reads operands from its own scratchpad or
+//!   its cluster-mates for free (neighbor links + intra-AC shared bus);
+//!   cross-cluster values must move via explicit `Mov` transfers on the
+//!   inter-AC bus, with a per-step lane budget — the structural hazard the
+//!   scheduler must honor, checked at execution time here.
+//! * **ALU repertoire**: `+ − × ÷ > <`, `sigmoid`, `gaussian`, `sqrt`
+//!   (Table 1's operation set), plus row `Gather`/`Scatter` against model
+//!   memory for LRMF.
+//!
+//! The interpreter is functional *and* cycle-accurate: it computes real f32
+//! results (trained models are checked against software references in the
+//! integration tests) while charging the static schedule's cycle cost —
+//! the same cost the compiler's performance estimator predicts.
+
+pub mod engine;
+pub mod error;
+pub mod isa;
+
+pub use engine::{
+    ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore,
+    ModelWrite,
+};
+pub use error::{EngineError, EngineResult};
+pub use isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};

@@ -1,0 +1,25 @@
+//! FPGA platform model for the DAnA reproduction.
+//!
+//! The paper (§7, Table 4) evaluates DAnA on a Xilinx Virtex UltraScale+
+//! VU9P clocked at 150 MHz. This crate models the *platform* side of that
+//! setup:
+//!
+//! * [`spec::FpgaSpec`] — the resource budget (LUTs, flip-flops, DSP slices,
+//!   BRAM capacity) that the hardware generator divides between the access
+//!   engine (page buffers + Striders) and the execution engine (AUs/ACs).
+//! * [`axi::AxiLink`] — the host↔FPGA link (§5.1.1 uses AXI) with an
+//!   effective-bandwidth model used for page and configuration transfers.
+//! * [`clock::Clock`] — cycle↔time conversion for a fixed clock domain.
+//!
+//! Nothing in this crate executes instructions; the access engine and
+//! execution engine live in `dana-strider` and `dana-engine`. This crate is
+//! the single source of truth for *how much hardware there is* and *how fast
+//! bytes move onto the chip*.
+
+pub mod axi;
+pub mod clock;
+pub mod spec;
+
+pub use axi::AxiLink;
+pub use clock::{Clock, Cycles, Seconds};
+pub use spec::{FpgaSpec, ResourceBudget};

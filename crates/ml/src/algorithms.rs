@@ -1,0 +1,300 @@
+//! Reference trainers for the paper's four algorithms (§2.1, Table 3).
+//!
+//! Semantics match the DSL zoo exactly (same update rules, same batched
+//! merge): the integration tests hold the FPGA engine's trained models to
+//! these references.
+
+use dana_dsl::zoo::Algorithm;
+
+use crate::linalg::{axpy, dot, sigmoid};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    pub algorithm: Algorithm,
+    pub learning_rate: f32,
+    /// Batch size: gradients of a batch are summed with `lr/batch` scaling
+    /// (identical to the DSL's merge-coefficient semantics).
+    pub batch: usize,
+    pub epochs: u32,
+    /// LRMF factorization rank (ignored by the dense algorithms).
+    pub rank: usize,
+    /// LRMF matrix shape when known from the catalog; otherwise inferred
+    /// from the data's maximum indices.
+    pub lrmf_dims: Option<(usize, usize)>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            algorithm: Algorithm::Linear,
+            learning_rate: 0.1,
+            batch: 8,
+            epochs: 1,
+            rank: 10,
+            lrmf_dims: None,
+        }
+    }
+}
+
+/// A dense weight vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseModel(pub Vec<f32>);
+
+/// LRMF factors: `L` is rows×rank, `R` is cols×rank (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrmfModel {
+    pub l: Vec<f32>,
+    pub r: Vec<f32>,
+    pub rows: usize,
+    pub cols: usize,
+    pub rank: usize,
+}
+
+/// Deterministic small non-zero factor initialization: SGD on an all-zero
+/// factorization cannot escape the saddle point. Shared by every LRMF
+/// runner (software references and the FPGA engine's model store) so their
+/// trained factors are comparable.
+pub fn default_lrmf_init(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| 0.1 + 0.01 * ((i * 2654435761usize) % 97) as f32 / 97.0)
+        .collect()
+}
+
+impl LrmfModel {
+    pub fn zeroed(rows: usize, cols: usize, rank: usize) -> LrmfModel {
+        LrmfModel {
+            l: default_lrmf_init(rows * rank),
+            r: default_lrmf_init(cols * rank),
+            rows,
+            cols,
+            rank,
+        }
+    }
+
+    pub fn predict(&self, i: usize, j: usize) -> f32 {
+        dot(
+            &self.l[i * self.rank..(i + 1) * self.rank],
+            &self.r[j * self.rank..(j + 1) * self.rank],
+        )
+    }
+}
+
+/// Result of a reference training run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainedModel {
+    Dense(DenseModel),
+    Lrmf(LrmfModel),
+}
+
+impl TrainedModel {
+    pub fn as_dense(&self) -> &DenseModel {
+        match self {
+            TrainedModel::Dense(m) => m,
+            TrainedModel::Lrmf(_) => panic!("expected dense model"),
+        }
+    }
+
+    pub fn as_lrmf(&self) -> &LrmfModel {
+        match self {
+            TrainedModel::Lrmf(m) => m,
+            TrainedModel::Dense(_) => panic!("expected LRMF model"),
+        }
+    }
+}
+
+/// Trains the reference model. `tuples` hold features-then-label for the
+/// dense algorithms, or `(i, j, rating)` for LRMF.
+pub fn train_reference(tuples: &[Vec<f32>], cfg: &TrainConfig) -> TrainedModel {
+    match cfg.algorithm {
+        Algorithm::Linear => TrainedModel::Dense(train_dense(tuples, cfg, grad_linear)),
+        Algorithm::Logistic => TrainedModel::Dense(train_dense(tuples, cfg, grad_logistic)),
+        Algorithm::Svm => TrainedModel::Dense(train_dense(tuples, cfg, grad_svm)),
+        Algorithm::Lrmf => TrainedModel::Lrmf(train_lrmf(tuples, cfg)),
+    }
+}
+
+/// Per-tuple gradient contribution: adds the gradient of one example into
+/// `g` and returns nothing. `sign = +1` means the model step is `w -= lr·g`.
+type GradFn = fn(w: &[f32], x: &[f32], y: f32, g: &mut [f32]);
+
+fn grad_linear(w: &[f32], x: &[f32], y: f32, g: &mut [f32]) {
+    let er = dot(w, x) - y;
+    axpy(er, x, g);
+}
+
+fn grad_logistic(w: &[f32], x: &[f32], y: f32, g: &mut [f32]) {
+    let er = sigmoid(dot(w, x)) - y;
+    axpy(er, x, g);
+}
+
+fn grad_svm(w: &[f32], x: &[f32], y: f32, g: &mut [f32]) {
+    // Hinge sub-gradient: −y·x inside the margin (labels ±1).
+    if y * dot(w, x) < 1.0 {
+        axpy(-y, x, g);
+    }
+}
+
+fn train_dense(tuples: &[Vec<f32>], cfg: &TrainConfig, grad: GradFn) -> DenseModel {
+    assert!(!tuples.is_empty(), "empty training set");
+    let d = tuples[0].len() - 1;
+    let mut w = vec![0.0f32; d];
+    let step = cfg.learning_rate / cfg.batch as f32;
+    let mut g = vec![0.0f32; d];
+    for _ in 0..cfg.epochs {
+        for batch in tuples.chunks(cfg.batch.max(1)) {
+            g.iter_mut().for_each(|v| *v = 0.0);
+            for t in batch {
+                grad(&w, &t[..d], t[d], &mut g);
+            }
+            axpy(-step, &g, &mut w);
+        }
+    }
+    DenseModel(w)
+}
+
+fn train_lrmf(tuples: &[Vec<f32>], cfg: &TrainConfig) -> LrmfModel {
+    assert!(!tuples.is_empty(), "empty training set");
+    let (rows, cols) = cfg.lrmf_dims.unwrap_or_else(|| {
+        (
+            tuples.iter().map(|t| t[0] as usize).max().unwrap_or(0) + 1,
+            tuples.iter().map(|t| t[1] as usize).max().unwrap_or(0) + 1,
+        )
+    });
+    let mut m = LrmfModel::zeroed(rows, cols, cfg.rank);
+    let lr = cfg.learning_rate;
+    for _ in 0..cfg.epochs {
+        for t in tuples {
+            let (i, j, y) = (t[0] as usize, t[1] as usize, t[2]);
+            let e = m.predict(i, j) - y;
+            let lbase = i * cfg.rank;
+            let rbase = j * cfg.rank;
+            for k in 0..cfg.rank {
+                let lv = m.l[lbase + k];
+                let rv = m.r[rbase + k];
+                m.l[lbase + k] = lv - lr * e * rv;
+                m.r[rbase + k] = rv - lr * e * lv;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn linear_tuples(n: usize, d: usize) -> Vec<Vec<f32>> {
+        let truth: Vec<f32> = (0..d).map(|i| (i as f32) * 0.3 - 0.5).collect();
+        (0..n)
+            .map(|k| {
+                let x: Vec<f32> = (0..d).map(|i| (((k * 13 + i * 7) % 17) as f32 - 8.0) / 8.0).collect();
+                let y = dot(&x, &truth);
+                let mut t = x;
+                t.push(y);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_regression_recovers_truth() {
+        let tuples = linear_tuples(200, 5);
+        let cfg = TrainConfig { epochs: 60, learning_rate: 0.3, ..Default::default() };
+        let m = train_reference(&tuples, &cfg);
+        let w = &m.as_dense().0;
+        let truth: Vec<f32> = (0..5).map(|i| (i as f32) * 0.3 - 0.5).collect();
+        for (a, b) in w.iter().zip(&truth) {
+            assert!((a - b).abs() < 0.05, "{w:?} vs {truth:?}");
+        }
+    }
+
+    #[test]
+    fn logistic_separates_classes() {
+        // Class = x0 > 0.
+        let tuples: Vec<Vec<f32>> = (0..300)
+            .map(|k| {
+                let x0 = ((k % 21) as f32 - 10.0) / 10.0;
+                let x1 = ((k % 13) as f32 - 6.0) / 6.0;
+                vec![x0, x1, if x0 > 0.0 { 1.0 } else { 0.0 }]
+            })
+            .collect();
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Logistic,
+            epochs: 100,
+            learning_rate: 0.8,
+            ..Default::default()
+        };
+        let m = train_reference(&tuples, &cfg);
+        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, false);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svm_separates_classes() {
+        // Labels ±1, margin on x0.
+        let tuples: Vec<Vec<f32>> = (0..300)
+            .map(|k| {
+                let x0 = ((k % 21) as f32 - 10.0) / 5.0;
+                let x1 = ((k % 7) as f32 - 3.0) / 3.0;
+                vec![x0, x1, if x0 > 0.0 { 1.0 } else { -1.0 }]
+            })
+            .collect();
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Svm,
+            epochs: 60,
+            learning_rate: 0.2,
+            ..Default::default()
+        };
+        let m = train_reference(&tuples, &cfg);
+        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, true);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn lrmf_reduces_rmse() {
+        // Ratings from a planted rank-2 structure.
+        let (rows, cols) = (20usize, 15usize);
+        let tuples: Vec<Vec<f32>> = (0..rows)
+            .flat_map(|i| {
+                (0..cols).map(move |j| {
+                    let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
+                    vec![i as f32, j as f32, r]
+                })
+            })
+            .collect();
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Lrmf,
+            epochs: 40,
+            learning_rate: 0.03,
+            rank: 6,
+            ..Default::default()
+        };
+        let before = metrics::lrmf_rmse(&LrmfModel::zeroed(rows, cols, 6), &tuples);
+        let m = train_reference(&tuples, &cfg);
+        let after = metrics::lrmf_rmse(m.as_lrmf(), &tuples);
+        assert!(after < before * 0.5, "rmse {before} → {after}");
+    }
+
+    #[test]
+    fn batch_size_one_is_pure_sgd() {
+        let tuples = linear_tuples(64, 3);
+        let b1 = train_reference(
+            &tuples,
+            &TrainConfig { batch: 1, epochs: 3, learning_rate: 0.1, ..Default::default() },
+        );
+        let b8 = train_reference(
+            &tuples,
+            &TrainConfig { batch: 8, epochs: 3, learning_rate: 0.1, ..Default::default() },
+        );
+        // Different optimizers: both converge but produce different weights.
+        assert_ne!(b1.as_dense().0, b8.as_dense().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let _ = train_reference(&[], &TrainConfig::default());
+    }
+}

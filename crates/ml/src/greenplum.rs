@@ -1,0 +1,340 @@
+//! The MADlib + Greenplum baseline: segment-parallel training.
+//!
+//! Greenplum hash-distributes the table across N segment processes; each
+//! MADlib iteration trains per-segment models in parallel and averages them
+//! (model averaging is MADlib's distributed IGD strategy). The paper sweeps
+//! 4/8/16 segments and settles on 8 (§7, Fig. 13).
+//!
+//! Functional execution really is parallel here (crossbeam scoped threads,
+//! one per segment); simulated time still comes from the cost model —
+//! wall-clock of the simulation host would be meaningless.
+
+use crossbeam::thread;
+
+use dana_storage::{BufferPool, DiskModel, HeapFile, HeapId, PageId, Tuple};
+
+use crate::algorithms::{train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel};
+use crate::cpu::{CpuModel, Seconds};
+use crate::linalg;
+
+/// Timing + result of a Greenplum run.
+#[derive(Debug, Clone)]
+pub struct GreenplumReport {
+    pub segments: u32,
+    pub epochs: u32,
+    pub cpu_seconds: Seconds,
+    pub io_seconds: Seconds,
+    pub total_seconds: Seconds,
+    pub model: TrainedModel,
+}
+
+/// The executor.
+pub struct GreenplumExecutor {
+    cpu: CpuModel,
+    disk: DiskModel,
+    segments: u32,
+}
+
+impl GreenplumExecutor {
+    pub fn new(cpu: CpuModel, disk: DiskModel, segments: u32) -> GreenplumExecutor {
+        assert!(segments >= 1);
+        GreenplumExecutor { cpu, disk, segments }
+    }
+
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Trains over `heap`, reading through `pool` (I/O accounting), with
+    /// per-epoch model averaging across segments.
+    pub fn train(
+        &self,
+        pool: &mut BufferPool,
+        heap_id: HeapId,
+        heap: &HeapFile,
+        cfg: &TrainConfig,
+    ) -> dana_storage::StorageResult<GreenplumReport> {
+        let start_stats = pool.stats();
+        // Load + round-robin distribute (Greenplum's hash distribution is
+        // uniform for these keys; round-robin is the same workload shape).
+        let mut partitions: Vec<Vec<Vec<f32>>> = vec![Vec::new(); self.segments as usize];
+        let mut k = 0usize;
+        for page_no in 0..heap.page_count() {
+            let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
+            let page = dana_storage::HeapPage::from_bytes(
+                pool.frame_bytes(frame).to_vec(),
+                *heap.layout(),
+            )?;
+            for slot in 0..page.tuple_count() {
+                let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
+                partitions[k % self.segments as usize]
+                    .push(t.values.iter().map(|d| d.as_f32()).collect());
+                k += 1;
+            }
+            pool.unpin(frame);
+        }
+        // Epochs re-scan per segment; charge the pool for the re-reads the
+        // way MADlib's iterations do (epochs beyond the first hit cache if
+        // the table fits).
+        for _ in 1..cfg.epochs.max(1) {
+            for page_no in 0..heap.page_count() {
+                let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
+                pool.unpin(frame);
+            }
+        }
+
+        let model = self.model_averaged_train(&partitions, cfg);
+
+        let io_seconds = pool.stats().io_seconds - start_stats.io_seconds;
+        let width = heap.schema().len() - 1;
+        let model_bytes = model_bytes(&model);
+        let cpu_seconds = cfg.epochs.max(1) as f64
+            * self.cpu.greenplum_epoch_seconds(
+                cfg.algorithm,
+                heap.tuple_count(),
+                width,
+                cfg.rank,
+                heap.layout().tuple_bytes,
+                heap.page_count() as u64,
+                self.segments,
+                model_bytes,
+            );
+        Ok(GreenplumReport {
+            segments: self.segments,
+            epochs: cfg.epochs.max(1),
+            cpu_seconds,
+            io_seconds,
+            total_seconds: cpu_seconds + io_seconds,
+            model,
+        })
+    }
+
+    /// One epoch of segment-local training then averaging, repeated.
+    fn model_averaged_train(&self, partitions: &[Vec<Vec<f32>>], cfg: &TrainConfig) -> TrainedModel {
+        let live: Vec<&Vec<Vec<f32>>> = partitions.iter().filter(|p| !p.is_empty()).collect();
+        assert!(!live.is_empty(), "no training data");
+        // Segment-local single-epoch configs.
+        let seg_cfg = TrainConfig { epochs: 1, ..*cfg };
+        let mut global: Option<TrainedModel> = None;
+        for _ in 0..cfg.epochs.max(1) {
+            // Real parallelism across segments (each trains a fresh epoch
+            // from the current global model — model averaging restarts from
+            // the average, so per-epoch retraining from the average is the
+            // faithful schedule; here segments re-train from scratch on
+            // epoch 1 then from the averaged model's warm start thereafter,
+            // which for the reference trainers means re-running an epoch of
+            // updates beginning at the averaged weights).
+            let results: Vec<TrainedModel> = thread::scope(|s| {
+                let global_ref = &global;
+                let handles: Vec<_> = live
+                    .iter()
+                    .map(|part| {
+                        s.spawn(move |_| train_segment(part, &seg_cfg, global_ref.as_ref()))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("segment thread")).collect()
+            })
+            .expect("crossbeam scope");
+            global = Some(average_models(&results));
+        }
+        global.expect("at least one epoch")
+    }
+}
+
+/// One segment's epoch: warm-start from the global model when present.
+fn train_segment(
+    tuples: &[Vec<f32>],
+    cfg: &TrainConfig,
+    warm: Option<&TrainedModel>,
+) -> TrainedModel {
+    match warm {
+        None => train_reference(tuples, cfg),
+        Some(TrainedModel::Dense(m)) => {
+            // Continue from the averaged weights: replay one epoch of
+            // updates starting at `m`.
+            let mut w = m.0.clone();
+            let d = w.len();
+            let step = cfg.learning_rate / cfg.batch.max(1) as f32;
+            let mut g = vec![0.0f32; d];
+            for batch in tuples.chunks(cfg.batch.max(1)) {
+                g.iter_mut().for_each(|v| *v = 0.0);
+                for t in batch {
+                    grad_for(cfg, &w, &t[..d], t[d], &mut g);
+                }
+                linalg::axpy(-step, &g, &mut w);
+            }
+            TrainedModel::Dense(DenseModel(w))
+        }
+        Some(TrainedModel::Lrmf(m)) => {
+            let mut model = m.clone();
+            let lr = cfg.learning_rate;
+            for t in tuples {
+                let (i, j, y) = (t[0] as usize, t[1] as usize, t[2]);
+                if i >= model.rows || j >= model.cols {
+                    continue;
+                }
+                let e = model.predict(i, j) - y;
+                for k in 0..model.rank {
+                    let lv = model.l[i * model.rank + k];
+                    let rv = model.r[j * model.rank + k];
+                    model.l[i * model.rank + k] = lv - lr * e * rv;
+                    model.r[j * model.rank + k] = rv - lr * e * lv;
+                }
+            }
+            TrainedModel::Lrmf(model)
+        }
+    }
+}
+
+fn grad_for(cfg: &TrainConfig, w: &[f32], x: &[f32], y: f32, g: &mut [f32]) {
+    use crate::linalg::{dot, sigmoid};
+    match cfg.algorithm {
+        crate::Algorithm::Linear => linalg::axpy(dot(w, x) - y, x, g),
+        crate::Algorithm::Logistic => linalg::axpy(sigmoid(dot(w, x)) - y, x, g),
+        crate::Algorithm::Svm => {
+            if y * dot(w, x) < 1.0 {
+                linalg::axpy(-y, x, g);
+            }
+        }
+        crate::Algorithm::Lrmf => unreachable!("LRMF uses the row-update path"),
+    }
+}
+
+fn average_models(models: &[TrainedModel]) -> TrainedModel {
+    match &models[0] {
+        TrainedModel::Dense(_) => {
+            let ws: Vec<Vec<f32>> = models.iter().map(|m| m.as_dense().0.clone()).collect();
+            TrainedModel::Dense(DenseModel(linalg::mean(&ws)))
+        }
+        TrainedModel::Lrmf(first) => {
+            let mut rows = 0;
+            let mut cols = 0;
+            for m in models {
+                rows = rows.max(m.as_lrmf().rows);
+                cols = cols.max(m.as_lrmf().cols);
+            }
+            let rank = first.rank;
+            let mut l = vec![0.0f32; rows * rank];
+            let mut r = vec![0.0f32; cols * rank];
+            let mut lcount = vec![0u32; rows];
+            let mut rcount = vec![0u32; cols];
+            for m in models {
+                let m = m.as_lrmf();
+                for i in 0..m.rows {
+                    for k in 0..rank {
+                        l[i * rank + k] += m.l[i * rank + k];
+                    }
+                    lcount[i] += 1;
+                }
+                for j in 0..m.cols {
+                    for k in 0..rank {
+                        r[j * rank + k] += m.r[j * rank + k];
+                    }
+                    rcount[j] += 1;
+                }
+            }
+            for i in 0..rows {
+                let c = lcount[i].max(1) as f32;
+                for k in 0..rank {
+                    l[i * rank + k] /= c;
+                }
+            }
+            for j in 0..cols {
+                let c = rcount[j].max(1) as f32;
+                for k in 0..rank {
+                    r[j * rank + k] /= c;
+                }
+            }
+            TrainedModel::Lrmf(LrmfModel { l, r, rows, cols, rank })
+        }
+    }
+}
+
+fn model_bytes(model: &TrainedModel) -> u64 {
+    match model {
+        TrainedModel::Dense(m) => m.0.len() as u64 * 4,
+        TrainedModel::Lrmf(m) => (m.l.len() + m.r.len()) as u64 * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
+
+    fn heap(n: usize, d: usize) -> HeapFile {
+        let truth: Vec<f32> = (0..d).map(|i| 0.5 - 0.1 * i as f32).collect();
+        let mut b =
+            HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let x: Vec<f32> = (0..d).map(|i| (((k * 11 + i * 3) % 9) as f32 - 4.0) / 4.0).collect();
+            let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            b.insert(&Tuple::training(&x, y)).unwrap();
+        }
+        b.finish()
+    }
+
+    fn pool_for(heap: &HeapFile) -> BufferPool {
+        BufferPool::new(BufferPoolConfig {
+            pool_bytes: (heap.page_count() as u64 + 4) * 8 * 1024,
+            page_size: 8 * 1024,
+        })
+    }
+
+    #[test]
+    fn segment_parallel_training_converges() {
+        let heap = heap(600, 5);
+        let exec = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 8);
+        let cfg = TrainConfig { epochs: 50, learning_rate: 0.2, batch: 1, ..Default::default() };
+        let report = exec.train(&mut pool_for(&heap), HeapId(1), &heap, &cfg).unwrap();
+        let tuples: Vec<Vec<f32>> =
+            heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect();
+        let loss = metrics::mse(report.model.as_dense(), &tuples);
+        assert!(loss < 0.02, "mse {loss}");
+        assert_eq!(report.segments, 8);
+    }
+
+    #[test]
+    fn eight_segments_beat_one_on_large_data() {
+        // Large enough that the parallel win exceeds the per-epoch barrier
+        // cost (tiny tables go the other way — see the next test).
+        let heap = heap(20_000, 100);
+        let cfg = TrainConfig { epochs: 4, ..Default::default() };
+        let one = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 1)
+            .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
+            .unwrap();
+        let eight = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 8)
+            .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
+            .unwrap();
+        assert!(eight.cpu_seconds < one.cpu_seconds);
+    }
+
+    #[test]
+    fn sync_overhead_dominates_tiny_workloads() {
+        // Greenplum ≈ PostgreSQL for WLAN-class workloads (Fig. 8: 1.0×).
+        let heap = heap(100, 4);
+        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let gp = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 8)
+            .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
+            .unwrap();
+        let madlib = crate::MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::instant())
+            .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
+            .unwrap();
+        assert!(
+            gp.cpu_seconds > madlib.cpu_seconds,
+            "sync cost must exceed the parallel win on tiny data"
+        );
+    }
+
+    #[test]
+    fn model_averaging_of_dense_models() {
+        let models = vec![
+            TrainedModel::Dense(DenseModel(vec![1.0, 2.0])),
+            TrainedModel::Dense(DenseModel(vec![3.0, 4.0])),
+        ];
+        let avg = average_models(&models);
+        assert_eq!(avg.as_dense().0, vec![2.0, 3.0]);
+    }
+}

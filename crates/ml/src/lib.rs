@@ -1,0 +1,32 @@
+//! Reference ML algorithms and the software baselines of the paper's
+//! evaluation (§7).
+//!
+//! DAnA is compared against:
+//!
+//! * **MADlib + PostgreSQL** — single-threaded in-RDBMS training over the
+//!   buffer pool ([`madlib`]);
+//! * **MADlib + Greenplum** — the same, partitioned across N segments with
+//!   per-epoch model averaging ([`greenplum`], Fig. 13);
+//! * **Liblinear / DimmWitted** — optimized external libraries that must
+//!   first export and reformat the data ([`external`], Fig. 15).
+//!
+//! All baselines *functionally train real models* (the math in
+//! [`algorithms`]) over the same storage substrate, while their simulated
+//! runtimes come from the calibrated cost model in [`cpu`] (constants
+//! documented against the paper's testbed: 4-core i7-6700 @ 3.40 GHz,
+//! 32 GB RAM, SATA SSD).
+
+pub mod algorithms;
+pub mod cpu;
+pub mod external;
+pub mod greenplum;
+pub mod linalg;
+pub mod madlib;
+pub mod metrics;
+
+pub use algorithms::{default_lrmf_init, train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel};
+pub use cpu::CpuModel;
+pub use dana_dsl::zoo::Algorithm;
+pub use external::{ExternalExecutor, ExternalLibrary, ExternalReport};
+pub use greenplum::{GreenplumExecutor, GreenplumReport};
+pub use madlib::{MadlibExecutor, MadlibReport};

@@ -1,0 +1,364 @@
+//! Buffer pool: fixed-size frame cache with clock eviction.
+//!
+//! "During query execution, the RDBMS fills the buffer pool, from which
+//! DAnA ships the data pages to the FPGA for processing." (§3) The pool is
+//! the *hand-off point* between the database and the accelerator, so it
+//! tracks everything the evaluation needs: hit/miss counts, simulated I/O
+//! seconds, and warm/cold residency control (the paper reports both cache
+//! settings for every experiment, §7).
+
+use std::collections::HashMap;
+
+use crate::disk::{DiskModel, Seconds};
+use crate::error::{StorageError, StorageResult};
+use crate::heap::HeapFile;
+use crate::PageId;
+
+/// Pool sizing configuration. The paper's default: 8 GB pool, 32 KB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BufferPoolConfig {
+    /// Total pool capacity in bytes.
+    pub pool_bytes: u64,
+    /// Page size in bytes (all cached heaps must match).
+    pub page_size: usize,
+}
+
+impl BufferPoolConfig {
+    /// The paper's default setup (§7): 32 KB buffer pages, 8 GB pool.
+    pub fn paper_default() -> BufferPoolConfig {
+        BufferPoolConfig { pool_bytes: 8 << 30, page_size: 32 * 1024 }
+    }
+
+    /// Number of frames the pool holds.
+    pub fn frames(&self) -> usize {
+        (self.pool_bytes / self.page_size as u64) as usize
+    }
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BufferPoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Simulated seconds spent on disk reads (misses only).
+    pub io_seconds: Seconds,
+}
+
+impl BufferPoolStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Option<PageId>,
+    bytes: Vec<u8>,
+    pin_count: u32,
+    referenced: bool,
+}
+
+/// The buffer pool proper.
+///
+/// The pool is deliberately single-writer in this simulation: the modeled
+/// *hardware* is concurrent, but simulated time is composed analytically, so
+/// interior mutability buys nothing and determinism is preserved.
+pub struct BufferPool {
+    config: BufferPoolConfig,
+    frames: Vec<Frame>,
+    page_table: HashMap<PageId, usize>,
+    clock_hand: usize,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    pub fn new(config: BufferPoolConfig) -> BufferPool {
+        let n = config.frames().max(1);
+        let frames = (0..n)
+            .map(|_| Frame { page: None, bytes: Vec::new(), pin_count: 0, referenced: false })
+            .collect();
+        BufferPool {
+            config,
+            frames,
+            page_table: HashMap::new(),
+            clock_hand: 0,
+            stats: BufferPoolStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> BufferPoolConfig {
+        self.config
+    }
+
+    pub fn stats(&self) -> BufferPoolStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (e.g. after prewarming, whose I/O is setup
+    /// cost, not query cost).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferPoolStats::default();
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Fetches a page into the pool (if absent), pins it, and returns its
+    /// frame index plus the simulated I/O seconds this access cost.
+    ///
+    /// `heap` provides the bytes on a miss; `disk` prices the read.
+    pub fn fetch(
+        &mut self,
+        page_id: PageId,
+        heap: &HeapFile,
+        disk: &DiskModel,
+    ) -> StorageResult<(usize, Seconds)> {
+        if heap.layout().page_size != self.config.page_size {
+            return Err(StorageError::BadPageSize(heap.layout().page_size));
+        }
+        if let Some(&frame) = self.page_table.get(&page_id) {
+            self.stats.hits += 1;
+            self.frames[frame].pin_count += 1;
+            self.frames[frame].referenced = true;
+            return Ok((frame, 0.0));
+        }
+        self.stats.misses += 1;
+        let io = disk.read_time(self.config.page_size as u64);
+        self.stats.io_seconds += io;
+        let bytes = heap.page_bytes(page_id.page_no)?.to_vec();
+        let frame = self.find_victim()?;
+        if let Some(old) = self.frames[frame].page.take() {
+            self.page_table.remove(&old);
+            self.stats.evictions += 1;
+        }
+        self.frames[frame].bytes = bytes;
+        self.frames[frame].page = Some(page_id);
+        self.frames[frame].pin_count = 1;
+        self.frames[frame].referenced = true;
+        self.page_table.insert(page_id, frame);
+        Ok((frame, io))
+    }
+
+    /// Releases a pin taken by [`BufferPool::fetch`].
+    pub fn unpin(&mut self, frame: usize) {
+        let f = &mut self.frames[frame];
+        assert!(f.pin_count > 0, "unpin without matching pin");
+        f.pin_count -= 1;
+    }
+
+    /// Borrow the bytes of a (pinned or resident) frame.
+    pub fn frame_bytes(&self, frame: usize) -> &[u8] {
+        &self.frames[frame].bytes
+    }
+
+    /// True if `page_id` is currently resident.
+    pub fn contains(&self, page_id: PageId) -> bool {
+        self.page_table.contains_key(&page_id)
+    }
+
+    /// Loads as much of `heap` as fits (front-to-back) without counting the
+    /// I/O toward query statistics — the warm-cache setup of §7: "before
+    /// query execution, training data tables ... reside in the buffer pool".
+    ///
+    /// Returns the number of resident pages after prewarming.
+    pub fn prewarm(&mut self, heap_id: crate::HeapId, heap: &HeapFile) -> StorageResult<usize> {
+        let frames = self.frames.len();
+        let pages = heap.page_count().min(frames as u32);
+        for page_no in 0..pages {
+            let page_id = PageId::new(heap_id, page_no);
+            if self.page_table.contains_key(&page_id) {
+                continue;
+            }
+            let bytes = heap.page_bytes(page_no)?.to_vec();
+            let frame = self.find_victim()?;
+            if let Some(old) = self.frames[frame].page.take() {
+                self.page_table.remove(&old);
+            }
+            self.frames[frame].bytes = bytes;
+            self.frames[frame].page = Some(page_id);
+            self.frames[frame].pin_count = 0;
+            self.frames[frame].referenced = false;
+            self.page_table.insert(page_id, frame);
+        }
+        Ok(self.resident_pages())
+    }
+
+    /// Drops every unpinned page — the cold-cache setup of §7: "before
+    /// execution, no training data tables reside in the buffer pool".
+    pub fn clear(&mut self) {
+        for (i, f) in self.frames.iter_mut().enumerate() {
+            if f.pin_count == 0 {
+                if let Some(p) = f.page.take() {
+                    self.page_table.remove(&p);
+                }
+                f.bytes.clear();
+                let _ = i;
+            }
+        }
+        self.clock_hand = 0;
+    }
+
+    /// Second-chance (clock) victim selection over unpinned frames.
+    fn find_victim(&mut self) -> StorageResult<usize> {
+        // Fast path: a never-used frame.
+        if let Some(idx) = self.frames.iter().position(|f| f.page.is_none() && f.pin_count == 0) {
+            return Ok(idx);
+        }
+        let n = self.frames.len();
+        // Two sweeps: the first clears reference bits, the second takes the
+        // first unreferenced, unpinned frame.
+        for _ in 0..2 * n {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % n;
+            let f = &mut self.frames[idx];
+            if f.pin_count > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+            } else {
+                return Ok(idx);
+            }
+        }
+        Err(StorageError::BufferPoolExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapFileBuilder;
+    use crate::page::TupleDirection;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::HeapId;
+
+    fn small_heap(tuples: usize) -> HeapFile {
+        let schema = Schema::training(10);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..tuples {
+            b.insert(&Tuple::training(&[k as f32; 10], k as f32)).unwrap();
+        }
+        b.finish()
+    }
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(BufferPoolConfig {
+            pool_bytes: (frames * 8 * 1024) as u64,
+            page_size: 8 * 1024,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let heap = small_heap(500);
+        let mut bp = pool(8);
+        let disk = DiskModel::ssd();
+        let pid = PageId::new(HeapId(1), 0);
+        let (f1, io1) = bp.fetch(pid, &heap, &disk).unwrap();
+        assert!(io1 > 0.0);
+        bp.unpin(f1);
+        let (f2, io2) = bp.fetch(pid, &heap, &disk).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(io2, 0.0);
+        bp.unpin(f2);
+        assert_eq!(bp.stats().hits, 1);
+        assert_eq!(bp.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let heap = small_heap(2000); // several pages
+        assert!(heap.page_count() >= 4);
+        let mut bp = pool(2);
+        let disk = DiskModel::instant();
+        for page_no in 0..4 {
+            let (f, _) = bp.fetch(PageId::new(HeapId(1), page_no), &heap, &disk).unwrap();
+            bp.unpin(f);
+        }
+        assert_eq!(bp.resident_pages(), 2);
+        assert_eq!(bp.stats().evictions, 2);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let heap = small_heap(2000);
+        let mut bp = pool(2);
+        let disk = DiskModel::instant();
+        let (f0, _) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &disk).unwrap();
+        // Keep page 0 pinned; fetch two more pages through the other frame.
+        let (f1, _) = bp.fetch(PageId::new(HeapId(1), 1), &heap, &disk).unwrap();
+        bp.unpin(f1);
+        let (f2, _) = bp.fetch(PageId::new(HeapId(1), 2), &heap, &disk).unwrap();
+        assert_ne!(f2, f0, "pinned frame must not be the victim");
+        bp.unpin(f2);
+        assert!(bp.contains(PageId::new(HeapId(1), 0)));
+        bp.unpin(f0);
+    }
+
+    #[test]
+    fn all_pinned_exhausts_pool() {
+        let heap = small_heap(2000);
+        let mut bp = pool(2);
+        let disk = DiskModel::instant();
+        let _f0 = bp.fetch(PageId::new(HeapId(1), 0), &heap, &disk).unwrap();
+        let _f1 = bp.fetch(PageId::new(HeapId(1), 1), &heap, &disk).unwrap();
+        let err = bp.fetch(PageId::new(HeapId(1), 2), &heap, &disk);
+        assert!(matches!(err, Err(StorageError::BufferPoolExhausted)));
+    }
+
+    #[test]
+    fn prewarm_makes_scans_free() {
+        let heap = small_heap(1500);
+        let mut bp = pool(heap.page_count() as usize + 1);
+        let disk = DiskModel::ssd();
+        bp.prewarm(HeapId(1), &heap).unwrap();
+        bp.reset_stats();
+        for page_no in 0..heap.page_count() {
+            let (f, io) = bp.fetch(PageId::new(HeapId(1), page_no), &heap, &disk).unwrap();
+            assert_eq!(io, 0.0);
+            bp.unpin(f);
+        }
+        assert_eq!(bp.stats().misses, 0);
+        assert_eq!(bp.stats().io_seconds, 0.0);
+        assert!((bp.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_makes_cache_cold() {
+        let heap = small_heap(500);
+        let mut bp = pool(8);
+        let disk = DiskModel::ssd();
+        bp.prewarm(HeapId(1), &heap).unwrap();
+        assert!(bp.resident_pages() > 0);
+        bp.clear();
+        assert_eq!(bp.resident_pages(), 0);
+        let (f, io) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &disk).unwrap();
+        assert!(io > 0.0);
+        bp.unpin(f);
+    }
+
+    #[test]
+    fn page_size_mismatch_rejected() {
+        let heap = small_heap(10); // 8 KB pages
+        let mut bp = BufferPool::new(BufferPoolConfig { pool_bytes: 1 << 20, page_size: 32 * 1024 });
+        let err = bp.fetch(PageId::new(HeapId(1), 0), &heap, &DiskModel::ssd());
+        assert!(matches!(err, Err(StorageError::BadPageSize(_))));
+    }
+
+    #[test]
+    fn frame_bytes_are_the_page_image() {
+        let heap = small_heap(100);
+        let mut bp = pool(4);
+        let (f, _) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &DiskModel::instant()).unwrap();
+        assert_eq!(bp.frame_bytes(f), heap.page_bytes(0).unwrap());
+        bp.unpin(f);
+    }
+}

@@ -1,0 +1,205 @@
+//! The RDBMS catalog: tables plus deployed accelerator artifacts.
+//!
+//! "DAnA stores accelerator metadata (Strider and execution engine
+//! instruction schedules) in the RDBMS's catalog along with the name of a
+//! UDF to be invoked from the query. ... the RDBMS catalog is shared by the
+//! database engine and the FPGA." (§3, Fig. 2)
+//!
+//! The catalog keeps accelerator artifacts *opaque* (encoded instruction
+//! words and a serialized design blob) so this crate does not depend on the
+//! compiler; the DAnA runtime deserializes them at query time.
+
+use std::collections::HashMap;
+
+use crate::error::{StorageError, StorageResult};
+use crate::heap::HeapFile;
+use crate::HeapId;
+
+/// Catalog record for one table.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    pub name: String,
+    pub heap_id: HeapId,
+    pub tuple_count: u64,
+    pub page_count: u32,
+}
+
+/// Catalog record for one deployed accelerator (one UDF).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AcceleratorEntry {
+    /// UDF name as invoked from SQL, e.g. `"linearR"`.
+    pub udf_name: String,
+    /// Encoded Strider instruction words (22-bit instructions in u32s).
+    pub strider_program: Vec<u32>,
+    /// Serialized execution-engine design + schedule (JSON blob produced by
+    /// the compiler; the catalog does not interpret it).
+    pub design_blob: String,
+    /// Merge coefficient declared by the UDF (maximum thread count, §4.3).
+    pub merge_coef: u32,
+    /// Threads the hardware generator actually instantiated.
+    pub num_threads: u32,
+    /// Human-readable description for `\d`-style introspection.
+    pub description: String,
+}
+
+/// The catalog (and, in this reproduction, the database itself: it owns the
+/// heap files the way PostgreSQL's storage manager owns relations).
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableEntry>,
+    heaps: HashMap<HeapId, HeapFile>,
+    accelerators: HashMap<String, AcceleratorEntry>,
+    next_heap: u32,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table backed by `heap`; returns its heap id.
+    pub fn create_table(&mut self, name: &str, heap: HeapFile) -> StorageResult<HeapId> {
+        if self.tables.contains_key(name) {
+            return Err(StorageError::DuplicateName(name.to_string()));
+        }
+        let id = HeapId(self.next_heap);
+        self.next_heap += 1;
+        self.tables.insert(
+            name.to_string(),
+            TableEntry {
+                name: name.to_string(),
+                heap_id: id,
+                tuple_count: heap.tuple_count(),
+                page_count: heap.page_count(),
+            },
+        );
+        self.heaps.insert(id, heap);
+        Ok(id)
+    }
+
+    /// Drops a table and its heap.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+        let entry = self
+            .tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.heaps.remove(&entry.heap_id);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> StorageResult<&TableEntry> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn heap(&self, id: HeapId) -> StorageResult<&HeapFile> {
+        self.heaps.get(&id).ok_or(StorageError::UnknownHeap(id.0))
+    }
+
+    /// Convenience: table entry + heap in one lookup.
+    pub fn table_heap(&self, name: &str) -> StorageResult<(&TableEntry, &HeapFile)> {
+        let entry = self.table(name)?;
+        let heap = self.heap(entry.heap_id)?;
+        Ok((entry, heap))
+    }
+
+    /// Deploys (or replaces) an accelerator under its UDF name.
+    pub fn deploy_accelerator(&mut self, entry: AcceleratorEntry) {
+        self.accelerators.insert(entry.udf_name.clone(), entry);
+    }
+
+    pub fn accelerator(&self, udf_name: &str) -> StorageResult<&AcceleratorEntry> {
+        self.accelerators
+            .get(udf_name)
+            .ok_or_else(|| StorageError::UnknownAccelerator(udf_name.to_string()))
+    }
+
+    /// All table names, sorted (stable introspection output).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All deployed UDF names, sorted.
+    pub fn accelerator_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.accelerators.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapFileBuilder;
+    use crate::page::TupleDirection;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+
+    fn tiny_heap() -> HeapFile {
+        let mut b = HeapFileBuilder::new(Schema::training(2), 8 * 1024, TupleDirection::Ascending)
+            .unwrap();
+        b.insert(&Tuple::training(&[1.0, 2.0], 3.0)).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let mut cat = Catalog::new();
+        let id = cat.create_table("t", tiny_heap()).unwrap();
+        let entry = cat.table("t").unwrap();
+        assert_eq!(entry.heap_id, id);
+        assert_eq!(entry.tuple_count, 1);
+        assert!(cat.heap(id).is_ok());
+        let (e2, h2) = cat.table_heap("t").unwrap();
+        assert_eq!(e2.name, "t");
+        assert_eq!(h2.tuple_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", tiny_heap()).unwrap();
+        assert!(matches!(
+            cat.create_table("t", tiny_heap()),
+            Err(StorageError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table_removes_heap() {
+        let mut cat = Catalog::new();
+        let id = cat.create_table("t", tiny_heap()).unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(cat.table("t").is_err());
+        assert!(cat.heap(id).is_err());
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn accelerator_round_trip() {
+        let mut cat = Catalog::new();
+        let entry = AcceleratorEntry {
+            udf_name: "linearR".into(),
+            strider_program: vec![0x1234, 0x5678],
+            design_blob: "{}".into(),
+            merge_coef: 8,
+            num_threads: 4,
+            description: "linear regression".into(),
+        };
+        cat.deploy_accelerator(entry.clone());
+        assert_eq!(cat.accelerator("linearR").unwrap(), &entry);
+        assert!(cat.accelerator("nope").is_err());
+        assert_eq!(cat.accelerator_names(), vec!["linearR"]);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut cat = Catalog::new();
+        cat.create_table("zeta", tiny_heap()).unwrap();
+        cat.create_table("alpha", tiny_heap()).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha", "zeta"]);
+    }
+}

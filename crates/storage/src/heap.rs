@@ -1,0 +1,225 @@
+//! Heap files: ordered collections of pages holding one table's tuples.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{HeapPage, PageLayoutDesc, TupleDirection};
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TUPLE_HEADER_BYTES};
+
+/// A table's on-disk storage: a sequence of immutable page images.
+///
+/// Training tables are write-once/read-many in the paper's evaluation, so
+/// the heap is built by a [`HeapFileBuilder`] and then only read (by the
+/// buffer pool on behalf of MADlib or the Striders).
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    schema: Schema,
+    layout: PageLayoutDesc,
+    pages: Vec<Vec<u8>>,
+    tuple_count: u64,
+}
+
+impl HeapFile {
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn layout(&self) -> &PageLayoutDesc {
+        &self.layout
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Total number of tuples across all pages.
+    pub fn tuple_count(&self) -> u64 {
+        self.tuple_count
+    }
+
+    /// Total size in bytes (pages are fixed-size).
+    pub fn total_bytes(&self) -> u64 {
+        self.pages.len() as u64 * self.layout.page_size as u64
+    }
+
+    /// Raw image of page `page_no` (what the disk returns).
+    pub fn page_bytes(&self, page_no: u32) -> StorageResult<&[u8]> {
+        self.pages
+            .get(page_no as usize)
+            .map(|p| p.as_slice())
+            .ok_or(StorageError::PageOutOfRange {
+                page_no,
+                pages: self.pages.len() as u32,
+            })
+    }
+
+    /// Decodes page `page_no` into a [`HeapPage`] view.
+    pub fn page(&self, page_no: u32) -> StorageResult<HeapPage> {
+        HeapPage::from_bytes(self.page_bytes(page_no)?.to_vec(), self.layout)
+    }
+
+    /// Sequentially scans every tuple (CPU-side decode; this is the code
+    /// path software baselines use).
+    pub fn scan(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.pages.iter().flat_map(move |bytes| {
+            let page = HeapPage::from_bytes(bytes.clone(), self.layout)
+                .expect("heap pages are well-formed by construction");
+            let schema = self.schema.clone();
+            (0..page.tuple_count())
+                .map(move |s| {
+                    Tuple::deform(&schema, page.tuple_bytes(s).expect("slot < count"))
+                        .expect("heap tuples are well-formed by construction")
+                })
+                .collect::<Vec<_>>()
+        })
+    }
+}
+
+/// Builds a heap file by appending tuples, sealing pages as they fill.
+pub struct HeapFileBuilder {
+    schema: Schema,
+    layout: PageLayoutDesc,
+    pages: Vec<Vec<u8>>,
+    current: HeapPage,
+    tuple_count: u64,
+    next_xid: u32,
+}
+
+impl HeapFileBuilder {
+    /// Starts a heap for `schema` with the given page size and placement
+    /// direction (no special space — the evaluation tables carry none).
+    pub fn new(
+        schema: Schema,
+        page_size: usize,
+        direction: TupleDirection,
+    ) -> StorageResult<HeapFileBuilder> {
+        let layout = PageLayoutDesc::new(
+            page_size,
+            0,
+            TUPLE_HEADER_BYTES + schema.tuple_data_width(),
+            TUPLE_HEADER_BYTES,
+            direction,
+        )?;
+        Ok(HeapFileBuilder {
+            schema,
+            layout,
+            pages: Vec::new(),
+            current: HeapPage::new(layout),
+            tuple_count: 0,
+            next_xid: 2, // xid 0/1 are reserved, like PostgreSQL's Invalid/Bootstrap
+        })
+    }
+
+    /// Appends one tuple.
+    pub fn insert(&mut self, tuple: &Tuple) -> StorageResult<()> {
+        let ctid = ((self.pages.len() as u32) << 16) | self.current.tuple_count() as u32;
+        let bytes = tuple.form(&self.schema, self.next_xid, ctid)?;
+        if self.current.free_slots() == 0 {
+            self.rotate_page();
+        }
+        self.current.insert(&bytes)?;
+        self.tuple_count += 1;
+        self.next_xid = self.next_xid.wrapping_add(1).max(2);
+        Ok(())
+    }
+
+    fn rotate_page(&mut self) {
+        let mut full = std::mem::replace(&mut self.current, HeapPage::new(self.layout));
+        full.seal();
+        self.pages.push(full.into_bytes());
+    }
+
+    /// Seals the final page and returns the finished heap file.
+    pub fn finish(mut self) -> HeapFile {
+        if self.current.tuple_count() > 0 {
+            self.rotate_page();
+        }
+        HeapFile {
+            schema: self.schema,
+            layout: self.layout,
+            pages: self.pages,
+            tuple_count: self.tuple_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, features: usize, page_size: usize) -> HeapFile {
+        let schema = Schema::training(features);
+        let mut b = HeapFileBuilder::new(schema, page_size, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let feats: Vec<f32> = (0..features).map(|i| (k * features + i) as f32).collect();
+            b.insert(&Tuple::training(&feats, k as f32)).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn page_count_matches_capacity_math() {
+        let heap = build(1000, 10, 8 * 1024);
+        let cap = heap.layout().capacity as usize;
+        assert_eq!(heap.page_count() as usize, 1000usize.div_ceil(cap));
+        assert_eq!(heap.tuple_count(), 1000);
+    }
+
+    #[test]
+    fn scan_returns_tuples_in_insert_order() {
+        let heap = build(300, 4, 8 * 1024);
+        let labels: Vec<f32> = heap.scan().map(|t| t.as_training().1).collect();
+        assert_eq!(labels.len(), 300);
+        for (k, y) in labels.iter().enumerate() {
+            assert_eq!(*y, k as f32);
+        }
+    }
+
+    #[test]
+    fn pages_are_sealed_with_checksums() {
+        let heap = build(500, 8, 8 * 1024);
+        for p in 0..heap.page_count() {
+            let page = heap.page(p).unwrap();
+            assert!(page.verify_checksum());
+            assert!(page.tuple_count() > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_page_errors() {
+        let heap = build(10, 2, 8 * 1024);
+        assert!(heap.page_bytes(heap.page_count()).is_err());
+    }
+
+    #[test]
+    fn empty_heap_has_no_pages() {
+        let b = HeapFileBuilder::new(Schema::training(3), 8 * 1024, TupleDirection::Ascending)
+            .unwrap();
+        let heap = b.finish();
+        assert_eq!(heap.page_count(), 0);
+        assert_eq!(heap.tuple_count(), 0);
+        assert_eq!(heap.scan().count(), 0);
+    }
+
+    #[test]
+    fn descending_direction_round_trips() {
+        let schema = Schema::training(5);
+        let mut b =
+            HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Descending).unwrap();
+        for k in 0..50 {
+            b.insert(&Tuple::training(&[k as f32; 5], -(k as f32))).unwrap();
+        }
+        let heap = b.finish();
+        let labels: Vec<f32> = heap.scan().map(|t| t.as_training().1).collect();
+        assert_eq!(labels[0], 0.0);
+        assert_eq!(labels[49], -49.0);
+    }
+
+    #[test]
+    fn large_pages_hold_more_tuples() {
+        let h8 = build(100, 10, 8 * 1024);
+        let h32 = build(100, 10, 32 * 1024);
+        assert!(h32.layout().capacity > h8.layout().capacity);
+        assert!(h32.page_count() <= h8.page_count());
+    }
+}

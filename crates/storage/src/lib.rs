@@ -1,0 +1,59 @@
+//! RDBMS storage substrate for the DAnA reproduction.
+//!
+//! DAnA's defining feature is that its Striders "directly interface with the
+//! buffer pool of the database" (§1) and pointer-chase *raw page bytes*
+//! (Fig. 6). That only means something if there are real pages with a real
+//! layout, so this crate implements a PostgreSQL-style storage engine:
+//!
+//! * [`schema`] — column types and table schemas;
+//! * [`tuple`] — tuple encoding (header + user data) and CPU-side deforming;
+//! * [`page`] — byte-exact slotted heap pages (page header, line pointers,
+//!   free space, special space) in 8/16/32 KB sizes;
+//! * [`heap`] — heap files: ordered collections of pages on the simulated
+//!   disk;
+//! * [`disk`] — a sequential/seek disk timing model (SSD-class by default);
+//! * [`bufferpool`] — a pin-count + clock-eviction buffer pool with warm /
+//!   cold cache control and hit/miss statistics (the paper's default setup
+//!   is an 8 GB pool of 32 KB pages, §7);
+//! * [`catalog`] — the RDBMS catalog that stores both table metadata and the
+//!   accelerator artifacts DAnA deploys ("DAnA stores accelerator metadata
+//!   (Strider and execution engine instruction schedules) in the RDBMS's
+//!   catalog", §3).
+//!
+//! Everything is deterministic and simulation-timed: reads report the
+//! simulated seconds they would cost, never wall-clock time.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod schema;
+pub mod tuple;
+
+pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
+pub use catalog::{AcceleratorEntry, Catalog, TableEntry};
+pub use disk::DiskModel;
+pub use error::{StorageError, StorageResult};
+pub use heap::{HeapFile, HeapFileBuilder};
+pub use page::{HeapPage, PageLayoutDesc, LINE_POINTER_BYTES, PAGE_HEADER_BYTES};
+pub use schema::{ColumnType, Schema};
+pub use tuple::{Datum, Tuple, TUPLE_HEADER_BYTES};
+
+/// Identifies a heap file (a table's storage) within a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct HeapId(pub u32);
+
+/// Identifies a page: a heap file plus a page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PageId {
+    pub heap: HeapId,
+    pub page_no: u32,
+}
+
+impl PageId {
+    pub fn new(heap: HeapId, page_no: u32) -> PageId {
+        PageId { heap, page_no }
+    }
+}

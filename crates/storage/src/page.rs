@@ -1,0 +1,467 @@
+//! Byte-exact slotted heap pages (paper Fig. 6).
+//!
+//! A page consists of a 24-byte header, an array of 4-byte line pointers
+//! ("tuple pointers" in the paper), the tuple data region, free space, and
+//! an optional special space at the very end:
+//!
+//! ```text
+//! +--------------+-------------------+------------- ... ----+--------+---------+
+//! | page header  | line pointers     | tuple data           | free   | special |
+//! | 24 B         | 4 B each          | fixed-width tuples   | space  | space   |
+//! +--------------+-------------------+------------- ... ----+--------+---------+
+//! ```
+//!
+//! Header layout (little-endian):
+//!
+//! ```text
+//! offset  field        meaning
+//! 0..8    page_size    total page size in bytes (the Strider's first read:
+//!                      `readB 0, 8, %cr` in the paper's §5.1.2 listing)
+//! 8..10   version      layout version / magic (0xDA7A)
+//! 10..12  pd_lower     end of the used line-pointer region
+//! 12..14  pd_upper     start of free space in the data region
+//! 14..16  pd_special   offset of the special space
+//! 16..18  tuple_count  number of live tuples
+//! 18..20  flags        bit 0: tuple direction (0 = ascending, 1 = descending)
+//! 20..24  checksum     FNV-1a over the data region (0 = not computed)
+//! ```
+//!
+//! Training tuples are fixed-width, so the page pre-sizes its line-pointer
+//! array for the maximum tuple count and places tuples **contiguously**.
+//! Two placement directions are supported, and the Strider code generator
+//! emits different walk loops for each (demonstrating the ISA's claim to
+//! "cater to the variations in the database page organization", §1):
+//!
+//! * [`TupleDirection::Ascending`] — tuples grow upward from the end of the
+//!   line-pointer array; the walk adds the tuple stride (the paper's
+//!   assembly listing walks this way: `ad %treg, %treg, 0`).
+//! * [`TupleDirection::Descending`] — tuples grow downward from the special
+//!   space, like stock PostgreSQL; the walk subtracts the stride.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of the page header in bytes.
+pub const PAGE_HEADER_BYTES: usize = 24;
+/// Size of one line pointer in bytes (u16 offset, u16 length).
+pub const LINE_POINTER_BYTES: usize = 4;
+/// Layout version magic stored in the header.
+pub const PAGE_VERSION: u16 = 0xDA7A;
+
+/// Supported page sizes: the paper evaluates 8, 16, and 32 KB (§7,
+/// "we measured end-to-end runtimes for 8, 16, and 32 KB page sizes").
+pub const SUPPORTED_PAGE_SIZES: [usize; 3] = [8 * 1024, 16 * 1024, 32 * 1024];
+
+/// Placement direction of tuples within the data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TupleDirection {
+    /// First tuple at the lowest data offset; subsequent tuples above it.
+    Ascending,
+    /// First tuple at the highest data offset (just below the special
+    /// space); subsequent tuples below it — PostgreSQL's convention.
+    Descending,
+}
+
+/// Everything the Strider code generator must know about a page layout to
+/// emit an extraction program (§6.2: "The compiler converts the database
+/// page configuration into a set of Strider instructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PageLayoutDesc {
+    /// Total page size in bytes.
+    pub page_size: usize,
+    /// Bytes reserved at the end of the page (index hints etc.).
+    pub special_bytes: usize,
+    /// On-page size of one tuple: header + user data.
+    pub tuple_bytes: usize,
+    /// Size of the tuple header that `cln` strips.
+    pub tuple_header_bytes: usize,
+    /// Maximum tuples per page.
+    pub capacity: u16,
+    /// Placement direction.
+    pub direction: TupleDirection,
+}
+
+impl PageLayoutDesc {
+    /// Computes the layout for a page/tuple size pair.
+    pub fn new(
+        page_size: usize,
+        special_bytes: usize,
+        tuple_bytes: usize,
+        tuple_header_bytes: usize,
+        direction: TupleDirection,
+    ) -> StorageResult<PageLayoutDesc> {
+        if !SUPPORTED_PAGE_SIZES.contains(&page_size) {
+            return Err(StorageError::BadPageSize(page_size));
+        }
+        let usable = page_size
+            .checked_sub(PAGE_HEADER_BYTES + special_bytes)
+            .ok_or(StorageError::BadPageSize(page_size))?;
+        let per_tuple = tuple_bytes + LINE_POINTER_BYTES;
+        let capacity = usable / per_tuple;
+        if capacity == 0 {
+            return Err(StorageError::PageFull { needed: per_tuple, free: usable });
+        }
+        Ok(PageLayoutDesc {
+            page_size,
+            special_bytes,
+            tuple_bytes,
+            tuple_header_bytes,
+            capacity: capacity.min(u16::MAX as usize) as u16,
+            direction,
+        })
+    }
+
+    /// Offset of the first byte past the (pre-sized) line-pointer array,
+    /// i.e. the start of the tuple data region.
+    pub fn data_start(&self) -> usize {
+        PAGE_HEADER_BYTES + self.capacity as usize * LINE_POINTER_BYTES
+    }
+
+    /// Offset of the special space.
+    pub fn special_start(&self) -> usize {
+        self.page_size - self.special_bytes
+    }
+
+    /// On-page offset of tuple `slot`.
+    pub fn tuple_offset(&self, slot: u16) -> usize {
+        match self.direction {
+            TupleDirection::Ascending => self.data_start() + slot as usize * self.tuple_bytes,
+            TupleDirection::Descending => {
+                self.special_start() - (slot as usize + 1) * self.tuple_bytes
+            }
+        }
+    }
+
+    /// Bytes of user data (post-`cln`) per tuple.
+    pub fn tuple_data_bytes(&self) -> usize {
+        self.tuple_bytes - self.tuple_header_bytes
+    }
+}
+
+/// A heap page over an owned byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapPage {
+    layout: PageLayoutDesc,
+    bytes: Vec<u8>,
+}
+
+impl HeapPage {
+    /// Creates an empty page for the given layout.
+    pub fn new(layout: PageLayoutDesc) -> HeapPage {
+        let mut page = HeapPage { layout, bytes: vec![0u8; layout.page_size] };
+        page.write_u64(0, layout.page_size as u64);
+        page.write_u16(8, PAGE_VERSION);
+        page.write_u16(10, PAGE_HEADER_BYTES as u16); // pd_lower: no pointers yet
+        let upper = match layout.direction {
+            TupleDirection::Ascending => layout.data_start(),
+            TupleDirection::Descending => layout.special_start(),
+        };
+        page.write_u16(12, upper as u16);
+        page.write_u16(14, layout.special_start() as u16);
+        page.write_u16(16, 0); // tuple_count
+        let dir_flag = match layout.direction {
+            TupleDirection::Ascending => 0u16,
+            TupleDirection::Descending => 1u16,
+        };
+        page.write_u16(18, dir_flag);
+        page.write_u32(20, 0); // checksum: not computed
+        page
+    }
+
+    /// Reconstructs a page from raw bytes, validating the header.
+    pub fn from_bytes(bytes: Vec<u8>, layout: PageLayoutDesc) -> StorageResult<HeapPage> {
+        if bytes.len() != layout.page_size {
+            return Err(StorageError::CorruptPage(format!(
+                "buffer is {} bytes, layout says {}",
+                bytes.len(),
+                layout.page_size
+            )));
+        }
+        let page = HeapPage { layout, bytes };
+        if page.read_u64(0) != layout.page_size as u64 {
+            return Err(StorageError::CorruptPage(format!(
+                "header page_size {} != {}",
+                page.read_u64(0),
+                layout.page_size
+            )));
+        }
+        if page.read_u16(8) != PAGE_VERSION {
+            return Err(StorageError::CorruptPage(format!(
+                "bad version {:#x}",
+                page.read_u16(8)
+            )));
+        }
+        let count = page.read_u16(16);
+        if count > layout.capacity {
+            return Err(StorageError::CorruptPage(format!(
+                "tuple_count {count} exceeds capacity {}",
+                layout.capacity
+            )));
+        }
+        Ok(page)
+    }
+
+    pub fn layout(&self) -> &PageLayoutDesc {
+        &self.layout
+    }
+
+    /// Raw page image — what the buffer pool stores and Striders consume.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the page, returning its byte image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Number of live tuples.
+    pub fn tuple_count(&self) -> u16 {
+        self.read_u16(16)
+    }
+
+    /// Remaining insertion capacity.
+    pub fn free_slots(&self) -> u16 {
+        self.layout.capacity - self.tuple_count()
+    }
+
+    /// Inserts formed tuple bytes; returns the slot.
+    pub fn insert(&mut self, tuple: &[u8]) -> StorageResult<u16> {
+        if tuple.len() != self.layout.tuple_bytes {
+            return Err(StorageError::SchemaMismatch(format!(
+                "tuple is {} bytes, page layout expects {}",
+                tuple.len(),
+                self.layout.tuple_bytes
+            )));
+        }
+        let slot = self.tuple_count();
+        if slot >= self.layout.capacity {
+            return Err(StorageError::PageFull {
+                needed: tuple.len() + LINE_POINTER_BYTES,
+                free: 0,
+            });
+        }
+        let off = self.layout.tuple_offset(slot);
+        self.bytes[off..off + tuple.len()].copy_from_slice(tuple);
+        // Line pointer: u16 offset | u16 length.
+        let lp_off = PAGE_HEADER_BYTES + slot as usize * LINE_POINTER_BYTES;
+        self.write_u16(lp_off, off as u16);
+        self.write_u16(lp_off + 2, tuple.len() as u16);
+        // Header bookkeeping.
+        self.write_u16(16, slot + 1);
+        self.write_u16(10, (lp_off + LINE_POINTER_BYTES) as u16); // pd_lower
+        let upper = match self.layout.direction {
+            TupleDirection::Ascending => off + tuple.len(),
+            TupleDirection::Descending => off,
+        };
+        self.write_u16(12, upper as u16); // pd_upper
+        Ok(slot)
+    }
+
+    /// Borrowed bytes of the tuple in `slot` (header + data).
+    pub fn tuple_bytes(&self, slot: u16) -> StorageResult<&[u8]> {
+        let count = self.tuple_count();
+        if slot >= count {
+            return Err(StorageError::SlotOutOfRange { slot, count });
+        }
+        let lp_off = PAGE_HEADER_BYTES + slot as usize * LINE_POINTER_BYTES;
+        let off = self.read_u16(lp_off) as usize;
+        let len = self.read_u16(lp_off + 2) as usize;
+        if off + len > self.layout.page_size {
+            return Err(StorageError::CorruptPage(format!(
+                "line pointer {slot} points past page end ({off}+{len})"
+            )));
+        }
+        Ok(&self.bytes[off..off + len])
+    }
+
+    /// Iterates over all live tuples' bytes in slot order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.tuple_count()).map(move |s| self.tuple_bytes(s).expect("slot < count"))
+    }
+
+    /// Computes and stores the FNV-1a checksum of the data region.
+    pub fn seal(&mut self) {
+        let sum = fnv1a(&self.bytes[PAGE_HEADER_BYTES..]);
+        self.write_u32(20, sum);
+    }
+
+    /// Verifies the stored checksum (0 means "not computed": accepted).
+    pub fn verify_checksum(&self) -> bool {
+        let stored = self.read_u32(20);
+        stored == 0 || stored == fnv1a(&self.bytes[PAGE_HEADER_BYTES..])
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+    }
+    fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+    fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    fn write_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    fn write_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    // Reserve 0 for "not computed".
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::{Tuple, TUPLE_HEADER_BYTES};
+
+    fn layout(dir: TupleDirection) -> PageLayoutDesc {
+        let schema = Schema::training(10);
+        PageLayoutDesc::new(
+            8 * 1024,
+            0,
+            TUPLE_HEADER_BYTES + schema.tuple_data_width(),
+            TUPLE_HEADER_BYTES,
+            dir,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn capacity_accounts_for_pointers_and_header() {
+        let l = layout(TupleDirection::Ascending);
+        // tuple = 16 + 44 = 60 bytes, +4 pointer = 64; (8192-24)/64 = 127
+        assert_eq!(l.tuple_bytes, 60);
+        assert_eq!(l.capacity, 127);
+        assert_eq!(l.data_start(), PAGE_HEADER_BYTES + 127 * 4);
+    }
+
+    #[test]
+    fn insert_and_read_back_ascending() {
+        let schema = Schema::training(10);
+        let l = layout(TupleDirection::Ascending);
+        let mut page = HeapPage::new(l);
+        let feats: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        for k in 0..5 {
+            let t = Tuple::training(&feats, k as f32);
+            let bytes = t.form(&schema, 1, k).unwrap();
+            assert_eq!(page.insert(&bytes).unwrap(), k as u16);
+        }
+        assert_eq!(page.tuple_count(), 5);
+        for k in 0..5u16 {
+            let t = Tuple::deform(&schema, page.tuple_bytes(k).unwrap()).unwrap();
+            let (_, y) = t.as_training();
+            assert_eq!(y, k as f32);
+        }
+        // Ascending: consecutive tuples are `tuple_bytes` apart, increasing.
+        let o0 = l.tuple_offset(0);
+        let o1 = l.tuple_offset(1);
+        assert_eq!(o1 - o0, l.tuple_bytes);
+    }
+
+    #[test]
+    fn insert_and_read_back_descending() {
+        let schema = Schema::training(10);
+        let l = layout(TupleDirection::Descending);
+        let mut page = HeapPage::new(l);
+        let feats: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        for k in 0..5 {
+            let bytes = Tuple::training(&feats, k as f32).form(&schema, 1, k).unwrap();
+            page.insert(&bytes).unwrap();
+        }
+        for k in 0..5u16 {
+            let t = Tuple::deform(&schema, page.tuple_bytes(k).unwrap()).unwrap();
+            assert_eq!(t.as_training().1, k as f32);
+        }
+        // Descending: offsets decrease.
+        assert!(l.tuple_offset(1) < l.tuple_offset(0));
+        assert_eq!(l.tuple_offset(0), l.special_start() - l.tuple_bytes);
+    }
+
+    #[test]
+    fn page_full_is_reported() {
+        let schema = Schema::training(10);
+        let l = layout(TupleDirection::Ascending);
+        let mut page = HeapPage::new(l);
+        let bytes = Tuple::training(&[0.0; 10], 0.0).form(&schema, 1, 0).unwrap();
+        for _ in 0..l.capacity {
+            page.insert(&bytes).unwrap();
+        }
+        assert!(matches!(page.insert(&bytes), Err(StorageError::PageFull { .. })));
+    }
+
+    #[test]
+    fn header_fields_track_inserts() {
+        let schema = Schema::training(10);
+        let l = layout(TupleDirection::Ascending);
+        let mut page = HeapPage::new(l);
+        assert_eq!(page.read_u16(10) as usize, PAGE_HEADER_BYTES);
+        let bytes = Tuple::training(&[0.0; 10], 0.0).form(&schema, 1, 0).unwrap();
+        page.insert(&bytes).unwrap();
+        page.insert(&bytes).unwrap();
+        assert_eq!(page.read_u16(16), 2); // tuple_count
+        assert_eq!(page.read_u16(10) as usize, PAGE_HEADER_BYTES + 2 * LINE_POINTER_BYTES);
+        assert_eq!(page.read_u16(12) as usize, l.data_start() + 2 * l.tuple_bytes);
+        assert_eq!(page.read_u64(0) as usize, 8 * 1024);
+    }
+
+    #[test]
+    fn from_bytes_validates() {
+        let l = layout(TupleDirection::Ascending);
+        let page = HeapPage::new(l);
+        let mut bytes = page.clone().into_bytes();
+        assert!(HeapPage::from_bytes(bytes.clone(), l).is_ok());
+        bytes[8] = 0; // clobber version
+        assert!(HeapPage::from_bytes(bytes, l).is_err());
+        assert!(HeapPage::from_bytes(vec![0u8; 100], l).is_err());
+    }
+
+    #[test]
+    fn checksum_seal_and_verify() {
+        let schema = Schema::training(10);
+        let l = layout(TupleDirection::Ascending);
+        let mut page = HeapPage::new(l);
+        let bytes = Tuple::training(&[1.0; 10], 2.0).form(&schema, 1, 0).unwrap();
+        page.insert(&bytes).unwrap();
+        assert!(page.verify_checksum()); // 0 = not computed, accepted
+        page.seal();
+        assert!(page.verify_checksum());
+        // Corrupt a data byte: verification must now fail.
+        let mut raw = page.into_bytes();
+        raw[PAGE_HEADER_BYTES + 100] ^= 0xFF;
+        let corrupted = HeapPage::from_bytes(raw, l).unwrap();
+        assert!(!corrupted.verify_checksum());
+    }
+
+    #[test]
+    fn unsupported_page_size_rejected() {
+        let err = PageLayoutDesc::new(4096, 0, 64, 16, TupleDirection::Ascending);
+        assert!(matches!(err, Err(StorageError::BadPageSize(4096))));
+    }
+
+    #[test]
+    fn slot_out_of_range() {
+        let l = layout(TupleDirection::Ascending);
+        let page = HeapPage::new(l);
+        assert!(matches!(
+            page.tuple_bytes(0),
+            Err(StorageError::SlotOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Tuple encoding: header + user data, and CPU-side deforming.
+//!
+//! Each heap tuple carries a header of transaction/visibility metadata (the
+//! "auxiliary information" the Strider `cln` instruction strips, §5.1.2)
+//! followed by the fixed-width user data laid out per [`crate::Schema`].
+//!
+//! Layout of the 16-byte tuple header (little-endian):
+//!
+//! ```text
+//! offset  field       meaning
+//! 0..4    t_xmin      inserting transaction id
+//! 4..8    t_xmax      deleting transaction id (0 = live)
+//! 8..10   t_infomask  visibility/status flags
+//! 10..11  t_hoff      header size in bytes — user data starts here (16)
+//! 11..12  t_nullmask  reserved null-bitmap byte (0: training data is NOT NULL)
+//! 12..16  t_ctid      self-pointer (page_no<<16 | slot), for diagnostics
+//! ```
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::{ColumnType, Schema};
+
+/// Size of the on-page tuple header in bytes.
+pub const TUPLE_HEADER_BYTES: usize = 16;
+
+/// A single typed value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Datum {
+    Float4(f32),
+    Float8(f64),
+    Int4(i32),
+    Int8(i64),
+}
+
+impl Datum {
+    /// The column type this datum belongs to.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Datum::Float4(_) => ColumnType::Float4,
+            Datum::Float8(_) => ColumnType::Float8,
+            Datum::Int4(_) => ColumnType::Int4,
+            Datum::Int8(_) => ColumnType::Int8,
+        }
+    }
+
+    /// Numeric value as f64 (lossless for all supported types' ranges used
+    /// in the workloads).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Datum::Float4(v) => *v as f64,
+            Datum::Float8(v) => *v,
+            Datum::Int4(v) => *v as f64,
+            Datum::Int8(v) => *v as f64,
+        }
+    }
+
+    /// Numeric value as f32 (the execution engine's native width).
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Datum::Float4(v) => *v,
+            Datum::Float8(v) => *v as f32,
+            Datum::Int4(v) => *v as f32,
+            Datum::Int8(v) => *v as f32,
+        }
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Datum::Float4(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Datum::Float8(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Datum::Int4(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Datum::Int8(v) => out.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    fn read_from(ty: ColumnType, bytes: &[u8]) -> StorageResult<Datum> {
+        let need = ty.width();
+        if bytes.len() < need {
+            return Err(StorageError::SchemaMismatch(format!(
+                "datum needs {need} bytes, {} available",
+                bytes.len()
+            )));
+        }
+        Ok(match ty {
+            ColumnType::Float4 => {
+                Datum::Float4(f32::from_le_bytes(bytes[..4].try_into().unwrap()))
+            }
+            ColumnType::Float8 => {
+                Datum::Float8(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
+            }
+            ColumnType::Int4 => Datum::Int4(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            ColumnType::Int8 => Datum::Int8(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
+        })
+    }
+}
+
+/// A decoded tuple: one datum per schema column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    pub values: Vec<Datum>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Datum>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Builds a training tuple (`x0..x{n-1}, y`) from a feature slice and a
+    /// label, matching [`Schema::training`].
+    pub fn training(features: &[f32], label: f32) -> Tuple {
+        let mut values: Vec<Datum> = features.iter().map(|&f| Datum::Float4(f)).collect();
+        values.push(Datum::Float4(label));
+        Tuple { values }
+    }
+
+    /// Builds an LRMF rating tuple, matching [`Schema::rating`].
+    pub fn rating(i: i32, j: i32, rating: f32) -> Tuple {
+        Tuple {
+            values: vec![Datum::Int4(i), Datum::Int4(j), Datum::Float4(rating)],
+        }
+    }
+
+    /// Serializes header + user data into on-page bytes.
+    ///
+    /// `xmin` is the inserting transaction id; `ctid` the self-pointer.
+    pub fn form(&self, schema: &Schema, xmin: u32, ctid: u32) -> StorageResult<Vec<u8>> {
+        if self.values.len() != schema.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "tuple has {} values, schema {} columns",
+                self.values.len(),
+                schema.len()
+            )));
+        }
+        for (v, c) in self.values.iter().zip(schema.columns()) {
+            if v.column_type() != c.ty {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column '{}' expects {:?}, got {:?}",
+                    c.name,
+                    c.ty,
+                    v.column_type()
+                )));
+            }
+        }
+        let mut out = Vec::with_capacity(TUPLE_HEADER_BYTES + schema.tuple_data_width());
+        out.extend_from_slice(&xmin.to_le_bytes()); // t_xmin
+        out.extend_from_slice(&0u32.to_le_bytes()); // t_xmax (live)
+        out.extend_from_slice(&0x0001u16.to_le_bytes()); // t_infomask: HEAP_XMIN_COMMITTED
+        out.push(TUPLE_HEADER_BYTES as u8); // t_hoff
+        out.push(0); // t_nullmask
+        out.extend_from_slice(&ctid.to_le_bytes()); // t_ctid
+        debug_assert_eq!(out.len(), TUPLE_HEADER_BYTES);
+        for v in &self.values {
+            v.write_to(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Deforms on-page bytes back into a tuple — the CPU-side operation that
+    /// MADlib performs for every tuple and that Striders replace on-chip.
+    pub fn deform(schema: &Schema, bytes: &[u8]) -> StorageResult<Tuple> {
+        if bytes.len() < TUPLE_HEADER_BYTES {
+            return Err(StorageError::SchemaMismatch(format!(
+                "tuple too short for header: {} bytes",
+                bytes.len()
+            )));
+        }
+        let hoff = bytes[10] as usize;
+        if hoff < TUPLE_HEADER_BYTES || hoff > bytes.len() {
+            return Err(StorageError::SchemaMismatch(format!("bad t_hoff {hoff}")));
+        }
+        let mut data = &bytes[hoff..];
+        let mut values = Vec::with_capacity(schema.len());
+        for col in schema.columns() {
+            let d = Datum::read_from(col.ty, data)?;
+            data = &data[col.ty.width()..];
+            values.push(d);
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Total on-page size of this tuple under `schema`.
+    pub fn formed_size(schema: &Schema) -> usize {
+        TUPLE_HEADER_BYTES + schema.tuple_data_width()
+    }
+
+    /// Feature vector and label for a [`Schema::training`]-shaped tuple
+    /// (all columns but the last are features, the last is the label).
+    pub fn as_training(&self) -> (Vec<f32>, f32) {
+        let n = self.values.len();
+        assert!(n >= 1, "training tuple needs at least a label");
+        let features = self.values[..n - 1].iter().map(|d| d.as_f32()).collect();
+        (features, self.values[n - 1].as_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn form_deform_round_trip() {
+        let schema = Schema::training(4);
+        let t = Tuple::training(&[1.0, -2.5, 3.25, 0.0], 7.5);
+        let bytes = t.form(&schema, 42, 0x0001_0002).unwrap();
+        assert_eq!(bytes.len(), Tuple::formed_size(&schema));
+        let back = Tuple::deform(&schema, &bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rating_round_trip() {
+        let schema = Schema::rating();
+        let t = Tuple::rating(17, 923, 4.5);
+        let bytes = t.form(&schema, 1, 0).unwrap();
+        let back = Tuple::deform(&schema, &bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.values[0], Datum::Int4(17));
+    }
+
+    #[test]
+    fn header_fields_are_where_striders_expect() {
+        let schema = Schema::training(1);
+        let bytes = Tuple::training(&[1.0], 2.0).form(&schema, 9, 0xBEEF).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 9); // xmin
+        assert_eq!(bytes[10] as usize, TUPLE_HEADER_BYTES); // t_hoff
+        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 0xBEEF);
+        // user data begins exactly at t_hoff
+        let x0 = f32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        assert_eq!(x0, 1.0);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let schema = Schema::training(2);
+        let t = Tuple::training(&[1.0], 2.0); // one feature short
+        assert!(t.form(&schema, 0, 0).is_err());
+        let t2 = Tuple::rating(1, 2, 3.0); // wrong types entirely
+        assert!(t2.form(&schema, 0, 0).is_err());
+    }
+
+    #[test]
+    fn deform_rejects_truncated_bytes() {
+        let schema = Schema::training(2);
+        let bytes = Tuple::training(&[1.0, 2.0], 3.0).form(&schema, 0, 0).unwrap();
+        assert!(Tuple::deform(&schema, &bytes[..bytes.len() - 1]).is_err());
+        assert!(Tuple::deform(&schema, &bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn as_training_splits_features_and_label() {
+        let t = Tuple::training(&[1.0, 2.0, 3.0], 9.0);
+        let (x, y) = t.as_training();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert_eq!(y, 9.0);
+    }
+
+    #[test]
+    fn datum_conversions() {
+        assert_eq!(Datum::Int4(3).as_f32(), 3.0);
+        assert_eq!(Datum::Int8(-2).as_f64(), -2.0);
+        assert_eq!(Datum::Float8(0.5).as_f32(), 0.5);
+    }
+}

@@ -1,0 +1,288 @@
+//! The multi-Strider access engine (Fig. 5).
+//!
+//! "Training data is written to multiple page buffers, where each buffer
+//! stores one database page at a time and has access to its personal
+//! Strider. ... we store multiple pages on the FPGA and parallelize data
+//! extraction from the pages across their corresponding Striders." (§5.1.1)
+//!
+//! The engine couples three cost sources the runtime later overlaps:
+//! AXI streaming of raw pages, Strider cycles (parallel across page
+//! buffers), and the float-conversion unit that turns extracted column
+//! bytes into the execution engine's f32 operands ("transform user data
+//! into a floating point format", §6.2).
+
+use dana_fpga::{AxiLink, Clock, Seconds};
+use dana_storage::{ColumnType, HeapFile, PageLayoutDesc, Schema};
+
+use crate::codegen::strider_program_for_layout;
+use crate::error::{StriderError, StriderResult};
+use crate::machine::StriderMachine;
+
+/// Sizing and timing configuration for the access engine.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEngineConfig {
+    /// Number of page buffers (= Striders) the hardware generator allotted.
+    pub num_striders: u32,
+    /// FPGA clock for cycle→seconds conversion.
+    pub clock: Clock,
+    /// Host→FPGA link for page streaming.
+    pub axi: AxiLink,
+}
+
+impl AccessEngineConfig {
+    pub fn new(num_striders: u32, clock: Clock, axi: AxiLink) -> AccessEngineConfig {
+        assert!(num_striders >= 1, "need at least one Strider");
+        AccessEngineConfig { num_striders, clock, axi }
+    }
+}
+
+/// One extracted, cleansed, float-converted training tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedTuple {
+    /// All column values in schema order, as the engine's native f32.
+    pub values: Vec<f32>,
+}
+
+impl ExtractedTuple {
+    /// Splits a training-schema tuple into (features, label).
+    pub fn as_training(&self) -> (&[f32], f32) {
+        let n = self.values.len();
+        (&self.values[..n - 1], self.values[n - 1])
+    }
+}
+
+/// Aggregate costs of one extraction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccessStats {
+    pub pages: u64,
+    pub tuples: u64,
+    /// Raw page bytes that crossed the AXI link.
+    pub bytes_transferred: u64,
+    /// AXI streaming time (pages pipelined back-to-back).
+    pub axi_seconds: Seconds,
+    /// Total Strider cycles across all pages (before dividing across
+    /// parallel Striders).
+    pub strider_cycles: u64,
+    /// Float-conversion cycles (one per extracted column value).
+    pub conversion_cycles: u64,
+    /// Wall-clock seconds for the access engine with `num_striders`-way
+    /// parallel extraction overlapped against AXI streaming.
+    pub access_seconds: Seconds,
+}
+
+/// The access engine for one table's layout + schema.
+pub struct AccessEngine {
+    config: AccessEngineConfig,
+    machine: StriderMachine,
+    schema: Schema,
+    layout: PageLayoutDesc,
+}
+
+impl AccessEngine {
+    /// Builds the engine for a table: generates the Strider program for the
+    /// table's page layout (the deployment-time compiler step).
+    pub fn for_table(
+        layout: PageLayoutDesc,
+        schema: Schema,
+        config: AccessEngineConfig,
+    ) -> AccessEngine {
+        let (program, regs) = strider_program_for_layout(&layout);
+        AccessEngine { config, machine: StriderMachine::new(program, regs), schema, layout }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn layout(&self) -> &PageLayoutDesc {
+        &self.layout
+    }
+
+    /// Extracts every tuple from one raw page image. Returns the tuples and
+    /// the Strider cycles spent (extraction + float conversion).
+    ///
+    /// Pages with no live tuples are skipped host-side — the DMA engine
+    /// never ships them (heap builders also never produce them).
+    pub fn extract_page(&self, page: &[u8]) -> StriderResult<(Vec<ExtractedTuple>, u64)> {
+        let run = self.machine.run(page)?;
+        let mut tuples = Vec::with_capacity(run.records.len());
+        let mut conversion = 0u64;
+        for rec in &run.records {
+            let t = self.convert_record(rec)?;
+            conversion += t.values.len() as u64;
+            tuples.push(t);
+        }
+        Ok((tuples, run.cycles + conversion))
+    }
+
+    /// Converts one cleansed record (user-data bytes) into f32 columns.
+    fn convert_record(&self, rec: &[u8]) -> StriderResult<ExtractedTuple> {
+        let expected = self.layout.tuple_data_bytes();
+        if rec.len() != expected {
+            return Err(StriderError::BadTupleBytes(format!(
+                "record is {} bytes, schema expects {expected}",
+                rec.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(self.schema.len());
+        let mut off = 0usize;
+        for col in self.schema.columns() {
+            let w = col.ty.width();
+            let bytes = &rec[off..off + w];
+            let v = match col.ty {
+                ColumnType::Float4 => f32::from_le_bytes(bytes.try_into().unwrap()),
+                ColumnType::Float8 => f64::from_le_bytes(bytes.try_into().unwrap()) as f32,
+                ColumnType::Int4 => i32::from_le_bytes(bytes.try_into().unwrap()) as f32,
+                ColumnType::Int8 => i64::from_le_bytes(bytes.try_into().unwrap()) as f32,
+            };
+            values.push(v);
+            off += w;
+        }
+        Ok(ExtractedTuple { values })
+    }
+
+    /// Extracts an entire heap file, producing tuples in page/slot order and
+    /// the aggregate access-engine cost model.
+    pub fn extract_heap(&self, heap: &HeapFile) -> StriderResult<(Vec<ExtractedTuple>, AccessStats)> {
+        let mut all = Vec::with_capacity(heap.tuple_count() as usize);
+        let mut stats = AccessStats::default();
+        for p in 0..heap.page_count() {
+            let page = heap.page_bytes(p).expect("page in range");
+            let (tuples, cycles) = self.extract_page(page)?;
+            stats.pages += 1;
+            stats.tuples += tuples.len() as u64;
+            stats.strider_cycles += cycles;
+            all.extend(tuples);
+        }
+        stats.bytes_transferred = stats.pages * self.layout.page_size as u64;
+        stats.conversion_cycles = stats.tuples * self.schema.len() as u64;
+        stats.axi_seconds = self
+            .config
+            .axi
+            .stream_time(stats.bytes_transferred, self.layout.page_size as u64);
+        stats.access_seconds = self.access_seconds(&stats);
+        Ok((all, stats))
+    }
+
+    /// Computes the engine's wall-clock cost: Strider work spreads across
+    /// `num_striders` parallel units and overlaps with AXI streaming; the
+    /// slower of the two dominates, plus one page of pipeline fill.
+    pub fn access_seconds(&self, stats: &AccessStats) -> Seconds {
+        if stats.pages == 0 {
+            return 0.0;
+        }
+        let parallel_cycles = stats.strider_cycles.div_ceil(self.config.num_striders as u64);
+        let strider_seconds = self.config.clock.to_seconds(parallel_cycles);
+        let fill = self.config.axi.burst_time(self.layout.page_size as u64);
+        stats.axi_seconds.max(strider_seconds) + fill
+    }
+
+    pub fn config(&self) -> &AccessEngineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{HeapFileBuilder, Tuple};
+
+    fn heap_with(n: usize, features: usize) -> HeapFile {
+        let schema = Schema::training(features);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let feats: Vec<f32> = (0..features).map(|i| (k + i) as f32 * 0.5).collect();
+            b.insert(&Tuple::training(&feats, -(k as f32))).unwrap();
+        }
+        b.finish()
+    }
+
+    fn engine_for(heap: &HeapFile, striders: u32) -> AccessEngine {
+        AccessEngine::for_table(
+            *heap.layout(),
+            heap.schema().clone(),
+            AccessEngineConfig::new(striders, Clock::FPGA_150MHZ, AxiLink::with_bandwidth(2.5e9)),
+        )
+    }
+
+    #[test]
+    fn extracted_tuples_match_cpu_scan() {
+        let heap = heap_with(500, 12);
+        let engine = engine_for(&heap, 4);
+        let (tuples, stats) = engine.extract_heap(&heap).unwrap();
+        assert_eq!(tuples.len(), 500);
+        assert_eq!(stats.tuples, 500);
+        for (ext, cpu) in tuples.iter().zip(heap.scan()) {
+            let cpu_vals: Vec<f32> = cpu.values.iter().map(|d| d.as_f32()).collect();
+            assert_eq!(ext.values, cpu_vals);
+        }
+    }
+
+    #[test]
+    fn training_split_puts_label_last() {
+        let heap = heap_with(3, 4);
+        let engine = engine_for(&heap, 1);
+        let (tuples, _) = engine.extract_heap(&heap).unwrap();
+        let (x, y) = tuples[2].as_training();
+        assert_eq!(x.len(), 4);
+        assert_eq!(y, -2.0);
+    }
+
+    #[test]
+    fn rating_schema_converts_ints() {
+        let schema = Schema::rating();
+        let mut b = HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending)
+            .unwrap();
+        b.insert(&Tuple::rating(42, 99, 3.5)).unwrap();
+        let heap = b.finish();
+        let engine = engine_for(&heap, 1);
+        let (tuples, _) = engine.extract_heap(&heap).unwrap();
+        assert_eq!(tuples[0].values, vec![42.0, 99.0, 3.5]);
+    }
+
+    #[test]
+    fn more_striders_reduce_access_time() {
+        let heap = heap_with(3000, 16);
+        let one = engine_for(&heap, 1);
+        let eight = engine_for(&heap, 8);
+        let (_, s1) = one.extract_heap(&heap).unwrap();
+        let (_, s8) = eight.extract_heap(&heap).unwrap();
+        assert_eq!(s1.strider_cycles, s8.strider_cycles, "same total work");
+        assert!(
+            s8.access_seconds < s1.access_seconds,
+            "parallel striders must cut wall time ({} vs {})",
+            s8.access_seconds,
+            s1.access_seconds
+        );
+    }
+
+    #[test]
+    fn access_time_is_bounded_below_by_axi() {
+        let heap = heap_with(2000, 16);
+        // Absurdly many striders: AXI must become the floor.
+        let engine = engine_for(&heap, 1024);
+        let (_, stats) = engine.extract_heap(&heap).unwrap();
+        assert!(stats.access_seconds >= stats.axi_seconds);
+    }
+
+    #[test]
+    fn conversion_cycles_count_every_value() {
+        let heap = heap_with(10, 6);
+        let engine = engine_for(&heap, 1);
+        let (_, stats) = engine.extract_heap(&heap).unwrap();
+        assert_eq!(stats.conversion_cycles, 10 * 7); // 6 features + label
+    }
+
+    #[test]
+    fn empty_heap_costs_nothing() {
+        let schema = Schema::training(4);
+        let heap = HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending)
+            .unwrap()
+            .finish();
+        let engine = engine_for(&heap, 2);
+        let (tuples, stats) = engine.extract_heap(&heap).unwrap();
+        assert!(tuples.is_empty());
+        assert_eq!(stats.access_seconds, 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Two-way Strider assembler.
+//!
+//! Syntax is the paper's §5.1.2 listing style: one instruction per line,
+//! `\\`-or-`#`-prefixed comments, operands separated by commas. Registers
+//! are `%cr0..%cr15` / `%t0..%t15` (the paper's `%cr`/`%treg` shorthand maps
+//! to `%cr0`/`%t0`); bare integers are immediates.
+//!
+//! ```text
+//! \\ Page header processing
+//! readB 0, 8, %cr0
+//! bentr
+//! ad %t0, %cr2, %t0
+//! bexit 1, %t0, %cr1
+//! ```
+
+use crate::error::{StriderError, StriderResult};
+use crate::isa::{Instr, Opcode, Operand, Reg};
+
+/// Assembles text into instructions.
+pub fn assemble(source: &str) -> StriderResult<Vec<Instr>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line, lineno + 1)?);
+    }
+    Ok(out)
+}
+
+/// Disassembles instructions back to text (one per line).
+pub fn disassemble(program: &[Instr]) -> String {
+    let mut s = String::new();
+    for i in program {
+        s.push_str(&i.display());
+        s.push('\n');
+    }
+    s
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut cut = line.len();
+    for pat in ["\\\\", "#", "//", ";"] {
+        if let Some(idx) = line.find(pat) {
+            cut = cut.min(idx);
+        }
+    }
+    &line[..cut]
+}
+
+fn parse_line(line: &str, lineno: usize) -> StriderResult<Instr> {
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let opcode = match mnemonic {
+        "readB" => Opcode::ReadB,
+        "extrB" => Opcode::ExtrB,
+        "writeB" => Opcode::WriteB,
+        "extrBi" => Opcode::ExtrBi,
+        "cln" => Opcode::Cln,
+        "ins" => Opcode::Ins,
+        "ad" => Opcode::Ad,
+        "sub" => Opcode::Sub,
+        "mul" => Opcode::Mul,
+        "bentr" => Opcode::Bentr,
+        "bexit" => Opcode::Bexit,
+        other => {
+            return Err(StriderError::Asm {
+                line: lineno,
+                msg: format!("unknown mnemonic '{other}'"),
+            })
+        }
+    };
+    if opcode == Opcode::Bentr {
+        if !rest.is_empty() {
+            return Err(StriderError::Asm { line: lineno, msg: "bentr takes no operands".into() });
+        }
+        return Ok(Instr::bentr());
+    }
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if ops.len() != 3 {
+        return Err(StriderError::Asm {
+            line: lineno,
+            msg: format!("{mnemonic} needs 3 operands, got {}", ops.len()),
+        });
+    }
+    Ok(Instr::new(
+        opcode,
+        parse_operand(ops[0], lineno)?,
+        parse_operand(ops[1], lineno)?,
+        parse_operand(ops[2], lineno)?,
+    ))
+}
+
+fn parse_operand(text: &str, lineno: usize) -> StriderResult<Operand> {
+    if let Some(rest) = text.strip_prefix("%cr") {
+        let idx: u8 = parse_idx(rest, lineno, "%cr")?;
+        if idx >= 16 {
+            return Err(StriderError::Asm { line: lineno, msg: format!("%cr{idx} out of range") });
+        }
+        return Ok(Operand::Reg(Reg::cr(idx)));
+    }
+    if let Some(rest) = text.strip_prefix("%t") {
+        let idx: u8 = parse_idx(rest, lineno, "%t")?;
+        if idx >= 16 {
+            return Err(StriderError::Asm { line: lineno, msg: format!("%t{idx} out of range") });
+        }
+        return Ok(Operand::Reg(Reg::t(idx)));
+    }
+    match text.parse::<u8>() {
+        Ok(v) if v < 32 => Ok(Operand::Imm(v)),
+        Ok(v) => Err(StriderError::Asm {
+            line: lineno,
+            msg: format!("immediate {v} exceeds 31; load it via a config register"),
+        }),
+        Err(_) => Err(StriderError::Asm { line: lineno, msg: format!("bad operand '{text}'") }),
+    }
+}
+
+fn parse_idx(rest: &str, lineno: usize, prefix: &str) -> StriderResult<u8> {
+    // The paper writes bare `%cr` / `%treg`; map them to index 0.
+    if rest.is_empty() || rest == "eg" {
+        return Ok(0);
+    }
+    rest.parse::<u8>().map_err(|_| StriderError::Asm {
+        line: lineno,
+        msg: format!("bad register '{prefix}{rest}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_disassemble_round_trip() {
+        let src = "\
+readB 0, 8, %cr0
+extrB 0, 2, %t1
+writeB 0, 0, 0
+bentr
+ad %t0, %cr2, %t0
+sub %t3, 1, %t3
+mul %t4, %cr1, %t5
+bexit 1, %t0, %cr1
+";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 8);
+        let text = disassemble(&prog);
+        let prog2 = assemble(&text).unwrap();
+        assert_eq!(prog, prog2);
+    }
+
+    #[test]
+    fn paper_listing_style_parses() {
+        // The §5.1.2 header-processing lines, using the paper's bare
+        // register shorthand and \\ comments.
+        let src = "\
+\\\\ Page Header Processing
+readB 0, 8, %cr
+readB 8, 2, %cr
+readB 10, 4, %cr
+extrB %cr, 2, %cr
+";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 4);
+        assert_eq!(prog[0].opcode, Opcode::ReadB);
+        assert_eq!(prog[3].a, Operand::Reg(Reg::cr(0)));
+    }
+
+    #[test]
+    fn comments_in_all_styles_ignored() {
+        let src = "readB 0, 8, %t0 # trailing\n// whole line\n; asm style\nbentr\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("readB 0, 8, %t0\nfrobnicate 1, 2, 3\n").unwrap_err();
+        assert!(matches!(err, StriderError::Asm { line: 2, .. }));
+        let err = assemble("readB 0, 99, %t0\n").unwrap_err();
+        assert!(matches!(err, StriderError::Asm { line: 1, .. }));
+        let err = assemble("ad 1, 2\n").unwrap_err();
+        assert!(matches!(err, StriderError::Asm { line: 1, .. }));
+        let err = assemble("bentr 1, 2, 3\n").unwrap_err();
+        assert!(matches!(err, StriderError::Asm { line: 1, .. }));
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        assert!(assemble("ad %t16, 0, %t0\n").is_err());
+        assert!(assemble("ad %cr16, 0, %t0\n").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Strider code generation: page layout → extraction program.
+//!
+//! "The compiler converts the database page configuration into a set of
+//! Strider instructions that process the page and tuple headers" (§6.2).
+//! Given a [`PageLayoutDesc`], this module emits the walk loop and the
+//! configuration-register image the access engine loads before execution.
+//!
+//! The generated program mirrors the paper's §5.1.2 listing: process the
+//! page header, read the first tuple pointer, then loop — stage one tuple,
+//! `cln` its header, emit the user data, advance by the tuple stride — until
+//! the live tuple count is exhausted. Ascending layouts advance with `ad`,
+//! descending (PostgreSQL-style) with `sub`: the same ISA "can be targeted"
+//! at "variations in the database page organization" (§1).
+
+use dana_storage::page::TupleDirection;
+use dana_storage::PageLayoutDesc;
+
+use crate::isa::{config_regs, Instr, Opcode, Operand, Reg};
+
+/// Builds the extraction program and configuration-register image for a
+/// page layout. Returns `(program, config)`.
+///
+/// Register conventions inside the program:
+/// * `%t0` — current tuple offset;
+/// * `%t1` — live tuple count (from the page header);
+/// * `%t2` — scratch (first line pointer);
+/// * `%t3` — loop index;
+/// * `%t4` — staging integer view (unused scalar).
+pub fn strider_program_for_layout(layout: &PageLayoutDesc) -> (Vec<Instr>, [u64; 16]) {
+    let mut config = [0u64; 16];
+    config[config_regs::PAGE_SIZE.0 as usize] = layout.page_size as u64;
+    config[config_regs::TUPLES_PER_PAGE.0 as usize] = layout.capacity as u64;
+    config[config_regs::TUPLE_BYTES.0 as usize] = layout.tuple_bytes as u64;
+    config[config_regs::DATA_START.0 as usize] = layout.data_start() as u64;
+    config[config_regs::SPECIAL_START.0 as usize] = layout.special_start() as u64;
+    config[config_regs::TUPLE_HEADER.0 as usize] = layout.tuple_header_bytes as u64;
+
+    let imm = Operand::Imm;
+    let r = |reg: Reg| Operand::Reg(reg);
+    let t = |i: u8| Operand::Reg(Reg::t(i));
+
+    let mut prog = Vec::new();
+    // ---- page header processing --------------------------------------
+    // live tuple count lives at header offset 16 (page.rs layout).
+    prog.push(Instr::new(Opcode::ReadB, imm(16), imm(2), t(1)));
+    // first line pointer: offset u16 | length u16 at the header's end (24).
+    prog.push(Instr::new(Opcode::ReadB, imm(24), imm(4), t(2)));
+    prog.push(Instr::new(Opcode::ExtrB, imm(0), imm(2), t(2)));
+    // current offset := first tuple offset; index := 0.
+    prog.push(Instr::new(Opcode::Ad, t(2), imm(0), t(0)));
+    prog.push(Instr::new(Opcode::Ad, imm(0), imm(0), t(3)));
+    // ---- tuple walk loop ----------------------------------------------
+    prog.push(Instr::bentr());
+    // stage one tuple (header + data).
+    prog.push(Instr::new(Opcode::ReadB, t(0), r(config_regs::TUPLE_BYTES), t(4)));
+    // strip the tuple header ("remove its auxiliary information").
+    prog.push(Instr::new(Opcode::Cln, imm(0), r(config_regs::TUPLE_HEADER), imm(0)));
+    // emit cleansed user data to the execution engine.
+    prog.push(Instr::new(Opcode::WriteB, imm(0), imm(0), imm(0)));
+    // advance to the next tuple.
+    let step = match layout.direction {
+        TupleDirection::Ascending => {
+            Instr::new(Opcode::Ad, t(0), r(config_regs::TUPLE_BYTES), t(0))
+        }
+        TupleDirection::Descending => {
+            Instr::new(Opcode::Sub, t(0), r(config_regs::TUPLE_BYTES), t(0))
+        }
+    };
+    prog.push(step);
+    prog.push(Instr::new(Opcode::Ad, t(3), imm(1), t(3)));
+    // exit when index ≥ live count.
+    prog.push(Instr::new(Opcode::Bexit, imm(1), t(3), t(1)));
+    (prog, config)
+}
+
+/// Static cycle estimate for extracting one page holding `tuples` tuples —
+/// used by the hardware generator's performance estimator without running
+/// the interpreter. Matches [`crate::machine::StriderMachine`]'s cycle
+/// accounting exactly (tests enforce this).
+pub fn estimated_cycles_per_page(layout: &PageLayoutDesc, tuples: u64) -> u64 {
+    // Header processing: readB(2B)=1, readB(4B)=1, extrB=1, ad, ad — plus
+    // the one-time bentr.
+    let header = 6u64;
+    // Loop body per tuple: readB (1 + extra words), cln, writeB (1 + extra
+    // words of the cleansed data), ad, ad, bexit.
+    let tuple_words = (layout.tuple_bytes as u64).div_ceil(8);
+    let data_words = (layout.tuple_data_bytes() as u64).div_ceil(8);
+    let per_tuple = tuple_words + 1 + data_words + 3;
+    header + tuples * per_tuple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StriderMachine;
+    use dana_storage::{HeapFileBuilder, Schema, Tuple};
+
+    fn build_heap(dir: TupleDirection, n: usize, features: usize) -> dana_storage::HeapFile {
+        let schema = Schema::training(features);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, dir).unwrap();
+        for k in 0..n {
+            let feats: Vec<f32> = (0..features).map(|i| (k * 100 + i) as f32).collect();
+            b.insert(&Tuple::training(&feats, k as f32)).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn generated_program_extracts_every_tuple_ascending() {
+        let heap = build_heap(TupleDirection::Ascending, 300, 10);
+        let (prog, config) = strider_program_for_layout(heap.layout());
+        let machine = StriderMachine::new(prog, config);
+        let mut total = 0usize;
+        for p in 0..heap.page_count() {
+            let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
+            total += run.records.len();
+            for rec in &run.records {
+                assert_eq!(rec.len(), heap.layout().tuple_data_bytes());
+            }
+        }
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn generated_program_extracts_every_tuple_descending() {
+        let heap = build_heap(TupleDirection::Descending, 137, 7);
+        let (prog, config) = strider_program_for_layout(heap.layout());
+        let machine = StriderMachine::new(prog, config);
+        let mut labels = Vec::new();
+        for p in 0..heap.page_count() {
+            let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
+            for rec in &run.records {
+                // label is the final f32 of the record
+                let off = rec.len() - 4;
+                labels.push(f32::from_le_bytes(rec[off..].try_into().unwrap()));
+            }
+        }
+        assert_eq!(labels.len(), 137);
+        for (k, l) in labels.iter().enumerate() {
+            assert_eq!(*l, k as f32, "tuple order must be preserved");
+        }
+    }
+
+    #[test]
+    fn extraction_matches_cpu_deform() {
+        // The Strider's byte stream must equal what CPU-side deforming sees.
+        let heap = build_heap(TupleDirection::Ascending, 50, 5);
+        let schema = Schema::training(5);
+        let (prog, config) = strider_program_for_layout(heap.layout());
+        let machine = StriderMachine::new(prog, config);
+        let mut strider_tuples: Vec<Vec<f32>> = Vec::new();
+        for p in 0..heap.page_count() {
+            let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
+            for rec in &run.records {
+                let vals: Vec<f32> = rec
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                strider_tuples.push(vals);
+            }
+        }
+        let cpu_tuples: Vec<Vec<f32>> = heap
+            .scan()
+            .map(|t| t.values.iter().map(|d| d.as_f32()).collect())
+            .collect();
+        assert_eq!(strider_tuples, cpu_tuples);
+        let _ = schema;
+    }
+
+    #[test]
+    fn cycle_estimate_matches_interpreter_exactly() {
+        for (n, features) in [(10, 4), (100, 10), (127, 10), (60, 33)] {
+            let heap = build_heap(TupleDirection::Ascending, n, features);
+            let (prog, config) = strider_program_for_layout(heap.layout());
+            let machine = StriderMachine::new(prog, config);
+            for p in 0..heap.page_count() {
+                let page = heap.page_bytes(p).unwrap();
+                let run = machine.run(page).unwrap();
+                let est = estimated_cycles_per_page(heap.layout(), run.records.len() as u64);
+                assert_eq!(
+                    run.cycles, est,
+                    "estimator must match interpreter ({n} tuples, {features} features)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_registers_describe_layout() {
+        let heap = build_heap(TupleDirection::Ascending, 10, 8);
+        let l = heap.layout();
+        let (_, config) = strider_program_for_layout(l);
+        assert_eq!(config[0], l.page_size as u64);
+        assert_eq!(config[1], l.capacity as u64);
+        assert_eq!(config[2], l.tuple_bytes as u64);
+        assert_eq!(config[5], l.tuple_header_bytes as u64);
+    }
+
+    #[test]
+    fn program_fits_a_tiny_instruction_store() {
+        // The ISA's point is a small footprint: "This feature invariably
+        // reduces the instruction footprint" (§5.1.2). The whole walk is
+        // a dozen instructions regardless of page or tuple size.
+        let heap = build_heap(TupleDirection::Ascending, 10, 200);
+        let (prog, _) = strider_program_for_layout(heap.layout());
+        assert!(prog.len() <= 16, "{} instructions", prog.len());
+    }
+}

@@ -1,0 +1,348 @@
+//! The Strider ISA: ten 22-bit fixed-length instructions (paper Table 2).
+//!
+//! ```text
+//!  21      18 17      12 11       6 5        0
+//! +----------+----------+----------+----------+
+//! |  opcode  |  field A |  field B |  field C |
+//! +----------+----------+----------+----------+
+//! ```
+//!
+//! Opcodes follow Table 2 exactly: `readB`=0, `extrB`=1, `writeB`=2,
+//! `extrBi`=3, `cln`=4, `ins`=5, `ad`=6, `sub`=7, `mul`=8, `bentr`=9,
+//! `bexit`=10. Each 6-bit field encodes either a register (bit 5 clear;
+//! 0–15 = configuration registers `%cr0..%cr15`, 16–31 = temporaries
+//! `%t0..%t15`) or a 5-bit immediate (bit 5 set, values 0–31). Larger
+//! constants — page offsets, tuple sizes — arrive through the configuration
+//! registers, which the host loads over AXI before execution ("configuration
+//! data to configuration registers", §5.1.1; Fig. 5 shows Page Size, Tuples
+//! per Page, Tuple Size, … in that block).
+//!
+//! Dataflow model: wide byte-level data moves through an implicit **staging
+//! buffer** (the shifter's output register of Fig. 5). `readB` fills it from
+//! the page buffer; `extrB`/`extrBi`/`cln`/`ins` rewrite it; `writeB` emits
+//! it downstream. Scalar arithmetic (`ad`/`sub`/`mul`) and loop control
+//! operate on the 32 scalar registers.
+
+use crate::error::{StriderError, StriderResult};
+
+/// A register name: configuration (`%cr0..%cr15`) or temporary (`%t0..%t15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Configuration register `i` (0–15).
+    pub fn cr(i: u8) -> Reg {
+        assert!(i < 16, "cr index {i} out of range");
+        Reg(i)
+    }
+
+    /// Temporary register `i` (0–15).
+    pub fn t(i: u8) -> Reg {
+        assert!(i < 16, "t index {i} out of range");
+        Reg(16 + i)
+    }
+
+    pub fn is_config(&self) -> bool {
+        self.0 < 16
+    }
+
+    pub fn name(&self) -> String {
+        if self.is_config() {
+            format!("%cr{}", self.0)
+        } else {
+            format!("%t{}", self.0 - 16)
+        }
+    }
+}
+
+/// Well-known configuration registers, loaded by the host before execution
+/// (Fig. 5's configuration-register block).
+pub mod config_regs {
+    use super::Reg;
+    /// Total page size in bytes.
+    pub const PAGE_SIZE: Reg = Reg(0);
+    /// Tuples per page (capacity; the live count is read from the header).
+    pub const TUPLES_PER_PAGE: Reg = Reg(1);
+    /// On-page tuple size (header + data).
+    pub const TUPLE_BYTES: Reg = Reg(2);
+    /// Offset of the first byte of the tuple-data region.
+    pub const DATA_START: Reg = Reg(3);
+    /// Offset of the special space.
+    pub const SPECIAL_START: Reg = Reg(4);
+    /// Tuple header size (bytes stripped by `cln`).
+    pub const TUPLE_HEADER: Reg = Reg(5);
+}
+
+/// An instruction operand: a register or a 5-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(u8),
+}
+
+impl Operand {
+    /// Encodes into the 6-bit field.
+    pub fn encode(&self) -> StriderResult<u32> {
+        match self {
+            Operand::Reg(r) => {
+                if r.0 >= 32 {
+                    return Err(StriderError::OperandRange { value: r.0 as u64, limit: 31 });
+                }
+                Ok(r.0 as u32)
+            }
+            Operand::Imm(v) => {
+                if *v >= 32 {
+                    return Err(StriderError::OperandRange { value: *v as u64, limit: 31 });
+                }
+                Ok(0b100000 | *v as u32)
+            }
+        }
+    }
+
+    pub fn decode(field: u32) -> Operand {
+        let field = field & 0x3F;
+        if field & 0b100000 != 0 {
+            Operand::Imm((field & 0b11111) as u8)
+        } else {
+            Operand::Reg(Reg(field as u8))
+        }
+    }
+
+    pub fn display(&self) -> String {
+        match self {
+            Operand::Reg(r) => r.name(),
+            Operand::Imm(v) => v.to_string(),
+        }
+    }
+
+    /// Convenience: zero immediate (unused fields).
+    pub const ZERO: Operand = Operand::Imm(0);
+}
+
+/// The ten operations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `readB addr, count, dest` — stage `count` bytes from the page buffer
+    /// at `addr`; `dest` also receives them as a little-endian integer
+    /// (first 8 bytes if wider).
+    ReadB = 0,
+    /// `extrB offset, count, dest` — keep staging bytes
+    /// `[offset, offset+count)`; `dest` receives their integer value.
+    ExtrB = 1,
+    /// `writeB mode, _, _` — mode 0: emit the staging buffer to the output
+    /// stream (toward the execution engine); mode 1: write it back to the
+    /// page buffer at the address in field B's register.
+    WriteB = 2,
+    /// `extrBi bitoff, bitcount, dest` — bit-granularity extract from the
+    /// staging buffer into a scalar register (staging is unchanged).
+    ExtrBi = 3,
+    /// `cln offset, count, _` — delete staging bytes `[offset, offset+count)`
+    /// (strips headers / NULLs, "remove parts of the data not required").
+    Cln = 4,
+    /// `ins src, count, offset` — insert the low `count` bytes of scalar
+    /// `src` into the staging buffer at `offset`.
+    Ins = 5,
+    /// `ad a, b, dest` — dest = a + b.
+    Ad = 6,
+    /// `sub a, b, dest` — dest = a − b (saturating at 0: addresses).
+    Sub = 7,
+    /// `mul a, b, dest` — dest = a × b.
+    Mul = 8,
+    /// `bentr` — marks a loop head.
+    Bentr = 9,
+    /// `bexit cond, a, b` — evaluate `cond(a, b)`; **true exits the loop**
+    /// (fall through), false jumps back to the matching `bentr`.
+    /// Conditions: 0 `a < b`, 1 `a ≥ b`, 2 `a == b`, 3 `a != b`.
+    Bexit = 10,
+}
+
+impl Opcode {
+    pub fn from_u32(v: u32) -> StriderResult<Opcode> {
+        Ok(match v {
+            0 => Opcode::ReadB,
+            1 => Opcode::ExtrB,
+            2 => Opcode::WriteB,
+            3 => Opcode::ExtrBi,
+            4 => Opcode::Cln,
+            5 => Opcode::Ins,
+            6 => Opcode::Ad,
+            7 => Opcode::Sub,
+            8 => Opcode::Mul,
+            9 => Opcode::Bentr,
+            10 => Opcode::Bexit,
+            other => return Err(StriderError::BadOpcode(other)),
+        })
+    }
+
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Opcode::ReadB => "readB",
+            Opcode::ExtrB => "extrB",
+            Opcode::WriteB => "writeB",
+            Opcode::ExtrBi => "extrBi",
+            Opcode::Cln => "cln",
+            Opcode::Ins => "ins",
+            Opcode::Ad => "ad",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Bentr => "bentr",
+            Opcode::Bexit => "bexit",
+        }
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Instr {
+    pub opcode: Opcode,
+    pub a: Operand,
+    pub b: Operand,
+    pub c: Operand,
+}
+
+impl Instr {
+    pub fn new(opcode: Opcode, a: Operand, b: Operand, c: Operand) -> Instr {
+        Instr { opcode, a, b, c }
+    }
+
+    /// `bentr` with no operands.
+    pub fn bentr() -> Instr {
+        Instr::new(Opcode::Bentr, Operand::ZERO, Operand::ZERO, Operand::ZERO)
+    }
+
+    /// Encodes into the low 22 bits of a `u32`.
+    pub fn encode(&self) -> StriderResult<u32> {
+        let op = self.opcode as u32;
+        debug_assert!(op < 16);
+        Ok((op << 18) | (self.a.encode()? << 12) | (self.b.encode()? << 6) | self.c.encode()?)
+    }
+
+    /// Decodes from the low 22 bits of a `u32`.
+    pub fn decode(word: u32) -> StriderResult<Instr> {
+        if word >> 22 != 0 {
+            return Err(StriderError::BadOpcode(word >> 22));
+        }
+        Ok(Instr {
+            opcode: Opcode::from_u32(word >> 18)?,
+            a: Operand::decode(word >> 12),
+            b: Operand::decode(word >> 6),
+            c: Operand::decode(word),
+        })
+    }
+
+    /// Assembly rendering.
+    pub fn display(&self) -> String {
+        match self.opcode {
+            Opcode::Bentr => "bentr".to_string(),
+            _ => format!(
+                "{} {}, {}, {}",
+                self.opcode.mnemonic(),
+                self.a.display(),
+                self.b.display(),
+                self.c.display()
+            ),
+        }
+    }
+}
+
+/// Encodes a whole program into instruction words.
+pub fn encode_program(program: &[Instr]) -> StriderResult<Vec<u32>> {
+    program.iter().map(|i| i.encode()).collect()
+}
+
+/// Decodes instruction words back into a program.
+pub fn decode_program(words: &[u32]) -> StriderResult<Vec<Instr>> {
+    words.iter().map(|w| Instr::decode(*w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_is_22_bits() {
+        let i = Instr::new(
+            Opcode::Bexit,
+            Operand::Imm(31),
+            Operand::Reg(Reg::t(15)),
+            Operand::Reg(Reg::cr(15)),
+        );
+        let w = i.encode().unwrap();
+        assert!(w < (1 << 22), "word {w:#x} exceeds 22 bits");
+        assert_eq!(Instr::decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn opcodes_match_table_2() {
+        assert_eq!(Opcode::ReadB as u8, 0);
+        assert_eq!(Opcode::ExtrB as u8, 1);
+        assert_eq!(Opcode::WriteB as u8, 2);
+        assert_eq!(Opcode::ExtrBi as u8, 3);
+        assert_eq!(Opcode::Cln as u8, 4);
+        assert_eq!(Opcode::Ins as u8, 5);
+        assert_eq!(Opcode::Ad as u8, 6);
+        assert_eq!(Opcode::Sub as u8, 7);
+        assert_eq!(Opcode::Mul as u8, 8);
+        assert_eq!(Opcode::Bentr as u8, 9);
+        assert_eq!(Opcode::Bexit as u8, 10);
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for op in [
+            Opcode::ReadB,
+            Opcode::ExtrB,
+            Opcode::WriteB,
+            Opcode::ExtrBi,
+            Opcode::Cln,
+            Opcode::Ins,
+            Opcode::Ad,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Bentr,
+            Opcode::Bexit,
+        ] {
+            let i = Instr::new(op, Operand::Imm(3), Operand::Reg(Reg::t(2)), Operand::Reg(Reg::cr(1)));
+            assert_eq!(Instr::decode(i.encode().unwrap()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn immediate_range_enforced() {
+        assert!(Operand::Imm(31).encode().is_ok());
+        assert!(Operand::Imm(32).encode().is_err());
+    }
+
+    #[test]
+    fn register_names() {
+        assert_eq!(Reg::cr(0).name(), "%cr0");
+        assert_eq!(Reg::t(3).name(), "%t3");
+        assert!(Reg::cr(5).is_config());
+        assert!(!Reg::t(5).is_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_index_bounds() {
+        let _ = Reg::t(16);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        // opcode field = 15 (invalid)
+        let word = 15u32 << 18;
+        assert!(matches!(Instr::decode(word), Err(StriderError::BadOpcode(15))));
+    }
+
+    #[test]
+    fn program_encode_decode_round_trip() {
+        let prog = vec![
+            Instr::new(Opcode::ReadB, Operand::Imm(0), Operand::Imm(8), Operand::Reg(Reg::t(0))),
+            Instr::bentr(),
+            Instr::new(Opcode::Bexit, Operand::Imm(1), Operand::Reg(Reg::t(1)), Operand::Reg(Reg::cr(1))),
+        ];
+        let words = encode_program(&prog).unwrap();
+        assert_eq!(decode_program(&words).unwrap(), prog);
+    }
+}

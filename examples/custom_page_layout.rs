@@ -1,0 +1,65 @@
+//! Programming Striders for different page layouts.
+//!
+//! The Strider ISA exists so one hardware design can "cater to the
+//! variations in the database page organization" (§1). This example builds
+//! the same table twice — ascending tuple placement (the paper's walk-by-
+//! adding listing) and descending placement (stock PostgreSQL) — shows the
+//! *different* generated programs, and proves both extract identical data.
+//!
+//! ```sh
+//! cargo run --release --example custom_page_layout
+//! ```
+
+use dana_storage::page::TupleDirection;
+use dana_storage::{HeapFileBuilder, Schema, Tuple};
+use dana_strider::{disassemble, strider_program_for_layout, AccessEngine, AccessEngineConfig};
+
+fn build(dir: TupleDirection) -> dana_storage::HeapFile {
+    let schema = Schema::training(6);
+    let mut b = HeapFileBuilder::new(schema, 8 * 1024, dir).unwrap();
+    for k in 0..200 {
+        let x: Vec<f32> = (0..6).map(|i| (k * 10 + i) as f32).collect();
+        b.insert(&Tuple::training(&x, k as f32)).unwrap();
+    }
+    b.finish()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut extracted = Vec::new();
+    for dir in [TupleDirection::Ascending, TupleDirection::Descending] {
+        let heap = build(dir);
+        let (program, config) = strider_program_for_layout(heap.layout());
+        println!("=== {dir:?} layout ===");
+        println!(
+            "page {} B, {} tuples/page, tuple {} B, data starts at {}",
+            heap.layout().page_size,
+            heap.layout().capacity,
+            heap.layout().tuple_bytes,
+            heap.layout().data_start()
+        );
+        println!("config registers: page_size={} tuples/page={} tuple_bytes={} header={}",
+            config[0], config[1], config[2], config[5]);
+        println!("{}", disassemble(&program));
+
+        let engine = AccessEngine::for_table(
+            *heap.layout(),
+            heap.schema().clone(),
+            AccessEngineConfig::new(
+                4,
+                dana_fpga::Clock::FPGA_150MHZ,
+                dana_fpga::AxiLink::with_bandwidth(2.5e9),
+            ),
+        );
+        let (tuples, stats) = engine.extract_heap(&heap)?;
+        println!(
+            "extracted {} tuples in {} Strider cycles ({} per page)\n",
+            tuples.len(),
+            stats.strider_cycles,
+            stats.strider_cycles / stats.pages
+        );
+        extracted.push(tuples.into_iter().map(|t| t.values).collect::<Vec<_>>());
+    }
+    assert_eq!(extracted[0], extracted[1], "both layouts yield identical tuples");
+    println!("both layouts extract byte-identical training data — the ISA's portability claim holds");
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration: DSL → deploy → SQL → Striders → engine → model,
+//! across all four algorithm families at functional scale.
+
+use dana::prelude::*;
+use dana_ml::metrics;
+use dana_workloads::{generate, workload};
+
+fn small_db() -> Dana {
+    Dana::new(
+        FpgaSpec::vu9p(),
+        BufferPoolConfig { pool_bytes: 256 << 20, page_size: 32 * 1024 },
+        DiskModel::ssd(),
+    )
+}
+
+fn tuples_of(heap: &HeapFile) -> Vec<Vec<f32>> {
+    heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect()
+}
+
+#[test]
+fn logistic_regression_full_pipeline() {
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.003);
+    w.epochs = 30;
+    w.merge_coef = 8;
+    w.learning_rate = 0.5;
+    let table = generate(&w, 32 * 1024, 11).unwrap();
+    let data = tuples_of(&table.heap);
+
+    let mut db = small_db();
+    db.create_table("remote_sensing", table.heap).unwrap();
+    db.deploy(&w.spec(), "remote_sensing").unwrap();
+    let out = db.execute("SELECT * FROM dana.logisticR('remote_sensing');").unwrap();
+
+    let model = dana_ml::DenseModel(out.report.dense_model().to_vec());
+    let acc = metrics::classification_accuracy(&model, &data, false);
+    assert!(acc > 0.9, "accuracy {acc}");
+    assert!(out.report.num_threads > 1, "DSE should multi-thread this UDF");
+    assert!(out.report.timing.total_seconds > 0.0);
+}
+
+#[test]
+fn svm_full_pipeline() {
+    let mut w = workload("Remote Sensing SVM").unwrap().scaled(0.002);
+    w.epochs = 25;
+    w.merge_coef = 8;
+    w.learning_rate = 0.2;
+    let table = generate(&w, 32 * 1024, 12).unwrap();
+    let data = tuples_of(&table.heap);
+
+    let mut db = small_db();
+    db.create_table("rs_svm", table.heap).unwrap();
+    db.deploy(&w.spec(), "rs_svm").unwrap();
+    let report = db.run_udf("svm", "rs_svm").unwrap();
+
+    let model = dana_ml::DenseModel(report.dense_model().to_vec());
+    let acc = metrics::classification_accuracy(&model, &data, true);
+    assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn linear_regression_via_textual_dsl() {
+    let mut w = workload("Patient").unwrap().scaled(0.01);
+    w.epochs = 25;
+    let table = generate(&w, 32 * 1024, 13).unwrap();
+    let data = tuples_of(&table.heap);
+    let truth = table.truth.clone().unwrap();
+
+    let mut db = small_db();
+    db.create_table("patient", table.heap).unwrap();
+    let source = dana_dsl::zoo::linear_regression_source(w.features, 8, 25);
+    let info = db.deploy_source(&source, "linearR", "patient").unwrap();
+    assert!(info.micro_ops > 0);
+    let report = db.run_udf("linearR", "patient").unwrap();
+
+    let model = dana_ml::DenseModel(report.dense_model().to_vec());
+    let loss = metrics::mse(&model, &data);
+    assert!(loss < 0.05, "mse {loss}");
+    // The planted model should be recovered approximately.
+    let got = report.dense_model();
+    let close = got
+        .iter()
+        .zip(&truth)
+        .filter(|(a, b)| (*a - *b).abs() < 0.15)
+        .count();
+    assert!(close * 10 >= truth.len() * 8, "{close}/{} weights recovered", truth.len());
+}
+
+#[test]
+fn lrmf_full_pipeline() {
+    let mut w = workload("Netflix").unwrap();
+    w.lrmf = Some((60, 45, 8));
+    w.tuples = 5_000;
+    w.epochs = 25;
+    w.merge_coef = 4;
+    w.learning_rate = 0.05;
+    let table = generate(&w, 32 * 1024, 14).unwrap();
+    let data = tuples_of(&table.heap);
+
+    let mut db = small_db();
+    db.create_table("ratings", table.heap).unwrap();
+    db.deploy(&w.spec(), "ratings").unwrap();
+    let report = db.run_udf("lrmf", "ratings").unwrap();
+
+    assert_eq!(report.models.len(), 2);
+    let l = report.model("L").unwrap();
+    let r = report.model("R").unwrap();
+    let model = dana_ml::LrmfModel { l: l.to_vec(), r: r.to_vec(), rows: 60, cols: 45, rank: 8 };
+    let rmse = metrics::lrmf_rmse(&model, &data);
+    let before = metrics::lrmf_rmse(&dana_ml::LrmfModel::zeroed(60, 45, 8), &data);
+    assert!(rmse < before * 0.5, "rmse {before:.3} -> {rmse:.3}");
+}
+
+#[test]
+fn convergence_condition_stops_training_early() {
+    let src = r#"
+        mo = model([8])
+        in = input([8])
+        out = output()
+        lr = meta(0.05)
+        cf = meta(0.05)
+        mc = meta(8)
+        s = sigma(mo * in, 1)
+        er = s - out
+        grad = er * in
+        grad = merge(grad, mc, "+")
+        up = lr * grad
+        mo_up = mo - up
+        setModel(mo_up)
+        n = norm(grad, 1)
+        conv = n < cf
+        setConvergence(conv, 500)
+    "#;
+    let mut w = workload("Patient").unwrap().scaled(0.005);
+    w.features = 8;
+    let table = generate(&w, 32 * 1024, 15).unwrap();
+
+    let mut db = small_db();
+    db.create_table("t", table.heap).unwrap();
+    db.deploy_source(src, "convlin", "t").unwrap();
+    let report = db.run_udf("convlin", "t").unwrap();
+    assert!(report.converged_early, "gradient should shrink below the threshold");
+    assert!(report.epochs_run < 500, "ran {} epochs", report.epochs_run);
+}
+
+#[test]
+fn catalog_survives_multiple_udfs_and_tables() {
+    let mut db = small_db();
+    for (i, name) in ["alpha", "beta"].iter().enumerate() {
+        let mut w = workload("Blog Feedback").unwrap().scaled(0.003);
+        w.features = 16;
+        w.epochs = 3;
+        let table = generate(&w, 32 * 1024, 20 + i as u64).unwrap();
+        db.create_table(name, table.heap).unwrap();
+    }
+    let mut w = workload("Blog Feedback").unwrap().scaled(0.003);
+    w.features = 16;
+    w.epochs = 3;
+    let mut spec_a = w.spec();
+    spec_a.name = "lin_a".into();
+    let mut spec_b = w.spec();
+    spec_b.name = "lin_b".into();
+    db.deploy(&spec_a, "alpha").unwrap();
+    db.deploy(&spec_b, "beta").unwrap();
+    assert_eq!(db.catalog().accelerator_names(), vec!["lin_a", "lin_b"]);
+    assert!(db.execute("SELECT * FROM dana.lin_a('alpha')").is_ok());
+    assert!(db.execute("SELECT * FROM dana.lin_b('beta')").is_ok());
+    // Cross-wiring a UDF to the other (schema-compatible) table also works.
+    assert!(db.execute("SELECT * FROM dana.lin_a('beta')").is_ok());
+}
+
+#[test]
+fn page_sizes_8_16_32k_all_work() {
+    for page_size in [8 * 1024, 16 * 1024, 32 * 1024] {
+        let mut w = workload("WLAN").unwrap().scaled(0.01);
+        w.features = 20;
+        w.epochs = 5;
+        let table = generate(&w, page_size, 30).unwrap();
+        let mut db = Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig { pool_bytes: 128 << 20, page_size },
+            DiskModel::ssd(),
+        );
+        db.create_table("t", table.heap).unwrap();
+        db.deploy(&w.spec(), "t").unwrap();
+        let report = db.run_udf("logisticR", "t").unwrap();
+        assert_eq!(report.epochs_run, 5, "page size {page_size}");
+    }
+}

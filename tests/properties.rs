@@ -1,0 +1,165 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dana_dsl::Dims;
+use dana_storage::page::TupleDirection;
+use dana_storage::{
+    BufferPool, BufferPoolConfig, DiskModel, HeapFileBuilder, HeapId, PageId, Schema, Tuple,
+};
+use dana_strider::isa::{decode_program, encode_program, Instr, Opcode, Operand, Reg};
+use dana_strider::{AccessEngine, AccessEngineConfig};
+
+proptest! {
+    /// Tuple form/deform is the identity for any finite values.
+    #[test]
+    fn tuple_round_trip(values in prop::collection::vec(-1.0e6f32..1.0e6, 1..60), label in -1.0e6f32..1.0e6) {
+        let schema = Schema::training(values.len());
+        let t = Tuple::training(&values, label);
+        let bytes = t.form(&schema, 7, 0).unwrap();
+        let back = Tuple::deform(&schema, &bytes).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Heap construction preserves tuple order and count for any direction
+    /// and supported page size.
+    #[test]
+    fn heap_preserves_order(
+        n in 1usize..400,
+        d in 1usize..24,
+        dir_desc in any::<bool>(),
+        page_kb in prop::sample::select(vec![8usize, 16, 32]),
+    ) {
+        let dir = if dir_desc { TupleDirection::Descending } else { TupleDirection::Ascending };
+        let schema = Schema::training(d);
+        let mut b = HeapFileBuilder::new(schema, page_kb * 1024, dir).unwrap();
+        for k in 0..n {
+            b.insert(&Tuple::training(&vec![k as f32; d], k as f32)).unwrap();
+        }
+        let heap = b.finish();
+        prop_assert_eq!(heap.tuple_count(), n as u64);
+        let labels: Vec<f32> = heap.scan().map(|t| t.as_training().1).collect();
+        for (k, l) in labels.iter().enumerate() {
+            prop_assert_eq!(*l, k as f32);
+        }
+    }
+
+    /// Strider extraction equals CPU scan for arbitrary table shapes.
+    #[test]
+    fn strider_equals_scan(n in 1usize..200, d in 1usize..16, seed_vals in prop::collection::vec(-100.0f32..100.0, 16)) {
+        let schema = Schema::training(d);
+        let mut b = HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let x: Vec<f32> = (0..d).map(|i| seed_vals[(k + i) % seed_vals.len()] + k as f32).collect();
+            b.insert(&Tuple::training(&x, -(k as f32))).unwrap();
+        }
+        let heap = b.finish();
+        let engine = AccessEngine::for_table(
+            *heap.layout(),
+            schema,
+            AccessEngineConfig::new(2, dana_fpga::Clock::FPGA_150MHZ, dana_fpga::AxiLink::with_bandwidth(2.5e9)),
+        );
+        let (tuples, stats) = engine.extract_heap(&heap).unwrap();
+        prop_assert_eq!(tuples.len(), n);
+        prop_assert_eq!(stats.tuples, n as u64);
+        for (ext, cpu) in tuples.iter().zip(heap.scan()) {
+            let vals: Vec<f32> = cpu.values.iter().map(|v| v.as_f32()).collect();
+            prop_assert_eq!(&ext.values, &vals);
+        }
+    }
+
+    /// Every well-formed Strider instruction survives the 22-bit encoding.
+    #[test]
+    fn strider_isa_round_trip(
+        op in 0u32..11,
+        a_reg in any::<bool>(), a in 0u8..32,
+        b_reg in any::<bool>(), b in 0u8..32,
+        c_reg in any::<bool>(), c in 0u8..32,
+    ) {
+        let mk = |is_reg: bool, v: u8| if is_reg { Operand::Reg(Reg(v)) } else { Operand::Imm(v % 32) };
+        let instr = Instr::new(Opcode::from_u32(op).unwrap(), mk(a_reg, a), mk(b_reg, b), mk(c_reg, c));
+        let words = encode_program(&[instr]).unwrap();
+        prop_assert!(words[0] < (1 << 22));
+        let back = decode_program(&words).unwrap();
+        prop_assert_eq!(back[0], instr);
+    }
+
+    /// Dims broadcasting is commutative in shape (a⊗b and b⊗a agree for
+    /// symmetric cases) and reduction removes exactly one axis.
+    #[test]
+    fn dims_algebra(a in prop::collection::vec(1usize..12, 0..3), axis in 1usize..4) {
+        let d = Dims(a.clone());
+        // broadcast with self: identity.
+        prop_assert_eq!(d.broadcast(&d, "*").unwrap(), d.clone());
+        // broadcast with scalar: identity.
+        prop_assert_eq!(d.broadcast(&Dims::scalar(), "*").unwrap(), d.clone());
+        prop_assert_eq!(Dims::scalar().broadcast(&d, "*").unwrap(), d.clone());
+        // reduce: rank drops by one when the axis is valid.
+        if axis <= d.rank() {
+            let r = d.reduce(axis).unwrap();
+            prop_assert_eq!(r.rank(), d.rank().saturating_sub(1));
+            let removed = d.0[d.rank() - axis];
+            prop_assert_eq!(r.elements() * removed, d.elements());
+        }
+    }
+
+    /// The buffer pool never exceeds its frame budget, never loses a
+    /// pinned page, and hits+misses always equals total fetches.
+    #[test]
+    fn bufferpool_invariants(ops in prop::collection::vec(0u32..12, 1..150), frames in 2usize..8) {
+        let schema = Schema::training(4);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..2400 {
+            b.insert(&Tuple::training(&[k as f32; 4], 0.0)).unwrap();
+        }
+        let heap = b.finish();
+        prop_assume!(heap.page_count() >= 12);
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            pool_bytes: (frames * 8 * 1024) as u64,
+            page_size: 8 * 1024,
+        });
+        let disk = DiskModel::instant();
+        let mut fetches = 0u64;
+        for page_no in ops {
+            if let Ok((frame, _)) = pool.fetch(PageId::new(HeapId(0), page_no), &heap, &disk) {
+                fetches += 1;
+                prop_assert!(pool.frame_bytes(frame).len() == 8 * 1024);
+                pool.unpin(frame);
+            }
+            prop_assert!(pool.resident_pages() <= frames);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses, fetches);
+    }
+
+    /// Page checksums detect any single-byte corruption of the data area.
+    #[test]
+    fn checksum_detects_corruption(offset in 0usize..1000, flip in 1u8..255) {
+        let schema = Schema::training(8);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..100 {
+            b.insert(&Tuple::training(&[k as f32; 8], 0.0)).unwrap();
+        }
+        let heap = b.finish();
+        let mut bytes = heap.page_bytes(0).unwrap().to_vec();
+        let pos = dana_storage::PAGE_HEADER_BYTES + (offset % (bytes.len() - dana_storage::PAGE_HEADER_BYTES));
+        bytes[pos] ^= flip;
+        let page = dana_storage::HeapPage::from_bytes(bytes, *heap.layout()).unwrap();
+        prop_assert!(!page.verify_checksum());
+    }
+}
+
+// ALU ops agree with plain f32 arithmetic (non-property spot checks for
+// the full op set are in the engine crate; here: random operands).
+proptest! {
+    #[test]
+    fn alu_matches_f32(a in -1.0e3f32..1.0e3, b in -1.0e3f32..1.0e3) {
+        use dana_engine::AluOp;
+        prop_assert_eq!(AluOp::Add.apply(a, b), a + b);
+        prop_assert_eq!(AluOp::Sub.apply(a, b), a - b);
+        prop_assert_eq!(AluOp::Mul.apply(a, b), a * b);
+        prop_assert_eq!(AluOp::Max.apply(a, b), a.max(b));
+        prop_assert_eq!(AluOp::Gt.apply(a, b), if a > b { 1.0 } else { 0.0 });
+        prop_assert_eq!(AluOp::Mov.apply(a, b), a);
+    }
+}
