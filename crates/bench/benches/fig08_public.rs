@@ -2,21 +2,33 @@
 //! the publicly available datasets, warm (8a) and cold (8b) cache.
 
 use dana::SystemParams;
-use dana_bench::{geomean, paper, print_comparison, run_systems, Row, within_band};
+use dana_bench::{geomean, paper, print_comparison, run_systems, within_band, Row};
 use dana_workloads::workload;
 
 fn main() {
     let p = SystemParams::default();
     for (warm, title, table) in [
-        (true, "Figure 8a: public datasets, warm cache", &paper::FIG8_WARM),
-        (false, "Figure 8b: public datasets, cold cache", &paper::FIG8_COLD),
+        (
+            true,
+            "Figure 8a: public datasets, warm cache",
+            &paper::FIG8_WARM,
+        ),
+        (
+            false,
+            "Figure 8b: public datasets, cold cache",
+            &paper::FIG8_COLD,
+        ),
     ] {
         let mut gp_rows = Vec::new();
         let mut dana_rows = Vec::new();
         for (name, paper_gp, paper_dana) in table.iter() {
             let w = workload(name).expect("registry row");
             let t = run_systems(&w, warm, &p);
-            gp_rows.push(Row { name: name.to_string(), paper: *paper_gp, ours: t.gp_speedup() });
+            gp_rows.push(Row {
+                name: name.to_string(),
+                paper: *paper_gp,
+                ours: t.gp_speedup(),
+            });
             dana_rows.push(Row {
                 name: name.to_string(),
                 paper: *paper_dana,

@@ -1,22 +1,38 @@
 //! Figure 9 reproduction: synthetic-nominal (S/N) speedups, warm and cold.
 
 use dana::SystemParams;
-use dana_bench::{paper, print_comparison, run_systems, Row, within_band};
+use dana_bench::{paper, print_comparison, run_systems, within_band, Row};
 use dana_workloads::workload;
 
 fn main() {
     let p = SystemParams::default();
     for (warm, title, table) in [
-        (true, "Figure 9a: S/N datasets, warm cache", &paper::FIG9_WARM),
-        (false, "Figure 9b: S/N datasets, cold cache", &paper::FIG9_COLD),
+        (
+            true,
+            "Figure 9a: S/N datasets, warm cache",
+            &paper::FIG9_WARM,
+        ),
+        (
+            false,
+            "Figure 9b: S/N datasets, cold cache",
+            &paper::FIG9_COLD,
+        ),
     ] {
         let mut gp_rows = Vec::new();
         let mut dana_rows = Vec::new();
         for (name, paper_gp, paper_dana) in table.iter() {
             let w = workload(name).expect("registry row");
             let t = run_systems(&w, warm, &p);
-            gp_rows.push(Row { name: name.to_string(), paper: *paper_gp, ours: t.gp_speedup() });
-            dana_rows.push(Row { name: name.to_string(), paper: *paper_dana, ours: t.dana_speedup() });
+            gp_rows.push(Row {
+                name: name.to_string(),
+                paper: *paper_gp,
+                ours: t.gp_speedup(),
+            });
+            dana_rows.push(Row {
+                name: name.to_string(),
+                paper: *paper_dana,
+                ours: t.dana_speedup(),
+            });
         }
         print_comparison(&format!("{title} — Greenplum speedup"), "x", &gp_rows);
         print_comparison(&format!("{title} — DAnA speedup"), "x", &dana_rows);

@@ -14,13 +14,29 @@ fn main() {
         let w = workload(name).expect("registry row");
         let madlib = analytic_madlib(&w, true, &p).total_seconds;
         let with = madlib
-            / analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
+            / analytic_dana(&w, ExecutionMode::Strider, true, &p)
+                .unwrap()
+                .total_seconds;
         let without = madlib
-            / analytic_dana(&w, ExecutionMode::CpuFed, true, &p).unwrap().total_seconds;
-        with_rows.push(Row { name: name.to_string(), paper: *paper_with, ours: with });
-        without_rows.push(Row { name: name.to_string(), paper: *paper_without, ours: without });
+            / analytic_dana(&w, ExecutionMode::CpuFed, true, &p)
+                .unwrap()
+                .total_seconds;
+        with_rows.push(Row {
+            name: name.to_string(),
+            paper: *paper_with,
+            ours: with,
+        });
+        without_rows.push(Row {
+            name: name.to_string(),
+            paper: *paper_without,
+            ours: without,
+        });
     }
-    print_comparison("Figure 11 — DAnA without Striders (speedup over MADlib+PG)", "x", &without_rows);
+    print_comparison(
+        "Figure 11 — DAnA without Striders (speedup over MADlib+PG)",
+        "x",
+        &without_rows,
+    );
     print_comparison("Figure 11 — DAnA with Striders", "x", &with_rows);
 
     let ours_with = geomean(&with_rows.iter().map(|r| r.ours).collect::<Vec<_>>());

@@ -12,23 +12,31 @@ use dana_storage::DiskModel;
 use dana_workloads::workload;
 
 fn main() {
-    let mut p = SystemParams::default();
-    p.disk = DiskModel::instant(); // accelerator time only
+    let p = SystemParams {
+        disk: DiskModel::instant(), // accelerator time only
+        ..SystemParams::default()
+    };
     let sweeps: [(&str, &[u32]); 4] = [
         ("Remote Sensing SVM", &[1, 4, 16, 64, 128]),
         ("Remote Sensing LR", &[1, 4, 16, 64, 128]),
         ("Netflix", &[1, 2, 4, 8, 16, 32, 64]),
         ("Patient", &[1, 4, 16, 64, 128]),
     ];
-    println!("=== Figure 12: runtime vs merge coefficient (normalized to 1 thread; >1 = faster) ===");
+    println!(
+        "=== Figure 12: runtime vs merge coefficient (normalized to 1 thread; >1 = faster) ==="
+    );
     for (name, threads) in sweeps {
         let base_w = workload(name).expect("registry row").with_merge_coef(1);
-        let base = analytic_dana_threads(&base_w, 1, true, &p).unwrap().total_seconds;
+        let base = analytic_dana_threads(&base_w, 1, true, &p)
+            .unwrap()
+            .total_seconds;
         print!("{name:<20}");
         let mut series = Vec::new();
         for &t in threads {
             let w = workload(name).unwrap().with_merge_coef(t);
-            let total = analytic_dana_threads(&w, t, true, &p).unwrap().total_seconds;
+            let total = analytic_dana_threads(&w, t, true, &p)
+                .unwrap()
+                .total_seconds;
             series.push(base / total);
             print!("  t={t}: {:.2}x", base / total);
         }

@@ -8,8 +8,10 @@ use dana_storage::DiskModel;
 use dana_workloads::workload;
 
 fn main() {
-    let mut base_params = SystemParams::default();
-    base_params.disk = DiskModel::instant(); // isolate FPGA time
+    let base_params = SystemParams {
+        disk: DiskModel::instant(), // isolate FPGA time
+        ..SystemParams::default()
+    };
     let scales = [0.25, 0.5, 2.0, 4.0];
 
     println!("=== Figure 14: FPGA-time speedup over baseline bandwidth ===");
@@ -27,7 +29,9 @@ fn main() {
             .iter()
             .map(|s| {
                 let p = base_params.with_bandwidth_scale(*s);
-                base / analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds
+                base / analytic_dana(&w, ExecutionMode::Strider, true, &p)
+                    .unwrap()
+                    .total_seconds
             })
             .collect();
         println!(

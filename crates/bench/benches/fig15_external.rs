@@ -53,8 +53,10 @@ fn main() {
         };
         let lib_ours = ext(ExternalLibrary::Liblinear);
         let dw_ours = ext(ExternalLibrary::DimmWitted);
-        let dana_ours =
-            madlib / analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
+        let dana_ours = madlib
+            / analytic_dana(&w, ExecutionMode::Strider, true, &p)
+                .unwrap()
+                .total_seconds;
         println!(
             "{:<20} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
             wl, lib_paper, lib_ours, dw_paper, dw_ours, dana_paper, dana_ours
@@ -66,5 +68,7 @@ fn main() {
     println!(
         "\nshape check: DAnA is uniformly faster than both libraries (paper: yes): {dana_always_wins}"
     );
-    println!("shape check: library SVM solvers lose to in-database IGD (speedup < 1) — see rows above");
+    println!(
+        "shape check: library SVM solvers lose to in-database IGD (speedup < 1) — see rows above"
+    );
 }

@@ -11,14 +11,24 @@ use dana_storage::DiskModel;
 use dana_workloads::workload;
 
 fn main() {
-    let mut p = SystemParams::default();
-    p.disk = DiskModel::instant(); // accelerator-side comparison
+    let p = SystemParams {
+        disk: DiskModel::instant(), // accelerator-side comparison
+        ..SystemParams::default()
+    };
     let mut rows = Vec::new();
     for (name, paper_speedup) in paper::FIG16.iter() {
         let w = workload(name).expect("registry row");
-        let dana = analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
-        let tabla = analytic_dana(&w, ExecutionMode::Tabla, true, &p).unwrap().total_seconds;
-        rows.push(Row { name: name.to_string(), paper: *paper_speedup, ours: tabla / dana });
+        let dana = analytic_dana(&w, ExecutionMode::Strider, true, &p)
+            .unwrap()
+            .total_seconds;
+        let tabla = analytic_dana(&w, ExecutionMode::Tabla, true, &p)
+            .unwrap()
+            .total_seconds;
+        rows.push(Row {
+            name: name.to_string(),
+            paper: *paper_speedup,
+            ours: tabla / dana,
+        });
     }
     print_comparison("Figure 16 — DAnA speedup over TABLA", "x", &rows);
     let ours_geo = geomean(&rows.iter().map(|r| r.ours).collect::<Vec<_>>());

@@ -3,7 +3,7 @@
 //! warm cache, all fourteen workloads.
 
 use dana::SystemParams;
-use dana_bench::{fmt_seconds, paper, run_systems, Row, within_band};
+use dana_bench::{fmt_seconds, paper, run_systems, within_band, Row};
 use dana_workloads::all_workloads;
 
 fn main() {
@@ -32,9 +32,21 @@ fn main() {
             fmt_seconds(paper_dana),
             fmt_seconds(totals.dana),
         );
-        pg_rows.push(Row { name: w.name.into(), paper: paper_pg, ours: totals.madlib_pg });
-        gp_rows.push(Row { name: w.name.into(), paper: paper_gp, ours: totals.madlib_gp8 });
-        dana_rows.push(Row { name: w.name.into(), paper: paper_dana, ours: totals.dana });
+        pg_rows.push(Row {
+            name: w.name.into(),
+            paper: paper_pg,
+            ours: totals.madlib_pg,
+        });
+        gp_rows.push(Row {
+            name: w.name.into(),
+            paper: paper_gp,
+            ours: totals.madlib_gp8,
+        });
+        dana_rows.push(Row {
+            name: w.name.into(),
+            paper: paper_dana,
+            ours: totals.dana,
+        });
     }
     println!(
         "\nabsolute agreement within 3x: PG {:.0}%  GP {:.0}%  DAnA {:.0}%",

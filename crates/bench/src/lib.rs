@@ -75,14 +75,33 @@ pub struct Row {
 /// gross qualitative verdict (same winner / within ~3× shape band).
 pub fn print_comparison(title: &str, unit: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
-    println!("{:<22} {:>12} {:>12} {:>8}", "workload", format!("paper ({unit})"), "ours", "ratio");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "workload",
+        format!("paper ({unit})"),
+        "ours",
+        "ratio"
+    );
     for r in rows {
-        let ratio = if r.paper > 0.0 { r.ours / r.paper } else { f64::NAN };
-        println!("{:<22} {:>12.2} {:>12.2} {:>7.2}x", r.name, r.paper, r.ours, ratio);
+        let ratio = if r.paper > 0.0 {
+            r.ours / r.paper
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>7.2}x",
+            r.name, r.paper, r.ours, ratio
+        );
     }
     let pg = geomean(&rows.iter().map(|r| r.paper).collect::<Vec<_>>());
     let og = geomean(&rows.iter().map(|r| r.ours).collect::<Vec<_>>());
-    println!("{:<22} {:>12.2} {:>12.2} {:>7.2}x", "geomean", pg, og, og / pg);
+    println!(
+        "{:<22} {:>12.2} {:>12.2} {:>7.2}x",
+        "geomean",
+        pg,
+        og,
+        og / pg
+    );
 }
 
 /// Fraction of rows whose ours/paper ratio lies within [1/band, band].
@@ -122,8 +141,16 @@ mod tests {
     #[test]
     fn band_counting() {
         let rows = vec![
-            Row { name: "a".into(), paper: 10.0, ours: 12.0 },
-            Row { name: "b".into(), paper: 10.0, ours: 100.0 },
+            Row {
+                name: "a".into(),
+                paper: 10.0,
+                ours: 12.0,
+            },
+            Row {
+                name: "b".into(),
+                paper: 10.0,
+                ours: 100.0,
+            },
         ];
         assert!((within_band(&rows, 3.0) - 0.5).abs() < 1e-12);
     }

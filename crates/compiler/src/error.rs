@@ -54,6 +54,8 @@ mod tests {
     fn display_is_informative() {
         let e = CompilerError::OutOfSlots { au: 3, slots: 128 };
         assert!(e.to_string().contains("AU 3"));
-        assert!(CompilerError::MixedModelUse("mo".into()).to_string().contains("mo"));
+        assert!(CompilerError::MixedModelUse("mo".into())
+            .to_string()
+            .contains("mo"));
     }
 }

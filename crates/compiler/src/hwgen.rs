@@ -110,8 +110,7 @@ pub fn compile_with_threads(
     threads: u32,
 ) -> CompilerResult<CompiledAccelerator> {
     let fpga = &input.fpga;
-    let total_aus =
-        (fpga.dsp_slices / DSP_SLICES_PER_AU).min(fpga.max_compute_units as u64) as u32;
+    let total_aus = (fpga.dsp_slices / DSP_SLICES_PER_AU).min(fpga.max_compute_units as u64) as u32;
     let total_acs = total_aus / 8;
     if total_acs == 0 {
         return Err(CompilerError::InsufficientResources(format!(
@@ -170,14 +169,20 @@ pub fn compile_with_threads(
 
     let (strider_program, strider_config) = strider_program_for_layout(&input.layout);
     let estimate = estimate_perf(input, &engine);
-    Ok(CompiledAccelerator { design, strider_program, strider_config, budget, estimate })
+    Ok(CompiledAccelerator {
+        design,
+        strider_program,
+        strider_config,
+        budget,
+        estimate,
+    })
 }
 
 /// Thread-count candidates: powers of two from 1 to the merge coefficient,
 /// merge coefficient itself, bounded by available clusters.
 fn thread_candidates(input: &CompileInput, merge_coef: u32) -> Vec<u32> {
-    let total_aus = (input.fpga.dsp_slices / DSP_SLICES_PER_AU)
-        .min(input.fpga.max_compute_units as u64) as u32;
+    let total_aus =
+        (input.fpga.dsp_slices / DSP_SLICES_PER_AU).min(input.fpga.max_compute_units as u64) as u32;
     let total_acs = (total_aus / 8).max(1);
     let cap = merge_coef.min(total_acs);
     let mut v = Vec::new();
@@ -206,8 +211,7 @@ fn estimate_perf(input: &CompileInput, engine: &ExecutionEngine) -> PerfEstimate
     if rem > 0 {
         epoch += engine.estimated_batch_cycles(rem);
     }
-    let tuples_per_page = (input.layout.capacity as u64)
-        .min(tuples.max(1));
+    let tuples_per_page = (input.layout.capacity as u64).min(tuples.max(1));
     PerfEstimate {
         epoch_engine_cycles: epoch,
         strider_cycles_per_page: estimated_cycles_per_page(&input.layout, tuples_per_page)
@@ -220,7 +224,9 @@ fn estimate_perf(input: &CompileInput, engine: &ExecutionEngine) -> PerfEstimate
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dana_dsl::zoo::{linear_regression, logistic_regression, lrmf, svm, DenseParams, LrmfParams};
+    use dana_dsl::zoo::{
+        linear_regression, logistic_regression, lrmf, svm, DenseParams, LrmfParams,
+    };
     use dana_hdfg::translate;
     use dana_storage::page::TupleDirection;
     use dana_storage::TUPLE_HEADER_BYTES;
@@ -249,9 +255,21 @@ mod tests {
     #[test]
     fn compiles_all_zoo_algorithms_on_vu9p() {
         for spec in [
-            linear_regression(DenseParams { n_features: 50, ..Default::default() }).unwrap(),
-            logistic_regression(DenseParams { n_features: 50, ..Default::default() }).unwrap(),
-            svm(DenseParams { n_features: 50, ..Default::default() }).unwrap(),
+            linear_regression(DenseParams {
+                n_features: 50,
+                ..Default::default()
+            })
+            .unwrap(),
+            logistic_regression(DenseParams {
+                n_features: 50,
+                ..Default::default()
+            })
+            .unwrap(),
+            svm(DenseParams {
+                n_features: 50,
+                ..Default::default()
+            })
+            .unwrap(),
         ] {
             let g = translate(&spec);
             let input = input_for(&g, 50, 10_000);
@@ -265,7 +283,13 @@ mod tests {
 
     #[test]
     fn lrmf_compiles_with_shared_model_memory() {
-        let spec = lrmf(LrmfParams { rows: 500, cols: 400, rank: 10, ..Default::default() }).unwrap();
+        let spec = lrmf(LrmfParams {
+            rows: 500,
+            cols: 400,
+            rank: 10,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
         let layout = PageLayoutDesc::new(
             32 * 1024,
@@ -283,7 +307,11 @@ mod tests {
             expected_tuples: 5_000,
         };
         let acc = compile(&input).unwrap();
-        assert!(acc.design.models.iter().all(|m| m.broadcast_slots.is_none()));
+        assert!(acc
+            .design
+            .models
+            .iter()
+            .all(|m| m.broadcast_slots.is_none()));
     }
 
     #[test]
@@ -318,7 +346,11 @@ mod tests {
         let g = translate(&spec);
         let input = input_for(&g, 54, 500_000);
         let acc = compile(&input).unwrap();
-        assert!(acc.design.num_threads > 1, "picked {}", acc.design.num_threads);
+        assert!(
+            acc.design.num_threads > 1,
+            "picked {}",
+            acc.design.num_threads
+        );
     }
 
     #[test]
@@ -343,7 +375,11 @@ mod tests {
 
     #[test]
     fn tiny_fpga_is_rejected_gracefully() {
-        let spec = linear_regression(DenseParams { n_features: 16, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 16,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
         let mut input = input_for(&g, 16, 1000);
         input.fpga.dsp_slices = 4; // less than one AU
@@ -355,7 +391,11 @@ mod tests {
 
     #[test]
     fn bram_pressure_rejects_oversized_designs() {
-        let spec = linear_regression(DenseParams { n_features: 16, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 16,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
         let mut input = input_for(&g, 16, 1000);
         input.fpga = input.fpga.with_bram_bytes(1024); // 1 KB of BRAM

@@ -26,11 +26,11 @@
 use std::collections::HashMap;
 
 use dana_dsl::{BinOp, DataKind, GroupOp, UnaryFn, VarId};
-use dana_engine::{
-    AluOp, ConvergenceCheck, EngineDesign, EngineProgram, Loc, MergePlan, MicroOp, ModelWrite,
-    Src, Step, AUS_PER_AC,
-};
 use dana_engine::engine::ModelDesc;
+use dana_engine::{
+    AluOp, ConvergenceCheck, EngineDesign, EngineProgram, Loc, MergePlan, MicroOp, ModelWrite, Src,
+    Step, AUS_PER_AC,
+};
 use dana_hdfg::{HNode, HOp, Hdfg, NodeId, Region};
 
 use crate::error::{CompilerError, CompilerResult};
@@ -120,7 +120,10 @@ impl<'a> Sched<'a> {
     fn alloc_slot(&mut self, au: u16) -> CompilerResult<u16> {
         let next = self.slot_next[au as usize];
         if next >= self.p.slots_per_au {
-            return Err(CompilerError::OutOfSlots { au, slots: self.p.slots_per_au });
+            return Err(CompilerError::OutOfSlots {
+                au,
+                slots: self.p.slots_per_au,
+            });
         }
         self.slot_next[au as usize] = next + 1;
         Ok(next)
@@ -142,7 +145,11 @@ impl<'a> Sched<'a> {
     fn classify_models(&self) -> CompilerResult<HashMap<VarId, bool>> {
         let mut leaf_of: HashMap<VarId, NodeId> = HashMap::new();
         for n in &self.g.nodes {
-            if let HOp::Leaf { var, kind: DataKind::Model } = n.op {
+            if let HOp::Leaf {
+                var,
+                kind: DataKind::Model,
+            } = n.op
+            {
                 leaf_of.insert(var, n.id);
             }
         }
@@ -180,7 +187,9 @@ impl<'a> Sched<'a> {
             .cloned()
             .collect();
         for node in leaves {
-            let HOp::Leaf { var, kind } = node.op else { unreachable!() };
+            let HOp::Leaf { var, kind } = node.op else {
+                unreachable!()
+            };
             match kind {
                 DataKind::Input => {
                     let locs = self.alloc_vec(node.dims.elements())?;
@@ -193,12 +202,9 @@ impl<'a> Sched<'a> {
                     self.bind.insert(node.id, Binding::Locs(locs));
                 }
                 DataKind::Meta => {
-                    let values = self
-                        .meta_values(var)
-                        .ok_or_else(|| CompilerError::Unsupported(format!(
-                            "meta '{}' has no value",
-                            node.name
-                        )))?;
+                    let values = self.meta_values(var).ok_or_else(|| {
+                        CompilerError::Unsupported(format!("meta '{}' has no value", node.name))
+                    })?;
                     self.bind.insert(node.id, Binding::Consts(values));
                 }
                 DataKind::Model => {
@@ -249,7 +255,12 @@ impl<'a> Sched<'a> {
 
     /// Maps an output element index to the operand's element index under
     /// the DSL broadcast rules.
-    fn operand_index(out_dims: &dana_dsl::Dims, opnd_dims: &dana_dsl::Dims, e: usize, left: bool) -> usize {
+    fn operand_index(
+        out_dims: &dana_dsl::Dims,
+        opnd_dims: &dana_dsl::Dims,
+        e: usize,
+        left: bool,
+    ) -> usize {
         if opnd_dims.is_scalar() {
             return 0;
         }
@@ -283,12 +294,7 @@ impl<'a> Sched<'a> {
 
     /// Ensures `src` is readable from cluster `ac`; returns the usable Src.
     /// Queues a staged Mov into `movs` when a bus transfer is needed.
-    fn localize(
-        &mut self,
-        src: Src,
-        ac: u16,
-        movs: &mut Vec<(Loc, Loc)>,
-    ) -> CompilerResult<Src> {
+    fn localize(&mut self, src: Src, ac: u16, movs: &mut Vec<(Loc, Loc)>) -> CompilerResult<Src> {
         let Src::Slot(l) = src else { return Ok(src) };
         if l.ac() == ac {
             return Ok(src);
@@ -416,7 +422,11 @@ impl<'a> Sched<'a> {
             let mut step = Step::default();
             for (au, elems, acc) in &chains {
                 if round < elems.len() {
-                    let a = if round == 1 { Src::Slot(elems[0]) } else { Src::Slot(*acc) };
+                    let a = if round == 1 {
+                        Src::Slot(elems[0])
+                    } else {
+                        Src::Slot(*acc)
+                    };
                     step.ops.push(MicroOp::Alu {
                         au: *au,
                         op,
@@ -453,7 +463,13 @@ impl<'a> Sched<'a> {
             let mut results = Vec::new();
             for (x, rsrc) in pair_ops {
                 let out = Loc::new(x.au, self.alloc_slot(x.au)?);
-                step.ops.push(MicroOp::Alu { au: x.au, op, a: Src::Slot(x), b: rsrc, dst: out.slot });
+                step.ops.push(MicroOp::Alu {
+                    au: x.au,
+                    op,
+                    a: Src::Slot(x),
+                    b: rsrc,
+                    dst: out.slot,
+                });
                 results.push(out);
             }
             self.steps_mut(region).push(step);
@@ -467,9 +483,19 @@ impl<'a> Sched<'a> {
                 let mut movs = Vec::new();
                 let psrc = self.localize(Src::Slot(*p), dst.ac(), &mut movs)?;
                 self.flush_movs(region, movs);
-                let (op2, b) = if has_consts { (op, Src::Const(const_acc)) } else { (AluOp::Mov, Src::Const(0.0)) };
+                let (op2, b) = if has_consts {
+                    (op, Src::Const(const_acc))
+                } else {
+                    (AluOp::Mov, Src::Const(0.0))
+                };
                 self.steps_mut(region).push(Step {
-                    ops: vec![MicroOp::Alu { au: dst.au, op: op2, a: psrc, b, dst: dst.slot }],
+                    ops: vec![MicroOp::Alu {
+                        au: dst.au,
+                        op: op2,
+                        a: psrc,
+                        b,
+                        dst: dst.slot,
+                    }],
                 });
             }
             None => {
@@ -589,7 +615,11 @@ impl<'a> Sched<'a> {
         let a_bind = self.binding(a_id).clone();
         let out_n = node.dims.elements();
         // Input element indices feeding each output element.
-        let extent = if in_dims.is_scalar() { 1 } else { in_dims.0[in_dims.rank() - axis] };
+        let extent = if in_dims.is_scalar() {
+            1
+        } else {
+            in_dims.0[in_dims.rank() - axis]
+        };
         let groups: Vec<Vec<usize>> = (0..out_n)
             .map(|oe| reduction_sources(&in_dims, axis, extent, oe))
             .collect();
@@ -610,7 +640,9 @@ impl<'a> Sched<'a> {
             return Ok(());
         }
         let Binding::Locs(a_locs) = &a_bind else {
-            return Err(CompilerError::Unsupported("group over a model reference".into()));
+            return Err(CompilerError::Unsupported(
+                "group over a model reference".into(),
+            ));
         };
         let out = self.alloc_vec(out_n)?;
         for (oe, group) in groups.iter().enumerate() {
@@ -669,7 +701,11 @@ impl<'a> Sched<'a> {
         let out = self.alloc_vec(node.dims.elements())?;
         let region = node.region;
         self.steps_mut(region).push(Step {
-            ops: vec![MicroOp::Gather { model, index, dst: out.clone() }],
+            ops: vec![MicroOp::Gather {
+                model,
+                index,
+                dst: out.clone(),
+            }],
         });
         self.bind.insert(node.id, Binding::Locs(out));
         Ok(())
@@ -689,7 +725,9 @@ impl<'a> Sched<'a> {
             (Some(mi), true) => {
                 let Binding::Locs(slots) = self.binding(self.g.node(mi.node).inputs[0]).clone()
                 else {
-                    return Err(CompilerError::Unsupported("merge variable is not in slots".into()));
+                    return Err(CompilerError::Unsupported(
+                        "merge variable is not in slots".into(),
+                    ));
                 };
                 MergePlan::Whole { op: mi.op, slots }
             }
@@ -706,13 +744,24 @@ impl<'a> Sched<'a> {
             match b {
                 dana_hdfg::graph::ModelBinding::Whole { model, source } => {
                     let Binding::Locs(src) = self.binding(*source).clone() else {
-                        return Err(CompilerError::Unsupported("model update source not in slots".into()));
+                        return Err(CompilerError::Unsupported(
+                            "model update source not in slots".into(),
+                        ));
                     };
-                    model_writes.push(ModelWrite::Whole { model: self.model_of_var[model], src });
+                    model_writes.push(ModelWrite::Whole {
+                        model: self.model_of_var[model],
+                        src,
+                    });
                 }
-                dana_hdfg::graph::ModelBinding::Row { model, index, source } => {
+                dana_hdfg::graph::ModelBinding::Row {
+                    model,
+                    index,
+                    source,
+                } => {
                     let Binding::Locs(src) = self.binding(*source).clone() else {
-                        return Err(CompilerError::Unsupported("row update source not in slots".into()));
+                        return Err(CompilerError::Unsupported(
+                            "row update source not in slots".into(),
+                        ));
                     };
                     let Binding::Locs(idx) = self.binding(*index).clone() else {
                         return Err(CompilerError::Unsupported("row index not in slots".into()));
@@ -730,9 +779,14 @@ impl<'a> Sched<'a> {
             dana_hdfg::graph::ConvergenceBinding::Epochs(n) => ConvergenceCheck::Epochs(*n),
             dana_hdfg::graph::ConvergenceBinding::Condition { node, max_epochs } => {
                 let Binding::Locs(l) = self.binding(*node).clone() else {
-                    return Err(CompilerError::Unsupported("convergence condition not in slots".into()));
+                    return Err(CompilerError::Unsupported(
+                        "convergence condition not in slots".into(),
+                    ));
                 };
-                ConvergenceCheck::Condition { slot: l[0], max_epochs: *max_epochs }
+                ConvergenceCheck::Condition {
+                    slot: l[0],
+                    max_epochs: *max_epochs,
+                }
             }
         };
         // Meta preloads: scalar metas folded to constants need no slots;
@@ -743,7 +797,10 @@ impl<'a> Sched<'a> {
             acs_per_thread: self.p.acs_per_thread,
             slots_per_au: slots_used.max(1),
             bus_lanes: self.p.bus_lanes,
-            program: EngineProgram { per_tuple: self.per_tuple, post_merge: self.post_merge },
+            program: EngineProgram {
+                per_tuple: self.per_tuple,
+                post_merge: self.post_merge,
+            },
             input_slots: self.input_slots,
             output_slots: self.output_slots,
             meta: Vec::new(),
@@ -785,13 +842,18 @@ fn make_resolver(
 
 /// Input element indices reduced into output element `oe` for a group op
 /// over `axis` (1-based from the right) of `in_dims`.
-fn reduction_sources(in_dims: &dana_dsl::Dims, axis: usize, extent: usize, oe: usize) -> Vec<usize> {
+fn reduction_sources(
+    in_dims: &dana_dsl::Dims,
+    axis: usize,
+    extent: usize,
+    oe: usize,
+) -> Vec<usize> {
     if in_dims.is_scalar() {
         return vec![0];
     }
     let rank = in_dims.rank();
     let red = rank - axis; // axis position from the left
-    // Decompose oe over the output dims (input dims minus `red`).
+                           // Decompose oe over the output dims (input dims minus `red`).
     let mut out_shape: Vec<usize> = in_dims.0.clone();
     out_shape.remove(red);
     let mut coords = vec![0usize; out_shape.len()];
@@ -827,27 +889,34 @@ fn reduction_sources(in_dims: &dana_dsl::Dims, axis: usize, extent: usize, oe: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dana_dsl::zoo::{linear_regression, logistic_regression, lrmf, svm, DenseParams, LrmfParams};
+    use dana_dsl::zoo::{
+        linear_regression, logistic_regression, lrmf, svm, DenseParams, LrmfParams,
+    };
     use dana_dsl::Dims;
     use dana_engine::{ExecutionEngine, ModelStore};
     use dana_hdfg::translate;
 
     fn params(threads: u16, acs: u16) -> ScheduleParams {
-        ScheduleParams { num_threads: threads, acs_per_thread: acs, slots_per_au: 4096, bus_lanes: 1 }
+        ScheduleParams {
+            num_threads: threads,
+            acs_per_thread: acs,
+            slots_per_au: 4096,
+            bus_lanes: 1,
+        }
     }
 
-    fn schedule_zoo(
-        spec: &dana_dsl::AlgoSpec,
-        threads: u16,
-        acs: u16,
-    ) -> EngineDesign {
+    fn schedule_zoo(spec: &dana_dsl::AlgoSpec, threads: u16, acs: u16) -> EngineDesign {
         let g = translate(spec);
         schedule_hdfg(&g, params(threads, acs)).unwrap()
     }
 
     #[test]
     fn linreg_design_is_engine_valid() {
-        let spec = linear_regression(DenseParams { n_features: 10, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 10,
+            ..Default::default()
+        })
+        .unwrap();
         let design = schedule_zoo(&spec, 4, 1);
         ExecutionEngine::new(design).expect("engine accepts scheduled design");
     }
@@ -855,9 +924,21 @@ mod tests {
     #[test]
     fn all_zoo_specs_schedule_and_validate() {
         for spec in [
-            linear_regression(DenseParams { n_features: 20, ..Default::default() }).unwrap(),
-            logistic_regression(DenseParams { n_features: 20, ..Default::default() }).unwrap(),
-            svm(DenseParams { n_features: 20, ..Default::default() }).unwrap(),
+            linear_regression(DenseParams {
+                n_features: 20,
+                ..Default::default()
+            })
+            .unwrap(),
+            logistic_regression(DenseParams {
+                n_features: 20,
+                ..Default::default()
+            })
+            .unwrap(),
+            svm(DenseParams {
+                n_features: 20,
+                ..Default::default()
+            })
+            .unwrap(),
             lrmf(LrmfParams::default()).unwrap(),
         ] {
             for (threads, acs) in [(1u16, 1u16), (2, 1), (4, 2), (8, 2)] {
@@ -885,7 +966,9 @@ mod tests {
         let truth: Vec<f32> = (0..n).map(|i| 0.5 * (i as f32) - 1.0).collect();
         let tuples: Vec<Vec<f32>> = (0..64)
             .map(|k| {
-                let x: Vec<f32> = (0..n).map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0).collect();
+                let x: Vec<f32> = (0..n)
+                    .map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0)
+                    .collect();
                 let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
                 let mut t = x;
                 t.push(y);
@@ -893,7 +976,8 @@ mod tests {
             })
             .collect();
         let mut store = ModelStore::new(&design, vec![vec![0.0; n]]).unwrap();
-        engine.run_training(&tuples, &mut store).unwrap();
+        let batch = dana_storage::TupleBatch::from_rows(n + 1, &tuples);
+        engine.run_training_batch(&batch, &mut store).unwrap();
 
         // Reference: batched GD, batch 4, lr 0.2/4, 10 epochs.
         let mut w = vec![0.0f32; n];
@@ -925,7 +1009,11 @@ mod tests {
 
     #[test]
     fn wide_models_span_multiple_clusters() {
-        let spec = linear_regression(DenseParams { n_features: 64, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 64,
+            ..Default::default()
+        })
+        .unwrap();
         let design = schedule_zoo(&spec, 2, 4); // 32 AUs per thread
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         // Per-tuple work must spread across all 4 clusters.
@@ -944,7 +1032,11 @@ mod tests {
 
     #[test]
     fn more_acs_fewer_per_tuple_cycles() {
-        let spec = linear_regression(DenseParams { n_features: 128, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 128,
+            ..Default::default()
+        })
+        .unwrap();
         let one = schedule_zoo(&spec, 1, 1).program.per_tuple_cycles();
         let four = schedule_zoo(&spec, 1, 4).program.per_tuple_cycles();
         let sixteen = schedule_zoo(&spec, 1, 16).program.per_tuple_cycles();
@@ -957,7 +1049,11 @@ mod tests {
 
     #[test]
     fn meta_constants_fold_into_immediates() {
-        let spec = linear_regression(DenseParams { n_features: 4, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 4,
+            ..Default::default()
+        })
+        .unwrap();
         let design = schedule_zoo(&spec, 1, 1);
         // No meta preloads: lr folded into Const operands.
         assert!(design.meta.is_empty());
@@ -983,7 +1079,10 @@ mod tests {
             .count();
         assert_eq!(gathers, 2);
         assert_eq!(design.model_writes.len(), 2);
-        assert!(design.model_writes.iter().all(|w| matches!(w, ModelWrite::Row { .. })));
+        assert!(design
+            .model_writes
+            .iter()
+            .all(|w| matches!(w, ModelWrite::Row { .. })));
         assert!(matches!(design.merge, MergePlan::None));
         // Both models are row-indexed: no broadcast slots.
         assert!(design.models.iter().all(|m| m.broadcast_slots.is_none()));
@@ -1007,7 +1106,10 @@ mod tests {
         "#;
         let spec = dana_dsl::parse_udf(src, "t").unwrap();
         let design = schedule_zoo(&spec, 1, 1);
-        assert!(matches!(design.convergence, ConvergenceCheck::Condition { max_epochs: 9, .. }));
+        assert!(matches!(
+            design.convergence,
+            ConvergenceCheck::Condition { max_epochs: 9, .. }
+        ));
     }
 
     #[test]
@@ -1050,9 +1152,18 @@ mod tests {
 
     #[test]
     fn slots_exhaustion_reported() {
-        let spec = linear_regression(DenseParams { n_features: 64, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 64,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
-        let tight = ScheduleParams { num_threads: 1, acs_per_thread: 1, slots_per_au: 4, bus_lanes: 1 };
+        let tight = ScheduleParams {
+            num_threads: 1,
+            acs_per_thread: 1,
+            slots_per_au: 4,
+            bus_lanes: 1,
+        };
         assert!(matches!(
             schedule_hdfg(&g, tight),
             Err(CompilerError::OutOfSlots { .. })

@@ -143,8 +143,12 @@ fn dana_timing_for(
     let strider_cycles = pages * acc.estimate.strider_cycles_per_page;
     let width = w.schema().len();
     let costs = EpochCosts {
-        io_first: p.disk.sequential_read_time(first_misses * p.page_size as u64),
-        io_later: p.disk.sequential_read_time(later_misses * p.page_size as u64),
+        io_first: p
+            .disk
+            .sequential_read_time(first_misses * p.page_size as u64),
+        io_later: p
+            .disk
+            .sequential_read_time(later_misses * p.page_size as u64),
         axi: axi.stream_time(bytes, p.page_size as u64),
         strider: clock
             .to_seconds(strider_cycles.div_ceil(acc.budget.num_page_buffers.max(1) as u64)),
@@ -164,7 +168,8 @@ pub fn analytic_madlib(w: &Workload, warm: bool, p: &SystemParams) -> AnalyticTi
     let pages = w.pages_for(p.page_size);
     let cpu_epoch = match (w.algorithm, w.lrmf) {
         (Algorithm::Lrmf, Some((rows, cols, rank))) => {
-            p.cpu.madlib_lrmf_epoch_seconds(rows as u64, cols as u64, rank, w.paper_pages)
+            p.cpu
+                .madlib_lrmf_epoch_seconds(rows as u64, cols as u64, rank, w.paper_pages)
         }
         _ => p.cpu.madlib_epoch_seconds(
             w.algorithm,
@@ -181,7 +186,11 @@ pub fn analytic_madlib(w: &Workload, warm: bool, p: &SystemParams) -> AnalyticTi
             * p.disk.sequential_read_time(later * p.page_size as u64);
     let cpu = w.epochs.max(1) as f64 * cpu_epoch;
     // Single-threaded PostgreSQL: the aggregate does not overlap reads.
-    AnalyticTiming { cpu_seconds: cpu, io_seconds: io, total_seconds: cpu + io }
+    AnalyticTiming {
+        cpu_seconds: cpu,
+        io_seconds: io,
+        total_seconds: cpu + io,
+    }
 }
 
 /// MADlib + Greenplum at full workload scale.
@@ -250,9 +259,13 @@ mod tests {
     fn cold_cache_reduces_the_win() {
         let w = workload("Remote Sensing LR").unwrap();
         let warm_ratio = analytic_madlib(&w, true, &p()).total_seconds
-            / analytic_dana(&w, ExecutionMode::Strider, true, &p()).unwrap().total_seconds;
+            / analytic_dana(&w, ExecutionMode::Strider, true, &p())
+                .unwrap()
+                .total_seconds;
         let cold_ratio = analytic_madlib(&w, false, &p()).total_seconds
-            / analytic_dana(&w, ExecutionMode::Strider, false, &p()).unwrap().total_seconds;
+            / analytic_dana(&w, ExecutionMode::Strider, false, &p())
+                .unwrap()
+                .total_seconds;
         assert!(
             cold_ratio < warm_ratio,
             "benefits must diminish for cold cache: warm {warm_ratio:.1} cold {cold_ratio:.1}"
@@ -278,17 +291,28 @@ mod tests {
         // Fig. 14: S/N Linear gains from 2× bandwidth; LRMF does not.
         let w = workload("S/N Linear").unwrap();
         let base = analytic_dana(&w, ExecutionMode::Strider, true, &p()).unwrap();
-        let double =
-            analytic_dana(&w, ExecutionMode::Strider, true, &p().with_bandwidth_scale(2.0))
-                .unwrap();
+        let double = analytic_dana(
+            &w,
+            ExecutionMode::Strider,
+            true,
+            &p().with_bandwidth_scale(2.0),
+        )
+        .unwrap();
         let gain = base.total_seconds / double.total_seconds;
-        assert!(gain > 1.3, "bandwidth-bound workload must speed up, got {gain:.2}×");
+        assert!(
+            gain > 1.3,
+            "bandwidth-bound workload must speed up, got {gain:.2}×"
+        );
 
         let lrmf = workload("S/N LRMF").unwrap();
         let lbase = analytic_dana(&lrmf, ExecutionMode::Strider, true, &p()).unwrap();
-        let ldouble =
-            analytic_dana(&lrmf, ExecutionMode::Strider, true, &p().with_bandwidth_scale(2.0))
-                .unwrap();
+        let ldouble = analytic_dana(
+            &lrmf,
+            ExecutionMode::Strider,
+            true,
+            &p().with_bandwidth_scale(2.0),
+        )
+        .unwrap();
         let lgain = lbase.total_seconds / ldouble.total_seconds;
         assert!(lgain < 1.15, "compute-bound LRMF must not, got {lgain:.2}×");
     }
@@ -315,7 +339,11 @@ mod tests {
         for w in dana_workloads::all_workloads() {
             let t = analytic_dana(&w, ExecutionMode::Strider, true, &p())
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            assert!(t.total_seconds.is_finite() && t.total_seconds > 0.0, "{}", w.name);
+            assert!(
+                t.total_seconds.is_finite() && t.total_seconds > 0.0,
+                "{}",
+                w.name
+            );
             let m = analytic_madlib(&w, true, &p());
             assert!(m.total_seconds > 0.0, "{}", w.name);
         }

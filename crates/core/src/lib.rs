@@ -48,16 +48,18 @@ pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod runtime;
+pub mod source;
 
 pub use analytic::{
-    analytic_dana, analytic_dana_threads, analytic_external, analytic_greenplum,
-    analytic_madlib, compile_workload, AnalyticTiming, SystemParams,
+    analytic_dana, analytic_dana_threads, analytic_external, analytic_greenplum, analytic_madlib,
+    compile_workload, AnalyticTiming, SystemParams,
 };
 pub use error::{DanaError, DanaResult};
 pub use pipeline::{Dana, DeployInfo};
 pub use query::{parse_query, QueryCall};
 pub use report::{DanaReport, DanaTiming, QueryOutcome};
 pub use runtime::ExecutionMode;
+pub use source::{FeedKind, PageStreamSource};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {

@@ -12,7 +12,9 @@
 //!    simulated end-to-end timing with the pipeline-overlap semantics of
 //!    [`crate::runtime`].
 
-use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate};
+use dana_compiler::{
+    compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
+};
 use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
 use dana_hdfg::translate;
@@ -21,12 +23,13 @@ use dana_storage::{
     AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
     Tuple,
 };
-use dana_strider::{disassemble, AccessEngine, AccessEngineConfig, AccessStats};
+use dana_strider::{disassemble, AccessEngine, AccessEngineConfig};
 
 use crate::error::{DanaError, DanaResult};
 use crate::query::parse_query;
 use crate::report::{DanaReport, DanaTiming, QueryOutcome};
 use crate::runtime::{compose, EpochCosts, ExecutionMode};
+use crate::source::{FeedKind, PageStreamSource};
 
 /// Per-tuple CPU→FPGA handshake cost in the Strider-less ablation
 /// ("significant overhead due to the handshaking between CPU and FPGA",
@@ -67,13 +70,23 @@ pub struct Dana {
 
 impl Dana {
     pub fn new(fpga: FpgaSpec, pool: BufferPoolConfig, disk: DiskModel) -> Dana {
-        Dana { catalog: Catalog::new(), pool: BufferPool::new(pool), disk, fpga, cpu: CpuModel::i7_6700() }
+        Dana {
+            catalog: Catalog::new(),
+            pool: BufferPool::new(pool),
+            disk,
+            fpga,
+            cpu: CpuModel::i7_6700(),
+        }
     }
 
     /// The paper's default setup: VU9P FPGA, 8 GB pool of 32 KB pages,
     /// SSD-class disk (§7).
     pub fn default_system() -> Dana {
-        Dana::new(FpgaSpec::vu9p(), BufferPoolConfig::paper_default(), DiskModel::ssd())
+        Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig::paper_default(),
+            DiskModel::ssd(),
+        )
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -158,19 +171,29 @@ impl Dana {
     pub fn execute(&mut self, sql: &str) -> DanaResult<QueryOutcome> {
         let call = parse_query(sql)?;
         let report = self.run_udf(&call.udf, &call.table)?;
-        Ok(QueryOutcome { udf: call.udf, table: call.table, report })
+        Ok(QueryOutcome {
+            udf: call.udf,
+            table: call.table,
+            report,
+        })
     }
 
     /// Runs a deployed accelerator by UDF name (full-Strider mode).
     pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
-        let blob: CatalogBlob = serde_json::from_str(&entry.design_blob)
-            .map_err(|e| DanaError::Blob(e.to_string()))?;
+        let blob: CatalogBlob =
+            serde_json::from_str(&entry.design_blob).map_err(|e| DanaError::Blob(e.to_string()))?;
         // Exercise the catalog round trip: the stored Strider words must
         // decode back into a program.
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
         debug_assert!(!decoded.is_empty());
-        self.run_compiled(&blob.design, blob.budget, blob.estimate, table, ExecutionMode::Strider)
+        self.run_compiled(
+            &blob.design,
+            blob.budget,
+            blob.estimate,
+            table,
+            ExecutionMode::Strider,
+        )
     }
 
     /// Compiles a spec ad hoc and runs it in the given mode (the Fig. 11 /
@@ -229,51 +252,22 @@ impl Dana {
             AccessEngineConfig::new(budget.num_page_buffers.max(1), self.fpga.clock, axi),
         );
 
-        // ---- data path: pool → (Striders | CPU) → tuples ---------------
-        let io_before = pool.stats().io_seconds;
-        let mut tuples: Vec<Vec<f32>> = Vec::with_capacity(heap.tuple_count() as usize);
-        let mut access_stats = AccessStats::default();
-        for page_no in 0..heap.page_count() {
-            let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
-            let bytes = pool.frame_bytes(frame);
-            if mode.uses_striders() {
-                let (page_tuples, cycles) = access.extract_page(bytes)?;
-                access_stats.strider_cycles += cycles;
-                access_stats.tuples += page_tuples.len() as u64;
-                tuples.extend(page_tuples.into_iter().map(|t| t.values));
-            } else {
-                let page = dana_storage::HeapPage::from_bytes(bytes.to_vec(), *heap.layout())?;
-                for slot in 0..page.tuple_count() {
-                    let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
-                    tuples.push(t.values.iter().map(|d| d.as_f32()).collect());
-                    access_stats.tuples += 1;
-                }
-            }
-            access_stats.pages += 1;
-            pool.unpin(frame);
-        }
-        access_stats.bytes_transferred = access_stats.pages * heap.layout().page_size as u64;
-        access_stats.conversion_cycles = access_stats.tuples * heap.schema().len() as u64;
-        access_stats.axi_seconds =
-            axi.stream_time(access_stats.bytes_transferred, heap.layout().page_size as u64);
-        access_stats.access_seconds = access.access_seconds(&access_stats);
-        let io_first = pool.stats().io_seconds - io_before;
-
-        // ---- compute path -----------------------------------------------
+        // ---- compute path, fed by the streaming data path ---------------
+        // The engine pulls flat batches page-by-page out of the buffer
+        // pool: fetch → extract (Striders or CPU, per mode) → train
+        // interleave with no full-table materialization (Fig. 2).
         let engine = ExecutionEngine::new(design.clone())?;
-        let init: Vec<Vec<f32>> = design
-            .models
-            .iter()
-            .map(|m| {
-                if m.broadcast_slots.is_some() {
-                    vec![0.0; m.elements()]
-                } else {
-                    dana_ml::default_lrmf_init(m.elements())
-                }
-            })
-            .collect();
-        let mut store = ModelStore::new(design, init)?;
-        let stats = engine.run_training(&tuples, &mut store)?;
+        let mut store = ModelStore::new(design, initial_models(design))?;
+        let io_before = pool.stats().io_seconds;
+        let feed = if mode.uses_striders() {
+            FeedKind::Strider
+        } else {
+            FeedKind::Cpu
+        };
+        let mut source = PageStreamSource::new(pool, &self.disk, heap, heap_id, &access, feed);
+        let stats = engine.run_training(&mut source, &mut store)?;
+        let access_stats = source.into_stats();
+        let io_first = pool.stats().io_seconds - io_before;
 
         // ---- timing composition ------------------------------------------
         let epochs = stats.epochs_run.max(1);
@@ -284,16 +278,18 @@ impl Dana {
             .saturating_sub(pool.config().frames() as u32) as f64;
         let width = heap.schema().len();
         let tuple_bytes = heap.layout().tuple_bytes;
-        let float_bytes = tuples.len() as f64 * width as f64 * 4.0;
+        let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
         let costs = EpochCosts {
             io_first,
             io_later: missing_later * self.disk.read_time(page_size as u64),
             axi: access_stats.axi_seconds,
             strider: clock.to_seconds(
-                access_stats.strider_cycles.div_ceil(budget.num_page_buffers.max(1) as u64),
+                access_stats
+                    .strider_cycles
+                    .div_ceil(budget.num_page_buffers.max(1) as u64),
             ),
             engine: stats.cycles as f64 / epochs as f64 / clock.hz,
-            cpu_feed: tuples.len() as f64
+            cpu_feed: access_stats.tuples as f64
                 * (tuple_bytes as f64 * self.cpu.deform_s_per_byte
                     + width as f64 * self.cpu.conv_s_per_value
                     + CPU_FEED_HANDSHAKE_S)
@@ -314,6 +310,74 @@ impl Dana {
             access: access_stats,
         })
     }
+
+    /// Reference data path, retained for differential testing: compiles
+    /// `spec` like [`Dana::train_with_spec`] but materializes the entire
+    /// table as per-tuple `Vec<f32>` rows first (the pre-streaming
+    /// pipeline) and trains via the engine's reference rows path. The
+    /// equivalence suite holds this and the streaming path to bit-identical
+    /// models; it reports models only — no timing.
+    pub fn train_with_spec_reference(
+        &mut self,
+        spec: &dana_dsl::AlgoSpec,
+        table: &str,
+        mode: ExecutionMode,
+    ) -> DanaResult<Vec<Vec<f32>>> {
+        let threads = match mode {
+            ExecutionMode::Tabla => Some(1),
+            _ => None,
+        };
+        let acc = self.compile_for(spec, table, threads)?;
+        let entry = self.catalog.table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let pool = &mut self.pool;
+        let axi = AxiLink::with_bandwidth(self.fpga.axi_bandwidth);
+        let access = AccessEngine::for_table(
+            *heap.layout(),
+            heap.schema().clone(),
+            AccessEngineConfig::new(acc.budget.num_page_buffers.max(1), self.fpga.clock, axi),
+        );
+
+        // Full-table materialization: one heap allocation per tuple.
+        let mut tuples: Vec<Vec<f32>> = Vec::with_capacity(heap.tuple_count() as usize);
+        for page_no in 0..heap.page_count() {
+            let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
+            let bytes = pool.frame_bytes(frame);
+            if mode.uses_striders() {
+                let (page_tuples, _) = access.extract_page_rows(bytes)?;
+                tuples.extend(page_tuples.into_iter().map(|t| t.values));
+            } else {
+                let page = dana_storage::HeapPage::from_bytes(bytes.to_vec(), *heap.layout())?;
+                for slot in 0..page.tuple_count() {
+                    let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
+                    tuples.push(t.values.iter().map(|d| d.as_f32()).collect());
+                }
+            }
+            pool.unpin(frame);
+        }
+
+        let engine = ExecutionEngine::new(acc.design.clone())?;
+        let mut store = ModelStore::new(&acc.design, initial_models(&acc.design))?;
+        engine.run_training_rows(&tuples, &mut store)?;
+        Ok(store.into_values())
+    }
+}
+
+/// Initial model values: zeros for broadcast (dense) models, the shared
+/// deterministic LRMF initialization for row-indexed factors.
+fn initial_models(design: &EngineDesign) -> Vec<Vec<f32>> {
+    design
+        .models
+        .iter()
+        .map(|m| {
+            if m.broadcast_slots.is_some() {
+                vec![0.0; m.elements()]
+            } else {
+                dana_ml::default_lrmf_init(m.elements())
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -326,7 +390,10 @@ mod tests {
     fn small_system() -> Dana {
         Dana::new(
             FpgaSpec::vu9p(),
-            BufferPoolConfig { pool_bytes: 64 << 20, page_size: 8 * 1024 },
+            BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: 8 * 1024,
+            },
             DiskModel::ssd(),
         )
     }
@@ -336,8 +403,9 @@ mod tests {
         let mut b =
             HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
         for k in 0..n {
-            let x: Vec<f32> =
-                (0..d).map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0).collect();
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0)
+                .collect();
             let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
             b.insert(&Tuple::training(&x, y)).unwrap();
         }
@@ -419,8 +487,12 @@ mod tests {
             epochs: 2,
         })
         .unwrap();
-        let with = db.train_with_spec(&spec, "t", ExecutionMode::Strider).unwrap();
-        let without = db.train_with_spec(&spec, "t", ExecutionMode::CpuFed).unwrap();
+        let with = db
+            .train_with_spec(&spec, "t", ExecutionMode::Strider)
+            .unwrap();
+        let without = db
+            .train_with_spec(&spec, "t", ExecutionMode::CpuFed)
+            .unwrap();
         assert!(
             with.timing.total_seconds < without.timing.total_seconds,
             "Striders must win: {} vs {}",
@@ -443,8 +515,12 @@ mod tests {
             epochs: 2,
         })
         .unwrap();
-        let dana = db.train_with_spec(&spec, "t", ExecutionMode::Strider).unwrap();
-        let tabla = db.train_with_spec(&spec, "t", ExecutionMode::Tabla).unwrap();
+        let dana = db
+            .train_with_spec(&spec, "t", ExecutionMode::Strider)
+            .unwrap();
+        let tabla = db
+            .train_with_spec(&spec, "t", ExecutionMode::Tabla)
+            .unwrap();
         assert_eq!(tabla.num_threads, 1);
         assert!(tabla.engine.cycles > dana.engine.cycles);
         assert!(tabla.timing.total_seconds > dana.timing.total_seconds);
@@ -455,7 +531,11 @@ mod tests {
         let mut db = small_system();
         assert!(db.execute("SELECT * FROM dana.ghost('t');").is_err());
         db.create_table("t", linreg_heap(100, 4)).unwrap();
-        let spec = linear_regression(DenseParams { n_features: 4, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 4,
+            ..Default::default()
+        })
+        .unwrap();
         db.deploy(&spec, "t").unwrap();
         assert!(db.run_udf("linearR", "missing_table").is_err());
     }

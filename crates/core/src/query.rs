@@ -22,11 +22,19 @@ pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
         .strip_prefix("select")
         .ok_or_else(|| err("expected SELECT"))?
         .trim_start();
-    let rest = rest.strip_prefix('*').ok_or_else(|| err("expected SELECT *"))?.trim_start();
-    let rest = rest.strip_prefix("from").ok_or_else(|| err("expected FROM"))?.trim_start();
+    let rest = rest
+        .strip_prefix('*')
+        .ok_or_else(|| err("expected SELECT *"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix("from")
+        .ok_or_else(|| err("expected FROM"))?
+        .trim_start();
     // Work on the original string from here to preserve identifier case.
     let tail = &s[s.len() - rest.len()..];
-    let open = tail.find('(').ok_or_else(|| err("expected UDF call '(...)'"))?;
+    let open = tail
+        .find('(')
+        .ok_or_else(|| err("expected UDF call '(...)'"))?;
     let close = tail.rfind(')').ok_or_else(|| err("unclosed ')'"))?;
     if close < open {
         return Err(err("malformed parentheses"));
@@ -42,17 +50,54 @@ pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     if udf.is_empty() || !udf.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return Err(err(&format!("bad UDF name '{udf}'")));
     }
+    if !tail[close + 1..].trim().is_empty() {
+        return Err(err("unexpected input after UDF call"));
+    }
     let arg = tail[open + 1..close].trim();
-    let table = arg
-        .strip_prefix('\'')
-        .and_then(|a| a.strip_suffix('\''))
-        .or_else(|| arg.strip_prefix('"').and_then(|a| a.strip_suffix('"')))
-        .unwrap_or(arg)
-        .trim();
+    let table = parse_table_arg(arg)?;
     if table.is_empty() {
         return Err(err("empty table name"));
     }
-    Ok(QueryCall { udf: udf.to_string(), table: table.to_string() })
+    Ok(QueryCall {
+        udf: udf.to_string(),
+        table: table.to_string(),
+    })
+}
+
+/// Parses the UDF's single table-name argument: a quoted or bare
+/// identifier, nothing else. Extra arguments (`dana.f('t', 1)`) and
+/// unbalanced/mismatched quotes (`dana.f('t)`, `dana.f('t")`) are rejected
+/// rather than silently accepted.
+fn parse_table_arg(arg: &str) -> DanaResult<&str> {
+    for quote in ['\'', '"'] {
+        if let Some(rest) = arg.strip_prefix(quote) {
+            // `'t', 1` — diagnose the extra argument, not the quoting.
+            if let Some(inner) = rest.split_once(quote).map(|(t, after)| (t, after.trim())) {
+                let (table, after) = inner;
+                if after.starts_with(',') {
+                    return Err(err("UDF takes exactly one argument (the table name)"));
+                }
+                if !after.is_empty() {
+                    return Err(err(&format!(
+                        "unexpected input after quoted table name: '{after}'"
+                    )));
+                }
+                return Ok(table.trim());
+            }
+            return Err(err(&format!("unbalanced {quote} quote in table argument")));
+        }
+        if arg.ends_with(quote) {
+            return Err(err(&format!("unbalanced {quote} quote in table argument")));
+        }
+    }
+    // Bare identifier: a single argument with no quoting.
+    if arg.contains(',') {
+        return Err(err("UDF takes exactly one argument (the table name)"));
+    }
+    if arg.contains(['\'', '"', ' ', '\t']) {
+        return Err(err(&format!("bad table argument '{arg}'")));
+    }
+    Ok(arg)
 }
 
 fn err(msg: &str) -> DanaError {
@@ -105,5 +150,43 @@ mod tests {
         ] {
             assert!(parse_query(bad).is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_extra_call_arguments() {
+        for bad in [
+            "SELECT * FROM dana.f('t', 1);",
+            "SELECT * FROM dana.f('t', 'u');",
+            "SELECT * FROM dana.f(t, u)",
+            "SELECT * FROM dana.f('t' , )",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_unbalanced_or_mismatched_quotes() {
+        for bad in [
+            "SELECT * FROM dana.f('t);",
+            "SELECT * FROM dana.f(t');",
+            "SELECT * FROM dana.f(\"t);",
+            "SELECT * FROM dana.f(t\");",
+            "SELECT * FROM dana.f('t\");",
+            "SELECT * FROM dana.f('a'b');",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_after_call() {
+        for bad in [
+            "SELECT * FROM dana.f('t') WHERE x = 1;",
+            "SELECT * FROM dana.f('t') extra",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad} should fail");
+        }
+        // A trailing semicolon and whitespace remain fine.
+        assert!(parse_query("SELECT * FROM dana.f('t')  ;  ").is_ok());
     }
 }

@@ -124,8 +124,7 @@ mod tests {
     fn strider_mode_overlaps_to_the_max() {
         let t = compose(ExecutionMode::Strider, 3, &costs());
         // epoch 1: max(0.5, 0.2, 0.05, 0.08) = 0.5; epochs 2–3: 0.2 (axi).
-        let expected =
-            0.5 + 0.2 + 0.2 + 3.0 * (0.001 + EPOCH_OVERHEAD_S) + SETUP_SECONDS;
+        let expected = 0.5 + 0.2 + 0.2 + 3.0 * (0.001 + EPOCH_OVERHEAD_S) + SETUP_SECONDS;
         assert!((t.total_seconds - expected).abs() < 1e-12, "{t:?}");
     }
 

@@ -11,7 +11,9 @@
 use crate::error::{DslError, DslResult};
 
 /// Identifies a declared variable within one [`AlgoSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct VarId(pub u32);
 
 /// The declaration class of a variable (Table 1, "Data Types").
@@ -89,7 +91,10 @@ impl Dims {
             return Ok(self.clone());
         }
         // Outer pairing on a shared trailing axis: [a][k] ⊗ [b][k] → [a][b][k].
-        if self.rank() == 2 && other.rank() == 2 && self.0[1] == other.0[1] && self.0[0] != other.0[0]
+        if self.rank() == 2
+            && other.rank() == 2
+            && self.0[1] == other.0[1]
+            && self.0[0] != other.0[0]
         {
             return Ok(Dims(vec![self.0[0], other.0[0], self.0[1]]));
         }
@@ -105,7 +110,10 @@ impl Dims {
     /// `sigma(mo * in, 1)` reduces a `[10]` vector to a scalar.
     pub fn reduce(&self, axis: usize) -> DslResult<Dims> {
         if axis == 0 || axis > self.rank().max(1) {
-            return Err(DslError::BadAxis { axis, rank: self.rank() });
+            return Err(DslError::BadAxis {
+                axis,
+                rank: self.rank(),
+            });
         }
         if self.is_scalar() {
             // sigma over a scalar is the identity (rank().max(1) admits axis 1).
@@ -305,7 +313,11 @@ pub enum ModelUpdate {
     /// `setModel(src)` — the whole model becomes `src` after the merge.
     Whole { model: VarId, source: VarId },
     /// Row scatter: row `index` of `model` becomes `source` (LRMF).
-    Row { model: VarId, index: VarId, source: VarId },
+    Row {
+        model: VarId,
+        index: VarId,
+        source: VarId,
+    },
 }
 
 impl ModelUpdate {
@@ -354,17 +366,23 @@ impl AlgoSpec {
     /// Total feature width (sum of input-var elements) — the `x` portion of
     /// a training tuple.
     pub fn input_width(&self) -> usize {
-        self.vars_of_kind(DataKind::Input).map(|v| v.dims.elements()).sum()
+        self.vars_of_kind(DataKind::Input)
+            .map(|v| v.dims.elements())
+            .sum()
     }
 
     /// Total label width.
     pub fn output_width(&self) -> usize {
-        self.vars_of_kind(DataKind::Output).map(|v| v.dims.elements()).sum()
+        self.vars_of_kind(DataKind::Output)
+            .map(|v| v.dims.elements())
+            .sum()
     }
 
     /// Total model element count.
     pub fn model_elements(&self) -> usize {
-        self.vars_of_kind(DataKind::Model).map(|v| v.dims.elements()).sum()
+        self.vars_of_kind(DataKind::Model)
+            .map(|v| v.dims.elements())
+            .sum()
     }
 
     /// The merge coefficient, defaulting to 1 (single-threaded) when the
@@ -409,7 +427,10 @@ mod tests {
     fn broadcast_rejects_mismatches() {
         let a = Dims::vector(10);
         let b = Dims::vector(7);
-        assert!(matches!(a.broadcast(&b, "+"), Err(DslError::DimMismatch { .. })));
+        assert!(matches!(
+            a.broadcast(&b, "+"),
+            Err(DslError::DimMismatch { .. })
+        ));
     }
 
     #[test]
@@ -455,6 +476,13 @@ mod tests {
         let b = VarId(1);
         assert_eq!(OpKind::Binary(BinOp::Add, a, b).operands(), vec![a, b]);
         assert_eq!(OpKind::Const(1.0).operands(), vec![]);
-        assert_eq!(OpKind::Gather { matrix: a, index: b }.operands(), vec![a, b]);
+        assert_eq!(
+            OpKind::Gather {
+                matrix: a,
+                index: b
+            }
+            .operands(),
+            vec![a, b]
+        );
     }
 }

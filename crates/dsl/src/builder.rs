@@ -26,8 +26,8 @@
 //! ```
 
 use crate::ast::{
-    AlgoSpec, BinOp, Convergence, DataKind, Dims, GroupOp, MergeOp, MergeSpec, ModelUpdate,
-    OpKind, Stmt, UnaryFn, VarDecl, VarId,
+    AlgoSpec, BinOp, Convergence, DataKind, Dims, GroupOp, MergeOp, MergeSpec, ModelUpdate, OpKind,
+    Stmt, UnaryFn, VarDecl, VarId,
 };
 use crate::error::{DslError, DslResult};
 use crate::validate;
@@ -77,13 +77,25 @@ impl AlgoBuilder {
 
     // ----- data declarations (Table 1) ---------------------------------
 
-    fn declare(&mut self, name: &str, kind: DataKind, dims: Dims, meta: Option<Vec<f64>>) -> VarRef {
+    fn declare(
+        &mut self,
+        name: &str,
+        kind: DataKind,
+        dims: Dims,
+        meta: Option<Vec<f64>>,
+    ) -> VarRef {
         assert!(
             !self.vars.iter().any(|v| v.name == name),
             "variable '{name}' declared twice"
         );
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarDecl { id, name: name.to_string(), kind, dims, meta_value: meta });
+        self.vars.push(VarDecl {
+            id,
+            name: name.to_string(),
+            kind,
+            dims,
+            meta_value: meta,
+        });
         VarRef(id)
     }
 
@@ -115,7 +127,11 @@ impl AlgoBuilder {
     /// Multi-element meta constant (row-major contents).
     pub fn meta_vec(&mut self, name: &str, dims: &[usize], values: Vec<f64>) -> VarRef {
         let d = Dims(dims.to_vec());
-        assert_eq!(d.elements(), values.len(), "meta '{name}' contents/shape mismatch");
+        assert_eq!(
+            d.elements(),
+            values.len(),
+            "meta '{name}' contents/shape mismatch"
+        );
         self.declare(name, DataKind::Meta, d, Some(values))
     }
 
@@ -133,7 +149,10 @@ impl AlgoBuilder {
 
     fn push(&mut self, dims: Dims, op: OpKind) -> VarRef {
         let target = self.fresh_inter(dims);
-        self.stmts.push(Stmt { target: target.0, op });
+        self.stmts.push(Stmt {
+            target: target.0,
+            op,
+        });
         target
     }
 
@@ -217,7 +236,13 @@ impl AlgoBuilder {
             return Err(DslError::Invalid("lookup index must be scalar".into()));
         }
         let row = Dims::vector(mdims.0[1]);
-        Ok(self.push(row, OpKind::Gather { matrix: matrix.0, index: index.0 }))
+        Ok(self.push(
+            row,
+            OpKind::Gather {
+                matrix: matrix.0,
+                index: index.0,
+            },
+        ))
     }
 
     /// A scalar literal appearing inline in an expression.
@@ -236,7 +261,12 @@ impl AlgoBuilder {
         if coef == 0 {
             return Err(DslError::BadMergeCoef(coef));
         }
-        self.merge = Some(MergeSpec { var: x.0, coef, op, boundary: self.stmts.len() });
+        self.merge = Some(MergeSpec {
+            var: x.0,
+            coef,
+            op,
+            boundary: self.stmts.len(),
+        });
         Ok(x)
     }
 
@@ -247,12 +277,18 @@ impl AlgoBuilder {
 
     /// `setConvergence(cond)` with a safety cap on epochs.
     pub fn set_convergence(&mut self, cond: VarRef, max_epochs: u32) {
-        self.convergence = Some(Convergence::Condition { var: cond.0, max_epochs });
+        self.convergence = Some(Convergence::Condition {
+            var: cond.0,
+            max_epochs,
+        });
     }
 
     /// `setModel(source)` updating `model`.
     pub fn set_model(&mut self, model: VarRef, source: VarRef) -> DslResult<()> {
-        self.model_updates.push(ModelUpdate::Whole { model: model.0, source: source.0 });
+        self.model_updates.push(ModelUpdate::Whole {
+            model: model.0,
+            source: source.0,
+        });
         Ok(())
     }
 
@@ -357,7 +393,10 @@ mod tests {
         let s = a.sigma(p, 1).unwrap(); // scalar
         a.set_model(m, s).unwrap();
         a.set_epochs(1);
-        assert!(matches!(a.finish(), Err(DslError::ModelShapeMismatch { .. })));
+        assert!(matches!(
+            a.finish(),
+            Err(DslError::ModelShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -376,7 +415,10 @@ mod tests {
         let m = a.model("m", &[4]);
         let x = a.input("x", &[4]);
         let p = a.mul(m, x).unwrap();
-        assert!(matches!(a.merge(p, 0, MergeOp::Sum), Err(DslError::BadMergeCoef(0))));
+        assert!(matches!(
+            a.merge(p, 0, MergeOp::Sum),
+            Err(DslError::BadMergeCoef(0))
+        ));
     }
 
     #[test]
@@ -396,7 +438,13 @@ mod tests {
         let conv = a.lt(n, thresh).unwrap();
         a.set_convergence(conv, 500);
         let spec = a.finish().unwrap();
-        assert!(matches!(spec.convergence, Convergence::Condition { max_epochs: 500, .. }));
+        assert!(matches!(
+            spec.convergence,
+            Convergence::Condition {
+                max_epochs: 500,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,13 +10,20 @@ pub enum DslError {
     /// A variable name is declared twice.
     DuplicateVar(String),
     /// Operand dimensions cannot be broadcast together.
-    DimMismatch { op: String, left: Vec<usize>, right: Vec<usize> },
+    DimMismatch {
+        op: String,
+        left: Vec<usize>,
+        right: Vec<usize>,
+    },
     /// Group-op axis out of range for the operand's rank.
     BadAxis { axis: usize, rank: usize },
     /// The spec never calls `setModel`.
     NoModelUpdate,
     /// `setModel` source dims disagree with the model's dims.
-    ModelShapeMismatch { model: Vec<usize>, update: Vec<usize> },
+    ModelShapeMismatch {
+        model: Vec<usize>,
+        update: Vec<usize>,
+    },
     /// `setModel` on a single-model algo is ambiguous / wrong target kind.
     BadModelTarget(String),
     /// Merge references an unknown or non-mergeable variable.
@@ -37,14 +44,20 @@ impl fmt::Display for DslError {
             DslError::UseBeforeDef(v) => write!(f, "variable '{v}' used before definition"),
             DslError::DuplicateVar(v) => write!(f, "variable '{v}' declared twice"),
             DslError::DimMismatch { op, left, right } => {
-                write!(f, "operands of '{op}' cannot broadcast: {left:?} vs {right:?}")
+                write!(
+                    f,
+                    "operands of '{op}' cannot broadcast: {left:?} vs {right:?}"
+                )
             }
             DslError::BadAxis { axis, rank } => {
                 write!(f, "group axis {axis} out of range for rank-{rank} operand")
             }
             DslError::NoModelUpdate => write!(f, "UDF never calls setModel"),
             DslError::ModelShapeMismatch { model, update } => {
-                write!(f, "setModel shape mismatch: model {model:?} vs update {update:?}")
+                write!(
+                    f,
+                    "setModel shape mismatch: model {model:?} vs update {update:?}"
+                )
             }
             DslError::BadModelTarget(msg) => write!(f, "bad setModel target: {msg}"),
             DslError::BadMerge(msg) => write!(f, "bad merge: {msg}"),
@@ -66,10 +79,17 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = DslError::DimMismatch { op: "*".into(), left: vec![5], right: vec![2, 3] };
+        let e = DslError::DimMismatch {
+            op: "*".into(),
+            left: vec![5],
+            right: vec![2, 3],
+        };
         let s = e.to_string();
         assert!(s.contains('*') && s.contains("[5]") && s.contains("[2, 3]"));
-        let e = DslError::Parse { line: 7, msg: "unexpected ')'".into() };
+        let e = DslError::Parse {
+            line: 7,
+            msg: "unexpected ')'".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 }

@@ -38,8 +38,8 @@ pub mod validate;
 pub mod zoo;
 
 pub use ast::{
-    AlgoSpec, BinOp, Convergence, DataKind, Dims, GroupOp, MergeOp, MergeSpec, ModelUpdate,
-    OpKind, Stmt, UnaryFn, VarDecl, VarId,
+    AlgoSpec, BinOp, Convergence, DataKind, Dims, GroupOp, MergeOp, MergeSpec, ModelUpdate, OpKind,
+    Stmt, UnaryFn, VarDecl, VarId,
 };
 pub use builder::{AlgoBuilder, VarRef};
 pub use error::{DslError, DslResult};

@@ -108,7 +108,9 @@ fn tokenize(line: &str, lineno: usize) -> DslResult<Vec<Tok>> {
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
                         || bytes[i] == 'E'
                         || ((bytes[i] == '+' || bytes[i] == '-')
                             && matches!(bytes[i - 1], 'e' | 'E')))
@@ -132,7 +134,10 @@ fn tokenize(line: &str, lineno: usize) -> DslResult<Vec<Tok>> {
                     i += 1;
                 }
                 if i >= bytes.len() {
-                    return Err(DslError::Parse { line: lineno, msg: "unterminated string".into() });
+                    return Err(DslError::Parse {
+                        line: lineno,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 toks.push(Tok::Str(bytes[start..i].iter().collect()));
                 i += 1;
@@ -190,7 +195,10 @@ impl<'a> Cur<'a> {
     }
 
     fn err(&self, msg: String) -> DslError {
-        DslError::Parse { line: self.line, msg }
+        DslError::Parse {
+            line: self.line,
+            msg,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -201,14 +209,20 @@ impl<'a> Cur<'a> {
 impl Parser {
     fn statement(&mut self, line: &str, lineno: usize) -> DslResult<()> {
         let toks = tokenize(line, lineno)?;
-        let mut cur = Cur { toks: &toks, pos: 0, line: lineno };
+        let mut cur = Cur {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
         // `target = rhs` — a single top-level '=' separates the two forms.
         let is_assign = matches!(
             (&toks.first(), &toks.get(1)),
             (Some(Tok::Ident(_)), Some(Tok::Sym('=')))
         );
         if is_assign {
-            let Some(Tok::Ident(target)) = cur.next() else { unreachable!() };
+            let Some(Tok::Ident(target)) = cur.next() else {
+                unreachable!()
+            };
             cur.expect_sym('=')?;
             self.assignment(&target, &mut cur)?;
         } else {
@@ -366,7 +380,11 @@ impl Parser {
             }
             "setConvergence" => {
                 let cond = self.expr(cur)?;
-                let cap = if cur.eat_sym(',') { self.const_u32(cur)? } else { 100_000 };
+                let cap = if cur.eat_sym(',') {
+                    self.const_u32(cur)?
+                } else {
+                    100_000
+                };
                 cur.expect_sym(')')?;
                 self.builder.set_convergence(cond, cap);
             }
@@ -379,7 +397,10 @@ impl Parser {
     fn unique_model(&self, line: usize) -> DslResult<VarRef> {
         match &self.model_names[..] {
             [one] => Ok(self.names[one]),
-            [] => Err(DslError::Parse { line, msg: "setModel(x): no model declared".into() }),
+            [] => Err(DslError::Parse {
+                line,
+                msg: "setModel(x): no model declared".into(),
+            }),
             _ => Err(DslError::Parse {
                 line,
                 msg: "setModel(x) is ambiguous with several models; use setModel(model, x)".into(),
@@ -599,7 +620,13 @@ mod tests {
             setConvergence(conv, 1000)
         "#;
         let spec = parse_udf(src, "lin").unwrap();
-        assert!(matches!(spec.convergence, Convergence::Condition { max_epochs: 1000, .. }));
+        assert!(matches!(
+            spec.convergence,
+            Convergence::Condition {
+                max_epochs: 1000,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -700,7 +727,7 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_rejected(){
+    fn trailing_garbage_rejected() {
         let src = "mo = model([2]) extra\n";
         assert!(matches!(parse_udf(src, "x"), Err(DslError::Parse { .. })));
     }

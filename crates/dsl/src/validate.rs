@@ -51,7 +51,10 @@ fn check_straight_line(spec: &AlgoSpec) -> DslResult<()> {
             }
         }
         if stmt.target.0 as usize >= spec.vars.len() {
-            return Err(DslError::Invalid(format!("target {} undeclared", stmt.target.0)));
+            return Err(DslError::Invalid(format!(
+                "target {} undeclared",
+                stmt.target.0
+            )));
         }
         defined.insert(stmt.target);
     }
@@ -148,7 +151,10 @@ fn check_merge(spec: &AlgoSpec) -> DslResult<()> {
             return Err(DslError::BadMergeCoef(0));
         }
         if m.var.0 as usize >= spec.vars.len() {
-            return Err(DslError::BadMerge(format!("merge var {} undeclared", m.var.0)));
+            return Err(DslError::BadMerge(format!(
+                "merge var {} undeclared",
+                m.var.0
+            )));
         }
         if m.boundary > spec.stmts.len() {
             return Err(DslError::BadMerge(format!(
@@ -176,7 +182,10 @@ fn check_convergence(spec: &AlgoSpec) -> DslResult<()> {
             return Err(DslError::BadConvergence("max_epochs must be ≥ 1".into()));
         }
         if var.0 as usize >= spec.vars.len() {
-            return Err(DslError::BadConvergence(format!("condition var {} undeclared", var.0)));
+            return Err(DslError::BadConvergence(format!(
+                "condition var {} undeclared",
+                var.0
+            )));
         }
         let decl = spec.var(*var);
         if !decl.dims.is_scalar() {
@@ -214,14 +223,44 @@ mod tests {
     /// structure to probe each validator clause.
     fn hand_spec() -> AlgoSpec {
         let vars = vec![
-            VarDecl { id: VarId(0), name: "m".into(), kind: DataKind::Model, dims: Dims::vector(4), meta_value: None },
-            VarDecl { id: VarId(1), name: "x".into(), kind: DataKind::Input, dims: Dims::vector(4), meta_value: None },
-            VarDecl { id: VarId(2), name: "p".into(), kind: DataKind::Inter, dims: Dims::vector(4), meta_value: None },
-            VarDecl { id: VarId(3), name: "u".into(), kind: DataKind::Inter, dims: Dims::vector(4), meta_value: None },
+            VarDecl {
+                id: VarId(0),
+                name: "m".into(),
+                kind: DataKind::Model,
+                dims: Dims::vector(4),
+                meta_value: None,
+            },
+            VarDecl {
+                id: VarId(1),
+                name: "x".into(),
+                kind: DataKind::Input,
+                dims: Dims::vector(4),
+                meta_value: None,
+            },
+            VarDecl {
+                id: VarId(2),
+                name: "p".into(),
+                kind: DataKind::Inter,
+                dims: Dims::vector(4),
+                meta_value: None,
+            },
+            VarDecl {
+                id: VarId(3),
+                name: "u".into(),
+                kind: DataKind::Inter,
+                dims: Dims::vector(4),
+                meta_value: None,
+            },
         ];
         let stmts = vec![
-            Stmt { target: VarId(2), op: OpKind::Binary(BinOp::Mul, VarId(0), VarId(1)) },
-            Stmt { target: VarId(3), op: OpKind::Binary(BinOp::Sub, VarId(0), VarId(2)) },
+            Stmt {
+                target: VarId(2),
+                op: OpKind::Binary(BinOp::Mul, VarId(0), VarId(1)),
+            },
+            Stmt {
+                target: VarId(3),
+                op: OpKind::Binary(BinOp::Sub, VarId(0), VarId(2)),
+            },
         ];
         AlgoSpec {
             name: "hand".into(),
@@ -229,7 +268,10 @@ mod tests {
             stmts,
             merge: None,
             convergence: Convergence::Epochs(1),
-            model_updates: vec![ModelUpdate::Whole { model: VarId(0), source: VarId(3) }],
+            model_updates: vec![ModelUpdate::Whole {
+                model: VarId(0),
+                source: VarId(3),
+            }],
         }
     }
 
@@ -255,7 +297,12 @@ mod tests {
     #[test]
     fn merge_boundary_out_of_range() {
         let mut spec = hand_spec();
-        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 99 });
+        spec.merge = Some(MergeSpec {
+            var: VarId(2),
+            coef: 4,
+            op: MergeOp::Sum,
+            boundary: 99,
+        });
         assert!(matches!(validate(&spec), Err(DslError::BadMerge(_))));
     }
 
@@ -263,17 +310,30 @@ mod tests {
     fn merge_var_must_precede_boundary() {
         let mut spec = hand_spec();
         // p is defined by stmt 0; boundary 0 means nothing is produced yet.
-        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 0 });
+        spec.merge = Some(MergeSpec {
+            var: VarId(2),
+            coef: 4,
+            op: MergeOp::Sum,
+            boundary: 0,
+        });
         assert!(matches!(validate(&spec), Err(DslError::BadMerge(_))));
         // boundary 1 (after stmt 0) is fine.
-        spec.merge = Some(MergeSpec { var: VarId(2), coef: 4, op: MergeOp::Sum, boundary: 1 });
+        spec.merge = Some(MergeSpec {
+            var: VarId(2),
+            coef: 4,
+            op: MergeOp::Sum,
+            boundary: 1,
+        });
         validate(&spec).unwrap();
     }
 
     #[test]
     fn non_model_set_model_target_rejected() {
         let mut spec = hand_spec();
-        spec.model_updates = vec![ModelUpdate::Whole { model: VarId(1), source: VarId(3) }];
+        spec.model_updates = vec![ModelUpdate::Whole {
+            model: VarId(1),
+            source: VarId(3),
+        }];
         assert!(matches!(validate(&spec), Err(DslError::BadModelTarget(_))));
     }
 
@@ -281,7 +341,10 @@ mod tests {
     fn convergence_must_be_comparison() {
         let mut spec = hand_spec();
         // 'u' is a Sub result, not a comparison.
-        spec.convergence = Convergence::Condition { var: VarId(3), max_epochs: 10 };
+        spec.convergence = Convergence::Condition {
+            var: VarId(3),
+            max_epochs: 10,
+        };
         assert!(matches!(validate(&spec), Err(DslError::BadConvergence(_))));
     }
 }

@@ -47,7 +47,12 @@ pub struct DenseParams {
 
 impl Default for DenseParams {
     fn default() -> DenseParams {
-        DenseParams { n_features: 10, learning_rate: 0.1, merge_coef: 8, epochs: 1 }
+        DenseParams {
+            n_features: 10,
+            learning_rate: 0.1,
+            merge_coef: 8,
+            epochs: 1,
+        }
     }
 }
 
@@ -133,7 +138,14 @@ pub struct LrmfParams {
 
 impl Default for LrmfParams {
     fn default() -> LrmfParams {
-        LrmfParams { rows: 100, cols: 80, rank: 10, learning_rate: 0.05, merge_coef: 4, epochs: 1 }
+        LrmfParams {
+            rows: 100,
+            cols: 80,
+            rank: 10,
+            learning_rate: 0.05,
+            merge_coef: 4,
+            epochs: 1,
+        }
     }
 }
 
@@ -298,7 +310,10 @@ mod tests {
 
     #[test]
     fn all_dense_specs_build() {
-        let p = DenseParams { n_features: 16, ..DenseParams::default() };
+        let p = DenseParams {
+            n_features: 16,
+            ..DenseParams::default()
+        };
         for algo in [Algorithm::Linear, Algorithm::Logistic, Algorithm::Svm] {
             let spec = spec_for(algo, p).unwrap();
             assert_eq!(spec.input_width(), 16);
@@ -344,11 +359,16 @@ mod tests {
     #[test]
     fn svm_uses_comparison_gate() {
         let spec = svm(DenseParams::default()).unwrap();
-        let has_lt = spec
-            .stmts
-            .iter()
-            .any(|s| matches!(s.op, crate::ast::OpKind::Binary(crate::ast::BinOp::Lt, _, _)));
-        assert!(has_lt, "SVM must gate its gradient on the margin comparison");
+        let has_lt = spec.stmts.iter().any(|s| {
+            matches!(
+                s.op,
+                crate::ast::OpKind::Binary(crate::ast::BinOp::Lt, _, _)
+            )
+        });
+        assert!(
+            has_lt,
+            "SVM must gate its gradient on the margin comparison"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! interpreter preserves exactly.
 
 use dana_dsl::MergeOp;
+use dana_storage::{OneBatchSource, TupleBatch, TupleSource};
 
 use crate::error::{EngineError, EngineResult};
 use crate::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
@@ -67,7 +68,11 @@ pub enum ModelWrite {
     Whole { model: u8, src: Vec<Loc> },
     /// Row scatter (LRMF): each *active thread* writes its computed row
     /// `src` to `model[index]`, applied in thread order on the tree bus.
-    Row { model: u8, index: Loc, src: Vec<Loc> },
+    Row {
+        model: u8,
+        index: Loc,
+        src: Vec<Loc>,
+    },
 }
 
 /// Convergence control.
@@ -160,7 +165,13 @@ impl ModelStore {
 
     /// Zero-initialized storage.
     pub fn zeroed(design: &EngineDesign) -> ModelStore {
-        ModelStore { values: design.models.iter().map(|m| vec![0.0; m.elements()]).collect() }
+        ModelStore {
+            values: design
+                .models
+                .iter()
+                .map(|m| vec![0.0; m.elements()])
+                .collect(),
+        }
     }
 
     pub fn model(&self, idx: usize) -> &[f32] {
@@ -196,6 +207,17 @@ pub struct ExecutionEngine {
     /// Model-row elements gathered per tuple by the per-tuple program
     /// (precomputed for port-contention accounting).
     gather_elems: u64,
+    /// Slots per AU — the stride of the flat per-thread scratchpad.
+    slots: usize,
+    /// Flat indices of the input/label load slots (schema order).
+    input_flat: Vec<usize>,
+    output_flat: Vec<usize>,
+    /// Per-step hazard flags for the per-tuple / post-merge programs:
+    /// `true` when no op reads a scratchpad location another op in the
+    /// same step writes, so writes can apply immediately instead of going
+    /// through the read-before-write staging buffer.
+    per_tuple_direct: Vec<bool>,
+    post_merge_direct: Vec<bool>,
 }
 
 impl ExecutionEngine {
@@ -213,41 +235,71 @@ impl ExecutionEngine {
                 _ => 0,
             })
             .sum();
-        Ok(ExecutionEngine { design, gather_elems })
+        let slots = design.slots_per_au as usize;
+        let flat = |loc: &Loc| loc.au as usize * slots + loc.slot as usize;
+        let input_flat = design.input_slots.iter().map(flat).collect();
+        let output_flat = design.output_slots.iter().map(flat).collect();
+        let per_tuple_direct = design
+            .program
+            .per_tuple
+            .iter()
+            .map(|s| step_is_hazard_free(s, slots))
+            .collect();
+        let post_merge_direct = design
+            .program
+            .post_merge
+            .iter()
+            .map(|s| step_is_hazard_free(s, slots))
+            .collect();
+        Ok(ExecutionEngine {
+            design,
+            gather_elems,
+            slots,
+            input_flat,
+            output_flat,
+            per_tuple_direct,
+            post_merge_direct,
+        })
     }
 
     pub fn design(&self) -> &EngineDesign {
         &self.design
     }
 
-    /// Runs training to convergence (or the epoch cap). `tuples` holds the
-    /// extracted training data (each `Vec<f32>` = inputs then labels, in
-    /// schema order); `store` holds the models and receives the result.
+    /// Runs training to convergence (or the epoch cap), pulling tuples from
+    /// a streaming [`TupleSource`]. Batches are consumed as the source
+    /// produces them — typically one per buffer-pool page — so extraction
+    /// and compute interleave exactly as the paper's access/execution
+    /// engine pipeline does (§5.1.1). Thread groups are formed across
+    /// batch boundaries: the trained model is a pure function of the tuple
+    /// stream, never of how the source happened to batch it.
+    ///
+    /// At each epoch boundary the source is rewound to replay the scan.
+    /// `store` holds the models and receives the result.
     pub fn run_training(
         &self,
-        tuples: &[Vec<f32>],
+        source: &mut dyn TupleSource,
         store: &mut ModelStore,
     ) -> EngineResult<EngineStats> {
         let d = &self.design;
         let width = d.input_slots.len() + d.output_slots.len();
-        for t in tuples {
-            if t.len() != width {
-                return Err(EngineError::TupleWidth { got: t.len(), expected: width });
-            }
+        if source.width() != width {
+            return Err(EngineError::TupleWidth {
+                got: source.width(),
+                expected: width,
+            });
         }
-        let mut mem: Vec<Vec<Vec<f32>>> = (0..d.num_threads)
-            .map(|_| vec![vec![0.0f32; d.slots_per_au as usize]; d.aus_per_thread() as usize])
-            .collect();
-        // Meta constants are configuration data: loaded once, to every thread.
-        for m in &mut mem {
-            for (loc, v) in &d.meta {
-                m[loc.au as usize][loc.slot as usize] = *v;
-            }
-        }
+        let mut mem = self.fresh_flat_memory();
+        // Reusable per-step write buffer: cleared between steps, allocated
+        // once per run (the old path allocated one per step per tuple).
+        let mut writes: Vec<(usize, f32)> = Vec::new();
         let mut stats = EngineStats::default();
         let max_epochs = d.convergence.max_epochs();
-        for _epoch in 0..max_epochs {
-            let converged = self.run_epoch(tuples, store, &mut mem, &mut stats)?;
+        for epoch in 0..max_epochs {
+            if epoch > 0 {
+                source.rewind().map_err(EngineError::from)?;
+            }
+            let converged = self.run_epoch(source, store, &mut mem, &mut writes, &mut stats)?;
             stats.epochs_run += 1;
             if converged {
                 stats.converged_early = true;
@@ -257,8 +309,182 @@ impl ExecutionEngine {
         Ok(stats)
     }
 
-    /// Runs one epoch; returns whether the convergence condition fired.
+    /// [`ExecutionEngine::run_training`] over one materialized batch.
+    pub fn run_training_batch(
+        &self,
+        batch: &TupleBatch,
+        store: &mut ModelStore,
+    ) -> EngineResult<EngineStats> {
+        self.run_training(&mut OneBatchSource::new(batch), store)
+    }
+
+    /// Flat per-thread scratchpad (one contiguous `aus × slots` vec per
+    /// thread, operands indexed as `au * slots + slot`) with meta constants
+    /// loaded — configuration data, loaded once, to every thread.
+    fn fresh_flat_memory(&self) -> Vec<Vec<f32>> {
+        let d = &self.design;
+        let words = d.aus_per_thread() as usize * self.slots;
+        let mut mem: Vec<Vec<f32>> = (0..d.num_threads).map(|_| vec![0.0f32; words]).collect();
+        for m in &mut mem {
+            for (loc, v) in &d.meta {
+                m[self.flat(loc)] = *v;
+            }
+        }
+        mem
+    }
+
+    /// Flat scratchpad index of a (AU, slot) location.
+    #[inline]
+    fn flat(&self, loc: &Loc) -> usize {
+        loc.au as usize * self.slots + loc.slot as usize
+    }
+
+    /// Nested per-thread scratchpad for the retained reference path
+    /// (thread → AU → slot, the pre-streaming representation).
+    fn fresh_thread_memory_rows(&self) -> Vec<Vec<Vec<f32>>> {
+        let d = &self.design;
+        let mut mem: Vec<Vec<Vec<f32>>> = (0..d.num_threads)
+            .map(|_| vec![vec![0.0f32; d.slots_per_au as usize]; d.aus_per_thread() as usize])
+            .collect();
+        for m in &mut mem {
+            for (loc, v) in &d.meta {
+                m[loc.au as usize][loc.slot as usize] = *v;
+            }
+        }
+        mem
+    }
+
+    /// Runs one streaming epoch; returns whether the convergence condition
+    /// fired. Tuples accumulate into thread groups of `num_threads`; a
+    /// group flushes (merge → post-merge → write-back) when full, and the
+    /// final partial group flushes at end of scan.
     fn run_epoch(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+        mem: &mut [Vec<f32>],
+        writes: &mut Vec<(usize, f32)>,
+        stats: &mut EngineStats,
+    ) -> EngineResult<bool> {
+        let d = &self.design;
+        let threads = (d.num_threads as usize).max(1);
+        let width = d.input_slots.len() + d.output_slots.len();
+        let mut active = 0usize;
+        while let Some(batch) = source.next_batch().map_err(EngineError::from)? {
+            if batch.width() != width {
+                return Err(EngineError::TupleWidth {
+                    got: batch.width(),
+                    expected: width,
+                });
+            }
+            for tuple in batch.rows() {
+                if active == 0 {
+                    self.broadcast_models(store, mem, stats);
+                }
+                // Per-tuple programs run in lockstep across active threads.
+                self.load_tuple(&mut mem[active], tuple);
+                self.exec_steps(
+                    &d.program.per_tuple,
+                    &self.per_tuple_direct,
+                    active,
+                    mem,
+                    writes,
+                    store,
+                )?;
+                active += 1;
+                if active == threads {
+                    self.flush_group(active, mem, writes, store, stats)?;
+                    active = 0;
+                }
+            }
+        }
+        if active > 0 {
+            self.flush_group(active, mem, writes, store, stats)?;
+        }
+        stats.cycles = stats.compute_cycles + stats.merge_cycles + stats.broadcast_cycles;
+        // Convergence condition: evaluated once per epoch (§4.4) on the
+        // state left by the final group.
+        if let ConvergenceCheck::Condition { slot, .. } = &d.convergence {
+            let v = mem[0][self.flat(slot)];
+            return Ok(v != 0.0);
+        }
+        Ok(false)
+    }
+
+    /// Completes one thread group of `active` loaded tuples: charge the
+    /// lockstep per-tuple program, merge on the tree bus, run the
+    /// post-merge program on thread 0, and write models back.
+    fn flush_group(
+        &self,
+        active: usize,
+        mem: &mut [Vec<f32>],
+        writes: &mut Vec<(usize, f32)>,
+        store: &mut ModelStore,
+        stats: &mut EngineStats,
+    ) -> EngineResult<()> {
+        let d = &self.design;
+        stats.compute_cycles += d.program.per_tuple_cycles();
+        // Model-memory port contention: all threads' row gathers share
+        // MODEL_PORTS BRAM ports.
+        if self.gather_elems > 0 {
+            stats.merge_cycles += (active as u64 * self.gather_elems).div_ceil(MODEL_PORTS);
+        }
+        // Tree-bus merge into thread 0.
+        stats.merge_cycles += self.merge(active, mem);
+        // Post-merge program on thread 0.
+        self.exec_steps(
+            &d.program.post_merge,
+            &self.post_merge_direct,
+            0,
+            mem,
+            writes,
+            store,
+        )?;
+        stats.compute_cycles += d.program.post_merge_cycles();
+        // Model write-back.
+        stats.merge_cycles += self.write_models(active, mem, store)?;
+        stats.batches += 1;
+        stats.tuples_processed += active as u64;
+        Ok(())
+    }
+
+    /// Reference per-tuple training path over `Vec<f32>` rows — the
+    /// pre-streaming implementation, retained verbatim for differential
+    /// testing of the batch pipeline (`tests/equivalence.rs` holds the two
+    /// paths to bit-identical trained models). Never used on the
+    /// deploy/execute hot path.
+    pub fn run_training_rows(
+        &self,
+        tuples: &[Vec<f32>],
+        store: &mut ModelStore,
+    ) -> EngineResult<EngineStats> {
+        let d = &self.design;
+        let width = d.input_slots.len() + d.output_slots.len();
+        for t in tuples {
+            if t.len() != width {
+                return Err(EngineError::TupleWidth {
+                    got: t.len(),
+                    expected: width,
+                });
+            }
+        }
+        let mut mem = self.fresh_thread_memory_rows();
+        let mut stats = EngineStats::default();
+        let max_epochs = d.convergence.max_epochs();
+        for _epoch in 0..max_epochs {
+            let converged = self.run_epoch_rows(tuples, store, &mut mem, &mut stats)?;
+            stats.epochs_run += 1;
+            if converged {
+                stats.converged_early = true;
+                break;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// One epoch of the reference rows path: chunk by thread count, run the
+    /// per-tuple program on every active thread, merge, post-merge, write.
+    fn run_epoch_rows(
         &self,
         tuples: &[Vec<f32>],
         store: &mut ModelStore,
@@ -268,32 +494,24 @@ impl ExecutionEngine {
         let d = &self.design;
         let threads = d.num_threads as usize;
         for batch in tuples.chunks(threads.max(1)) {
-            self.broadcast_models(store, mem, stats);
-            // Per-tuple programs run in lockstep across active threads.
+            self.broadcast_models_rows(store, mem, stats);
             for (t, tuple) in batch.iter().enumerate() {
-                self.load_tuple(&mut mem[t], tuple);
-                self.exec_steps(&d.program.per_tuple, t, mem, store)?;
+                self.load_tuple_rows(&mut mem[t], tuple);
+                self.exec_steps_rows(&d.program.per_tuple, t, mem, store)?;
             }
             stats.compute_cycles += d.program.per_tuple_cycles();
-            // Model-memory port contention: all threads' row gathers share
-            // MODEL_PORTS BRAM ports.
             if self.gather_elems > 0 {
                 stats.merge_cycles +=
                     (batch.len() as u64 * self.gather_elems).div_ceil(MODEL_PORTS);
             }
-            // Tree-bus merge into thread 0.
-            stats.merge_cycles += self.merge(batch.len(), mem);
-            // Post-merge program on thread 0.
-            self.exec_steps(&d.program.post_merge, 0, mem, store)?;
+            stats.merge_cycles += self.merge_rows(batch.len(), mem);
+            self.exec_steps_rows(&d.program.post_merge, 0, mem, store)?;
             stats.compute_cycles += d.program.post_merge_cycles();
-            // Model write-back.
-            stats.merge_cycles += self.write_models(batch.len(), mem, store)?;
+            stats.merge_cycles += self.write_models_rows(batch.len(), mem, store)?;
             stats.batches += 1;
             stats.tuples_processed += batch.len() as u64;
         }
         stats.cycles = stats.compute_cycles + stats.merge_cycles + stats.broadcast_cycles;
-        // Convergence condition: evaluated once per epoch (§4.4) on the
-        // state left by the final batch.
         if let ConvergenceCheck::Condition { slot, .. } = &d.convergence {
             let v = mem[0][slot.au as usize][slot.slot as usize];
             return Ok(v != 0.0);
@@ -302,18 +520,15 @@ impl ExecutionEngine {
     }
 
     /// Streams dense models from model memory to every thread's scratchpad.
-    fn broadcast_models(
-        &self,
-        store: &ModelStore,
-        mem: &mut [Vec<Vec<f32>>],
-        stats: &mut EngineStats,
-    ) {
+    fn broadcast_models(&self, store: &ModelStore, mem: &mut [Vec<f32>], stats: &mut EngineStats) {
         for (mi, mdesc) in self.design.models.iter().enumerate() {
-            let Some(slots) = &mdesc.broadcast_slots else { continue };
+            let Some(slots) = &mdesc.broadcast_slots else {
+                continue;
+            };
             let values = store.model(mi);
             for m in mem.iter_mut() {
                 for (loc, v) in slots.iter().zip(values) {
-                    m[loc.au as usize][loc.slot as usize] = *v;
+                    m[self.flat(loc)] = *v;
                 }
             }
             // One stream over the shared bus; all threads listen.
@@ -321,7 +536,218 @@ impl ExecutionEngine {
         }
     }
 
-    fn load_tuple(&self, thread_mem: &mut [Vec<f32>], tuple: &[f32]) {
+    fn load_tuple(&self, thread_mem: &mut [f32], tuple: &[f32]) {
+        for (k, &i) in self.input_flat.iter().enumerate() {
+            thread_mem[i] = tuple[k];
+        }
+        let base = self.input_flat.len();
+        for (k, &i) in self.output_flat.iter().enumerate() {
+            thread_mem[i] = tuple[base + k];
+        }
+    }
+
+    /// Executes steps on the flat scratchpad. Hazard-free steps (see the
+    /// `*_direct` flags) apply writes immediately; steps with an
+    /// intra-step read-after-write go through `writes`, the reusable
+    /// read-before-write staging buffer (register-file semantics).
+    fn exec_steps(
+        &self,
+        steps: &[Step],
+        direct: &[bool],
+        thread: usize,
+        mem: &mut [Vec<f32>],
+        writes: &mut Vec<(usize, f32)>,
+        store: &mut ModelStore,
+    ) -> EngineResult<()> {
+        for (step, &is_direct) in steps.iter().zip(direct) {
+            if is_direct {
+                let (t_mem, _) = mem.split_at_mut(thread + 1);
+                let t_mem = &mut t_mem[thread];
+                for op in &step.ops {
+                    match op {
+                        MicroOp::Alu { au, op, a, b, dst } => {
+                            let av = self.read(t_mem, a);
+                            let bv = self.read(t_mem, b);
+                            t_mem[*au as usize * self.slots + *dst as usize] = op.apply(av, bv);
+                        }
+                        MicroOp::Gather { model, index, dst } => {
+                            let row = self.row_index(t_mem, index, *model)?;
+                            let mdesc = &self.design.models[*model as usize];
+                            let base = row * mdesc.cols;
+                            let values = store.model(*model as usize);
+                            for (k, loc) in dst.iter().enumerate() {
+                                t_mem[self.flat(loc)] = values[base + k];
+                            }
+                        }
+                        MicroOp::Scatter { model, index, src } => {
+                            let row = self.row_index(t_mem, index, *model)?;
+                            let mdesc = &self.design.models[*model as usize];
+                            let base = row * mdesc.cols;
+                            let m = store.model_mut(*model as usize);
+                            for (k, loc) in src.iter().enumerate() {
+                                m[base + k] = t_mem[self.flat(loc)];
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            writes.clear();
+            for op in &step.ops {
+                match op {
+                    MicroOp::Alu { au, op, a, b, dst } => {
+                        let av = self.read(&mem[thread], a);
+                        let bv = self.read(&mem[thread], b);
+                        writes.push((*au as usize * self.slots + *dst as usize, op.apply(av, bv)));
+                    }
+                    MicroOp::Gather { model, index, dst } => {
+                        let row = self.row_index(&mem[thread], index, *model)?;
+                        let mdesc = &self.design.models[*model as usize];
+                        let base = row * mdesc.cols;
+                        for (k, loc) in dst.iter().enumerate() {
+                            writes.push((self.flat(loc), store.model(*model as usize)[base + k]));
+                        }
+                    }
+                    MicroOp::Scatter { model, index, src } => {
+                        let row = self.row_index(&mem[thread], index, *model)?;
+                        let mdesc = &self.design.models[*model as usize];
+                        let base = row * mdesc.cols;
+                        for (k, loc) in src.iter().enumerate() {
+                            let v = mem[thread][self.flat(loc)];
+                            store.model_mut(*model as usize)[base + k] = v;
+                        }
+                    }
+                }
+            }
+            let t_mem = &mut mem[thread];
+            for &(i, v) in writes.iter() {
+                t_mem[i] = v;
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn read(&self, thread_mem: &[f32], src: &Src) -> f32 {
+        match src {
+            Src::Slot(l) => thread_mem[self.flat(l)],
+            Src::Const(c) => *c,
+        }
+    }
+
+    fn row_index(&self, thread_mem: &[f32], index: &Src, model: u8) -> EngineResult<usize> {
+        let raw = self.read(thread_mem, index);
+        let row = raw.round() as i64;
+        let rows = self.design.models[model as usize].rows;
+        if row < 0 || row as usize >= rows {
+            return Err(EngineError::RowOutOfRange { model, row, rows });
+        }
+        Ok(row as usize)
+    }
+
+    /// Tree-bus merge of the designated variable into thread 0. Returns the
+    /// cycles charged.
+    fn merge(&self, active: usize, mem: &mut [Vec<f32>]) -> u64 {
+        let MergePlan::Whole { op, slots } = &self.design.merge else {
+            return 0;
+        };
+        if active <= 1 {
+            return 0;
+        }
+        for loc in slots {
+            let i = self.flat(loc);
+            let mut acc = mem[0][i];
+            for t in mem.iter().take(active).skip(1) {
+                let v = t[i];
+                acc = match op {
+                    MergeOp::Sum | MergeOp::Avg => acc + v,
+                    MergeOp::Max => acc.max(v),
+                };
+            }
+            if *op == MergeOp::Avg {
+                acc /= active as f32;
+            }
+            mem[0][i] = acc;
+        }
+        // Elements stream through a log-depth ALU tree.
+        slots.len() as u64 + (64 - (active as u64 - 1).leading_zeros() as u64)
+    }
+
+    /// Applies model write-backs; returns tree-bus cycles charged.
+    fn write_models(
+        &self,
+        active: usize,
+        mem: &[Vec<f32>],
+        store: &mut ModelStore,
+    ) -> EngineResult<u64> {
+        let mut cycles = 0u64;
+        for w in &self.design.model_writes {
+            match w {
+                ModelWrite::Whole { model, src } => {
+                    let m = store.model_mut(*model as usize);
+                    debug_assert_eq!(m.len(), src.len());
+                    for (k, loc) in src.iter().enumerate() {
+                        m[k] = mem[0][self.flat(loc)];
+                    }
+                    cycles += (src.len() as u64).div_ceil(BUS_WORDS);
+                }
+                ModelWrite::Row { model, index, src } => {
+                    // Every active thread scatters its rows through the
+                    // shared model-memory ports — the LRMF merge overhead
+                    // of §7.2.
+                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    for t_mem in mem.iter().take(active) {
+                        let raw = t_mem[self.flat(index)];
+                        let row = raw.round() as i64;
+                        let mdesc = &self.design.models[*model as usize];
+                        if row < 0 || row as usize >= mdesc.rows {
+                            return Err(EngineError::RowOutOfRange {
+                                model: *model,
+                                row,
+                                rows: mdesc.rows,
+                            });
+                        }
+                        let base = row as usize * mdesc.cols;
+                        let m = store.model_mut(*model as usize);
+                        for (k, loc) in src.iter().enumerate() {
+                            m[base + k] = t_mem[self.flat(loc)];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cycles)
+    }
+
+    // ---- retained reference interpreter (pre-streaming representation) ----
+    //
+    // These are the pre-refactor helper implementations, verbatim: nested
+    // thread→AU→slot scratchpads and a per-step write vec. They exist so
+    // `run_training_rows` is a faithful baseline — both for differential
+    // correctness tests and for the `data_path` microbenchmark's
+    // before/after comparison.
+
+    fn broadcast_models_rows(
+        &self,
+        store: &ModelStore,
+        mem: &mut [Vec<Vec<f32>>],
+        stats: &mut EngineStats,
+    ) {
+        for (mi, mdesc) in self.design.models.iter().enumerate() {
+            let Some(slots) = &mdesc.broadcast_slots else {
+                continue;
+            };
+            let values = store.model(mi);
+            for m in mem.iter_mut() {
+                for (loc, v) in slots.iter().zip(values) {
+                    m[loc.au as usize][loc.slot as usize] = *v;
+                }
+            }
+            stats.broadcast_cycles += (values.len() as u64).div_ceil(BUS_WORDS);
+        }
+    }
+
+    fn load_tuple_rows(&self, thread_mem: &mut [Vec<f32>], tuple: &[f32]) {
         let d = &self.design;
         for (k, loc) in d.input_slots.iter().enumerate() {
             thread_mem[loc.au as usize][loc.slot as usize] = tuple[k];
@@ -332,7 +758,7 @@ impl ExecutionEngine {
         }
     }
 
-    fn exec_steps(
+    fn exec_steps_rows(
         &self,
         steps: &[Step],
         thread: usize,
@@ -346,12 +772,12 @@ impl ExecutionEngine {
             for op in &step.ops {
                 match op {
                     MicroOp::Alu { au, op, a, b, dst } => {
-                        let av = self.read(&mem[thread], a);
-                        let bv = self.read(&mem[thread], b);
+                        let av = self.read_rows(&mem[thread], a);
+                        let bv = self.read_rows(&mem[thread], b);
                         writes.push((Loc::new(*au, *dst), op.apply(av, bv)));
                     }
                     MicroOp::Gather { model, index, dst } => {
-                        let row = self.row_index(&mem[thread], index, *model, store)?;
+                        let row = self.row_index_rows(&mem[thread], index, *model)?;
                         let mdesc = &self.design.models[*model as usize];
                         let base = row * mdesc.cols;
                         for (k, loc) in dst.iter().enumerate() {
@@ -359,7 +785,7 @@ impl ExecutionEngine {
                         }
                     }
                     MicroOp::Scatter { model, index, src } => {
-                        let row = self.row_index(&mem[thread], index, *model, store)?;
+                        let row = self.row_index_rows(&mem[thread], index, *model)?;
                         let mdesc = &self.design.models[*model as usize];
                         let base = row * mdesc.cols;
                         for (k, loc) in src.iter().enumerate() {
@@ -376,21 +802,20 @@ impl ExecutionEngine {
         Ok(())
     }
 
-    fn read(&self, thread_mem: &[Vec<f32>], src: &Src) -> f32 {
+    fn read_rows(&self, thread_mem: &[Vec<f32>], src: &Src) -> f32 {
         match src {
             Src::Slot(l) => thread_mem[l.au as usize][l.slot as usize],
             Src::Const(c) => *c,
         }
     }
 
-    fn row_index(
+    fn row_index_rows(
         &self,
         thread_mem: &[Vec<f32>],
         index: &Src,
         model: u8,
-        _store: &ModelStore,
     ) -> EngineResult<usize> {
-        let raw = self.read(thread_mem, index);
+        let raw = self.read_rows(thread_mem, index);
         let row = raw.round() as i64;
         let rows = self.design.models[model as usize].rows;
         if row < 0 || row as usize >= rows {
@@ -399,9 +824,7 @@ impl ExecutionEngine {
         Ok(row as usize)
     }
 
-    /// Tree-bus merge of the designated variable into thread 0. Returns the
-    /// cycles charged.
-    fn merge(&self, active: usize, mem: &mut [Vec<Vec<f32>>]) -> u64 {
+    fn merge_rows(&self, active: usize, mem: &mut [Vec<Vec<f32>>]) -> u64 {
         let MergePlan::Whole { op, slots } = &self.design.merge else {
             return 0;
         };
@@ -422,12 +845,10 @@ impl ExecutionEngine {
             }
             mem[0][loc.au as usize][loc.slot as usize] = acc;
         }
-        // Elements stream through a log-depth ALU tree.
         slots.len() as u64 + (64 - (active as u64 - 1).leading_zeros() as u64)
     }
 
-    /// Applies model write-backs; returns tree-bus cycles charged.
-    fn write_models(
+    fn write_models_rows(
         &self,
         active: usize,
         mem: &[Vec<Vec<f32>>],
@@ -445,12 +866,9 @@ impl ExecutionEngine {
                     cycles += (src.len() as u64).div_ceil(BUS_WORDS);
                 }
                 ModelWrite::Row { model, index, src } => {
-                    // Every active thread scatters its rows through the
-                    // shared model-memory ports — the LRMF merge overhead
-                    // of §7.2.
                     cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
-                    for t in 0..active {
-                        let raw = mem[t][index.au as usize][index.slot as usize];
+                    for t_mem in mem.iter().take(active) {
+                        let raw = t_mem[index.au as usize][index.slot as usize];
                         let row = raw.round() as i64;
                         let mdesc = &self.design.models[*model as usize];
                         if row < 0 || row as usize >= mdesc.rows {
@@ -463,7 +881,7 @@ impl ExecutionEngine {
                         let base = row as usize * mdesc.cols;
                         let m = store.model_mut(*model as usize);
                         for (k, loc) in src.iter().enumerate() {
-                            m[base + k] = mem[t][loc.au as usize][loc.slot as usize];
+                            m[base + k] = t_mem[loc.au as usize][loc.slot as usize];
                         }
                     }
                 }
@@ -502,15 +920,56 @@ impl ExecutionEngine {
     }
 }
 
+/// True when no op in `step` reads a scratchpad location that another op
+/// in the same step writes — i.e. immediate write application is
+/// indistinguishable from the hardware's read-before-write register-file
+/// semantics. (Write-write collisions resolve in program order on both
+/// paths, so only read-after-write forces staging. Scatter store writes
+/// and Gather store reads happen in program order on both paths too.)
+fn step_is_hazard_free(step: &Step, slots: usize) -> bool {
+    let flat = |au: u16, slot: u16| au as usize * slots + slot as usize;
+    let mut written: Vec<usize> = Vec::new();
+    for op in &step.ops {
+        match op {
+            MicroOp::Alu { au, dst, .. } => written.push(flat(*au, *dst)),
+            MicroOp::Gather { dst, .. } => written.extend(dst.iter().map(|l| flat(l.au, l.slot))),
+            MicroOp::Scatter { .. } => {}
+        }
+    }
+    let reads_written = |src: &Src| match src {
+        Src::Slot(l) => written.contains(&flat(l.au, l.slot)),
+        Src::Const(_) => false,
+    };
+    for op in &step.ops {
+        let hazard = match op {
+            MicroOp::Alu { a, b, .. } => reads_written(a) || reads_written(b),
+            MicroOp::Gather { index, .. } => reads_written(index),
+            MicroOp::Scatter { index, src, .. } => {
+                reads_written(index) || src.iter().any(|l| written.contains(&flat(l.au, l.slot)))
+            }
+        };
+        if hazard {
+            return false;
+        }
+    }
+    true
+}
+
 /// Structural validation of a design's program.
 fn validate(d: &EngineDesign) -> EngineResult<()> {
     let aus = d.aus_per_thread();
     let check_loc = |loc: &Loc| -> EngineResult<()> {
         if loc.au >= aus {
-            return Err(EngineError::BadAu { au: loc.au, aus_per_thread: aus });
+            return Err(EngineError::BadAu {
+                au: loc.au,
+                aus_per_thread: aus,
+            });
         }
         if loc.slot >= d.slots_per_au {
-            return Err(EngineError::BadSlot { slot: loc.slot, slots: d.slots_per_au });
+            return Err(EngineError::BadSlot {
+                slot: loc.slot,
+                slots: d.slots_per_au,
+            });
         }
         Ok(())
     };
@@ -520,12 +979,21 @@ fn validate(d: &EngineDesign) -> EngineResult<()> {
         }
         Ok(())
     };
-    for (si, step) in d.program.per_tuple.iter().chain(&d.program.post_merge).enumerate() {
+    for (si, step) in d
+        .program
+        .per_tuple
+        .iter()
+        .chain(&d.program.post_merge)
+        .enumerate()
+    {
         let mut used: Vec<u16> = Vec::new();
         for op in &step.ops {
             for au in op.occupied_aus() {
                 if au >= aus {
-                    return Err(EngineError::BadAu { au, aus_per_thread: aus });
+                    return Err(EngineError::BadAu {
+                        au,
+                        aus_per_thread: aus,
+                    });
                 }
                 if used.contains(&au) {
                     return Err(EngineError::AuConflict { step: si, au });
@@ -533,7 +1001,13 @@ fn validate(d: &EngineDesign) -> EngineResult<()> {
                 used.push(au);
             }
             match op {
-                MicroOp::Alu { au, op: alu, a, b, dst } => {
+                MicroOp::Alu {
+                    au,
+                    op: alu,
+                    a,
+                    b,
+                    dst,
+                } => {
                     check_src(a)?;
                     check_src(b)?;
                     check_loc(&Loc::new(*au, *dst))?;
@@ -603,10 +1077,24 @@ mod tests {
         let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
         let s = |au, slot| Src::Slot(Loc::new(au, slot));
         let per_tuple = vec![
-            Step { ops: vec![alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2), alu(1, AluOp::Mul, s(1, 0), s(1, 1), 2)] },
-            Step { ops: vec![alu(0, AluOp::Add, s(0, 2), s(1, 2), 2)] },
-            Step { ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)] },
-            Step { ops: vec![alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2), alu(1, AluOp::Mul, s(0, 2), s(1, 0), 2)] },
+            Step {
+                ops: vec![
+                    alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2),
+                    alu(1, AluOp::Mul, s(1, 0), s(1, 1), 2),
+                ],
+            },
+            Step {
+                ops: vec![alu(0, AluOp::Add, s(0, 2), s(1, 2), 2)],
+            },
+            Step {
+                ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)],
+            },
+            Step {
+                ops: vec![
+                    alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2),
+                    alu(1, AluOp::Mul, s(0, 2), s(1, 0), 2),
+                ],
+            },
         ];
         let lr = 0.05f32;
         let post_merge = vec![
@@ -628,7 +1116,10 @@ mod tests {
             acs_per_thread: 1,
             slots_per_au: 8,
             bus_lanes: 1,
-            program: EngineProgram { per_tuple, post_merge },
+            program: EngineProgram {
+                per_tuple,
+                post_merge,
+            },
             input_slots: vec![Loc::new(0, 0), Loc::new(1, 0)],
             output_slots: vec![Loc::new(0, 3)],
             meta: vec![],
@@ -642,7 +1133,10 @@ mod tests {
                 op: MergeOp::Sum,
                 slots: vec![Loc::new(0, 2), Loc::new(1, 2)],
             },
-            model_writes: vec![ModelWrite::Whole { model: 0, src: vec![Loc::new(0, 4), Loc::new(1, 4)] }],
+            model_writes: vec![ModelWrite::Whole {
+                model: 0,
+                src: vec![Loc::new(0, 4), Loc::new(1, 4)],
+            }],
             convergence: ConvergenceCheck::Epochs(1),
         }
     }
@@ -673,13 +1167,52 @@ mod tests {
             .collect()
     }
 
+    fn batch_of(tuples: &[Vec<f32>]) -> TupleBatch {
+        TupleBatch::from_rows(tuples[0].len(), tuples)
+    }
+
+    /// Test source yielding a fixed sequence of batches per scan — used to
+    /// prove batch boundaries are invisible to training.
+    struct ChunkedSource {
+        batches: Vec<TupleBatch>,
+        next: usize,
+    }
+
+    impl ChunkedSource {
+        fn new(tuples: &[Vec<f32>], chunk: usize) -> ChunkedSource {
+            ChunkedSource {
+                batches: tuples.chunks(chunk).map(batch_of).collect(),
+                next: 0,
+            }
+        }
+    }
+
+    impl TupleSource for ChunkedSource {
+        fn width(&self) -> usize {
+            self.batches[0].width()
+        }
+        fn next_batch(&mut self) -> Result<Option<&TupleBatch>, dana_storage::SourceError> {
+            if self.next >= self.batches.len() {
+                return Ok(None);
+            }
+            self.next += 1;
+            Ok(Some(&self.batches[self.next - 1]))
+        }
+        fn rewind(&mut self) -> Result<(), dana_storage::SourceError> {
+            self.next = 0;
+            Ok(())
+        }
+    }
+
     #[test]
     fn engine_matches_software_reference_single_thread() {
         let design = linreg_design(1);
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         let tuples = make_tuples(40);
         let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
-        engine.run_training(&tuples, &mut store).unwrap();
+        engine
+            .run_training_batch(&batch_of(&tuples), &mut store)
+            .unwrap();
         let mut w = [0.0f32; 2];
         reference_epoch(&tuples, &mut w, 1, 0.05);
         let got = store.model(0);
@@ -692,16 +1225,21 @@ mod tests {
         for threads in [2u16, 4, 8] {
             let design = linreg_design(threads);
             let engine = ExecutionEngine::new(design.clone()).unwrap();
-            let tuples = make_tuples(50); // non-divisible: final partial batch
+            let tuples = make_tuples(50); // non-divisible: final partial group
             let mut store = ModelStore::new(&design, vec![vec![0.1, -0.1]]).unwrap();
-            let stats = engine.run_training(&tuples, &mut store).unwrap();
+            let stats = engine
+                .run_training_batch(&batch_of(&tuples), &mut store)
+                .unwrap();
             let mut w = [0.1f32, -0.1];
             reference_epoch(&tuples, &mut w, threads as usize, 0.05);
             let got = store.model(0);
-            assert!((got[0] - w[0]).abs() < 1e-4, "threads {threads}: {got:?} vs {w:?}");
+            assert!(
+                (got[0] - w[0]).abs() < 1e-4,
+                "threads {threads}: {got:?} vs {w:?}"
+            );
             assert!((got[1] - w[1]).abs() < 1e-4);
             assert_eq!(stats.tuples_processed, 50);
-            assert_eq!(stats.batches, (50 + threads as u64 - 1) / threads as u64);
+            assert_eq!(stats.batches, 50u64.div_ceil(threads as u64));
         }
     }
 
@@ -713,7 +1251,9 @@ mod tests {
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         let tuples = make_tuples(64);
         let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
-        engine.run_training(&tuples, &mut store).unwrap();
+        engine
+            .run_training_batch(&batch_of(&tuples), &mut store)
+            .unwrap();
         let w = store.model(0);
         // True model is (2, −1).
         assert!((w[0] - 2.0).abs() < 0.1, "w = {w:?}");
@@ -728,7 +1268,9 @@ mod tests {
             let design = linreg_design(threads);
             let engine = ExecutionEngine::new(design.clone()).unwrap();
             let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
-            let stats = engine.run_training(&tuples, &mut store).unwrap();
+            let stats = engine
+                .run_training_batch(&batch_of(&tuples), &mut store)
+                .unwrap();
             cycles.push(stats.cycles);
         }
         assert!(cycles[1] < cycles[0], "{cycles:?}");
@@ -736,12 +1278,51 @@ mod tests {
     }
 
     #[test]
+    fn batch_boundaries_are_invisible() {
+        // The same 50-tuple stream delivered as one batch, page-sized
+        // chunks, and pathological 1-row batches must train identically to
+        // the reference rows path — bit for bit, stats included.
+        let tuples = make_tuples(50);
+        for threads in [1u16, 4, 8] {
+            let design = linreg_design(threads);
+            let engine = ExecutionEngine::new(design.clone()).unwrap();
+            let mut ref_store = ModelStore::new(&design, vec![vec![0.1, -0.1]]).unwrap();
+            let ref_stats = engine.run_training_rows(&tuples, &mut ref_store).unwrap();
+            for chunk in [1usize, 3, 7, 50] {
+                let mut source = ChunkedSource::new(&tuples, chunk);
+                let mut store = ModelStore::new(&design, vec![vec![0.1, -0.1]]).unwrap();
+                let stats = engine.run_training(&mut source, &mut store).unwrap();
+                assert_eq!(store, ref_store, "threads {threads}, chunk {chunk}");
+                assert_eq!(stats, ref_stats, "threads {threads}, chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_epoch_streaming_rewinds_the_source() {
+        let mut design = linreg_design(4);
+        design.convergence = ConvergenceCheck::Epochs(5);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let tuples = make_tuples(30);
+        let mut ref_store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        engine.run_training_rows(&tuples, &mut ref_store).unwrap();
+        let mut source = ChunkedSource::new(&tuples, 4);
+        let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        let stats = engine.run_training(&mut source, &mut store).unwrap();
+        assert_eq!(stats.epochs_run, 5);
+        assert_eq!(stats.tuples_processed, 150);
+        assert_eq!(store, ref_store);
+    }
+
+    #[test]
     fn stats_match_static_estimate() {
         let design = linreg_design(4);
         let engine = ExecutionEngine::new(design.clone()).unwrap();
-        let tuples = make_tuples(16); // 4 full batches
+        let tuples = make_tuples(16); // 4 full groups
         let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
-        let stats = engine.run_training(&tuples, &mut store).unwrap();
+        let stats = engine
+            .run_training_batch(&batch_of(&tuples), &mut store)
+            .unwrap();
         let per_batch = engine.estimated_batch_cycles(4);
         assert_eq!(stats.cycles, 4 * per_batch);
     }
@@ -785,7 +1366,12 @@ mod tests {
             input_slots: vec![Loc::new(0, 0)],
             output_slots: vec![],
             meta: vec![],
-            models: vec![ModelDesc { name: "L".into(), rows: 4, cols: 2, broadcast_slots: None }],
+            models: vec![ModelDesc {
+                name: "L".into(),
+                rows: 4,
+                cols: 2,
+                broadcast_slots: None,
+            }],
             merge: MergePlan::None,
             model_writes: vec![],
             convergence: ConvergenceCheck::Epochs(1),
@@ -794,7 +1380,9 @@ mod tests {
         let init = vec![(0..8).map(|v| v as f32).collect::<Vec<f32>>()];
         let mut store = ModelStore::new(&design, init).unwrap();
         // Touch rows 2 and 0.
-        engine.run_training(&[vec![2.0], vec![0.0]], &mut store).unwrap();
+        engine
+            .run_training_batch(&batch_of(&[vec![2.0], vec![0.0]]), &mut store)
+            .unwrap();
         assert_eq!(store.model(0), &[1.0, 2.0, 2.0, 3.0, 5.0, 6.0, 6.0, 7.0]);
     }
 
@@ -818,14 +1406,21 @@ mod tests {
             input_slots: vec![Loc::new(0, 0)],
             output_slots: vec![],
             meta: vec![],
-            models: vec![ModelDesc { name: "L".into(), rows: 2, cols: 1, broadcast_slots: None }],
+            models: vec![ModelDesc {
+                name: "L".into(),
+                rows: 2,
+                cols: 1,
+                broadcast_slots: None,
+            }],
             merge: MergePlan::None,
             model_writes: vec![],
             convergence: ConvergenceCheck::Epochs(1),
         };
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         let mut store = ModelStore::zeroed(&design);
-        let err = engine.run_training(&[vec![5.0]], &mut store).unwrap_err();
+        let err = engine
+            .run_training_batch(&batch_of(&[vec![5.0]]), &mut store)
+            .unwrap_err();
         assert!(matches!(err, EngineError::RowOutOfRange { .. }));
     }
 
@@ -870,8 +1465,20 @@ mod tests {
         design.bus_lanes = 1;
         design.program.per_tuple[0] = Step {
             ops: vec![
-                MicroOp::Alu { au: 0, op: AluOp::Mov, a: Src::Slot(Loc::new(8, 0)), b: Src::Const(0.0), dst: 0 },
-                MicroOp::Alu { au: 1, op: AluOp::Mov, a: Src::Slot(Loc::new(9, 0)), b: Src::Const(0.0), dst: 0 },
+                MicroOp::Alu {
+                    au: 0,
+                    op: AluOp::Mov,
+                    a: Src::Slot(Loc::new(8, 0)),
+                    b: Src::Const(0.0),
+                    dst: 0,
+                },
+                MicroOp::Alu {
+                    au: 1,
+                    op: AluOp::Mov,
+                    a: Src::Slot(Loc::new(9, 0)),
+                    b: Src::Const(0.0),
+                    dst: 0,
+                },
             ],
         };
         assert!(matches!(
@@ -890,7 +1497,10 @@ mod tests {
             b: Src::Const(0.0),
             dst: 0,
         };
-        assert!(matches!(ExecutionEngine::new(design), Err(EngineError::BadSlot { .. })));
+        assert!(matches!(
+            ExecutionEngine::new(design),
+            Err(EngineError::BadSlot { .. })
+        ));
         let mut design = linreg_design(1);
         design.program.per_tuple[0].ops[0] = MicroOp::Alu {
             au: 42,
@@ -899,7 +1509,10 @@ mod tests {
             b: Src::Const(0.0),
             dst: 0,
         };
-        assert!(matches!(ExecutionEngine::new(design), Err(EngineError::BadAu { .. })));
+        assert!(matches!(
+            ExecutionEngine::new(design),
+            Err(EngineError::BadAu { .. })
+        ));
     }
 
     #[test]
@@ -907,8 +1520,16 @@ mod tests {
         let design = linreg_design(1);
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         let mut store = ModelStore::zeroed(&design);
-        let err = engine.run_training(&[vec![1.0, 2.0]], &mut store).unwrap_err();
-        assert!(matches!(err, EngineError::TupleWidth { got: 2, expected: 3 }));
+        let err = engine
+            .run_training_batch(&batch_of(&[vec![1.0, 2.0]]), &mut store)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::TupleWidth {
+                got: 2,
+                expected: 3
+            }
+        ));
     }
 
     #[test]
@@ -925,10 +1546,15 @@ mod tests {
                 dst: 6,
             }],
         });
-        design.convergence = ConvergenceCheck::Condition { slot: Loc::new(0, 6), max_epochs: 100 };
+        design.convergence = ConvergenceCheck::Condition {
+            slot: Loc::new(0, 6),
+            max_epochs: 100,
+        };
         let engine = ExecutionEngine::new(design.clone()).unwrap();
         let mut store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
-        let stats = engine.run_training(&make_tuples(8), &mut store).unwrap();
+        let stats = engine
+            .run_training_batch(&batch_of(&make_tuples(8)), &mut store)
+            .unwrap();
         assert_eq!(stats.epochs_run, 1);
         assert!(stats.converged_early);
     }

@@ -14,7 +14,11 @@ pub enum EngineError {
     /// A non-Mov micro-op reads across cluster boundaries.
     CrossClusterRead { step: usize, au: u16, src_au: u16 },
     /// More cross-cluster transfers in a step than bus lanes.
-    BusOversubscribed { step: usize, movs: usize, lanes: usize },
+    BusOversubscribed {
+        step: usize,
+        movs: usize,
+        lanes: usize,
+    },
     /// A gather/scatter references an unknown model id.
     BadModel(u8),
     /// A gathered/scattered row index is out of the model's range.
@@ -23,6 +27,8 @@ pub enum EngineError {
     ModelShape(String),
     /// Tuple width disagrees with the design's input+output slots.
     TupleWidth { got: usize, expected: usize },
+    /// The upstream tuple source failed while producing a batch.
+    Source(String),
 }
 
 impl fmt::Display for EngineError {
@@ -38,10 +44,16 @@ impl fmt::Display for EngineError {
                 write!(f, "step {step}: AU {au} issued two operations")
             }
             EngineError::CrossClusterRead { step, au, src_au } => {
-                write!(f, "step {step}: AU {au} reads AU {src_au} across clusters without a Mov")
+                write!(
+                    f,
+                    "step {step}: AU {au} reads AU {src_au} across clusters without a Mov"
+                )
             }
             EngineError::BusOversubscribed { step, movs, lanes } => {
-                write!(f, "step {step}: {movs} cross-cluster transfers exceed {lanes} bus lanes")
+                write!(
+                    f,
+                    "step {step}: {movs} cross-cluster transfers exceed {lanes} bus lanes"
+                )
             }
             EngineError::BadModel(m) => write!(f, "unknown model id {m}"),
             EngineError::RowOutOfRange { model, row, rows } => {
@@ -51,10 +63,17 @@ impl fmt::Display for EngineError {
             EngineError::TupleWidth { got, expected } => {
                 write!(f, "tuple has {got} values, engine expects {expected}")
             }
+            EngineError::Source(msg) => write!(f, "tuple source: {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<dana_storage::SourceError> for EngineError {
+    fn from(e: dana_storage::SourceError) -> EngineError {
+        EngineError::Source(e.0)
+    }
+}
 
 pub type EngineResult<T> = Result<T, EngineError>;

@@ -8,7 +8,9 @@ pub const AUS_PER_AC: u16 = 8;
 
 /// A storage location within one thread: an AU and a slot in that AU's
 /// data-memory scratchpad (Fig. 7b's "Data Memory Scratchpad").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Loc {
     pub au: u16,
     pub slot: u16,
@@ -52,7 +54,12 @@ impl AluOp {
     /// only when "the designated AUs complete their execution", §5.2).
     pub fn latency(&self) -> u64 {
         match self {
-            AluOp::Add | AluOp::Sub | AluOp::Mul | AluOp::Gt | AluOp::Lt | AluOp::Max
+            AluOp::Add
+            | AluOp::Sub
+            | AluOp::Mul
+            | AluOp::Gt
+            | AluOp::Lt
+            | AluOp::Max
             | AluOp::Mov => 1,
             AluOp::Sigmoid | AluOp::Gaussian => 2,
             AluOp::Div | AluOp::Sqrt => 4,
@@ -89,7 +96,10 @@ impl AluOp {
     }
 
     pub fn is_unary(&self) -> bool {
-        matches!(self, AluOp::Sigmoid | AluOp::Gaussian | AluOp::Sqrt | AluOp::Mov)
+        matches!(
+            self,
+            AluOp::Sigmoid | AluOp::Gaussian | AluOp::Sqrt | AluOp::Mov
+        )
     }
 }
 
@@ -106,13 +116,27 @@ pub enum Src {
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum MicroOp {
     /// ALU operation on AU `au`, writing `dst` in `au`'s scratchpad.
-    Alu { au: u16, op: AluOp, a: Src, b: Src, dst: u16 },
+    Alu {
+        au: u16,
+        op: AluOp,
+        a: Src,
+        b: Src,
+        dst: u16,
+    },
     /// Gather a model row: `dst[k] := model[row(index)][k]`. Occupies the
     /// destination AUs for the step. `model` indexes
     /// [`crate::engine::EngineDesign::models`].
-    Gather { model: u8, index: Src, dst: Vec<Loc> },
+    Gather {
+        model: u8,
+        index: Src,
+        dst: Vec<Loc>,
+    },
     /// Scatter a model row back: `model[row(index)][k] := src[k]`.
-    Scatter { model: u8, index: Src, src: Vec<Loc> },
+    Scatter {
+        model: u8,
+        index: Src,
+        src: Vec<Loc>,
+    },
 }
 
 impl MicroOp {
@@ -162,11 +186,12 @@ impl Step {
             .ops
             .iter()
             .filter_map(|o| match o {
-                MicroOp::Alu { au, op: AluOp::Mov, a: Src::Slot(l), .. }
-                    if l.ac() != au / AUS_PER_AC =>
-                {
-                    Some(*l)
-                }
+                MicroOp::Alu {
+                    au,
+                    op: AluOp::Mov,
+                    a: Src::Slot(l),
+                    ..
+                } if l.ac() != au / AUS_PER_AC => Some(*l),
                 _ => None,
             })
             .collect();
@@ -197,7 +222,11 @@ impl EngineProgram {
 
     /// Total micro-op count (diagnostics / instruction footprint).
     pub fn micro_ops(&self) -> usize {
-        self.per_tuple.iter().chain(&self.post_merge).map(|s| s.ops.len()).sum()
+        self.per_tuple
+            .iter()
+            .chain(&self.post_merge)
+            .map(|s| s.ops.len())
+            .sum()
     }
 
     /// Human-readable listing.
@@ -232,14 +261,27 @@ fn display_op(op: &MicroOp) -> String {
             if op.is_unary() {
                 format!("au{au}[{dst}] <- {op:?} {}", display_src(a))
             } else {
-                format!("au{au}[{dst}] <- {:?}({}, {})", op, display_src(a), display_src(b))
+                format!(
+                    "au{au}[{dst}] <- {:?}({}, {})",
+                    op,
+                    display_src(a),
+                    display_src(b)
+                )
             }
         }
         MicroOp::Gather { model, index, dst } => {
-            format!("gather m{model}[{}] -> {} slots", display_src(index), dst.len())
+            format!(
+                "gather m{model}[{}] -> {} slots",
+                display_src(index),
+                dst.len()
+            )
         }
         MicroOp::Scatter { model, index, src } => {
-            format!("scatter {} slots -> m{model}[{}]", src.len(), display_src(index))
+            format!(
+                "scatter {} slots -> m{model}[{}]",
+                src.len(),
+                display_src(index)
+            )
         }
     }
 }
@@ -274,8 +316,20 @@ mod tests {
     fn step_cost_is_max_latency() {
         let step = Step {
             ops: vec![
-                MicroOp::Alu { au: 0, op: AluOp::Add, a: Src::Const(1.0), b: Src::Const(2.0), dst: 0 },
-                MicroOp::Alu { au: 1, op: AluOp::Div, a: Src::Const(1.0), b: Src::Const(2.0), dst: 0 },
+                MicroOp::Alu {
+                    au: 0,
+                    op: AluOp::Add,
+                    a: Src::Const(1.0),
+                    b: Src::Const(2.0),
+                    dst: 0,
+                },
+                MicroOp::Alu {
+                    au: 1,
+                    op: AluOp::Div,
+                    a: Src::Const(1.0),
+                    b: Src::Const(2.0),
+                    dst: 0,
+                },
             ],
         };
         assert_eq!(step.cost(), 4);
@@ -288,11 +342,29 @@ mod tests {
         let step = Step {
             ops: vec![
                 // AU 0 (cluster 0) pulling from AU 9 (cluster 1): bus transfer.
-                MicroOp::Alu { au: 0, op: AluOp::Mov, a: Src::Slot(Loc::new(9, 0)), b: Src::Const(0.0), dst: 0 },
+                MicroOp::Alu {
+                    au: 0,
+                    op: AluOp::Mov,
+                    a: Src::Slot(Loc::new(9, 0)),
+                    b: Src::Const(0.0),
+                    dst: 0,
+                },
                 // Same-cluster mov: free.
-                MicroOp::Alu { au: 1, op: AluOp::Mov, a: Src::Slot(Loc::new(2, 0)), b: Src::Const(0.0), dst: 0 },
+                MicroOp::Alu {
+                    au: 1,
+                    op: AluOp::Mov,
+                    a: Src::Slot(Loc::new(2, 0)),
+                    b: Src::Const(0.0),
+                    dst: 0,
+                },
                 // Non-mov op: not a bus user.
-                MicroOp::Alu { au: 3, op: AluOp::Add, a: Src::Slot(Loc::new(4, 0)), b: Src::Const(0.0), dst: 0 },
+                MicroOp::Alu {
+                    au: 3,
+                    op: AluOp::Add,
+                    a: Src::Slot(Loc::new(4, 0)),
+                    b: Src::Const(0.0),
+                    dst: 0,
+                },
             ],
         };
         assert_eq!(step.cross_cluster_movs(), 1);
@@ -312,11 +384,33 @@ mod tests {
     fn program_cycle_totals() {
         let p = EngineProgram {
             per_tuple: vec![
-                Step { ops: vec![MicroOp::Alu { au: 0, op: AluOp::Mul, a: Src::Const(1.0), b: Src::Const(1.0), dst: 0 }] },
-                Step { ops: vec![MicroOp::Alu { au: 0, op: AluOp::Sigmoid, a: Src::Const(1.0), b: Src::Const(0.0), dst: 1 }] },
+                Step {
+                    ops: vec![MicroOp::Alu {
+                        au: 0,
+                        op: AluOp::Mul,
+                        a: Src::Const(1.0),
+                        b: Src::Const(1.0),
+                        dst: 0,
+                    }],
+                },
+                Step {
+                    ops: vec![MicroOp::Alu {
+                        au: 0,
+                        op: AluOp::Sigmoid,
+                        a: Src::Const(1.0),
+                        b: Src::Const(0.0),
+                        dst: 1,
+                    }],
+                },
             ],
             post_merge: vec![Step {
-                ops: vec![MicroOp::Alu { au: 0, op: AluOp::Sub, a: Src::Const(1.0), b: Src::Const(1.0), dst: 2 }],
+                ops: vec![MicroOp::Alu {
+                    au: 0,
+                    op: AluOp::Sub,
+                    a: Src::Const(1.0),
+                    b: Src::Const(1.0),
+                    dst: 2,
+                }],
             }],
         };
         assert_eq!(p.per_tuple_cycles(), 3); // 1 + 2

@@ -36,8 +36,7 @@ pub mod error;
 pub mod isa;
 
 pub use engine::{
-    ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore,
-    ModelWrite,
+    ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore, ModelWrite,
 };
 pub use error::{EngineError, EngineResult};
 pub use isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};

@@ -27,7 +27,10 @@ impl AxiLink {
     /// 1 µs burst latency.
     pub fn with_bandwidth(bandwidth: f64) -> AxiLink {
         assert!(bandwidth > 0.0, "AXI bandwidth must be positive");
-        AxiLink { bandwidth, burst_latency: 1.0e-6 }
+        AxiLink {
+            bandwidth,
+            burst_latency: 1.0e-6,
+        }
     }
 
     /// Time to move a single burst of `bytes` across the link.

@@ -115,20 +115,12 @@ pub struct ResourceBudget {
 impl ResourceBudget {
     /// AUs per thread (every thread is architecturally identical, §5.2).
     pub fn aus_per_thread(&self) -> u32 {
-        if self.num_threads == 0 {
-            0
-        } else {
-            self.num_aus / self.num_threads
-        }
+        self.num_aus.checked_div(self.num_threads).unwrap_or(0)
     }
 
     /// ACs per thread.
     pub fn acs_per_thread(&self) -> u32 {
-        if self.num_threads == 0 {
-            0
-        } else {
-            self.num_acs / self.num_threads
-        }
+        self.num_acs.checked_div(self.num_threads).unwrap_or(0)
     }
 }
 

@@ -3,7 +3,9 @@
 use dana_dsl::{BinOp, Convergence, DataKind, Dims, GroupOp, MergeOp, UnaryFn, VarId};
 
 /// Index of a node within its [`Hdfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 /// Which execution region a node belongs to.
@@ -23,7 +25,10 @@ pub enum Region {
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum HOp {
     /// A declared variable entering the graph (input/output/model/meta).
-    Leaf { var: VarId, kind: DataKind },
+    Leaf {
+        var: VarId,
+        kind: DataKind,
+    },
     Binary(BinOp),
     Unary(UnaryFn),
     Group(GroupOp, usize),
@@ -113,7 +118,11 @@ pub enum ModelBinding {
     /// The whole model variable is replaced by this node's value.
     Whole { model: VarId, source: NodeId },
     /// Row `index` (a node producing a scalar) is replaced (LRMF scatter).
-    Row { model: VarId, index: NodeId, source: NodeId },
+    Row {
+        model: VarId,
+        index: NodeId,
+        source: NodeId,
+    },
 }
 
 /// Cross-thread merge description.
@@ -156,9 +165,10 @@ impl ConvergenceBinding {
     pub fn from_spec(c: &Convergence, node_of: impl Fn(VarId) -> NodeId) -> ConvergenceBinding {
         match c {
             Convergence::Epochs(n) => ConvergenceBinding::Epochs(*n),
-            Convergence::Condition { var, max_epochs } => {
-                ConvergenceBinding::Condition { node: node_of(*var), max_epochs: *max_epochs }
-            }
+            Convergence::Condition { var, max_epochs } => ConvergenceBinding::Condition {
+                node: node_of(*var),
+                max_epochs: *max_epochs,
+            },
         }
     }
 
@@ -231,10 +241,12 @@ impl Hdfg {
             .map(|n| match &n.op {
                 HOp::Group(_, axis) => {
                     let dims = self.input_dims(n);
-                    dims.first().map(|d| {
-                        let k = group_extent(d, *axis) as u64;
-                        (k / 2).max(1) * n.dims.elements() as u64
-                    }).unwrap_or(1)
+                    dims.first()
+                        .map(|d| {
+                            let k = group_extent(d, *axis) as u64;
+                            (k / 2).max(1) * n.dims.elements() as u64
+                        })
+                        .unwrap_or(1)
                 }
                 HOp::Leaf { .. } | HOp::Const(_) | HOp::Identity => 0,
                 _ => n.dims.elements() as u64,
@@ -310,7 +322,11 @@ mod tests {
     use dana_dsl::zoo::{linear_regression, lrmf, DenseParams, LrmfParams};
 
     fn linreg_graph(n: usize) -> Hdfg {
-        let spec = linear_regression(DenseParams { n_features: n, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: n,
+            ..Default::default()
+        })
+        .unwrap();
         translate(&spec)
     }
 

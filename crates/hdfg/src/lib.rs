@@ -18,5 +18,5 @@
 pub mod graph;
 pub mod translate;
 
-pub use graph::{Hdfg, HNode, HOp, NodeId, Region};
+pub use graph::{HNode, HOp, Hdfg, NodeId, Region};
 pub use translate::translate;

@@ -12,9 +12,7 @@ use std::collections::HashMap;
 
 use dana_dsl::{AlgoSpec, DataKind, OpKind, VarId};
 
-use crate::graph::{
-    ConvergenceBinding, HNode, HOp, Hdfg, MergeInfo, ModelBinding, NodeId, Region,
-};
+use crate::graph::{ConvergenceBinding, HNode, HOp, Hdfg, MergeInfo, ModelBinding, NodeId, Region};
 
 /// Translates a validated [`AlgoSpec`] into its [`Hdfg`].
 pub fn translate(spec: &AlgoSpec) -> Hdfg {
@@ -23,7 +21,14 @@ pub fn translate(spec: &AlgoSpec) -> Hdfg {
 
     let push = |nodes: &mut Vec<HNode>, op, inputs, dims, region, name: String| {
         let id = NodeId(nodes.len() as u32);
-        nodes.push(HNode { id, op, inputs, dims, region, name });
+        nodes.push(HNode {
+            id,
+            op,
+            inputs,
+            dims,
+            region,
+            name,
+        });
         id
     };
 
@@ -34,7 +39,10 @@ pub fn translate(spec: &AlgoSpec) -> Hdfg {
         }
         let id = push(
             &mut nodes,
-            HOp::Leaf { var: v.id, kind: v.kind },
+            HOp::Leaf {
+                var: v.id,
+                kind: v.kind,
+            },
             Vec::new(),
             v.dims.clone(),
             Region::PerTuple,
@@ -43,7 +51,11 @@ pub fn translate(spec: &AlgoSpec) -> Hdfg {
         of_var.insert(v.id, id);
     }
 
-    let boundary = spec.merge.as_ref().map(|m| m.boundary).unwrap_or(usize::MAX);
+    let boundary = spec
+        .merge
+        .as_ref()
+        .map(|m| m.boundary)
+        .unwrap_or(usize::MAX);
     let mut merge_info: Option<MergeInfo> = None;
 
     for (idx, stmt) in spec.stmts.iter().enumerate() {
@@ -51,7 +63,11 @@ pub fn translate(spec: &AlgoSpec) -> Hdfg {
         if idx == boundary {
             merge_info = Some(insert_merge(spec, &mut nodes, &mut of_var));
         }
-        let region = if idx < boundary { Region::PerTuple } else { Region::PostMerge };
+        let region = if idx < boundary {
+            Region::PerTuple
+        } else {
+            Region::PostMerge
+        };
         let name = spec.var(stmt.target).name.clone();
         let dims = spec.var(stmt.target).dims.clone();
         let (op, inputs) = match &stmt.op {
@@ -74,10 +90,15 @@ pub fn translate(spec: &AlgoSpec) -> Hdfg {
         .model_updates
         .iter()
         .map(|mu| match mu {
-            dana_dsl::ModelUpdate::Whole { model, source } => {
-                ModelBinding::Whole { model: *model, source: of_var[source] }
-            }
-            dana_dsl::ModelUpdate::Row { model, index, source } => ModelBinding::Row {
+            dana_dsl::ModelUpdate::Whole { model, source } => ModelBinding::Whole {
+                model: *model,
+                source: of_var[source],
+            },
+            dana_dsl::ModelUpdate::Row {
+                model,
+                index,
+                source,
+            } => ModelBinding::Row {
                 model: *model,
                 index: of_var[index],
                 source: of_var[source],
@@ -114,7 +135,10 @@ fn insert_merge(
     nodes: &mut Vec<HNode>,
     of_var: &mut HashMap<VarId, NodeId>,
 ) -> MergeInfo {
-    let m = spec.merge.as_ref().expect("insert_merge called with a merge spec");
+    let m = spec
+        .merge
+        .as_ref()
+        .expect("insert_merge called with a merge spec");
     let pre = of_var[&m.var];
     let dims = nodes[pre.0 as usize].dims.clone();
     let id = NodeId(nodes.len() as u32);
@@ -128,7 +152,11 @@ fn insert_merge(
     });
     // Downstream statements read the merged value.
     of_var.insert(m.var, id);
-    MergeInfo { node: id, op: m.op, coef: m.coef }
+    MergeInfo {
+        node: id,
+        op: m.op,
+        coef: m.coef,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +170,11 @@ mod tests {
 
     #[test]
     fn regions_split_at_merge_boundary() {
-        let spec = linear_regression(DenseParams { n_features: 10, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 10,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
         // Per-tuple: leaves + mul, sigma, sub, mul.
         // Post-merge: merge, mul (lr*grad), sub (mo-up).
@@ -179,9 +211,7 @@ mod tests {
         assert_eq!(sigmoids, 1);
         // logistic is strictly more work per tuple than linear
         let lin = translate(&linear_regression(DenseParams::default()).unwrap());
-        assert!(
-            g.atomic_op_count(Region::PerTuple) > lin.atomic_op_count(Region::PerTuple)
-        );
+        assert!(g.atomic_op_count(Region::PerTuple) > lin.atomic_op_count(Region::PerTuple));
     }
 
     #[test]
@@ -199,7 +229,11 @@ mod tests {
     fn lrmf_has_gathers_and_row_bindings() {
         let spec = lrmf(LrmfParams::default()).unwrap();
         let g = translate(&spec);
-        let gathers = g.nodes.iter().filter(|n| matches!(n.op, HOp::Gather)).count();
+        let gathers = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, HOp::Gather))
+            .count();
         assert_eq!(gathers, 2);
         assert_eq!(g.model_bindings.len(), 2);
         assert!(g
@@ -239,10 +273,7 @@ mod tests {
         match g.convergence {
             ConvergenceBinding::Condition { node, max_epochs } => {
                 assert_eq!(max_epochs, 77);
-                assert!(matches!(
-                    g.node(node).op,
-                    HOp::Binary(dana_dsl::BinOp::Lt)
-                ));
+                assert!(matches!(g.node(node).op, HOp::Binary(dana_dsl::BinOp::Lt)));
             }
             other => panic!("expected condition, got {other:?}"),
         }
@@ -251,7 +282,11 @@ mod tests {
 
     #[test]
     fn widths_copied_from_spec() {
-        let spec = linear_regression(DenseParams { n_features: 33, ..Default::default() }).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 33,
+            ..Default::default()
+        })
+        .unwrap();
         let g = translate(&spec);
         assert_eq!(g.input_width, 33);
         assert_eq!(g.output_width, 1);

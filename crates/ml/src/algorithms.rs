@@ -5,6 +5,7 @@
 //! these references.
 
 use dana_dsl::zoo::Algorithm;
+use dana_storage::TupleBatch;
 
 use crate::linalg::{axpy, dot, sigmoid};
 
@@ -103,9 +104,10 @@ impl TrainedModel {
     }
 }
 
-/// Trains the reference model. `tuples` hold features-then-label for the
-/// dense algorithms, or `(i, j, rating)` for LRMF.
-pub fn train_reference(tuples: &[Vec<f32>], cfg: &TrainConfig) -> TrainedModel {
+/// Trains the reference model over a flat batch. Rows hold
+/// features-then-label for the dense algorithms, or `(i, j, rating)` for
+/// LRMF.
+pub fn train_reference(tuples: &TupleBatch, cfg: &TrainConfig) -> TrainedModel {
     match cfg.algorithm {
         Algorithm::Linear => TrainedModel::Dense(train_dense(tuples, cfg, grad_linear)),
         Algorithm::Logistic => TrainedModel::Dense(train_dense(tuples, cfg, grad_logistic)),
@@ -135,16 +137,18 @@ fn grad_svm(w: &[f32], x: &[f32], y: f32, g: &mut [f32]) {
     }
 }
 
-fn train_dense(tuples: &[Vec<f32>], cfg: &TrainConfig, grad: GradFn) -> DenseModel {
+fn train_dense(tuples: &TupleBatch, cfg: &TrainConfig, grad: GradFn) -> DenseModel {
     assert!(!tuples.is_empty(), "empty training set");
-    let d = tuples[0].len() - 1;
+    let width = tuples.width();
+    let d = width - 1;
     let mut w = vec![0.0f32; d];
     let step = cfg.learning_rate / cfg.batch as f32;
     let mut g = vec![0.0f32; d];
+    let batch_values = width * cfg.batch.max(1);
     for _ in 0..cfg.epochs {
-        for batch in tuples.chunks(cfg.batch.max(1)) {
+        for batch in tuples.as_slice().chunks(batch_values) {
             g.iter_mut().for_each(|v| *v = 0.0);
-            for t in batch {
+            for t in batch.chunks_exact(width) {
                 grad(&w, &t[..d], t[d], &mut g);
             }
             axpy(-step, &g, &mut w);
@@ -153,18 +157,18 @@ fn train_dense(tuples: &[Vec<f32>], cfg: &TrainConfig, grad: GradFn) -> DenseMod
     DenseModel(w)
 }
 
-fn train_lrmf(tuples: &[Vec<f32>], cfg: &TrainConfig) -> LrmfModel {
+fn train_lrmf(tuples: &TupleBatch, cfg: &TrainConfig) -> LrmfModel {
     assert!(!tuples.is_empty(), "empty training set");
     let (rows, cols) = cfg.lrmf_dims.unwrap_or_else(|| {
         (
-            tuples.iter().map(|t| t[0] as usize).max().unwrap_or(0) + 1,
-            tuples.iter().map(|t| t[1] as usize).max().unwrap_or(0) + 1,
+            tuples.rows().map(|t| t[0] as usize).max().unwrap_or(0) + 1,
+            tuples.rows().map(|t| t[1] as usize).max().unwrap_or(0) + 1,
         )
     });
     let mut m = LrmfModel::zeroed(rows, cols, cfg.rank);
     let lr = cfg.learning_rate;
     for _ in 0..cfg.epochs {
-        for t in tuples {
+        for t in tuples.rows() {
             let (i, j, y) = (t[0] as usize, t[1] as usize, t[2]);
             let e = m.predict(i, j) - y;
             let lbase = i * cfg.rank;
@@ -185,23 +189,31 @@ mod tests {
     use super::*;
     use crate::metrics;
 
-    fn linear_tuples(n: usize, d: usize) -> Vec<Vec<f32>> {
+    fn linear_tuples(n: usize, d: usize) -> TupleBatch {
         let truth: Vec<f32> = (0..d).map(|i| (i as f32) * 0.3 - 0.5).collect();
-        (0..n)
-            .map(|k| {
-                let x: Vec<f32> = (0..d).map(|i| (((k * 13 + i * 7) % 17) as f32 - 8.0) / 8.0).collect();
-                let y = dot(&x, &truth);
-                let mut t = x;
-                t.push(y);
-                t
-            })
-            .collect()
+        let mut batch = TupleBatch::with_capacity(d + 1, n);
+        for k in 0..n {
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 13 + i * 7) % 17) as f32 - 8.0) / 8.0)
+                .collect();
+            let mut row = batch.start_row();
+            for v in &x {
+                row.push(*v);
+            }
+            row.push(dot(&x, &truth));
+            row.finish();
+        }
+        batch
     }
 
     #[test]
     fn linear_regression_recovers_truth() {
         let tuples = linear_tuples(200, 5);
-        let cfg = TrainConfig { epochs: 60, learning_rate: 0.3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 60,
+            learning_rate: 0.3,
+            ..Default::default()
+        };
         let m = train_reference(&tuples, &cfg);
         let w = &m.as_dense().0;
         let truth: Vec<f32> = (0..5).map(|i| (i as f32) * 0.3 - 0.5).collect();
@@ -213,13 +225,14 @@ mod tests {
     #[test]
     fn logistic_separates_classes() {
         // Class = x0 > 0.
-        let tuples: Vec<Vec<f32>> = (0..300)
-            .map(|k| {
+        let tuples = TupleBatch::from_rows(
+            3,
+            (0..300).map(|k| {
                 let x0 = ((k % 21) as f32 - 10.0) / 10.0;
                 let x1 = ((k % 13) as f32 - 6.0) / 6.0;
-                vec![x0, x1, if x0 > 0.0 { 1.0 } else { 0.0 }]
-            })
-            .collect();
+                [x0, x1, if x0 > 0.0 { 1.0 } else { 0.0 }]
+            }),
+        );
         let cfg = TrainConfig {
             algorithm: Algorithm::Logistic,
             epochs: 100,
@@ -234,13 +247,14 @@ mod tests {
     #[test]
     fn svm_separates_classes() {
         // Labels ±1, margin on x0.
-        let tuples: Vec<Vec<f32>> = (0..300)
-            .map(|k| {
+        let tuples = TupleBatch::from_rows(
+            3,
+            (0..300).map(|k| {
                 let x0 = ((k % 21) as f32 - 10.0) / 5.0;
                 let x1 = ((k % 7) as f32 - 3.0) / 3.0;
-                vec![x0, x1, if x0 > 0.0 { 1.0 } else { -1.0 }]
-            })
-            .collect();
+                [x0, x1, if x0 > 0.0 { 1.0 } else { -1.0 }]
+            }),
+        );
         let cfg = TrainConfig {
             algorithm: Algorithm::Svm,
             epochs: 60,
@@ -256,14 +270,15 @@ mod tests {
     fn lrmf_reduces_rmse() {
         // Ratings from a planted rank-2 structure.
         let (rows, cols) = (20usize, 15usize);
-        let tuples: Vec<Vec<f32>> = (0..rows)
-            .flat_map(|i| {
+        let tuples = TupleBatch::from_rows(
+            3,
+            (0..rows).flat_map(|i| {
                 (0..cols).map(move |j| {
                     let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
-                    vec![i as f32, j as f32, r]
+                    [i as f32, j as f32, r]
                 })
-            })
-            .collect();
+            }),
+        );
         let cfg = TrainConfig {
             algorithm: Algorithm::Lrmf,
             epochs: 40,
@@ -282,11 +297,21 @@ mod tests {
         let tuples = linear_tuples(64, 3);
         let b1 = train_reference(
             &tuples,
-            &TrainConfig { batch: 1, epochs: 3, learning_rate: 0.1, ..Default::default() },
+            &TrainConfig {
+                batch: 1,
+                epochs: 3,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
         );
         let b8 = train_reference(
             &tuples,
-            &TrainConfig { batch: 8, epochs: 3, learning_rate: 0.1, ..Default::default() },
+            &TrainConfig {
+                batch: 8,
+                epochs: 3,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
         );
         // Different optimizers: both converge but produce different weights.
         assert_ne!(b1.as_dense().0, b8.as_dense().0);
@@ -295,6 +320,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_panics() {
-        let _ = train_reference(&[], &TrainConfig::default());
+        let _ = train_reference(&TupleBatch::new(3), &TrainConfig::default());
     }
 }

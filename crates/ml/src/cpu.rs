@@ -192,6 +192,7 @@ impl CpuModel {
 
     /// CPU seconds for one Greenplum epoch over `segments` segments
     /// (Amdahl split plus the per-epoch synchronization).
+    #[allow(clippy::too_many_arguments)] // mirrors the cost model's factor list
     pub fn greenplum_epoch_seconds(
         &self,
         algo: Algorithm,
@@ -227,7 +228,10 @@ mod tests {
         let m = CpuModel::i7_6700();
         let lin = m.compute_tuple_seconds(Algorithm::Linear, 500, 10);
         let log = m.compute_tuple_seconds(Algorithm::Logistic, 500, 10);
-        assert!(log > lin * 3.0, "vectorization gap must show: {lin} vs {log}");
+        assert!(
+            log > lin * 3.0,
+            "vectorization gap must show: {lin} vs {log}"
+        );
     }
 
     #[test]
@@ -245,7 +249,14 @@ mod tests {
     #[test]
     fn greenplum_scales_then_saturates() {
         let m = CpuModel::i7_6700();
-        let args = (Algorithm::Logistic, 500_000u64, 500usize, 10usize, 2020usize, 31_000u64);
+        let args = (
+            Algorithm::Logistic,
+            500_000u64,
+            500usize,
+            10usize,
+            2020usize,
+            31_000u64,
+        );
         let e = |s: u32| {
             m.greenplum_epoch_seconds(args.0, args.1, args.2, args.3, args.4, args.5, s, 2000)
         };
@@ -263,6 +274,9 @@ mod tests {
                 / m.madlib_epoch_seconds(Algorithm::Linear, 100_000, 100, 10, 420, 3000);
         let lrmf = m.greenplum_epoch_seconds(Algorithm::Lrmf, 100_000, 2, 10, 28, 3000, 8, 400)
             / m.madlib_epoch_seconds(Algorithm::Lrmf, 100_000, 2, 10, 28, 3000);
-        assert!(dense < lrmf, "dense ratio {dense} must beat LRMF ratio {lrmf}");
+        assert!(
+            dense < lrmf,
+            "dense ratio {dense} must beat LRMF ratio {lrmf}"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! IGD at equal hyper-parameters.
 
 use dana_dsl::zoo::Algorithm;
+use dana_storage::TupleBatch;
 
 use crate::algorithms::{train_reference, TrainConfig, TrainedModel};
 use crate::cpu::{CpuModel, Seconds};
@@ -46,7 +47,10 @@ impl ExternalLibrary {
                 matches!(algo, Algorithm::Logistic | Algorithm::Svm)
             }
             ExternalLibrary::DimmWitted => {
-                matches!(algo, Algorithm::Logistic | Algorithm::Svm | Algorithm::Linear)
+                matches!(
+                    algo,
+                    Algorithm::Logistic | Algorithm::Svm | Algorithm::Linear
+                )
             }
         }
     }
@@ -134,16 +138,13 @@ impl ExternalExecutor {
 
     /// Trains functionally on `tuples` (already-extracted values) and
     /// prices the three phases for a table of `n_tuples × (width+1)` values.
-    pub fn train(&self, tuples: &[Vec<f32>], cfg: &TrainConfig) -> Option<ExternalReport> {
+    pub fn train(&self, tuples: &TupleBatch, cfg: &TrainConfig) -> Option<ExternalReport> {
         if !self.library.supports(cfg.algorithm) {
             return None;
         }
         let model = train_reference(tuples, cfg);
-        let (export, transform, compute) = self.analytic_seconds(
-            cfg,
-            tuples.len() as u64,
-            tuples.first().map(|t| t.len() - 1).unwrap_or(0),
-        );
+        let (export, transform, compute) =
+            self.analytic_seconds(cfg, tuples.len() as u64, tuples.width().saturating_sub(1));
         Some(ExternalReport {
             library: self.library,
             export_seconds: export,
@@ -163,7 +164,9 @@ impl ExternalExecutor {
         let values = n_tuples as f64 * (width + 1) as f64;
         let export = values * EXPORT_S_PER_VALUE + n_tuples as f64 * EXPORT_S_PER_TUPLE;
         let transform = values * TRANSFORM_S_PER_VALUE;
-        let per_tuple = self.cpu.compute_tuple_seconds(cfg.algorithm, width, cfg.rank);
+        let per_tuple = self
+            .cpu
+            .compute_tuple_seconds(cfg.algorithm, width, cfg.rank);
         let compute = cfg.epochs.max(1) as f64
             * n_tuples as f64
             * per_tuple
@@ -177,16 +180,15 @@ impl ExternalExecutor {
 mod tests {
     use super::*;
 
-    fn tuples(n: usize, d: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|k| {
-                let x: Vec<f32> = (0..d).map(|i| (((k + i) % 7) as f32 - 3.0) / 3.0).collect();
-                let y = if x[0] > 0.0 { 1.0 } else { 0.0 };
-                let mut t = x;
-                t.push(y);
+    fn tuples(n: usize, d: usize) -> TupleBatch {
+        TupleBatch::from_rows(
+            d + 1,
+            (0..n).map(|k| {
+                let mut t: Vec<f32> = (0..d).map(|i| (((k + i) % 7) as f32 - 3.0) / 3.0).collect();
+                t.push(if t[0] > 0.0 { 1.0 } else { 0.0 });
                 t
-            })
-            .collect()
+            }),
+        )
     }
 
     #[test]
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn unsupported_algorithms_return_none() {
         let exec = ExternalExecutor::new(CpuModel::i7_6700(), ExternalLibrary::Liblinear);
-        let cfg = TrainConfig { algorithm: Algorithm::Linear, ..Default::default() };
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Linear,
+            ..Default::default()
+        };
         assert!(exec.train(&tuples(10, 4), &cfg).is_none());
     }
 
@@ -211,7 +216,11 @@ mod tests {
         // Fig. 15a: export is 57–86 % of Liblinear/DimmWitted runtime for
         // the logistic workloads.
         let exec = ExternalExecutor::new(CpuModel::i7_6700(), ExternalLibrary::Liblinear);
-        let cfg = TrainConfig { algorithm: Algorithm::Logistic, epochs: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Logistic,
+            epochs: 1,
+            ..Default::default()
+        };
         let (export, transform, compute) = exec.analytic_seconds(&cfg, 387_944, 2_000);
         let total = export + transform + compute;
         let frac = export / total;
@@ -224,10 +233,26 @@ mod tests {
         // The library SVM solvers lose to IGD (Fig. 15b shows 0.1× bars).
         let exec = ExternalExecutor::new(CpuModel::i7_6700(), ExternalLibrary::Liblinear);
         let log = exec
-            .analytic_seconds(&TrainConfig { algorithm: Algorithm::Logistic, epochs: 1, ..Default::default() }, 100_000, 500)
+            .analytic_seconds(
+                &TrainConfig {
+                    algorithm: Algorithm::Logistic,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                100_000,
+                500,
+            )
             .2;
         let svm = exec
-            .analytic_seconds(&TrainConfig { algorithm: Algorithm::Svm, epochs: 1, ..Default::default() }, 100_000, 500)
+            .analytic_seconds(
+                &TrainConfig {
+                    algorithm: Algorithm::Svm,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                100_000,
+                500,
+            )
             .2;
         assert!(svm > 10.0 * log, "svm {svm} vs logistic {log}");
     }

@@ -11,7 +11,7 @@
 
 use crossbeam::thread;
 
-use dana_storage::{BufferPool, DiskModel, HeapFile, HeapId, PageId, Tuple};
+use dana_storage::{BufferPool, DiskModel, HeapFile, HeapId, PageId, PageView, Tuple, TupleBatch};
 
 use crate::algorithms::{train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel};
 use crate::cpu::{CpuModel, Seconds};
@@ -38,7 +38,11 @@ pub struct GreenplumExecutor {
 impl GreenplumExecutor {
     pub fn new(cpu: CpuModel, disk: DiskModel, segments: u32) -> GreenplumExecutor {
         assert!(segments >= 1);
-        GreenplumExecutor { cpu, disk, segments }
+        GreenplumExecutor {
+            cpu,
+            disk,
+            segments,
+        }
     }
 
     pub fn segments(&self) -> u32 {
@@ -57,21 +61,29 @@ impl GreenplumExecutor {
         let start_stats = pool.stats();
         // Load + round-robin distribute (Greenplum's hash distribution is
         // uniform for these keys; round-robin is the same workload shape).
-        let mut partitions: Vec<Vec<Vec<f32>>> = vec![Vec::new(); self.segments as usize];
+        // Each segment's partition is one flat batch.
+        let width = heap.schema().len();
+        let mut partitions: Vec<TupleBatch> =
+            (0..self.segments).map(|_| TupleBatch::new(width)).collect();
         let mut k = 0usize;
         for page_no in 0..heap.page_count() {
             let (frame, _) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
-            let page = dana_storage::HeapPage::from_bytes(
-                pool.frame_bytes(frame).to_vec(),
-                *heap.layout(),
-            )?;
-            for slot in 0..page.tuple_count() {
-                let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
-                partitions[k % self.segments as usize]
-                    .push(t.values.iter().map(|d| d.as_f32()).collect());
-                k += 1;
-            }
+            let distributed = (|| -> dana_storage::StorageResult<()> {
+                let view = PageView::new(pool.frame_bytes(frame), *heap.layout())?;
+                for slot in 0..view.tuple_count() {
+                    Tuple::deform_into(
+                        heap.schema(),
+                        view.tuple_bytes(slot)?,
+                        &mut partitions[k % self.segments as usize],
+                    )?;
+                    k += 1;
+                }
+                Ok(())
+            })();
+            // Unpin before propagating: a corrupt page must not pin its
+            // frame forever.
             pool.unpin(frame);
+            distributed?;
         }
         // Epochs re-scan per segment; charge the pool for the re-reads the
         // way MADlib's iterations do (epochs beyond the first hit cache if
@@ -110,8 +122,8 @@ impl GreenplumExecutor {
     }
 
     /// One epoch of segment-local training then averaging, repeated.
-    fn model_averaged_train(&self, partitions: &[Vec<Vec<f32>>], cfg: &TrainConfig) -> TrainedModel {
-        let live: Vec<&Vec<Vec<f32>>> = partitions.iter().filter(|p| !p.is_empty()).collect();
+    fn model_averaged_train(&self, partitions: &[TupleBatch], cfg: &TrainConfig) -> TrainedModel {
+        let live: Vec<&TupleBatch> = partitions.iter().filter(|p| !p.is_empty()).collect();
         assert!(!live.is_empty(), "no training data");
         // Segment-local single-epoch configs.
         let seg_cfg = TrainConfig { epochs: 1, ..*cfg };
@@ -132,7 +144,10 @@ impl GreenplumExecutor {
                         s.spawn(move |_| train_segment(part, &seg_cfg, global_ref.as_ref()))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("segment thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("segment thread"))
+                    .collect()
             })
             .expect("crossbeam scope");
             global = Some(average_models(&results));
@@ -143,7 +158,7 @@ impl GreenplumExecutor {
 
 /// One segment's epoch: warm-start from the global model when present.
 fn train_segment(
-    tuples: &[Vec<f32>],
+    tuples: &TupleBatch,
     cfg: &TrainConfig,
     warm: Option<&TrainedModel>,
 ) -> TrainedModel {
@@ -154,11 +169,12 @@ fn train_segment(
             // updates starting at `m`.
             let mut w = m.0.clone();
             let d = w.len();
+            let width = tuples.width();
             let step = cfg.learning_rate / cfg.batch.max(1) as f32;
             let mut g = vec![0.0f32; d];
-            for batch in tuples.chunks(cfg.batch.max(1)) {
+            for batch in tuples.as_slice().chunks(width * cfg.batch.max(1)) {
                 g.iter_mut().for_each(|v| *v = 0.0);
-                for t in batch {
+                for t in batch.chunks_exact(width) {
                     grad_for(cfg, &w, &t[..d], t[d], &mut g);
                 }
                 linalg::axpy(-step, &g, &mut w);
@@ -168,7 +184,7 @@ fn train_segment(
         Some(TrainedModel::Lrmf(m)) => {
             let mut model = m.clone();
             let lr = cfg.learning_rate;
-            for t in tuples {
+            for t in tuples.rows() {
                 let (i, j, y) = (t[0] as usize, t[1] as usize, t[2]);
                 if i >= model.rows || j >= model.cols {
                     continue;
@@ -245,7 +261,13 @@ fn average_models(models: &[TrainedModel]) -> TrainedModel {
                     r[j * rank + k] /= c;
                 }
             }
-            TrainedModel::Lrmf(LrmfModel { l, r, rows, cols, rank })
+            TrainedModel::Lrmf(LrmfModel {
+                l,
+                r,
+                rows,
+                cols,
+                rank,
+            })
         }
     }
 }
@@ -269,7 +291,9 @@ mod tests {
         let mut b =
             HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
         for k in 0..n {
-            let x: Vec<f32> = (0..d).map(|i| (((k * 11 + i * 3) % 9) as f32 - 4.0) / 4.0).collect();
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 11 + i * 3) % 9) as f32 - 4.0) / 4.0)
+                .collect();
             let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
             b.insert(&Tuple::training(&x, y)).unwrap();
         }
@@ -287,10 +311,16 @@ mod tests {
     fn segment_parallel_training_converges() {
         let heap = heap(600, 5);
         let exec = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 8);
-        let cfg = TrainConfig { epochs: 50, learning_rate: 0.2, batch: 1, ..Default::default() };
-        let report = exec.train(&mut pool_for(&heap), HeapId(1), &heap, &cfg).unwrap();
-        let tuples: Vec<Vec<f32>> =
-            heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect();
+        let cfg = TrainConfig {
+            epochs: 50,
+            learning_rate: 0.2,
+            batch: 1,
+            ..Default::default()
+        };
+        let report = exec
+            .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
+            .unwrap();
+        let tuples = heap.scan_batch().unwrap();
         let loss = metrics::mse(report.model.as_dense(), &tuples);
         assert!(loss < 0.02, "mse {loss}");
         assert_eq!(report.segments, 8);
@@ -301,7 +331,10 @@ mod tests {
         // Large enough that the parallel win exceeds the per-epoch barrier
         // cost (tiny tables go the other way — see the next test).
         let heap = heap(20_000, 100);
-        let cfg = TrainConfig { epochs: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        };
         let one = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 1)
             .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
             .unwrap();
@@ -315,7 +348,10 @@ mod tests {
     fn sync_overhead_dominates_tiny_workloads() {
         // Greenplum ≈ PostgreSQL for WLAN-class workloads (Fig. 8: 1.0×).
         let heap = heap(100, 4);
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let gp = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::instant(), 8)
             .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
             .unwrap();

@@ -24,7 +24,9 @@ pub mod linalg;
 pub mod madlib;
 pub mod metrics;
 
-pub use algorithms::{default_lrmf_init, train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel};
+pub use algorithms::{
+    default_lrmf_init, train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel,
+};
 pub use cpu::CpuModel;
 pub use dana_dsl::zoo::Algorithm;
 pub use external::{ExternalExecutor, ExternalLibrary, ExternalReport};

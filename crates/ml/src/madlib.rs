@@ -8,7 +8,7 @@
 //! pages DAnA's Striders walk; its simulated runtime combines buffer-pool
 //! I/O accounting with the calibrated per-tuple CPU cost model.
 
-use dana_storage::{BufferPool, DiskModel, HeapFile, HeapId, PageId, Tuple};
+use dana_storage::{BufferPool, DiskModel, HeapFile, HeapId, PageId, PageView, TupleBatch};
 
 use crate::algorithms::{train_reference, TrainConfig, TrainedModel};
 use crate::cpu::{CpuModel, Seconds};
@@ -56,21 +56,21 @@ impl MadlibExecutor {
         // (The reference trainer consumes a materialized slice; epochs are
         // re-scans, so each epoch re-touches every page — exactly MADlib's
         // access pattern, and what makes the cold-cache setting matter.)
-        let mut tuples: Vec<Vec<f32>> = Vec::with_capacity(heap.tuple_count() as usize);
+        let mut tuples =
+            TupleBatch::with_capacity(heap.schema().len(), heap.tuple_count() as usize);
         for epoch in 0..cfg.epochs.max(1) {
             for page_no in 0..heap.page_count() {
                 let (frame, _io) = pool.fetch(PageId::new(heap_id, page_no), heap, &self.disk)?;
-                if epoch == 0 {
-                    let page = dana_storage::HeapPage::from_bytes(
-                        pool.frame_bytes(frame).to_vec(),
-                        *heap.layout(),
-                    )?;
-                    for slot in 0..page.tuple_count() {
-                        let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot)?)?;
-                        tuples.push(t.values.iter().map(|d| d.as_f32()).collect());
-                    }
-                }
+                let deformed = if epoch == 0 {
+                    PageView::new(pool.frame_bytes(frame), *heap.layout())
+                        .and_then(|view| view.deform_all_into(heap.schema(), &mut tuples))
+                } else {
+                    Ok(())
+                };
+                // Unpin before propagating: a corrupt page must not pin
+                // its frame forever.
                 pool.unpin(frame);
+                deformed?;
             }
         }
         let model = train_reference(&tuples, cfg);
@@ -100,6 +100,7 @@ impl MadlibExecutor {
 
     /// Analytic-only runtime (no functional pass) for paper-scale
     /// workloads: same formulas, driven by catalog statistics.
+    #[allow(clippy::too_many_arguments)] // mirrors the cost model's factor list
     pub fn analytic_seconds(
         &self,
         cfg: &TrainConfig,
@@ -111,7 +112,14 @@ impl MadlibExecutor {
         page_size: usize,
     ) -> (Seconds, Seconds) {
         let cpu = cfg.epochs.max(1) as f64
-            * self.cpu.madlib_epoch_seconds(cfg.algorithm, tuples, width, cfg.rank, tuple_bytes, pages);
+            * self.cpu.madlib_epoch_seconds(
+                cfg.algorithm,
+                tuples,
+                width,
+                cfg.rank,
+                tuple_bytes,
+                pages,
+            );
         // Misses: the first epoch reads everything not resident; later
         // epochs re-read only what the pool cannot hold.
         let pool_short = pages.saturating_sub(resident_pages);
@@ -128,14 +136,16 @@ mod tests {
     use crate::metrics;
     use dana_dsl::zoo::Algorithm;
     use dana_storage::page::TupleDirection;
-    use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
+    use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema, Tuple};
 
     fn heap(n: usize, d: usize) -> HeapFile {
         let truth: Vec<f32> = (0..d).map(|i| 1.0 - 0.2 * i as f32).collect();
         let mut b =
             HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
         for k in 0..n {
-            let x: Vec<f32> = (0..d).map(|i| (((k * 5 + i * 3) % 13) as f32 - 6.0) / 6.0).collect();
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 5 + i * 3) % 13) as f32 - 6.0) / 6.0)
+                .collect();
             let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
             b.insert(&Tuple::training(&x, y)).unwrap();
         }
@@ -154,10 +164,14 @@ mod tests {
         let heap = heap(400, 6);
         let mut pool = pool_for(&heap);
         let exec = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::ssd());
-        let cfg = TrainConfig { epochs: 40, learning_rate: 0.2, batch: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            learning_rate: 0.2,
+            batch: 1,
+            ..Default::default()
+        };
         let report = exec.train(&mut pool, HeapId(1), &heap, &cfg).unwrap();
-        let tuples: Vec<Vec<f32>> =
-            heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect();
+        let tuples = heap.scan_batch().unwrap();
         let loss = metrics::mse(report.model.as_dense(), &tuples);
         assert!(loss < 0.01, "mse {loss}");
         assert!(report.cpu_seconds > 0.0);
@@ -168,7 +182,10 @@ mod tests {
     fn cold_cache_pays_io_warm_does_not() {
         let heap = heap(2000, 8);
         let exec = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::ssd());
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
 
         let mut cold_pool = pool_for(&heap);
         let cold = exec.train(&mut cold_pool, HeapId(1), &heap, &cfg).unwrap();
@@ -189,10 +206,26 @@ mod tests {
         let heap = heap(500, 4);
         let exec = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::instant());
         let one = exec
-            .train(&mut pool_for(&heap), HeapId(1), &heap, &TrainConfig { epochs: 1, ..Default::default() })
+            .train(
+                &mut pool_for(&heap),
+                HeapId(1),
+                &heap,
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let four = exec
-            .train(&mut pool_for(&heap), HeapId(1), &heap, &TrainConfig { epochs: 4, ..Default::default() })
+            .train(
+                &mut pool_for(&heap),
+                HeapId(1),
+                &heap,
+                &TrainConfig {
+                    epochs: 4,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert!((four.cpu_seconds / one.cpu_seconds - 4.0).abs() < 1e-9);
     }
@@ -201,7 +234,10 @@ mod tests {
     fn analytic_matches_functional_io_cold() {
         let heap = heap(3000, 8);
         let exec = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::ssd());
-        let cfg = TrainConfig { epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let mut pool = pool_for(&heap); // big enough: misses only on epoch 1
         let functional = exec.train(&mut pool, HeapId(1), &heap, &cfg).unwrap();
         let (cpu, io) = exec.analytic_seconds(
@@ -235,7 +271,8 @@ mod tests {
         let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
         for i in 0..20i32 {
             for j in 0..10i32 {
-                b.insert(&Tuple::rating(i, j, ((i + j) % 5) as f32)).unwrap();
+                b.insert(&Tuple::rating(i, j, ((i + j) % 5) as f32))
+                    .unwrap();
             }
         }
         let heap = b.finish();
@@ -249,8 +286,7 @@ mod tests {
             ..Default::default()
         };
         let report = exec.train(&mut pool, HeapId(1), &heap, &cfg).unwrap();
-        let tuples: Vec<Vec<f32>> =
-            heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect();
+        let tuples = heap.scan_batch().unwrap();
         let rmse = metrics::lrmf_rmse(report.model.as_lrmf(), &tuples);
         assert!(rmse < 1.0, "rmse {rmse}");
     }

@@ -1,16 +1,18 @@
 //! Loss and accuracy metrics for verifying trained models.
 
+use dana_storage::TupleBatch;
+
 use crate::algorithms::{DenseModel, LrmfModel};
 use crate::linalg::{dot, sigmoid};
 
 /// Mean squared error of a linear model over `features…, label` tuples.
-pub fn mse(model: &DenseModel, tuples: &[Vec<f32>]) -> f64 {
+pub fn mse(model: &DenseModel, tuples: &TupleBatch) -> f64 {
     if tuples.is_empty() {
         return 0.0;
     }
     let d = model.0.len();
     let sum: f64 = tuples
-        .iter()
+        .rows()
         .map(|t| {
             let e = (dot(&model.0, &t[..d]) - t[d]) as f64;
             e * e
@@ -20,13 +22,13 @@ pub fn mse(model: &DenseModel, tuples: &[Vec<f32>]) -> f64 {
 }
 
 /// Logistic (cross-entropy) loss, labels in {0, 1}.
-pub fn log_loss(model: &DenseModel, tuples: &[Vec<f32>]) -> f64 {
+pub fn log_loss(model: &DenseModel, tuples: &TupleBatch) -> f64 {
     if tuples.is_empty() {
         return 0.0;
     }
     let d = model.0.len();
     let sum: f64 = tuples
-        .iter()
+        .rows()
         .map(|t| {
             let p = (sigmoid(dot(&model.0, &t[..d])) as f64).clamp(1e-9, 1.0 - 1e-9);
             let y = t[d] as f64;
@@ -37,27 +39,27 @@ pub fn log_loss(model: &DenseModel, tuples: &[Vec<f32>]) -> f64 {
 }
 
 /// Average hinge loss, labels in {−1, +1}.
-pub fn hinge_loss(model: &DenseModel, tuples: &[Vec<f32>]) -> f64 {
+pub fn hinge_loss(model: &DenseModel, tuples: &TupleBatch) -> f64 {
     if tuples.is_empty() {
         return 0.0;
     }
     let d = model.0.len();
     let sum: f64 = tuples
-        .iter()
+        .rows()
         .map(|t| (1.0 - (t[d] * dot(&model.0, &t[..d]))).max(0.0) as f64)
         .sum();
     sum / tuples.len() as f64
 }
 
 /// Classification accuracy. `signed`: labels ±1 (SVM) vs {0,1} (logistic).
-pub fn classification_accuracy(model: &DenseModel, tuples: &[Vec<f32>], signed: bool) -> f64 {
+pub fn classification_accuracy(model: &DenseModel, tuples: &TupleBatch, signed: bool) -> f64 {
     if tuples.is_empty() {
         return 0.0;
     }
     let d = model.0.len();
     let correct = tuples
-        .iter()
-        .filter(|t| {
+        .rows()
+        .filter(|t: &&[f32]| {
             let s = dot(&model.0, &t[..d]);
             if signed {
                 (s > 0.0) == (t[d] > 0.0)
@@ -70,12 +72,12 @@ pub fn classification_accuracy(model: &DenseModel, tuples: &[Vec<f32>], signed: 
 }
 
 /// Root-mean-square rating error for LRMF over `(i, j, rating)` tuples.
-pub fn lrmf_rmse(model: &LrmfModel, tuples: &[Vec<f32>]) -> f64 {
+pub fn lrmf_rmse(model: &LrmfModel, tuples: &TupleBatch) -> f64 {
     if tuples.is_empty() {
         return 0.0;
     }
     let sum: f64 = tuples
-        .iter()
+        .rows()
         .map(|t| {
             let e = (model.predict(t[0] as usize, t[1] as usize) - t[2]) as f64;
             e * e
@@ -91,14 +93,14 @@ mod tests {
     #[test]
     fn mse_of_exact_model_is_zero() {
         let m = DenseModel(vec![2.0, -1.0]);
-        let tuples = vec![vec![1.0, 1.0, 1.0], vec![0.5, 0.0, 1.0]];
+        let tuples = TupleBatch::from_rows(3, [[1.0, 1.0, 1.0], [0.5, 0.0, 1.0]]);
         assert!(mse(&m, &tuples) < 1e-12);
     }
 
     #[test]
     fn accuracy_counts_correct_predictions() {
         let m = DenseModel(vec![1.0]);
-        let tuples = vec![vec![1.0, 1.0], vec![-1.0, -1.0], vec![2.0, -1.0]];
+        let tuples = TupleBatch::from_rows(2, [[1.0, 1.0], [-1.0, -1.0], [2.0, -1.0]]);
         let acc = classification_accuracy(&m, &tuples, true);
         assert!((acc - 2.0 / 3.0).abs() < 1e-9);
     }
@@ -106,14 +108,14 @@ mod tests {
     #[test]
     fn hinge_zero_outside_margin() {
         let m = DenseModel(vec![10.0]);
-        let tuples = vec![vec![1.0, 1.0]]; // y·wx = 10 ≥ 1
+        let tuples = TupleBatch::from_rows(2, [[1.0, 1.0]]); // y·wx = 10 ≥ 1
         assert_eq!(hinge_loss(&m, &tuples), 0.0);
     }
 
     #[test]
     fn log_loss_is_finite_for_confident_wrong_predictions() {
         let m = DenseModel(vec![100.0]);
-        let tuples = vec![vec![1.0, 0.0]]; // confidently wrong
+        let tuples = TupleBatch::from_rows(2, [[1.0, 0.0]]); // confidently wrong
         let l = log_loss(&m, &tuples);
         assert!(l.is_finite() && l > 5.0);
     }
@@ -121,9 +123,10 @@ mod tests {
     #[test]
     fn empty_inputs_are_zero() {
         let m = DenseModel(vec![1.0]);
-        assert_eq!(mse(&m, &[]), 0.0);
-        assert_eq!(log_loss(&m, &[]), 0.0);
-        assert_eq!(hinge_loss(&m, &[]), 0.0);
-        assert_eq!(classification_accuracy(&m, &[], true), 0.0);
+        let empty = TupleBatch::new(2);
+        assert_eq!(mse(&m, &empty), 0.0);
+        assert_eq!(log_loss(&m, &empty), 0.0);
+        assert_eq!(hinge_loss(&m, &empty), 0.0);
+        assert_eq!(classification_accuracy(&m, &empty, true), 0.0);
     }
 }

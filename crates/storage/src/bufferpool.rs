@@ -26,7 +26,10 @@ pub struct BufferPoolConfig {
 impl BufferPoolConfig {
     /// The paper's default setup (§7): 32 KB buffer pages, 8 GB pool.
     pub fn paper_default() -> BufferPoolConfig {
-        BufferPoolConfig { pool_bytes: 8 << 30, page_size: 32 * 1024 }
+        BufferPoolConfig {
+            pool_bytes: 8 << 30,
+            page_size: 32 * 1024,
+        }
     }
 
     /// Number of frames the pool holds.
@@ -80,7 +83,12 @@ impl BufferPool {
     pub fn new(config: BufferPoolConfig) -> BufferPool {
         let n = config.frames().max(1);
         let frames = (0..n)
-            .map(|_| Frame { page: None, bytes: Vec::new(), pin_count: 0, referenced: false })
+            .map(|_| Frame {
+                page: None,
+                bytes: Vec::new(),
+                pin_count: 0,
+                referenced: false,
+            })
             .collect();
         BufferPool {
             config,
@@ -208,7 +216,11 @@ impl BufferPool {
     /// Second-chance (clock) victim selection over unpinned frames.
     fn find_victim(&mut self) -> StorageResult<usize> {
         // Fast path: a never-used frame.
-        if let Some(idx) = self.frames.iter().position(|f| f.page.is_none() && f.pin_count == 0) {
+        if let Some(idx) = self
+            .frames
+            .iter()
+            .position(|f| f.page.is_none() && f.pin_count == 0)
+        {
             return Ok(idx);
         }
         let n = self.frames.len();
@@ -244,7 +256,8 @@ mod tests {
         let schema = Schema::training(10);
         let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending).unwrap();
         for k in 0..tuples {
-            b.insert(&Tuple::training(&[k as f32; 10], k as f32)).unwrap();
+            b.insert(&Tuple::training(&[k as f32; 10], k as f32))
+                .unwrap();
         }
         b.finish()
     }
@@ -280,7 +293,9 @@ mod tests {
         let mut bp = pool(2);
         let disk = DiskModel::instant();
         for page_no in 0..4 {
-            let (f, _) = bp.fetch(PageId::new(HeapId(1), page_no), &heap, &disk).unwrap();
+            let (f, _) = bp
+                .fetch(PageId::new(HeapId(1), page_no), &heap, &disk)
+                .unwrap();
             bp.unpin(f);
         }
         assert_eq!(bp.resident_pages(), 2);
@@ -322,7 +337,9 @@ mod tests {
         bp.prewarm(HeapId(1), &heap).unwrap();
         bp.reset_stats();
         for page_no in 0..heap.page_count() {
-            let (f, io) = bp.fetch(PageId::new(HeapId(1), page_no), &heap, &disk).unwrap();
+            let (f, io) = bp
+                .fetch(PageId::new(HeapId(1), page_no), &heap, &disk)
+                .unwrap();
             assert_eq!(io, 0.0);
             bp.unpin(f);
         }
@@ -348,7 +365,10 @@ mod tests {
     #[test]
     fn page_size_mismatch_rejected() {
         let heap = small_heap(10); // 8 KB pages
-        let mut bp = BufferPool::new(BufferPoolConfig { pool_bytes: 1 << 20, page_size: 32 * 1024 });
+        let mut bp = BufferPool::new(BufferPoolConfig {
+            pool_bytes: 1 << 20,
+            page_size: 32 * 1024,
+        });
         let err = bp.fetch(PageId::new(HeapId(1), 0), &heap, &DiskModel::ssd());
         assert!(matches!(err, Err(StorageError::BadPageSize(_))));
     }
@@ -357,7 +377,9 @@ mod tests {
     fn frame_bytes_are_the_page_image() {
         let heap = small_heap(100);
         let mut bp = pool(4);
-        let (f, _) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &DiskModel::instant()).unwrap();
+        let (f, _) = bp
+            .fetch(PageId::new(HeapId(1), 0), &heap, &DiskModel::instant())
+            .unwrap();
         assert_eq!(bp.frame_bytes(f), heap.page_bytes(0).unwrap());
         bp.unpin(f);
     }

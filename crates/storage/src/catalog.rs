@@ -139,8 +139,8 @@ mod tests {
     use crate::tuple::Tuple;
 
     fn tiny_heap() -> HeapFile {
-        let mut b = HeapFileBuilder::new(Schema::training(2), 8 * 1024, TupleDirection::Ascending)
-            .unwrap();
+        let mut b =
+            HeapFileBuilder::new(Schema::training(2), 8 * 1024, TupleDirection::Ascending).unwrap();
         b.insert(&Tuple::training(&[1.0, 2.0], 3.0)).unwrap();
         b.finish()
     }

@@ -22,17 +22,26 @@ impl DiskModel {
     /// SATA-SSD-class device matching the paper's testbed: ~500 MB/s
     /// sequential reads, 100 µs access latency.
     pub fn ssd() -> DiskModel {
-        DiskModel { seq_read_bandwidth: 500.0e6, access_latency: 100.0e-6 }
+        DiskModel {
+            seq_read_bandwidth: 500.0e6,
+            access_latency: 100.0e-6,
+        }
     }
 
     /// A slower spinning-disk model (used in sensitivity tests).
     pub fn hdd() -> DiskModel {
-        DiskModel { seq_read_bandwidth: 150.0e6, access_latency: 8.0e-3 }
+        DiskModel {
+            seq_read_bandwidth: 150.0e6,
+            access_latency: 8.0e-3,
+        }
     }
 
     /// An infinitely fast device (isolates CPU/FPGA effects in tests).
     pub fn instant() -> DiskModel {
-        DiskModel { seq_read_bandwidth: f64::INFINITY, access_latency: 0.0 }
+        DiskModel {
+            seq_read_bandwidth: f64::INFINITY,
+            access_latency: 0.0,
+        }
     }
 
     /// Time to read `bytes` in one request.

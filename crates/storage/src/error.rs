@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StorageError::PageFull { needed: 100, free: 10 };
+        let e = StorageError::PageFull {
+            needed: 100,
+            free: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
         let e = StorageError::UnknownTable("t".into());

@@ -1,7 +1,8 @@
 //! Heap files: ordered collections of pages holding one table's tuples.
 
+use crate::batch::TupleBatch;
 use crate::error::{StorageError, StorageResult};
-use crate::page::{HeapPage, PageLayoutDesc, TupleDirection};
+use crate::page::{HeapPage, PageLayoutDesc, PageView, TupleDirection};
 use crate::schema::Schema;
 use crate::tuple::{Tuple, TUPLE_HEADER_BYTES};
 
@@ -56,6 +57,17 @@ impl HeapFile {
     /// Decodes page `page_no` into a [`HeapPage`] view.
     pub fn page(&self, page_no: u32) -> StorageResult<HeapPage> {
         HeapPage::from_bytes(self.page_bytes(page_no)?.to_vec(), self.layout)
+    }
+
+    /// Scans the whole heap into one flat [`TupleBatch`] (zero-copy page
+    /// views, no per-tuple allocation) — the CPU-side counterpart of the
+    /// Striders' batch extraction, shared by the software baselines.
+    pub fn scan_batch(&self) -> StorageResult<TupleBatch> {
+        let mut batch = TupleBatch::with_capacity(self.schema.len(), self.tuple_count as usize);
+        for bytes in &self.pages {
+            PageView::new(bytes, self.layout)?.deform_all_into(&self.schema, &mut batch)?;
+        }
+        Ok(batch)
     }
 
     /// Sequentially scans every tuple (CPU-side decode; this is the code
@@ -193,8 +205,8 @@ mod tests {
 
     #[test]
     fn empty_heap_has_no_pages() {
-        let b = HeapFileBuilder::new(Schema::training(3), 8 * 1024, TupleDirection::Ascending)
-            .unwrap();
+        let b =
+            HeapFileBuilder::new(Schema::training(3), 8 * 1024, TupleDirection::Ascending).unwrap();
         let heap = b.finish();
         assert_eq!(heap.page_count(), 0);
         assert_eq!(heap.tuple_count(), 0);
@@ -204,10 +216,10 @@ mod tests {
     #[test]
     fn descending_direction_round_trips() {
         let schema = Schema::training(5);
-        let mut b =
-            HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Descending).unwrap();
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Descending).unwrap();
         for k in 0..50 {
-            b.insert(&Tuple::training(&[k as f32; 5], -(k as f32))).unwrap();
+            b.insert(&Tuple::training(&[k as f32; 5], -(k as f32)))
+                .unwrap();
         }
         let heap = b.finish();
         let labels: Vec<f32> = heap.scan().map(|t| t.as_training().1).collect();

@@ -23,6 +23,7 @@
 //! Everything is deterministic and simulation-timed: reads report the
 //! simulated seconds they would cost, never wall-clock time.
 
+pub mod batch;
 pub mod bufferpool;
 pub mod catalog;
 pub mod disk;
@@ -32,21 +33,26 @@ pub mod page;
 pub mod schema;
 pub mod tuple;
 
+pub use batch::{OneBatchSource, SourceError, TupleBatch, TupleSource};
 pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use catalog::{AcceleratorEntry, Catalog, TableEntry};
 pub use disk::DiskModel;
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, HeapFileBuilder};
-pub use page::{HeapPage, PageLayoutDesc, LINE_POINTER_BYTES, PAGE_HEADER_BYTES};
+pub use page::{HeapPage, PageLayoutDesc, PageView, LINE_POINTER_BYTES, PAGE_HEADER_BYTES};
 pub use schema::{ColumnType, Schema};
 pub use tuple::{Datum, Tuple, TUPLE_HEADER_BYTES};
 
 /// Identifies a heap file (a table's storage) within a database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct HeapId(pub u32);
 
 /// Identifies a page: a heap file plus a page number within it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct PageId {
     pub heap: HeapId,
     pub page_no: u32,

@@ -98,7 +98,10 @@ impl PageLayoutDesc {
         let per_tuple = tuple_bytes + LINE_POINTER_BYTES;
         let capacity = usable / per_tuple;
         if capacity == 0 {
-            return Err(StorageError::PageFull { needed: per_tuple, free: usable });
+            return Err(StorageError::PageFull {
+                needed: per_tuple,
+                free: usable,
+            });
         }
         Ok(PageLayoutDesc {
             page_size,
@@ -137,6 +140,102 @@ impl PageLayoutDesc {
     }
 }
 
+/// A read-only heap page over *borrowed* bytes — the zero-copy view the
+/// streaming data path uses for buffer-pool frames. Validates the header
+/// like [`HeapPage::from_bytes`] but never clones the page image.
+#[derive(Debug, Clone, Copy)]
+pub struct PageView<'a> {
+    layout: PageLayoutDesc,
+    bytes: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    /// Wraps raw page bytes, validating the header.
+    pub fn new(bytes: &'a [u8], layout: PageLayoutDesc) -> StorageResult<PageView<'a>> {
+        if bytes.len() != layout.page_size {
+            return Err(StorageError::CorruptPage(format!(
+                "buffer is {} bytes, layout says {}",
+                bytes.len(),
+                layout.page_size
+            )));
+        }
+        let view = PageView { layout, bytes };
+        if view.read_u64(0) != layout.page_size as u64 {
+            return Err(StorageError::CorruptPage(format!(
+                "header page_size {} != {}",
+                view.read_u64(0),
+                layout.page_size
+            )));
+        }
+        if view.read_u16(8) != PAGE_VERSION {
+            return Err(StorageError::CorruptPage(format!(
+                "bad version {:#x}",
+                view.read_u16(8)
+            )));
+        }
+        let count = view.read_u16(16);
+        if count > layout.capacity {
+            return Err(StorageError::CorruptPage(format!(
+                "tuple_count {count} exceeds capacity {}",
+                layout.capacity
+            )));
+        }
+        Ok(view)
+    }
+
+    pub fn layout(&self) -> &PageLayoutDesc {
+        &self.layout
+    }
+
+    /// Number of live tuples.
+    pub fn tuple_count(&self) -> u16 {
+        self.read_u16(16)
+    }
+
+    /// Borrowed bytes of the tuple in `slot` (header + data).
+    pub fn tuple_bytes(&self, slot: u16) -> StorageResult<&'a [u8]> {
+        let count = self.tuple_count();
+        if slot >= count {
+            return Err(StorageError::SlotOutOfRange { slot, count });
+        }
+        let lp_off = PAGE_HEADER_BYTES + slot as usize * LINE_POINTER_BYTES;
+        let off = self.read_u16(lp_off) as usize;
+        let len = self.read_u16(lp_off + 2) as usize;
+        if off + len > self.layout.page_size {
+            return Err(StorageError::CorruptPage(format!(
+                "line pointer {slot} points past page end ({off}+{len})"
+            )));
+        }
+        Ok(&self.bytes[off..off + len])
+    }
+
+    /// All live tuples' bytes in slot order.
+    pub fn tuples(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
+        (0..self.tuple_count()).map(move |s| self.tuple_bytes(s).expect("slot < count"))
+    }
+
+    /// Deforms every live tuple straight into `batch` in slot order — the
+    /// CPU-side page→batch step of the streaming data path, shared by the
+    /// heap scan and the buffer-pool stream.
+    pub fn deform_all_into(
+        &self,
+        schema: &crate::schema::Schema,
+        batch: &mut crate::batch::TupleBatch,
+    ) -> StorageResult<()> {
+        for slot in 0..self.tuple_count() {
+            crate::tuple::Tuple::deform_into(schema, self.tuple_bytes(slot)?, batch)?;
+        }
+        Ok(())
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+    }
+    fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+}
+
 /// A heap page over an owned byte buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeapPage {
@@ -147,7 +246,10 @@ pub struct HeapPage {
 impl HeapPage {
     /// Creates an empty page for the given layout.
     pub fn new(layout: PageLayoutDesc) -> HeapPage {
-        let mut page = HeapPage { layout, bytes: vec![0u8; layout.page_size] };
+        let mut page = HeapPage {
+            layout,
+            bytes: vec![0u8; layout.page_size],
+        };
         page.write_u64(0, layout.page_size as u64);
         page.write_u16(8, PAGE_VERSION);
         page.write_u16(10, PAGE_HEADER_BYTES as u16); // pd_lower: no pointers yet
@@ -382,7 +484,9 @@ mod tests {
         let mut page = HeapPage::new(l);
         let feats: Vec<f32> = (0..10).map(|i| i as f32).collect();
         for k in 0..5 {
-            let bytes = Tuple::training(&feats, k as f32).form(&schema, 1, k).unwrap();
+            let bytes = Tuple::training(&feats, k as f32)
+                .form(&schema, 1, k)
+                .unwrap();
             page.insert(&bytes).unwrap();
         }
         for k in 0..5u16 {
@@ -399,11 +503,16 @@ mod tests {
         let schema = Schema::training(10);
         let l = layout(TupleDirection::Ascending);
         let mut page = HeapPage::new(l);
-        let bytes = Tuple::training(&[0.0; 10], 0.0).form(&schema, 1, 0).unwrap();
+        let bytes = Tuple::training(&[0.0; 10], 0.0)
+            .form(&schema, 1, 0)
+            .unwrap();
         for _ in 0..l.capacity {
             page.insert(&bytes).unwrap();
         }
-        assert!(matches!(page.insert(&bytes), Err(StorageError::PageFull { .. })));
+        assert!(matches!(
+            page.insert(&bytes),
+            Err(StorageError::PageFull { .. })
+        ));
     }
 
     #[test]
@@ -412,12 +521,20 @@ mod tests {
         let l = layout(TupleDirection::Ascending);
         let mut page = HeapPage::new(l);
         assert_eq!(page.read_u16(10) as usize, PAGE_HEADER_BYTES);
-        let bytes = Tuple::training(&[0.0; 10], 0.0).form(&schema, 1, 0).unwrap();
+        let bytes = Tuple::training(&[0.0; 10], 0.0)
+            .form(&schema, 1, 0)
+            .unwrap();
         page.insert(&bytes).unwrap();
         page.insert(&bytes).unwrap();
         assert_eq!(page.read_u16(16), 2); // tuple_count
-        assert_eq!(page.read_u16(10) as usize, PAGE_HEADER_BYTES + 2 * LINE_POINTER_BYTES);
-        assert_eq!(page.read_u16(12) as usize, l.data_start() + 2 * l.tuple_bytes);
+        assert_eq!(
+            page.read_u16(10) as usize,
+            PAGE_HEADER_BYTES + 2 * LINE_POINTER_BYTES
+        );
+        assert_eq!(
+            page.read_u16(12) as usize,
+            l.data_start() + 2 * l.tuple_bytes
+        );
         assert_eq!(page.read_u64(0) as usize, 8 * 1024);
     }
 
@@ -437,7 +554,9 @@ mod tests {
         let schema = Schema::training(10);
         let l = layout(TupleDirection::Ascending);
         let mut page = HeapPage::new(l);
-        let bytes = Tuple::training(&[1.0; 10], 2.0).form(&schema, 1, 0).unwrap();
+        let bytes = Tuple::training(&[1.0; 10], 2.0)
+            .form(&schema, 1, 0)
+            .unwrap();
         page.insert(&bytes).unwrap();
         assert!(page.verify_checksum()); // 0 = not computed, accepted
         page.seal();

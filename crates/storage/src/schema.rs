@@ -32,6 +32,23 @@ impl ColumnType {
         }
     }
 
+    /// Decodes one on-page cell (exactly [`ColumnType::width`] little-endian
+    /// bytes) to the execution engine's native f32 — the float-conversion
+    /// unit of §6.2. The single source of truth for cell conversion, shared
+    /// by CPU deforming and Strider extraction so every data path is
+    /// bit-identical by construction.
+    ///
+    /// Panics if `bytes` is not exactly the column's width; callers
+    /// validate record length first.
+    pub fn decode_f32(&self, bytes: &[u8]) -> f32 {
+        match self {
+            ColumnType::Float4 => f32::from_le_bytes(bytes.try_into().unwrap()),
+            ColumnType::Float8 => f64::from_le_bytes(bytes.try_into().unwrap()) as f32,
+            ColumnType::Int4 => i32::from_le_bytes(bytes.try_into().unwrap()) as f32,
+            ColumnType::Int8 => i64::from_le_bytes(bytes.try_into().unwrap()) as f32,
+        }
+    }
+
     /// SQL-ish name for display.
     pub fn sql_name(&self) -> &'static str {
         match self {

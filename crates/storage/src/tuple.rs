@@ -16,6 +16,7 @@
 //! 12..16  t_ctid      self-pointer (page_no<<16 | slot), for diagnostics
 //! ```
 
+use crate::batch::TupleBatch;
 use crate::error::{StorageError, StorageResult};
 use crate::schema::{ColumnType, Schema};
 
@@ -81,12 +82,8 @@ impl Datum {
             )));
         }
         Ok(match ty {
-            ColumnType::Float4 => {
-                Datum::Float4(f32::from_le_bytes(bytes[..4].try_into().unwrap()))
-            }
-            ColumnType::Float8 => {
-                Datum::Float8(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
-            }
+            ColumnType::Float4 => Datum::Float4(f32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            ColumnType::Float8 => Datum::Float8(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
             ColumnType::Int4 => Datum::Int4(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
             ColumnType::Int8 => Datum::Int8(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
         })
@@ -177,6 +174,40 @@ impl Tuple {
         Ok(Tuple { values })
     }
 
+    /// Deforms on-page bytes directly into a flat [`TupleBatch`] row — the
+    /// streaming data path's CPU-side deform: same header validation as
+    /// [`Tuple::deform`], but converting each datum straight to the
+    /// engine's native f32 with no [`Datum`] materialization.
+    pub fn deform_into(schema: &Schema, bytes: &[u8], batch: &mut TupleBatch) -> StorageResult<()> {
+        if bytes.len() < TUPLE_HEADER_BYTES {
+            return Err(StorageError::SchemaMismatch(format!(
+                "tuple too short for header: {} bytes",
+                bytes.len()
+            )));
+        }
+        let hoff = bytes[10] as usize;
+        if hoff < TUPLE_HEADER_BYTES || hoff > bytes.len() {
+            return Err(StorageError::SchemaMismatch(format!("bad t_hoff {hoff}")));
+        }
+        let data = &bytes[hoff..];
+        if data.len() < schema.tuple_data_width() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "tuple data is {} bytes, schema expects {}",
+                data.len(),
+                schema.tuple_data_width()
+            )));
+        }
+        let mut row = batch.start_row();
+        let mut off = 0usize;
+        for col in schema.columns() {
+            let w = col.ty.width();
+            row.push(col.ty.decode_f32(&data[off..off + w]));
+            off += w;
+        }
+        row.finish();
+        Ok(())
+    }
+
     /// Total on-page size of this tuple under `schema`.
     pub fn formed_size(schema: &Schema) -> usize {
         TUPLE_HEADER_BYTES + schema.tuple_data_width()
@@ -219,10 +250,15 @@ mod tests {
     #[test]
     fn header_fields_are_where_striders_expect() {
         let schema = Schema::training(1);
-        let bytes = Tuple::training(&[1.0], 2.0).form(&schema, 9, 0xBEEF).unwrap();
+        let bytes = Tuple::training(&[1.0], 2.0)
+            .form(&schema, 9, 0xBEEF)
+            .unwrap();
         assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 9); // xmin
         assert_eq!(bytes[10] as usize, TUPLE_HEADER_BYTES); // t_hoff
-        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 0xBEEF);
+        assert_eq!(
+            u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+            0xBEEF
+        );
         // user data begins exactly at t_hoff
         let x0 = f32::from_le_bytes(bytes[16..20].try_into().unwrap());
         assert_eq!(x0, 1.0);
@@ -240,7 +276,9 @@ mod tests {
     #[test]
     fn deform_rejects_truncated_bytes() {
         let schema = Schema::training(2);
-        let bytes = Tuple::training(&[1.0, 2.0], 3.0).form(&schema, 0, 0).unwrap();
+        let bytes = Tuple::training(&[1.0, 2.0], 3.0)
+            .form(&schema, 0, 0)
+            .unwrap();
         assert!(Tuple::deform(&schema, &bytes[..bytes.len() - 1]).is_err());
         assert!(Tuple::deform(&schema, &bytes[..8]).is_err());
     }
@@ -251,6 +289,25 @@ mod tests {
         let (x, y) = t.as_training();
         assert_eq!(x, vec![1.0, 2.0, 3.0]);
         assert_eq!(y, 9.0);
+    }
+
+    #[test]
+    fn deform_into_matches_deform() {
+        let schema = Schema::rating();
+        let t = Tuple::rating(17, 923, 4.5);
+        let bytes = t.form(&schema, 1, 0).unwrap();
+        let mut batch = TupleBatch::new(schema.len());
+        Tuple::deform_into(&schema, &bytes, &mut batch).unwrap();
+        let via_datum: Vec<f32> = Tuple::deform(&schema, &bytes)
+            .unwrap()
+            .values
+            .iter()
+            .map(|d| d.as_f32())
+            .collect();
+        assert_eq!(batch.row(0), &via_datum[..]);
+        // Truncated bytes leave the batch unchanged.
+        assert!(Tuple::deform_into(&schema, &bytes[..bytes.len() - 1], &mut batch).is_err());
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! into a floating point format", §6.2).
 
 use dana_fpga::{AxiLink, Clock, Seconds};
-use dana_storage::{ColumnType, HeapFile, PageLayoutDesc, Schema};
+use dana_storage::{ColumnType, HeapFile, PageLayoutDesc, Schema, TupleBatch};
 
 use crate::codegen::strider_program_for_layout;
 use crate::error::{StriderError, StriderResult};
@@ -32,7 +32,11 @@ pub struct AccessEngineConfig {
 impl AccessEngineConfig {
     pub fn new(num_striders: u32, clock: Clock, axi: AxiLink) -> AccessEngineConfig {
         assert!(num_striders >= 1, "need at least one Strider");
-        AccessEngineConfig { num_striders, clock, axi }
+        AccessEngineConfig {
+            num_striders,
+            clock,
+            axi,
+        }
     }
 }
 
@@ -48,6 +52,18 @@ impl ExtractedTuple {
     pub fn as_training(&self) -> (&[f32], f32) {
         let n = self.values.len();
         (&self.values[..n - 1], self.values[n - 1])
+    }
+}
+
+/// One column's byte → engine-native f32 conversion (the float-conversion
+/// unit of §6.2). Shared by the batch and reference extraction paths so
+/// they are bit-identical by construction.
+fn convert_cell(ty: ColumnType, bytes: &[u8]) -> f32 {
+    match ty {
+        ColumnType::Float4 => f32::from_le_bytes(bytes.try_into().unwrap()),
+        ColumnType::Float8 => f64::from_le_bytes(bytes.try_into().unwrap()) as f32,
+        ColumnType::Int4 => i32::from_le_bytes(bytes.try_into().unwrap()) as f32,
+        ColumnType::Int8 => i64::from_le_bytes(bytes.try_into().unwrap()) as f32,
     }
 }
 
@@ -87,7 +103,12 @@ impl AccessEngine {
         config: AccessEngineConfig,
     ) -> AccessEngine {
         let (program, regs) = strider_program_for_layout(&layout);
-        AccessEngine { config, machine: StriderMachine::new(program, regs), schema, layout }
+        AccessEngine {
+            config,
+            machine: StriderMachine::new(program, regs),
+            schema,
+            layout,
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -98,16 +119,34 @@ impl AccessEngine {
         &self.layout
     }
 
-    /// Extracts every tuple from one raw page image. Returns the tuples and
-    /// the Strider cycles spent (extraction + float conversion).
+    /// Extracts every tuple from one raw page image into `batch` (appended
+    /// in slot order), returning the Strider cycles spent (extraction +
+    /// float conversion). This is the hot path: page bytes become flat
+    /// engine-native f32 rows with no per-tuple allocation, mirroring how
+    /// the hardware streams converted values straight to the execution
+    /// engine's input buffers (§6.2).
     ///
     /// Pages with no live tuples are skipped host-side — the DMA engine
     /// never ships them (heap builders also never produce them).
-    pub fn extract_page(&self, page: &[u8]) -> StriderResult<(Vec<ExtractedTuple>, u64)> {
+    pub fn extract_page_into(&self, page: &[u8], batch: &mut TupleBatch) -> StriderResult<u64> {
         let run = self.machine.run(page)?;
-        let mut tuples = Vec::with_capacity(run.records.len());
         let mut conversion = 0u64;
-        for rec in &run.records {
+        for rec in run.records() {
+            self.convert_record_into(rec, batch)?;
+            conversion += self.schema.len() as u64;
+        }
+        Ok(run.cycles + conversion)
+    }
+
+    /// Reference per-tuple extraction path, retained for differential
+    /// testing of the batch pipeline (and for callers that want row
+    /// objects). Allocates one `Vec<f32>` per tuple — never used on the
+    /// deploy/execute hot path.
+    pub fn extract_page_rows(&self, page: &[u8]) -> StriderResult<(Vec<ExtractedTuple>, u64)> {
+        let run = self.machine.run(page)?;
+        let mut tuples = Vec::with_capacity(run.len());
+        let mut conversion = 0u64;
+        for rec in run.records() {
             let t = self.convert_record(rec)?;
             conversion += t.values.len() as u64;
             tuples.push(t);
@@ -115,8 +154,7 @@ impl AccessEngine {
         Ok((tuples, run.cycles + conversion))
     }
 
-    /// Converts one cleansed record (user-data bytes) into f32 columns.
-    fn convert_record(&self, rec: &[u8]) -> StriderResult<ExtractedTuple> {
+    fn check_record_len(&self, rec: &[u8]) -> StriderResult<()> {
         let expected = self.layout.tuple_data_bytes();
         if rec.len() != expected {
             return Err(StriderError::BadTupleBytes(format!(
@@ -124,44 +162,64 @@ impl AccessEngine {
                 rec.len()
             )));
         }
+        Ok(())
+    }
+
+    /// Converts one cleansed record (user-data bytes) into a flat batch row.
+    fn convert_record_into(&self, rec: &[u8], batch: &mut TupleBatch) -> StriderResult<()> {
+        self.check_record_len(rec)?;
+        let mut row = batch.start_row();
+        let mut off = 0usize;
+        for col in self.schema.columns() {
+            let w = col.ty.width();
+            row.push(convert_cell(col.ty, &rec[off..off + w]));
+            off += w;
+        }
+        row.finish();
+        Ok(())
+    }
+
+    /// Converts one cleansed record (user-data bytes) into f32 columns.
+    fn convert_record(&self, rec: &[u8]) -> StriderResult<ExtractedTuple> {
+        self.check_record_len(rec)?;
         let mut values = Vec::with_capacity(self.schema.len());
         let mut off = 0usize;
         for col in self.schema.columns() {
             let w = col.ty.width();
-            let bytes = &rec[off..off + w];
-            let v = match col.ty {
-                ColumnType::Float4 => f32::from_le_bytes(bytes.try_into().unwrap()),
-                ColumnType::Float8 => f64::from_le_bytes(bytes.try_into().unwrap()) as f32,
-                ColumnType::Int4 => i32::from_le_bytes(bytes.try_into().unwrap()) as f32,
-                ColumnType::Int8 => i64::from_le_bytes(bytes.try_into().unwrap()) as f32,
-            };
-            values.push(v);
+            values.push(convert_cell(col.ty, &rec[off..off + w]));
             off += w;
         }
         Ok(ExtractedTuple { values })
     }
 
-    /// Extracts an entire heap file, producing tuples in page/slot order and
-    /// the aggregate access-engine cost model.
-    pub fn extract_heap(&self, heap: &HeapFile) -> StriderResult<(Vec<ExtractedTuple>, AccessStats)> {
-        let mut all = Vec::with_capacity(heap.tuple_count() as usize);
+    /// Extracts an entire heap file into one flat batch, producing tuples
+    /// in page/slot order and the aggregate access-engine cost model.
+    pub fn extract_heap(&self, heap: &HeapFile) -> StriderResult<(TupleBatch, AccessStats)> {
+        let mut all = TupleBatch::with_capacity(self.schema.len(), heap.tuple_count() as usize);
         let mut stats = AccessStats::default();
         for p in 0..heap.page_count() {
             let page = heap.page_bytes(p).expect("page in range");
-            let (tuples, cycles) = self.extract_page(page)?;
+            let before = all.len();
+            let cycles = self.extract_page_into(page, &mut all)?;
             stats.pages += 1;
-            stats.tuples += tuples.len() as u64;
+            stats.tuples += (all.len() - before) as u64;
             stats.strider_cycles += cycles;
-            all.extend(tuples);
         }
+        self.finish_stats(&mut stats);
+        Ok((all, stats))
+    }
+
+    /// Completes an extraction pass's cost model from its raw counters
+    /// (pages, tuples, strider cycles): bytes shipped, AXI streaming time,
+    /// conversion cycles, and the overlapped wall-clock cost.
+    pub fn finish_stats(&self, stats: &mut AccessStats) {
         stats.bytes_transferred = stats.pages * self.layout.page_size as u64;
         stats.conversion_cycles = stats.tuples * self.schema.len() as u64;
         stats.axi_seconds = self
             .config
             .axi
             .stream_time(stats.bytes_transferred, self.layout.page_size as u64);
-        stats.access_seconds = self.access_seconds(&stats);
-        Ok((all, stats))
+        stats.access_seconds = self.access_seconds(stats);
     }
 
     /// Computes the engine's wall-clock cost: Strider work spreads across
@@ -171,7 +229,9 @@ impl AccessEngine {
         if stats.pages == 0 {
             return 0.0;
         }
-        let parallel_cycles = stats.strider_cycles.div_ceil(self.config.num_striders as u64);
+        let parallel_cycles = stats
+            .strider_cycles
+            .div_ceil(self.config.num_striders as u64);
         let strider_seconds = self.config.clock.to_seconds(parallel_cycles);
         let fill = self.config.axi.burst_time(self.layout.page_size as u64);
         stats.axi_seconds.max(strider_seconds) + fill
@@ -210,20 +270,52 @@ mod tests {
     fn extracted_tuples_match_cpu_scan() {
         let heap = heap_with(500, 12);
         let engine = engine_for(&heap, 4);
-        let (tuples, stats) = engine.extract_heap(&heap).unwrap();
-        assert_eq!(tuples.len(), 500);
+        let (batch, stats) = engine.extract_heap(&heap).unwrap();
+        assert_eq!(batch.len(), 500);
+        assert_eq!(batch.width(), 13);
         assert_eq!(stats.tuples, 500);
-        for (ext, cpu) in tuples.iter().zip(heap.scan()) {
+        for (ext, cpu) in batch.rows().zip(heap.scan()) {
             let cpu_vals: Vec<f32> = cpu.values.iter().map(|d| d.as_f32()).collect();
-            assert_eq!(ext.values, cpu_vals);
+            assert_eq!(ext, &cpu_vals[..]);
         }
+    }
+
+    #[test]
+    fn batch_path_matches_reference_rows_path() {
+        let heap = heap_with(200, 7);
+        let engine = engine_for(&heap, 2);
+        let (batch, _) = engine.extract_heap(&heap).unwrap();
+        let mut row_idx = 0usize;
+        let mut ref_cycles = 0u64;
+        for p in 0..heap.page_count() {
+            let (rows, cycles) = engine
+                .extract_page_rows(heap.page_bytes(p).unwrap())
+                .unwrap();
+            ref_cycles += cycles;
+            for t in rows {
+                assert_eq!(batch.row(row_idx), &t.values[..]);
+                row_idx += 1;
+            }
+        }
+        assert_eq!(row_idx, batch.len());
+        // Same cycle accounting either way.
+        let mut scratch = TupleBatch::new(batch.width());
+        let mut batch_cycles = 0u64;
+        for p in 0..heap.page_count() {
+            batch_cycles += engine
+                .extract_page_into(heap.page_bytes(p).unwrap(), &mut scratch)
+                .unwrap();
+        }
+        assert_eq!(batch_cycles, ref_cycles);
     }
 
     #[test]
     fn training_split_puts_label_last() {
         let heap = heap_with(3, 4);
         let engine = engine_for(&heap, 1);
-        let (tuples, _) = engine.extract_heap(&heap).unwrap();
+        let (tuples, _) = engine
+            .extract_page_rows(heap.page_bytes(0).unwrap())
+            .unwrap();
         let (x, y) = tuples[2].as_training();
         assert_eq!(x.len(), 4);
         assert_eq!(y, -2.0);
@@ -232,13 +324,13 @@ mod tests {
     #[test]
     fn rating_schema_converts_ints() {
         let schema = Schema::rating();
-        let mut b = HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending)
-            .unwrap();
+        let mut b =
+            HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending).unwrap();
         b.insert(&Tuple::rating(42, 99, 3.5)).unwrap();
         let heap = b.finish();
         let engine = engine_for(&heap, 1);
-        let (tuples, _) = engine.extract_heap(&heap).unwrap();
-        assert_eq!(tuples[0].values, vec![42.0, 99.0, 3.5]);
+        let (batch, _) = engine.extract_heap(&heap).unwrap();
+        assert_eq!(batch.row(0), &[42.0, 99.0, 3.5]);
     }
 
     #[test]
@@ -281,8 +373,8 @@ mod tests {
             .unwrap()
             .finish();
         let engine = engine_for(&heap, 2);
-        let (tuples, stats) = engine.extract_heap(&heap).unwrap();
-        assert!(tuples.is_empty());
+        let (batch, stats) = engine.extract_heap(&heap).unwrap();
+        assert!(batch.is_empty());
         assert_eq!(stats.access_seconds, 0.0);
     }
 }

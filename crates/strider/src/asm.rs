@@ -74,11 +74,18 @@ fn parse_line(line: &str, lineno: usize) -> StriderResult<Instr> {
     };
     if opcode == Opcode::Bentr {
         if !rest.is_empty() {
-            return Err(StriderError::Asm { line: lineno, msg: "bentr takes no operands".into() });
+            return Err(StriderError::Asm {
+                line: lineno,
+                msg: "bentr takes no operands".into(),
+            });
         }
         return Ok(Instr::bentr());
     }
-    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if ops.len() != 3 {
         return Err(StriderError::Asm {
             line: lineno,
@@ -97,14 +104,20 @@ fn parse_operand(text: &str, lineno: usize) -> StriderResult<Operand> {
     if let Some(rest) = text.strip_prefix("%cr") {
         let idx: u8 = parse_idx(rest, lineno, "%cr")?;
         if idx >= 16 {
-            return Err(StriderError::Asm { line: lineno, msg: format!("%cr{idx} out of range") });
+            return Err(StriderError::Asm {
+                line: lineno,
+                msg: format!("%cr{idx} out of range"),
+            });
         }
         return Ok(Operand::Reg(Reg::cr(idx)));
     }
     if let Some(rest) = text.strip_prefix("%t") {
         let idx: u8 = parse_idx(rest, lineno, "%t")?;
         if idx >= 16 {
-            return Err(StriderError::Asm { line: lineno, msg: format!("%t{idx} out of range") });
+            return Err(StriderError::Asm {
+                line: lineno,
+                msg: format!("%t{idx} out of range"),
+            });
         }
         return Ok(Operand::Reg(Reg::t(idx)));
     }
@@ -114,7 +127,10 @@ fn parse_operand(text: &str, lineno: usize) -> StriderResult<Operand> {
             line: lineno,
             msg: format!("immediate {v} exceeds 31; load it via a config register"),
         }),
-        Err(_) => Err(StriderError::Asm { line: lineno, msg: format!("bad operand '{text}'") }),
+        Err(_) => Err(StriderError::Asm {
+            line: lineno,
+            msg: format!("bad operand '{text}'"),
+        }),
     }
 }
 

@@ -26,6 +26,7 @@ use crate::isa::{config_regs, Instr, Opcode, Operand, Reg};
 /// * `%t2` — scratch (first line pointer);
 /// * `%t3` — loop index;
 /// * `%t4` — staging integer view (unused scalar).
+#[allow(clippy::vec_init_then_push)] // instruction-by-instruction listing reads best
 pub fn strider_program_for_layout(layout: &PageLayoutDesc) -> (Vec<Instr>, [u64; 16]) {
     let mut config = [0u64; 16];
     config[config_regs::PAGE_SIZE.0 as usize] = layout.page_size as u64;
@@ -52,9 +53,19 @@ pub fn strider_program_for_layout(layout: &PageLayoutDesc) -> (Vec<Instr>, [u64;
     // ---- tuple walk loop ----------------------------------------------
     prog.push(Instr::bentr());
     // stage one tuple (header + data).
-    prog.push(Instr::new(Opcode::ReadB, t(0), r(config_regs::TUPLE_BYTES), t(4)));
+    prog.push(Instr::new(
+        Opcode::ReadB,
+        t(0),
+        r(config_regs::TUPLE_BYTES),
+        t(4),
+    ));
     // strip the tuple header ("remove its auxiliary information").
-    prog.push(Instr::new(Opcode::Cln, imm(0), r(config_regs::TUPLE_HEADER), imm(0)));
+    prog.push(Instr::new(
+        Opcode::Cln,
+        imm(0),
+        r(config_regs::TUPLE_HEADER),
+        imm(0),
+    ));
     // emit cleansed user data to the execution engine.
     prog.push(Instr::new(Opcode::WriteB, imm(0), imm(0), imm(0)));
     // advance to the next tuple.
@@ -113,8 +124,8 @@ mod tests {
         let mut total = 0usize;
         for p in 0..heap.page_count() {
             let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
-            total += run.records.len();
-            for rec in &run.records {
+            total += run.len();
+            for rec in run.records() {
                 assert_eq!(rec.len(), heap.layout().tuple_data_bytes());
             }
         }
@@ -129,7 +140,7 @@ mod tests {
         let mut labels = Vec::new();
         for p in 0..heap.page_count() {
             let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
-            for rec in &run.records {
+            for rec in run.records() {
                 // label is the final f32 of the record
                 let off = rec.len() - 4;
                 labels.push(f32::from_le_bytes(rec[off..].try_into().unwrap()));
@@ -151,7 +162,7 @@ mod tests {
         let mut strider_tuples: Vec<Vec<f32>> = Vec::new();
         for p in 0..heap.page_count() {
             let run = machine.run(heap.page_bytes(p).unwrap()).unwrap();
-            for rec in &run.records {
+            for rec in run.records() {
                 let vals: Vec<f32> = rec
                     .chunks_exact(4)
                     .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
@@ -176,7 +187,7 @@ mod tests {
             for p in 0..heap.page_count() {
                 let page = heap.page_bytes(p).unwrap();
                 let run = machine.run(page).unwrap();
-                let est = estimated_cycles_per_page(heap.layout(), run.records.len() as u64);
+                let est = estimated_cycles_per_page(heap.layout(), run.len() as u64);
                 assert_eq!(
                     run.cycles, est,
                     "estimator must match interpreter ({n} tuples, {features} features)"

@@ -12,9 +12,17 @@ pub enum StriderError {
     /// Assembly text error with 1-based line number.
     Asm { line: usize, msg: String },
     /// Out-of-bounds page-buffer access at runtime.
-    PageBounds { addr: usize, len: usize, page: usize },
+    PageBounds {
+        addr: usize,
+        len: usize,
+        page: usize,
+    },
     /// Staging-buffer slice out of range.
-    StagingBounds { offset: usize, len: usize, staged: usize },
+    StagingBounds {
+        offset: usize,
+        len: usize,
+        staged: usize,
+    },
     /// `bexit` without a matching `bentr`.
     UnmatchedBexit(usize),
     /// The program exceeded the execution fuel (runaway loop).
@@ -34,10 +42,20 @@ impl fmt::Display for StriderError {
             StriderError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
             StriderError::Asm { line, msg } => write!(f, "asm error at line {line}: {msg}"),
             StriderError::PageBounds { addr, len, page } => {
-                write!(f, "page access [{addr}, {addr}+{len}) outside {page}-byte page")
+                write!(
+                    f,
+                    "page access [{addr}, {addr}+{len}) outside {page}-byte page"
+                )
             }
-            StriderError::StagingBounds { offset, len, staged } => {
-                write!(f, "staging access [{offset}, {offset}+{len}) outside {staged} staged bytes")
+            StriderError::StagingBounds {
+                offset,
+                len,
+                staged,
+            } => {
+                write!(
+                    f,
+                    "staging access [{offset}, {offset}+{len}) outside {staged} staged bytes"
+                )
             }
             StriderError::UnmatchedBexit(pc) => write!(f, "bexit at pc {pc} without bentr"),
             StriderError::Fuel { executed } => {

@@ -86,13 +86,19 @@ impl Operand {
         match self {
             Operand::Reg(r) => {
                 if r.0 >= 32 {
-                    return Err(StriderError::OperandRange { value: r.0 as u64, limit: 31 });
+                    return Err(StriderError::OperandRange {
+                        value: r.0 as u64,
+                        limit: 31,
+                    });
                 }
                 Ok(r.0 as u32)
             }
             Operand::Imm(v) => {
                 if *v >= 32 {
-                    return Err(StriderError::OperandRange { value: *v as u64, limit: 31 });
+                    return Err(StriderError::OperandRange {
+                        value: *v as u64,
+                        limit: 31,
+                    });
                 }
                 Ok(0b100000 | *v as u32)
             }
@@ -303,7 +309,12 @@ mod tests {
             Opcode::Bentr,
             Opcode::Bexit,
         ] {
-            let i = Instr::new(op, Operand::Imm(3), Operand::Reg(Reg::t(2)), Operand::Reg(Reg::cr(1)));
+            let i = Instr::new(
+                op,
+                Operand::Imm(3),
+                Operand::Reg(Reg::t(2)),
+                Operand::Reg(Reg::cr(1)),
+            );
             assert_eq!(Instr::decode(i.encode().unwrap()).unwrap(), i);
         }
     }
@@ -332,15 +343,28 @@ mod tests {
     fn bad_opcode_rejected() {
         // opcode field = 15 (invalid)
         let word = 15u32 << 18;
-        assert!(matches!(Instr::decode(word), Err(StriderError::BadOpcode(15))));
+        assert!(matches!(
+            Instr::decode(word),
+            Err(StriderError::BadOpcode(15))
+        ));
     }
 
     #[test]
     fn program_encode_decode_round_trip() {
         let prog = vec![
-            Instr::new(Opcode::ReadB, Operand::Imm(0), Operand::Imm(8), Operand::Reg(Reg::t(0))),
+            Instr::new(
+                Opcode::ReadB,
+                Operand::Imm(0),
+                Operand::Imm(8),
+                Operand::Reg(Reg::t(0)),
+            ),
             Instr::bentr(),
-            Instr::new(Opcode::Bexit, Operand::Imm(1), Operand::Reg(Reg::t(1)), Operand::Reg(Reg::cr(1))),
+            Instr::new(
+                Opcode::Bexit,
+                Operand::Imm(1),
+                Operand::Reg(Reg::t(1)),
+                Operand::Reg(Reg::cr(1)),
+            ),
         ];
         let words = encode_program(&prog).unwrap();
         assert_eq!(decode_program(&words).unwrap(), prog);

@@ -11,19 +11,49 @@
 //! extraction cost scale with tuple bytes — the quantity the access engine
 //! overlaps against AXI transfer and compute.
 
+use std::borrow::Cow;
+
 use crate::error::{StriderError, StriderResult};
 use crate::isa::{Instr, Opcode, Operand};
 
 /// Result of running a program over one page.
+///
+/// Records are stored flat — one contiguous byte buffer plus per-record
+/// end offsets — matching the hardware's output FIFO and keeping the run
+/// to O(1) allocations regardless of the page's tuple count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StriderRun {
-    /// Extracted records (one per `writeB 0`), in extraction order — the
-    /// cleansed user-data bytes of each tuple.
-    pub records: Vec<Vec<u8>>,
+    /// All extracted records' bytes (one per `writeB 0`), back to back in
+    /// extraction order — the cleansed user-data bytes of each tuple.
+    data: Vec<u8>,
+    /// End offset of each record within `data`.
+    ends: Vec<u32>,
     /// Simulated Strider cycles consumed.
     pub cycles: u64,
     /// Instructions executed (≥ program length when loops run).
     pub executed: u64,
+}
+
+impl StriderRun {
+    /// Number of extracted records.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Record `i`'s bytes.
+    pub fn record(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..self.ends[i] as usize]
+    }
+
+    /// All records in extraction order.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = &[u8]> + '_ {
+        (0..self.ends.len()).map(move |i| self.record(i))
+    }
 }
 
 /// The interpreter. Reusable across pages; [`StriderMachine::run`] resets
@@ -38,7 +68,11 @@ impl StriderMachine {
     /// Creates a machine for `program` with configuration registers
     /// `config` (loaded over AXI in hardware; see [`crate::isa::config_regs`]).
     pub fn new(program: Vec<Instr>, config: [u64; 16]) -> StriderMachine {
-        StriderMachine { program, config, fuel: 50_000_000 }
+        StriderMachine {
+            program,
+            config,
+            fuel: 50_000_000,
+        }
     }
 
     /// Overrides the runaway-loop bound (instructions per page).
@@ -56,8 +90,12 @@ impl StriderMachine {
         let mut regs = [0u64; 32];
         regs[..16].copy_from_slice(&self.config);
         let mut staging: Vec<u8> = Vec::new();
-        let mut page: Vec<u8> = page.to_vec(); // writeB mode 1 may mutate
-        let mut records: Vec<Vec<u8>> = Vec::new();
+        // Copy-on-write: only `writeB` mode 1 mutates the page, and the
+        // generated extraction programs never do — the common case streams
+        // the borrowed frame bytes with no 32 KB copy.
+        let mut page: Cow<[u8]> = Cow::Borrowed(page);
+        let mut data: Vec<u8> = Vec::new();
+        let mut ends: Vec<u32> = Vec::new();
         let mut loop_stack: Vec<usize> = Vec::new();
         let mut pc = 0usize;
         let mut cycles = 0u64;
@@ -87,7 +125,11 @@ impl StriderMachine {
                     let addr = val(&regs, i.a) as usize;
                     let count = val(&regs, i.b) as usize;
                     if addr + count > page.len() {
-                        return Err(StriderError::PageBounds { addr, len: count, page: page.len() });
+                        return Err(StriderError::PageBounds {
+                            addr,
+                            len: count,
+                            page: page.len(),
+                        });
                     }
                     staging.clear();
                     staging.extend_from_slice(&page[addr..addr + count]);
@@ -104,14 +146,15 @@ impl StriderMachine {
                             staged: staging.len(),
                         });
                     }
-                    let slice: Vec<u8> = staging[offset..offset + count].to_vec();
-                    set(&mut regs, i.c, le_int(&slice));
-                    staging = slice;
+                    staging.copy_within(offset..offset + count, 0);
+                    staging.truncate(count);
+                    set(&mut regs, i.c, le_int(&staging));
                 }
                 Opcode::WriteB => {
                     let mode = val(&regs, i.a);
                     if mode == 0 {
-                        records.push(staging.clone());
+                        data.extend_from_slice(&staging);
+                        ends.push(data.len() as u32);
                     } else {
                         let addr = val(&regs, i.b) as usize;
                         if addr + staging.len() > page.len() {
@@ -121,7 +164,7 @@ impl StriderMachine {
                                 page: page.len(),
                             });
                         }
-                        page[addr..addr + staging.len()].copy_from_slice(&staging);
+                        page.to_mut()[addr..addr + staging.len()].copy_from_slice(&staging);
                     }
                     cycles += extra_move_cycles(staging.len());
                 }
@@ -206,7 +249,12 @@ impl StriderMachine {
         if !loop_stack.is_empty() {
             return Err(StriderError::UnclosedLoop);
         }
-        Ok(StriderRun { records, cycles, executed })
+        Ok(StriderRun {
+            data,
+            ends,
+            cycles,
+            executed,
+        })
     }
 }
 
@@ -238,7 +286,7 @@ mod tests {
         page[10] = 0xAB;
         page[11] = 0xCD;
         let r = run_src("readB 10, 2, %t0\nwriteB 0, 0, 0\n", &page, [0; 16]).unwrap();
-        assert_eq!(r.records, vec![vec![0xAB, 0xCD]]);
+        assert_eq!(r.records().collect::<Vec<_>>(), vec![&[0xAB, 0xCD][..]]);
     }
 
     #[test]
@@ -250,15 +298,20 @@ mod tests {
             [0; 16],
         )
         .unwrap();
-        assert_eq!(r.records, vec![vec![4, 5]]);
+        assert_eq!(r.records().collect::<Vec<_>>(), vec![&[4, 5][..]]);
     }
 
     #[test]
     fn clean_removes_header() {
         let page: Vec<u8> = (0u8..32).collect();
         // stage 12 bytes, strip the first 4 → bytes 4..12
-        let r = run_src("readB 0, 12, %t0\ncln 0, 4, 0\nwriteB 0, 0, 0\n", &page, [0; 16]).unwrap();
-        assert_eq!(r.records[0], (4u8..12).collect::<Vec<u8>>());
+        let r = run_src(
+            "readB 0, 12, %t0\ncln 0, 4, 0\nwriteB 0, 0, 0\n",
+            &page,
+            [0; 16],
+        )
+        .unwrap();
+        assert_eq!(r.record(0), (4u8..12).collect::<Vec<u8>>());
     }
 
     #[test]
@@ -267,7 +320,7 @@ mod tests {
         // stage [9,9], then insert 0xFF at offset 1
         let src = "readB 0, 2, %t0\nad 0, 31, %t1\nins %t1, 1, 1\nwriteB 0, 0, 0\n";
         let r = run_src(src, &page, [0; 16]).unwrap();
-        assert_eq!(r.records[0], vec![9, 31, 9]);
+        assert_eq!(r.record(0), vec![9, 31, 9]);
     }
 
     #[test]
@@ -298,9 +351,9 @@ ad %t1, 1, %t1
 bexit 1, %t1, %cr1
 ";
         let r = run_src(src, &page, config).unwrap();
-        assert_eq!(r.records.len(), 3);
-        assert_eq!(r.records[0], vec![0, 1, 2, 3]);
-        assert_eq!(r.records[2], vec![8, 9, 10, 11]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.record(0), vec![0, 1, 2, 3]);
+        assert_eq!(r.record(2), vec![8, 9, 10, 11]);
         assert!(r.executed > 8, "loop body must re-execute");
     }
 
@@ -361,9 +414,10 @@ bexit 2, %t3, 0
     fn write_back_mode_mutates_local_page_copy_only() {
         let page = vec![1u8, 2, 3, 4];
         // Stage bytes 0..2, write them back at addr 2, then re-read and emit.
-        let src = "readB 0, 2, %t0\nad 0, 2, %t1\nwriteB 1, %t1, 0\nreadB 0, 4, %t0\nwriteB 0, 0, 0\n";
+        let src =
+            "readB 0, 2, %t0\nad 0, 2, %t1\nwriteB 1, %t1, 0\nreadB 0, 4, %t0\nwriteB 0, 0, 0\n";
         let r = run_src(src, &page, [0; 16]).unwrap();
-        assert_eq!(r.records[0], vec![1, 2, 1, 2]);
+        assert_eq!(r.record(0), vec![1, 2, 1, 2]);
         assert_eq!(page, vec![1, 2, 3, 4], "caller's page is untouched");
     }
 }

@@ -1,0 +1,3 @@
+//! Anchor library for the system-level test package. The integration tests
+//! (`tests/` at the repository root) and examples exercise the `dana-*`
+//! crates directly; this crate exists only to give them a package.

@@ -10,7 +10,7 @@ use rand::{RngExt, SeedableRng};
 
 use dana_dsl::zoo::Algorithm;
 use dana_storage::page::TupleDirection;
-use dana_storage::{HeapFile, HeapFileBuilder, StorageResult, Tuple};
+use dana_storage::{HeapFile, HeapFileBuilder, StorageResult, Tuple, TupleBatch};
 
 use crate::registry::Workload;
 
@@ -40,7 +40,10 @@ pub fn generate(w: &Workload, page_size: usize, seed: u64) -> StorageResult<Gene
                 let rating = planted_rating(&planted, i, j, rank) + noise;
                 builder.insert(&Tuple::rating(i as i32, j as i32, rating))?;
             }
-            Ok(GeneratedTable { heap: builder.finish(), truth: None })
+            Ok(GeneratedTable {
+                heap: builder.finish(),
+                truth: None,
+            })
         }
         algo => {
             let truth = plant_model(w.features, &mut rng);
@@ -48,39 +51,48 @@ pub fn generate(w: &Workload, page_size: usize, seed: u64) -> StorageResult<Gene
                 let (x, y) = dense_tuple(algo, &truth, &mut rng);
                 builder.insert(&Tuple::training(&x, y))?;
             }
-            Ok(GeneratedTable { heap: builder.finish(), truth: Some(truth) })
+            Ok(GeneratedTable {
+                heap: builder.finish(),
+                truth: Some(truth),
+            })
         }
     }
 }
 
-/// In-memory tuple generation (no heap) — for baselines and benches that
-/// do not need pages.
-pub fn generate_tuples(w: &Workload, seed: u64) -> (Vec<Vec<f32>>, Option<Vec<f32>>) {
+/// In-memory flat-batch generation (no heap) — for baselines and benches
+/// that do not need pages.
+pub fn generate_tuples(w: &Workload, seed: u64) -> (TupleBatch, Option<Vec<f32>>) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_0001);
     match w.algorithm {
         Algorithm::Lrmf => {
             let (rows, cols, rank) = w.lrmf.expect("LRMF workload has dims");
             let planted = plant_factors(rows, cols, rank, &mut rng);
-            let tuples = (0..w.tuples)
-                .map(|_| {
-                    let i = rng.random_range(0..rows);
-                    let j = rng.random_range(0..cols);
-                    let noise: f32 = rng.random_range(-0.05..0.05);
-                    vec![i as f32, j as f32, planted_rating(&planted, i, j, rank) + noise]
-                })
-                .collect();
-            (tuples, None)
+            let mut batch = TupleBatch::with_capacity(3, w.tuples as usize);
+            for _ in 0..w.tuples {
+                let i = rng.random_range(0..rows);
+                let j = rng.random_range(0..cols);
+                let noise: f32 = rng.random_range(-0.05..0.05);
+                batch.push_row(&[
+                    i as f32,
+                    j as f32,
+                    planted_rating(&planted, i, j, rank) + noise,
+                ]);
+            }
+            (batch, None)
         }
         algo => {
             let truth = plant_model(w.features, &mut rng);
-            let tuples = (0..w.tuples)
-                .map(|_| {
-                    let (mut x, y) = dense_tuple(algo, &truth, &mut rng);
-                    x.push(y);
-                    x
-                })
-                .collect();
-            (tuples, Some(truth))
+            let mut batch = TupleBatch::with_capacity(w.features + 1, w.tuples as usize);
+            for _ in 0..w.tuples {
+                let (x, y) = dense_tuple(algo, &truth, &mut rng);
+                let mut row = batch.start_row();
+                for v in x {
+                    row.push(v);
+                }
+                row.push(y);
+                row.finish();
+            }
+            (batch, Some(truth))
         }
     }
 }
@@ -90,8 +102,12 @@ fn plant_model(d: usize, rng: &mut StdRng) -> Vec<f32> {
 }
 
 fn plant_factors(rows: usize, cols: usize, rank: usize, rng: &mut StdRng) -> (Vec<f32>, Vec<f32>) {
-    let l: Vec<f32> = (0..rows * rank).map(|_| rng.random_range(-0.5..0.5)).collect();
-    let r: Vec<f32> = (0..cols * rank).map(|_| rng.random_range(-0.5..0.5)).collect();
+    let l: Vec<f32> = (0..rows * rank)
+        .map(|_| rng.random_range(-0.5..0.5))
+        .collect();
+    let r: Vec<f32> = (0..cols * rank)
+        .map(|_| rng.random_range(-0.5..0.5))
+        .collect();
     (l, r)
 }
 
@@ -205,6 +221,6 @@ mod tests {
     fn svm_labels_are_signed() {
         let w = workload("Remote Sensing SVM").unwrap().scaled(0.001);
         let (tuples, _) = generate_tuples(&w, 3);
-        assert!(tuples.iter().all(|t| t[54] == 1.0 || t[54] == -1.0));
+        assert!(tuples.rows().all(|t| t[54] == 1.0 || t[54] == -1.0));
     }
 }

@@ -345,13 +345,22 @@ mod tests {
     fn fourteen_workloads_as_in_table_3() {
         let all = all_workloads();
         assert_eq!(all.len(), 14);
-        assert_eq!(all.iter().filter(|w| w.class == DatasetClass::Public).count(), 6);
         assert_eq!(
-            all.iter().filter(|w| w.class == DatasetClass::SyntheticNominal).count(),
+            all.iter()
+                .filter(|w| w.class == DatasetClass::Public)
+                .count(),
+            6
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|w| w.class == DatasetClass::SyntheticNominal)
+                .count(),
             4
         );
         assert_eq!(
-            all.iter().filter(|w| w.class == DatasetClass::SyntheticExtensive).count(),
+            all.iter()
+                .filter(|w| w.class == DatasetClass::SyntheticExtensive)
+                .count(),
             4
         );
     }

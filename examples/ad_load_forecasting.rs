@@ -23,11 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     w.epochs = 40;
     w.learning_rate = 0.1;
     let table = generate(&w, 32 * 1024, 7)?;
-    let data: Vec<Vec<f32>> = table
-        .heap
-        .scan()
-        .map(|t| t.values.iter().map(|d| d.as_f32()).collect())
-        .collect();
+    let data = table.heap.scan_batch()?;
 
     // --- DAnA path -----------------------------------------------------
     let mut db = Dana::default_system();
@@ -57,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let madlib = exec.train(&mut pool, HeapId(0), &table.heap, &cfg)?;
 
     // --- Report ----------------------------------------------------------
-    println!("ad-load forecasting, 100 features x {} rows, {} epochs", w.tuples, w.epochs);
+    println!(
+        "ad-load forecasting, 100 features x {} rows, {} epochs",
+        w.tuples, w.epochs
+    );
     println!(
         "  DAnA accelerator : {:>9.3} s   (mse {:.5})",
         dana_seconds,
@@ -68,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         madlib.total_seconds,
         metrics::mse(madlib.model.as_dense(), &data)
     );
-    println!("  speedup          : {:>8.1}x", madlib.total_seconds / dana_seconds);
+    println!(
+        "  speedup          : {:>8.1}x",
+        madlib.total_seconds / dana_seconds
+    );
     Ok(())
 }

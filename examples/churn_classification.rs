@@ -17,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     w.learning_rate = 0.5;
     w.merge_coef = 16;
     let table = generate(&w, 32 * 1024, 99)?;
-    let data: Vec<Vec<f32>> = table
-        .heap
-        .scan()
-        .map(|t| t.values.iter().map(|d| d.as_f32()).collect())
-        .collect();
+    let data = table.heap.scan_batch()?;
 
     let mut db = Dana::default_system();
     db.create_table("customers", table.heap.clone())?;
@@ -66,21 +62,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let mk_pool = || {
-        dana_storage::BufferPool::new(BufferPoolConfig { pool_bytes: 1 << 30, page_size: 32 * 1024 })
+        dana_storage::BufferPool::new(BufferPoolConfig {
+            pool_bytes: 1 << 30,
+            page_size: 32 * 1024,
+        })
     };
     let mut pool = mk_pool();
     pool.prewarm(HeapId(0), &table.heap)?;
-    let madlib = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::ssd())
-        .train(&mut pool, HeapId(0), &table.heap, &cfg)?;
+    let madlib = MadlibExecutor::new(CpuModel::i7_6700(), DiskModel::ssd()).train(
+        &mut pool,
+        HeapId(0),
+        &table.heap,
+        &cfg,
+    )?;
     let mut pool = mk_pool();
     pool.prewarm(HeapId(0), &table.heap)?;
-    let gp = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::ssd(), 8)
-        .train(&mut pool, HeapId(0), &table.heap, &cfg)?;
+    let gp = GreenplumExecutor::new(CpuModel::i7_6700(), DiskModel::ssd(), 8).train(
+        &mut pool,
+        HeapId(0),
+        &table.heap,
+        &cfg,
+    )?;
 
     println!("\n--- simulated end-to-end comparison (logistic) ---");
     println!("  MADlib/PostgreSQL : {:>9.4} s", madlib.total_seconds);
     println!("  MADlib/Greenplum-8: {:>9.4} s", gp.total_seconds);
-    println!("  DAnA              : {:>9.4} s", logistic.report.timing.total_seconds);
+    println!(
+        "  DAnA              : {:>9.4} s",
+        logistic.report.timing.total_seconds
+    );
     println!(
         "  DAnA speedup      : {:>8.1}x over PostgreSQL, {:.1}x over Greenplum",
         madlib.total_seconds / logistic.report.timing.total_seconds,

@@ -37,8 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             heap.layout().tuple_bytes,
             heap.layout().data_start()
         );
-        println!("config registers: page_size={} tuples/page={} tuple_bytes={} header={}",
-            config[0], config[1], config[2], config[5]);
+        println!(
+            "config registers: page_size={} tuples/page={} tuple_bytes={} header={}",
+            config[0], config[1], config[2], config[5]
+        );
         println!("{}", disassemble(&program));
 
         let engine = AccessEngine::for_table(
@@ -50,16 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 dana_fpga::AxiLink::with_bandwidth(2.5e9),
             ),
         );
-        let (tuples, stats) = engine.extract_heap(&heap)?;
+        let (batch, stats) = engine.extract_heap(&heap)?;
         println!(
-            "extracted {} tuples in {} Strider cycles ({} per page)\n",
-            tuples.len(),
+            "extracted {} tuples into one flat batch in {} Strider cycles ({} per page)\n",
+            batch.len(),
             stats.strider_cycles,
             stats.strider_cycles / stats.pages
         );
-        extracted.push(tuples.into_iter().map(|t| t.values).collect::<Vec<_>>());
+        extracted.push(batch);
     }
-    assert_eq!(extracted[0], extracted[1], "both layouts yield identical tuples");
-    println!("both layouts extract byte-identical training data — the ISA's portability claim holds");
+    assert_eq!(
+        extracted[0], extracted[1],
+        "both layouts yield identical tuples"
+    );
+    println!(
+        "both layouts extract byte-identical training data — the ISA's portability claim holds"
+    );
     Ok(())
 }

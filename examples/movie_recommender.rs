@@ -20,11 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     w.learning_rate = 0.05;
 
     let table = generate(&w, 32 * 1024, 2024)?;
-    let ratings: Vec<Vec<f32>> = table
-        .heap
-        .scan()
-        .map(|t| t.values.iter().map(|d| d.as_f32()).collect())
-        .collect();
+    let ratings = table.heap.scan_batch()?;
 
     let mut db = Dana::default_system();
     db.create_table("ratings", table.heap)?;
@@ -56,8 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Recommend: for user 7, rank unseen movies by predicted rating.
     let user = 7usize;
-    let seen: Vec<usize> =
-        ratings.iter().filter(|t| t[0] as usize == user).map(|t| t[1] as usize).collect();
+    let seen: Vec<usize> = ratings
+        .rows()
+        .filter(|t| t[0] as usize == user)
+        .map(|t| t[1] as usize)
+        .collect();
     let mut predictions: Vec<(usize, f32)> = (0..movies)
         .filter(|m| !seen.contains(m))
         .map(|m| (m, model.predict(user, m)))

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "deployed: {} threads x {} clusters, {} Striders, {} engine micro-ops",
         info.num_threads, info.acs_per_thread, info.num_striders, info.micro_ops
     );
-    println!("--- generated Strider program ---\n{}", info.strider_listing);
+    println!(
+        "--- generated Strider program ---\n{}",
+        info.strider_listing
+    );
 
     // 3. Invoke it from SQL.
     let out = db.execute("SELECT * FROM dana.linearR('patient_data');")?;

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = Schema::training(4);
     let mut b = HeapFileBuilder::new(schema, 8 * 1024, TupleDirection::Ascending)?;
     for k in 0..10 {
-        b.insert(&Tuple::training(&[k as f32, 2.0, 3.0, 4.0], 100.0 + k as f32))?;
+        b.insert(&Tuple::training(
+            &[k as f32, 2.0, 3.0, 4.0],
+            100.0 + k as f32,
+        ))?;
     }
     let heap = b.finish();
     let layout = heap.layout();
@@ -39,7 +42,10 @@ ad %t3, 1, %t3
 bexit 1, %t3, %t1
 ";
     let program = assemble(source)?;
-    println!("--- program ({} instructions, 22 bits each) ---", program.len());
+    println!(
+        "--- program ({} instructions, 22 bits each) ---",
+        program.len()
+    );
     println!("{}", disassemble(&program));
 
     // Configuration registers: what the host loads over AXI (Fig. 5).
@@ -53,11 +59,11 @@ bexit 1, %t3, %t1
     let run = machine.run(heap.page_bytes(0)?)?;
     println!(
         "extracted {} records in {} cycles ({} instructions executed)",
-        run.records.len(),
+        run.len(),
         run.cycles,
         run.executed
     );
-    for (i, rec) in run.records.iter().take(3).enumerate() {
+    for (i, rec) in run.records().take(3).enumerate() {
         let vals: Vec<f32> = rec
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
@@ -65,6 +71,6 @@ bexit 1, %t3, %t1
         println!("  record {i}: {vals:?}");
     }
     println!("  ...");
-    assert_eq!(run.records.len(), 10);
+    assert_eq!(run.len(), 10);
     Ok(())
 }

@@ -10,7 +10,10 @@ fn db_with(table_name: &str, w: &dana_workloads::Workload, seed: u64) -> Dana {
     let table = generate(w, 32 * 1024, seed).unwrap();
     let mut db = Dana::new(
         FpgaSpec::vu9p(),
-        BufferPoolConfig { pool_bytes: 256 << 20, page_size: 32 * 1024 },
+        BufferPoolConfig {
+            pool_bytes: 256 << 20,
+            page_size: 32 * 1024,
+        },
         DiskModel::ssd(),
     );
     db.create_table(table_name, table.heap).unwrap();
@@ -27,10 +30,17 @@ fn strider_ablation_functional() {
     w.merge_coef = 16;
     let mut db = db_with("rs", &w, 1);
     let spec = w.spec();
-    let with = db.train_with_spec(&spec, "rs", ExecutionMode::Strider).unwrap();
-    let without = db.train_with_spec(&spec, "rs", ExecutionMode::CpuFed).unwrap();
+    let with = db
+        .train_with_spec(&spec, "rs", ExecutionMode::Strider)
+        .unwrap();
+    let without = db
+        .train_with_spec(&spec, "rs", ExecutionMode::CpuFed)
+        .unwrap();
     assert!(with.timing.total_seconds < without.timing.total_seconds);
-    assert_eq!(with.models, without.models, "feeding path must not change the math");
+    assert_eq!(
+        with.models, without.models,
+        "feeding path must not change the math"
+    );
 }
 
 /// Fig. 16 at functional scale: TABLA (single-thread, CPU-fed) is slower
@@ -42,8 +52,12 @@ fn tabla_ablation_functional() {
     w.merge_coef = 16;
     let mut db = db_with("patient", &w, 2);
     let spec = w.spec();
-    let dana = db.train_with_spec(&spec, "patient", ExecutionMode::Strider).unwrap();
-    let tabla = db.train_with_spec(&spec, "patient", ExecutionMode::Tabla).unwrap();
+    let dana = db
+        .train_with_spec(&spec, "patient", ExecutionMode::Strider)
+        .unwrap();
+    let tabla = db
+        .train_with_spec(&spec, "patient", ExecutionMode::Tabla)
+        .unwrap();
     assert_eq!(tabla.num_threads, 1);
     assert!(dana.num_threads > 1);
     assert!(tabla.engine.cycles > dana.engine.cycles);
@@ -81,9 +95,14 @@ fn bandwidth_monotonicity() {
     let p = SystemParams::default();
     let mut last = f64::INFINITY;
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let t = analytic_dana(&w, ExecutionMode::Strider, true, &p.with_bandwidth_scale(scale))
-            .unwrap()
-            .total_seconds;
+        let t = analytic_dana(
+            &w,
+            ExecutionMode::Strider,
+            true,
+            &p.with_bandwidth_scale(scale),
+        )
+        .unwrap()
+        .total_seconds;
         assert!(t <= last * 1.0001, "runtime must not grow with bandwidth");
         last = t;
     }
@@ -99,13 +118,18 @@ fn descending_layout_end_to_end() {
     let mut b = HeapFileBuilder::new(schema, 32 * 1024, TupleDirection::Descending).unwrap();
     let truth: Vec<f32> = (0..12).map(|i| 0.1 * i as f32).collect();
     for k in 0..800 {
-        let x: Vec<f32> = (0..12).map(|i| (((k * 3 + i) % 9) as f32 - 4.0) / 4.0).collect();
+        let x: Vec<f32> = (0..12)
+            .map(|i| (((k * 3 + i) % 9) as f32 - 4.0) / 4.0)
+            .collect();
         let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
         b.insert(&Tuple::training(&x, y)).unwrap();
     }
     let mut db = Dana::new(
         FpgaSpec::vu9p(),
-        BufferPoolConfig { pool_bytes: 64 << 20, page_size: 32 * 1024 },
+        BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: 32 * 1024,
+        },
         DiskModel::ssd(),
     );
     db.create_table("desc_table", b.finish()).unwrap();
@@ -115,15 +139,17 @@ fn descending_layout_end_to_end() {
     // The periodic feature generator makes the design matrix rank-deficient,
     // so weights are not identifiable — check the *predictions* instead.
     let model = dana_ml::DenseModel(report.dense_model().to_vec());
-    let data: Vec<Vec<f32>> = (0..800)
-        .map(|k: usize| {
-            let mut x: Vec<f32> =
-                (0..12).map(|i| (((k * 3 + i) % 9) as f32 - 4.0) / 4.0).collect();
+    let data = dana_storage::TupleBatch::from_rows(
+        13,
+        (0..800usize).map(|k| {
+            let mut x: Vec<f32> = (0..12)
+                .map(|i| (((k * 3 + i) % 9) as f32 - 4.0) / 4.0)
+                .collect();
             let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
             x.push(y);
             x
-        })
-        .collect();
+        }),
+    );
     let mse = dana_ml::metrics::mse(&model, &data);
     assert!(mse < 1e-3, "mse {mse}");
 }
@@ -138,7 +164,10 @@ fn arria10_compiles_all_algorithms() {
     let table = generate(&w, 32 * 1024, 9).unwrap();
     let mut db = Dana::new(
         FpgaSpec::arria10(),
-        BufferPoolConfig { pool_bytes: 64 << 20, page_size: 32 * 1024 },
+        BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: 32 * 1024,
+        },
         DiskModel::ssd(),
     );
     db.create_table("t", table.heap).unwrap();
@@ -147,7 +176,10 @@ fn arria10_compiles_all_algorithms() {
     // The VU9P hosts strictly more clusters than the Arria 10.
     let mut big = Dana::new(
         FpgaSpec::vu9p(),
-        BufferPoolConfig { pool_bytes: 64 << 20, page_size: 32 * 1024 },
+        BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: 32 * 1024,
+        },
         DiskModel::ssd(),
     );
     let table2 = generate(&w, 32 * 1024, 9).unwrap();
@@ -165,11 +197,20 @@ fn arria10_compiles_all_algorithms() {
 fn analytic_thread_override_consistency() {
     let w = workload("Netflix").unwrap();
     let p = SystemParams::default();
-    let auto = analytic_dana(&w, ExecutionMode::Strider, true, &p).unwrap().total_seconds;
+    let auto = analytic_dana(&w, ExecutionMode::Strider, true, &p)
+        .unwrap()
+        .total_seconds;
     // Sweeping must bracket the auto-chosen design.
     let best_sweep = [1u32, 2, 4, 8, 16, 32, 64]
         .iter()
-        .map(|t| analytic_dana_threads(&w, *t, true, &p).unwrap().total_seconds)
+        .map(|t| {
+            analytic_dana_threads(&w, *t, true, &p)
+                .unwrap()
+                .total_seconds
+        })
         .fold(f64::INFINITY, f64::min);
-    assert!(auto <= best_sweep * 1.05, "auto {auto} vs best sweep {best_sweep}");
+    assert!(
+        auto <= best_sweep * 1.05,
+        "auto {auto} vs best sweep {best_sweep}"
+    );
 }

@@ -8,13 +8,16 @@ use dana_workloads::{generate, workload};
 fn small_db() -> Dana {
     Dana::new(
         FpgaSpec::vu9p(),
-        BufferPoolConfig { pool_bytes: 256 << 20, page_size: 32 * 1024 },
+        BufferPoolConfig {
+            pool_bytes: 256 << 20,
+            page_size: 32 * 1024,
+        },
         DiskModel::ssd(),
     )
 }
 
-fn tuples_of(heap: &HeapFile) -> Vec<Vec<f32>> {
-    heap.scan().map(|t| t.values.iter().map(|d| d.as_f32()).collect()).collect()
+fn tuples_of(heap: &HeapFile) -> dana_storage::TupleBatch {
+    heap.scan_batch().expect("heap pages are well-formed")
 }
 
 #[test]
@@ -29,12 +32,17 @@ fn logistic_regression_full_pipeline() {
     let mut db = small_db();
     db.create_table("remote_sensing", table.heap).unwrap();
     db.deploy(&w.spec(), "remote_sensing").unwrap();
-    let out = db.execute("SELECT * FROM dana.logisticR('remote_sensing');").unwrap();
+    let out = db
+        .execute("SELECT * FROM dana.logisticR('remote_sensing');")
+        .unwrap();
 
     let model = dana_ml::DenseModel(out.report.dense_model().to_vec());
     let acc = metrics::classification_accuracy(&model, &data, false);
     assert!(acc > 0.9, "accuracy {acc}");
-    assert!(out.report.num_threads > 1, "DSE should multi-thread this UDF");
+    assert!(
+        out.report.num_threads > 1,
+        "DSE should multi-thread this UDF"
+    );
     assert!(out.report.timing.total_seconds > 0.0);
 }
 
@@ -82,7 +90,11 @@ fn linear_regression_via_textual_dsl() {
         .zip(&truth)
         .filter(|(a, b)| (*a - *b).abs() < 0.15)
         .count();
-    assert!(close * 10 >= truth.len() * 8, "{close}/{} weights recovered", truth.len());
+    assert!(
+        close * 10 >= truth.len() * 8,
+        "{close}/{} weights recovered",
+        truth.len()
+    );
 }
 
 #[test]
@@ -104,7 +116,13 @@ fn lrmf_full_pipeline() {
     assert_eq!(report.models.len(), 2);
     let l = report.model("L").unwrap();
     let r = report.model("R").unwrap();
-    let model = dana_ml::LrmfModel { l: l.to_vec(), r: r.to_vec(), rows: 60, cols: 45, rank: 8 };
+    let model = dana_ml::LrmfModel {
+        l: l.to_vec(),
+        r: r.to_vec(),
+        rows: 60,
+        cols: 45,
+        rank: 8,
+    };
     let rmse = metrics::lrmf_rmse(&model, &data);
     let before = metrics::lrmf_rmse(&dana_ml::LrmfModel::zeroed(60, 45, 8), &data);
     assert!(rmse < before * 0.5, "rmse {before:.3} -> {rmse:.3}");
@@ -138,7 +156,10 @@ fn convergence_condition_stops_training_early() {
     db.create_table("t", table.heap).unwrap();
     db.deploy_source(src, "convlin", "t").unwrap();
     let report = db.run_udf("convlin", "t").unwrap();
-    assert!(report.converged_early, "gradient should shrink below the threshold");
+    assert!(
+        report.converged_early,
+        "gradient should shrink below the threshold"
+    );
     assert!(report.epochs_run < 500, "ran {} epochs", report.epochs_run);
 }
 
@@ -177,7 +198,10 @@ fn page_sizes_8_16_32k_all_work() {
         let table = generate(&w, page_size, 30).unwrap();
         let mut db = Dana::new(
             FpgaSpec::vu9p(),
-            BufferPoolConfig { pool_bytes: 128 << 20, page_size },
+            BufferPoolConfig {
+                pool_bytes: 128 << 20,
+                page_size,
+            },
             DiskModel::ssd(),
         );
         db.create_table("t", table.heap).unwrap();

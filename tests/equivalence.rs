@@ -1,18 +1,24 @@
 //! Equivalence tests: the FPGA path must compute exactly what the software
-//! references compute, and the static estimators must match the
-//! cycle-accurate interpreters — the paper's "<5% of physical
-//! measurements" claim, held to 0% here because both sides share the
-//! static schedule.
+//! references compute, the streaming batch data path must compute exactly
+//! what the retained per-tuple reference path computes, and the static
+//! estimators must match the cycle-accurate interpreters — the paper's
+//! "<5% of physical measurements" claim, held to 0% here because both
+//! sides share the static schedule.
 
+use dana::prelude::*;
 use dana_compiler::{compile, CompileInput};
 use dana_engine::{ExecutionEngine, ModelStore};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::{train_reference, Algorithm, TrainConfig};
+use dana_storage::TupleBatch;
 use dana_strider::{AccessEngine, AccessEngineConfig};
 use dana_workloads::{generate, workload, Workload};
 
-fn compile_for(w: &Workload, table: &dana_workloads::GeneratedTable) -> dana_compiler::CompiledAccelerator {
+fn compile_for(
+    w: &Workload,
+    table: &dana_workloads::GeneratedTable,
+) -> dana_compiler::CompiledAccelerator {
     let spec = w.spec();
     let hdfg = translate(&spec);
     compile(&CompileInput {
@@ -25,7 +31,7 @@ fn compile_for(w: &Workload, table: &dana_workloads::GeneratedTable) -> dana_com
     .unwrap()
 }
 
-fn extract(table: &dana_workloads::GeneratedTable, striders: u32) -> Vec<Vec<f32>> {
+fn extract(table: &dana_workloads::GeneratedTable, striders: u32) -> TupleBatch {
     let engine = AccessEngine::for_table(
         *table.heap.layout(),
         table.heap.schema().clone(),
@@ -35,8 +41,8 @@ fn extract(table: &dana_workloads::GeneratedTable, striders: u32) -> Vec<Vec<f32
             dana_fpga::AxiLink::with_bandwidth(2.5e9),
         ),
     );
-    let (tuples, _) = engine.extract_heap(&table.heap).unwrap();
-    tuples.into_iter().map(|t| t.values).collect()
+    let (batch, _) = engine.extract_heap(&table.heap).unwrap();
+    batch
 }
 
 /// Strider extraction must equal CPU deforming byte-for-byte, for every
@@ -50,13 +56,47 @@ fn strider_extraction_equals_cpu_scan() {
             w.tuples = 2_000;
         }
         let table = generate(&w, 32 * 1024, 77).unwrap();
-        let strider_tuples = extract(&table, 4);
-        let cpu_tuples: Vec<Vec<f32>> = table
-            .heap
-            .scan()
-            .map(|t| t.values.iter().map(|d| d.as_f32()).collect())
-            .collect();
-        assert_eq!(strider_tuples, cpu_tuples, "{name}");
+        let strider_batch = extract(&table, 4);
+        let cpu_batch = table.heap.scan_batch().unwrap();
+        assert_eq!(strider_batch, cpu_batch, "{name}");
+    }
+}
+
+/// The streaming batch data path (pool → extract → engine, page by page)
+/// must train the bit-identical model to the retained per-tuple reference
+/// path (full-table `Vec<Vec<f32>>` materialization + the engine's rows
+/// interpreter), in every execution mode. This is the differential test
+/// holding the refactored hot path to the original data path's math.
+#[test]
+fn streaming_path_matches_reference_path_across_modes() {
+    for (name, scale) in [("Remote Sensing LR", 0.004), ("Patient", 0.01)] {
+        let mut w = workload(name).unwrap().scaled(scale);
+        w.epochs = 3;
+        w.merge_coef = 8;
+        let table = generate(&w, 32 * 1024, 123).unwrap();
+        let mut db = Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig {
+                pool_bytes: 256 << 20,
+                page_size: 32 * 1024,
+            },
+            DiskModel::ssd(),
+        );
+        db.create_table("t", table.heap).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = w.spec();
+        for mode in [
+            ExecutionMode::Strider,
+            ExecutionMode::CpuFed,
+            ExecutionMode::Tabla,
+        ] {
+            let streaming = db.train_with_spec(&spec, "t", mode).unwrap();
+            let reference = db.train_with_spec_reference(&spec, "t", mode).unwrap();
+            assert_eq!(
+                streaming.models, reference,
+                "{name}: {mode:?} batch path diverged from per-tuple reference"
+            );
+        }
     }
 }
 
@@ -81,7 +121,7 @@ fn engine_model_matches_reference_dense() {
         let acc = compile_for(&w, &table);
         let engine = ExecutionEngine::new(acc.design.clone()).unwrap();
         let mut store = ModelStore::new(&acc.design, vec![vec![0.0; 24]]).unwrap();
-        engine.run_training(&tuples, &mut store).unwrap();
+        engine.run_training_batch(&tuples, &mut store).unwrap();
 
         // Reference path: identical semantics (batch = threads? no — batch
         // follows the merge coefficient *and* thread count; the engine
@@ -117,21 +157,20 @@ fn perf_estimator_matches_interpreter() {
     w.features = 32;
     w.epochs = 1;
     w.merge_coef = 8;
-    let mut table = generate(&w, 32 * 1024, 99).unwrap();
+    let table = generate(&w, 32 * 1024, 99).unwrap();
     // Trim to a multiple of the thread count for exact agreement.
     let tuples_all = extract(&table, 2);
     let acc = compile_for(&w, &table);
     let threads = acc.design.num_threads as usize;
     let n = (tuples_all.len() / threads) * threads;
-    let tuples = &tuples_all[..n];
+    let tuples = TupleBatch::from_rows(tuples_all.width(), tuples_all.rows().take(n));
 
     let engine = ExecutionEngine::new(acc.design.clone()).unwrap();
     let mut store = ModelStore::new(&acc.design, vec![vec![0.0; 32]]).unwrap();
-    let stats = engine.run_training(tuples, &mut store).unwrap();
+    let stats = engine.run_training_batch(&tuples, &mut store).unwrap();
     let batches = (n / threads) as u64;
     let estimate = batches * engine.estimated_batch_cycles(threads);
     assert_eq!(stats.cycles, estimate, "estimator must be cycle-exact");
-    let _ = &mut table;
 }
 
 /// LRMF through the engine reduces RMSE like the reference does (exact
@@ -156,7 +195,7 @@ fn engine_lrmf_converges_like_reference() {
         .map(|m| dana_ml::default_lrmf_init(m.elements()))
         .collect();
     let mut store = ModelStore::new(&acc.design, init).unwrap();
-    engine.run_training(&tuples, &mut store).unwrap();
+    engine.run_training_batch(&tuples, &mut store).unwrap();
     let engine_model = dana_ml::LrmfModel {
         l: store.model(0).to_vec(),
         r: store.model(1).to_vec(),

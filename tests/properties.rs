@@ -62,9 +62,9 @@ proptest! {
         let (tuples, stats) = engine.extract_heap(&heap).unwrap();
         prop_assert_eq!(tuples.len(), n);
         prop_assert_eq!(stats.tuples, n as u64);
-        for (ext, cpu) in tuples.iter().zip(heap.scan()) {
+        for (ext, cpu) in tuples.rows().zip(heap.scan()) {
             let vals: Vec<f32> = cpu.values.iter().map(|v| v.as_f32()).collect();
-            prop_assert_eq!(&ext.values, &vals);
+            prop_assert_eq!(ext, &vals[..]);
         }
     }
 

@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the bench targets use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::default()`,
+//! `sample_size`, `bench_function`, `benchmark_group`) with a simple
+//! calibrated wall-clock loop: each benchmark is warmed up, then timed for
+//! a fixed budget, and the mean time per iteration is printed. No
+//! statistics, plots, or saved baselines — compare runs by the printed
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bench driver. `sample_size` scales the measurement budget so the knob
+/// keeps meaning something: more samples, longer measurement.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: Duration::from_millis(5 * self.sample_size as u64),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks (prefixes the group name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (page faults, lazy init).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e9 {
+            (per_iter / 1e9, "s")
+        } else if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!(
+            "{name:<50} {value:>10.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

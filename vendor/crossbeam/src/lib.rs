@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`, covering only `crossbeam::thread`
+//! scoped threads — a thin adapter over `std::thread::scope` (std has had
+//! scoped threads since 1.63) with crossbeam's `Result`-returning surface.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Panic payload of a scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Token passed to `spawn` closures. crossbeam passes a nested scope
+    /// handle here; this stub does not support nested spawns, which no
+    /// in-tree caller uses.
+    pub struct NestedScope;
+
+    /// Scope handle: spawn threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, a panicking child propagates its panic
+    /// through the scope (so `Err` is never actually produced) — callers
+    /// here only `.expect()` the result, which behaves identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sums: Vec<i32> = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

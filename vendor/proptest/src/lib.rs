@@ -1,0 +1,157 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the surface `tests/properties.rs` uses: the `proptest!` macro
+//! with `arg in strategy` bindings, range/bool/vec/select strategies, and
+//! the `prop_assert*` / `prop_assume!` macros. Each test runs a fixed
+//! number of deterministic cases seeded from the test's name — no
+//! shrinking, no failure persistence.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform, SeedableRng};
+
+/// Cases per property. Upstream defaults to 256; 64 keeps the heavier
+/// heap-building properties quick while still varying every parameter.
+pub const CASES: u32 = 64;
+
+/// Deterministic per-test RNG, seeded from the test name.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut seed = 0xDA7A_5EEDu64;
+    for b in name.bytes() {
+        seed = seed.rotate_left(8) ^ u64::from(b) ^ seed.wrapping_mul(31);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// `any::<T>()` — full-domain strategy for simple types.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.random_range(0u32..2) == 1
+    }
+}
+
+/// Element-count specification for collection strategies: a fixed size or
+/// a half-open range.
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange(r)
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    pub struct Select<T>(Vec<T>);
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0[rng.random_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::test_rng(stringify!($name));
+                for _ in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)+
+                    // The body is inlined in the loop so `prop_assume!`'s
+                    // `continue` skips just this case.
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for `rand`, covering the surface the workload
+//! generators use: `StdRng::seed_from_u64` plus `random_range` over
+//! integer and float `Range`s. The generator is SplitMix64 — deterministic,
+//! well-mixed, and plenty for synthetic-dataset generation (this is NOT the
+//! real rand's ChaCha12 StdRng; seeded streams differ from upstream).
+
+use std::ops::Range;
+
+pub mod rngs {
+    /// Seeded deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> rngs::StdRng {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Types `random_range` can sample uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is negligible for the small spans used here.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(usize, u64, u32, u16, u8);
+
+macro_rules! uniform_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i64 - range.start as i64) as u64;
+                (range.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+uniform_signed!(i64 as u64, i32 as u32, i16 as u16, i8 as u8, isize as usize);
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+/// The sampling methods callers use (upstream rand's `Rng`; the in-tree
+/// code imports it as `RngExt`).
+pub trait RngExt {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.random_range(0usize..13);
+            assert_eq!(x, b.random_range(0usize..13));
+            assert!(x < 13);
+            let f = a.random_range(-0.5f32..0.5);
+            assert_eq!(f, b.random_range(-0.5f32..0.5));
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = rngs::StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the minimal surface this codebase uses: `#[derive(Serialize, Deserialize)]`
+//! on non-generic structs/enums and `serde_json::{to_string, from_str}`.
+//! Instead of serde's visitor-based data model, values round-trip through
+//! the [`json::Value`] tree. Representation choices (externally-tagged
+//! enums, structs as objects, newtype transparency) match real serde's JSON
+//! output so swapping the real crates back in is a manifest-only change.
+
+pub mod json;
+
+/// Serialization into the JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> json::Value;
+}
+
+/// Deserialization from the JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &json::Value) -> Result<Self, String>;
+}
+
+// Re-export the derives under the names `#[derive(serde::Serialize)]`
+// expects. (A trait and a derive macro may share a name: separate
+// namespaces.)
+pub use serde_derive::Deserialize;
+pub use serde_derive::Serialize;
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                let i = match v {
+                    json::Value::Int(i) => *i,
+                    json::Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(format!("expected integer, got {other:?}")),
+                };
+                <$t>::try_from(i).map_err(|_| {
+                    format!("integer {i} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                match v {
+                    json::Value::Float(f) => Ok(*f as $t),
+                    json::Value::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+/// Deserializing into `&'static str` leaks the string. Real serde cannot
+/// do this at all; in-tree it only occurs for FPGA device names, which are
+/// few and tiny, so the leak is bounded and acceptable for a test stub.
+impl Deserialize for &'static str {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            None => json::Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> json::Value {
+                json::Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                let arr = json::as_arr_of(v, LEN, "tuple")?;
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

@@ -1,0 +1,355 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde that round-trips through a JSON value tree
+//! (see `vendor/serde`). This proc-macro crate supplies the matching
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]`, covering the shapes
+//! this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and multi-field),
+//! * enums with unit, tuple, and struct variants,
+//!
+//! with serde's externally-tagged representation (`"Variant"` for unit
+//! variants, `{"Variant": payload}` otherwise). Generic types and
+//! `#[serde(...)]` attributes are not supported — none appear in-tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip a `pub(...)` restriction if present.
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                let kind = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Kind::Struct(Fields::Named(named_fields(g.stream())))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Kind::Struct(Fields::Tuple(count_top_level(g.stream())))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+                    other => panic!("derive: unsupported struct body for {name}: {other:?}"),
+                };
+                return Input { name, kind };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("derive: expected enum body for {name}, got {other:?}"),
+                };
+                return Input {
+                    name,
+                    kind: Kind::Enum(variants(body)),
+                };
+            }
+            Some(other) => panic!("derive: unexpected token {other}"),
+            None => panic!("derive: ran out of tokens before struct/enum keyword"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut impl Iterator<Item = TokenTree>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type {name} is not supported by the vendored serde stub");
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` nesting as
+/// opaque (proc-macro groups already hide `(...)`/`[...]`/`{...}` contents).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().map(Vec::is_empty).unwrap_or(false) {
+        out.pop();
+    }
+    out
+}
+
+fn count_top_level(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut it = field.into_iter().peekable();
+            loop {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        it.next();
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            it.next();
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) => return id.to_string(),
+                    other => panic!("derive: malformed named field: {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|var| {
+            let mut it = var.into_iter().peekable();
+            let name = loop {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        it.next();
+                    }
+                    Some(TokenTree::Ident(id)) => break id.to_string(),
+                    other => panic!("derive: malformed enum variant: {other:?}"),
+                }
+            };
+            let fields = match it.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level(g.stream()))
+                }
+                // `Variant = 3` — explicit discriminant on a unit variant;
+                // serde serializes it by name, so the value is irrelevant.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => Fields::Unit,
+                other => panic!("derive: malformed variant body: {other:?}"),
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "serde::json::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::json::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::json::Value::Obj(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(vars) => {
+            let arms: Vec<String> = vars
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => serde::json::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::json::tagged(\"{v}\", serde::Serialize::to_value(f0)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::json::tagged(\"{v}\", serde::json::Value::Arr(vec![{}])),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::json::tagged(\"{v}\", serde::json::Value::Obj(vec![{}])),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::json::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = serde::json::as_arr_of(v, {n}, \"{name}\")?;\n    Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::json::field(obj, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = serde::json::as_obj(v, \"{name}\")?;\n    Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(vars) => {
+            let unit_arms: Vec<String> = vars
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = vars
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let arr = serde::json::as_arr_of(payload, {n}, \"{name}::{v}\")?; Ok({name}::{v}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(serde::json::field(obj, \"{f}\", \"{name}::{v}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let obj = serde::json::as_obj(payload, \"{name}::{v}\")?; Ok({name}::{v} {{ {} }}) }}",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   serde::json::Value::Str(s) => match s.as_str() {{\n\
+                     {unit}\n\
+                     other => Err(format!(\"unknown {name} variant '{{other}}'\")),\n\
+                   }},\n\
+                   _ => {{\n\
+                     let (tag, payload) = serde::json::variant(v, \"{name}\")?;\n\
+                     match tag {{\n\
+                       {tagged}\n\
+                       other => Err(format!(\"unknown {name} variant '{{other}}'\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::json::Value) -> Result<Self, String> {{\n    {body}\n  }}\n}}"
+    )
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_json`: `to_string` / `from_str` over the
+//! vendored serde's [`serde::json::Value`] tree.
+
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s).map_err(Error)?;
+    T::from_value(&v).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Vec<Option<f32>> = vec![Some(1.5), None, Some(-3.0)];
+        let s = to_string(&v).unwrap();
+        let back: Vec<Option<f32>> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+
+        let pairs: Vec<(u64, String)> = vec![(1 << 21, "a \"quoted\"\nline".into())];
+        let back: Vec<(u64, String)> = from_str(&to_string(&pairs).unwrap()).unwrap();
+        assert_eq!(pairs, back);
+    }
+}
