@@ -14,6 +14,12 @@ pub enum DanaError {
     Query(String),
     /// Catalog blob corruption (deserialize failure).
     Blob(String),
+    /// The accelerator's backing table has been dropped; its Strider
+    /// program walks a page layout that no longer exists.
+    StaleAccelerator {
+        udf: String,
+        dropped_table: String,
+    },
 }
 
 impl fmt::Display for DanaError {
@@ -26,6 +32,10 @@ impl fmt::Display for DanaError {
             DanaError::Strider(e) => write!(f, "strider: {e}"),
             DanaError::Query(msg) => write!(f, "query: {msg}"),
             DanaError::Blob(msg) => write!(f, "catalog blob: {msg}"),
+            DanaError::StaleAccelerator { udf, dropped_table } => write!(
+                f,
+                "accelerator '{udf}' is stale: its table '{dropped_table}' was dropped"
+            ),
         }
     }
 }
@@ -76,5 +86,11 @@ mod tests {
         assert!(e.to_string().contains("dsl"));
         let e = DanaError::Query("bad".into());
         assert!(e.to_string().contains("query"));
+        let e = DanaError::StaleAccelerator {
+            udf: "linearR".into(),
+            dropped_table: "t".into(),
+        };
+        assert!(e.to_string().contains("stale"));
+        assert!(e.to_string().contains("linearR"));
     }
 }

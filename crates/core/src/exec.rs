@@ -1,0 +1,234 @@
+//! Shared execution machinery: everything the query path needs that is the
+//! same whether one query runs at a time (the [`crate::Dana`] facade) or
+//! many run concurrently (the `dana-server` serving tier).
+//!
+//! The split follows the concurrency refactor: [`crate::Dana`] used to own
+//! catalog-blob codecs, access-engine construction, and the cost-model
+//! composition privately. A concurrent server cannot borrow a `&mut Dana`
+//! per query, so those pieces live here as free functions over *immutable*
+//! inputs — a per-query execution context is just (design, budget, heap,
+//! FPGA/CPU/disk models) plus the run's measured stats, and
+//! [`assemble_report`] is a pure function of them. Bit-identical results
+//! between the serial and concurrent paths fall out of that purity.
+
+use dana_compiler::{CompiledAccelerator, PerfEstimate};
+use dana_engine::{EngineDesign, EngineStats, ModelStore};
+use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
+use dana_ml::CpuModel;
+use dana_storage::{DiskModel, HeapFile};
+use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
+
+use crate::error::{DanaError, DanaResult};
+use crate::report::{DanaReport, DanaTiming, Seconds};
+use crate::runtime::{compose, EpochCosts, ExecutionMode};
+
+/// Per-tuple CPU→FPGA handshake cost in the Strider-less ablation
+/// ("significant overhead due to the handshaking between CPU and FPGA",
+/// §5.1.1).
+pub const CPU_FEED_HANDSHAKE_S: f64 = 0.35e-6;
+
+/// Catalog payload: everything the query path needs to reconstruct the
+/// accelerator (stored as the `design_blob` JSON in the RDBMS catalog).
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ArtifactBlob {
+    pub design: EngineDesign,
+    pub budget: ResourceBudget,
+    pub estimate: PerfEstimate,
+}
+
+impl ArtifactBlob {
+    pub fn from_compiled(acc: &CompiledAccelerator) -> ArtifactBlob {
+        ArtifactBlob {
+            design: acc.design.clone(),
+            budget: acc.budget,
+            estimate: acc.estimate,
+        }
+    }
+
+    /// Serializes for catalog storage.
+    pub fn encode(&self) -> DanaResult<String> {
+        serde_json::to_string(self).map_err(|e| DanaError::Blob(e.to_string()))
+    }
+
+    /// Reconstructs the accelerator from a catalog `design_blob`.
+    pub fn decode(blob: &str) -> DanaResult<ArtifactBlob> {
+        serde_json::from_str(blob).map_err(|e| DanaError::Blob(e.to_string()))
+    }
+}
+
+/// Initial model values: zeros for broadcast (dense) models, the shared
+/// deterministic LRMF initialization for row-indexed factors.
+pub fn initial_models(design: &EngineDesign) -> Vec<Vec<f32>> {
+    design
+        .models
+        .iter()
+        .map(|m| {
+            if m.broadcast_slots.is_some() {
+                vec![0.0; m.elements()]
+            } else {
+                dana_ml::default_lrmf_init(m.elements())
+            }
+        })
+        .collect()
+}
+
+/// Builds the access engine (Striders + AXI front end) for one query over
+/// `heap` on an accelerator instance described by `fpga`.
+pub fn access_engine_for(heap: &HeapFile, budget: ResourceBudget, fpga: &FpgaSpec) -> AccessEngine {
+    let axi = AxiLink::with_bandwidth(fpga.axi_bandwidth);
+    AccessEngine::for_table(
+        *heap.layout(),
+        heap.schema().clone(),
+        AccessEngineConfig::new(budget.num_page_buffers.max(1), fpga.clock, axi),
+    )
+}
+
+/// Everything one training run measured, handed to [`assemble_report`].
+pub struct RunArtifacts {
+    pub engine_stats: EngineStats,
+    pub access_stats: AccessStats,
+    /// Simulated disk seconds charged by the first (cold-ish) scan.
+    pub io_first: Seconds,
+}
+
+/// Composes a finished run's stats into the end-to-end [`DanaReport`] via
+/// the pipeline-overlap cost model — pure function, shared verbatim by the
+/// single-query facade and every server worker.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_report(
+    mode: ExecutionMode,
+    design: &EngineDesign,
+    budget: ResourceBudget,
+    fpga: &FpgaSpec,
+    cpu: &CpuModel,
+    disk: &DiskModel,
+    pool_frames: usize,
+    heap: &HeapFile,
+    run: RunArtifacts,
+    store: ModelStore,
+) -> DanaReport {
+    let RunArtifacts {
+        engine_stats: stats,
+        access_stats,
+        io_first,
+    } = run;
+    let epochs = stats.epochs_run.max(1);
+    let clock = fpga.clock;
+    let page_size = heap.layout().page_size;
+    let missing_later = heap.page_count().saturating_sub(pool_frames as u32) as f64;
+    let width = heap.schema().len();
+    let tuple_bytes = heap.layout().tuple_bytes;
+    let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
+    let axi = AxiLink::with_bandwidth(fpga.axi_bandwidth);
+    let costs = EpochCosts {
+        io_first,
+        io_later: missing_later * disk.read_time(page_size as u64),
+        axi: access_stats.axi_seconds,
+        strider: clock.to_seconds(
+            access_stats
+                .strider_cycles
+                .div_ceil(budget.num_page_buffers.max(1) as u64),
+        ),
+        engine: stats.cycles as f64 / epochs as f64 / clock.hz,
+        cpu_feed: access_stats.tuples as f64
+            * (tuple_bytes as f64 * cpu.deform_s_per_byte
+                + width as f64 * cpu.conv_s_per_value
+                + CPU_FEED_HANDSHAKE_S)
+            + float_bytes / fpga.axi_bandwidth,
+        fill: axi.burst_time(page_size as u64),
+    };
+    let timing: DanaTiming = compose(mode, epochs, &costs);
+
+    let model_names = design.models.iter().map(|m| m.name.clone()).collect();
+    DanaReport {
+        models: store.into_values(),
+        model_names,
+        epochs_run: stats.epochs_run,
+        converged_early: stats.converged_early,
+        num_threads: design.num_threads,
+        timing,
+        engine: stats,
+        access: access_stats,
+    }
+}
+
+/// Coarse run-time prediction from the *deploy-time* estimate alone — the
+/// shortest-job-first scheduler's ordering key. It deliberately prices only
+/// the engine compute (the dominant, workload-proportional term); ties in
+/// I/O or extraction do not change the SJF order in practice.
+pub fn estimate_seconds(estimate: &PerfEstimate, max_epochs: u32, fpga: &FpgaSpec) -> Seconds {
+    fpga.clock.to_seconds(
+        estimate
+            .epoch_engine_cycles
+            .saturating_mul(max_epochs.max(1) as u64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_round_trip_preserves_estimate() {
+        let estimate = PerfEstimate {
+            epoch_engine_cycles: 1000,
+            strider_cycles_per_page: 50,
+            per_tuple_cycles: 7,
+            post_merge_cycles: 3,
+        };
+        let budget = ResourceBudget {
+            data_model_bytes: 1024,
+            page_buffer_bytes: 64 * 1024,
+            num_page_buffers: 2,
+            num_aus: 16,
+            num_acs: 2,
+            num_threads: 2,
+        };
+        let blob = ArtifactBlob {
+            design: test_design(),
+            budget,
+            estimate,
+        };
+        let decoded = ArtifactBlob::decode(&blob.encode().unwrap()).unwrap();
+        assert_eq!(decoded.estimate.epoch_engine_cycles, 1000);
+        assert_eq!(decoded.design, blob.design);
+        assert_eq!(decoded.budget, budget);
+        // Corrupt blobs surface as typed errors, not panics.
+        assert!(ArtifactBlob::decode("not json").is_err());
+    }
+
+    fn test_design() -> EngineDesign {
+        use dana_dsl::zoo::{linear_regression, DenseParams};
+        let spec = linear_regression(DenseParams {
+            n_features: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        dana_compiler::schedule_hdfg(
+            &dana_hdfg::translate(&spec),
+            dana_compiler::ScheduleParams {
+                num_threads: 2,
+                acs_per_thread: 1,
+                slots_per_au: 1024,
+                bus_lanes: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimate_seconds_scales_with_epochs() {
+        let e = PerfEstimate {
+            epoch_engine_cycles: 150_000_000, // one second at 150 MHz
+            strider_cycles_per_page: 0,
+            per_tuple_cycles: 0,
+            post_merge_cycles: 0,
+        };
+        let fpga = FpgaSpec::vu9p();
+        let one = estimate_seconds(&e, 1, &fpga);
+        let five = estimate_seconds(&e, 5, &fpga);
+        assert!((five / one - 5.0).abs() < 1e-9);
+        // Zero epochs clamps to one.
+        assert_eq!(estimate_seconds(&e, 0, &fpga), one);
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod analytic;
 pub mod error;
+pub mod exec;
 pub mod pipeline;
 pub mod query;
 pub mod report;
@@ -55,11 +56,12 @@ pub use analytic::{
     compile_workload, AnalyticTiming, SystemParams,
 };
 pub use error::{DanaError, DanaResult};
-pub use pipeline::{Dana, DeployInfo};
+pub use exec::{ArtifactBlob, RunArtifacts};
+pub use pipeline::{Dana, DeployInfo, DropSummary};
 pub use query::{parse_query, QueryCall};
 pub use report::{DanaReport, DanaTiming, QueryOutcome};
 pub use runtime::ExecutionMode;
-pub use source::{FeedKind, PageStreamSource};
+pub use source::{FeedKind, PageStreamSource, SharedPageStreamSource};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {

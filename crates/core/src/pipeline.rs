@@ -16,33 +16,32 @@ use dana_compiler::{
     compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
 };
 use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
-use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
+use dana_fpga::{FpgaSpec, ResourceBudget};
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
 use dana_storage::{
     AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
     Tuple,
 };
-use dana_strider::{disassemble, AccessEngine, AccessEngineConfig};
+use dana_strider::disassemble;
 
 use crate::error::{DanaError, DanaResult};
+use crate::exec::{self, ArtifactBlob, RunArtifacts};
 use crate::query::parse_query;
-use crate::report::{DanaReport, DanaTiming, QueryOutcome};
-use crate::runtime::{compose, EpochCosts, ExecutionMode};
+use crate::report::{DanaReport, QueryOutcome};
+use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
 
-/// Per-tuple CPU→FPGA handshake cost in the Strider-less ablation
-/// ("significant overhead due to the handshaking between CPU and FPGA",
-/// §5.1.1).
-pub const CPU_FEED_HANDSHAKE_S: f64 = 0.35e-6;
+pub use crate::exec::CPU_FEED_HANDSHAKE_S;
 
-/// Catalog payload: everything the query path needs to reconstruct the
-/// accelerator (stored as the `design_blob` JSON).
-#[derive(serde::Serialize, serde::Deserialize)]
-struct CatalogBlob {
-    design: EngineDesign,
-    budget: ResourceBudget,
-    estimate: PerfEstimate,
+/// What `drop_table` reports back: everything the drop cleaned up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropSummary {
+    pub table: String,
+    /// Buffer-pool pages of the dropped heap that were evicted.
+    pub pages_evicted: usize,
+    /// Accelerators compiled against the table, now marked stale.
+    pub invalidated_udfs: Vec<String>,
 }
 
 /// What `deploy` reports back to the data scientist.
@@ -106,6 +105,23 @@ impl Dana {
         Ok(self.catalog.create_table(name, heap)?)
     }
 
+    /// Drops a table: removes it from the catalog, evicts its pages from
+    /// the buffer pool (a dropped table must not keep frames resident),
+    /// and marks every accelerator compiled against it stale.
+    pub fn drop_table(&mut self, name: &str) -> DanaResult<DropSummary> {
+        // Evict before touching the catalog so a pinned-page refusal
+        // leaves the table fully intact.
+        let heap_id = self.catalog.table(name)?.heap_id;
+        let pages_evicted = self.pool.evict_heap(heap_id)?;
+        self.catalog.drop_table(name)?;
+        let invalidated_udfs = self.catalog.invalidate_accelerators_for(name);
+        Ok(DropSummary {
+            table: name.to_string(),
+            pages_evicted,
+            invalidated_udfs,
+        })
+    }
+
     /// Warm-cache setup: loads the table into the buffer pool without
     /// charging query I/O.
     pub fn prewarm(&mut self, table: &str) -> DanaResult<usize> {
@@ -127,23 +143,20 @@ impl Dana {
     /// catalog under the UDF's name.
     pub fn deploy(&mut self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
         let acc = self.compile_for(spec, table, None)?;
-        let blob = CatalogBlob {
-            design: acc.design.clone(),
-            budget: acc.budget,
-            estimate: acc.estimate,
-        };
+        let blob = ArtifactBlob::from_compiled(&acc);
         let words = dana_strider::isa::encode_program(&acc.strider_program)?;
         self.catalog.deploy_accelerator(AcceleratorEntry {
             udf_name: spec.name.clone(),
             strider_program: words,
-            design_blob: serde_json::to_string(&blob)
-                .map_err(|e| DanaError::Blob(e.to_string()))?,
+            design_blob: blob.encode()?,
             merge_coef: spec.merge_coef(),
             num_threads: acc.design.num_threads as u32,
             description: format!(
                 "{} threads × {} ACs, {} Striders",
                 acc.design.num_threads, acc.design.acs_per_thread, acc.budget.num_page_buffers
             ),
+            bound_table: table.to_string(),
+            stale: false,
         });
         Ok(DeployInfo {
             udf_name: spec.name.clone(),
@@ -181,8 +194,16 @@ impl Dana {
     /// Runs a deployed accelerator by UDF name (full-Strider mode).
     pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
-        let blob: CatalogBlob =
-            serde_json::from_str(&entry.design_blob).map_err(|e| DanaError::Blob(e.to_string()))?;
+        if entry.stale {
+            // The accelerator's Strider program walks a page layout whose
+            // table has been dropped — refuse with a typed error instead
+            // of letting the lookup dangle into `UnknownHeap`.
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let blob = ArtifactBlob::decode(&entry.design_blob)?;
         // Exercise the catalog round trip: the stored Strider words must
         // decode back into a program.
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
@@ -245,19 +266,14 @@ impl Dana {
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let pool = &mut self.pool;
-        let axi = AxiLink::with_bandwidth(self.fpga.axi_bandwidth);
-        let access = AccessEngine::for_table(
-            *heap.layout(),
-            heap.schema().clone(),
-            AccessEngineConfig::new(budget.num_page_buffers.max(1), self.fpga.clock, axi),
-        );
+        let access = exec::access_engine_for(heap, budget, &self.fpga);
 
         // ---- compute path, fed by the streaming data path ---------------
         // The engine pulls flat batches page-by-page out of the buffer
         // pool: fetch → extract (Striders or CPU, per mode) → train
         // interleave with no full-table materialization (Fig. 2).
         let engine = ExecutionEngine::new(design.clone())?;
-        let mut store = ModelStore::new(design, initial_models(design))?;
+        let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let io_before = pool.stats().io_seconds;
         let feed = if mode.uses_striders() {
             FeedKind::Strider
@@ -269,46 +285,24 @@ impl Dana {
         let access_stats = source.into_stats();
         let io_first = pool.stats().io_seconds - io_before;
 
-        // ---- timing composition ------------------------------------------
-        let epochs = stats.epochs_run.max(1);
-        let clock = self.fpga.clock;
-        let page_size = heap.layout().page_size;
-        let missing_later = heap
-            .page_count()
-            .saturating_sub(pool.config().frames() as u32) as f64;
-        let width = heap.schema().len();
-        let tuple_bytes = heap.layout().tuple_bytes;
-        let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
-        let costs = EpochCosts {
-            io_first,
-            io_later: missing_later * self.disk.read_time(page_size as u64),
-            axi: access_stats.axi_seconds,
-            strider: clock.to_seconds(
-                access_stats
-                    .strider_cycles
-                    .div_ceil(budget.num_page_buffers.max(1) as u64),
-            ),
-            engine: stats.cycles as f64 / epochs as f64 / clock.hz,
-            cpu_feed: access_stats.tuples as f64
-                * (tuple_bytes as f64 * self.cpu.deform_s_per_byte
-                    + width as f64 * self.cpu.conv_s_per_value
-                    + CPU_FEED_HANDSHAKE_S)
-                + float_bytes / self.fpga.axi_bandwidth,
-            fill: axi.burst_time(page_size as u64),
-        };
-        let timing: DanaTiming = compose(mode, epochs, &costs);
-
-        let model_names = design.models.iter().map(|m| m.name.clone()).collect();
-        Ok(DanaReport {
-            models: store.into_values(),
-            model_names,
-            epochs_run: stats.epochs_run,
-            converged_early: stats.converged_early,
-            num_threads: design.num_threads,
-            timing,
-            engine: stats,
-            access: access_stats,
-        })
+        // ---- timing composition (shared with the serving tier) -----------
+        let pool_frames = pool.config().frames();
+        Ok(exec::assemble_report(
+            mode,
+            design,
+            budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            pool_frames,
+            heap,
+            RunArtifacts {
+                engine_stats: stats,
+                access_stats,
+                io_first,
+            },
+            store,
+        ))
     }
 
     /// Reference data path, retained for differential testing: compiles
@@ -332,12 +326,7 @@ impl Dana {
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let pool = &mut self.pool;
-        let axi = AxiLink::with_bandwidth(self.fpga.axi_bandwidth);
-        let access = AccessEngine::for_table(
-            *heap.layout(),
-            heap.schema().clone(),
-            AccessEngineConfig::new(acc.budget.num_page_buffers.max(1), self.fpga.clock, axi),
-        );
+        let access = exec::access_engine_for(heap, acc.budget, &self.fpga);
 
         // Full-table materialization: one heap allocation per tuple.
         let mut tuples: Vec<Vec<f32>> = Vec::with_capacity(heap.tuple_count() as usize);
@@ -358,26 +347,10 @@ impl Dana {
         }
 
         let engine = ExecutionEngine::new(acc.design.clone())?;
-        let mut store = ModelStore::new(&acc.design, initial_models(&acc.design))?;
+        let mut store = ModelStore::new(&acc.design, exec::initial_models(&acc.design))?;
         engine.run_training_rows(&tuples, &mut store)?;
         Ok(store.into_values())
     }
-}
-
-/// Initial model values: zeros for broadcast (dense) models, the shared
-/// deterministic LRMF initialization for row-indexed factors.
-fn initial_models(design: &EngineDesign) -> Vec<Vec<f32>> {
-    design
-        .models
-        .iter()
-        .map(|m| {
-            if m.broadcast_slots.is_some() {
-                vec![0.0; m.elements()]
-            } else {
-                dana_ml::default_lrmf_init(m.elements())
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -524,6 +497,61 @@ mod tests {
         assert_eq!(tabla.num_threads, 1);
         assert!(tabla.engine.cycles > dana.engine.cycles);
         assert!(tabla.timing.total_seconds > dana.timing.total_seconds);
+    }
+
+    #[test]
+    fn drop_table_evicts_pages_and_invalidates_accelerators() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(500, 8)).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+        assert!(db.pool_stats().hits + db.pool_stats().misses == 0);
+
+        let summary = db.drop_table("t").unwrap();
+        assert_eq!(summary.table, "t");
+        assert!(summary.pages_evicted > 0, "prewarmed pages must be evicted");
+        assert_eq!(summary.invalidated_udfs, vec!["linearR".to_string()]);
+
+        // The stale accelerator refuses with a typed error — never a
+        // dangling UnknownHeap.
+        match db.run_udf("linearR", "t") {
+            Err(DanaError::StaleAccelerator { udf, dropped_table }) => {
+                assert_eq!(udf, "linearR");
+                assert_eq!(dropped_table, "t");
+            }
+            other => panic!("expected StaleAccelerator, got {other:?}"),
+        }
+        // Dropping again is a typed unknown-table error.
+        assert!(matches!(
+            db.drop_table("t"),
+            Err(DanaError::Storage(
+                dana_storage::StorageError::UnknownTable(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn redeploy_after_drop_revives_udf() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(300, 8)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db.drop_table("t").unwrap();
+        assert!(db.run_udf("linearR", "t").is_err());
+
+        // Re-create the table and redeploy: the UDF name works again.
+        db.create_table("t", linreg_heap(300, 8)).unwrap();
+        db.deploy(&spec, "t").unwrap();
+        assert!(db.run_udf("linearR", "t").is_ok());
     }
 
     #[test]

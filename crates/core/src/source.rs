@@ -19,9 +19,12 @@
 //! while the functional replay stays cheap and deterministic.
 
 use dana_storage::{
-    BufferPool, DiskModel, HeapFile, HeapId, PageId, PageView, SourceError, TupleBatch, TupleSource,
+    BufferPool, DiskModel, HeapFile, HeapId, PageId, PageView, SharedBufferPool, SourceError,
+    TupleBatch, TupleSource,
 };
 use dana_strider::{AccessEngine, AccessStats};
+
+use crate::report::Seconds;
 
 /// How raw page bytes become engine-native f32 rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,133 @@ impl TupleSource for PageStreamSource<'_> {
     fn next_batch(&mut self) -> Result<Option<&TupleBatch>, SourceError> {
         if self.scan_done {
             // Epoch replay from the extraction cache.
+            if self.replay >= self.cache.len() {
+                return Ok(None);
+            }
+            self.replay += 1;
+            return Ok(Some(&self.cache[self.replay - 1]));
+        }
+        if self.next_page >= self.heap.page_count() {
+            self.scan_done = true;
+            self.replay = self.cache.len();
+            return Ok(None);
+        }
+        let page_no = self.next_page;
+        self.next_page += 1;
+        self.extract_next_page(page_no)?;
+        Ok(Some(self.cache.last().expect("page just extracted")))
+    }
+
+    fn rewind(&mut self) -> Result<(), SourceError> {
+        // A mid-scan rewind must still visit every page exactly once so
+        // the access stats describe one full extraction pass.
+        while !self.scan_done {
+            if self.next_batch()?.is_none() {
+                break;
+            }
+        }
+        self.replay = 0;
+        Ok(())
+    }
+
+    fn tuple_count_hint(&self) -> Option<u64> {
+        Some(self.heap.tuple_count())
+    }
+}
+
+/// The concurrent twin of [`PageStreamSource`]: streams a table out of a
+/// [`SharedBufferPool`] through `&self` fetches, so many queries can scan
+/// simultaneously. Page bytes come back as `Arc<[u8]>` images; each is
+/// held only for the duration of its extraction, so the source never pins
+/// a frame across engine compute.
+///
+/// Because the shared pool's statistics aggregate *every* concurrent
+/// query, this source meters its own simulated I/O: the per-query
+/// `io_seconds` it accumulates is exactly what [`PageStreamSource`] would
+/// have read off a private pool's stats delta. Extraction math and batch
+/// boundaries are identical, which is what keeps concurrent results
+/// bit-identical to the single-threaded path.
+pub struct SharedPageStreamSource<'a> {
+    pool: &'a SharedBufferPool,
+    disk: &'a DiskModel,
+    heap: &'a HeapFile,
+    heap_id: HeapId,
+    access: &'a AccessEngine,
+    feed: FeedKind,
+    next_page: u32,
+    scan_done: bool,
+    replay: usize,
+    cache: Vec<TupleBatch>,
+    stats: AccessStats,
+    io_seconds: Seconds,
+}
+
+impl<'a> SharedPageStreamSource<'a> {
+    pub fn new(
+        pool: &'a SharedBufferPool,
+        disk: &'a DiskModel,
+        heap: &'a HeapFile,
+        heap_id: HeapId,
+        access: &'a AccessEngine,
+        feed: FeedKind,
+    ) -> SharedPageStreamSource<'a> {
+        SharedPageStreamSource {
+            pool,
+            disk,
+            heap,
+            heap_id,
+            access,
+            feed,
+            next_page: 0,
+            scan_done: false,
+            replay: 0,
+            cache: Vec::with_capacity(heap.page_count() as usize),
+            stats: AccessStats::default(),
+            io_seconds: 0.0,
+        }
+    }
+
+    /// Extraction-pass counters plus the simulated disk seconds this
+    /// query's first scan was charged.
+    pub fn into_stats(self) -> (AccessStats, Seconds) {
+        let mut stats = self.stats;
+        self.access.finish_stats(&mut stats);
+        (stats, self.io_seconds)
+    }
+
+    fn extract_next_page(&mut self, page_no: u32) -> Result<(), SourceError> {
+        let (bytes, io) =
+            self.pool
+                .fetch(PageId::new(self.heap_id, page_no), self.heap, self.disk)?;
+        self.io_seconds += io;
+        let width = self.heap.schema().len();
+        let mut batch = TupleBatch::with_capacity(width, self.heap.layout().capacity as usize);
+        match self.feed {
+            FeedKind::Strider => self
+                .access
+                .extract_page_into(&bytes, &mut batch)
+                .map(|cycles| self.stats.strider_cycles += cycles)
+                .map_err(|e| SourceError(e.to_string()))?,
+            FeedKind::Cpu => PageView::new(&bytes, *self.heap.layout())
+                .and_then(|view| view.deform_all_into(self.heap.schema(), &mut batch))
+                .map_err(SourceError::from)?,
+        };
+        // `bytes` drops here, releasing the frame hold — errors included,
+        // so a corrupt page cannot leak a held frame.
+        self.stats.pages += 1;
+        self.stats.tuples += batch.len() as u64;
+        self.cache.push(batch);
+        Ok(())
+    }
+}
+
+impl TupleSource for SharedPageStreamSource<'_> {
+    fn width(&self) -> usize {
+        self.heap.schema().len()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&TupleBatch>, SourceError> {
+        if self.scan_done {
             if self.replay >= self.cache.len() {
                 return Ok(None);
             }

@@ -1,0 +1,276 @@
+//! The accelerator pool: N independent FPGA instances behind a lease
+//! scheduler.
+//!
+//! The paper deploys *one* accelerator per query; a serving tier
+//! multiplexes many concurrent queries over a fixed pool of FPGA cards
+//! (each a full Strider + execution-engine machine of the same
+//! [`dana_fpga::FpgaSpec`]). Workers lease an instance, run the admitted
+//! query on it, and release it with the query's **simulated** runtime.
+//!
+//! Because all end-to-end timing in this reproduction is analytic, the
+//! pool also plays simulated-time list scheduler: each instance carries a
+//! busy clock, a lease picks the least-loaded free instance, and releasing
+//! advances that instance's clock by the query's simulated seconds. For a
+//! batch of queries all submitted up front this computes exactly the
+//! greedy list-scheduling makespan — the number the throughput benchmark
+//! compares against serial back-to-back execution.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Simulated seconds (matches `dana::report::Seconds`).
+pub type Seconds = f64;
+
+struct PoolState {
+    /// Free instance ids.
+    free: Vec<usize>,
+    /// Accumulated simulated busy seconds per instance.
+    busy_seconds: Vec<Seconds>,
+    /// Leases granted per instance.
+    leases: Vec<u64>,
+    closed: bool,
+}
+
+/// A pool of `n` identical accelerator instances.
+pub struct AcceleratorPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// Exclusive use of one instance. Release with the query's simulated
+/// runtime; dropping without releasing returns the instance free of
+/// charge (the panic path).
+pub struct Lease<'a> {
+    pool: &'a AcceleratorPool,
+    id: usize,
+    released: bool,
+}
+
+impl Lease<'_> {
+    /// Which instance this lease holds.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Returns the instance, charging `sim_seconds` of simulated busy time
+    /// to its clock.
+    pub fn release(mut self, sim_seconds: Seconds) {
+        self.released = true;
+        self.pool.give_back(self.id, sim_seconds.max(0.0));
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.pool.give_back(self.id, 0.0);
+        }
+    }
+}
+
+/// Utilization snapshot: the pool's simulated schedule so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolUtilization {
+    /// Simulated busy seconds per instance.
+    pub busy_seconds: Vec<Seconds>,
+    /// Leases granted per instance.
+    pub leases: Vec<u64>,
+}
+
+impl PoolUtilization {
+    pub fn instances(&self) -> usize {
+        self.busy_seconds.len()
+    }
+
+    /// Total simulated work across all instances — what serial
+    /// back-to-back execution would take.
+    pub fn serial_seconds(&self) -> Seconds {
+        self.busy_seconds.iter().sum()
+    }
+
+    /// Simulated completion time of the pool's greedy schedule (the most
+    /// loaded instance finishes last).
+    pub fn makespan_seconds(&self) -> Seconds {
+        self.busy_seconds.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean instance utilization over the makespan, in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        let makespan = self.makespan_seconds();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.serial_seconds() / (self.instances() as f64 * makespan)
+    }
+
+    /// Throughput speedup over one-at-a-time execution of the same work.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        let makespan = self.makespan_seconds();
+        if makespan <= 0.0 {
+            return 1.0;
+        }
+        self.serial_seconds() / makespan
+    }
+}
+
+impl AcceleratorPool {
+    pub fn new(instances: usize) -> AcceleratorPool {
+        let n = instances.max(1);
+        AcceleratorPool {
+            state: Mutex::new(PoolState {
+                free: (0..n).rev().collect(),
+                busy_seconds: vec![0.0; n],
+                leases: vec![0; n],
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        self.lock().busy_seconds.len()
+    }
+
+    /// Blocks until an instance is free and leases the one with the least
+    /// simulated load (greedy list scheduling). Returns `None` once the
+    /// pool is closed.
+    pub fn lease(&self) -> Option<Lease<'_>> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return None;
+            }
+            if !st.free.is_empty() {
+                // Least-loaded free instance; ties break to the lowest id
+                // for determinism.
+                let (pos, _) = st
+                    .free
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let (la, lb) = (st.busy_seconds[**a], st.busy_seconds[**b]);
+                        la.partial_cmp(&lb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(b))
+                    })
+                    .expect("free list non-empty");
+                let id = st.free.swap_remove(pos);
+                st.leases[id] += 1;
+                return Some(Lease {
+                    pool: self,
+                    id,
+                    released: false,
+                });
+            }
+            st = match self.available.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn give_back(&self, id: usize, sim_seconds: Seconds) {
+        let mut st = self.lock();
+        st.busy_seconds[id] += sim_seconds;
+        st.free.push(id);
+        drop(st);
+        self.available.notify_one();
+    }
+
+    /// Closes the pool: pending and future `lease` calls return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    pub fn utilization(&self) -> PoolUtilization {
+        let st = self.lock();
+        PoolUtilization {
+            busy_seconds: st.busy_seconds.clone(),
+            leases: st.leases.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_pack_onto_least_loaded_instance() {
+        let pool = AcceleratorPool::new(2);
+        // Two jobs of unequal length, then two more: the greedy schedule
+        // puts the later jobs opposite the heavy one.
+        let l0 = pool.lease().unwrap();
+        let l1 = pool.lease().unwrap();
+        assert_ne!(l0.id(), l1.id());
+        let heavy = l0.id();
+        l0.release(10.0);
+        l1.release(1.0);
+        let l2 = pool.lease().unwrap();
+        assert_ne!(l2.id(), heavy, "next lease must avoid the loaded instance");
+        l2.release(1.0);
+
+        let u = pool.utilization();
+        assert_eq!(u.instances(), 2);
+        assert_eq!(u.serial_seconds(), 12.0);
+        assert_eq!(u.makespan_seconds(), 10.0);
+        assert!((u.speedup_vs_serial() - 1.2).abs() < 1e-12);
+        assert_eq!(u.leases.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn equal_jobs_reach_near_linear_speedup() {
+        let pool = AcceleratorPool::new(4);
+        for _ in 0..16 {
+            let lease = pool.lease().unwrap();
+            lease.release(1.0);
+        }
+        let u = pool.utilization();
+        assert_eq!(u.serial_seconds(), 16.0);
+        assert_eq!(u.makespan_seconds(), 4.0);
+        assert!((u.speedup_vs_serial() - 4.0).abs() < 1e-12);
+        assert!((u.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_lease_returns_instance_without_charge() {
+        let pool = AcceleratorPool::new(1);
+        {
+            let _lease = pool.lease().unwrap();
+            // Dropped without release (the panic path).
+        }
+        let again = pool.lease().expect("instance must come back");
+        again.release(2.0);
+        assert_eq!(pool.utilization().serial_seconds(), 2.0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_leases() {
+        let pool = std::sync::Arc::new(AcceleratorPool::new(1));
+        let held = pool.lease().unwrap();
+        let p2 = std::sync::Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || p2.lease().is_none());
+        // Give the waiter time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.close();
+        assert!(waiter.join().unwrap(), "blocked lease must see the close");
+        drop(held);
+        assert!(pool.lease().is_none(), "closed pool stays closed");
+    }
+
+    #[test]
+    fn empty_pool_utilization_is_safe() {
+        let pool = AcceleratorPool::new(3);
+        let u = pool.utilization();
+        assert_eq!(u.utilization(), 0.0);
+        assert_eq!(u.speedup_vs_serial(), 1.0);
+        assert_eq!(u.makespan_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Admission control and scheduling policy.
+//!
+//! Queries are not handed straight to workers: they pass an admission
+//! controller that (a) bounds the queue so an overload sheds load with a
+//! typed [`crate::ServerError::Overloaded`] instead of unbounded memory
+//! growth, and (b) orders dequeues by policy. FIFO is the fairness
+//! baseline; shortest-job-first uses the deploy-time cost estimate (the
+//! compiler's [`dana_compiler::PerfEstimate`] priced through the
+//! `DanaTiming` cost model by `dana::exec::estimate_seconds`) to let
+//! cheap interactive queries overtake long training jobs.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+
+use crate::error::{ServerError, ServerResult};
+use crate::server::{QueryRequest, ReplyResult};
+use crate::session::SessionId;
+
+/// Dequeue ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// First come, first served.
+    #[default]
+    Fifo,
+    /// Shortest (estimated) job first; FIFO among ties.
+    Sjf,
+}
+
+/// Admission controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum queries waiting for a worker; submissions beyond this are
+    /// refused with [`ServerError::Overloaded`].
+    pub max_queued: usize,
+    pub policy: SchedPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_queued: 1024,
+            policy: SchedPolicy::Fifo,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub session: SessionId,
+    pub request: QueryRequest,
+    /// Estimated simulated runtime (SJF's ordering key; FIFO ignores it).
+    pub cost_hint: f64,
+    pub reply: Sender<ReplyResult>,
+    pub submitted_at: Instant,
+}
+
+/// Queue counters for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    pub admitted: u64,
+    pub rejected: u64,
+    /// Currently waiting (not yet picked up by a worker).
+    pub depth: usize,
+}
+
+struct QState {
+    jobs: Vec<Job>,
+    next_seq: u64,
+    admitted: u64,
+    rejected: u64,
+    closed: bool,
+}
+
+/// The admission queue proper.
+pub(crate) struct AdmissionQueue {
+    state: Mutex<QState>,
+    readable: Condvar,
+    config: AdmissionConfig,
+}
+
+impl AdmissionQueue {
+    pub fn new(config: AdmissionConfig) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QState {
+                jobs: Vec::new(),
+                next_seq: 0,
+                admitted: 0,
+                rejected: 0,
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            config,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admits a query or refuses it (queue full / shutting down).
+    pub fn submit(
+        &self,
+        session: SessionId,
+        request: QueryRequest,
+        cost_hint: f64,
+        reply: Sender<ReplyResult>,
+    ) -> ServerResult<u64> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(ServerError::ShuttingDown);
+        }
+        if st.jobs.len() >= self.config.max_queued {
+            st.rejected += 1;
+            return Err(ServerError::Overloaded {
+                queued: st.jobs.len(),
+                limit: self.config.max_queued,
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.admitted += 1;
+        st.jobs.push(Job {
+            seq,
+            session,
+            request,
+            cost_hint,
+            reply,
+            submitted_at: Instant::now(),
+        });
+        drop(st);
+        self.readable.notify_one();
+        Ok(seq)
+    }
+
+    /// Blocks for the next job per the configured policy. Returns `None`
+    /// once the queue is closed *and* drained — workers finish admitted
+    /// work before exiting.
+    pub fn pop(&self) -> Option<Job> {
+        let mut st = self.lock();
+        loop {
+            if !st.jobs.is_empty() {
+                let idx = match self.config.policy {
+                    SchedPolicy::Fifo => st
+                        .jobs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, j)| j.seq)
+                        .map(|(i, _)| i)
+                        .expect("non-empty"),
+                    SchedPolicy::Sjf => st
+                        .jobs
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            a.cost_hint
+                                .partial_cmp(&b.cost_hint)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.seq.cmp(&b.seq))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty"),
+                };
+                return Some(st.jobs.swap_remove(idx));
+            }
+            if st.closed {
+                return None;
+            }
+            st = match self.readable.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Stops admitting; wakes every blocked worker so the queue drains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        let st = self.lock();
+        QueueStats {
+            admitted: st.admitted,
+            rejected: st.rejected,
+            depth: st.jobs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    fn dummy_request() -> QueryRequest {
+        QueryRequest::RunUdf {
+            udf: "linearR".into(),
+            table: "t".into(),
+        }
+    }
+
+    fn queue(max: usize, policy: SchedPolicy) -> AdmissionQueue {
+        AdmissionQueue::new(AdmissionConfig {
+            max_queued: max,
+            policy,
+        })
+    }
+
+    #[test]
+    fn fifo_pops_in_submission_order() {
+        let q = queue(16, SchedPolicy::Fifo);
+        let (tx, _rx) = channel::unbounded();
+        for cost in [3.0, 1.0, 2.0] {
+            q.submit(1, dummy_request(), cost, tx.clone()).unwrap();
+        }
+        let order: Vec<f64> = (0..3).map(|_| q.pop().unwrap().cost_hint).collect();
+        assert_eq!(order, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sjf_pops_cheapest_first_fifo_on_ties() {
+        let q = queue(16, SchedPolicy::Sjf);
+        let (tx, _rx) = channel::unbounded();
+        let seqs: Vec<u64> = [3.0, 1.0, 2.0, 1.0]
+            .iter()
+            .map(|c| q.submit(1, dummy_request(), *c, tx.clone()).unwrap())
+            .collect();
+        let popped: Vec<u64> = (0..4).map(|_| q.pop().unwrap().seq).collect();
+        // Costs 1.0 (seq 1), 1.0 (seq 3), 2.0 (seq 2), 3.0 (seq 0).
+        assert_eq!(popped, vec![seqs[1], seqs[3], seqs[2], seqs[0]]);
+    }
+
+    #[test]
+    fn overload_is_refused_with_counts() {
+        let q = queue(2, SchedPolicy::Fifo);
+        let (tx, _rx) = channel::unbounded();
+        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
+        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
+        match q.submit(1, dummy_request(), 1.0, tx.clone()) {
+            Err(ServerError::Overloaded {
+                queued: 2,
+                limit: 2,
+            }) => {}
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        let s = q.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = queue(16, SchedPolicy::Fifo);
+        let (tx, _rx) = channel::unbounded();
+        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
+        q.close();
+        assert!(matches!(
+            q.submit(1, dummy_request(), 1.0, tx),
+            Err(ServerError::ShuttingDown)
+        ));
+        assert!(q.pop().is_some(), "admitted work still drains");
+        assert!(q.pop().is_none(), "then the queue ends");
+    }
+}

@@ -1,0 +1,482 @@
+//! The shared system core: the thread-safe split of `dana::Dana`.
+//!
+//! `Dana` funnels every operation through one `&mut self` — correct for a
+//! single notebook user, useless for a serving tier. [`SystemCore`] is the
+//! same façade split along the concurrency seam:
+//!
+//! * the **catalog** sits behind an `RwLock`: queries take short read
+//!   locks to snapshot (entry, `Arc<HeapFile>`, accelerator blob) and then
+//!   run lock-free; DDL takes the write lock only for the map mutation;
+//! * the **buffer pool** is the sharded [`SharedBufferPool`], fetched
+//!   through `&self`;
+//! * per-query state (access engine, execution engine, model store,
+//!   stream source) is built fresh per request, so any number of queries
+//!   run in parallel, each borrowing a leased accelerator instance.
+//!
+//! Every numerical path is byte-for-byte the one `Dana` runs — the
+//! compile pipeline, extraction, engine interpreter, and
+//! `dana::exec::assemble_report` are shared — which is what the
+//! equivalence suite holds the serving tier to.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use dana::exec::{self, ArtifactBlob, RunArtifacts};
+use dana::{
+    DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, ExecutionMode, FeedKind,
+    SharedPageStreamSource,
+};
+use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
+use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
+use dana_fpga::{FpgaSpec, ResourceBudget};
+use dana_hdfg::translate;
+use dana_ml::CpuModel;
+use dana_storage::{
+    AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
+    SharedBufferPool, TableEntry,
+};
+use dana_strider::disassemble;
+
+/// How to build a [`SystemCore`].
+#[derive(Debug, Clone, Copy)]
+pub struct SystemCoreConfig {
+    /// Template spec for every accelerator instance in the pool.
+    pub fpga: FpgaSpec,
+    pub pool: BufferPoolConfig,
+    /// Buffer-pool lock shards.
+    pub pool_shards: usize,
+    pub disk: DiskModel,
+}
+
+impl Default for SystemCoreConfig {
+    fn default() -> SystemCoreConfig {
+        SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig::paper_default(),
+            pool_shards: dana_storage::shared_pool::DEFAULT_SHARDS,
+            disk: DiskModel::ssd(),
+        }
+    }
+}
+
+/// The shared catalog + buffer pool + models, usable from any thread.
+pub struct SystemCore {
+    catalog: RwLock<Catalog>,
+    pool: SharedBufferPool,
+    disk: DiskModel,
+    fpga: FpgaSpec,
+    cpu: CpuModel,
+}
+
+impl SystemCore {
+    pub fn new(config: SystemCoreConfig) -> SystemCore {
+        SystemCore {
+            catalog: RwLock::new(Catalog::new()),
+            pool: SharedBufferPool::with_shards(config.pool, config.pool_shards),
+            disk: config.disk,
+            fpga: config.fpga,
+            cpu: CpuModel::i7_6700(),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Catalog> {
+        match self.catalog.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        match self.catalog.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn fpga(&self) -> &FpgaSpec {
+        &self.fpga
+    }
+
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.pool.stats()
+    }
+
+    /// Frames still referenced by a reader — must be zero when idle (the
+    /// frame-leak detector the stress suite asserts on).
+    pub fn held_frames(&self) -> usize {
+        self.pool.held_frames()
+    }
+
+    pub fn resident_pages(&self) -> usize {
+        self.pool.resident_pages()
+    }
+
+    // ---- DDL ------------------------------------------------------------
+
+    /// Registers a training table.
+    pub fn create_table(&self, name: &str, heap: HeapFile) -> DanaResult<HeapId> {
+        Ok(self.write().create_table(name, heap)?)
+    }
+
+    /// Drops a table: detaches it from the catalog, force-evicts its pages
+    /// (in-flight scans keep their `Arc` snapshots and finish cleanly),
+    /// and marks accelerators compiled against it stale.
+    pub fn drop_table(&self, name: &str) -> DanaResult<DropSummary> {
+        let mut cat = self.write();
+        let entry = cat.drop_table(name)?;
+        let invalidated_udfs = cat.invalidate_accelerators_for(name);
+        drop(cat);
+        let pages_evicted = self.pool.evict_heap_force(entry.heap_id);
+        Ok(DropSummary {
+            table: name.to_string(),
+            pages_evicted,
+            invalidated_udfs,
+        })
+    }
+
+    /// Warm-cache setup: loads the table into the buffer pool without
+    /// charging query I/O.
+    pub fn prewarm(&self, table: &str) -> DanaResult<usize> {
+        let (entry, heap) = self.snapshot_table(table)?;
+        let n = self.pool.prewarm(entry.heap_id, &heap)?;
+        self.pool.reset_stats();
+        Ok(n)
+    }
+
+    /// Cold-cache setup: drops every cached page.
+    pub fn clear_cache(&self) {
+        self.pool.clear();
+        self.pool.reset_stats();
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.read()
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    pub fn accelerator_names(&self) -> Vec<String> {
+        self.read()
+            .accelerator_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    // ---- deploy ---------------------------------------------------------
+
+    /// Compiles a UDF for `table` and stores the accelerator in the
+    /// catalog. Compilation runs outside the catalog lock; the write lock
+    /// is re-taken only to install the entry (verifying the table still
+    /// exists, in case a concurrent drop won the race).
+    pub fn deploy(&self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
+        let (snap, heap) = self.snapshot_table(table)?;
+        let acc = self.compile_for(spec, &heap, snap.tuple_count, None)?;
+        let blob = ArtifactBlob::from_compiled(&acc);
+        let words = dana_strider::isa::encode_program(&acc.strider_program)?;
+        let entry = AcceleratorEntry {
+            udf_name: spec.name.clone(),
+            strider_program: words,
+            design_blob: blob.encode()?,
+            merge_coef: spec.merge_coef(),
+            num_threads: acc.design.num_threads as u32,
+            description: format!(
+                "{} threads × {} ACs, {} Striders",
+                acc.design.num_threads, acc.design.acs_per_thread, acc.budget.num_page_buffers
+            ),
+            bound_table: table.to_string(),
+            stale: false,
+        };
+        {
+            let mut cat = self.write();
+            // The compile raced against DDL: only install if the table the
+            // accelerator was compiled for is still the live one.
+            match cat.table(table) {
+                Ok(t) if t.heap_id == snap.heap_id => cat.deploy_accelerator(entry),
+                Ok(_) | Err(_) => {
+                    return Err(DanaError::Storage(
+                        dana_storage::StorageError::UnknownTable(table.to_string()),
+                    ))
+                }
+            }
+        }
+        Ok(DeployInfo {
+            udf_name: spec.name.clone(),
+            num_threads: acc.design.num_threads,
+            acs_per_thread: acc.design.acs_per_thread,
+            num_striders: acc.budget.num_page_buffers,
+            estimate: acc.estimate,
+            strider_listing: disassemble(&acc.strider_program),
+            micro_ops: acc.design.program.micro_ops(),
+        })
+    }
+
+    /// Parses DSL source text and deploys it.
+    pub fn deploy_source(
+        &self,
+        source: &str,
+        default_name: &str,
+        table: &str,
+    ) -> DanaResult<DeployInfo> {
+        let spec = dana_dsl::parse_udf(source, default_name)?;
+        self.deploy(&spec, table)
+    }
+
+    // ---- query execution ------------------------------------------------
+
+    /// Runs a deployed accelerator by UDF name (full-Strider mode).
+    pub fn run_udf(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        let blob = self.accelerator_blob(udf)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        self.run_on_heap(
+            &blob.design,
+            blob.budget,
+            entry.heap_id,
+            &heap,
+            ExecutionMode::Strider,
+        )
+    }
+
+    /// Compiles `spec` ad hoc and runs it in the given mode (nothing is
+    /// stored in the catalog) — the serving twin of
+    /// `Dana::train_with_spec`.
+    ///
+    /// Compile and execution use the *same* heap snapshot: a concurrent
+    /// drop+recreate of the table cannot slip a different layout under an
+    /// accelerator compiled for the old one.
+    pub fn train_with_spec(
+        &self,
+        spec: &dana_dsl::AlgoSpec,
+        table: &str,
+        mode: ExecutionMode,
+    ) -> DanaResult<DanaReport> {
+        let (entry, heap) = self.snapshot_table(table)?;
+        let threads = match mode {
+            ExecutionMode::Tabla => Some(1),
+            _ => None,
+        };
+        let acc = self.compile_for(spec, &heap, entry.tuple_count, threads)?;
+        self.run_on_heap(&acc.design, acc.budget, entry.heap_id, &heap, mode)
+    }
+
+    /// Snapshot of the accelerator's artifact blob, with the stale check.
+    pub fn accelerator_blob(&self, udf: &str) -> DanaResult<ArtifactBlob> {
+        let cat = self.read();
+        let entry = cat.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        ArtifactBlob::decode(&entry.design_blob)
+    }
+
+    /// SJF's ordering key for a deployed UDF: the deploy-time estimate
+    /// priced in simulated seconds.
+    pub fn estimated_seconds(&self, udf: &str) -> DanaResult<f64> {
+        let blob = self.accelerator_blob(udf)?;
+        Ok(exec::estimate_seconds(
+            &blob.estimate,
+            blob.design.convergence.max_epochs(),
+            &self.fpga,
+        ))
+    }
+
+    /// Consistent (catalog entry, heap snapshot) for a table, under a read
+    /// lock released before returning. All downstream work (compile,
+    /// execution) must use this one snapshot so concurrent DDL cannot swap
+    /// the heap mid-query.
+    fn snapshot_table(&self, table: &str) -> DanaResult<(TableEntry, Arc<HeapFile>)> {
+        let cat = self.read();
+        let entry = cat.table(table)?.clone();
+        let heap = cat.heap_arc(entry.heap_id)?;
+        Ok((entry, heap))
+    }
+
+    fn compile_for(
+        &self,
+        spec: &dana_dsl::AlgoSpec,
+        heap: &HeapFile,
+        expected_tuples: u64,
+        threads: Option<u32>,
+    ) -> DanaResult<CompiledAccelerator> {
+        let hdfg = translate(spec);
+        let input = CompileInput {
+            hdfg: &hdfg,
+            fpga: self.fpga,
+            layout: *heap.layout(),
+            schema_columns: heap.schema().len(),
+            expected_tuples,
+        };
+        Ok(match threads {
+            Some(t) => compile_with_threads(&input, t)?,
+            None => compile(&input)?,
+        })
+    }
+
+    /// The concurrent query hot path: stream the snapshotted heap through
+    /// the shared pool into a fresh engine — no locks held while training
+    /// runs.
+    fn run_on_heap(
+        &self,
+        design: &EngineDesign,
+        budget: ResourceBudget,
+        heap_id: HeapId,
+        heap: &HeapFile,
+        mode: ExecutionMode,
+    ) -> DanaResult<DanaReport> {
+        let access = exec::access_engine_for(heap, budget, &self.fpga);
+        let engine = ExecutionEngine::new(design.clone())?;
+        let mut store = ModelStore::new(design, exec::initial_models(design))?;
+        let feed = if mode.uses_striders() {
+            FeedKind::Strider
+        } else {
+            FeedKind::Cpu
+        };
+        let mut source =
+            SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, &access, feed);
+        let stats = engine.run_training(&mut source, &mut store)?;
+        let (access_stats, io_first) = source.into_stats();
+        Ok(exec::assemble_report(
+            mode,
+            design,
+            budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.frames(),
+            heap,
+            RunArtifacts {
+                engine_stats: stats,
+                access_stats,
+                io_first,
+            },
+            store,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_dsl::zoo::{linear_regression, DenseParams};
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{HeapFileBuilder, Schema, Tuple};
+
+    fn small_core() -> SystemCore {
+        SystemCore::new(SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: 8 * 1024,
+            },
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        })
+    }
+
+    fn linreg_heap(n: usize, d: usize) -> HeapFile {
+        let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.5).collect();
+        let mut b =
+            HeapFileBuilder::new(Schema::training(d), 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0)
+                .collect();
+            let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            b.insert(&Tuple::training(&x, y)).unwrap();
+        }
+        b.finish()
+    }
+
+    fn linreg_spec(d: usize) -> dana_dsl::AlgoSpec {
+        linear_regression(DenseParams {
+            n_features: d,
+            learning_rate: 0.2,
+            merge_coef: 8,
+            epochs: 25,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn deploy_and_run_through_shared_core() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(500, 8)).unwrap();
+        let info = core.deploy(&linreg_spec(8), "t").unwrap();
+        assert!(info.num_threads >= 1);
+        assert_eq!(core.accelerator_names(), vec!["linearR".to_string()]);
+        let report = core.run_udf("linearR", "t").unwrap();
+        let w = report.dense_model();
+        for (i, v) in w.iter().enumerate() {
+            let truth = 0.3 * i as f32 - 0.5;
+            assert!((v - truth).abs() < 0.05, "w[{i}] = {v}, truth {truth}");
+        }
+        assert_eq!(core.held_frames(), 0, "query must release every frame");
+    }
+
+    #[test]
+    fn matches_single_threaded_dana_bit_for_bit() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(800, 12)).unwrap();
+        core.prewarm("t").unwrap();
+        let spec = linreg_spec(12);
+        core.deploy(&spec, "t").unwrap();
+        let concurrent = core.run_udf("linearR", "t").unwrap();
+
+        let mut db = dana::Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: 8 * 1024,
+            },
+            DiskModel::ssd(),
+        );
+        db.create_table("t", linreg_heap(800, 12)).unwrap();
+        db.prewarm("t").unwrap();
+        db.deploy(&spec, "t").unwrap();
+        let serial = db.run_udf("linearR", "t").unwrap();
+
+        assert_eq!(
+            concurrent.models, serial.models,
+            "paths must be bit-identical"
+        );
+        assert_eq!(concurrent.epochs_run, serial.epochs_run);
+        assert_eq!(concurrent.engine.cycles, serial.engine.cycles);
+    }
+
+    #[test]
+    fn drop_table_invalidates_and_run_is_typed_error() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(300, 8)).unwrap();
+        core.prewarm("t").unwrap();
+        core.deploy(&linreg_spec(8), "t").unwrap();
+        let summary = core.drop_table("t").unwrap();
+        assert!(summary.pages_evicted > 0);
+        assert_eq!(summary.invalidated_udfs, vec!["linearR".to_string()]);
+        assert!(matches!(
+            core.run_udf("linearR", "t"),
+            Err(DanaError::StaleAccelerator { .. })
+        ));
+        assert_eq!(core.resident_pages(), 0);
+    }
+
+    #[test]
+    fn estimated_seconds_orders_small_before_large() {
+        let core = small_core();
+        core.create_table("small", linreg_heap(200, 8)).unwrap();
+        core.create_table("large", linreg_heap(3000, 8)).unwrap();
+        let mut small_spec = linreg_spec(8);
+        small_spec.name = "smallR".into();
+        let mut large_spec = linreg_spec(8);
+        large_spec.name = "largeR".into();
+        core.deploy(&small_spec, "small").unwrap();
+        core.deploy(&large_spec, "large").unwrap();
+        let s = core.estimated_seconds("smallR").unwrap();
+        let l = core.estimated_seconds("largeR").unwrap();
+        assert!(s > 0.0 && l > 0.0);
+        assert!(l > s, "more tuples must cost more: {l} vs {s}");
+    }
+}

@@ -1,0 +1,301 @@
+//! The serving front door: [`DanaServer`].
+//!
+//! Lifecycle of one query (the Fig. 2 flow, lifted to a serving tier):
+//!
+//! ```text
+//!  client ──open_session──► SessionManager
+//!    │ submit(SQL / UDF / spec)
+//!    ▼
+//!  AdmissionQueue  (bounded; FIFO or SJF by DanaTiming cost estimate)
+//!    │ pop
+//!    ▼
+//!  worker thread ──lease──► AcceleratorPool (N FpgaSpec instances)
+//!    │ run on SystemCore (shared catalog + sharded buffer pool)
+//!    ▼
+//!  QueryReply ──crossbeam channel──► Ticket::wait
+//! ```
+//!
+//! DDL (create/drop/prewarm/deploy) executes synchronously on the caller's
+//! thread — it needs no accelerator, and the catalog's own locking already
+//! serializes it correctly against in-flight queries. Queries (anything
+//! that trains) are admitted, scheduled, and executed on a leased
+//! accelerator by the worker pool.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver};
+
+use dana::{parse_query, DanaReport, DanaResult, DeployInfo, DropSummary, ExecutionMode};
+use dana_storage::HeapFile;
+
+use crate::accel::{AcceleratorPool, PoolUtilization};
+use crate::admission::{AdmissionConfig, AdmissionQueue, QueueStats};
+use crate::core::{SystemCore, SystemCoreConfig};
+use crate::error::{ServerError, ServerResult};
+use crate::session::{SessionId, SessionManager, SessionStats};
+
+/// A query a client can submit for scheduled execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// The paper's SQL form: `SELECT * FROM dana.<udf>('<table>');`.
+    Sql(String),
+    /// Direct invocation of a deployed UDF (full-Strider mode).
+    RunUdf { udf: String, table: String },
+    /// Ad-hoc compile-and-train in a specific execution mode (the
+    /// ablation path; nothing is stored in the catalog).
+    TrainSpec {
+        spec: dana_dsl::AlgoSpec,
+        table: String,
+        mode: ExecutionMode,
+    },
+}
+
+/// A finished query, as delivered to the submitting client.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    pub report: DanaReport,
+    /// Which accelerator-pool instance ran the query.
+    pub accelerator: usize,
+    /// Wall-clock seconds spent waiting in the admission queue.
+    pub queue_seconds: f64,
+    /// Wall-clock seconds spent executing on the worker.
+    pub exec_seconds: f64,
+}
+
+pub(crate) type ReplyResult = ServerResult<QueryReply>;
+
+/// Handle to one submitted query; redeem with [`DanaServer::wait`].
+pub struct Ticket {
+    pub seq: u64,
+    pub session: SessionId,
+    rx: Receiver<ReplyResult>,
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Accelerator instances in the pool.
+    pub accelerators: usize,
+    /// Worker threads executing admitted queries. Defaults to the
+    /// accelerator count — more workers than instances just wait on
+    /// leases.
+    pub workers: usize,
+    pub admission: AdmissionConfig,
+    pub core: SystemCoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig::with_accelerators(4)
+    }
+}
+
+impl ServerConfig {
+    /// A config with `n` accelerators and `n` workers.
+    pub fn with_accelerators(n: usize) -> ServerConfig {
+        let n = n.max(1);
+        ServerConfig {
+            accelerators: n,
+            workers: n,
+            admission: AdmissionConfig::default(),
+            core: SystemCoreConfig::default(),
+        }
+    }
+}
+
+/// The concurrent query-serving subsystem.
+pub struct DanaServer {
+    core: Arc<SystemCore>,
+    accels: Arc<AcceleratorPool>,
+    queue: Arc<AdmissionQueue>,
+    sessions: Arc<SessionManager>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DanaServer {
+    /// Boots the server: builds the shared core and starts the worker
+    /// pool.
+    pub fn start(config: ServerConfig) -> DanaServer {
+        let core = Arc::new(SystemCore::new(config.core));
+        let accels = Arc::new(AcceleratorPool::new(config.accelerators));
+        let queue = Arc::new(AdmissionQueue::new(config.admission));
+        let sessions = Arc::new(SessionManager::new());
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let accels = Arc::clone(&accels);
+                let queue = Arc::clone(&queue);
+                let sessions = Arc::clone(&sessions);
+                std::thread::Builder::new()
+                    .name(format!("dana-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &accels, &queue, &sessions))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        DanaServer {
+            core,
+            accels,
+            queue,
+            sessions,
+            workers,
+        }
+    }
+
+    /// The shared system core (storage statistics, leak detectors, direct
+    /// DDL).
+    pub fn core(&self) -> &SystemCore {
+        &self.core
+    }
+
+    // ---- sessions -------------------------------------------------------
+
+    pub fn open_session(&self, name: &str) -> SessionId {
+        self.sessions.open(name)
+    }
+
+    pub fn close_session(&self, id: SessionId) -> ServerResult<SessionStats> {
+        self.sessions.close(id)
+    }
+
+    pub fn session_stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.sessions.stats(id)
+    }
+
+    pub fn all_session_stats(&self) -> Vec<(SessionId, SessionStats)> {
+        self.sessions.all_stats()
+    }
+
+    // ---- DDL (synchronous) ----------------------------------------------
+
+    pub fn create_table(&self, name: &str, heap: HeapFile) -> DanaResult<dana_storage::HeapId> {
+        self.core.create_table(name, heap)
+    }
+
+    pub fn drop_table(&self, name: &str) -> DanaResult<DropSummary> {
+        self.core.drop_table(name)
+    }
+
+    pub fn prewarm(&self, table: &str) -> DanaResult<usize> {
+        self.core.prewarm(table)
+    }
+
+    pub fn deploy(&self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
+        self.core.deploy(spec, table)
+    }
+
+    // ---- queries --------------------------------------------------------
+
+    /// Admits a query for scheduled execution. Non-blocking: refusal
+    /// (overload, unknown session, shutdown) is immediate and typed.
+    pub fn submit(&self, session: SessionId, request: QueryRequest) -> ServerResult<Ticket> {
+        self.sessions.record_submit(session)?;
+        let cost_hint = self.cost_hint(&request);
+        let (tx, rx) = channel::bounded(1);
+        let seq = self.queue.submit(session, request, cost_hint, tx)?;
+        Ok(Ticket { seq, session, rx })
+    }
+
+    /// Blocks until the ticket's query finishes.
+    pub fn wait(&self, ticket: Ticket) -> ServerResult<QueryReply> {
+        ticket.rx.recv().unwrap_or(Err(ServerError::WorkerLost))
+    }
+
+    /// Submit + wait in one call (the blocking client API).
+    pub fn call(&self, session: SessionId, request: QueryRequest) -> ServerResult<QueryReply> {
+        let ticket = self.submit(session, request)?;
+        self.wait(ticket)
+    }
+
+    /// SJF's ordering key. Unknown or ad-hoc work gets a neutral hint (0),
+    /// which SJF treats as "probably interactive": it runs early, keeping
+    /// the policy conservative rather than starving unknowns.
+    fn cost_hint(&self, request: &QueryRequest) -> f64 {
+        let udf = match request {
+            QueryRequest::Sql(sql) => match parse_query(sql) {
+                Ok(call) => call.udf,
+                Err(_) => return 0.0,
+            },
+            QueryRequest::RunUdf { udf, .. } => udf.clone(),
+            QueryRequest::TrainSpec { .. } => return 0.0,
+        };
+        self.core.estimated_seconds(&udf).unwrap_or(0.0)
+    }
+
+    // ---- observability --------------------------------------------------
+
+    pub fn pool_utilization(&self) -> PoolUtilization {
+        self.accels.utilization()
+    }
+
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Drains admitted work, stops the workers, and returns the final
+    /// utilization report.
+    pub fn shutdown(mut self) -> PoolUtilization {
+        self.stop_workers();
+        self.accels.utilization()
+    }
+
+    fn stop_workers(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.accels.close();
+    }
+}
+
+impl Drop for DanaServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// One worker: pop an admitted query, lease an accelerator, execute,
+/// release with the simulated runtime, reply.
+fn worker_loop(
+    core: &SystemCore,
+    accels: &AcceleratorPool,
+    queue: &AdmissionQueue,
+    sessions: &SessionManager,
+) {
+    while let Some(job) = queue.pop() {
+        let Some(lease) = accels.lease() else {
+            let _ = job.reply.send(Err(ServerError::ShuttingDown));
+            continue;
+        };
+        let accelerator = lease.id();
+        let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let result: DanaResult<DanaReport> = match &job.request {
+            QueryRequest::Sql(sql) => {
+                parse_query(sql).and_then(|call| core.run_udf(&call.udf, &call.table))
+            }
+            QueryRequest::RunUdf { udf, table } => core.run_udf(udf, table),
+            QueryRequest::TrainSpec { spec, table, mode } => {
+                core.train_with_spec(spec, table, *mode)
+            }
+        };
+        let exec_seconds = started.elapsed().as_secs_f64();
+        let sim_seconds = result
+            .as_ref()
+            .map(|r| r.timing.total_seconds)
+            .unwrap_or(0.0);
+        lease.release(sim_seconds);
+        sessions.record_done(job.session, result.is_ok(), sim_seconds, exec_seconds);
+        let reply = result
+            .map(|report| QueryReply {
+                report,
+                accelerator,
+                queue_seconds,
+                exec_seconds,
+            })
+            .map_err(ServerError::Dana);
+        // A client that dropped its ticket just doesn't read the reply.
+        let _ = job.reply.send(reply);
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use crate::disk::{DiskModel, Seconds};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::HeapFile;
-use crate::PageId;
+use crate::{HeapId, PageId};
 
 /// Pool sizing configuration. The paper's default: 8 GB pool, 32 KB pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -169,6 +169,42 @@ impl BufferPool {
     /// True if `page_id` is currently resident.
     pub fn contains(&self, page_id: PageId) -> bool {
         self.page_table.contains_key(&page_id)
+    }
+
+    /// Number of frames currently pinned (leak detector: after every query
+    /// completes, this must be zero).
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.pin_count > 0).count()
+    }
+
+    /// Evicts every resident page of `heap_id` — the `DROP TABLE` path. A
+    /// dropped table's pages must not stay pinned-resident forever, silently
+    /// shrinking the pool for every later query.
+    ///
+    /// Errors with [`StorageError::PagePinned`] (evicting nothing) if any
+    /// page of the heap is still pinned by an in-flight scan.
+    pub fn evict_heap(&mut self, heap_id: HeapId) -> StorageResult<usize> {
+        if let Some(pinned) = self
+            .frames
+            .iter()
+            .find_map(|f| f.page.filter(|p| p.heap == heap_id && f.pin_count > 0))
+        {
+            return Err(StorageError::PagePinned {
+                heap: pinned.heap.0,
+                page_no: pinned.page_no,
+            });
+        }
+        let mut evicted = 0;
+        for f in &mut self.frames {
+            if f.page.is_some_and(|p| p.heap == heap_id) {
+                let p = f.page.take().expect("page checked above");
+                self.page_table.remove(&p);
+                f.bytes.clear();
+                f.referenced = false;
+                evicted += 1;
+            }
+        }
+        Ok(evicted)
     }
 
     /// Loads as much of `heap` as fits (front-to-back) without counting the
@@ -360,6 +396,44 @@ mod tests {
         let (f, io) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &disk).unwrap();
         assert!(io > 0.0);
         bp.unpin(f);
+    }
+
+    #[test]
+    fn evict_heap_removes_only_that_heap() {
+        let heap = small_heap(500);
+        let mut bp = pool(8);
+        let disk = DiskModel::instant();
+        bp.prewarm(HeapId(1), &heap).unwrap();
+        let (f, _) = bp.fetch(PageId::new(HeapId(2), 0), &heap, &disk).unwrap();
+        bp.unpin(f);
+        let resident_before = bp.resident_pages();
+        let evicted = bp.evict_heap(HeapId(1)).unwrap();
+        assert!(evicted > 0);
+        assert_eq!(bp.resident_pages(), resident_before - evicted);
+        assert!(!bp.contains(PageId::new(HeapId(1), 0)));
+        assert!(bp.contains(PageId::new(HeapId(2), 0)));
+        // Idempotent: nothing left to evict.
+        assert_eq!(bp.evict_heap(HeapId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn evict_heap_refuses_pinned_pages() {
+        let heap = small_heap(500);
+        let mut bp = pool(8);
+        let disk = DiskModel::instant();
+        let (f, _) = bp.fetch(PageId::new(HeapId(1), 0), &heap, &disk).unwrap();
+        assert_eq!(bp.pinned_frames(), 1);
+        assert!(matches!(
+            bp.evict_heap(HeapId(1)),
+            Err(StorageError::PagePinned {
+                heap: 1,
+                page_no: 0
+            })
+        ));
+        assert!(bp.contains(PageId::new(HeapId(1), 0)), "evicted nothing");
+        bp.unpin(f);
+        assert_eq!(bp.pinned_frames(), 0);
+        assert_eq!(bp.evict_heap(HeapId(1)).unwrap(), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! compiler; the DAnA runtime deserializes them at query time.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
 use crate::heap::HeapFile;
@@ -40,6 +41,13 @@ pub struct AcceleratorEntry {
     pub num_threads: u32,
     /// Human-readable description for `\d`-style introspection.
     pub description: String,
+    /// The table whose page layout and schema the accelerator was compiled
+    /// against. Dropping that table invalidates the accelerator: the
+    /// Strider program walks a layout that no longer exists.
+    pub bound_table: String,
+    /// True once the bound table has been dropped; running a stale
+    /// accelerator is a typed error, never a dangling-heap lookup.
+    pub stale: bool,
 }
 
 /// The catalog (and, in this reproduction, the database itself: it owns the
@@ -47,7 +55,11 @@ pub struct AcceleratorEntry {
 #[derive(Default)]
 pub struct Catalog {
     tables: HashMap<String, TableEntry>,
-    heaps: HashMap<HeapId, HeapFile>,
+    // Heaps are reference-counted so a concurrent reader (a query already
+    // admitted by the serving tier) can keep scanning a consistent snapshot
+    // while the catalog lock is long gone — dropping the table only detaches
+    // the name; the pages live until the last scan finishes.
+    heaps: HashMap<HeapId, Arc<HeapFile>>,
     accelerators: HashMap<String, AcceleratorEntry>,
     next_heap: u32,
 }
@@ -73,18 +85,20 @@ impl Catalog {
                 page_count: heap.page_count(),
             },
         );
-        self.heaps.insert(id, heap);
+        self.heaps.insert(id, Arc::new(heap));
         Ok(id)
     }
 
-    /// Drops a table and its heap.
-    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+    /// Drops a table and its heap; returns the removed entry so callers can
+    /// clean up downstream state (evict its buffer-pool pages, invalidate
+    /// accelerators compiled against it).
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<TableEntry> {
         let entry = self
             .tables
             .remove(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
         self.heaps.remove(&entry.heap_id);
-        Ok(())
+        Ok(entry)
     }
 
     pub fn table(&self, name: &str) -> StorageResult<&TableEntry> {
@@ -94,7 +108,19 @@ impl Catalog {
     }
 
     pub fn heap(&self, id: HeapId) -> StorageResult<&HeapFile> {
-        self.heaps.get(&id).ok_or(StorageError::UnknownHeap(id.0))
+        self.heaps
+            .get(&id)
+            .map(|h| h.as_ref())
+            .ok_or(StorageError::UnknownHeap(id.0))
+    }
+
+    /// Shared handle to a heap, for readers that outlive the catalog
+    /// borrow (the concurrent query path).
+    pub fn heap_arc(&self, id: HeapId) -> StorageResult<Arc<HeapFile>> {
+        self.heaps
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::UnknownHeap(id.0))
     }
 
     /// Convenience: table entry + heap in one lookup.
@@ -113,6 +139,22 @@ impl Catalog {
         self.accelerators
             .get(udf_name)
             .ok_or_else(|| StorageError::UnknownAccelerator(udf_name.to_string()))
+    }
+
+    /// Marks every accelerator compiled against `table` as stale (its
+    /// backing layout is gone). Returns the affected UDF names, sorted.
+    pub fn invalidate_accelerators_for(&mut self, table: &str) -> Vec<String> {
+        let mut hit: Vec<String> = self
+            .accelerators
+            .values_mut()
+            .filter(|a| a.bound_table == table && !a.stale)
+            .map(|a| {
+                a.stale = true;
+                a.udf_name.clone()
+            })
+            .collect();
+        hit.sort_unstable();
+        hit
     }
 
     /// All table names, sorted (stable introspection output).
@@ -172,27 +214,61 @@ mod tests {
     fn drop_table_removes_heap() {
         let mut cat = Catalog::new();
         let id = cat.create_table("t", tiny_heap()).unwrap();
-        cat.drop_table("t").unwrap();
+        let dropped = cat.drop_table("t").unwrap();
+        assert_eq!(dropped.heap_id, id);
         assert!(cat.table("t").is_err());
         assert!(cat.heap(id).is_err());
+        assert!(cat.heap_arc(id).is_err());
         assert!(cat.drop_table("t").is_err());
     }
 
     #[test]
-    fn accelerator_round_trip() {
+    fn heap_arc_survives_drop() {
         let mut cat = Catalog::new();
-        let entry = AcceleratorEntry {
-            udf_name: "linearR".into(),
+        let id = cat.create_table("t", tiny_heap()).unwrap();
+        let heap = cat.heap_arc(id).unwrap();
+        cat.drop_table("t").unwrap();
+        // A reader that grabbed the Arc before the drop keeps a consistent
+        // snapshot of the table.
+        assert_eq!(heap.tuple_count(), 1);
+    }
+
+    fn test_accelerator(udf: &str, table: &str) -> AcceleratorEntry {
+        AcceleratorEntry {
+            udf_name: udf.into(),
             strider_program: vec![0x1234, 0x5678],
             design_blob: "{}".into(),
             merge_coef: 8,
             num_threads: 4,
             description: "linear regression".into(),
-        };
+            bound_table: table.into(),
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn accelerator_round_trip() {
+        let mut cat = Catalog::new();
+        let entry = test_accelerator("linearR", "t");
         cat.deploy_accelerator(entry.clone());
         assert_eq!(cat.accelerator("linearR").unwrap(), &entry);
         assert!(cat.accelerator("nope").is_err());
         assert_eq!(cat.accelerator_names(), vec!["linearR"]);
+    }
+
+    #[test]
+    fn invalidation_marks_bound_accelerators_stale() {
+        let mut cat = Catalog::new();
+        cat.deploy_accelerator(test_accelerator("linearR", "t"));
+        cat.deploy_accelerator(test_accelerator("svm", "t"));
+        cat.deploy_accelerator(test_accelerator("logisticR", "other"));
+        let hit = cat.invalidate_accelerators_for("t");
+        assert_eq!(hit, vec!["linearR".to_string(), "svm".to_string()]);
+        assert!(cat.accelerator("linearR").unwrap().stale);
+        assert!(cat.accelerator("svm").unwrap().stale);
+        assert!(!cat.accelerator("logisticR").unwrap().stale);
+        // Idempotent: already-stale entries are not reported twice.
+        assert!(cat.invalidate_accelerators_for("t").is_empty());
     }
 
     #[test]

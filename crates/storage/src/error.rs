@@ -27,6 +27,9 @@ pub enum StorageError {
     SchemaMismatch(String),
     /// Unsupported page size (must be one of 8, 16, 32 KB).
     BadPageSize(usize),
+    /// A page that must be evicted (e.g. its table was dropped) is still
+    /// pinned by an in-flight scan.
+    PagePinned { heap: u32, page_no: u32 },
 }
 
 impl fmt::Display for StorageError {
@@ -56,6 +59,9 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             StorageError::BadPageSize(sz) => {
                 write!(f, "unsupported page size {sz} (expected 8, 16, or 32 KB)")
+            }
+            StorageError::PagePinned { heap, page_no } => {
+                write!(f, "page {page_no} of heap {heap} is pinned; cannot evict")
             }
         }
     }

@@ -15,6 +15,9 @@
 //! * [`bufferpool`] — a pin-count + clock-eviction buffer pool with warm /
 //!   cold cache control and hit/miss statistics (the paper's default setup
 //!   is an 8 GB pool of 32 KB pages, §7);
+//! * [`shared_pool`] — the concurrent variant: sharded frames behind
+//!   interior mutability, `Arc` page images instead of pin counts, for the
+//!   serving tier's many simultaneous scans;
 //! * [`catalog`] — the RDBMS catalog that stores both table metadata and the
 //!   accelerator artifacts DAnA deploys ("DAnA stores accelerator metadata
 //!   (Strider and execution engine instruction schedules) in the RDBMS's
@@ -31,6 +34,7 @@ pub mod error;
 pub mod heap;
 pub mod page;
 pub mod schema;
+pub mod shared_pool;
 pub mod tuple;
 
 pub use batch::{OneBatchSource, SourceError, TupleBatch, TupleSource};
@@ -41,6 +45,7 @@ pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, HeapFileBuilder};
 pub use page::{HeapPage, PageLayoutDesc, PageView, LINE_POINTER_BYTES, PAGE_HEADER_BYTES};
 pub use schema::{ColumnType, Schema};
+pub use shared_pool::SharedBufferPool;
 pub use tuple::{Datum, Tuple, TUPLE_HEADER_BYTES};
 
 /// Identifies a heap file (a table's storage) within a database.

@@ -100,6 +100,61 @@ fn streaming_path_matches_reference_path_across_modes() {
     }
 }
 
+/// The serving tier's concurrent execution path (shared catalog + sharded
+/// buffer pool + `SharedPageStreamSource`) must train the bit-identical
+/// model to the single-threaded `Dana` facade, in every execution mode —
+/// the differential test holding the concurrency refactor to the serial
+/// path's math.
+#[test]
+fn concurrent_core_matches_single_threaded_across_modes() {
+    use dana_server::{SystemCore, SystemCoreConfig};
+
+    for (name, scale) in [("Remote Sensing LR", 0.004), ("Patient", 0.01)] {
+        let mut w = workload(name).unwrap().scaled(scale);
+        w.epochs = 3;
+        w.merge_coef = 8;
+        let pool = dana_storage::BufferPoolConfig {
+            pool_bytes: 256 << 20,
+            page_size: 32 * 1024,
+        };
+
+        let core = SystemCore::new(SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool,
+            pool_shards: 8,
+            disk: DiskModel::ssd(),
+        });
+        core.create_table("t", generate(&w, 32 * 1024, 123).unwrap().heap)
+            .unwrap();
+        core.prewarm("t").unwrap();
+
+        let mut db = Dana::new(FpgaSpec::vu9p(), pool, DiskModel::ssd());
+        db.create_table("t", generate(&w, 32 * 1024, 123).unwrap().heap)
+            .unwrap();
+        db.prewarm("t").unwrap();
+
+        let spec = w.spec();
+        for mode in [
+            ExecutionMode::Strider,
+            ExecutionMode::CpuFed,
+            ExecutionMode::Tabla,
+        ] {
+            let concurrent = core.train_with_spec(&spec, "t", mode).unwrap();
+            let serial = db.train_with_spec(&spec, "t", mode).unwrap();
+            assert_eq!(
+                concurrent.models, serial.models,
+                "{name}: {mode:?} concurrent path diverged from serial"
+            );
+            assert_eq!(concurrent.epochs_run, serial.epochs_run, "{name}: {mode:?}");
+            assert_eq!(
+                concurrent.engine.cycles, serial.engine.cycles,
+                "{name}: {mode:?} cycle counts diverged"
+            );
+        }
+        assert_eq!(core.held_frames(), 0, "{name}: leaked buffer-pool frames");
+    }
+}
+
 /// The compiled engine must train the same model as the software
 /// reference, for every dense algorithm, to f32 round-off.
 #[test]

@@ -1,0 +1,426 @@
+//! Multi-session stress tests for the serving tier: many clients
+//! submitting mixed deploy / execute / drop traffic against one
+//! [`DanaServer`], asserting (a) every trained model is bit-identical to
+//! serial execution, (b) no buffer-pool frame leaks, and (c) admission
+//! control sheds overload with typed errors.
+
+use dana::prelude::*;
+use dana_server::{
+    AdmissionConfig, DanaServer, QueryRequest, SchedPolicy, ServerConfig, ServerError,
+    SystemCoreConfig,
+};
+use dana_storage::BufferPoolConfig;
+use dana_workloads::{generate, workload};
+
+fn small_core_config() -> SystemCoreConfig {
+    SystemCoreConfig {
+        fpga: FpgaSpec::vu9p(),
+        pool: BufferPoolConfig {
+            pool_bytes: 128 << 20,
+            page_size: 32 * 1024,
+        },
+        pool_shards: 8,
+        disk: DiskModel::ssd(),
+    }
+}
+
+fn server(accelerators: usize, policy: SchedPolicy, max_queued: usize) -> DanaServer {
+    DanaServer::start(ServerConfig {
+        accelerators,
+        workers: accelerators,
+        admission: AdmissionConfig { max_queued, policy },
+        core: small_core_config(),
+    })
+}
+
+/// Serial reference: a fresh single-threaded `Dana` over the identical
+/// generated table, same spec, same mode.
+fn serial_models(w: &dana_workloads::Workload, seed: u64, mode: ExecutionMode) -> Vec<Vec<f32>> {
+    let table = generate(w, 32 * 1024, seed).unwrap();
+    let mut db = Dana::new(
+        FpgaSpec::vu9p(),
+        BufferPoolConfig {
+            pool_bytes: 128 << 20,
+            page_size: 32 * 1024,
+        },
+        DiskModel::ssd(),
+    );
+    db.create_table("t", table.heap).unwrap();
+    db.prewarm("t").unwrap();
+    db.train_with_spec(&w.spec(), "t", mode).unwrap().models
+}
+
+/// Many threads training different workloads in every execution mode,
+/// concurrently, against one server — every result must be bit-identical
+/// to the single-threaded reference.
+#[test]
+fn concurrent_mixed_mode_training_is_bit_identical_to_serial() {
+    let cases: Vec<(dana_workloads::Workload, u64)> = vec![
+        (
+            {
+                let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+                w.epochs = 3;
+                w.merge_coef = 8;
+                w
+            },
+            41,
+        ),
+        (
+            {
+                let mut w = workload("Patient").unwrap().scaled(0.01);
+                w.epochs = 3;
+                w.merge_coef = 8;
+                w
+            },
+            42,
+        ),
+    ];
+    let modes = [
+        ExecutionMode::Strider,
+        ExecutionMode::CpuFed,
+        ExecutionMode::Tabla,
+    ];
+
+    let srv = server(4, SchedPolicy::Fifo, 1024);
+    for (i, (w, seed)) in cases.iter().enumerate() {
+        let table = generate(w, 32 * 1024, *seed).unwrap();
+        srv.create_table(&format!("t{i}"), table.heap).unwrap();
+        srv.prewarm(&format!("t{i}")).unwrap();
+    }
+
+    // One client thread per (workload, mode) pair, all submitting at once.
+    let results = crossbeam::thread::scope(|s| {
+        let srv = &srv;
+        let cases = &cases;
+        let handles: Vec<_> = cases
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (w, seed))| {
+                modes.iter().map(move |mode| {
+                    s.spawn(move |_| {
+                        let session = srv.open_session(&format!("client-{i}-{mode:?}"));
+                        let reply = srv
+                            .call(
+                                session,
+                                QueryRequest::TrainSpec {
+                                    spec: w.spec(),
+                                    table: format!("t{i}"),
+                                    mode: *mode,
+                                },
+                            )
+                            .expect("query must succeed");
+                        (i, *seed, *mode, reply.report.models)
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+
+    assert_eq!(results.len(), cases.len() * modes.len());
+    for (i, seed, mode, models) in results {
+        let reference = serial_models(&cases[i].0, seed, mode);
+        assert_eq!(
+            models, reference,
+            "case {i} mode {mode:?}: concurrent result diverged from serial"
+        );
+    }
+
+    // Every frame released; every query accounted for.
+    assert_eq!(srv.core().held_frames(), 0, "buffer-pool frame leak");
+    let util = srv.shutdown();
+    assert_eq!(
+        util.leases.iter().sum::<u64>(),
+        (cases.len() * modes.len()) as u64
+    );
+}
+
+/// Mixed DDL + query churn from many sessions: private tables are
+/// created, deployed, queried, and dropped while a shared table serves
+/// queries throughout. Models stay bit-identical, stale accelerators
+/// refuse with typed errors, and no frame or page leaks survive.
+#[test]
+fn mixed_ddl_query_drop_stress_leaks_nothing() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+
+    let srv = server(4, SchedPolicy::Fifo, 1024);
+
+    // The long-lived shared workload.
+    let mut shared = workload("Patient").unwrap().scaled(0.01);
+    shared.epochs = 2;
+    shared.merge_coef = 8;
+    let table = generate(&shared, 32 * 1024, 7).unwrap();
+    srv.create_table("shared", table.heap).unwrap();
+    srv.prewarm("shared").unwrap();
+    let mut shared_spec = shared.spec();
+    shared_spec.name = "sharedR".into();
+    srv.deploy(&shared_spec, "shared").unwrap();
+    let shared_reference = serial_models(&shared, 7, ExecutionMode::Strider);
+
+    // Every client's private workload (identical data ⇒ identical expected
+    // model, distinct catalog names ⇒ real DDL contention).
+    let mut private = workload("Remote Sensing LR").unwrap().scaled(0.002);
+    private.epochs = 2;
+    private.merge_coef = 8;
+    let private_reference = serial_models(&private, 11, ExecutionMode::Strider);
+
+    crossbeam::thread::scope(|s| {
+        let srv = &srv;
+        let private = &private;
+        let shared_reference = &shared_reference;
+        let private_reference = &private_reference;
+        for c in 0..CLIENTS {
+            s.spawn(move |_| {
+                let session = srv.open_session(&format!("client-{c}"));
+                for r in 0..ROUNDS {
+                    let tname = format!("t_{c}_{r}");
+                    let uname = format!("udf_{c}_{r}");
+                    let table = generate(private, 32 * 1024, 11).unwrap();
+                    srv.create_table(&tname, table.heap).unwrap();
+                    let mut spec = private.spec();
+                    spec.name = uname.clone();
+                    srv.deploy(&spec, &tname).unwrap();
+
+                    // Private query: bit-identical to the serial reference.
+                    let reply = srv
+                        .call(
+                            session,
+                            QueryRequest::RunUdf {
+                                udf: uname.clone(),
+                                table: tname.clone(),
+                            },
+                        )
+                        .expect("private query");
+                    assert_eq!(
+                        &reply.report.models, private_reference,
+                        "client {c} round {r}"
+                    );
+
+                    // Shared query through the SQL front door, same check.
+                    let reply = srv
+                        .call(
+                            session,
+                            QueryRequest::Sql("SELECT * FROM dana.sharedR('shared');".to_string()),
+                        )
+                        .expect("shared query");
+                    assert_eq!(&reply.report.models, shared_reference);
+
+                    // Drop the private table; its accelerator must turn
+                    // stale with a typed error, not a dangling heap.
+                    let summary = srv.drop_table(&tname).unwrap();
+                    assert_eq!(summary.invalidated_udfs, vec![uname.clone()]);
+                    match srv.call(
+                        session,
+                        QueryRequest::RunUdf {
+                            udf: uname.clone(),
+                            table: tname.clone(),
+                        },
+                    ) {
+                        Err(ServerError::Dana(DanaError::StaleAccelerator {
+                            udf,
+                            dropped_table,
+                        })) => {
+                            assert_eq!(udf, uname);
+                            assert_eq!(dropped_table, tname);
+                        }
+                        other => panic!("expected StaleAccelerator, got {other:?}"),
+                    }
+                }
+                srv.close_session(session).unwrap()
+            });
+        }
+    })
+    .unwrap();
+
+    // Leak detectors: no held frames, no pages of dropped tables resident.
+    assert_eq!(srv.core().held_frames(), 0, "buffer-pool frame leak");
+    assert_eq!(srv.core().table_names(), vec!["shared".to_string()]);
+    let q = srv.queue_stats();
+    assert_eq!(q.depth, 0);
+    assert_eq!(
+        q.admitted,
+        (CLIENTS * ROUNDS * 3) as u64,
+        "2 successful queries + 1 stale refusal per round reach the queue"
+    );
+    assert_eq!(q.rejected, 0);
+    srv.shutdown();
+}
+
+/// Dropping a table while queries are actively scanning it must leave the
+/// pool completely clean: straggler scans keep their `Arc` snapshots and
+/// either finish with the bit-identical model or fail with a typed error
+/// — but no page of the dropped heap may stay resident afterwards (the
+/// orphan-page variant of the stale-page leak).
+#[test]
+fn drop_while_scanning_leaves_no_orphan_pages() {
+    let srv = server(2, SchedPolicy::Fifo, 64);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    let reference = serial_models(&w, 13, ExecutionMode::Strider);
+    srv.create_table("t", generate(&w, 32 * 1024, 13).unwrap().heap)
+        .unwrap();
+    let mut spec = w.spec();
+    spec.name = "victimR".into();
+    srv.deploy(&spec, "t").unwrap();
+
+    let session = srv.open_session("racer");
+    // Queue a burst, then drop the table while the burst is in flight.
+    let tickets: Vec<_> = (0..6)
+        .map(|_| {
+            srv.submit(
+                session,
+                QueryRequest::RunUdf {
+                    udf: "victimR".into(),
+                    table: "t".into(),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    srv.drop_table("t").unwrap();
+
+    let mut ok = 0;
+    for t in tickets {
+        match srv.wait(t) {
+            Ok(reply) => {
+                // A query that snapshotted the heap before the drop must
+                // still produce the exact serial model.
+                assert_eq!(reply.report.models, reference);
+                ok += 1;
+            }
+            Err(ServerError::Dana(
+                DanaError::StaleAccelerator { .. }
+                | DanaError::Storage(dana_storage::StorageError::UnknownTable(_)),
+            )) => {}
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert!(ok >= 1, "at least the in-flight query must complete");
+    // The only table is gone: nothing may remain resident or held.
+    assert_eq!(srv.core().held_frames(), 0, "frame leak");
+    assert_eq!(
+        srv.core().resident_pages(),
+        0,
+        "orphan pages of the dropped heap survived"
+    );
+    srv.shutdown();
+}
+
+/// A tiny admission queue in front of a single slow worker: the flood is
+/// shed with typed `Overloaded` errors and every admitted query still
+/// completes.
+#[test]
+fn admission_control_sheds_overload() {
+    let srv = server(1, SchedPolicy::Fifo, 2);
+    let mut w = workload("Patient").unwrap().scaled(0.01);
+    w.epochs = 2;
+    let table = generate(&w, 32 * 1024, 3).unwrap();
+    srv.create_table("t", table.heap).unwrap();
+    let mut spec = w.spec();
+    spec.name = "patientR".into();
+    srv.deploy(&spec, "t").unwrap();
+
+    let session = srv.open_session("flooder");
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..32 {
+        match srv.submit(
+            session,
+            QueryRequest::RunUdf {
+                udf: "patientR".into(),
+                table: "t".into(),
+            },
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(ServerError::Overloaded { queued, limit }) => {
+                assert!(queued >= limit);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected refusal: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a 2-deep queue must shed a 32-query flood");
+    let admitted = tickets.len();
+    for t in tickets {
+        let reply = srv.wait(t).expect("admitted queries must complete");
+        assert!(!reply.report.models.is_empty());
+    }
+    let stats = srv.session_stats(session).unwrap();
+    assert_eq!(stats.completed, admitted as u64);
+    assert_eq!(stats.submitted, 32);
+    let q = srv.queue_stats();
+    assert_eq!(q.admitted as usize, admitted);
+    assert_eq!(q.rejected as usize, rejected);
+    srv.shutdown();
+}
+
+/// Shortest-job-first actually reorders a backlog: with one worker wedged
+/// behind a long job, a later-submitted cheap query overtakes an earlier
+/// expensive one.
+#[test]
+fn sjf_lets_cheap_queries_overtake() {
+    let srv = server(1, SchedPolicy::Sjf, 64);
+
+    let mut small = workload("Patient").unwrap().scaled(0.004);
+    small.epochs = 1;
+    let mut big = workload("Patient").unwrap().scaled(0.04);
+    big.epochs = 8;
+
+    let ts = generate(&small, 32 * 1024, 5).unwrap();
+    let tb = generate(&big, 32 * 1024, 6).unwrap();
+    srv.create_table("small", ts.heap).unwrap();
+    srv.create_table("big", tb.heap).unwrap();
+    let mut small_spec = small.spec();
+    small_spec.name = "smallR".into();
+    let mut big_spec = big.spec();
+    big_spec.name = "bigR".into();
+    srv.deploy(&small_spec, "small").unwrap();
+    srv.deploy(&big_spec, "big").unwrap();
+
+    let session = srv.open_session("sjf");
+    // Wedge the single worker, then queue big-before-small.
+    let wedge = srv
+        .submit(
+            session,
+            QueryRequest::RunUdf {
+                udf: "bigR".into(),
+                table: "big".into(),
+            },
+        )
+        .unwrap();
+    let expensive = srv
+        .submit(
+            session,
+            QueryRequest::RunUdf {
+                udf: "bigR".into(),
+                table: "big".into(),
+            },
+        )
+        .unwrap();
+    let cheap = srv
+        .submit(
+            session,
+            QueryRequest::RunUdf {
+                udf: "smallR".into(),
+                table: "small".into(),
+            },
+        )
+        .unwrap();
+
+    let _ = srv.wait(wedge).unwrap();
+    let cheap_reply = srv.wait(cheap).unwrap();
+    let expensive_reply = srv.wait(expensive).unwrap();
+    assert!(
+        cheap_reply.queue_seconds < expensive_reply.queue_seconds,
+        "SJF must start the cheap query first (cheap waited {:.4}s, expensive {:.4}s)",
+        cheap_reply.queue_seconds,
+        expensive_reply.queue_seconds
+    );
+    srv.shutdown();
+}

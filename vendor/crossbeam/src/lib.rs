@@ -1,6 +1,223 @@
-//! Offline stand-in for `crossbeam`, covering only `crossbeam::thread`
-//! scoped threads — a thin adapter over `std::thread::scope` (std has had
-//! scoped threads since 1.63) with crossbeam's `Result`-returning surface.
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread` scoped
+//! threads — a thin adapter over `std::thread::scope` (std has had scoped
+//! threads since 1.63) with crossbeam's `Result`-returning surface — and
+//! the `crossbeam::channel` MPMC channels the serving tier uses, built on
+//! `Mutex<VecDeque>` + `Condvar` with crossbeam-channel's disconnect
+//! semantics.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signalled when a message arrives or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when capacity frees up or the last receiver leaves
+        /// (bounded channels only).
+        writable: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+
+    /// The sending half. Clone freely: the channel is multi-producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half. Clone freely: the channel is multi-consumer;
+    /// each message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A channel of unlimited capacity: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A channel holding at most `cap` in-flight messages: `send` blocks
+    /// while full. `cap` = 0 is clamped to 1 (this stand-in does not
+    /// implement rendezvous channels; no in-tree caller uses them).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while a bounded channel is full.
+        /// Errors (returning the message) once every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = st.cap.is_some_and(|c| st.items.len() >= c);
+                if !full {
+                    st.items.push_back(msg);
+                    drop(st);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                st = match self.shared.writable.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking while the channel is empty.
+        /// Errors once the channel is empty *and* every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(msg) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.writable.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.shared.readable.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.lock();
+            if let Some(msg) = st.items.pop_front() {
+                drop(st);
+                self.shared.writable.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;
@@ -54,6 +271,70 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Blocks until the main thread drains the slot.
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1, 2, 3, 4];
