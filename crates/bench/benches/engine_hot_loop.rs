@@ -1,0 +1,226 @@
+//! Engine hot-loop acceptance benchmark: interpreter vs lowered executor.
+//!
+//! The deploy-time-lowering refactor's measuring stick. One training run
+//! over the 5810×54 Remote Sensing LR workload (the `data_path` bench's
+//! loop) is driven through:
+//!
+//! * `rows_reference` — the original per-tuple `Vec<Vec<f32>>` pipeline
+//!   (extraction to rows + the nested-scratchpad interpreter), kept for
+//!   the long-term perf trajectory;
+//! * `interpreter` — the flat-batch streaming interpreter, the hot path
+//!   *before* this refactor (extraction to `TupleBatch` +
+//!   `run_training_interpreter_batch`);
+//! * `lowered` — the deploy-time-lowered SoA lockstep executor
+//!   (extraction to `TupleBatch` + `run_training_batch`).
+//!
+//! Both the end-to-end (extract + train) and the engine-only (train from a
+//! pre-extracted batch) timings are reported; the acceptance gate is the
+//! engine-executor comparison, which is what the lowering changed.
+//!
+//! Full runs append one JSON record per line to `BENCH_engine.json` at
+//! the repo root, so the file accumulates a cross-PR perf trajectory.
+//! Smoke mode (`DANA_SMOKE=1`) runs fewer iterations so CI exercises the
+//! full path on every push — smoke numbers are too noisy to be baselines,
+//! so smoke runs assert but do not record.
+
+use std::time::Instant;
+
+use dana_compiler::{schedule_hdfg, ScheduleParams};
+use dana_dsl::zoo::{logistic_regression, DenseParams};
+use dana_engine::{ExecutionEngine, ModelStore};
+use dana_hdfg::translate;
+use dana_storage::TupleBatch;
+use dana_strider::{AccessEngine, AccessEngineConfig};
+use dana_workloads::{generate, workload};
+
+/// Best-of-N wall milliseconds for `f`.
+fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    bench: String,
+    workload: String,
+    tuples: u64,
+    features: usize,
+    threads: u16,
+    epochs: u32,
+    iters: usize,
+    smoke: bool,
+    /// Engine-only (train from a pre-extracted batch), milliseconds.
+    train_rows_reference_ms: f64,
+    train_interpreter_ms: f64,
+    train_lowered_ms: f64,
+    /// End-to-end (extract every page + train), milliseconds.
+    e2e_interpreter_ms: f64,
+    e2e_lowered_ms: f64,
+    /// The acceptance number: lowered executor vs flat-batch interpreter.
+    speedup_lowered_vs_interpreter: f64,
+    speedup_e2e: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("DANA_SMOKE").is_ok();
+    let iters = if smoke { 5 } else { 25 };
+
+    let w = workload("Remote Sensing LR").unwrap().scaled(0.01); // 5810 × 54
+    let table = generate(&w, 32 * 1024, 17).unwrap();
+    let heap = &table.heap;
+    let access = AccessEngine::for_table(
+        *heap.layout(),
+        heap.schema().clone(),
+        AccessEngineConfig::new(
+            8,
+            dana_fpga::Clock::FPGA_150MHZ,
+            dana_fpga::AxiLink::with_bandwidth(2.5e9),
+        ),
+    );
+    let spec = logistic_regression(DenseParams {
+        n_features: 54,
+        merge_coef: 8,
+        epochs: 1,
+        learning_rate: 0.1,
+    })
+    .unwrap();
+    let design = schedule_hdfg(
+        &translate(&spec),
+        ScheduleParams {
+            num_threads: 8,
+            acs_per_thread: 2,
+            slots_per_au: 4096,
+            bus_lanes: 2,
+        },
+    )
+    .unwrap();
+    let engine = ExecutionEngine::new(design.clone()).unwrap();
+    let width = heap.schema().len();
+
+    println!(
+        "=== engine_hot_loop: {} tuples × {} features, {} threads, best of {iters} ===",
+        heap.tuple_count(),
+        width - 1,
+        design.num_threads
+    );
+
+    // ---- correctness gate: the two paths must agree bit-for-bit ---------
+    let mut batch = TupleBatch::with_capacity(width, heap.tuple_count() as usize);
+    for p in 0..heap.page_count() {
+        access
+            .extract_page_into(heap.page_bytes(p).unwrap(), &mut batch)
+            .unwrap();
+    }
+    let mut interp_store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+    let interp_stats = engine
+        .run_training_interpreter_batch(&batch, &mut interp_store)
+        .unwrap();
+    let mut lowered_store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+    let lowered_stats = engine
+        .run_training_batch(&batch, &mut lowered_store)
+        .unwrap();
+    assert_eq!(
+        interp_store, lowered_store,
+        "lowered executor must train the bit-identical model"
+    );
+    assert_eq!(interp_stats, lowered_stats, "cycle stats must agree");
+
+    // ---- engine-only: train from the pre-extracted batch ----------------
+    let train_rows_reference_ms = {
+        let tuples: Vec<Vec<f32>> = batch.rows().map(|r| r.to_vec()).collect();
+        best_ms(iters, || {
+            let mut store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+            engine.run_training_rows(&tuples, &mut store).unwrap();
+            std::hint::black_box(store);
+        })
+    };
+    let train_interpreter_ms = best_ms(iters, || {
+        let mut store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+        engine
+            .run_training_interpreter_batch(&batch, &mut store)
+            .unwrap();
+        std::hint::black_box(store);
+    });
+    let train_lowered_ms = best_ms(iters, || {
+        let mut store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+        engine.run_training_batch(&batch, &mut store).unwrap();
+        std::hint::black_box(store);
+    });
+
+    // ---- end-to-end: extract every page, then train ---------------------
+    let extract_and_train = |lowered: bool| {
+        let mut batch = TupleBatch::with_capacity(width, heap.tuple_count() as usize);
+        for p in 0..heap.page_count() {
+            access
+                .extract_page_into(heap.page_bytes(p).unwrap(), &mut batch)
+                .unwrap();
+        }
+        let mut store = ModelStore::new(&design, vec![vec![0.0; 54]]).unwrap();
+        if lowered {
+            engine.run_training_batch(&batch, &mut store).unwrap();
+        } else {
+            engine
+                .run_training_interpreter_batch(&batch, &mut store)
+                .unwrap();
+        }
+        std::hint::black_box(store);
+    };
+    let e2e_interpreter_ms = best_ms(iters, || extract_and_train(false));
+    let e2e_lowered_ms = best_ms(iters, || extract_and_train(true));
+
+    let speedup = train_interpreter_ms / train_lowered_ms;
+    let speedup_e2e = e2e_interpreter_ms / e2e_lowered_ms;
+    println!("engine-only   rows reference {train_rows_reference_ms:>8.3} ms");
+    println!("engine-only   interpreter    {train_interpreter_ms:>8.3} ms");
+    println!("engine-only   lowered SoA    {train_lowered_ms:>8.3} ms   ({speedup:.2}×)");
+    println!("end-to-end    interpreter    {e2e_interpreter_ms:>8.3} ms");
+    println!("end-to-end    lowered SoA    {e2e_lowered_ms:>8.3} ms   ({speedup_e2e:.2}×)");
+
+    let record = BenchRecord {
+        bench: "engine_hot_loop".into(),
+        workload: w.name.to_string(),
+        tuples: heap.tuple_count(),
+        features: width - 1,
+        threads: design.num_threads,
+        epochs: 1,
+        iters,
+        smoke,
+        train_rows_reference_ms,
+        train_interpreter_ms,
+        train_lowered_ms,
+        e2e_interpreter_ms,
+        e2e_lowered_ms,
+        speedup_lowered_vs_interpreter: speedup,
+        speedup_e2e,
+    };
+    if smoke {
+        println!("smoke mode: not recording (low-iteration numbers are not baselines)");
+    } else {
+        // Append (JSON lines): the trajectory accumulates across PRs.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+        let mut line = serde_json::to_string(&record).unwrap();
+        line.push('\n');
+        use std::io::Write;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .unwrap();
+        println!("recorded -> {path}");
+    }
+
+    // Acceptance: the lowered executor must clear 2× over the flat-batch
+    // interpreter (relaxed in smoke mode, where iteration counts are too
+    // low for stable minima on shared CI runners).
+    let floor = if smoke { 1.3 } else { 2.0 };
+    assert!(
+        speedup >= floor,
+        "lowered executor speedup {speedup:.2}× is below the {floor}× acceptance floor"
+    );
+}

@@ -11,6 +11,8 @@
 //! design point to estimate its relative performance. It chooses the
 //! smallest and best-performing design point."
 
+use std::sync::Arc;
+
 use dana_engine::{EngineDesign, ExecutionEngine};
 use dana_fpga::{FpgaSpec, ResourceBudget};
 use dana_hdfg::Hdfg;
@@ -59,10 +61,16 @@ pub struct PerfEstimate {
     pub post_merge_cycles: u64,
 }
 
-/// A deployable accelerator: engine design + Strider program + budget.
+/// A deployable accelerator: engine design + Strider program + budget,
+/// plus the **execution engine built once at compile time**. Validation
+/// and deploy-time lowering happen here — the query path only ever clones
+/// the `Arc`, never reconstructs the engine.
 #[derive(Debug, Clone)]
 pub struct CompiledAccelerator {
     pub design: EngineDesign,
+    /// The validated, lowered engine — shared by every query that runs
+    /// this accelerator.
+    pub engine: Arc<ExecutionEngine>,
     pub strider_program: Vec<Instr>,
     pub strider_config: [u64; 16],
     pub budget: ResourceBudget,
@@ -171,6 +179,7 @@ pub fn compile_with_threads(
     let estimate = estimate_perf(input, &engine);
     Ok(CompiledAccelerator {
         design,
+        engine: Arc::new(engine),
         strider_program,
         strider_config,
         budget,

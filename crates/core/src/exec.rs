@@ -11,11 +11,14 @@
 //! [`assemble_report`] is a pure function of them. Bit-identical results
 //! between the serial and concurrent paths fall out of that purity.
 
+use std::any::Any;
+use std::sync::Arc;
+
 use dana_compiler::{CompiledAccelerator, PerfEstimate};
-use dana_engine::{EngineDesign, EngineStats, ModelStore};
+use dana_engine::{EngineDesign, EngineStats, ExecutionEngine, LoweredProgram, ModelStore};
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
 use dana_ml::CpuModel;
-use dana_storage::{DiskModel, HeapFile};
+use dana_storage::{AcceleratorEntry, DiskModel, HeapFile};
 use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
 
 use crate::error::{DanaError, DanaResult};
@@ -29,9 +32,14 @@ pub const CPU_FEED_HANDSHAKE_S: f64 = 0.35e-6;
 
 /// Catalog payload: everything the query path needs to reconstruct the
 /// accelerator (stored as the `design_blob` JSON in the RDBMS catalog).
+/// Since the deploy-time lowering refactor it also carries the
+/// [`LoweredProgram`] — the pre-resolved executable artifact — so
+/// restoring an engine from the catalog reuses the deploy-time lowering
+/// instead of re-deriving it.
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct ArtifactBlob {
     pub design: EngineDesign,
+    pub lowered: LoweredProgram,
     pub budget: ResourceBudget,
     pub estimate: PerfEstimate,
 }
@@ -40,6 +48,7 @@ impl ArtifactBlob {
     pub fn from_compiled(acc: &CompiledAccelerator) -> ArtifactBlob {
         ArtifactBlob {
             design: acc.design.clone(),
+            lowered: acc.engine.lowered().clone(),
             budget: acc.budget,
             estimate: acc.estimate,
         }
@@ -54,6 +63,60 @@ impl ArtifactBlob {
     pub fn decode(blob: &str) -> DanaResult<ArtifactBlob> {
         serde_json::from_str(blob).map_err(|e| DanaError::Blob(e.to_string()))
     }
+}
+
+/// The runtime artifact one EXECUTE needs, resolved once per deployed
+/// accelerator and cached on its catalog entry: the validated + lowered
+/// engine behind an `Arc`, plus the resource budget and deploy-time
+/// estimate (so the hot path never re-parses the JSON blob either).
+pub struct CachedAccelerator {
+    pub engine: Arc<ExecutionEngine>,
+    pub budget: ResourceBudget,
+    pub estimate: PerfEstimate,
+}
+
+impl CachedAccelerator {
+    pub fn from_compiled(acc: &CompiledAccelerator) -> CachedAccelerator {
+        CachedAccelerator {
+            engine: Arc::clone(&acc.engine),
+            budget: acc.budget,
+            estimate: acc.estimate,
+        }
+    }
+}
+
+/// Installs the compile-time engine on a catalog entry's runtime cache —
+/// called at DEPLOY so the first EXECUTE is already a cache hit.
+pub fn prime_runtime(entry: &AcceleratorEntry, acc: &CompiledAccelerator) {
+    entry
+        .runtime
+        .set(Arc::new(CachedAccelerator::from_compiled(acc)));
+}
+
+/// Resolves a catalog entry's runtime artifact: a cache hit returns the
+/// shared engine untouched; a miss (an entry restored from a persisted
+/// blob, or one whose cache was invalidated) decodes the blob, rebuilds
+/// the engine from the deploy-time lowering, and installs it for every
+/// later query. Returns `(artifact, built_now)`.
+pub fn cached_accelerator(entry: &AcceleratorEntry) -> DanaResult<(Arc<CachedAccelerator>, bool)> {
+    if let Some(cached) = entry
+        .runtime
+        .get()
+        .and_then(|any| Arc::downcast::<CachedAccelerator>(any).ok())
+    {
+        return Ok((cached, false));
+    }
+    let blob = ArtifactBlob::decode(&entry.design_blob)?;
+    let engine = Arc::new(ExecutionEngine::from_artifact(blob.design, blob.lowered)?);
+    let cached = Arc::new(CachedAccelerator {
+        engine,
+        budget: blob.budget,
+        estimate: blob.estimate,
+    });
+    entry
+        .runtime
+        .set(Arc::clone(&cached) as Arc<dyn Any + Send + Sync>);
+    Ok((cached, true))
 }
 
 /// Initial model values: zeros for broadcast (dense) models, the shared
@@ -184,8 +247,10 @@ mod tests {
             num_acs: 2,
             num_threads: 2,
         };
+        let design = test_design();
         let blob = ArtifactBlob {
-            design: test_design(),
+            lowered: dana_engine::lower(&design),
+            design,
             budget,
             estimate,
         };
@@ -193,6 +258,10 @@ mod tests {
         assert_eq!(decoded.estimate.epoch_engine_cycles, 1000);
         assert_eq!(decoded.design, blob.design);
         assert_eq!(decoded.budget, budget);
+        // The deploy-time lowering artifact survives the catalog round
+        // trip bit-for-bit and is consistent with its design.
+        assert_eq!(decoded.lowered, blob.lowered);
+        assert!(decoded.lowered.is_consistent_with(&decoded.design));
         // Corrupt blobs surface as typed errors, not panics.
         assert!(ArtifactBlob::decode("not json").is_err());
     }

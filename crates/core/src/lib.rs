@@ -56,7 +56,7 @@ pub use analytic::{
     compile_workload, AnalyticTiming, SystemParams,
 };
 pub use error::{DanaError, DanaResult};
-pub use exec::{ArtifactBlob, RunArtifacts};
+pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
 pub use query::{parse_query, QueryCall};
 pub use report::{DanaReport, DanaTiming, QueryOutcome};

@@ -15,8 +15,8 @@
 use dana_compiler::{
     compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
 };
-use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
-use dana_fpga::{FpgaSpec, ResourceBudget};
+use dana_engine::ModelStore;
+use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
 use dana_storage::{
@@ -140,12 +140,14 @@ impl Dana {
     }
 
     /// Compiles a UDF for `table` and stores the accelerator in the
-    /// catalog under the UDF's name.
+    /// catalog under the UDF's name. All expensive resolution happens
+    /// here: the compiled engine (validated + lowered once) is installed
+    /// on the entry's runtime cache, so EXECUTE never constructs one.
     pub fn deploy(&mut self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
         let acc = self.compile_for(spec, table, None)?;
         let blob = ArtifactBlob::from_compiled(&acc);
         let words = dana_strider::isa::encode_program(&acc.strider_program)?;
-        self.catalog.deploy_accelerator(AcceleratorEntry {
+        let entry = AcceleratorEntry {
             udf_name: spec.name.clone(),
             strider_program: words,
             design_blob: blob.encode()?,
@@ -157,7 +159,10 @@ impl Dana {
             ),
             bound_table: table.to_string(),
             stale: false,
-        });
+            runtime: dana_storage::RuntimeCache::default(),
+        };
+        exec::prime_runtime(&entry, &acc);
+        self.catalog.deploy_accelerator(entry);
         Ok(DeployInfo {
             udf_name: spec.name.clone(),
             num_threads: acc.design.num_threads,
@@ -192,6 +197,10 @@ impl Dana {
     }
 
     /// Runs a deployed accelerator by UDF name (full-Strider mode).
+    ///
+    /// The EXECUTE hot path: the engine comes out of the entry's runtime
+    /// cache, primed at DEPLOY — no blob decode, no validation, no
+    /// lowering, no design clone per query.
     pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
         if entry.stale {
@@ -203,22 +212,18 @@ impl Dana {
                 dropped_table: entry.bound_table.clone(),
             });
         }
-        let blob = ArtifactBlob::decode(&entry.design_blob)?;
+        let (cached, _built) = exec::cached_accelerator(entry)?;
         // Exercise the catalog round trip: the stored Strider words must
         // decode back into a program.
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
         debug_assert!(!decoded.is_empty());
-        self.run_compiled(
-            &blob.design,
-            blob.budget,
-            blob.estimate,
-            table,
-            ExecutionMode::Strider,
-        )
+        self.run_with_engine(&cached, table, ExecutionMode::Strider)
     }
 
     /// Compiles a spec ad hoc and runs it in the given mode (the Fig. 11 /
     /// Fig. 16 ablation entry point; nothing is stored in the catalog).
+    /// The engine is the one the compiler already built — no second
+    /// construction.
     pub fn train_with_spec(
         &mut self,
         spec: &dana_dsl::AlgoSpec,
@@ -230,7 +235,7 @@ impl Dana {
             _ => None,
         };
         let acc = self.compile_for(spec, table, threads)?;
-        self.run_compiled(&acc.design, acc.budget, acc.estimate, table, mode)
+        self.run_with_engine(&exec::CachedAccelerator::from_compiled(&acc), table, mode)
     }
 
     fn compile_for(
@@ -254,14 +259,15 @@ impl Dana {
         })
     }
 
-    fn run_compiled(
+    fn run_with_engine(
         &mut self,
-        design: &EngineDesign,
-        budget: ResourceBudget,
-        _estimate: PerfEstimate,
+        acc: &exec::CachedAccelerator,
         table: &str,
         mode: ExecutionMode,
     ) -> DanaResult<DanaReport> {
+        let budget = acc.budget;
+        let engine = &acc.engine;
+        let design = engine.design();
         let entry = self.catalog.table(table)?;
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
@@ -269,10 +275,10 @@ impl Dana {
         let access = exec::access_engine_for(heap, budget, &self.fpga);
 
         // ---- compute path, fed by the streaming data path ---------------
-        // The engine pulls flat batches page-by-page out of the buffer
-        // pool: fetch → extract (Striders or CPU, per mode) → train
-        // interleave with no full-table materialization (Fig. 2).
-        let engine = ExecutionEngine::new(design.clone())?;
+        // The shared, deploy-time-built engine pulls flat batches
+        // page-by-page out of the buffer pool: fetch → extract (Striders
+        // or CPU, per mode) → train interleave with no full-table
+        // materialization (Fig. 2).
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let io_before = pool.stats().io_seconds;
         let feed = if mode.uses_striders() {
@@ -346,9 +352,8 @@ impl Dana {
             pool.unpin(frame);
         }
 
-        let engine = ExecutionEngine::new(acc.design.clone())?;
         let mut store = ModelStore::new(&acc.design, exec::initial_models(&acc.design))?;
-        engine.run_training_rows(&tuples, &mut store)?;
+        acc.engine.run_training_rows(&tuples, &mut store)?;
         Ok(store.into_values())
     }
 }

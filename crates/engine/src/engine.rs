@@ -19,6 +19,7 @@ use dana_storage::{OneBatchSource, TupleBatch, TupleSource};
 
 use crate::error::{EngineError, EngineResult};
 use crate::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
+use crate::lowered::{lower, LoweredProgram};
 
 /// Shared-bus width in f32 elements per cycle, for model write-back and
 /// broadcast (a 512-bit data bus).
@@ -201,7 +202,26 @@ pub struct EngineStats {
     pub broadcast_cycles: u64,
 }
 
-/// The interpreter.
+/// The execution engine: a validated design plus its deploy-time
+/// lowering.
+///
+/// Two execution tiers share this struct:
+///
+/// * the **lowered hot path** ([`ExecutionEngine::run_training`]) executes
+///   the pre-resolved [`LoweredProgram`] group-at-a-time over a slot-major
+///   SoA scratchpad — no per-op operand dispatch, no index arithmetic, no
+///   hazard branches;
+/// * the **reference interpreters**
+///   ([`ExecutionEngine::run_training_interpreter`] over the streaming flat
+///   scratchpad, [`ExecutionEngine::run_training_rows`] over the original
+///   nested one) are retained verbatim as differential-testing baselines —
+///   the equivalence suite holds all tiers to bit-identical models *and*
+///   cycle stats.
+///
+/// Construction is the expensive step (validation + lowering); it happens
+/// once at DEPLOY and the engine is then shared immutably (`Arc`) across
+/// any number of concurrent queries.
+#[derive(Debug)]
 pub struct ExecutionEngine {
     design: EngineDesign,
     /// Model-row elements gathered per tuple by the per-tuple program
@@ -218,12 +238,33 @@ pub struct ExecutionEngine {
     /// through the read-before-write staging buffer.
     per_tuple_direct: Vec<bool>,
     post_merge_direct: Vec<bool>,
+    /// The deploy-time lowering of `design` (the hot path's program).
+    lowered: LoweredProgram,
 }
 
 impl ExecutionEngine {
-    /// Validates the design's program against its structural constraints
-    /// and constructs the engine.
+    /// Validates the design's program against its structural constraints,
+    /// runs the deploy-time lowering pass, and constructs the engine.
     pub fn new(design: EngineDesign) -> EngineResult<ExecutionEngine> {
+        ExecutionEngine::build(design, None)
+    }
+
+    /// Restores an engine from a catalog artifact: the design plus the
+    /// lowered program produced at deploy time. The design is re-validated;
+    /// the lowered program is reused as-is when structurally consistent
+    /// (and re-derived otherwise, so a corrupt blob degrades to a fresh
+    /// lowering rather than out-of-bounds execution).
+    pub fn from_artifact(
+        design: EngineDesign,
+        lowered: LoweredProgram,
+    ) -> EngineResult<ExecutionEngine> {
+        ExecutionEngine::build(design, Some(lowered))
+    }
+
+    fn build(
+        design: EngineDesign,
+        lowered: Option<LoweredProgram>,
+    ) -> EngineResult<ExecutionEngine> {
         validate(&design)?;
         let gather_elems = design
             .program
@@ -251,6 +292,10 @@ impl ExecutionEngine {
             .iter()
             .map(|s| step_is_hazard_free(s, slots))
             .collect();
+        let lowered = match lowered {
+            Some(lp) if lp.is_consistent_with(&design) => lp,
+            _ => lower(&design),
+        };
         Ok(ExecutionEngine {
             design,
             gather_elems,
@@ -259,6 +304,7 @@ impl ExecutionEngine {
             output_flat,
             per_tuple_direct,
             post_merge_direct,
+            lowered,
         })
     }
 
@@ -266,17 +312,37 @@ impl ExecutionEngine {
         &self.design
     }
 
+    /// The deploy-time lowering artifact (persisted in the catalog blob).
+    pub fn lowered(&self) -> &LoweredProgram {
+        &self.lowered
+    }
+
     /// Runs training to convergence (or the epoch cap), pulling tuples from
-    /// a streaming [`TupleSource`]. Batches are consumed as the source
-    /// produces them — typically one per buffer-pool page — so extraction
-    /// and compute interleave exactly as the paper's access/execution
-    /// engine pipeline does (§5.1.1). Thread groups are formed across
-    /// batch boundaries: the trained model is a pure function of the tuple
-    /// stream, never of how the source happened to batch it.
+    /// a streaming [`TupleSource`] — **the hot path**, executing the
+    /// deploy-time [`LoweredProgram`] group-at-a-time over the slot-major
+    /// SoA scratchpad. Batches are consumed as the source produces them —
+    /// typically one per buffer-pool page — so extraction and compute
+    /// interleave exactly as the paper's access/execution engine pipeline
+    /// does (§5.1.1). Thread groups are formed across batch boundaries:
+    /// the trained model is a pure function of the tuple stream, never of
+    /// how the source happened to batch it.
     ///
     /// At each epoch boundary the source is rewound to replay the scan.
-    /// `store` holds the models and receives the result.
+    /// `store` holds the models and receives the result. Models and cycle
+    /// stats are bit-identical to both retained interpreter tiers.
     pub fn run_training(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<EngineStats> {
+        self.lowered.run_streaming(&self.design, source, store)
+    }
+
+    /// The retained streaming flat-scratchpad interpreter — the
+    /// pre-lowering hot path, kept verbatim as the second reference tier
+    /// for differential testing (and the `engine_hot_loop` benchmark's
+    /// baseline). Dispatches `MicroOp`/`Src` per op per tuple.
+    pub fn run_training_interpreter(
         &self,
         source: &mut dyn TupleSource,
         store: &mut ModelStore,
@@ -316,6 +382,16 @@ impl ExecutionEngine {
         store: &mut ModelStore,
     ) -> EngineResult<EngineStats> {
         self.run_training(&mut OneBatchSource::new(batch), store)
+    }
+
+    /// [`ExecutionEngine::run_training_interpreter`] over one materialized
+    /// batch.
+    pub fn run_training_interpreter_batch(
+        &self,
+        batch: &TupleBatch,
+        store: &mut ModelStore,
+    ) -> EngineResult<EngineStats> {
+        self.run_training_interpreter(&mut OneBatchSource::new(batch), store)
     }
 
     /// Flat per-thread scratchpad (one contiguous `aus × slots` vec per
@@ -602,19 +678,19 @@ impl ExecutionEngine {
                     }
                     MicroOp::Gather { model, index, dst } => {
                         let row = self.row_index(&mem[thread], index, *model)?;
-                        let mdesc = &self.design.models[*model as usize];
-                        let base = row * mdesc.cols;
+                        let base = row * self.design.models[*model as usize].cols;
+                        let values = store.model(*model as usize);
                         for (k, loc) in dst.iter().enumerate() {
-                            writes.push((self.flat(loc), store.model(*model as usize)[base + k]));
+                            writes.push((self.flat(loc), values[base + k]));
                         }
                     }
                     MicroOp::Scatter { model, index, src } => {
                         let row = self.row_index(&mem[thread], index, *model)?;
-                        let mdesc = &self.design.models[*model as usize];
-                        let base = row * mdesc.cols;
+                        let base = row * self.design.models[*model as usize].cols;
+                        let t_mem = &mem[thread];
+                        let m = store.model_mut(*model as usize);
                         for (k, loc) in src.iter().enumerate() {
-                            let v = mem[thread][self.flat(loc)];
-                            store.model_mut(*model as usize)[base + k] = v;
+                            m[base + k] = t_mem[self.flat(loc)];
                         }
                     }
                 }
@@ -692,14 +768,13 @@ impl ExecutionEngine {
                     cycles += (src.len() as u64).div_ceil(BUS_WORDS);
                 }
                 ModelWrite::Row { model, index, src } => {
-                    // Every active thread scatters its rows through the
-                    // shared model-memory ports — the LRMF merge overhead
-                    // of §7.2.
-                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    // Validate every thread's row index before charging or
+                    // touching model memory: an out-of-range row must not
+                    // inflate `merge_cycles` (or half-apply the scatter)
+                    // on the error path.
+                    let mdesc = &self.design.models[*model as usize];
                     for t_mem in mem.iter().take(active) {
-                        let raw = t_mem[self.flat(index)];
-                        let row = raw.round() as i64;
-                        let mdesc = &self.design.models[*model as usize];
+                        let row = t_mem[self.flat(index)].round() as i64;
                         if row < 0 || row as usize >= mdesc.rows {
                             return Err(EngineError::RowOutOfRange {
                                 model: *model,
@@ -707,8 +782,14 @@ impl ExecutionEngine {
                                 rows: mdesc.rows,
                             });
                         }
-                        let base = row as usize * mdesc.cols;
-                        let m = store.model_mut(*model as usize);
+                    }
+                    // Every active thread scatters its rows through the
+                    // shared model-memory ports — the LRMF merge overhead
+                    // of §7.2.
+                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    let m = store.model_mut(*model as usize);
+                    for t_mem in mem.iter().take(active) {
+                        let base = t_mem[self.flat(index)].round() as usize * mdesc.cols;
                         for (k, loc) in src.iter().enumerate() {
                             m[base + k] = t_mem[self.flat(loc)];
                         }
@@ -721,11 +802,14 @@ impl ExecutionEngine {
 
     // ---- retained reference interpreter (pre-streaming representation) ----
     //
-    // These are the pre-refactor helper implementations, verbatim: nested
+    // These are the pre-refactor helper implementations: nested
     // thread→AU→slot scratchpads and a per-step write vec. They exist so
     // `run_training_rows` is a faithful baseline — both for differential
-    // correctness tests and for the `data_path` microbenchmark's
-    // before/after comparison.
+    // correctness tests and for the microbenchmarks' before/after
+    // comparisons. (Two semantics-preserving cleanups are applied to both
+    // interpreter tiers: model-slice lookups hoisted out of per-element
+    // gather/scatter loops, and row write-back validation moved ahead of
+    // cycle charging.)
 
     fn broadcast_models_rows(
         &self,
@@ -778,19 +862,19 @@ impl ExecutionEngine {
                     }
                     MicroOp::Gather { model, index, dst } => {
                         let row = self.row_index_rows(&mem[thread], index, *model)?;
-                        let mdesc = &self.design.models[*model as usize];
-                        let base = row * mdesc.cols;
+                        let base = row * self.design.models[*model as usize].cols;
+                        let values = store.model(*model as usize);
                         for (k, loc) in dst.iter().enumerate() {
-                            writes.push((*loc, store.model(*model as usize)[base + k]));
+                            writes.push((*loc, values[base + k]));
                         }
                     }
                     MicroOp::Scatter { model, index, src } => {
                         let row = self.row_index_rows(&mem[thread], index, *model)?;
-                        let mdesc = &self.design.models[*model as usize];
-                        let base = row * mdesc.cols;
+                        let base = row * self.design.models[*model as usize].cols;
+                        let t_mem = &mem[thread];
+                        let m = store.model_mut(*model as usize);
                         for (k, loc) in src.iter().enumerate() {
-                            let v = mem[thread][loc.au as usize][loc.slot as usize];
-                            store.model_mut(*model as usize)[base + k] = v;
+                            m[base + k] = t_mem[loc.au as usize][loc.slot as usize];
                         }
                     }
                 }
@@ -866,11 +950,10 @@ impl ExecutionEngine {
                     cycles += (src.len() as u64).div_ceil(BUS_WORDS);
                 }
                 ModelWrite::Row { model, index, src } => {
-                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    // Validate-then-charge, mirroring `write_models`.
+                    let mdesc = &self.design.models[*model as usize];
                     for t_mem in mem.iter().take(active) {
-                        let raw = t_mem[index.au as usize][index.slot as usize];
-                        let row = raw.round() as i64;
-                        let mdesc = &self.design.models[*model as usize];
+                        let row = t_mem[index.au as usize][index.slot as usize].round() as i64;
                         if row < 0 || row as usize >= mdesc.rows {
                             return Err(EngineError::RowOutOfRange {
                                 model: *model,
@@ -878,8 +961,12 @@ impl ExecutionEngine {
                                 rows: mdesc.rows,
                             });
                         }
-                        let base = row as usize * mdesc.cols;
-                        let m = store.model_mut(*model as usize);
+                    }
+                    cycles += (active as u64 * src.len() as u64).div_ceil(MODEL_PORTS);
+                    let m = store.model_mut(*model as usize);
+                    for t_mem in mem.iter().take(active) {
+                        let base = t_mem[index.au as usize][index.slot as usize].round() as usize
+                            * mdesc.cols;
                         for (k, loc) in src.iter().enumerate() {
                             m[base + k] = t_mem[loc.au as usize][loc.slot as usize];
                         }
@@ -926,7 +1013,7 @@ impl ExecutionEngine {
 /// semantics. (Write-write collisions resolve in program order on both
 /// paths, so only read-after-write forces staging. Scatter store writes
 /// and Gather store reads happen in program order on both paths too.)
-fn step_is_hazard_free(step: &Step, slots: usize) -> bool {
+pub(crate) fn step_is_hazard_free(step: &Step, slots: usize) -> bool {
     let flat = |au: u16, slot: u16| au as usize * slots + slot as usize;
     let mut written: Vec<usize> = Vec::new();
     for op in &step.ops {

@@ -26,17 +26,31 @@
 //!   (Table 1's operation set), plus row `Gather`/`Scatter` against model
 //!   memory for LRMF.
 //!
-//! The interpreter is functional *and* cycle-accurate: it computes real f32
+//! Execution is two-tier. The hot path is the **deploy-time-lowered SoA
+//! lockstep executor** ([`lowered`]): the scheduled program is lowered
+//! once — at deploy — into flat pre-resolved ops (raw scratchpad offsets,
+//! inlined constants, statically staged hazards, pre-bound model shapes)
+//! and executed group-at-a-time over a slot-major structure-of-arrays
+//! scratchpad, one tight inner loop per op across all lockstep threads.
+//! The original interpreters ([`ExecutionEngine::run_training_interpreter`]
+//! over the flat scratchpad, [`ExecutionEngine::run_training_rows`] over
+//! the nested one) are retained as differential-testing reference tiers.
+//!
+//! Every tier is functional *and* cycle-accurate: it computes real f32
 //! results (trained models are checked against software references in the
 //! integration tests) while charging the static schedule's cycle cost —
-//! the same cost the compiler's performance estimator predicts.
+//! the same cost the compiler's performance estimator predicts. The
+//! equivalence and differential suites hold all tiers bit-identical in
+//! models and stats.
 
 pub mod engine;
 pub mod error;
 pub mod isa;
+pub mod lowered;
 
 pub use engine::{
     ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore, ModelWrite,
 };
 pub use error::{EngineError, EngineResult};
 pub use isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
+pub use lowered::{lower, LoweredOp, LoweredProgram};

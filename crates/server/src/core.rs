@@ -9,30 +9,35 @@
 //!   run lock-free; DDL takes the write lock only for the map mutation;
 //! * the **buffer pool** is the sharded [`SharedBufferPool`], fetched
 //!   through `&self`;
-//! * per-query state (access engine, execution engine, model store,
-//!   stream source) is built fresh per request, so any number of queries
-//!   run in parallel, each borrowing a leased accelerator instance.
+//! * the **execution engine is never built per query**: DEPLOY compiles,
+//!   validates, and lowers it once, caching `Arc<ExecutionEngine>` (plus
+//!   budget and estimate) on the catalog entry's `RuntimeCache`; EXECUTE
+//!   clones the `Arc` under the read lock and runs. Only genuinely
+//!   per-query state (access engine, model store, stream source) is
+//!   built per request, so any number of queries run in parallel, each
+//!   borrowing a leased accelerator instance and the shared engine.
 //!
 //! Every numerical path is byte-for-byte the one `Dana` runs — the
-//! compile pipeline, extraction, engine interpreter, and
+//! compile pipeline, extraction, lowered executor, and
 //! `dana::exec::assemble_report` are shared — which is what the
 //! equivalence suite holds the serving tier to.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use dana::exec::{self, ArtifactBlob, RunArtifacts};
+use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts};
 use dana::{
     DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, ExecutionMode, FeedKind,
     SharedPageStreamSource,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
-use dana_engine::{EngineDesign, ExecutionEngine, ModelStore};
-use dana_fpga::{FpgaSpec, ResourceBudget};
+use dana_engine::ModelStore;
+use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
 use dana_storage::{
     AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
-    SharedBufferPool, TableEntry,
+    RuntimeCache, SharedBufferPool, TableEntry,
 };
 use dana_strider::disassemble;
 
@@ -65,6 +70,19 @@ pub struct SystemCore {
     disk: DiskModel,
     fpga: FpgaSpec,
     cpu: CpuModel,
+    /// Execution engines constructed (deploy-time builds + cache misses) —
+    /// the EXECUTE path must never grow this past the deploy count.
+    engines_built: AtomicU64,
+    /// EXECUTE/estimate requests served from a cached `Arc<ExecutionEngine>`.
+    engine_cache_hits: AtomicU64,
+}
+
+/// Engine-construction accounting: how many engines were ever built vs.
+/// how many requests rode the DEPLOY-time cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    pub built: u64,
+    pub hits: u64,
 }
 
 impl SystemCore {
@@ -75,6 +93,8 @@ impl SystemCore {
             disk: config.disk,
             fpga: config.fpga,
             cpu: CpuModel::i7_6700(),
+            engines_built: AtomicU64::new(0),
+            engine_cache_hits: AtomicU64::new(0),
         }
     }
 
@@ -108,6 +128,15 @@ impl SystemCore {
 
     pub fn resident_pages(&self) -> usize {
         self.pool.resident_pages()
+    }
+
+    /// Engine-construction counters — the serving tier's proof that
+    /// repeated EXECUTEs share one DEPLOY-time engine.
+    pub fn engine_cache_stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            built: self.engines_built.load(Ordering::Relaxed),
+            hits: self.engine_cache_hits.load(Ordering::Relaxed),
+        }
     }
 
     // ---- DDL ------------------------------------------------------------
@@ -187,7 +216,12 @@ impl SystemCore {
             ),
             bound_table: table.to_string(),
             stale: false,
+            runtime: RuntimeCache::default(),
         };
+        // The compile already built (validated + lowered) the engine once;
+        // prime the entry so every EXECUTE is a cache hit.
+        exec::prime_runtime(&entry, &acc);
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
         {
             let mut cat = self.write();
             // The compile raced against DDL: only install if the table the
@@ -226,16 +260,15 @@ impl SystemCore {
     // ---- query execution ------------------------------------------------
 
     /// Runs a deployed accelerator by UDF name (full-Strider mode).
+    ///
+    /// The concurrent EXECUTE hot path: a short catalog read lock snapshots
+    /// the cached `Arc<ExecutionEngine>` (built once at DEPLOY) and the
+    /// heap; no blob decode, validation, lowering, or design clone happens
+    /// per query.
     pub fn run_udf(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
-        let blob = self.accelerator_blob(udf)?;
+        let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        self.run_on_heap(
-            &blob.design,
-            blob.budget,
-            entry.heap_id,
-            &heap,
-            ExecutionMode::Strider,
-        )
+        self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider)
     }
 
     /// Compiles `spec` ad hoc and runs it in the given mode (nothing is
@@ -257,10 +290,17 @@ impl SystemCore {
             _ => None,
         };
         let acc = self.compile_for(spec, &heap, entry.tuple_count, threads)?;
-        self.run_on_heap(&acc.design, acc.budget, entry.heap_id, &heap, mode)
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
+        self.run_on_heap(
+            &CachedAccelerator::from_compiled(&acc),
+            entry.heap_id,
+            &heap,
+            mode,
+        )
     }
 
     /// Snapshot of the accelerator's artifact blob, with the stale check.
+    /// (Introspection path — queries use [`SystemCore::accelerator_runtime`].)
     pub fn accelerator_blob(&self, udf: &str) -> DanaResult<ArtifactBlob> {
         let cat = self.read();
         let entry = cat.accelerator(udf)?;
@@ -273,13 +313,36 @@ impl SystemCore {
         ArtifactBlob::decode(&entry.design_blob)
     }
 
+    /// The accelerator's cached runtime artifact (engine + budget +
+    /// estimate), with the stale check. Served from the entry's DEPLOY-time
+    /// cache under a short read lock; a miss (cache invalidated or entry
+    /// restored from a blob) rebuilds from the persisted lowering once.
+    pub fn accelerator_runtime(&self, udf: &str) -> DanaResult<Arc<CachedAccelerator>> {
+        let cat = self.read();
+        let entry = cat.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, built) = exec::cached_accelerator(entry)?;
+        if built {
+            self.engines_built.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.engine_cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(cached)
+    }
+
     /// SJF's ordering key for a deployed UDF: the deploy-time estimate
-    /// priced in simulated seconds.
+    /// priced in simulated seconds (read straight off the runtime cache —
+    /// submit-time cost hints don't re-parse catalog blobs either).
     pub fn estimated_seconds(&self, udf: &str) -> DanaResult<f64> {
-        let blob = self.accelerator_blob(udf)?;
+        let cached = self.accelerator_runtime(udf)?;
         Ok(exec::estimate_seconds(
-            &blob.estimate,
-            blob.design.convergence.max_epochs(),
+            &cached.estimate,
+            cached.engine.design().convergence.max_epochs(),
             &self.fpga,
         ))
     }
@@ -317,18 +380,19 @@ impl SystemCore {
     }
 
     /// The concurrent query hot path: stream the snapshotted heap through
-    /// the shared pool into a fresh engine — no locks held while training
-    /// runs.
+    /// the shared pool into the shared DEPLOY-time engine — no locks held
+    /// while training runs, no per-query engine construction.
     fn run_on_heap(
         &self,
-        design: &EngineDesign,
-        budget: ResourceBudget,
+        acc: &CachedAccelerator,
         heap_id: HeapId,
         heap: &HeapFile,
         mode: ExecutionMode,
     ) -> DanaResult<DanaReport> {
+        let budget = acc.budget;
+        let engine = &acc.engine;
+        let design = engine.design();
         let access = exec::access_engine_for(heap, budget, &self.fpga);
-        let engine = ExecutionEngine::new(design.clone())?;
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let feed = if mode.uses_striders() {
             FeedKind::Strider

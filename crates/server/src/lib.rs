@@ -33,7 +33,7 @@ pub mod session;
 
 pub use accel::{AcceleratorPool, Lease, PoolUtilization};
 pub use admission::{AdmissionConfig, QueueStats, SchedPolicy};
-pub use core::{SystemCore, SystemCoreConfig};
+pub use core::{EngineCacheStats, SystemCore, SystemCoreConfig};
 pub use error::{ServerError, ServerResult};
 pub use server::{DanaServer, QueryReply, QueryRequest, ServerConfig, Ticket};
 pub use session::{SessionId, SessionManager, SessionStats};

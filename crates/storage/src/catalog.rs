@@ -9,12 +9,94 @@
 //! words and a serialized design blob) so this crate does not depend on the
 //! compiler; the DAnA runtime deserializes them at query time.
 
+use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::heap::HeapFile;
 use crate::HeapId;
+
+/// A catalog-attached cache slot for the runtime artifact built from an
+/// accelerator's opaque blobs at DEPLOY time (the validated, lowered
+/// execution engine). Like the blobs themselves, the cached value is
+/// opaque to this crate (`Any`), keeping storage free of an
+/// engine/compiler dependency; the DAnA runtime downcasts it.
+///
+/// The slot uses interior mutability so the query path can populate it
+/// under the catalog's *read* lock, and it is shared by `clone` — every
+/// snapshot of the entry sees the same cached engine. It is deliberately
+/// non-persistent: serialization writes nothing and deserialization yields
+/// an empty slot (the artifact is rebuilt from the design blob on first
+/// use), and it never participates in entry equality.
+#[derive(Clone, Default)]
+pub struct RuntimeCache(Arc<RwLock<Option<Arc<dyn Any + Send + Sync>>>>);
+
+impl RuntimeCache {
+    /// The cached artifact, if one has been installed.
+    pub fn get(&self) -> Option<Arc<dyn Any + Send + Sync>> {
+        match self.0.read() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Installs the artifact. First write wins: concurrent builders race
+    /// benignly and everyone converges on one shared value.
+    pub fn set(&self, value: Arc<dyn Any + Send + Sync>) {
+        let mut g = match self.0.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if g.is_none() {
+            *g = Some(value);
+        }
+    }
+
+    /// Empties the slot (invalidation).
+    pub fn clear(&self) {
+        let mut g = match self.0.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g = None;
+    }
+
+    pub fn is_primed(&self) -> bool {
+        self.get().is_some()
+    }
+}
+
+impl std::fmt::Debug for RuntimeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RuntimeCache({})",
+            if self.is_primed() { "primed" } else { "empty" }
+        )
+    }
+}
+
+/// Cache state never participates in catalog-entry equality.
+impl PartialEq for RuntimeCache {
+    fn eq(&self, _other: &RuntimeCache) -> bool {
+        true
+    }
+}
+
+/// Non-persistent: serializes as `null` …
+impl serde::Serialize for RuntimeCache {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Null
+    }
+}
+
+/// … and deserializes (from anything) as an empty slot.
+impl serde::Deserialize for RuntimeCache {
+    fn from_value(_v: &serde::json::Value) -> Result<RuntimeCache, String> {
+        Ok(RuntimeCache::default())
+    }
+}
 
 /// Catalog record for one table.
 #[derive(Debug, Clone)]
@@ -48,6 +130,9 @@ pub struct AcceleratorEntry {
     /// True once the bound table has been dropped; running a stale
     /// accelerator is a typed error, never a dangling-heap lookup.
     pub stale: bool,
+    /// DEPLOY-time runtime artifact cache (the built execution engine),
+    /// opaque to the catalog. Primed at deploy; EXECUTE never rebuilds.
+    pub runtime: RuntimeCache,
 }
 
 /// The catalog (and, in this reproduction, the database itself: it owns the
@@ -150,6 +235,9 @@ impl Catalog {
             .filter(|a| a.bound_table == table && !a.stale)
             .map(|a| {
                 a.stale = true;
+                // The cached engine is compiled against the dropped
+                // layout: drop it with the table.
+                a.runtime.clear();
                 a.udf_name.clone()
             })
             .collect();
@@ -243,7 +331,30 @@ mod tests {
             description: "linear regression".into(),
             bound_table: table.into(),
             stale: false,
+            runtime: RuntimeCache::default(),
         }
+    }
+
+    #[test]
+    fn runtime_cache_is_shared_first_write_wins_and_cleared_on_invalidate() {
+        let mut cat = Catalog::new();
+        cat.deploy_accelerator(test_accelerator("linearR", "t"));
+        let entry = cat.accelerator("linearR").unwrap().clone();
+        assert!(!entry.runtime.is_primed());
+        entry.runtime.set(Arc::new(41u32));
+        entry.runtime.set(Arc::new(99u32)); // loses the race
+                                            // Clones share the slot; the first install wins.
+        let again = cat.accelerator("linearR").unwrap();
+        let v = again.runtime.get().unwrap().downcast::<u32>().unwrap();
+        assert_eq!(*v, 41);
+        // Equality ignores cache state; serialization drops it.
+        assert_eq!(*again, test_accelerator("linearR", "t"));
+        let value = serde::Serialize::to_value(again);
+        let back = <AcceleratorEntry as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(!back.runtime.is_primed());
+        // Invalidation clears the cached engine along with marking stale.
+        cat.invalidate_accelerators_for("t");
+        assert!(!cat.accelerator("linearR").unwrap().runtime.is_primed());
     }
 
     #[test]

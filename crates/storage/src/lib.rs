@@ -39,7 +39,7 @@ pub mod tuple;
 
 pub use batch::{OneBatchSource, SourceError, TupleBatch, TupleSource};
 pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
-pub use catalog::{AcceleratorEntry, Catalog, TableEntry};
+pub use catalog::{AcceleratorEntry, Catalog, RuntimeCache, TableEntry};
 pub use disk::DiskModel;
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, HeapFileBuilder};

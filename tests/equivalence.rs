@@ -100,6 +100,50 @@ fn streaming_path_matches_reference_path_across_modes() {
     }
 }
 
+/// Three-tier executor equivalence: the deploy-time-lowered SoA lockstep
+/// executor (the hot path behind `run_training`) must produce bit-identical
+/// models *and* cycle stats to both retained reference tiers — the
+/// streaming flat-scratchpad interpreter and the original per-tuple rows
+/// interpreter — for dense (lockstep) and LRMF (sequential gather/scatter)
+/// programs alike.
+#[test]
+fn lowered_executor_matches_both_interpreter_tiers() {
+    for name in ["Remote Sensing LR", "Patient", "Netflix"] {
+        let mut w = workload(name).unwrap().scaled(0.002);
+        if w.algorithm == Algorithm::Lrmf {
+            w.lrmf = Some((50, 40, 10));
+            w.tuples = 2_000;
+        }
+        w.epochs = 3;
+        let table = generate(&w, 32 * 1024, 31).unwrap();
+        let batch = extract(&table, 4);
+        let tuples: Vec<Vec<f32>> = batch.rows().map(|r| r.to_vec()).collect();
+        let acc = compile_for(&w, &table);
+        // The compile-time engine *is* the deploy artifact — no rebuild.
+        let engine = &acc.engine;
+        assert_eq!(
+            engine.lowered().is_lockstep(),
+            w.algorithm != Algorithm::Lrmf,
+            "{name}: model-memory traffic decides the execution tier"
+        );
+
+        let init = dana::exec::initial_models(engine.design());
+        let mut lowered = ModelStore::new(engine.design(), init.clone()).unwrap();
+        let lowered_stats = engine.run_training_batch(&batch, &mut lowered).unwrap();
+        let mut interp = ModelStore::new(engine.design(), init.clone()).unwrap();
+        let interp_stats = engine
+            .run_training_interpreter_batch(&batch, &mut interp)
+            .unwrap();
+        let mut rows = ModelStore::new(engine.design(), init).unwrap();
+        let rows_stats = engine.run_training_rows(&tuples, &mut rows).unwrap();
+
+        assert_eq!(lowered, interp, "{name}: lowered vs streaming interpreter");
+        assert_eq!(lowered, rows, "{name}: lowered vs rows reference");
+        assert_eq!(lowered_stats, interp_stats, "{name}: stats (interpreter)");
+        assert_eq!(lowered_stats, rows_stats, "{name}: stats (rows)");
+    }
+}
+
 /// The serving tier's concurrent execution path (shared catalog + sharded
 /// buffer pool + `SharedPageStreamSource`) must train the bit-identical
 /// model to the single-threaded `Dana` facade, in every execution mode —

@@ -1,0 +1,185 @@
+//! Randomized differential tests for the deploy-time-lowered SoA
+//! executor.
+//!
+//! The lowered executor is the hot path; its correctness contract is
+//! *bit-identity* with the two retained reference tiers — the streaming
+//! flat-scratchpad interpreter (`run_training_interpreter`) and the
+//! original per-tuple rows interpreter (`run_training_rows`) — in both
+//! trained models and cycle stats. These properties fuzz that contract
+//! over randomized small DSL programs (linear/logistic/SVM and LRMF's
+//! gather/scatter programs), lockstep thread counts 1/4/16, random tuple
+//! streams, and every execution mode of the full `Dana` pipeline.
+
+use proptest::prelude::*;
+
+use dana::exec::initial_models;
+use dana::prelude::*;
+use dana_compiler::{schedule_hdfg, ScheduleParams};
+use dana_dsl::zoo::{linear_regression, logistic_regression, svm, DenseParams};
+use dana_engine::{ExecutionEngine, ModelStore};
+use dana_hdfg::translate;
+use dana_storage::{BufferPoolConfig, TupleBatch};
+use dana_workloads::{generate, workload};
+
+/// Deterministic pseudo-random tuple values in [-1, 1).
+fn synth_tuples(n: usize, width: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|k| {
+            (0..width)
+                .map(|i| {
+                    let h = (k as u64 ^ seed)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                    let h = (h ^ (h >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs all three tiers on the same design + tuples and asserts models and
+/// stats are bit-identical.
+fn assert_three_tier_identical(engine: &ExecutionEngine, tuples: &[Vec<f32>], label: &str) {
+    let design = engine.design();
+    let batch = TupleBatch::from_rows(tuples[0].len(), tuples);
+
+    let mut lowered = ModelStore::new(design, initial_models(design)).unwrap();
+    let lowered_stats = engine.run_training_batch(&batch, &mut lowered).unwrap();
+
+    let mut interp = ModelStore::new(design, initial_models(design)).unwrap();
+    let interp_stats = engine
+        .run_training_interpreter_batch(&batch, &mut interp)
+        .unwrap();
+
+    let mut rows = ModelStore::new(design, initial_models(design)).unwrap();
+    let rows_stats = engine.run_training_rows(tuples, &mut rows).unwrap();
+
+    assert_eq!(lowered, interp, "{label}: lowered vs interpreter models");
+    assert_eq!(lowered, rows, "{label}: lowered vs rows models");
+    assert_eq!(lowered_stats, interp_stats, "{label}: stats vs interpreter");
+    assert_eq!(lowered_stats, rows_stats, "{label}: stats vs rows");
+}
+
+proptest! {
+    /// Random dense programs (linear / logistic / SVM), random shapes and
+    /// hyper-parameters, lockstep thread counts 1/4/16: the lowered SoA
+    /// executor is bit-identical to both interpreter tiers.
+    #[test]
+    fn lowered_is_bit_identical_on_random_dense_programs(
+        algo in prop::sample::select(vec![0usize, 1, 2]),
+        features in 2usize..24,
+        n in 1usize..120,
+        threads in prop::sample::select(vec![1u16, 4, 16]),
+        learning_rate in 0.01f64..0.5,
+        merge_coef in prop::sample::select(vec![1u32, 4, 8, 16]),
+        epochs in 1u32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = DenseParams { n_features: features, learning_rate, merge_coef, epochs };
+        let spec = match algo {
+            0 => linear_regression(p),
+            1 => logistic_regression(p),
+            _ => svm(p),
+        }
+        .unwrap();
+        let scheduled = schedule_hdfg(
+            &translate(&spec),
+            ScheduleParams {
+                num_threads: threads,
+                acs_per_thread: 2,
+                slots_per_au: 4096,
+                bus_lanes: 2,
+            },
+        );
+        // Some (threads, shape) points are structurally infeasible — skip.
+        prop_assume!(scheduled.is_ok());
+        let design = scheduled.unwrap();
+        let engine = ExecutionEngine::new(design).unwrap();
+        let tuples = synth_tuples(n, features + 1, seed);
+        assert_three_tier_identical(
+            &engine,
+            &tuples,
+            &format!("algo {algo}, {features}f × {n}t, {threads} threads"),
+        );
+    }
+
+    /// Random LRMF programs: the per-tuple region gathers and scatters
+    /// model rows, driving the lowered executor's sequential
+    /// (thread-at-a-time) mode. Still bit-identical to both tiers.
+    #[test]
+    fn lowered_is_bit_identical_on_random_lrmf_programs(
+        rows in 6usize..30,
+        cols in 5usize..24,
+        rank in 2usize..6,
+        n in 1usize..150,
+        merge_coef in prop::sample::select(vec![1u32, 2, 4]),
+        epochs in 1u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut w = workload("Netflix").unwrap();
+        w.lrmf = Some((rows, cols, rank));
+        w.tuples = n as u64;
+        w.epochs = epochs;
+        w.merge_coef = merge_coef;
+        w.learning_rate = 0.05;
+        let table = generate(&w, 32 * 1024, seed).unwrap();
+        let batch = table.heap.scan_batch().unwrap();
+        let tuples: Vec<Vec<f32>> = batch.rows().map(|r| r.to_vec()).collect();
+        let acc = dana_compiler::compile(&dana_compiler::CompileInput {
+            hdfg: &translate(&w.spec()),
+            fpga: FpgaSpec::vu9p(),
+            layout: *table.heap.layout(),
+            schema_columns: table.heap.schema().len(),
+            expected_tuples: table.heap.tuple_count(),
+        })
+        .unwrap();
+        assert!(
+            !acc.engine.lowered().is_lockstep(),
+            "LRMF gather/scatter must force the sequential tier"
+        );
+        assert_three_tier_identical(
+            &acc.engine,
+            &tuples,
+            &format!("lrmf {rows}×{cols} rank {rank}, {n}t"),
+        );
+    }
+
+    /// The full pipeline across every execution mode: `train_with_spec`
+    /// (now the lowered executor) stays bit-identical to the retained
+    /// `train_with_spec_reference` rows pipeline, for random workload
+    /// shapes, in Strider, CpuFed, and Tabla modes.
+    #[test]
+    fn modes_agree_with_reference_on_random_workloads(
+        name in prop::sample::select(vec!["Remote Sensing LR", "Patient"]),
+        scale in prop::sample::select(vec![0.001f64, 0.002]),
+        epochs in 1u32..3,
+        merge_coef in prop::sample::select(vec![4u32, 8]),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut w = workload(name).unwrap().scaled(scale);
+        w.epochs = epochs;
+        w.merge_coef = merge_coef;
+        let table = generate(&w, 32 * 1024, seed).unwrap();
+        let mut db = Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: 32 * 1024,
+            },
+            DiskModel::ssd(),
+        );
+        db.create_table("t", table.heap).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = w.spec();
+        for mode in [ExecutionMode::Strider, ExecutionMode::CpuFed, ExecutionMode::Tabla] {
+            let lowered = db.train_with_spec(&spec, "t", mode).unwrap();
+            let reference = db.train_with_spec_reference(&spec, "t", mode).unwrap();
+            assert_eq!(
+                lowered.models, reference,
+                "{name} @ {scale}, {mode:?}: lowered pipeline diverged from reference"
+            );
+        }
+        db.drop_table("t").unwrap();
+    }
+}

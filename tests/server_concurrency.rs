@@ -424,3 +424,61 @@ fn sjf_lets_cheap_queries_overtake() {
     );
     srv.shutdown();
 }
+
+/// The deploy-time engine cache: one DEPLOY builds the execution engine
+/// exactly once, and every subsequent EXECUTE — serial or concurrent, via
+/// the SQL front door or `RunUdf` — rides that cached `Arc` rather than
+/// reconstructing it. The counter on the server core is the proof.
+#[test]
+fn repeated_executes_build_the_engine_exactly_once() {
+    const EXECUTES: usize = 12;
+
+    let srv = server(4, SchedPolicy::Fifo, 1024);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    srv.create_table("t", generate(&w, 32 * 1024, 21).unwrap().heap)
+        .unwrap();
+    srv.prewarm("t").unwrap();
+    srv.deploy(&w.spec(), "t").unwrap();
+
+    let after_deploy = srv.core().engine_cache_stats();
+    assert_eq!(
+        after_deploy.built, 1,
+        "DEPLOY builds (validates + lowers) the engine exactly once"
+    );
+
+    // Concurrent burst of EXECUTEs against the one deployed accelerator.
+    let reference = serial_models(&w, 21, ExecutionMode::Strider);
+    crossbeam::thread::scope(|s| {
+        let srv = &srv;
+        let reference = &reference;
+        for c in 0..EXECUTES {
+            s.spawn(move |_| {
+                let session = srv.open_session(&format!("exec-{c}"));
+                let reply = srv
+                    .call(
+                        session,
+                        QueryRequest::Sql("SELECT * FROM dana.logisticR('t');".to_string()),
+                    )
+                    .expect("execute");
+                assert_eq!(&reply.report.models, reference, "execute {c}");
+            });
+        }
+    })
+    .unwrap();
+
+    let stats = srv.core().engine_cache_stats();
+    assert_eq!(
+        stats.built, 1,
+        "repeated EXECUTEs must never construct another engine"
+    );
+    // Every query resolves the cached engine at least once (submit-time
+    // cost hints hit it too, so hits can exceed the EXECUTE count).
+    assert!(
+        stats.hits >= EXECUTES as u64,
+        "expected ≥{EXECUTES} cache hits, saw {}",
+        stats.hits
+    );
+    srv.shutdown();
+}
