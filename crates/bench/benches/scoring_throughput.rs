@@ -1,0 +1,164 @@
+//! Inference-tier acceptance benchmark: batch SoA scoring vs the
+//! per-tuple CPU reference pipeline.
+//!
+//! One full scoring pass over the 5810×54 Remote Sensing LR table
+//! (the `data_path` / `engine_hot_loop` loop), two ways:
+//!
+//! * `per_tuple` — the CPU reference pipeline, the exact shape of
+//!   `Dana::train_with_spec_reference`'s CPU arm: every page decoded to
+//!   a `HeapPage`, every tuple deformed to a `Datum` row, converted to a
+//!   per-row `Vec<f32>`, and scored one at a time through the reference
+//!   scorer (three allocations per tuple);
+//! * `batch` — the inference tier's path: pages deformed straight into
+//!   flat `TupleBatch`es (zero-copy page views, no per-tuple
+//!   allocation) and scored by the SoA lockstep executor
+//!   group-at-a-time across the design's lanes.
+//!
+//! Both produce bit-identical predictions (asserted); the acceptance
+//! gate is the throughput ratio. Full runs append one JSON record per
+//! line to `BENCH_predict.json` at the repo root (cross-PR trajectory);
+//! smoke runs (`DANA_SMOKE=1`) assert but do not record.
+
+use std::time::Instant;
+
+use dana_infer::{score_batch, ScoringProgram};
+use dana_ml::scorer::{score_dense_row, Link};
+use dana_storage::{HeapPage, PageView, Tuple, TupleBatch};
+use dana_workloads::{generate, workload};
+
+/// Best-of-N wall milliseconds for `f`.
+fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    bench: String,
+    workload: String,
+    tuples: u64,
+    features: usize,
+    lanes: u16,
+    iters: usize,
+    smoke: bool,
+    /// Full pass (page deform + score), milliseconds.
+    per_tuple_ms: f64,
+    batch_ms: f64,
+    speedup_batch_vs_per_tuple: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("DANA_SMOKE").is_ok();
+    let iters = if smoke { 5 } else { 25 };
+    let lanes: u16 = 8;
+
+    let w = workload("Remote Sensing LR").unwrap().scaled(0.01); // 5810 × 54
+    let table = generate(&w, 32 * 1024, 17).unwrap();
+    let heap = &table.heap;
+    let d = heap.schema().len() - 1;
+    let weights: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 / d as f32 - 0.1).collect();
+    let program = ScoringProgram::Dense {
+        weights: weights.clone(),
+        link: Link::Sigmoid,
+        signed_labels: false,
+    };
+
+    println!(
+        "=== scoring_throughput: {} tuples × {d} features, {lanes} lanes, best of {iters} ===",
+        heap.tuple_count()
+    );
+
+    // ---- correctness gate: bit-identical predictions --------------------
+    let mut batch = TupleBatch::with_capacity(heap.schema().len(), heap.tuple_count() as usize);
+    for p in 0..heap.page_count() {
+        PageView::new(heap.page_bytes(p).unwrap(), *heap.layout())
+            .unwrap()
+            .deform_all_into(heap.schema(), &mut batch)
+            .unwrap();
+    }
+    let (batch_preds, _) = score_batch(&program, lanes, &batch).unwrap();
+    let reference: Vec<f32> = heap
+        .scan()
+        .map(|t| {
+            let row: Vec<f32> = t.values.iter().map(|v| v.as_f32()).collect();
+            score_dense_row(&weights, &row, Link::Sigmoid)
+        })
+        .collect();
+    assert_eq!(
+        batch_preds, reference,
+        "batch scorer must be bit-identical to the per-tuple reference"
+    );
+
+    // ---- per-tuple reference: page → Datum rows → row-at-a-time ---------
+    let per_tuple_ms = best_ms(iters, || {
+        let mut out: Vec<f32> = Vec::with_capacity(heap.tuple_count() as usize);
+        for p in 0..heap.page_count() {
+            let page =
+                HeapPage::from_bytes(heap.page_bytes(p).unwrap().to_vec(), *heap.layout()).unwrap();
+            for slot in 0..page.tuple_count() {
+                let t = Tuple::deform(heap.schema(), page.tuple_bytes(slot).unwrap()).unwrap();
+                let row: Vec<f32> = t.values.iter().map(|v| v.as_f32()).collect();
+                out.push(score_dense_row(&weights, &row, Link::Sigmoid));
+            }
+        }
+        std::hint::black_box(out);
+    });
+
+    // ---- batch path: page views → flat TupleBatch → SoA scorer ----------
+    let batch_ms = best_ms(iters, || {
+        let mut batch = TupleBatch::with_capacity(heap.schema().len(), heap.tuple_count() as usize);
+        for p in 0..heap.page_count() {
+            PageView::new(heap.page_bytes(p).unwrap(), *heap.layout())
+                .unwrap()
+                .deform_all_into(heap.schema(), &mut batch)
+                .unwrap();
+        }
+        let (preds, _) = score_batch(&program, lanes, &batch).unwrap();
+        std::hint::black_box(preds);
+    });
+
+    let speedup = per_tuple_ms / batch_ms;
+    println!("per-tuple reference {per_tuple_ms:>8.3} ms");
+    println!("batch SoA scorer    {batch_ms:>8.3} ms   ({speedup:.2}×)");
+
+    let record = BenchRecord {
+        bench: "scoring_throughput".into(),
+        workload: w.name.to_string(),
+        tuples: heap.tuple_count(),
+        features: d,
+        lanes,
+        iters,
+        smoke,
+        per_tuple_ms,
+        batch_ms,
+        speedup_batch_vs_per_tuple: speedup,
+    };
+    if smoke {
+        println!("smoke mode: not recording (low-iteration numbers are not baselines)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
+        let mut line = serde_json::to_string(&record).unwrap();
+        line.push('\n');
+        use std::io::Write;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .unwrap();
+        println!("recorded -> {path}");
+    }
+
+    // Acceptance: batch scoring must clear 2× over the per-tuple
+    // reference (relaxed in smoke mode on noisy shared runners).
+    let floor = if smoke { 1.3 } else { 2.0 };
+    assert!(
+        speedup >= floor,
+        "batch scoring speedup {speedup:.2}× is below the {floor}× acceptance floor"
+    );
+}

@@ -10,6 +10,9 @@ pub enum DanaError {
     Compiler(dana_compiler::CompilerError),
     Engine(dana_engine::EngineError),
     Strider(dana_strider::StriderError),
+    /// Inference-tier failure (scoring lowering, SoA scorer, metrics,
+    /// materialization).
+    Infer(dana_infer::InferError),
     /// SQL the query front end cannot parse.
     Query(String),
     /// Catalog blob corruption (deserialize failure).
@@ -19,6 +22,11 @@ pub enum DanaError {
     StaleAccelerator {
         udf: String,
         dropped_table: String,
+    },
+    /// PREDICT/EVALUATE on a UDF that has never been trained: there are
+    /// no model values to score with until an EXECUTE stores some.
+    ModelNotTrained {
+        udf: String,
     },
 }
 
@@ -30,11 +38,16 @@ impl fmt::Display for DanaError {
             DanaError::Compiler(e) => write!(f, "compiler: {e}"),
             DanaError::Engine(e) => write!(f, "engine: {e}"),
             DanaError::Strider(e) => write!(f, "strider: {e}"),
+            DanaError::Infer(e) => write!(f, "infer: {e}"),
             DanaError::Query(msg) => write!(f, "query: {msg}"),
             DanaError::Blob(msg) => write!(f, "catalog blob: {msg}"),
             DanaError::StaleAccelerator { udf, dropped_table } => write!(
                 f,
                 "accelerator '{udf}' is stale: its table '{dropped_table}' was dropped"
+            ),
+            DanaError::ModelNotTrained { udf } => write!(
+                f,
+                "accelerator '{udf}' has no trained model yet: run EXECUTE before PREDICT/EVALUATE"
             ),
         }
     }
@@ -69,6 +82,12 @@ impl From<dana_engine::EngineError> for DanaError {
 impl From<dana_strider::StriderError> for DanaError {
     fn from(e: dana_strider::StriderError) -> DanaError {
         DanaError::Strider(e)
+    }
+}
+
+impl From<dana_infer::InferError> for DanaError {
+    fn from(e: dana_infer::InferError) -> DanaError {
+        DanaError::Infer(e)
     }
 }
 

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use dana_compiler::{CompiledAccelerator, PerfEstimate};
 use dana_engine::{EngineDesign, EngineStats, ExecutionEngine, LoweredProgram, ModelStore};
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
+use dana_infer::{ScoringProgram, ScoringRecipe, ScoringStats};
 use dana_ml::CpuModel;
 use dana_storage::{AcceleratorEntry, DiskModel, HeapFile};
 use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
@@ -42,15 +43,23 @@ pub struct ArtifactBlob {
     pub lowered: LoweredProgram,
     pub budget: ResourceBudget,
     pub estimate: PerfEstimate,
+    /// The deploy-time *scoring* lowering: the forward-pass recipe that
+    /// PREDICT/EVALUATE bind to trained model values. `None` for
+    /// analytics with no derivable forward pass.
+    pub scoring: Option<ScoringRecipe>,
 }
 
 impl ArtifactBlob {
-    pub fn from_compiled(acc: &CompiledAccelerator) -> ArtifactBlob {
+    pub fn from_compiled(
+        acc: &CompiledAccelerator,
+        scoring: Option<ScoringRecipe>,
+    ) -> ArtifactBlob {
         ArtifactBlob {
             design: acc.design.clone(),
             lowered: acc.engine.lowered().clone(),
             budget: acc.budget,
             estimate: acc.estimate,
+            scoring,
         }
     }
 
@@ -73,24 +82,36 @@ pub struct CachedAccelerator {
     pub engine: Arc<ExecutionEngine>,
     pub budget: ResourceBudget,
     pub estimate: PerfEstimate,
+    /// The deploy-time scoring recipe, cached beside the training engine
+    /// so PREDICT/EVALUATE never re-derive (or re-parse the blob for) it.
+    pub scoring: Option<ScoringRecipe>,
 }
 
 impl CachedAccelerator {
-    pub fn from_compiled(acc: &CompiledAccelerator) -> CachedAccelerator {
+    pub fn from_compiled(
+        acc: &CompiledAccelerator,
+        scoring: Option<ScoringRecipe>,
+    ) -> CachedAccelerator {
         CachedAccelerator {
             engine: Arc::clone(&acc.engine),
             budget: acc.budget,
             estimate: acc.estimate,
+            scoring,
         }
     }
 }
 
-/// Installs the compile-time engine on a catalog entry's runtime cache —
-/// called at DEPLOY so the first EXECUTE is already a cache hit.
-pub fn prime_runtime(entry: &AcceleratorEntry, acc: &CompiledAccelerator) {
+/// Installs the compile-time engine (and the scoring recipe) on a catalog
+/// entry's runtime cache — called at DEPLOY so the first EXECUTE is
+/// already a cache hit.
+pub fn prime_runtime(
+    entry: &AcceleratorEntry,
+    acc: &CompiledAccelerator,
+    scoring: Option<ScoringRecipe>,
+) {
     entry
         .runtime
-        .set(Arc::new(CachedAccelerator::from_compiled(acc)));
+        .set(Arc::new(CachedAccelerator::from_compiled(acc, scoring)));
 }
 
 /// Resolves a catalog entry's runtime artifact: a cache hit returns the
@@ -112,11 +133,86 @@ pub fn cached_accelerator(entry: &AcceleratorEntry) -> DanaResult<(Arc<CachedAcc
         engine,
         budget: blob.budget,
         estimate: blob.estimate,
+        scoring: blob.scoring,
     });
     entry
         .runtime
         .set(Arc::clone(&cached) as Arc<dyn Any + Send + Sync>);
     Ok((cached, true))
+}
+
+/// The latest trained model values for one deployed accelerator, stored
+/// on its catalog entry by EXECUTE (last training wins) and consumed by
+/// PREDICT/EVALUATE.
+pub struct TrainedModels {
+    /// Model values, one vec per model variable (row-major), in the
+    /// UDF's declaration order.
+    pub models: Vec<Vec<f32>>,
+    /// Model variable names aligned with `models`.
+    pub names: Vec<String>,
+}
+
+/// Records a finished training run's models on the catalog entry so
+/// scoring queries can bind them. Interior-mutable (like the runtime
+/// cache) so both the serial facade and the concurrent core store through
+/// a shared reference; last write wins.
+pub fn store_trained(entry: &AcceleratorEntry, report: &DanaReport) {
+    entry.trained.store(Arc::new(TrainedModels {
+        models: report.models.clone(),
+        names: report.model_names.clone(),
+    }));
+}
+
+/// The entry's latest trained models, if any EXECUTE has stored some.
+pub fn trained_models(entry: &AcceleratorEntry) -> Option<Arc<TrainedModels>> {
+    entry
+        .trained
+        .get()
+        .and_then(|any| Arc::downcast::<TrainedModels>(any).ok())
+}
+
+/// Everything one scoring query resolves up front: the cached
+/// accelerator, the deploy-time recipe, the recipe bound to the latest
+/// trained model values, and the lockstep lane count.
+pub struct ScoringSetup {
+    pub cached: Arc<CachedAccelerator>,
+    pub recipe: ScoringRecipe,
+    pub program: ScoringProgram,
+    pub lanes: u16,
+}
+
+/// Builds a [`ScoringSetup`] from an already-resolved runtime artifact
+/// (the caller holds the `Arc` — no second cache resolution). Typed
+/// errors distinguish "this analytic cannot score" from "train it
+/// first". Lanes default to the design's thread count; TABLA is
+/// single-lane, like training.
+pub fn scoring_setup(
+    udf: &str,
+    entry: &AcceleratorEntry,
+    cached: Arc<CachedAccelerator>,
+    mode: ExecutionMode,
+    lanes: Option<u16>,
+) -> DanaResult<ScoringSetup> {
+    let recipe = cached.scoring.clone().ok_or_else(|| {
+        DanaError::Infer(dana_infer::InferError::UnsupportedAnalytic {
+            udf: udf.to_string(),
+            reason: "no scoring recipe was derived at deploy".to_string(),
+        })
+    })?;
+    let trained = trained_models(entry).ok_or_else(|| DanaError::ModelNotTrained {
+        udf: udf.to_string(),
+    })?;
+    let program = ScoringProgram::bind(&recipe, &trained.names, &trained.models)?;
+    let lanes = match mode {
+        ExecutionMode::Tabla => 1,
+        _ => lanes.unwrap_or(cached.engine.design().num_threads).max(1),
+    };
+    Ok(ScoringSetup {
+        cached,
+        recipe,
+        program,
+        lanes,
+    })
 }
 
 /// Initial model values: zeros for broadcast (dense) models, the shared
@@ -176,30 +272,18 @@ pub fn assemble_report(
         io_first,
     } = run;
     let epochs = stats.epochs_run.max(1);
-    let clock = fpga.clock;
-    let page_size = heap.layout().page_size;
-    let missing_later = heap.page_count().saturating_sub(pool_frames as u32) as f64;
-    let width = heap.schema().len();
-    let tuple_bytes = heap.layout().tuple_bytes;
-    let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
-    let axi = AxiLink::with_bandwidth(fpga.axi_bandwidth);
-    let costs = EpochCosts {
+    let engine_per_epoch = stats.cycles as f64 / epochs as f64 / fpga.clock.hz;
+    let costs = stream_costs(
+        budget,
+        fpga,
+        cpu,
+        disk,
+        pool_frames,
+        heap,
+        &access_stats,
         io_first,
-        io_later: missing_later * disk.read_time(page_size as u64),
-        axi: access_stats.axi_seconds,
-        strider: clock.to_seconds(
-            access_stats
-                .strider_cycles
-                .div_ceil(budget.num_page_buffers.max(1) as u64),
-        ),
-        engine: stats.cycles as f64 / epochs as f64 / clock.hz,
-        cpu_feed: access_stats.tuples as f64
-            * (tuple_bytes as f64 * cpu.deform_s_per_byte
-                + width as f64 * cpu.conv_s_per_value
-                + CPU_FEED_HANDSHAKE_S)
-            + float_bytes / fpga.axi_bandwidth,
-        fill: axi.burst_time(page_size as u64),
-    };
+        engine_per_epoch,
+    );
     let timing: DanaTiming = compose(mode, epochs, &costs);
 
     let model_names = design.models.iter().map(|m| m.name.clone()).collect();
@@ -213,6 +297,92 @@ pub fn assemble_report(
         engine: stats,
         access: access_stats,
     }
+}
+
+/// The per-epoch cost inputs every streamed scan shares (training and
+/// scoring): disk, AXI, Strider extraction, CPU-feed ablation — only the
+/// engine-compute term differs between the two query types.
+#[allow(clippy::too_many_arguments)]
+fn stream_costs(
+    budget: ResourceBudget,
+    fpga: &FpgaSpec,
+    cpu: &CpuModel,
+    disk: &DiskModel,
+    pool_frames: usize,
+    heap: &HeapFile,
+    access_stats: &AccessStats,
+    io_first: Seconds,
+    engine_per_epoch: Seconds,
+) -> EpochCosts {
+    let clock = fpga.clock;
+    let page_size = heap.layout().page_size;
+    let missing_later = heap.page_count().saturating_sub(pool_frames as u32) as f64;
+    let width = heap.schema().len();
+    let tuple_bytes = heap.layout().tuple_bytes;
+    let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
+    let axi = AxiLink::with_bandwidth(fpga.axi_bandwidth);
+    EpochCosts {
+        io_first,
+        io_later: missing_later * disk.read_time(page_size as u64),
+        axi: access_stats.axi_seconds,
+        strider: clock.to_seconds(
+            access_stats
+                .strider_cycles
+                .div_ceil(budget.num_page_buffers.max(1) as u64),
+        ),
+        engine: engine_per_epoch,
+        cpu_feed: access_stats.tuples as f64
+            * (tuple_bytes as f64 * cpu.deform_s_per_byte
+                + width as f64 * cpu.conv_s_per_value
+                + CPU_FEED_HANDSHAKE_S)
+            + float_bytes / fpga.axi_bandwidth,
+        fill: axi.burst_time(page_size as u64),
+    }
+}
+
+/// Composes a finished *scoring* scan's stats into its end-to-end timing:
+/// one pass over the heap (scoring has no epochs) with the same pipeline
+/// overlap as training — pure function, shared by the serial facade and
+/// the concurrent serving tier.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_scoring_timing(
+    mode: ExecutionMode,
+    budget: ResourceBudget,
+    fpga: &FpgaSpec,
+    cpu: &CpuModel,
+    disk: &DiskModel,
+    pool_frames: usize,
+    heap: &HeapFile,
+    access_stats: &AccessStats,
+    io_first: Seconds,
+    scoring: &ScoringStats,
+) -> DanaTiming {
+    let costs = stream_costs(
+        budget,
+        fpga,
+        cpu,
+        disk,
+        pool_frames,
+        heap,
+        access_stats,
+        io_first,
+        scoring.cycles as f64 / fpga.clock.hz,
+    );
+    compose(mode, 1, &costs)
+}
+
+/// SJF's ordering key for a *scoring* query: tuple count × per-tuple
+/// program length, divided across the lockstep lanes — the inference
+/// twin of [`estimate_seconds`].
+pub fn scoring_estimate_seconds(
+    recipe: &ScoringRecipe,
+    tuples: u64,
+    lanes: u32,
+    fpga: &FpgaSpec,
+) -> Seconds {
+    let groups = tuples.div_ceil(lanes.max(1) as u64);
+    fpga.clock
+        .to_seconds(groups.saturating_mul(recipe.per_tuple_cycles()))
 }
 
 /// Coarse run-time prediction from the *deploy-time* estimate alone — the
@@ -248,11 +418,20 @@ mod tests {
             num_threads: 2,
         };
         let design = test_design();
+        let scoring = dana_infer::derive_recipe(
+            &dana_dsl::zoo::linear_regression(dana_dsl::zoo::DenseParams {
+                n_features: 4,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+        .ok();
         let blob = ArtifactBlob {
             lowered: dana_engine::lower(&design),
             design,
             budget,
             estimate,
+            scoring: scoring.clone(),
         };
         let decoded = ArtifactBlob::decode(&blob.encode().unwrap()).unwrap();
         assert_eq!(decoded.estimate.epoch_engine_cycles, 1000);
@@ -262,6 +441,9 @@ mod tests {
         // trip bit-for-bit and is consistent with its design.
         assert_eq!(decoded.lowered, blob.lowered);
         assert!(decoded.lowered.is_consistent_with(&decoded.design));
+        // The scoring recipe rides the same blob.
+        assert!(scoring.is_some());
+        assert_eq!(decoded.scoring, scoring);
         // Corrupt blobs surface as typed errors, not panics.
         assert!(ArtifactBlob::decode("not json").is_err());
     }
@@ -283,6 +465,26 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn scoring_estimate_scales_with_tuples_and_lanes() {
+        let fpga = FpgaSpec::vu9p();
+        let recipe = dana_infer::derive_recipe(
+            &dana_dsl::zoo::linear_regression(dana_dsl::zoo::DenseParams {
+                n_features: 10,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let small = scoring_estimate_seconds(&recipe, 1_000, 4, &fpga);
+        let large = scoring_estimate_seconds(&recipe, 100_000, 4, &fpga);
+        assert!(large > small, "more tuples must cost more");
+        let wide = scoring_estimate_seconds(&recipe, 100_000, 16, &fpga);
+        assert!(wide < large, "more lanes must cost less");
+        // Zero lanes clamps instead of dividing by zero.
+        assert!(scoring_estimate_seconds(&recipe, 100, 0, &fpga) > 0.0);
     }
 
     #[test]

@@ -55,11 +55,14 @@ pub use analytic::{
     analytic_dana, analytic_dana_threads, analytic_external, analytic_greenplum, analytic_madlib,
     compile_workload, AnalyticTiming, SystemParams,
 };
+pub use dana_infer::{MetricKind, ScoringRecipe, ScoringStats};
 pub use error::{DanaError, DanaResult};
-pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts};
+pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, TrainedModels};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
-pub use query::{parse_query, QueryCall};
-pub use report::{DanaReport, DanaTiming, QueryOutcome};
+pub use query::{parse_query, parse_statement, EvaluateCall, PredictCall, QueryCall, Statement};
+pub use report::{
+    DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, StatementOutcome,
+};
 pub use runtime::ExecutionMode;
 pub use source::{FeedKind, PageStreamSource, SharedPageStreamSource};
 

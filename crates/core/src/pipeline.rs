@@ -18,6 +18,7 @@ use dana_compiler::{
 use dana_engine::ModelStore;
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
+use dana_infer::MetricKind;
 use dana_ml::CpuModel;
 use dana_storage::{
     AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
@@ -27,8 +28,8 @@ use dana_strider::disassemble;
 
 use crate::error::{DanaError, DanaResult};
 use crate::exec::{self, ArtifactBlob, RunArtifacts};
-use crate::query::parse_query;
-use crate::report::{DanaReport, QueryOutcome};
+use crate::query::{parse_query, parse_statement, Statement};
+use crate::report::{DanaReport, EvalReport, PredictReport, QueryOutcome, StatementOutcome};
 use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
 
@@ -42,6 +43,9 @@ pub struct DropSummary {
     pub pages_evicted: usize,
     /// Accelerators compiled against the table, now marked stale.
     pub invalidated_udfs: Vec<String>,
+    /// Materialized prediction tables derived from this table, now stale
+    /// (typed error on use; their pages are evicted too).
+    pub stale_prediction_tables: Vec<String>,
 }
 
 /// What `deploy` reports back to the data scientist.
@@ -100,6 +104,12 @@ impl Dana {
         self.pool.stats()
     }
 
+    /// Pages currently resident in the buffer pool (the drop paths must
+    /// leave none behind for dropped or stale heaps).
+    pub fn resident_pages(&self) -> usize {
+        self.pool.resident_pages()
+    }
+
     /// Registers a training table.
     pub fn create_table(&mut self, name: &str, heap: HeapFile) -> DanaResult<HeapId> {
         Ok(self.catalog.create_table(name, heap)?)
@@ -107,7 +117,9 @@ impl Dana {
 
     /// Drops a table: removes it from the catalog, evicts its pages from
     /// the buffer pool (a dropped table must not keep frames resident),
-    /// and marks every accelerator compiled against it stale.
+    /// marks every accelerator compiled against it stale, and marks every
+    /// materialized prediction table derived from it stale (evicting
+    /// their pages too — stale rows must not occupy frames).
     pub fn drop_table(&mut self, name: &str) -> DanaResult<DropSummary> {
         // Evict before touching the catalog so a pinned-page refusal
         // leaves the table fully intact.
@@ -115,17 +127,23 @@ impl Dana {
         let pages_evicted = self.pool.evict_heap(heap_id)?;
         self.catalog.drop_table(name)?;
         let invalidated_udfs = self.catalog.invalidate_accelerators_for(name);
+        let mut stale_prediction_tables = Vec::new();
+        for (table, derived_heap) in self.catalog.invalidate_derived_for(name) {
+            self.pool.evict_heap(derived_heap)?;
+            stale_prediction_tables.push(table);
+        }
         Ok(DropSummary {
             table: name.to_string(),
             pages_evicted,
             invalidated_udfs,
+            stale_prediction_tables,
         })
     }
 
     /// Warm-cache setup: loads the table into the buffer pool without
     /// charging query I/O.
     pub fn prewarm(&mut self, table: &str) -> DanaResult<usize> {
-        let entry = self.catalog.table(table)?;
+        let entry = self.catalog.live_table(table)?;
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let n = self.pool.prewarm(heap_id, heap)?;
@@ -142,10 +160,16 @@ impl Dana {
     /// Compiles a UDF for `table` and stores the accelerator in the
     /// catalog under the UDF's name. All expensive resolution happens
     /// here: the compiled engine (validated + lowered once) is installed
-    /// on the entry's runtime cache, so EXECUTE never constructs one.
+    /// on the entry's runtime cache — beside the *scoring lowering*, the
+    /// forward-pass recipe PREDICT/EVALUATE bind to trained models — so
+    /// EXECUTE never constructs an engine and scoring never re-derives.
     pub fn deploy(&mut self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
         let acc = self.compile_for(spec, table, None)?;
-        let blob = ArtifactBlob::from_compiled(&acc);
+        // Scoring lowering: derive the forward pass where the analytic
+        // has one (custom analytics without one still train fine; their
+        // PREDICT is a typed error).
+        let scoring = dana_infer::derive_recipe(spec).ok();
+        let blob = ArtifactBlob::from_compiled(&acc, scoring.clone());
         let words = dana_strider::isa::encode_program(&acc.strider_program)?;
         let entry = AcceleratorEntry {
             udf_name: spec.name.clone(),
@@ -160,8 +184,9 @@ impl Dana {
             bound_table: table.to_string(),
             stale: false,
             runtime: dana_storage::RuntimeCache::default(),
+            trained: dana_storage::RuntimeCache::default(),
         };
-        exec::prime_runtime(&entry, &acc);
+        exec::prime_runtime(&entry, &acc, scoring);
         self.catalog.deploy_accelerator(entry);
         Ok(DeployInfo {
             udf_name: spec.name.clone(),
@@ -196,11 +221,35 @@ impl Dana {
         })
     }
 
+    /// Executes any front-door statement: `SELECT … FROM dana.<udf>(…)`
+    /// (train), `PREDICT … INTO …` (score + materialize), or
+    /// `EVALUATE …` (score + metric).
+    pub fn execute_statement(&mut self, sql: &str) -> DanaResult<StatementOutcome> {
+        match parse_statement(sql)? {
+            Statement::Train(call) => {
+                let report = self.run_udf(&call.udf, &call.table)?;
+                Ok(StatementOutcome::Train(QueryOutcome {
+                    udf: call.udf,
+                    table: call.table,
+                    report,
+                }))
+            }
+            Statement::Predict(p) => Ok(StatementOutcome::Predict(
+                self.predict(&p.udf, &p.table, &p.into)?,
+            )),
+            Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(
+                self.evaluate(&e.udf, &e.table, e.metric)?,
+            )),
+        }
+    }
+
     /// Runs a deployed accelerator by UDF name (full-Strider mode).
     ///
     /// The EXECUTE hot path: the engine comes out of the entry's runtime
     /// cache, primed at DEPLOY — no blob decode, no validation, no
-    /// lowering, no design clone per query.
+    /// lowering, no design clone per query. The trained model is stored
+    /// back on the catalog entry (last training wins), making it
+    /// available to PREDICT/EVALUATE.
     pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
         if entry.stale {
@@ -217,7 +266,180 @@ impl Dana {
         // decode back into a program.
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
         debug_assert!(!decoded.is_empty());
-        self.run_with_engine(&cached, table, ExecutionMode::Strider)
+        let report = self.run_with_engine(&cached, table, ExecutionMode::Strider)?;
+        exec::store_trained(self.catalog.accelerator(udf)?, &report);
+        Ok(report)
+    }
+
+    // ---- the inference tier --------------------------------------------
+
+    /// Scores `source` with `udf`'s latest trained model and materializes
+    /// the predictions as a new catalog table `dest`: the source schema
+    /// plus an appended `prediction real` column, registered as a real
+    /// heap — scannable, snapshottable, and droppable like any table.
+    pub fn predict(&mut self, udf: &str, source: &str, dest: &str) -> DanaResult<PredictReport> {
+        self.predict_with(udf, source, dest, ExecutionMode::Strider, None)
+    }
+
+    /// [`Dana::predict`] with explicit execution mode and lockstep lane
+    /// count (the ablation / differential-suite entry point). Lanes
+    /// default to the deployed design's thread count; TABLA mode is
+    /// single-lane, like training.
+    pub fn predict_with(
+        &mut self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<PredictReport> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        // Refuse an existing destination before scanning anything.
+        if self.catalog.table(dest).is_ok() {
+            return Err(DanaError::Storage(
+                dana_storage::StorageError::DuplicateName(dest.to_string()),
+            ));
+        }
+        let (predictions, stats, timing) =
+            self.scoring_scan(&setup, source, mode, |p, l, stream| {
+                let mut out = Vec::new();
+                let stats = dana_infer::score_source(p, l, stream, &mut out)?;
+                Ok((out, stats))
+            })?;
+        let heap = self
+            .catalog
+            .heap(self.catalog.live_table(source)?.heap_id)?;
+        let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
+        self.catalog.create_derived_table(dest, out_heap, source)?;
+        Ok(PredictReport {
+            udf: udf.to_string(),
+            source_table: source.to_string(),
+            output_table: dest.to_string(),
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Scores `table` and folds an in-database quality metric over the
+    /// `(prediction, label)` stream — no tuple ever leaves the engine and
+    /// nothing is materialized. `metric` defaults to the analytic's
+    /// natural one (mse / log_loss / accuracy / lrmf_rmse).
+    pub fn evaluate(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+    ) -> DanaResult<EvalReport> {
+        self.evaluate_with(udf, table, metric, ExecutionMode::Strider, None)
+    }
+
+    /// [`Dana::evaluate`] with explicit execution mode and lane count.
+    pub fn evaluate_with(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<EvalReport> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
+        setup.recipe.check_metric(metric)?;
+        let (value, stats, timing) = self.scoring_scan(&setup, table, mode, |p, l, stream| {
+            dana_infer::evaluate_source(p, l, stream, metric)
+        })?;
+        Ok(EvalReport {
+            udf: udf.to_string(),
+            table: table.to_string(),
+            metric,
+            value,
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Scores `table` and returns the raw prediction stream (differential
+    /// suite / ablation entry point; nothing is materialized).
+    pub fn score_with(
+        &mut self,
+        udf: &str,
+        table: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<Vec<f32>> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        let (predictions, _, _) = self.scoring_scan(&setup, table, mode, |p, l, stream| {
+            let mut out = Vec::new();
+            let stats = dana_infer::score_source(p, l, stream, &mut out)?;
+            Ok((out, stats))
+        })?;
+        Ok(predictions)
+    }
+
+    /// Resolves everything a scoring query needs from the catalog (the
+    /// stale check, the cached accelerator, the recipe bound to the
+    /// latest trained models, the lane count) — see
+    /// [`exec::scoring_setup`].
+    fn scoring_setup(
+        &self,
+        udf: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<exec::ScoringSetup> {
+        let entry = self.catalog.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, _built) = exec::cached_accelerator(entry)?;
+        exec::scoring_setup(udf, entry, cached, mode, lanes)
+    }
+
+    /// The one scoring scan: stream `table`'s pages through the data path
+    /// into `run` (which drives the SoA scorer — collecting predictions
+    /// or folding a metric) and compose the timing. Shared by
+    /// predict/evaluate/score so the scan plumbing exists exactly once.
+    fn scoring_scan<R>(
+        &mut self,
+        setup: &exec::ScoringSetup,
+        table: &str,
+        mode: ExecutionMode,
+        run: impl FnOnce(
+            &dana_infer::ScoringProgram,
+            u16,
+            &mut PageStreamSource<'_>,
+        ) -> dana_infer::InferResult<(R, dana_infer::ScoringStats)>,
+    ) -> DanaResult<(R, dana_infer::ScoringStats, crate::report::DanaTiming)> {
+        let entry = self.catalog.live_table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let io_before = self.pool.stats().io_seconds;
+        let feed = FeedKind::for_mode(mode);
+        let mut stream =
+            PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
+        let access_stats = stream.into_stats();
+        let io_first = self.pool.stats().io_seconds - io_before;
+        let timing = exec::assemble_scoring_timing(
+            mode,
+            setup.cached.budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.config().frames(),
+            heap,
+            &access_stats,
+            io_first,
+            &stats,
+        );
+        Ok((result, stats, timing))
     }
 
     /// Compiles a spec ad hoc and runs it in the given mode (the Fig. 11 /
@@ -235,7 +457,11 @@ impl Dana {
             _ => None,
         };
         let acc = self.compile_for(spec, table, threads)?;
-        self.run_with_engine(&exec::CachedAccelerator::from_compiled(&acc), table, mode)
+        self.run_with_engine(
+            &exec::CachedAccelerator::from_compiled(&acc, None),
+            table,
+            mode,
+        )
     }
 
     fn compile_for(
@@ -268,7 +494,7 @@ impl Dana {
         let budget = acc.budget;
         let engine = &acc.engine;
         let design = engine.design();
-        let entry = self.catalog.table(table)?;
+        let entry = self.catalog.live_table(table)?;
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let pool = &mut self.pool;
@@ -281,11 +507,7 @@ impl Dana {
         // materialization (Fig. 2).
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let io_before = pool.stats().io_seconds;
-        let feed = if mode.uses_striders() {
-            FeedKind::Strider
-        } else {
-            FeedKind::Cpu
-        };
+        let feed = FeedKind::for_mode(mode);
         let mut source = PageStreamSource::new(pool, &self.disk, heap, heap_id, &access, feed);
         let stats = engine.run_training(&mut source, &mut store)?;
         let access_stats = source.into_stats();
@@ -328,7 +550,7 @@ impl Dana {
             _ => None,
         };
         let acc = self.compile_for(spec, table, threads)?;
-        let entry = self.catalog.table(table)?;
+        let entry = self.catalog.live_table(table)?;
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let pool = &mut self.pool;
@@ -557,6 +779,160 @@ mod tests {
         db.create_table("t", linreg_heap(300, 8)).unwrap();
         db.deploy(&spec, "t").unwrap();
         assert!(db.run_udf("linearR", "t").is_ok());
+    }
+
+    #[test]
+    fn predict_materializes_and_evaluate_round_trips() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(700, 8)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            learning_rate: 0.2,
+            merge_coef: 8,
+            epochs: 25,
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+
+        // PREDICT before any training is a typed error.
+        assert!(matches!(
+            db.predict("linearR", "t", "p"),
+            Err(DanaError::ModelNotTrained { .. })
+        ));
+        let trained = db.run_udf("linearR", "t").unwrap();
+
+        // PREDICT materializes a real catalog table.
+        let report = db.predict("linearR", "t", "p").unwrap();
+        assert_eq!(report.rows_scored, 700);
+        assert_eq!(report.output_table, "p");
+        assert!(report.timing.total_seconds > 0.0);
+        assert!(report.scoring.cycles > 0);
+
+        // Scan it back: source columns + a prediction column holding the
+        // CPU reference scores bit-exactly.
+        let (entry, heap) = db.catalog().table_heap("p").unwrap();
+        assert_eq!(entry.tuple_count, 700);
+        assert_eq!(entry.derived_from.as_deref(), Some("t"));
+        assert_eq!(heap.schema().len(), 10); // 8 features + y + prediction
+        let batch = heap.scan_batch().unwrap();
+        let model = dana_ml::DenseModel(trained.dense_model().to_vec());
+        let src_batch = db
+            .catalog()
+            .table_heap("t")
+            .unwrap()
+            .1
+            .scan_batch()
+            .unwrap();
+        let reference = dana_ml::score_dense(&model, &src_batch, dana_ml::Link::Identity);
+        let stored: Vec<f32> = batch.rows().map(|r| r[9]).collect();
+        assert_eq!(stored, reference, "materialized predictions round-trip");
+
+        // EVALUATE the prediction table (the trailing prediction column
+        // is ignored; the label column is still read) and the source —
+        // identical metric, equal to the whole-batch reference.
+        let on_pred = db.evaluate("linearR", "p", None).unwrap();
+        let on_src = db.evaluate("linearR", "t", None).unwrap();
+        assert_eq!(on_pred.metric, dana_infer::MetricKind::Mse);
+        assert_eq!(on_pred.value, on_src.value);
+        assert_eq!(
+            on_src.value,
+            dana_ml::metrics::mse(&model, &src_batch).unwrap()
+        );
+        assert!(
+            on_src.value < 0.01,
+            "trained model must fit: {}",
+            on_src.value
+        );
+
+        // The prediction table drops like any heap.
+        let summary = db.drop_table("p").unwrap();
+        assert_eq!(summary.table, "p");
+        assert!(db.catalog().table("p").is_err());
+    }
+
+    #[test]
+    fn execute_statement_dispatches_all_three_forms() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(300, 8)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            learning_rate: 0.2,
+            merge_coef: 8,
+            epochs: 20,
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+
+        let out = db
+            .execute_statement("SELECT * FROM dana.linearR('t');")
+            .unwrap();
+        assert!(matches!(out, StatementOutcome::Train(_)));
+        assert!(out.timing().total_seconds > 0.0);
+
+        let out = db
+            .execute_statement("PREDICT dana.linearR('t') INTO 'scores';")
+            .unwrap();
+        let StatementOutcome::Predict(p) = out else {
+            panic!("expected predict outcome");
+        };
+        assert_eq!(p.output_table, "scores");
+        assert!(db.catalog().table("scores").is_ok());
+
+        let out = db
+            .execute_statement("EVALUATE dana.linearR('t', 'mse');")
+            .unwrap();
+        let StatementOutcome::Evaluate(e) = out else {
+            panic!("expected evaluate outcome");
+        };
+        assert_eq!(e.metric, dana_infer::MetricKind::Mse);
+        assert!(e.value.is_finite());
+
+        // Predicting into an existing table is a typed duplicate error.
+        assert!(matches!(
+            db.execute_statement("PREDICT dana.linearR('t') INTO 'scores';"),
+            Err(DanaError::Storage(
+                dana_storage::StorageError::DuplicateName(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn dropping_source_stales_prediction_tables_and_scoring_caches() {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(400, 8)).unwrap();
+        db.prewarm("t").unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db.run_udf("linearR", "t").unwrap();
+        db.predict("linearR", "t", "p").unwrap();
+        // Pull the prediction table into the pool so the drop has pages
+        // to evict.
+        db.prewarm("p").unwrap();
+
+        let summary = db.drop_table("t").unwrap();
+        assert_eq!(summary.invalidated_udfs, vec!["linearR".to_string()]);
+        assert_eq!(summary.stale_prediction_tables, vec!["p".to_string()]);
+
+        // The stale prediction table refuses queries with a typed error…
+        assert!(matches!(
+            db.prewarm("p"),
+            Err(DanaError::Storage(
+                dana_storage::StorageError::StaleDerivedTable { .. }
+            ))
+        ));
+        // …its pages are gone from the pool…
+        assert_eq!(db.resident_pages(), 0, "stale pages must be evicted");
+        // …the scoring cache died with the accelerator…
+        assert!(matches!(
+            db.predict("linearR", "p", "q"),
+            Err(DanaError::StaleAccelerator { .. })
+        ));
+        // …and cleanup still works.
+        assert!(db.drop_table("p").is_ok());
     }
 
     #[test]

@@ -1,17 +1,69 @@
-//! The SQL front door: `SELECT * FROM dana.<udf>('<table>');` (§4.3).
+//! The SQL front door (§4.3):
+//!
+//! * `SELECT * FROM dana.<udf>('<table>');` — train (the paper's form);
+//! * `PREDICT dana.<udf>('<table>') INTO '<dest>';` — score `table` with
+//!   the UDF's latest trained model and materialize the predictions as a
+//!   new catalog table `dest`;
+//! * `EVALUATE dana.<udf>('<table>'[, '<metric>']);` — score and fold an
+//!   in-database quality metric, exporting nothing.
 //!
 //! "The RDBMS parses, optimizes, and executes the query while treating the
-//! UDF as a black box" (§3) — here the interesting query shape is exactly
-//! the UDF invocation, so the parser accepts that form (case-insensitive
-//! keywords, optional schema prefix, single- or double-quoted table names).
+//! UDF as a black box" (§3) — here the interesting query shapes are exactly
+//! the UDF invocations, so the parser accepts those forms (case-insensitive
+//! keywords, optional schema prefix, single- or double-quoted names).
+
+use dana_infer::MetricKind;
 
 use crate::error::{DanaError, DanaResult};
 
-/// A parsed accelerated-UDF invocation.
+/// A parsed accelerated-UDF training invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryCall {
     pub udf: String,
     pub table: String,
+}
+
+/// A parsed `PREDICT … INTO …` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictCall {
+    pub udf: String,
+    /// The table whose rows are scored.
+    pub table: String,
+    /// The materialized prediction table to create.
+    pub into: String,
+}
+
+/// A parsed `EVALUATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateCall {
+    pub udf: String,
+    pub table: String,
+    /// Explicit metric, or `None` for the analytic's default.
+    pub metric: Option<MetricKind>,
+}
+
+/// Any statement the front door accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT * FROM dana.<udf>('<table>');` — train.
+    Train(QueryCall),
+    /// `PREDICT dana.<udf>('<table>') INTO '<dest>';`.
+    Predict(PredictCall),
+    /// `EVALUATE dana.<udf>('<table>'[, '<metric>']);`.
+    Evaluate(EvaluateCall),
+}
+
+/// Parses any front-door statement.
+pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
+    let s = sql.trim().trim_end_matches(';').trim();
+    let lower = s.to_ascii_lowercase();
+    if lower.starts_with("predict") {
+        return parse_predict(s, &lower).map(Statement::Predict);
+    }
+    if lower.starts_with("evaluate") {
+        return parse_evaluate(s, &lower).map(Statement::Evaluate);
+    }
+    parse_query(sql).map(Statement::Train)
 }
 
 /// Parses `SELECT * FROM dana.linearR('training_data_table');`.
@@ -32,6 +84,78 @@ pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
         .trim_start();
     // Work on the original string from here to preserve identifier case.
     let tail = &s[s.len() - rest.len()..];
+    let (udf, args) = parse_udf_call(tail)?;
+    let table = single_arg(&args)?;
+    Ok(QueryCall { udf, table })
+}
+
+/// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`.
+fn parse_predict(s: &str, lower: &str) -> DanaResult<PredictCall> {
+    let rest = lower["predict".len()..].to_string();
+    if !rest.starts_with([' ', '\t']) {
+        return Err(err("expected PREDICT <udf>(...)"));
+    }
+    let tail = s["predict".len()..].trim_start();
+    // Split at the INTO keyword (outside the call's parentheses: the call
+    // ends at its closing ')', so a simple case-insensitive search after
+    // the close is exact).
+    let close = tail.rfind(')').ok_or_else(|| err("unclosed ')'"))?;
+    let after = &tail[close + 1..];
+    let after_lower = after.to_ascii_lowercase();
+    let into_at = after_lower
+        .find("into")
+        .ok_or_else(|| err("PREDICT requires INTO '<table>'"))?;
+    if !after[..into_at].trim().is_empty() {
+        return Err(err("unexpected input between UDF call and INTO"));
+    }
+    let (udf, args) = parse_udf_call(&tail[..close + 1])?;
+    let table = single_arg(&args)?;
+    let dest_raw = after[into_at + "into".len()..].trim();
+    if dest_raw.is_empty() {
+        return Err(err("INTO needs a destination table name"));
+    }
+    let into = parse_table_arg(dest_raw)?.to_string();
+    if into.is_empty() {
+        return Err(err("empty destination table name"));
+    }
+    Ok(PredictCall { udf, table, into })
+}
+
+/// Parses the tail of `EVALUATE dana.<udf>('<table>'[, '<metric>'])`.
+fn parse_evaluate(s: &str, lower: &str) -> DanaResult<EvaluateCall> {
+    let rest = lower["evaluate".len()..].to_string();
+    if !rest.starts_with([' ', '\t']) {
+        return Err(err("expected EVALUATE <udf>(...)"));
+    }
+    let tail = s["evaluate".len()..].trim_start();
+    let (udf, args) = parse_udf_call(tail)?;
+    let (table, metric_name) = match args.len() {
+        1 => (args[0].clone(), None),
+        2 => (args[0].clone(), Some(args[1].clone())),
+        n => {
+            return Err(err(&format!(
+                "EVALUATE takes a table and an optional metric ({n} arguments given)"
+            )))
+        }
+    };
+    let metric = match metric_name {
+        None => None,
+        Some(name) => Some(MetricKind::parse(&name).ok_or_else(|| {
+            err(&format!(
+                "unknown metric '{name}' (expected mse, log_loss, classification_accuracy, or lrmf_rmse)"
+            ))
+        })?),
+    };
+    if table.is_empty() {
+        return Err(err("empty table name"));
+    }
+    Ok(EvaluateCall { udf, table, metric })
+}
+
+/// Parses `dana.<udf>(arg[, arg])` from `tail`, returning the UDF name
+/// (schema prefix validated and stripped) and the raw argument list.
+/// Rejects trailing garbage after the closing parenthesis.
+fn parse_udf_call(tail: &str) -> DanaResult<(String, Vec<String>)> {
     let open = tail
         .find('(')
         .ok_or_else(|| err("expected UDF call '(...)'"))?;
@@ -53,15 +177,62 @@ pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     if !tail[close + 1..].trim().is_empty() {
         return Err(err("unexpected input after UDF call"));
     }
-    let arg = tail[open + 1..close].trim();
-    let table = parse_table_arg(arg)?;
-    if table.is_empty() {
+    let args = parse_args(tail[open + 1..close].trim())?;
+    Ok((udf.to_string(), args))
+}
+
+/// Splits a call's argument text into individual quoted-or-bare
+/// identifiers. Unbalanced/mismatched quotes are rejected per argument.
+fn parse_args(text: &str) -> DanaResult<Vec<String>> {
+    if text.is_empty() {
+        return Err(err("UDF call needs at least one argument"));
+    }
+    let mut args = Vec::new();
+    let mut rest = text;
+    loop {
+        let (arg, remainder) = split_one_arg(rest)?;
+        args.push(parse_table_arg(arg)?.to_string());
+        match remainder {
+            None => break,
+            Some(r) => {
+                let r = r.trim_start();
+                if r.is_empty() {
+                    return Err(err("trailing comma in argument list"));
+                }
+                rest = r;
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Splits the first argument off `text` at a comma that is outside any
+/// quotes. Returns the argument text and the remainder after the comma.
+fn split_one_arg(text: &str) -> DanaResult<(&str, Option<&str>)> {
+    let mut quote: Option<char> = None;
+    for (i, c) in text.char_indices() {
+        match (quote, c) {
+            (None, '\'' | '"') => quote = Some(c),
+            (Some(q), c) if c == q => quote = None,
+            (None, ',') => return Ok((text[..i].trim(), Some(&text[i + 1..]))),
+            _ => {}
+        }
+    }
+    if quote.is_some() {
+        return Err(err("unbalanced quote in argument list"));
+    }
+    Ok((text.trim(), None))
+}
+
+/// The single-argument form used by SELECT … and PREDICT's source.
+fn single_arg(args: &[String]) -> DanaResult<String> {
+    if args.len() != 1 {
+        return Err(err("UDF takes exactly one argument (the table name)"));
+    }
+    if args[0].is_empty() {
         return Err(err("empty table name"));
     }
-    Ok(QueryCall {
-        udf: udf.to_string(),
-        table: table.to_string(),
-    })
+    Ok(args[0].clone())
 }
 
 /// Parses the UDF's single table-name argument: a quoted or bare
@@ -188,5 +359,143 @@ mod tests {
         }
         // A trailing semicolon and whitespace remain fine.
         assert!(parse_query("SELECT * FROM dana.f('t')  ;  ").is_ok());
+    }
+
+    // ---- PREDICT / EVALUATE grammar -------------------------------------
+
+    #[test]
+    fn parses_predict_into() {
+        let s = parse_statement("PREDICT dana.linearR('patients') INTO 'patient_scores';").unwrap();
+        assert_eq!(
+            s,
+            Statement::Predict(PredictCall {
+                udf: "linearR".into(),
+                table: "patients".into(),
+                into: "patient_scores".into(),
+            })
+        );
+        // Case-insensitive keywords, optional schema, mixed quoting.
+        let s = parse_statement("predict linearR(\"patients\") into scores").unwrap();
+        assert_eq!(
+            s,
+            Statement::Predict(PredictCall {
+                udf: "linearR".into(),
+                table: "patients".into(),
+                into: "scores".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn predict_preserves_identifier_case() {
+        let Statement::Predict(p) =
+            parse_statement("PREDICT dana.MyUdf('MyTable') INTO 'MyScores';").unwrap()
+        else {
+            panic!("expected predict");
+        };
+        assert_eq!(p.udf, "MyUdf");
+        assert_eq!(p.table, "MyTable");
+        assert_eq!(p.into, "MyScores");
+    }
+
+    #[test]
+    fn parses_evaluate_with_and_without_metric() {
+        let s = parse_statement("EVALUATE dana.logisticR('wlan');").unwrap();
+        assert_eq!(
+            s,
+            Statement::Evaluate(EvaluateCall {
+                udf: "logisticR".into(),
+                table: "wlan".into(),
+                metric: None,
+            })
+        );
+        let s = parse_statement("EVALUATE dana.linearR('t', 'mse');").unwrap();
+        assert_eq!(
+            s,
+            Statement::Evaluate(EvaluateCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                metric: Some(MetricKind::Mse),
+            })
+        );
+        // All four metric names (and case-insensitivity) parse.
+        for (name, kind) in [
+            ("mse", MetricKind::Mse),
+            ("log_loss", MetricKind::LogLoss),
+            ("classification_accuracy", MetricKind::Accuracy),
+            ("LRMF_RMSE", MetricKind::LrmfRmse),
+        ] {
+            let s = parse_statement(&format!("evaluate f('t', '{name}')")).unwrap();
+            assert_eq!(
+                s,
+                Statement::Evaluate(EvaluateCall {
+                    udf: "f".into(),
+                    table: "t".into(),
+                    metric: Some(kind),
+                }),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn statement_dispatch_still_parses_select() {
+        let s = parse_statement("SELECT * FROM dana.linearR('t');").unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn predict_rejects_malformed_statements() {
+        for bad in [
+            // Arity / missing clauses.
+            "PREDICT dana.f('t');",               // no INTO
+            "PREDICT dana.f('t') INTO;",          // no destination
+            "PREDICT dana.f('t') INTO",           // no destination
+            "PREDICT dana.f('t', 'u') INTO 'p';", // two source args
+            "PREDICT dana.f() INTO 'p';",         // zero args
+            "PREDICT dana.f INTO 'p';",           // no call parens
+            // Quoting.
+            "PREDICT dana.f('t) INTO 'p';",  // unbalanced source quote
+            "PREDICT dana.f('t') INTO 'p;",  // unbalanced dest quote
+            "PREDICT dana.f('t') INTO p\";", // mismatched dest quote
+            // Trailing garbage / misplaced tokens.
+            "PREDICT dana.f('t') WHERE x INTO 'p';", // garbage before INTO
+            "PREDICTx dana.f('t') INTO 'p';",        // keyword typo
+            // Unknown schema target.
+            "PREDICT other.f('t') INTO 'p';",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_malformed_statements() {
+        for bad in [
+            "EVALUATE dana.f();",                    // zero args
+            "EVALUATE dana.f('t', 'mse', 'x');",     // three args
+            "EVALUATE dana.f('t', 'not_a_metric');", // unknown metric
+            "EVALUATE dana.f('t', );",               // trailing comma
+            "EVALUATE dana.f('t'\");",               // mismatched quote
+            "EVALUATE dana.f('t') extra",            // trailing garbage
+            "EVALUATE other.f('t');",                // unknown schema
+            "EVALUATEdana.f('t');",                  // keyword typo
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn predict_into_trailing_garbage_rejected() {
+        assert!(parse_statement("PREDICT dana.f('t') INTO 'p' extra").is_err());
+        // INTO destination with stray second token.
+        assert!(parse_statement("PREDICT dana.f('t') INTO 'p' 'q'").is_err());
+        // Trailing semicolon and whitespace remain fine.
+        assert!(parse_statement("PREDICT dana.f('t') INTO 'p'  ;  ").is_ok());
     }
 }

@@ -1,6 +1,8 @@
-//! Run reports: trained models plus the simulated-time breakdown.
+//! Run reports: trained models plus the simulated-time breakdown, and
+//! the inference tier's scoring/evaluation outcomes.
 
 use dana_engine::EngineStats;
+use dana_infer::{MetricKind, ScoringStats};
 use dana_strider::AccessStats;
 
 /// Simulated seconds.
@@ -64,6 +66,53 @@ pub struct QueryOutcome {
     pub udf: String,
     pub table: String,
     pub report: DanaReport,
+}
+
+/// The result of one PREDICT: a materialized prediction table.
+#[derive(Debug, Clone)]
+pub struct PredictReport {
+    pub udf: String,
+    /// The table that was scored.
+    pub source_table: String,
+    /// The materialized prediction table created in the catalog.
+    pub output_table: String,
+    pub rows_scored: u64,
+    /// Lockstep lanes the scoring program ran across.
+    pub lanes: u16,
+    pub scoring: ScoringStats,
+    pub timing: DanaTiming,
+}
+
+/// The result of one EVALUATE: an in-database quality metric.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    pub udf: String,
+    pub table: String,
+    pub metric: MetricKind,
+    pub value: f64,
+    pub rows_scored: u64,
+    pub lanes: u16,
+    pub scoring: ScoringStats,
+    pub timing: DanaTiming,
+}
+
+/// The outcome of any front-door statement (`Dana::execute_statement`).
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    Train(QueryOutcome),
+    Predict(PredictReport),
+    Evaluate(EvalReport),
+}
+
+impl StatementOutcome {
+    /// End-to-end simulated timing, whichever statement ran.
+    pub fn timing(&self) -> &DanaTiming {
+        match self {
+            StatementOutcome::Train(o) => &o.report.timing,
+            StatementOutcome::Predict(p) => &p.timing,
+            StatementOutcome::Evaluate(e) => &e.timing,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,18 @@ pub enum FeedKind {
     Cpu,
 }
 
+impl FeedKind {
+    /// The feed matching an execution mode: Striders on-chip for full
+    /// DAnA, CPU deform for the ablations.
+    pub fn for_mode(mode: crate::runtime::ExecutionMode) -> FeedKind {
+        if mode.uses_striders() {
+            FeedKind::Strider
+        } else {
+            FeedKind::Cpu
+        }
+    }
+}
+
 /// Streams a table page-by-page out of the buffer pool as flat batches.
 pub struct PageStreamSource<'a> {
     pool: &'a mut BufferPool,

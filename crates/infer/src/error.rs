@@ -1,0 +1,125 @@
+//! Inference-tier errors.
+
+use std::fmt;
+
+use dana_ml::MetricsError;
+use dana_storage::{SourceError, StorageError};
+
+use crate::scoring::MetricKind;
+
+/// Errors raised while deriving, binding, or running a scoring program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferError {
+    /// The deployed analytic has no derivable forward pass (e.g. a custom
+    /// DSL program whose structure matches none of the supported
+    /// families).
+    UnsupportedAnalytic { udf: String, reason: String },
+    /// Trained model values disagree with the scoring recipe's shapes.
+    ModelShape(String),
+    /// The scored table is narrower than the scoring program's feature
+    /// (or index) columns.
+    SourceWidth { got: usize, need: usize },
+    /// The requested metric needs a label column the table does not have.
+    NoLabelColumn { metric: MetricKind, width: usize },
+    /// The requested metric does not apply to this analytic family (e.g.
+    /// `lrmf_rmse` on a linear model).
+    MetricMismatch { metric: MetricKind, recipe: String },
+    /// An LRMF index column addressed a factor row that does not exist.
+    RowIndexOutOfRange {
+        factor: &'static str,
+        row: i64,
+        rows: usize,
+    },
+    /// Metric computation failed (empty table, …).
+    Metric(MetricsError),
+    /// The tuple stream failed mid-scan.
+    Source(SourceError),
+    /// Storage failure while materializing the prediction table.
+    Storage(StorageError),
+    /// Prediction count disagrees with the heap being materialized.
+    PredictionCount { predictions: usize, tuples: u64 },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::UnsupportedAnalytic { udf, reason } => {
+                write!(
+                    f,
+                    "analytic '{udf}' has no derivable scoring pass: {reason}"
+                )
+            }
+            InferError::ModelShape(msg) => write!(f, "trained model shape: {msg}"),
+            InferError::SourceWidth { got, need } => {
+                write!(f, "table width {got} below the {need} scoring columns")
+            }
+            InferError::NoLabelColumn { metric, width } => write!(
+                f,
+                "metric '{}' needs a label column; table is only {width} wide",
+                metric.name()
+            ),
+            InferError::MetricMismatch { metric, recipe } => {
+                write!(f, "metric '{}' does not apply to {recipe}", metric.name())
+            }
+            InferError::RowIndexOutOfRange { factor, row, rows } => {
+                write!(f, "{factor}-factor row {row} out of range ({rows} rows)")
+            }
+            InferError::Metric(e) => write!(f, "metric: {e}"),
+            InferError::Source(e) => write!(f, "scoring scan: {e}"),
+            InferError::Storage(e) => write!(f, "materialization: {e}"),
+            InferError::PredictionCount {
+                predictions,
+                tuples,
+            } => write!(f, "{predictions} predictions for a heap of {tuples} tuples"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+impl From<MetricsError> for InferError {
+    fn from(e: MetricsError) -> InferError {
+        InferError::Metric(e)
+    }
+}
+
+impl From<SourceError> for InferError {
+    fn from(e: SourceError) -> InferError {
+        InferError::Source(e)
+    }
+}
+
+impl From<StorageError> for InferError {
+    fn from(e: StorageError) -> InferError {
+        InferError::Storage(e)
+    }
+}
+
+pub type InferResult<T> = Result<T, InferError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = InferError::UnsupportedAnalytic {
+            udf: "custom".into(),
+            reason: "two dense models".into(),
+        };
+        assert!(e.to_string().contains("custom"));
+        let e = InferError::SourceWidth { got: 2, need: 5 };
+        assert!(e.to_string().contains('5'));
+        let e = InferError::NoLabelColumn {
+            metric: MetricKind::Mse,
+            width: 3,
+        };
+        assert!(e.to_string().contains("mse"));
+        let e: InferError = MetricsError::EmptyBatch { metric: "mse" }.into();
+        assert!(e.to_string().contains("empty"));
+        let e: InferError = SourceError("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+        let e: InferError = StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("'t'"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Prediction materialization: turning a scored scan back into a heap.
+//!
+//! PREDICT is the first query that *writes* into the storage layer: its
+//! output is a real catalog table — scannable, snapshottable, and
+//! droppable like any heap. The schema is derived from the source table's
+//! (every source column preserved with its exact on-page type and value)
+//! plus one appended `prediction real` column; predictions are stored as
+//! Float4, so a scan of the materialized table recovers each prediction
+//! bit-exactly.
+
+use dana_storage::{ColumnType, HeapFile, HeapFileBuilder, PageView, Schema, TUPLE_HEADER_BYTES};
+
+use crate::error::{InferError, InferResult};
+
+/// Name of the appended prediction column.
+pub const PREDICTION_COLUMN: &str = "prediction";
+
+/// Derives a prediction table's schema: the source schema with a
+/// `prediction real` column appended. Refuses a source that already has a
+/// column of that name (scoring a prediction table into itself would
+/// shadow the earlier predictions).
+pub fn prediction_schema(source: &Schema) -> InferResult<Schema> {
+    if source.column_index(PREDICTION_COLUMN).is_some() {
+        return Err(InferError::Storage(
+            dana_storage::StorageError::DuplicateName(PREDICTION_COLUMN.to_string()),
+        ));
+    }
+    let mut cols: Vec<(String, ColumnType)> = source
+        .columns()
+        .iter()
+        .map(|c| (c.name.clone(), c.ty))
+        .collect();
+    cols.push((PREDICTION_COLUMN.to_string(), ColumnType::Float4));
+    Ok(Schema::new(cols))
+}
+
+/// Builds the materialized prediction heap: every source tuple (values
+/// preserved byte-for-byte) with its prediction appended, in scan
+/// order, using the source's page size and placement direction.
+///
+/// One zero-copy pass over the source pages: each tuple's user-data
+/// bytes are copied straight into the output heap with the prediction's
+/// four Float4 bytes behind them — no per-tuple `Datum` materialization,
+/// so materialization costs one page walk, not a second full decode.
+pub fn build_prediction_heap(source: &HeapFile, predictions: &[f32]) -> InferResult<HeapFile> {
+    if predictions.len() as u64 != source.tuple_count() {
+        return Err(InferError::PredictionCount {
+            predictions: predictions.len(),
+            tuples: source.tuple_count(),
+        });
+    }
+    let schema = prediction_schema(source.schema())?;
+    let layout = *source.layout();
+    let src_width = source.schema().tuple_data_width();
+    let mut builder = HeapFileBuilder::new(schema, layout.page_size, layout.direction)?;
+    let mut next = predictions.iter();
+    for page_no in 0..source.page_count() {
+        let view = PageView::new(source.page_bytes(page_no)?, layout)?;
+        for rec in view.tuples() {
+            // User data starts at t_hoff (validated like `Tuple::deform`).
+            let hoff = rec.get(10).copied().unwrap_or(0) as usize;
+            if hoff < TUPLE_HEADER_BYTES || hoff + src_width > rec.len() {
+                return Err(InferError::Storage(
+                    dana_storage::StorageError::SchemaMismatch(format!(
+                        "tuple on page {page_no} has bad t_hoff {hoff} for {} bytes",
+                        rec.len()
+                    )),
+                ));
+            }
+            let p = next.next().expect("count checked above");
+            builder.insert_raw(&[&rec[hoff..hoff + src_width], &p.to_le_bytes()])?;
+        }
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{Datum, Tuple};
+
+    fn rating_heap(n: usize) -> HeapFile {
+        let mut b =
+            HeapFileBuilder::new(Schema::rating(), 8 * 1024, TupleDirection::Ascending).unwrap();
+        for k in 0..n {
+            b.insert(&Tuple::rating(k as i32, (k * 3) as i32, k as f32 / 2.0))
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn schema_appends_prediction_column() {
+        let s = prediction_schema(&Schema::training(4)).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.columns()[5].name, PREDICTION_COLUMN);
+        assert_eq!(s.columns()[5].ty, ColumnType::Float4);
+        // Re-deriving from a prediction schema is refused.
+        assert!(prediction_schema(&s).is_err());
+    }
+
+    #[test]
+    fn heap_round_trips_values_and_predictions() {
+        let heap = rating_heap(500);
+        let predictions: Vec<f32> = (0..500).map(|k| 0.125 * k as f32 - 3.0).collect();
+        let out = build_prediction_heap(&heap, &predictions).unwrap();
+        assert_eq!(out.tuple_count(), 500);
+        assert_eq!(out.schema().len(), 4);
+        // Integer index columns survive with their exact on-page type;
+        // predictions come back bit-exactly.
+        for (k, t) in out.scan().enumerate() {
+            assert_eq!(t.values[0], Datum::Int4(k as i32));
+            assert_eq!(t.values[1], Datum::Int4((k * 3) as i32));
+            assert_eq!(t.values[3], Datum::Float4(predictions[k]));
+        }
+    }
+
+    #[test]
+    fn prediction_count_mismatch_is_typed_error() {
+        let heap = rating_heap(10);
+        assert!(matches!(
+            build_prediction_heap(&heap, &[1.0; 9]),
+            Err(InferError::PredictionCount {
+                predictions: 9,
+                tuples: 10
+            })
+        ));
+    }
+}

@@ -240,7 +240,7 @@ mod tests {
             ..Default::default()
         };
         let m = train_reference(&tuples, &cfg);
-        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, false);
+        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, false).unwrap();
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -262,7 +262,7 @@ mod tests {
             ..Default::default()
         };
         let m = train_reference(&tuples, &cfg);
-        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, true);
+        let acc = metrics::classification_accuracy(m.as_dense(), &tuples, true).unwrap();
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -286,9 +286,9 @@ mod tests {
             rank: 6,
             ..Default::default()
         };
-        let before = metrics::lrmf_rmse(&LrmfModel::zeroed(rows, cols, 6), &tuples);
+        let before = metrics::lrmf_rmse(&LrmfModel::zeroed(rows, cols, 6), &tuples).unwrap();
         let m = train_reference(&tuples, &cfg);
-        let after = metrics::lrmf_rmse(m.as_lrmf(), &tuples);
+        let after = metrics::lrmf_rmse(m.as_lrmf(), &tuples).unwrap();
         assert!(after < before * 0.5, "rmse {before} → {after}");
     }
 

@@ -268,7 +268,8 @@ mod tests {
         };
         let data = tuples(200, 4);
         let report = exec.train(&data, &cfg).unwrap();
-        let acc = crate::metrics::classification_accuracy(report.model.as_dense(), &data, false);
+        let acc =
+            crate::metrics::classification_accuracy(report.model.as_dense(), &data, false).unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
         let (e, t, c) = report.phase_fractions();
         assert!((e + t + c - 1.0).abs() < 1e-9);

@@ -321,7 +321,7 @@ mod tests {
             .train(&mut pool_for(&heap), HeapId(1), &heap, &cfg)
             .unwrap();
         let tuples = heap.scan_batch().unwrap();
-        let loss = metrics::mse(report.model.as_dense(), &tuples);
+        let loss = metrics::mse(report.model.as_dense(), &tuples).unwrap();
         assert!(loss < 0.02, "mse {loss}");
         assert_eq!(report.segments, 8);
     }

@@ -23,6 +23,7 @@ pub mod greenplum;
 pub mod linalg;
 pub mod madlib;
 pub mod metrics;
+pub mod scorer;
 
 pub use algorithms::{
     default_lrmf_init, train_reference, DenseModel, LrmfModel, TrainConfig, TrainedModel,
@@ -32,3 +33,5 @@ pub use dana_dsl::zoo::Algorithm;
 pub use external::{ExternalExecutor, ExternalLibrary, ExternalReport};
 pub use greenplum::{GreenplumExecutor, GreenplumReport};
 pub use madlib::{MadlibExecutor, MadlibReport};
+pub use metrics::{MetricsError, MetricsResult};
+pub use scorer::{score_dense, score_lrmf, Link};

@@ -172,7 +172,7 @@ mod tests {
         };
         let report = exec.train(&mut pool, HeapId(1), &heap, &cfg).unwrap();
         let tuples = heap.scan_batch().unwrap();
-        let loss = metrics::mse(report.model.as_dense(), &tuples);
+        let loss = metrics::mse(report.model.as_dense(), &tuples).unwrap();
         assert!(loss < 0.01, "mse {loss}");
         assert!(report.cpu_seconds > 0.0);
         assert_eq!(report.tuples_per_epoch, 400);
@@ -287,7 +287,7 @@ mod tests {
         };
         let report = exec.train(&mut pool, HeapId(1), &heap, &cfg).unwrap();
         let tuples = heap.scan_batch().unwrap();
-        let rmse = metrics::lrmf_rmse(report.model.as_lrmf(), &tuples);
+        let rmse = metrics::lrmf_rmse(report.model.as_lrmf(), &tuples).unwrap();
         assert!(rmse < 1.0, "rmse {rmse}");
     }
 }

@@ -27,8 +27,8 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts};
 use dana::{
-    DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, ExecutionMode, FeedKind,
-    SharedPageStreamSource,
+    DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport, ExecutionMode,
+    FeedKind, MetricKind, PredictReport, SharedPageStreamSource,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
 use dana_engine::ModelStore;
@@ -148,17 +148,25 @@ impl SystemCore {
 
     /// Drops a table: detaches it from the catalog, force-evicts its pages
     /// (in-flight scans keep their `Arc` snapshots and finish cleanly),
-    /// and marks accelerators compiled against it stale.
+    /// marks accelerators compiled against it stale, and marks prediction
+    /// tables materialized from it stale (force-evicting their pages too).
     pub fn drop_table(&self, name: &str) -> DanaResult<DropSummary> {
         let mut cat = self.write();
         let entry = cat.drop_table(name)?;
         let invalidated_udfs = cat.invalidate_accelerators_for(name);
+        let derived = cat.invalidate_derived_for(name);
         drop(cat);
         let pages_evicted = self.pool.evict_heap_force(entry.heap_id);
+        let mut stale_prediction_tables = Vec::new();
+        for (table, heap_id) in derived {
+            self.pool.evict_heap_force(heap_id);
+            stale_prediction_tables.push(table);
+        }
         Ok(DropSummary {
             table: name.to_string(),
             pages_evicted,
             invalidated_udfs,
+            stale_prediction_tables,
         })
     }
 
@@ -202,7 +210,10 @@ impl SystemCore {
     pub fn deploy(&self, spec: &dana_dsl::AlgoSpec, table: &str) -> DanaResult<DeployInfo> {
         let (snap, heap) = self.snapshot_table(table)?;
         let acc = self.compile_for(spec, &heap, snap.tuple_count, None)?;
-        let blob = ArtifactBlob::from_compiled(&acc);
+        // Scoring lowering: the forward-pass recipe rides the blob and
+        // the runtime cache beside the training engine.
+        let scoring = dana_infer::derive_recipe(spec).ok();
+        let blob = ArtifactBlob::from_compiled(&acc, scoring.clone());
         let words = dana_strider::isa::encode_program(&acc.strider_program)?;
         let entry = AcceleratorEntry {
             udf_name: spec.name.clone(),
@@ -217,10 +228,11 @@ impl SystemCore {
             bound_table: table.to_string(),
             stale: false,
             runtime: RuntimeCache::default(),
+            trained: RuntimeCache::default(),
         };
         // The compile already built (validated + lowered) the engine once;
         // prime the entry so every EXECUTE is a cache hit.
-        exec::prime_runtime(&entry, &acc);
+        exec::prime_runtime(&entry, &acc, scoring);
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         {
             let mut cat = self.write();
@@ -264,11 +276,22 @@ impl SystemCore {
     /// The concurrent EXECUTE hot path: a short catalog read lock snapshots
     /// the cached `Arc<ExecutionEngine>` (built once at DEPLOY) and the
     /// heap; no blob decode, validation, lowering, or design clone happens
-    /// per query.
+    /// per query. The trained model is stored back on the entry (last
+    /// training wins) for PREDICT/EVALUATE to bind.
     pub fn run_udf(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider)
+        let report = self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider)?;
+        // Store through a short read lock (the slot is interior-mutable).
+        // A drop that raced the run cleared `trained` and marked the
+        // entry stale — don't resurrect a model for a dropped table.
+        let cat = self.read();
+        if let Ok(entry) = cat.accelerator(udf) {
+            if !entry.stale {
+                exec::store_trained(entry, &report);
+            }
+        }
+        Ok(report)
     }
 
     /// Compiles `spec` ad hoc and runs it in the given mode (nothing is
@@ -292,7 +315,7 @@ impl SystemCore {
         let acc = self.compile_for(spec, &heap, entry.tuple_count, threads)?;
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         self.run_on_heap(
-            &CachedAccelerator::from_compiled(&acc),
+            &CachedAccelerator::from_compiled(&acc, None),
             entry.heap_id,
             &heap,
             mode,
@@ -347,13 +370,219 @@ impl SystemCore {
         ))
     }
 
+    /// SJF's ordering key for a *scoring* query: tuple count × per-tuple
+    /// program length across the design's lockstep lanes. Scoring is a
+    /// single pass, so these hints let PREDICT/EVALUATE overtake long
+    /// multi-epoch training jobs under SJF.
+    pub fn estimated_scoring_seconds(&self, udf: &str, table: &str) -> DanaResult<f64> {
+        let cached = self.accelerator_runtime(udf)?;
+        let Some(recipe) = cached.scoring.as_ref() else {
+            return Ok(0.0); // unknown work: the conservative (early) hint
+        };
+        let tuples = self.read().table(table).map(|t| t.tuple_count).unwrap_or(0);
+        Ok(exec::scoring_estimate_seconds(
+            recipe,
+            tuples,
+            cached.engine.design().num_threads as u32,
+            &self.fpga,
+        ))
+    }
+
+    // ---- the inference tier --------------------------------------------
+
+    /// Scores `source` with `udf`'s latest trained model and materializes
+    /// the predictions as a new catalog table — the concurrent twin of
+    /// `Dana::predict`. The scan runs lock-free on a heap snapshot; the
+    /// result installs under the write lock only if the source is still
+    /// the same live heap (a drop or drop+recreate that raced the scan
+    /// refuses the install instead of registering an orphan).
+    pub fn predict(&self, udf: &str, source: &str, dest: &str) -> DanaResult<PredictReport> {
+        self.predict_with(udf, source, dest, ExecutionMode::Strider, None)
+    }
+
+    /// [`SystemCore::predict`] with explicit mode and lane count.
+    pub fn predict_with(
+        &self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<PredictReport> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        let (entry, heap) = self.snapshot_table(source)?;
+        // Cheap early refusal; the authoritative check is the guarded
+        // install below.
+        if self.read().table(dest).is_ok() {
+            return Err(DanaError::Storage(
+                dana_storage::StorageError::DuplicateName(dest.to_string()),
+            ));
+        }
+        let (predictions, stats, timing) =
+            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+                let mut out = Vec::with_capacity(heap.tuple_count() as usize);
+                let stats = dana_infer::score_source(p, l, stream, &mut out)?;
+                Ok((out, stats))
+            })?;
+        let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
+        {
+            let mut cat = self.write();
+            match cat.table(source) {
+                Ok(t) if t.heap_id == entry.heap_id && !t.stale => {
+                    cat.create_derived_table(dest, out_heap, source)?;
+                }
+                _ => {
+                    // The source was dropped (or swapped) mid-scan: the
+                    // predictions describe rows that no longer exist.
+                    return Err(DanaError::Storage(
+                        dana_storage::StorageError::UnknownTable(source.to_string()),
+                    ));
+                }
+            }
+        }
+        Ok(PredictReport {
+            udf: udf.to_string(),
+            source_table: source.to_string(),
+            output_table: dest.to_string(),
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Scores `table` and folds an in-database metric over the stream —
+    /// the concurrent twin of `Dana::evaluate`.
+    pub fn evaluate(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+    ) -> DanaResult<EvalReport> {
+        self.evaluate_with(udf, table, metric, ExecutionMode::Strider, None)
+    }
+
+    /// [`SystemCore::evaluate`] with explicit mode and lane count.
+    pub fn evaluate_with(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<EvalReport> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
+        setup.recipe.check_metric(metric)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let (value, stats, timing) =
+            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+                dana_infer::evaluate_source(p, l, stream, metric)
+            })?;
+        Ok(EvalReport {
+            udf: udf.to_string(),
+            table: table.to_string(),
+            metric,
+            value,
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Scores `table` and returns the raw prediction stream (the
+    /// equivalence suite's entry point; nothing is materialized).
+    pub fn score_with(
+        &self,
+        udf: &str,
+        table: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<Vec<f32>> {
+        let setup = self.scoring_setup(udf, mode, lanes)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let (predictions, _, _) =
+            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+                let mut out = Vec::with_capacity(heap.tuple_count() as usize);
+                let stats = dana_infer::score_source(p, l, stream, &mut out)?;
+                Ok((out, stats))
+            })?;
+        Ok(predictions)
+    }
+
+    /// Everything a scoring query resolves under the catalog read lock
+    /// (stale check, cached accelerator — with the engine-cache counters —
+    /// recipe bound to the latest trained models, lane count).
+    fn scoring_setup(
+        &self,
+        udf: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+    ) -> DanaResult<exec::ScoringSetup> {
+        let cat = self.read();
+        let entry = cat.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, built) = exec::cached_accelerator(entry)?;
+        if built {
+            self.engines_built.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.engine_cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        exec::scoring_setup(udf, entry, cached, mode, lanes)
+    }
+
+    /// The one lock-free scoring scan over a heap snapshot: stream pages
+    /// through the shared pool into `run` (which drives the SoA scorer —
+    /// collecting predictions or folding a metric) and compose the
+    /// timing. Shared by predict/evaluate/score so the scan plumbing
+    /// exists exactly once.
+    fn scoring_scan<R>(
+        &self,
+        setup: &exec::ScoringSetup,
+        entry: &TableEntry,
+        heap: &HeapFile,
+        mode: ExecutionMode,
+        run: impl FnOnce(
+            &dana_infer::ScoringProgram,
+            u16,
+            &mut SharedPageStreamSource<'_>,
+        ) -> dana_infer::InferResult<(R, dana::ScoringStats)>,
+    ) -> DanaResult<(R, dana::ScoringStats, dana::DanaTiming)> {
+        let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let feed = FeedKind::for_mode(mode);
+        let mut stream =
+            SharedPageStreamSource::new(&self.pool, &self.disk, heap, entry.heap_id, &access, feed);
+        let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
+        let (access_stats, io_first) = stream.into_stats();
+        let timing = exec::assemble_scoring_timing(
+            mode,
+            setup.cached.budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.frames(),
+            heap,
+            &access_stats,
+            io_first,
+            &stats,
+        );
+        Ok((result, stats, timing))
+    }
+
     /// Consistent (catalog entry, heap snapshot) for a table, under a read
     /// lock released before returning. All downstream work (compile,
     /// execution) must use this one snapshot so concurrent DDL cannot swap
-    /// the heap mid-query.
+    /// the heap mid-query. Stale derived tables are refused with a typed
+    /// error.
     fn snapshot_table(&self, table: &str) -> DanaResult<(TableEntry, Arc<HeapFile>)> {
         let cat = self.read();
-        let entry = cat.table(table)?.clone();
+        let entry = cat.live_table(table)?.clone();
         let heap = cat.heap_arc(entry.heap_id)?;
         Ok((entry, heap))
     }
@@ -394,11 +623,7 @@ impl SystemCore {
         let design = engine.design();
         let access = exec::access_engine_for(heap, budget, &self.fpga);
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
-        let feed = if mode.uses_striders() {
-            FeedKind::Strider
-        } else {
-            FeedKind::Cpu
-        };
+        let feed = FeedKind::for_mode(mode);
         let mut source =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, &access, feed);
         let stats = engine.run_training(&mut source, &mut store)?;
@@ -525,6 +750,112 @@ mod tests {
             Err(DanaError::StaleAccelerator { .. })
         ));
         assert_eq!(core.resident_pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_predict_matches_serial_bit_for_bit() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(600, 10)).unwrap();
+        let spec = linreg_spec(10);
+        core.deploy(&spec, "t").unwrap();
+        core.run_udf("linearR", "t").unwrap();
+        let report = core.predict("linearR", "t", "p").unwrap();
+        assert_eq!(report.rows_scored, 600);
+        assert_eq!(core.held_frames(), 0, "scoring must release every frame");
+
+        let mut db = dana::Dana::new(
+            FpgaSpec::vu9p(),
+            BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: 8 * 1024,
+            },
+            DiskModel::ssd(),
+        );
+        db.create_table("t", linreg_heap(600, 10)).unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db.run_udf("linearR", "t").unwrap();
+        db.predict("linearR", "t", "p").unwrap();
+
+        // Scan both materialized tables: bit-identical predictions.
+        let concurrent: Vec<f32> = {
+            let cat = core.read();
+            let heap = cat.heap_arc(cat.table("p").unwrap().heap_id).unwrap();
+            drop(cat);
+            heap.scan_batch().unwrap().rows().map(|r| r[11]).collect()
+        };
+        let serial: Vec<f32> = db
+            .catalog()
+            .table_heap("p")
+            .unwrap()
+            .1
+            .scan_batch()
+            .unwrap()
+            .rows()
+            .map(|r| r[11])
+            .collect();
+        assert_eq!(concurrent, serial, "paths must be bit-identical");
+
+        // Evaluate agrees too.
+        let c = core.evaluate("linearR", "t", None).unwrap();
+        let s = db.evaluate("linearR", "t", None).unwrap();
+        assert_eq!(c.value, s.value);
+        assert_eq!(c.metric, s.metric);
+    }
+
+    #[test]
+    fn predict_without_training_is_typed_error() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(100, 8)).unwrap();
+        core.deploy(&linreg_spec(8), "t").unwrap();
+        assert!(matches!(
+            core.predict("linearR", "t", "p"),
+            Err(DanaError::ModelNotTrained { .. })
+        ));
+        assert!(matches!(
+            core.evaluate("linearR", "t", None),
+            Err(DanaError::ModelNotTrained { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_source_stales_prediction_table_in_concurrent_core() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(300, 8)).unwrap();
+        core.deploy(&linreg_spec(8), "t").unwrap();
+        core.run_udf("linearR", "t").unwrap();
+        core.predict("linearR", "t", "p").unwrap();
+        core.prewarm("p").unwrap();
+
+        let summary = core.drop_table("t").unwrap();
+        assert_eq!(summary.stale_prediction_tables, vec!["p".to_string()]);
+        assert_eq!(core.resident_pages(), 0, "stale pages must be evicted");
+        // The stale table refuses snapshots with a typed error; cleanup
+        // still works.
+        assert!(matches!(
+            core.prewarm("p"),
+            Err(DanaError::Storage(
+                dana_storage::StorageError::StaleDerivedTable { .. }
+            ))
+        ));
+        assert!(core.drop_table("p").is_ok());
+    }
+
+    #[test]
+    fn scoring_hint_prices_tuples_over_program_length() {
+        let core = small_core();
+        core.create_table("small", linreg_heap(200, 8)).unwrap();
+        core.create_table("large", linreg_heap(4000, 8)).unwrap();
+        core.deploy(&linreg_spec(8), "small").unwrap();
+        let s = core.estimated_scoring_seconds("linearR", "small").unwrap();
+        let l = core.estimated_scoring_seconds("linearR", "large").unwrap();
+        assert!(s > 0.0);
+        assert!(l > s, "more tuples must cost more: {l} vs {s}");
+        // Scoring is one pass; training the same table runs 25 epochs.
+        let train = core.estimated_seconds("linearR").unwrap();
+        assert!(
+            s < train,
+            "a scoring pass must undercut training under SJF: {s} vs {train}"
+        );
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub use accel::{AcceleratorPool, Lease, PoolUtilization};
 pub use admission::{AdmissionConfig, QueueStats, SchedPolicy};
 pub use core::{EngineCacheStats, SystemCore, SystemCoreConfig};
 pub use error::{ServerError, ServerResult};
-pub use server::{DanaServer, QueryReply, QueryRequest, ServerConfig, Ticket};
+pub use server::{DanaServer, QueryReply, QueryRequest, QueryResponse, ServerConfig, Ticket};
 pub use session::{SessionId, SessionManager, SessionStats};

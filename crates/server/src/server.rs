@@ -27,7 +27,10 @@ use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver};
 
-use dana::{parse_query, DanaReport, DanaResult, DeployInfo, DropSummary, ExecutionMode};
+use dana::{
+    parse_statement, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport, ExecutionMode,
+    MetricKind, PredictReport, Statement,
+};
 use dana_storage::HeapFile;
 
 use crate::accel::{AcceleratorPool, PoolUtilization};
@@ -39,7 +42,8 @@ use crate::session::{SessionId, SessionManager, SessionStats};
 /// A query a client can submit for scheduled execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
-    /// The paper's SQL form: `SELECT * FROM dana.<udf>('<table>');`.
+    /// Any front-door SQL statement: `SELECT * FROM dana.<udf>(…)`,
+    /// `PREDICT … INTO …`, or `EVALUATE …`.
     Sql(String),
     /// Direct invocation of a deployed UDF (full-Strider mode).
     RunUdf { udf: String, table: String },
@@ -50,18 +54,81 @@ pub enum QueryRequest {
         table: String,
         mode: ExecutionMode,
     },
+    /// Score `table` with `udf`'s latest trained model and materialize
+    /// the predictions as catalog table `into`.
+    Predict {
+        udf: String,
+        table: String,
+        into: String,
+    },
+    /// Score `table` and compute an in-database quality metric.
+    Evaluate {
+        udf: String,
+        table: String,
+        metric: Option<MetricKind>,
+    },
+}
+
+/// What a finished query produced: training, scoring, and evaluation
+/// queries return different artifacts.
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// EXECUTE/train: the trained model and its timing.
+    Trained(DanaReport),
+    /// PREDICT: the materialized prediction table's report.
+    Predicted(PredictReport),
+    /// EVALUATE: the computed metric.
+    Evaluated(EvalReport),
+}
+
+impl QueryResponse {
+    /// End-to-end simulated seconds, whichever query type ran.
+    pub fn sim_seconds(&self) -> f64 {
+        match self {
+            QueryResponse::Trained(r) => r.timing.total_seconds,
+            QueryResponse::Predicted(p) => p.timing.total_seconds,
+            QueryResponse::Evaluated(e) => e.timing.total_seconds,
+        }
+    }
 }
 
 /// A finished query, as delivered to the submitting client.
 #[derive(Debug, Clone)]
 pub struct QueryReply {
-    pub report: DanaReport,
+    pub response: QueryResponse,
     /// Which accelerator-pool instance ran the query.
     pub accelerator: usize,
     /// Wall-clock seconds spent waiting in the admission queue.
     pub queue_seconds: f64,
     /// Wall-clock seconds spent executing on the worker.
     pub exec_seconds: f64,
+}
+
+impl QueryReply {
+    /// The training report (panics for scoring replies — the training
+    /// clients' convenience accessor).
+    pub fn report(&self) -> &DanaReport {
+        match &self.response {
+            QueryResponse::Trained(r) => r,
+            other => panic!("expected a training reply, got {other:?}"),
+        }
+    }
+
+    /// The prediction report (panics for other reply kinds).
+    pub fn predict_report(&self) -> &PredictReport {
+        match &self.response {
+            QueryResponse::Predicted(p) => p,
+            other => panic!("expected a predict reply, got {other:?}"),
+        }
+    }
+
+    /// The evaluation report (panics for other reply kinds).
+    pub fn eval_report(&self) -> &EvalReport {
+        match &self.response {
+            QueryResponse::Evaluated(e) => e,
+            other => panic!("expected an evaluate reply, got {other:?}"),
+        }
+    }
 }
 
 pub(crate) type ReplyResult = ServerResult<QueryReply>;
@@ -208,19 +275,34 @@ impl DanaServer {
         self.wait(ticket)
     }
 
-    /// SJF's ordering key. Unknown or ad-hoc work gets a neutral hint (0),
+    /// SJF's ordering key. Training queries are priced by the deploy-time
+    /// engine estimate × epochs; scoring queries by tuple count ×
+    /// program length (a single pass — under SJF they overtake long
+    /// training jobs). Unknown or ad-hoc work gets a neutral hint (0),
     /// which SJF treats as "probably interactive": it runs early, keeping
     /// the policy conservative rather than starving unknowns.
     fn cost_hint(&self, request: &QueryRequest) -> f64 {
-        let udf = match request {
-            QueryRequest::Sql(sql) => match parse_query(sql) {
-                Ok(call) => call.udf,
-                Err(_) => return 0.0,
+        match request {
+            QueryRequest::Sql(sql) => match parse_statement(sql) {
+                Ok(Statement::Train(call)) => self.core.estimated_seconds(&call.udf).unwrap_or(0.0),
+                Ok(Statement::Predict(p)) => self
+                    .core
+                    .estimated_scoring_seconds(&p.udf, &p.table)
+                    .unwrap_or(0.0),
+                Ok(Statement::Evaluate(e)) => self
+                    .core
+                    .estimated_scoring_seconds(&e.udf, &e.table)
+                    .unwrap_or(0.0),
+                Err(_) => 0.0,
             },
-            QueryRequest::RunUdf { udf, .. } => udf.clone(),
-            QueryRequest::TrainSpec { .. } => return 0.0,
-        };
-        self.core.estimated_seconds(&udf).unwrap_or(0.0)
+            QueryRequest::RunUdf { udf, .. } => self.core.estimated_seconds(udf).unwrap_or(0.0),
+            QueryRequest::TrainSpec { .. } => 0.0,
+            QueryRequest::Predict { udf, table, .. }
+            | QueryRequest::Evaluate { udf, table, .. } => self
+                .core
+                .estimated_scoring_seconds(udf, table)
+                .unwrap_or(0.0),
+        }
     }
 
     // ---- observability --------------------------------------------------
@@ -271,25 +353,38 @@ fn worker_loop(
         let accelerator = lease.id();
         let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
         let started = Instant::now();
-        let result: DanaResult<DanaReport> = match &job.request {
-            QueryRequest::Sql(sql) => {
-                parse_query(sql).and_then(|call| core.run_udf(&call.udf, &call.table))
+        let result: DanaResult<QueryResponse> = match &job.request {
+            QueryRequest::Sql(sql) => parse_statement(sql).and_then(|stmt| match stmt {
+                Statement::Train(call) => core
+                    .run_udf(&call.udf, &call.table)
+                    .map(QueryResponse::Trained),
+                Statement::Predict(p) => core
+                    .predict(&p.udf, &p.table, &p.into)
+                    .map(QueryResponse::Predicted),
+                Statement::Evaluate(e) => core
+                    .evaluate(&e.udf, &e.table, e.metric)
+                    .map(QueryResponse::Evaluated),
+            }),
+            QueryRequest::RunUdf { udf, table } => {
+                core.run_udf(udf, table).map(QueryResponse::Trained)
             }
-            QueryRequest::RunUdf { udf, table } => core.run_udf(udf, table),
-            QueryRequest::TrainSpec { spec, table, mode } => {
-                core.train_with_spec(spec, table, *mode)
+            QueryRequest::TrainSpec { spec, table, mode } => core
+                .train_with_spec(spec, table, *mode)
+                .map(QueryResponse::Trained),
+            QueryRequest::Predict { udf, table, into } => {
+                core.predict(udf, table, into).map(QueryResponse::Predicted)
             }
+            QueryRequest::Evaluate { udf, table, metric } => core
+                .evaluate(udf, table, *metric)
+                .map(QueryResponse::Evaluated),
         };
         let exec_seconds = started.elapsed().as_secs_f64();
-        let sim_seconds = result
-            .as_ref()
-            .map(|r| r.timing.total_seconds)
-            .unwrap_or(0.0);
+        let sim_seconds = result.as_ref().map(|r| r.sim_seconds()).unwrap_or(0.0);
         lease.release(sim_seconds);
         sessions.record_done(job.session, result.is_ok(), sim_seconds, exec_seconds);
         let reply = result
-            .map(|report| QueryReply {
-                report,
+            .map(|response| QueryReply {
+                response,
                 accelerator,
                 queue_seconds,
                 exec_seconds,

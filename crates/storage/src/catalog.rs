@@ -53,6 +53,18 @@ impl RuntimeCache {
         }
     }
 
+    /// Replaces the artifact unconditionally (last write wins). The slot
+    /// for *results* that supersede each other — a re-trained model
+    /// replaces the previous one — where [`RuntimeCache::set`]'s
+    /// first-write-wins semantics would pin the stalest value instead.
+    pub fn store(&self, value: Arc<dyn Any + Send + Sync>) {
+        let mut g = match self.0.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g = Some(value);
+    }
+
     /// Empties the slot (invalidation).
     pub fn clear(&self) {
         let mut g = match self.0.write() {
@@ -105,6 +117,13 @@ pub struct TableEntry {
     pub heap_id: HeapId,
     pub tuple_count: u64,
     pub page_count: u32,
+    /// For materialized prediction tables: the source table the scoring
+    /// query scanned. Dropping that source marks this table stale — its
+    /// contents describe rows that no longer exist.
+    pub derived_from: Option<String>,
+    /// True once the source table has been dropped. Querying a stale
+    /// table is a typed error; dropping it (cleanup) still works.
+    pub stale: bool,
 }
 
 /// Catalog record for one deployed accelerator (one UDF).
@@ -133,6 +152,11 @@ pub struct AcceleratorEntry {
     /// DEPLOY-time runtime artifact cache (the built execution engine),
     /// opaque to the catalog. Primed at deploy; EXECUTE never rebuilds.
     pub runtime: RuntimeCache,
+    /// Latest trained model values, stored by EXECUTE (last write wins)
+    /// and consumed by PREDICT/EVALUATE. Opaque to the catalog, like the
+    /// runtime cache, and cleared with it on invalidation: a model
+    /// trained against a dropped table must not score anything.
+    pub trained: RuntimeCache,
 }
 
 /// The catalog (and, in this reproduction, the database itself: it owns the
@@ -156,6 +180,27 @@ impl Catalog {
 
     /// Registers a table backed by `heap`; returns its heap id.
     pub fn create_table(&mut self, name: &str, heap: HeapFile) -> StorageResult<HeapId> {
+        self.register_table(name, heap, None)
+    }
+
+    /// Registers a *materialized* table derived from `source` (a PREDICT
+    /// output). Identical to [`Catalog::create_table`] except the entry
+    /// remembers its provenance, so dropping `source` can mark it stale.
+    pub fn create_derived_table(
+        &mut self,
+        name: &str,
+        heap: HeapFile,
+        source: &str,
+    ) -> StorageResult<HeapId> {
+        self.register_table(name, heap, Some(source.to_string()))
+    }
+
+    fn register_table(
+        &mut self,
+        name: &str,
+        heap: HeapFile,
+        derived_from: Option<String>,
+    ) -> StorageResult<HeapId> {
         if self.tables.contains_key(name) {
             return Err(StorageError::DuplicateName(name.to_string()));
         }
@@ -168,6 +213,8 @@ impl Catalog {
                 heap_id: id,
                 tuple_count: heap.tuple_count(),
                 page_count: heap.page_count(),
+                derived_from,
+                stale: false,
             },
         );
         self.heaps.insert(id, Arc::new(heap));
@@ -190,6 +237,20 @@ impl Catalog {
         self.tables
             .get(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// The table entry, refusing stale derived tables with a typed error —
+    /// the lookup every *query* path uses. Plain [`Catalog::table`] still
+    /// returns stale entries so cleanup (DROP) keeps working.
+    pub fn live_table(&self, name: &str) -> StorageResult<&TableEntry> {
+        let entry = self.table(name)?;
+        if entry.stale {
+            return Err(StorageError::StaleDerivedTable {
+                table: name.to_string(),
+                dropped_source: entry.derived_from.clone().unwrap_or_default(),
+            });
+        }
+        Ok(entry)
     }
 
     pub fn heap(&self, id: HeapId) -> StorageResult<&HeapFile> {
@@ -235,13 +296,34 @@ impl Catalog {
             .filter(|a| a.bound_table == table && !a.stale)
             .map(|a| {
                 a.stale = true;
-                // The cached engine is compiled against the dropped
-                // layout: drop it with the table.
+                // The cached engine (and its scoring recipe) is compiled
+                // against the dropped layout, and the trained model was
+                // fit to rows that no longer exist: drop both with the
+                // table.
                 a.runtime.clear();
+                a.trained.clear();
                 a.udf_name.clone()
             })
             .collect();
         hit.sort_unstable();
+        hit
+    }
+
+    /// Marks every materialized table derived from `source` as stale (its
+    /// provenance is gone; querying it is now a typed error). Returns the
+    /// affected `(name, heap_id)` pairs sorted by name, so callers can
+    /// evict the stale heaps' buffer-pool pages.
+    pub fn invalidate_derived_for(&mut self, source: &str) -> Vec<(String, HeapId)> {
+        let mut hit: Vec<(String, HeapId)> = self
+            .tables
+            .values_mut()
+            .filter(|t| t.derived_from.as_deref() == Some(source) && !t.stale)
+            .map(|t| {
+                t.stale = true;
+                (t.name.clone(), t.heap_id)
+            })
+            .collect();
+        hit.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         hit
     }
 
@@ -332,6 +414,7 @@ mod tests {
             bound_table: table.into(),
             stale: false,
             runtime: RuntimeCache::default(),
+            trained: RuntimeCache::default(),
         }
     }
 
@@ -380,6 +463,57 @@ mod tests {
         assert!(!cat.accelerator("logisticR").unwrap().stale);
         // Idempotent: already-stale entries are not reported twice.
         assert!(cat.invalidate_accelerators_for("t").is_empty());
+    }
+
+    #[test]
+    fn runtime_cache_store_overwrites() {
+        let cache = RuntimeCache::default();
+        cache.store(Arc::new(1u32));
+        cache.store(Arc::new(2u32)); // last write wins, unlike `set`
+        let v = cache.get().unwrap().downcast::<u32>().unwrap();
+        assert_eq!(*v, 2);
+    }
+
+    #[test]
+    fn derived_tables_go_stale_when_source_drops() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", tiny_heap()).unwrap();
+        let pid = cat.create_derived_table("p", tiny_heap(), "t").unwrap();
+        cat.create_derived_table("q", tiny_heap(), "other").unwrap();
+        assert_eq!(cat.table("p").unwrap().derived_from.as_deref(), Some("t"));
+        assert!(cat.live_table("p").is_ok());
+
+        cat.drop_table("t").unwrap();
+        let hit = cat.invalidate_derived_for("t");
+        assert_eq!(hit, vec![("p".to_string(), pid)]);
+        // Idempotent; unrelated derivations untouched.
+        assert!(cat.invalidate_derived_for("t").is_empty());
+        assert!(cat.live_table("q").is_ok());
+
+        // Queries refuse the stale table with a typed error...
+        match cat.live_table("p") {
+            Err(StorageError::StaleDerivedTable {
+                table,
+                dropped_source,
+            }) => {
+                assert_eq!(table, "p");
+                assert_eq!(dropped_source, "t");
+            }
+            other => panic!("expected StaleDerivedTable, got {other:?}"),
+        }
+        // ...but cleanup still works.
+        assert!(cat.drop_table("p").is_ok());
+    }
+
+    #[test]
+    fn invalidation_clears_trained_models_too() {
+        let mut cat = Catalog::new();
+        cat.deploy_accelerator(test_accelerator("linearR", "t"));
+        let entry = cat.accelerator("linearR").unwrap();
+        entry.trained.store(Arc::new(vec![1.0f32]));
+        assert!(entry.trained.is_primed());
+        cat.invalidate_accelerators_for("t");
+        assert!(!cat.accelerator("linearR").unwrap().trained.is_primed());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum StorageError {
     /// A page that must be evicted (e.g. its table was dropped) is still
     /// pinned by an in-flight scan.
     PagePinned { heap: u32, page_no: u32 },
+    /// A materialized (prediction) table whose source table was dropped:
+    /// its rows describe data that no longer exists, so queries refuse it.
+    StaleDerivedTable {
+        table: String,
+        dropped_source: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +68,15 @@ impl fmt::Display for StorageError {
             }
             StorageError::PagePinned { heap, page_no } => {
                 write!(f, "page {page_no} of heap {heap} is pinned; cannot evict")
+            }
+            StorageError::StaleDerivedTable {
+                table,
+                dropped_source,
+            } => {
+                write!(
+                    f,
+                    "table '{table}' is stale: its source table '{dropped_source}' was dropped"
+                )
             }
         }
     }

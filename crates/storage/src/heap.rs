@@ -126,6 +126,32 @@ impl HeapFileBuilder {
     pub fn insert(&mut self, tuple: &Tuple) -> StorageResult<()> {
         let ctid = ((self.pages.len() as u32) << 16) | self.current.tuple_count() as u32;
         let bytes = tuple.form(&self.schema, self.next_xid, ctid)?;
+        self.insert_formed(bytes)
+    }
+
+    /// Appends one tuple from raw user-data byte slices (a fresh header is
+    /// formed; `parts` concatenate to exactly the schema's data width).
+    /// The inference tier's materialization path: source columns are
+    /// copied byte-for-byte — no `Datum` round trip, types preserved
+    /// exactly — with the appended prediction cell's bytes behind them.
+    pub fn insert_raw(&mut self, parts: &[&[u8]]) -> StorageResult<()> {
+        let width = self.schema.tuple_data_width();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if total != width {
+            return Err(StorageError::SchemaMismatch(format!(
+                "raw tuple is {total} bytes, schema expects {width}"
+            )));
+        }
+        let ctid = ((self.pages.len() as u32) << 16) | self.current.tuple_count() as u32;
+        let mut bytes = Vec::with_capacity(TUPLE_HEADER_BYTES + width);
+        crate::tuple::form_header(self.next_xid, ctid, &mut bytes);
+        for p in parts {
+            bytes.extend_from_slice(p);
+        }
+        self.insert_formed(bytes)
+    }
+
+    fn insert_formed(&mut self, bytes: Vec<u8>) -> StorageResult<()> {
         if self.current.free_slots() == 0 {
             self.rotate_page();
         }

@@ -90,6 +90,19 @@ impl Datum {
     }
 }
 
+/// Writes the 16-byte on-page tuple header (see the module docs) — shared
+/// by [`Tuple::form`] and the builder's raw byte-copy insert path.
+pub(crate) fn form_header(xmin: u32, ctid: u32, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&xmin.to_le_bytes()); // t_xmin
+    out.extend_from_slice(&0u32.to_le_bytes()); // t_xmax (live)
+    out.extend_from_slice(&0x0001u16.to_le_bytes()); // t_infomask: HEAP_XMIN_COMMITTED
+    out.push(TUPLE_HEADER_BYTES as u8); // t_hoff
+    out.push(0); // t_nullmask
+    out.extend_from_slice(&ctid.to_le_bytes()); // t_ctid
+    debug_assert_eq!(out.len() - start, TUPLE_HEADER_BYTES);
+}
+
 /// A decoded tuple: one datum per schema column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
@@ -138,13 +151,7 @@ impl Tuple {
             }
         }
         let mut out = Vec::with_capacity(TUPLE_HEADER_BYTES + schema.tuple_data_width());
-        out.extend_from_slice(&xmin.to_le_bytes()); // t_xmin
-        out.extend_from_slice(&0u32.to_le_bytes()); // t_xmax (live)
-        out.extend_from_slice(&0x0001u16.to_le_bytes()); // t_infomask: HEAP_XMIN_COMMITTED
-        out.push(TUPLE_HEADER_BYTES as u8); // t_hoff
-        out.push(0); // t_nullmask
-        out.extend_from_slice(&ctid.to_le_bytes()); // t_ctid
-        debug_assert_eq!(out.len(), TUPLE_HEADER_BYTES);
+        form_header(xmin, ctid, &mut out);
         for v in &self.values {
             v.write_to(&mut out);
         }

@@ -170,7 +170,7 @@ mod tests {
             ..Default::default()
         };
         let model = train_reference(&tuples, &cfg);
-        let loss = metrics::mse(model.as_dense(), &tuples);
+        let loss = metrics::mse(model.as_dense(), &tuples).unwrap();
         assert!(loss < 1.0, "mse {loss}");
         assert!(truth.is_some());
     }
@@ -187,7 +187,7 @@ mod tests {
             ..Default::default()
         };
         let model = train_reference(&tuples, &cfg);
-        let acc = metrics::classification_accuracy(model.as_dense(), &tuples, false);
+        let acc = metrics::classification_accuracy(model.as_dense(), &tuples, false).unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
     }
 
@@ -205,7 +205,7 @@ mod tests {
             ..Default::default()
         };
         let model = train_reference(&tuples, &cfg);
-        let rmse = metrics::lrmf_rmse(model.as_lrmf(), &tuples);
+        let rmse = metrics::lrmf_rmse(model.as_lrmf(), &tuples).unwrap();
         assert!(rmse < 0.25, "rmse {rmse}");
     }
 

@@ -60,12 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  DAnA accelerator : {:>9.3} s   (mse {:.5})",
         dana_seconds,
-        metrics::mse(&dana_model, &data)
+        metrics::mse(&dana_model, &data).unwrap()
     );
     println!(
         "  MADlib/PostgreSQL: {:>9.3} s   (mse {:.5})",
         madlib.total_seconds,
-        metrics::mse(madlib.model.as_dense(), &data)
+        metrics::mse(madlib.model.as_dense(), &data).unwrap()
     );
     println!(
         "  speedup          : {:>8.1}x",

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lm = dana_ml::DenseModel(logistic.report.dense_model().to_vec());
     println!(
         "\nlogistic regression: accuracy {:.1}%  ({} threads, {:.2} ms simulated)",
-        100.0 * metrics::classification_accuracy(&lm, &data, false),
+        100.0 * metrics::classification_accuracy(&lm, &data, false).unwrap(),
         logistic.report.num_threads,
         logistic.report.timing.total_seconds * 1e3
     );

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cols: movies,
         rank,
     };
-    let rmse = metrics::lrmf_rmse(&model, &ratings);
+    let rmse = metrics::lrmf_rmse(&model, &ratings).unwrap();
     println!(
         "trained on {} ratings, {} epochs: rmse {:.3} (simulated {:.1} ms, {} threads)",
         ratings.len(),

@@ -150,7 +150,7 @@ fn descending_layout_end_to_end() {
             x
         }),
     );
-    let mse = dana_ml::metrics::mse(&model, &data);
+    let mse = dana_ml::metrics::mse(&model, &data).unwrap();
     assert!(mse < 1e-3, "mse {mse}");
 }
 

@@ -37,7 +37,7 @@ fn logistic_regression_full_pipeline() {
         .unwrap();
 
     let model = dana_ml::DenseModel(out.report.dense_model().to_vec());
-    let acc = metrics::classification_accuracy(&model, &data, false);
+    let acc = metrics::classification_accuracy(&model, &data, false).unwrap();
     assert!(acc > 0.9, "accuracy {acc}");
     assert!(
         out.report.num_threads > 1,
@@ -61,7 +61,7 @@ fn svm_full_pipeline() {
     let report = db.run_udf("svm", "rs_svm").unwrap();
 
     let model = dana_ml::DenseModel(report.dense_model().to_vec());
-    let acc = metrics::classification_accuracy(&model, &data, true);
+    let acc = metrics::classification_accuracy(&model, &data, true).unwrap();
     assert!(acc > 0.9, "accuracy {acc}");
 }
 
@@ -81,7 +81,7 @@ fn linear_regression_via_textual_dsl() {
     let report = db.run_udf("linearR", "patient").unwrap();
 
     let model = dana_ml::DenseModel(report.dense_model().to_vec());
-    let loss = metrics::mse(&model, &data);
+    let loss = metrics::mse(&model, &data).unwrap();
     assert!(loss < 0.05, "mse {loss}");
     // The planted model should be recovered approximately.
     let got = report.dense_model();
@@ -123,8 +123,8 @@ fn lrmf_full_pipeline() {
         cols: 45,
         rank: 8,
     };
-    let rmse = metrics::lrmf_rmse(&model, &data);
-    let before = metrics::lrmf_rmse(&dana_ml::LrmfModel::zeroed(60, 45, 8), &data);
+    let rmse = metrics::lrmf_rmse(&model, &data).unwrap();
+    let before = metrics::lrmf_rmse(&dana_ml::LrmfModel::zeroed(60, 45, 8), &data).unwrap();
     assert!(rmse < before * 0.5, "rmse {before:.3} -> {rmse:.3}");
 }
 

@@ -313,8 +313,8 @@ fn engine_lrmf_converges_like_reference() {
     };
     let reference = train_reference(&tuples, &cfg);
 
-    let e_rmse = dana_ml::metrics::lrmf_rmse(&engine_model, &tuples);
-    let r_rmse = dana_ml::metrics::lrmf_rmse(reference.as_lrmf(), &tuples);
+    let e_rmse = dana_ml::metrics::lrmf_rmse(&engine_model, &tuples).unwrap();
+    let r_rmse = dana_ml::metrics::lrmf_rmse(reference.as_lrmf(), &tuples).unwrap();
     assert!(
         e_rmse < r_rmse * 1.5 + 0.05,
         "engine rmse {e_rmse} too far above reference {r_rmse}"

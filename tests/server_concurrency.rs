@@ -109,7 +109,7 @@ fn concurrent_mixed_mode_training_is_bit_identical_to_serial() {
                                 },
                             )
                             .expect("query must succeed");
-                        (i, *seed, *mode, reply.report.models)
+                        (i, *seed, *mode, reply.report().models.clone())
                     })
                 })
             })
@@ -197,7 +197,8 @@ fn mixed_ddl_query_drop_stress_leaks_nothing() {
                         )
                         .expect("private query");
                     assert_eq!(
-                        &reply.report.models, private_reference,
+                        &reply.report().models,
+                        private_reference,
                         "client {c} round {r}"
                     );
 
@@ -208,7 +209,7 @@ fn mixed_ddl_query_drop_stress_leaks_nothing() {
                             QueryRequest::Sql("SELECT * FROM dana.sharedR('shared');".to_string()),
                         )
                         .expect("shared query");
-                    assert_eq!(&reply.report.models, shared_reference);
+                    assert_eq!(&reply.report().models, shared_reference);
 
                     // Drop the private table; its accelerator must turn
                     // stale with a typed error, not a dangling heap.
@@ -291,7 +292,7 @@ fn drop_while_scanning_leaves_no_orphan_pages() {
             Ok(reply) => {
                 // A query that snapshotted the heap before the drop must
                 // still produce the exact serial model.
-                assert_eq!(reply.report.models, reference);
+                assert_eq!(reply.report().models, reference);
                 ok += 1;
             }
             Err(ServerError::Dana(
@@ -349,7 +350,7 @@ fn admission_control_sheds_overload() {
     let admitted = tickets.len();
     for t in tickets {
         let reply = srv.wait(t).expect("admitted queries must complete");
-        assert!(!reply.report.models.is_empty());
+        assert!(!reply.report().models.is_empty());
     }
     let stats = srv.session_stats(session).unwrap();
     assert_eq!(stats.completed, admitted as u64);
@@ -462,7 +463,7 @@ fn repeated_executes_build_the_engine_exactly_once() {
                         QueryRequest::Sql("SELECT * FROM dana.logisticR('t');".to_string()),
                     )
                     .expect("execute");
-                assert_eq!(&reply.report.models, reference, "execute {c}");
+                assert_eq!(&reply.report().models, reference, "execute {c}");
             });
         }
     })
@@ -480,5 +481,195 @@ fn repeated_executes_build_the_engine_exactly_once() {
         "expected ≥{EXECUTES} cache hits, saw {}",
         stats.hits
     );
+    srv.shutdown();
+}
+
+/// Scoring queries flow through the full serving path — sessions,
+/// admission, the accelerator pool — alongside training queries: a SQL
+/// `PREDICT … INTO …` materializes the table, `EVALUATE` computes the
+/// metric, and concurrent mixed traffic leaves no held frames.
+#[test]
+fn predict_and_evaluate_flow_through_the_server() {
+    let srv = server(2, SchedPolicy::Sjf, 256);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    srv.create_table("t", generate(&w, 32 * 1024, 33).unwrap().heap)
+        .unwrap();
+    srv.deploy(&w.spec(), "t").unwrap();
+
+    let session = srv.open_session("scorer");
+    // Train first (PREDICT before training is a typed refusal).
+    match srv.call(
+        session,
+        QueryRequest::Predict {
+            udf: "logisticR".into(),
+            table: "t".into(),
+            into: "scores".into(),
+        },
+    ) {
+        Err(ServerError::Dana(DanaError::ModelNotTrained { .. })) => {}
+        other => panic!("expected ModelNotTrained, got {other:?}"),
+    }
+    let trained = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.logisticR('t');".into()),
+        )
+        .unwrap();
+    assert!(!trained.report().models.is_empty());
+
+    // PREDICT via the SQL front door.
+    let reply = srv
+        .call(
+            session,
+            QueryRequest::Sql("PREDICT dana.logisticR('t') INTO 'scores';".into()),
+        )
+        .unwrap();
+    let p = reply.predict_report();
+    assert_eq!(p.output_table, "scores");
+    assert!(p.rows_scored > 0);
+    assert!(srv.core().table_names().contains(&"scores".to_string()));
+
+    // EVALUATE — on the source and on the materialized table, same value.
+    let on_src = srv
+        .call(
+            session,
+            QueryRequest::Sql("EVALUATE dana.logisticR('t', 'log_loss');".into()),
+        )
+        .unwrap();
+    let on_scores = srv
+        .call(
+            session,
+            QueryRequest::Evaluate {
+                udf: "logisticR".into(),
+                table: "scores".into(),
+                metric: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        on_src.eval_report().value,
+        on_scores.eval_report().value,
+        "the appended prediction column must not disturb the metric"
+    );
+
+    // Mixed concurrent traffic: trainers and scorers interleave.
+    crossbeam::thread::scope(|s| {
+        let srv = &srv;
+        for c in 0..4 {
+            s.spawn(move |_| {
+                let session = srv.open_session(&format!("mixed-{c}"));
+                let sql = if c % 2 == 0 {
+                    "SELECT * FROM dana.logisticR('t');".to_string()
+                } else {
+                    format!("PREDICT dana.logisticR('t') INTO 'scores_{c}';")
+                };
+                srv.call(session, QueryRequest::Sql(sql)).unwrap();
+            });
+        }
+    })
+    .unwrap();
+
+    assert_eq!(srv.core().held_frames(), 0, "scoring must hold no frames");
+    srv.shutdown();
+}
+
+/// Drop-vs-score race: PREDICTs in flight while the source table drops.
+/// Every query either completes (its heap snapshot predates the drop —
+/// but then the install guard refuses to register predictions for a
+/// dropped source) or fails with a typed error; afterwards nothing of
+/// the dropped heap or any stale prediction table stays resident.
+#[test]
+fn drop_while_scoring_is_typed_and_leaves_no_orphans() {
+    let srv = server(2, SchedPolicy::Fifo, 64);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    srv.create_table("t", generate(&w, 32 * 1024, 55).unwrap().heap)
+        .unwrap();
+    srv.deploy(&w.spec(), "t").unwrap();
+    let session = srv.open_session("race");
+    srv.call(
+        session,
+        QueryRequest::Sql("SELECT * FROM dana.logisticR('t');".into()),
+    )
+    .unwrap();
+    // One prediction table exists before the drop; it must go stale.
+    srv.call(
+        session,
+        QueryRequest::Predict {
+            udf: "logisticR".into(),
+            table: "t".into(),
+            into: "pre_drop_scores".into(),
+        },
+    )
+    .unwrap();
+
+    // Queue a burst of PREDICTs, then drop the source mid-flight.
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            srv.submit(
+                session,
+                QueryRequest::Predict {
+                    udf: "logisticR".into(),
+                    table: "t".into(),
+                    into: format!("racing_{i}"),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let summary = srv.drop_table("t").unwrap();
+    assert_eq!(
+        summary.stale_prediction_tables,
+        vec!["pre_drop_scores".to_string()]
+    );
+
+    let mut installed = 0usize;
+    for t in tickets {
+        match srv.wait(t) {
+            Ok(reply) => {
+                // Raced ahead of the drop entirely.
+                assert!(reply.predict_report().rows_scored > 0);
+                installed += 1;
+            }
+            Err(ServerError::Dana(
+                DanaError::StaleAccelerator { .. }
+                | DanaError::ModelNotTrained { .. }
+                | DanaError::Storage(
+                    dana_storage::StorageError::UnknownTable(_)
+                    | dana_storage::StorageError::StaleDerivedTable { .. },
+                ),
+            )) => {}
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+
+    // The stale pre-drop prediction table refuses queries...
+    match srv.call(
+        session,
+        QueryRequest::Evaluate {
+            udf: "logisticR".into(),
+            table: "pre_drop_scores".into(),
+            metric: None,
+        },
+    ) {
+        Err(ServerError::Dana(
+            DanaError::StaleAccelerator { .. }
+            | DanaError::Storage(dana_storage::StorageError::StaleDerivedTable { .. }),
+        )) => {}
+        other => panic!("expected a typed stale refusal, got {other:?}"),
+    }
+
+    // ...and no frame or page of the dropped/stale heaps survives. Any
+    // predictions that won the race belong to *other* (still-live)
+    // tables — evict them for the resident check by dropping.
+    for name in srv.core().table_names() {
+        let _ = srv.drop_table(&name);
+    }
+    assert_eq!(srv.core().held_frames(), 0, "frame leak");
+    assert_eq!(srv.core().resident_pages(), 0, "orphan pages survived");
+    let _ = installed;
     srv.shutdown();
 }
