@@ -84,6 +84,7 @@ fn main() {
                     QueryRequest::RunUdf {
                         udf: "logisticR".into(),
                         table: "rs".into(),
+                        shards: None,
                     },
                 )
                 .unwrap()

@@ -13,6 +13,9 @@ pub enum DanaError {
     /// Inference-tier failure (scoring lowering, SoA scorer, metrics,
     /// materialization).
     Infer(dana_infer::InferError),
+    /// Intra-query parallel tier failure (shard execution, merge
+    /// derivation, partial-model shapes).
+    Parallel(dana_parallel::ParallelError),
     /// SQL the query front end cannot parse.
     Query(String),
     /// Catalog blob corruption (deserialize failure).
@@ -39,6 +42,7 @@ impl fmt::Display for DanaError {
             DanaError::Engine(e) => write!(f, "engine: {e}"),
             DanaError::Strider(e) => write!(f, "strider: {e}"),
             DanaError::Infer(e) => write!(f, "infer: {e}"),
+            DanaError::Parallel(e) => write!(f, "parallel: {e}"),
             DanaError::Query(msg) => write!(f, "query: {msg}"),
             DanaError::Blob(msg) => write!(f, "catalog blob: {msg}"),
             DanaError::StaleAccelerator { udf, dropped_table } => write!(
@@ -88,6 +92,12 @@ impl From<dana_strider::StriderError> for DanaError {
 impl From<dana_infer::InferError> for DanaError {
     fn from(e: dana_infer::InferError) -> DanaError {
         DanaError::Infer(e)
+    }
+}
+
+impl From<dana_parallel::ParallelError> for DanaError {
+    fn from(e: dana_parallel::ParallelError) -> DanaError {
+        DanaError::Parallel(e)
     }
 }
 

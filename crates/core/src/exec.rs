@@ -280,6 +280,7 @@ pub fn assemble_report(
         disk,
         pool_frames,
         heap,
+        heap.page_count(),
         &access_stats,
         io_first,
         engine_per_epoch,
@@ -293,6 +294,7 @@ pub fn assemble_report(
         epochs_run: stats.epochs_run,
         converged_early: stats.converged_early,
         num_threads: design.num_threads,
+        shards: 1,
         timing,
         engine: stats,
         access: access_stats,
@@ -301,7 +303,9 @@ pub fn assemble_report(
 
 /// The per-epoch cost inputs every streamed scan shares (training and
 /// scoring): disk, AXI, Strider extraction, CPU-feed ablation — only the
-/// engine-compute term differs between the two query types.
+/// engine-compute term differs between the two query types. `scan_pages`
+/// is how many pages one pass of *this* scan touches — the whole heap
+/// for a serial query, the critical shard's range for a gang member.
 #[allow(clippy::too_many_arguments)]
 fn stream_costs(
     budget: ResourceBudget,
@@ -310,13 +314,14 @@ fn stream_costs(
     disk: &DiskModel,
     pool_frames: usize,
     heap: &HeapFile,
+    scan_pages: u32,
     access_stats: &AccessStats,
     io_first: Seconds,
     engine_per_epoch: Seconds,
 ) -> EpochCosts {
     let clock = fpga.clock;
     let page_size = heap.layout().page_size;
-    let missing_later = heap.page_count().saturating_sub(pool_frames as u32) as f64;
+    let missing_later = scan_pages.saturating_sub(pool_frames as u32) as f64;
     let width = heap.schema().len();
     let tuple_bytes = heap.layout().tuple_bytes;
     let float_bytes = access_stats.tuples as f64 * width as f64 * 4.0;
@@ -364,11 +369,200 @@ pub fn assemble_scoring_timing(
         disk,
         pool_frames,
         heap,
+        heap.page_count(),
         access_stats,
         io_first,
         scoring.cycles as f64 / fpga.clock.hz,
     );
     compose(mode, 1, &costs)
+}
+
+// ---- gang (intra-query-parallel) report composition ---------------------
+
+/// What one gang member (shard) measured: its engine counters, its
+/// range-scan extraction stats, and its first-scan disk seconds.
+pub struct ShardArtifacts {
+    pub engine_stats: EngineStats,
+    pub access_stats: AccessStats,
+    pub io_first: Seconds,
+}
+
+/// Element-wise maximum of the shards' access stats — the gang's
+/// critical extraction path (shards stream their ranges simultaneously,
+/// so one epoch's extraction costs what the slowest member costs).
+fn critical_access(shards: &[ShardArtifacts]) -> AccessStats {
+    let mut crit = AccessStats::default();
+    for s in shards {
+        let a = &s.access_stats;
+        crit.pages = crit.pages.max(a.pages);
+        crit.tuples = crit.tuples.max(a.tuples);
+        crit.bytes_transferred = crit.bytes_transferred.max(a.bytes_transferred);
+        crit.axi_seconds = crit.axi_seconds.max(a.axi_seconds);
+        crit.strider_cycles = crit.strider_cycles.max(a.strider_cycles);
+        crit.conversion_cycles = crit.conversion_cycles.max(a.conversion_cycles);
+        crit.access_seconds = crit.access_seconds.max(a.access_seconds);
+    }
+    crit
+}
+
+/// Composes a gang-scheduled training run into one [`DanaReport`].
+///
+/// A one-shard gang delegates straight to [`assemble_report`] — the
+/// report is bit-identical to the serial query's. For `k > 1`, the
+/// simulated engine/extraction/I/O terms take the **critical path**
+/// (element-wise max across members: the gang's epoch ends when its
+/// slowest member does), the epoch-boundary merge tier's cycles ride the
+/// engine's merge counter, and throughput counters (tuples, batches) sum
+/// across members so the report still states true totals.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_gang_report(
+    mode: ExecutionMode,
+    design: &EngineDesign,
+    budget: ResourceBudget,
+    fpga: &FpgaSpec,
+    cpu: &CpuModel,
+    disk: &DiskModel,
+    pool_frames: usize,
+    heap: &HeapFile,
+    shards: Vec<ShardArtifacts>,
+    merge_cycles: u64,
+    models: Vec<Vec<f32>>,
+) -> DanaResult<DanaReport> {
+    let store = ModelStore::new(design, models)?;
+    let shard_count = shards.len() as u16;
+    if shards.len() == 1 && merge_cycles == 0 {
+        let s = shards.into_iter().next().expect("one shard");
+        return Ok(assemble_report(
+            mode,
+            design,
+            budget,
+            fpga,
+            cpu,
+            disk,
+            pool_frames,
+            heap,
+            RunArtifacts {
+                engine_stats: s.engine_stats,
+                access_stats: s.access_stats,
+                io_first: s.io_first,
+            },
+            store,
+        ));
+    }
+    let mut stats = EngineStats::default();
+    for s in &shards {
+        let e = &s.engine_stats;
+        stats.compute_cycles = stats.compute_cycles.max(e.compute_cycles);
+        stats.merge_cycles = stats.merge_cycles.max(e.merge_cycles);
+        stats.broadcast_cycles = stats.broadcast_cycles.max(e.broadcast_cycles);
+        stats.batches += e.batches;
+        stats.tuples_processed += e.tuples_processed;
+        stats.epochs_run = stats.epochs_run.max(e.epochs_run);
+        stats.converged_early |= e.converged_early;
+    }
+    // The merge tier runs after the members join; it extends the gang's
+    // critical path like the engine's own tree-bus merge does.
+    stats.merge_cycles += merge_cycles;
+    stats.cycles = stats.compute_cycles + stats.merge_cycles + stats.broadcast_cycles;
+    let access = critical_access(&shards);
+    let io_first = shards.iter().map(|s| s.io_first).fold(0.0, f64::max);
+    let scan_pages = shards
+        .iter()
+        .map(|s| s.access_stats.pages as u32)
+        .max()
+        .unwrap_or(0);
+
+    let epochs = stats.epochs_run.max(1);
+    let engine_per_epoch = stats.cycles as f64 / epochs as f64 / fpga.clock.hz;
+    let costs = stream_costs(
+        budget,
+        fpga,
+        cpu,
+        disk,
+        pool_frames,
+        heap,
+        scan_pages,
+        &access,
+        io_first,
+        engine_per_epoch,
+    );
+    let timing: DanaTiming = compose(mode, epochs, &costs);
+    let model_names = design.models.iter().map(|m| m.name.clone()).collect();
+    Ok(DanaReport {
+        models: store.into_values(),
+        model_names,
+        epochs_run: stats.epochs_run,
+        converged_early: stats.converged_early,
+        num_threads: design.num_threads,
+        shards: shard_count,
+        timing,
+        engine: stats,
+        access,
+    })
+}
+
+/// Composes a gang-scheduled *scoring* scan's timing and combined
+/// counters. One shard delegates to [`assemble_scoring_timing`]
+/// (bit-identical to serial); `k > 1` takes the critical member for the
+/// timing terms while tuple/group counters sum.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_gang_scoring_timing(
+    mode: ExecutionMode,
+    budget: ResourceBudget,
+    fpga: &FpgaSpec,
+    cpu: &CpuModel,
+    disk: &DiskModel,
+    pool_frames: usize,
+    heap: &HeapFile,
+    shards: &[ShardArtifacts],
+    scoring: &[ScoringStats],
+) -> (DanaTiming, ScoringStats) {
+    assert_eq!(
+        shards.len(),
+        scoring.len(),
+        "one scoring-stat entry per gang member"
+    );
+    if shards.len() == 1 {
+        let timing = assemble_scoring_timing(
+            mode,
+            budget,
+            fpga,
+            cpu,
+            disk,
+            pool_frames,
+            heap,
+            &shards[0].access_stats,
+            shards[0].io_first,
+            &scoring[0],
+        );
+        return (timing, scoring[0]);
+    }
+    let combined = ScoringStats {
+        tuples: scoring.iter().map(|s| s.tuples).sum(),
+        groups: scoring.iter().map(|s| s.groups).sum(),
+        cycles: scoring.iter().map(|s| s.cycles).max().unwrap_or(0),
+        lanes: scoring.first().map(|s| s.lanes).unwrap_or(0),
+    };
+    let access = critical_access(shards);
+    let io_first = shards.iter().map(|s| s.io_first).fold(0.0, f64::max);
+    let scan_pages = shards
+        .iter()
+        .map(|s| s.access_stats.pages as u32)
+        .max()
+        .unwrap_or(0);
+    let costs = stream_costs(
+        budget,
+        fpga,
+        cpu,
+        disk,
+        pool_frames,
+        heap,
+        scan_pages,
+        &access,
+        io_first,
+        combined.cycles as f64 / fpga.clock.hz,
+    );
+    (compose(mode, 1, &costs), combined)
 }
 
 /// SJF's ordering key for a *scoring* query: tuple count × per-tuple

@@ -56,8 +56,9 @@ pub use analytic::{
     compile_workload, AnalyticTiming, SystemParams,
 };
 pub use dana_infer::{MetricKind, ScoringRecipe, ScoringStats};
+pub use dana_parallel::{ParallelError, ShardPlan, ShardRange};
 pub use error::{DanaError, DanaResult};
-pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, TrainedModels};
+pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts, TrainedModels};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
 pub use query::{parse_query, parse_statement, EvaluateCall, PredictCall, QueryCall, Statement};
 pub use report::{

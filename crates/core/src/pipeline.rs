@@ -15,21 +15,24 @@
 use dana_compiler::{
     compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
 };
-use dana_engine::ModelStore;
+use dana_engine::{EngineError, ModelStore};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_infer::MetricKind;
 use dana_ml::CpuModel;
+use dana_parallel::{evaluate_gang, score_gang_concat, train_gang, ReplaySource, ShardPlan};
 use dana_storage::{
     AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
     Tuple,
 };
-use dana_strider::disassemble;
+use dana_strider::{disassemble, AccessEngine, AccessStats};
 
 use crate::error::{DanaError, DanaResult};
-use crate::exec::{self, ArtifactBlob, RunArtifacts};
+use crate::exec::{self, ArtifactBlob, RunArtifacts, ShardArtifacts};
 use crate::query::{parse_query, parse_statement, Statement};
-use crate::report::{DanaReport, EvalReport, PredictReport, QueryOutcome, StatementOutcome};
+use crate::report::{
+    DanaReport, EvalReport, PredictReport, QueryOutcome, Seconds, StatementOutcome,
+};
 use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
 
@@ -210,10 +213,14 @@ impl Dana {
         self.deploy(&spec, table)
     }
 
-    /// Executes `SELECT * FROM dana.<udf>('<table>');`.
+    /// Executes `SELECT * FROM dana.<udf>('<table>');` (or the same with
+    /// `WITH (shards = k)`, routing through the gang-parallel path).
     pub fn execute(&mut self, sql: &str) -> DanaResult<QueryOutcome> {
         let call = parse_query(sql)?;
-        let report = self.run_udf(&call.udf, &call.table)?;
+        let report = match call.shards {
+            Some(k) => self.run_udf_sharded(&call.udf, &call.table, k)?,
+            None => self.run_udf(&call.udf, &call.table)?,
+        };
         Ok(QueryOutcome {
             udf: call.udf,
             table: call.table,
@@ -227,19 +234,24 @@ impl Dana {
     pub fn execute_statement(&mut self, sql: &str) -> DanaResult<StatementOutcome> {
         match parse_statement(sql)? {
             Statement::Train(call) => {
-                let report = self.run_udf(&call.udf, &call.table)?;
+                let report = match call.shards {
+                    Some(k) => self.run_udf_sharded(&call.udf, &call.table, k)?,
+                    None => self.run_udf(&call.udf, &call.table)?,
+                };
                 Ok(StatementOutcome::Train(QueryOutcome {
                     udf: call.udf,
                     table: call.table,
                     report,
                 }))
             }
-            Statement::Predict(p) => Ok(StatementOutcome::Predict(
-                self.predict(&p.udf, &p.table, &p.into)?,
-            )),
-            Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(
-                self.evaluate(&e.udf, &e.table, e.metric)?,
-            )),
+            Statement::Predict(p) => Ok(StatementOutcome::Predict(match p.shards {
+                Some(k) => self.predict_sharded(&p.udf, &p.table, &p.into, k)?,
+                None => self.predict(&p.udf, &p.table, &p.into)?,
+            })),
+            Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(match e.shards {
+                Some(k) => self.evaluate_sharded(&e.udf, &e.table, e.metric, k)?,
+                None => self.evaluate(&e.udf, &e.table, e.metric)?,
+            })),
         }
     }
 
@@ -269,6 +281,263 @@ impl Dana {
         let report = self.run_with_engine(&cached, table, ExecutionMode::Strider)?;
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
+    }
+
+    // ---- intra-query data parallelism -----------------------------------
+
+    /// Runs a deployed accelerator gang-parallel across `shards`
+    /// page-range shards of `table` (`EXECUTE … WITH (shards = k)`): each
+    /// shard trains one epoch of the cached lowered program, partial
+    /// models merge deterministically at every epoch boundary (weighted
+    /// averaging for dense analytics, factor-row ownership for LRMF), and
+    /// the merged model trains the next epoch. `shards = 1` is
+    /// bit-identical to [`Dana::run_udf`].
+    ///
+    /// The serial facade owns a `&mut` buffer pool, so shard extraction
+    /// happens up front (each range streamed once, charged exactly like a
+    /// first scan) and the gang trains from replaying shard caches — the
+    /// simulated timing still models the gang's critical path.
+    pub fn run_udf_sharded(
+        &mut self,
+        udf: &str,
+        table: &str,
+        shards: u16,
+    ) -> DanaResult<DanaReport> {
+        self.train_sharded_with(udf, table, ExecutionMode::Strider, shards)
+    }
+
+    /// [`Dana::run_udf_sharded`]'s engine room, mode-generic (the
+    /// ablation/differential suites drive CpuFed/Tabla through it too).
+    pub fn train_sharded_with(
+        &mut self,
+        udf: &str,
+        table: &str,
+        mode: ExecutionMode,
+        shards: u16,
+    ) -> DanaResult<DanaReport> {
+        let entry = self.catalog.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, _built) = exec::cached_accelerator(entry)?;
+        let report = self.run_gang_with_engine(&cached, table, mode, shards)?;
+        exec::store_trained(self.catalog.accelerator(udf)?, &report);
+        Ok(report)
+    }
+
+    /// Compiles `spec` ad hoc and trains it gang-parallel in the given
+    /// mode (the differential suite's mode-matrix entry point; nothing is
+    /// stored in the catalog) — the sharded twin of
+    /// [`Dana::train_with_spec`]. `shards = 1` is bit-identical to it.
+    pub fn train_with_spec_sharded(
+        &mut self,
+        spec: &dana_dsl::AlgoSpec,
+        table: &str,
+        mode: ExecutionMode,
+        shards: u16,
+    ) -> DanaResult<DanaReport> {
+        let threads = match mode {
+            ExecutionMode::Tabla => Some(1),
+            _ => None,
+        };
+        let acc = self.compile_for(spec, table, threads)?;
+        self.run_gang_with_engine(
+            &exec::CachedAccelerator::from_compiled(&acc, None),
+            table,
+            mode,
+            shards,
+        )
+    }
+
+    fn run_gang_with_engine(
+        &mut self,
+        acc: &exec::CachedAccelerator,
+        table: &str,
+        mode: ExecutionMode,
+        shards: u16,
+    ) -> DanaResult<DanaReport> {
+        let budget = acc.budget;
+        let engine = &acc.engine;
+        let design = engine.design();
+        let entry = self.catalog.live_table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let access = exec::access_engine_for(heap, budget, &self.fpga);
+        let plan = ShardPlan::new(heap, shards as usize);
+        let (mut sources, scans) = shard_replay_sources(
+            &mut self.pool,
+            &self.disk,
+            heap,
+            heap_id,
+            &access,
+            FeedKind::for_mode(mode),
+            &plan,
+        )?;
+        let init = exec::initial_models(design);
+        let outcome = train_gang(engine, &mut sources, init)?;
+        let arts = outcome
+            .shard_stats
+            .iter()
+            .zip(&scans)
+            .map(|(stats, (access_stats, io_first))| ShardArtifacts {
+                engine_stats: *stats,
+                access_stats: *access_stats,
+                io_first: *io_first,
+            })
+            .collect();
+        exec::assemble_gang_report(
+            mode,
+            design,
+            budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.config().frames(),
+            heap,
+            arts,
+            outcome.merge_cycles,
+            outcome.models,
+        )
+    }
+
+    /// Gang-parallel PREDICT (`PREDICT … INTO … WITH (shards = k)`):
+    /// shards score concurrently, outputs concatenate in shard-index
+    /// order (= source page order), and the materialized prediction table
+    /// is **bit-identical to serial PREDICT for every shard count**.
+    pub fn predict_sharded(
+        &mut self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        shards: u16,
+    ) -> DanaResult<PredictReport> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        if self.catalog.table(dest).is_ok() {
+            return Err(DanaError::Storage(
+                dana_storage::StorageError::DuplicateName(dest.to_string()),
+            ));
+        }
+        let (predictions, timing, stats, k) =
+            self.sharded_scoring_scan(&setup, source, shards, |program, lanes, sources| {
+                Ok(score_gang_concat(program, lanes, sources)?)
+            })?;
+        let heap = self
+            .catalog
+            .heap(self.catalog.live_table(source)?.heap_id)?;
+        let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
+        self.catalog.create_derived_table(dest, out_heap, source)?;
+        Ok(PredictReport {
+            udf: udf.to_string(),
+            source_table: source.to_string(),
+            output_table: dest.to_string(),
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            shards: k,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Gang-parallel EVALUATE: shards fold their metric partials
+    /// concurrently; partials combine in shard-index order and the metric
+    /// finishes once. `shards = 1` is bit-identical to serial EVALUATE.
+    pub fn evaluate_sharded(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        shards: u16,
+    ) -> DanaResult<EvalReport> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
+        setup.recipe.check_metric(metric)?;
+        let (value, timing, stats, k) =
+            self.sharded_scoring_scan(&setup, table, shards, |program, lanes, sources| {
+                let evals = evaluate_gang(program, lanes, sources, metric)?;
+                let mut partial = dana_infer::MetricPartial::default();
+                for e in &evals {
+                    partial.absorb(e.partial);
+                }
+                let stats: Vec<_> = evals.iter().map(|e| e.stats).collect();
+                Ok((partial.finish(metric)?, stats))
+            })?;
+        Ok(EvalReport {
+            udf: udf.to_string(),
+            table: table.to_string(),
+            metric,
+            value,
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            shards: k,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Gang-parallel raw scoring (differential-suite entry point).
+    pub fn score_sharded(&mut self, udf: &str, table: &str, shards: u16) -> DanaResult<Vec<f32>> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let (predictions, _, _, _) =
+            self.sharded_scoring_scan(&setup, table, shards, |program, lanes, sources| {
+                Ok(score_gang_concat(program, lanes, sources)?)
+            })?;
+        Ok(predictions)
+    }
+
+    /// The one sharded scoring scan: plan page ranges, extract each range
+    /// into a replaying shard source, run `scan` (scoring or metric fold)
+    /// over the gang, and compose the gang timing. Shared by
+    /// predict/evaluate/score so the shard plumbing exists exactly once.
+    fn sharded_scoring_scan<R>(
+        &mut self,
+        setup: &exec::ScoringSetup,
+        table: &str,
+        shards: u16,
+        scan: impl FnOnce(
+            &dana_infer::ScoringProgram,
+            u16,
+            &mut [ReplaySource],
+        ) -> DanaResult<(R, Vec<dana_infer::ScoringStats>)>,
+    ) -> DanaResult<(R, crate::report::DanaTiming, dana_infer::ScoringStats, u16)> {
+        let mode = ExecutionMode::Strider;
+        let entry = self.catalog.live_table(table)?;
+        let heap_id = entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let plan = ShardPlan::new(heap, shards as usize);
+        let (mut sources, scans) = shard_replay_sources(
+            &mut self.pool,
+            &self.disk,
+            heap,
+            heap_id,
+            &access,
+            FeedKind::for_mode(mode),
+            &plan,
+        )?;
+        let (result, stats) = scan(&setup.program, setup.lanes, &mut sources)?;
+        let arts: Vec<ShardArtifacts> = scans
+            .into_iter()
+            .map(|(access_stats, io_first)| ShardArtifacts {
+                engine_stats: Default::default(),
+                access_stats,
+                io_first,
+            })
+            .collect();
+        let (timing, combined) = exec::assemble_gang_scoring_timing(
+            mode,
+            setup.cached.budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.config().frames(),
+            heap,
+            &arts,
+            &stats,
+        );
+        Ok((result, timing, combined, plan.shards() as u16))
     }
 
     // ---- the inference tier --------------------------------------------
@@ -317,6 +586,7 @@ impl Dana {
             output_table: dest.to_string(),
             rows_scored: stats.tuples,
             lanes: setup.lanes,
+            shards: 1,
             scoring: stats,
             timing,
         })
@@ -357,6 +627,7 @@ impl Dana {
             value,
             rows_scored: stats.tuples,
             lanes: setup.lanes,
+            shards: 1,
             scoring: stats,
             timing,
         })
@@ -578,6 +849,48 @@ impl Dana {
         acc.engine.run_training_rows(&tuples, &mut store)?;
         Ok(store.into_values())
     }
+}
+
+/// One shard's first-scan measurements: extraction stats plus the disk
+/// seconds the scan was charged.
+type ShardScan = (AccessStats, Seconds);
+
+/// Extracts every shard's page range once through the serial buffer pool
+/// (identical fetch → extract sequence and per-page batch boundaries to a
+/// streaming first scan, with its disk seconds metered per shard) and
+/// wraps the batches as replaying gang sources.
+fn shard_replay_sources(
+    pool: &mut BufferPool,
+    disk: &DiskModel,
+    heap: &HeapFile,
+    heap_id: HeapId,
+    access: &AccessEngine,
+    feed: FeedKind,
+    plan: &ShardPlan,
+) -> DanaResult<(Vec<ReplaySource>, Vec<ShardScan>)> {
+    let width = heap.schema().len();
+    let mut sources = Vec::with_capacity(plan.shards());
+    let mut scans = Vec::with_capacity(plan.shards());
+    for r in plan.ranges() {
+        let io_before = pool.stats().io_seconds;
+        let src = PageStreamSource::with_range(
+            pool,
+            disk,
+            heap,
+            heap_id,
+            access,
+            feed,
+            r.start_page,
+            r.end_page,
+        );
+        let (batches, stats) = src
+            .into_cache()
+            .map_err(|e| DanaError::Engine(EngineError::from(e)))?;
+        let io_first = pool.stats().io_seconds - io_before;
+        sources.push(ReplaySource::new(width, batches));
+        scans.push((stats, io_first));
+    }
+    Ok((sources, scans))
 }
 
 #[cfg(test)]

@@ -1,11 +1,17 @@
 //! The SQL front door (§4.3):
 //!
 //! * `SELECT * FROM dana.<udf>('<table>');` — train (the paper's form);
+//!   `EXECUTE dana.<udf>('<table>');` is an accepted synonym;
 //! * `PREDICT dana.<udf>('<table>') INTO '<dest>';` — score `table` with
 //!   the UDF's latest trained model and materialize the predictions as a
 //!   new catalog table `dest`;
 //! * `EVALUATE dana.<udf>('<table>'[, '<metric>']);` — score and fold an
 //!   in-database quality metric, exporting nothing.
+//!
+//! Every form takes an optional trailing **`WITH (shards = k)`** clause:
+//! the query runs intra-query data-parallel on a gang of `k` accelerator
+//! instances (page-range shards, epoch-boundary model merging; parallel
+//! PREDICT stays bit-identical to serial for every `k`).
 //!
 //! "The RDBMS parses, optimizes, and executes the query while treating the
 //! UDF as a black box" (§3) — here the interesting query shapes are exactly
@@ -21,6 +27,9 @@ use crate::error::{DanaError, DanaResult};
 pub struct QueryCall {
     pub udf: String,
     pub table: String,
+    /// `WITH (shards = k)`: gang size for intra-query parallelism
+    /// (`None` = serial).
+    pub shards: Option<u16>,
 }
 
 /// A parsed `PREDICT … INTO …` statement.
@@ -31,6 +40,8 @@ pub struct PredictCall {
     pub table: String,
     /// The materialized prediction table to create.
     pub into: String,
+    /// `WITH (shards = k)`: gang size for intra-query parallelism.
+    pub shards: Option<u16>,
 }
 
 /// A parsed `EVALUATE` statement.
@@ -40,6 +51,8 @@ pub struct EvaluateCall {
     pub table: String,
     /// Explicit metric, or `None` for the analytic's default.
     pub metric: Option<MetricKind>,
+    /// `WITH (shards = k)`: gang size for intra-query parallelism.
+    pub shards: Option<u16>,
 }
 
 /// Any statement the front door accepts.
@@ -56,19 +69,37 @@ pub enum Statement {
 /// Parses any front-door statement.
 pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
     let s = sql.trim().trim_end_matches(';').trim();
+    let (s, shards) = split_with_clause(s)?;
     let lower = s.to_ascii_lowercase();
     if lower.starts_with("predict") {
-        return parse_predict(s, &lower).map(Statement::Predict);
+        return parse_predict(s, &lower, shards).map(Statement::Predict);
     }
     if lower.starts_with("evaluate") {
-        return parse_evaluate(s, &lower).map(Statement::Evaluate);
+        return parse_evaluate(s, &lower, shards).map(Statement::Evaluate);
     }
-    parse_query(sql).map(Statement::Train)
+    if let Some(rest) = lower.strip_prefix("execute") {
+        // `EXECUTE dana.<udf>('<table>')` — the paper's verb for running
+        // a deployed accelerator, synonymous with the SELECT form.
+        if !rest.starts_with([' ', '\t']) {
+            return Err(err("expected EXECUTE <udf>(...)"));
+        }
+        let tail = s["execute".len()..].trim_start();
+        let (udf, args) = parse_udf_call(tail)?;
+        let table = single_arg(&args)?;
+        return Ok(Statement::Train(QueryCall { udf, table, shards }));
+    }
+    parse_select(s, shards).map(Statement::Train)
 }
 
-/// Parses `SELECT * FROM dana.linearR('training_data_table');`.
+/// Parses `SELECT * FROM dana.linearR('training_data_table');` (with an
+/// optional trailing `WITH (shards = k)`).
 pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     let s = sql.trim().trim_end_matches(';').trim();
+    let (s, shards) = split_with_clause(s)?;
+    parse_select(s, shards)
+}
+
+fn parse_select(s: &str, shards: Option<u16>) -> DanaResult<QueryCall> {
     let lower = s.to_ascii_lowercase();
     let rest = lower
         .strip_prefix("select")
@@ -86,11 +117,55 @@ pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     let tail = &s[s.len() - rest.len()..];
     let (udf, args) = parse_udf_call(tail)?;
     let table = single_arg(&args)?;
-    Ok(QueryCall { udf, table })
+    Ok(QueryCall { udf, table, shards })
+}
+
+/// Splits an optional trailing `WITH (shards = <n>)` clause off a
+/// statement (keywords case-insensitive, whitespace free-form). Returns
+/// the statement head and the parsed shard count. A `WITH` followed by a
+/// parenthesized group that is *not* a well-formed shards option is a
+/// typed error, not silently ignored.
+fn split_with_clause(s: &str) -> DanaResult<(&str, Option<u16>)> {
+    let lower = s.to_ascii_lowercase();
+    let Some(pos) = lower.rfind("with") else {
+        return Ok((s, None));
+    };
+    // The keyword must follow whitespace or a closing paren and be
+    // followed by a parenthesized option group that closes the
+    // statement; anything else — a table named "with…", the word inside
+    // a quoted string (quotes are NOT boundaries, so a quoted name like
+    // 'with (x = 1)' passes through intact) — is left for the statement
+    // parsers to judge.
+    let boundary_ok = pos > 0 && matches!(lower.as_bytes()[pos - 1], b' ' | b'\t' | b')');
+    let tail = s[pos + "with".len()..].trim();
+    if !boundary_ok || !tail.starts_with('(') {
+        return Ok((s, None));
+    }
+    let inner = tail
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| err("WITH options must be parenthesized: WITH (shards = <n>)"))?;
+    let (key, value) = inner
+        .split_once('=')
+        .ok_or_else(|| err("WITH option must be shards = <n>"))?;
+    if !key.trim().eq_ignore_ascii_case("shards") {
+        return Err(err(&format!(
+            "unknown WITH option '{}' (expected shards)",
+            key.trim()
+        )));
+    }
+    let n: u16 = value
+        .trim()
+        .parse()
+        .map_err(|_| err(&format!("bad shard count '{}'", value.trim())))?;
+    if n == 0 {
+        return Err(err("shards must be at least 1"));
+    }
+    Ok((s[..pos].trim_end(), Some(n)))
 }
 
 /// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`.
-fn parse_predict(s: &str, lower: &str) -> DanaResult<PredictCall> {
+fn parse_predict(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<PredictCall> {
     let rest = lower["predict".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected PREDICT <udf>(...)"));
@@ -118,11 +193,16 @@ fn parse_predict(s: &str, lower: &str) -> DanaResult<PredictCall> {
     if into.is_empty() {
         return Err(err("empty destination table name"));
     }
-    Ok(PredictCall { udf, table, into })
+    Ok(PredictCall {
+        udf,
+        table,
+        into,
+        shards,
+    })
 }
 
 /// Parses the tail of `EVALUATE dana.<udf>('<table>'[, '<metric>'])`.
-fn parse_evaluate(s: &str, lower: &str) -> DanaResult<EvaluateCall> {
+fn parse_evaluate(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<EvaluateCall> {
     let rest = lower["evaluate".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected EVALUATE <udf>(...)"));
@@ -149,7 +229,12 @@ fn parse_evaluate(s: &str, lower: &str) -> DanaResult<EvaluateCall> {
     if table.is_empty() {
         return Err(err("empty table name"));
     }
-    Ok(EvaluateCall { udf, table, metric })
+    Ok(EvaluateCall {
+        udf,
+        table,
+        metric,
+        shards,
+    })
 }
 
 /// Parses `dana.<udf>(arg[, arg])` from `tail`, returning the UDF name
@@ -372,6 +457,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "patients".into(),
                 into: "patient_scores".into(),
+                shards: None,
             })
         );
         // Case-insensitive keywords, optional schema, mixed quoting.
@@ -382,6 +468,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "patients".into(),
                 into: "scores".into(),
+                shards: None,
             })
         );
     }
@@ -407,6 +494,7 @@ mod tests {
                 udf: "logisticR".into(),
                 table: "wlan".into(),
                 metric: None,
+                shards: None,
             })
         );
         let s = parse_statement("EVALUATE dana.linearR('t', 'mse');").unwrap();
@@ -416,6 +504,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 metric: Some(MetricKind::Mse),
+                shards: None,
             })
         );
         // All four metric names (and case-insensitivity) parse.
@@ -432,6 +521,7 @@ mod tests {
                     udf: "f".into(),
                     table: "t".into(),
                     metric: Some(kind),
+                    shards: None,
                 }),
                 "{name}"
             );
@@ -446,6 +536,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                shards: None,
             })
         );
     }
@@ -488,6 +579,97 @@ mod tests {
         ] {
             assert!(parse_statement(bad).is_err(), "{bad} should fail");
         }
+    }
+
+    // ---- EXECUTE / WITH (shards = k) grammar -----------------------------
+
+    #[test]
+    fn execute_is_a_train_synonym() {
+        let s = parse_statement("EXECUTE dana.linearR('t');").unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: None,
+            })
+        );
+        // Case-insensitive, schema optional, identifier case preserved.
+        let s = parse_statement("execute MyUdf(\"MyTable\")").unwrap();
+        let Statement::Train(q) = s else {
+            panic!("expected train");
+        };
+        assert_eq!(q.udf, "MyUdf");
+        assert_eq!(q.table, "MyTable");
+    }
+
+    #[test]
+    fn with_shards_parses_on_every_statement_form() {
+        let s = parse_statement("EXECUTE dana.linearR('t') WITH (shards = 4);").unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: Some(4),
+            })
+        );
+        let s = parse_statement("SELECT * FROM dana.linearR('t') with (SHARDS=2)").unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: Some(2),
+            })
+        );
+        let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (shards = 8);").unwrap();
+        assert_eq!(
+            s,
+            Statement::Predict(PredictCall {
+                udf: "f".into(),
+                table: "t".into(),
+                into: "p".into(),
+                shards: Some(8),
+            })
+        );
+        let s = parse_statement("EVALUATE dana.f('t', 'mse') WITH (shards = 3);").unwrap();
+        assert_eq!(
+            s,
+            Statement::Evaluate(EvaluateCall {
+                udf: "f".into(),
+                table: "t".into(),
+                metric: Some(MetricKind::Mse),
+                shards: Some(3),
+            })
+        );
+        // parse_query handles the clause too.
+        let q = parse_query("SELECT * FROM dana.f('t') WITH (shards = 16);").unwrap();
+        assert_eq!(q.shards, Some(16));
+    }
+
+    #[test]
+    fn malformed_with_clauses_are_rejected() {
+        for bad in [
+            "EXECUTE dana.f('t') WITH (shards = 0);",    // zero gang
+            "EXECUTE dana.f('t') WITH (shards = -2);",   // negative
+            "EXECUTE dana.f('t') WITH (shards = many);", // not a number
+            "EXECUTE dana.f('t') WITH (lanes = 4);",     // unknown option
+            "EXECUTE dana.f('t') WITH (shards);",        // no value
+            "EXECUTE dana.f('t') WITH shards = 4;",      // unparenthesized
+            "SELECT * FROM dana.f('t') WITH (shards = 70000);", // > u16
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should fail");
+        }
+        // A table that merely contains "with" is untouched.
+        let q = parse_query("SELECT * FROM dana.f('with_t');").unwrap();
+        assert_eq!(q.table, "with_t");
+        assert_eq!(q.shards, None);
+        // Even a quoted name shaped exactly like a WITH clause: quotes
+        // are not clause boundaries, so it stays an identifier.
+        let q = parse_query("SELECT * FROM dana.f('with (shards = 2)');").unwrap();
+        assert_eq!(q.table, "with (shards = 2)");
+        assert_eq!(q.shards, None);
     }
 
     #[test]

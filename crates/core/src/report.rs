@@ -39,6 +39,9 @@ pub struct DanaReport {
     pub converged_early: bool,
     /// Threads the deployed design runs.
     pub num_threads: u16,
+    /// Gang members (page-range shards) the query ran across; 1 for a
+    /// serial query.
+    pub shards: u16,
     pub timing: DanaTiming,
     pub engine: EngineStats,
     pub access: AccessStats,
@@ -79,6 +82,8 @@ pub struct PredictReport {
     pub rows_scored: u64,
     /// Lockstep lanes the scoring program ran across.
     pub lanes: u16,
+    /// Gang members (page-range shards) the scan ran across; 1 = serial.
+    pub shards: u16,
     pub scoring: ScoringStats,
     pub timing: DanaTiming,
 }
@@ -92,6 +97,8 @@ pub struct EvalReport {
     pub value: f64,
     pub rows_scored: u64,
     pub lanes: u16,
+    /// Gang members (page-range shards) the scan ran across; 1 = serial.
+    pub shards: u16,
     pub scoring: ScoringStats,
     pub timing: DanaTiming,
 }
@@ -126,6 +133,7 @@ mod tests {
             epochs_run: 1,
             converged_early: false,
             num_threads: 4,
+            shards: 1,
             timing: DanaTiming::default(),
             engine: EngineStats::default(),
             access: AccessStats::default(),

@@ -56,7 +56,11 @@ pub struct PageStreamSource<'a> {
     access: &'a AccessEngine,
     feed: FeedKind,
     next_page: u32,
-    /// True once the first pass over the heap completed and every page's
+    /// One past the last page this source scans (`page_count` for a
+    /// whole-table scan; a shard boundary for a page-range scan).
+    end_page: u32,
+    start_page: u32,
+    /// True once the first pass over the range completed and every page's
     /// batch is cached for epoch replay.
     scan_done: bool,
     replay: usize,
@@ -73,6 +77,34 @@ impl<'a> PageStreamSource<'a> {
         access: &'a AccessEngine,
         feed: FeedKind,
     ) -> PageStreamSource<'a> {
+        PageStreamSource::with_range(
+            pool,
+            disk,
+            heap,
+            heap_id,
+            access,
+            feed,
+            0,
+            heap.page_count(),
+        )
+    }
+
+    /// A source over the page range `[start_page, end_page)` — one shard
+    /// of an intra-query-parallel scan. Identical extraction math and
+    /// batch boundaries to a whole-table scan of just those pages.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_range(
+        pool: &'a mut BufferPool,
+        disk: &'a DiskModel,
+        heap: &'a HeapFile,
+        heap_id: HeapId,
+        access: &'a AccessEngine,
+        feed: FeedKind,
+        start_page: u32,
+        end_page: u32,
+    ) -> PageStreamSource<'a> {
+        let end_page = end_page.min(heap.page_count());
+        let start_page = start_page.min(end_page);
         PageStreamSource {
             pool,
             disk,
@@ -80,10 +112,12 @@ impl<'a> PageStreamSource<'a> {
             heap_id,
             access,
             feed,
-            next_page: 0,
+            next_page: start_page,
+            end_page,
+            start_page,
             scan_done: false,
             replay: 0,
-            cache: Vec::with_capacity(heap.page_count() as usize),
+            cache: Vec::with_capacity((end_page - start_page) as usize),
             stats: AccessStats::default(),
         }
     }
@@ -94,6 +128,18 @@ impl<'a> PageStreamSource<'a> {
         let mut stats = self.stats;
         self.access.finish_stats(&mut stats);
         stats
+    }
+
+    /// Completes the scan (if it has not finished) and dismantles the
+    /// source into its extracted per-page batches plus the finished
+    /// access stats — the serial facade's way of building cheap replaying
+    /// shard sources for the gang executor, since its `&mut` buffer pool
+    /// cannot run several live scans at once.
+    pub fn into_cache(mut self) -> Result<(Vec<TupleBatch>, AccessStats), SourceError> {
+        self.rewind()?;
+        let mut stats = self.stats;
+        self.access.finish_stats(&mut stats);
+        Ok((self.cache, stats))
     }
 
     /// Fetches and extracts page `page_no`, appending its batch to the
@@ -140,7 +186,7 @@ impl TupleSource for PageStreamSource<'_> {
             self.replay += 1;
             return Ok(Some(&self.cache[self.replay - 1]));
         }
-        if self.next_page >= self.heap.page_count() {
+        if self.next_page >= self.end_page {
             self.scan_done = true;
             self.replay = self.cache.len();
             return Ok(None);
@@ -164,7 +210,10 @@ impl TupleSource for PageStreamSource<'_> {
     }
 
     fn tuple_count_hint(&self) -> Option<u64> {
-        Some(self.heap.tuple_count())
+        Some(
+            self.heap
+                .tuples_in_page_range(self.start_page, self.end_page),
+        )
     }
 }
 
@@ -188,6 +237,10 @@ pub struct SharedPageStreamSource<'a> {
     access: &'a AccessEngine,
     feed: FeedKind,
     next_page: u32,
+    /// One past the last page this source scans (a shard boundary for
+    /// gang-parallel scans; `page_count` for a whole-table scan).
+    end_page: u32,
+    start_page: u32,
     scan_done: bool,
     replay: usize,
     cache: Vec<TupleBatch>,
@@ -204,6 +257,35 @@ impl<'a> SharedPageStreamSource<'a> {
         access: &'a AccessEngine,
         feed: FeedKind,
     ) -> SharedPageStreamSource<'a> {
+        SharedPageStreamSource::with_range(
+            pool,
+            disk,
+            heap,
+            heap_id,
+            access,
+            feed,
+            0,
+            heap.page_count(),
+        )
+    }
+
+    /// A source over the page range `[start_page, end_page)` — one shard
+    /// of a gang-parallel scan. The shared pool's `&self` fetches let any
+    /// number of shard sources stream simultaneously, each metering its
+    /// own simulated I/O.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_range(
+        pool: &'a SharedBufferPool,
+        disk: &'a DiskModel,
+        heap: &'a HeapFile,
+        heap_id: HeapId,
+        access: &'a AccessEngine,
+        feed: FeedKind,
+        start_page: u32,
+        end_page: u32,
+    ) -> SharedPageStreamSource<'a> {
+        let end_page = end_page.min(heap.page_count());
+        let start_page = start_page.min(end_page);
         SharedPageStreamSource {
             pool,
             disk,
@@ -211,10 +293,12 @@ impl<'a> SharedPageStreamSource<'a> {
             heap_id,
             access,
             feed,
-            next_page: 0,
+            next_page: start_page,
+            end_page,
+            start_page,
             scan_done: false,
             replay: 0,
-            cache: Vec::with_capacity(heap.page_count() as usize),
+            cache: Vec::with_capacity((end_page - start_page) as usize),
             stats: AccessStats::default(),
             io_seconds: 0.0,
         }
@@ -267,7 +351,7 @@ impl TupleSource for SharedPageStreamSource<'_> {
             self.replay += 1;
             return Ok(Some(&self.cache[self.replay - 1]));
         }
-        if self.next_page >= self.heap.page_count() {
+        if self.next_page >= self.end_page {
             self.scan_done = true;
             self.replay = self.cache.len();
             return Ok(None);
@@ -291,6 +375,9 @@ impl TupleSource for SharedPageStreamSource<'_> {
     }
 
     fn tuple_count_hint(&self) -> Option<u64> {
-        Some(self.heap.tuple_count())
+        Some(
+            self.heap
+                .tuples_in_page_range(self.start_page, self.end_page),
+        )
     }
 }

@@ -338,6 +338,14 @@ impl ExecutionEngine {
         self.lowered.run_streaming(&self.design, source, store)
     }
 
+    /// Starts an epoch-at-a-time [`crate::lowered::TrainingSession`] over
+    /// the deploy-time lowering. `run_training` is exactly an epoch loop
+    /// over one of these; the gang-scheduled shard executor runs one per
+    /// shard and merges models at every epoch boundary.
+    pub fn training_session(&self) -> crate::lowered::TrainingSession<'_> {
+        crate::lowered::TrainingSession::new(&self.lowered, self.design.num_threads as usize)
+    }
+
     /// The retained streaming flat-scratchpad interpreter — the
     /// pre-lowering hot path, kept verbatim as the second reference tier
     /// for differential testing (and the `engine_hot_loop` benchmark's

@@ -53,4 +53,4 @@ pub use engine::{
 };
 pub use error::{EngineError, EngineResult};
 pub use isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
-pub use lowered::{lower, LoweredOp, LoweredProgram};
+pub use lowered::{lower, LoweredOp, LoweredProgram, TrainingSession};

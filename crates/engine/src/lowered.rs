@@ -495,35 +495,32 @@ impl LoweredProgram {
 
     /// Runs training to convergence from a streaming source — the lowered
     /// twin of the interpreter's `run_training`, bit-identical in models
-    /// and stats.
+    /// and stats. Internally this is just the epoch loop over a
+    /// [`TrainingSession`], so the serial path and the gang-scheduled
+    /// shard path (which merges models at every epoch boundary) execute
+    /// the exact same per-epoch code.
     pub(crate) fn run_streaming(
         &self,
         d: &EngineDesign,
         source: &mut dyn TupleSource,
         store: &mut ModelStore,
     ) -> EngineResult<EngineStats> {
-        let width = self.input_offsets.len() + self.output_offsets.len();
-        if source.width() != width {
-            return Err(EngineError::TupleWidth {
-                got: source.width(),
-                expected: width,
-            });
-        }
-        let mut ws = self.workspace(d.num_threads as usize, width);
-        let mut stats = EngineStats::default();
+        let mut session = TrainingSession::new(self, d.num_threads as usize);
         let max_epochs = d.convergence.max_epochs();
+        let mut epochs_run = 0u32;
+        let mut converged_early = false;
         for epoch in 0..max_epochs {
             if epoch > 0 {
                 source.rewind().map_err(EngineError::from)?;
             }
-            let converged = self.run_epoch(source, store, &mut ws, &mut stats)?;
-            stats.epochs_run += 1;
+            let converged = session.run_epoch(source, store)?;
+            epochs_run += 1;
             if converged {
-                stats.converged_early = true;
+                converged_early = true;
                 break;
             }
         }
-        Ok(stats)
+        Ok(session.finish(epochs_run, converged_early))
     }
 
     /// One streaming epoch: buffer tuples into the group, flush full
@@ -701,6 +698,69 @@ impl LoweredProgram {
             }
         }
         Ok(cycles)
+    }
+}
+
+/// One training run's mutable engine state, held **epoch-at-a-time**: the
+/// SoA workspace and the accumulated cycle counters, with the model store
+/// supplied per epoch by the caller.
+///
+/// This is the seam intra-query data parallelism hangs off: the serial
+/// path (`run_streaming`) loops epochs over one session, while the gang
+/// executor in `dana-parallel` runs one session **per shard**, joins them
+/// at every epoch boundary, and feeds each the *merged* model for the
+/// next epoch. Because both paths share this per-epoch code verbatim, a
+/// one-shard gang is bit-identical — models and stats — to the serial
+/// run.
+pub struct TrainingSession<'e> {
+    lowered: &'e LoweredProgram,
+    ws: SoaWorkspace,
+    stats: EngineStats,
+    width: usize,
+}
+
+impl<'e> TrainingSession<'e> {
+    pub(crate) fn new(lowered: &'e LoweredProgram, threads: usize) -> TrainingSession<'e> {
+        let width = lowered.input_offsets.len() + lowered.output_offsets.len();
+        TrainingSession {
+            ws: lowered.workspace(threads, width),
+            lowered,
+            stats: EngineStats::default(),
+            width,
+        }
+    }
+
+    /// Runs one full epoch over `source` (the caller rewinds between
+    /// epochs, exactly like the serial loop), training into `store`.
+    /// Returns whether the design's convergence condition fired.
+    pub fn run_epoch(
+        &mut self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<bool> {
+        if source.width() != self.width {
+            return Err(EngineError::TupleWidth {
+                got: source.width(),
+                expected: self.width,
+            });
+        }
+        self.lowered
+            .run_epoch(source, store, &mut self.ws, &mut self.stats)
+    }
+
+    /// Cycle counters accumulated so far (epoch bookkeeping is the epoch
+    /// loop's job, so `epochs_run`/`converged_early` are still zero here).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Seals the run: stamps the epoch-loop outcome onto the accumulated
+    /// counters.
+    pub fn finish(self, epochs_run: u32, converged_early: bool) -> EngineStats {
+        let mut stats = self.stats;
+        stats.epochs_run = epochs_run;
+        stats.converged_early = converged_early;
+        stats
     }
 }
 

@@ -78,6 +78,22 @@ pub fn evaluate_source(
     source: &mut dyn TupleSource,
     metric: MetricKind,
 ) -> InferResult<(f64, ScoringStats)> {
+    let (partial, stats) = evaluate_source_partial(program, lanes, source, metric)?;
+    Ok((partial.finish(metric)?, stats))
+}
+
+/// [`evaluate_source`] stopped one step short of the final division: the
+/// raw `(sum, correct, n)` fold. This is the sharded EVALUATE's building
+/// block — each shard folds its own stream, the partials combine in
+/// shard-index order with [`MetricPartial::absorb`], and one
+/// [`MetricPartial::finish`] produces the metric. A single shard's
+/// partial finishes to exactly what [`evaluate_source`] returns.
+pub fn evaluate_source_partial(
+    program: &ScoringProgram,
+    lanes: u16,
+    source: &mut dyn TupleSource,
+    metric: MetricKind,
+) -> InferResult<(MetricPartial, ScoringStats)> {
     let signed = matches!(
         program,
         ScoringProgram::Dense {
@@ -97,7 +113,7 @@ pub fn evaluate_source(
         acc.update(raw, pred, label);
         Ok(())
     })?;
-    Ok((acc.finish()?, stats))
+    Ok((acc.partial, stats))
 }
 
 /// The streaming core shared by scoring and evaluation: group tuples
@@ -232,6 +248,45 @@ fn check_row(factor: &'static str, index: f32, rows: usize) -> InferResult<usize
     Ok(index as usize)
 }
 
+/// A metric fold stopped short of the final division: the running term
+/// sum, the correct-classification count, and the row count. Partials
+/// from disjoint row ranges combine with [`MetricPartial::absorb`]
+/// (callers combine in a fixed order — shard-index order in the gang
+/// tier — so the f64 fold is deterministic), and [`MetricPartial::finish`]
+/// produces the metric value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricPartial {
+    pub sum: f64,
+    pub correct: u64,
+    pub n: u64,
+}
+
+impl MetricPartial {
+    /// Folds `other` (the next row range, in order) into this partial.
+    pub fn absorb(&mut self, other: MetricPartial) {
+        self.sum += other.sum;
+        self.correct += other.correct;
+        self.n += other.n;
+    }
+
+    /// Completes the fold into the metric value. An empty fold (zero
+    /// rows) is a typed error, like the whole-batch metrics.
+    pub fn finish(self, kind: MetricKind) -> InferResult<f64> {
+        if self.n == 0 {
+            return Err(MetricsError::EmptyBatch {
+                metric: kind.name(),
+            }
+            .into());
+        }
+        Ok(match kind {
+            MetricKind::Mse => self.sum / self.n as f64,
+            MetricKind::LrmfRmse => (self.sum / self.n as f64).sqrt(),
+            MetricKind::LogLoss => self.sum / self.n as f64,
+            MetricKind::Accuracy => self.correct as f64 / self.n as f64,
+        })
+    }
+}
+
 /// Streamed metric accumulation: folds per-row terms (shared with
 /// `dana_ml::metrics`) left-to-right in tuple order, so the streamed
 /// value is bit-identical to the whole-batch metric on the materialized
@@ -239,9 +294,7 @@ fn check_row(factor: &'static str, index: f32, rows: usize) -> InferResult<usize
 struct MetricAccumulator {
     kind: MetricKind,
     signed: bool,
-    sum: f64,
-    correct: u64,
-    n: u64,
+    partial: MetricPartial,
 }
 
 impl MetricAccumulator {
@@ -249,42 +302,25 @@ impl MetricAccumulator {
         MetricAccumulator {
             kind,
             signed,
-            sum: 0.0,
-            correct: 0,
-            n: 0,
+            partial: MetricPartial::default(),
         }
     }
 
     fn update(&mut self, raw: f32, pred: f32, label: f32) {
         match self.kind {
             MetricKind::Mse | MetricKind::LrmfRmse => {
-                self.sum += squared_error_term(pred, label);
+                self.partial.sum += squared_error_term(pred, label);
             }
-            MetricKind::LogLoss => self.sum += log_loss_term(pred, label),
+            MetricKind::LogLoss => self.partial.sum += log_loss_term(pred, label),
             MetricKind::Accuracy => {
                 // Accuracy thresholds the *raw* score, exactly as
                 // `metrics::classification_accuracy` does.
                 if classified_correctly(raw, label, self.signed) {
-                    self.correct += 1;
+                    self.partial.correct += 1;
                 }
             }
         }
-        self.n += 1;
-    }
-
-    fn finish(self) -> InferResult<f64> {
-        if self.n == 0 {
-            return Err(MetricsError::EmptyBatch {
-                metric: self.kind.name(),
-            }
-            .into());
-        }
-        Ok(match self.kind {
-            MetricKind::Mse => self.sum / self.n as f64,
-            MetricKind::LrmfRmse => (self.sum / self.n as f64).sqrt(),
-            MetricKind::LogLoss => self.sum / self.n as f64,
-            MetricKind::Accuracy => self.correct as f64 / self.n as f64,
-        })
+        self.partial.n += 1;
     }
 }
 

@@ -29,6 +29,9 @@ pub mod materialize;
 pub mod scoring;
 
 pub use error::{InferError, InferResult};
-pub use executor::{evaluate_source, score_batch, score_source, ScoringStats};
+pub use executor::{
+    evaluate_source, evaluate_source_partial, score_batch, score_source, MetricPartial,
+    ScoringStats,
+};
 pub use materialize::{build_prediction_heap, prediction_schema, PREDICTION_COLUMN};
 pub use scoring::{derive_recipe, MetricKind, ScoringProgram, ScoringRecipe};

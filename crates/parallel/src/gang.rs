@@ -1,0 +1,489 @@
+//! Gang-scheduled shard execution: one query, many accelerators.
+//!
+//! A gang runs the *same* cached lowered program on every member, each
+//! member streaming its own page-range shard. Training is
+//! **epoch-synchronous**: all shards run one epoch from the same global
+//! model, join at the epoch boundary, and the merge tier
+//! ([`crate::merge`]) produces the next global model — the shard-level
+//! analogue of the engine's per-batch thread merge. Scoring is
+//! embarrassingly parallel: shards score concurrently and the caller
+//! concatenates outputs in shard-index order (= source page order).
+//!
+//! Shard threads are real OS threads (`std::thread::scope`), so on a
+//! multi-core host the wall clock shrinks too; the *simulated* timing is
+//! composed by the caller from the per-shard counters returned here
+//! (critical-path shard + merge-tier cycles).
+
+use dana_engine::{EngineStats, ExecutionEngine, ModelStore};
+use dana_infer::{
+    evaluate_source_partial, score_source, MetricKind, MetricPartial, ScoringProgram, ScoringStats,
+};
+use dana_storage::{SourceError, TupleBatch, TupleSource};
+
+use crate::error::{ParallelError, ParallelResult};
+use crate::merge::{MergeBuffer, MergeSpec, ShardOwnership};
+
+/// Everything one gang-scheduled training run produced.
+#[derive(Debug, Clone)]
+pub struct GangOutcome {
+    /// The final merged models (model declaration order, row-major).
+    pub models: Vec<Vec<f32>>,
+    pub epochs_run: u32,
+    pub converged_early: bool,
+    /// Per-shard engine counters, in shard order, each stamped with the
+    /// gang's epoch outcome.
+    pub shard_stats: Vec<EngineStats>,
+    /// Per-shard tuples per epoch (the merge tier's averaging weights).
+    pub shard_tuples: Vec<u64>,
+    /// Tree-bus / model-port cycles the epoch-boundary merge tier
+    /// charged, summed over all epochs. Zero for a one-shard gang.
+    pub merge_cycles: u64,
+}
+
+/// Watches a shard's first scan to record which factor rows its tuples
+/// touch (row-ownership merge input). Purely observational — batches
+/// pass through untouched, so wrapping changes nothing numerically.
+struct OwnershipRecorder<'a> {
+    inner: &'a mut dyn TupleSource,
+    /// `(model, tuple column, rows)` to watch, from the merge spec.
+    columns: &'a [(usize, usize, usize)],
+    ownership: &'a mut ShardOwnership,
+}
+
+/// Marks the rows `batch` touches in `ownership` (free function so the
+/// recorder can observe while the batch reference still borrows its
+/// inner source — disjoint field borrows).
+fn record_rows(
+    columns: &[(usize, usize, usize)],
+    ownership: &mut ShardOwnership,
+    batch: &TupleBatch,
+) {
+    for row in batch.rows() {
+        for &(model, column, _) in columns {
+            // The engine resolves row indices with `.round()`; match it
+            // so ownership names exactly the rows the scatters hit.
+            let idx = row[column].round();
+            if idx >= 0.0 {
+                if let Some((_, bits)) = ownership.per_model.iter_mut().find(|(mi, _)| *mi == model)
+                {
+                    if let Some(b) = bits.get_mut(idx as usize) {
+                        *b = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TupleSource for OwnershipRecorder<'_> {
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&TupleBatch>, SourceError> {
+        let batch = self.inner.next_batch()?;
+        if let Some(b) = batch {
+            record_rows(self.columns, self.ownership, b);
+        }
+        Ok(batch)
+    }
+
+    fn rewind(&mut self) -> Result<(), SourceError> {
+        self.inner.rewind()
+    }
+
+    fn tuple_count_hint(&self) -> Option<u64> {
+        self.inner.tuple_count_hint()
+    }
+}
+
+/// Runs gang-scheduled, epoch-synchronous training: one
+/// [`dana_engine::TrainingSession`] per shard, all executing the shared
+/// engine's lowered program, merged deterministically at every epoch
+/// boundary. `sources` are the per-shard tuple streams in shard order;
+/// `init` is the initial global model.
+///
+/// A one-shard gang is **bit-identical** to
+/// [`ExecutionEngine::run_training`] — same per-epoch code, identity
+/// merge — in both models and cycle stats.
+pub fn train_gang<S: TupleSource + Send>(
+    engine: &ExecutionEngine,
+    sources: &mut [S],
+    init: Vec<Vec<f32>>,
+) -> ParallelResult<GangOutcome> {
+    let k = sources.len();
+    if k == 0 {
+        return Err(ParallelError::EmptyGang);
+    }
+    let design = engine.design();
+    let spec = MergeSpec::derive(design)?;
+    let own_columns = spec.ownership_columns();
+    let mut ownership: Vec<ShardOwnership> =
+        (0..k).map(|_| ShardOwnership::for_spec(&spec)).collect();
+
+    let mut sessions: Vec<_> = (0..k).map(|_| engine.training_session()).collect();
+    let mut global = init;
+    let max_epochs = design.convergence.max_epochs();
+    let mut epochs_run = 0u32;
+    let mut converged_early = false;
+    let mut merge_cycles = 0u64;
+    let mut shard_tuples: Vec<u64> = vec![0; k];
+
+    for epoch in 0..max_epochs {
+        // Every shard starts the epoch from the merged global model.
+        let mut stores: Vec<ModelStore> = Vec::with_capacity(k);
+        for _ in 0..k {
+            stores.push(
+                ModelStore::new(design, global.clone())
+                    .map_err(|e| ParallelError::ModelShape(e.to_string()))?,
+            );
+        }
+
+        // One OS thread per shard, joined at the epoch boundary (the
+        // gang's barrier). Each thread owns its shard's source, session,
+        // store, and ownership bitmap for the duration of the epoch.
+        let results: Vec<Result<bool, dana_engine::EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sources
+                .iter_mut()
+                .zip(sessions.iter_mut())
+                .zip(stores.iter_mut())
+                .zip(ownership.iter_mut())
+                .map(|(((source, session), store), own)| {
+                    let columns = own_columns.as_slice();
+                    scope.spawn(move || {
+                        if epoch > 0 {
+                            source.rewind().map_err(dana_engine::EngineError::from)?;
+                            session.run_epoch(source, store)
+                        } else if columns.is_empty() {
+                            session.run_epoch(source, store)
+                        } else {
+                            // First scan: record factor-row ownership.
+                            let mut recorder = OwnershipRecorder {
+                                inner: source,
+                                columns,
+                                ownership: own,
+                            };
+                            session.run_epoch(&mut recorder, store)
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread must not panic"))
+                .collect()
+        });
+
+        // Surface the lowest-index failure, deterministically.
+        let mut flags = Vec::with_capacity(k);
+        for (shard, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(flag) => flags.push(flag),
+                Err(source) => return Err(ParallelError::Engine { shard, source }),
+            }
+        }
+        if epoch == 0 {
+            for (s, session) in sessions.iter().enumerate() {
+                shard_tuples[s] = session.stats().tuples_processed;
+            }
+        }
+
+        // Epoch-boundary merge, folded in shard-index order.
+        let mut buffer = MergeBuffer::new(&spec, k, std::mem::take(&mut global));
+        for (s, store) in stores.into_iter().enumerate() {
+            buffer.submit(s, store.into_values(), shard_tuples[s]);
+        }
+        let (merged, cycles) = buffer.finish(&ownership)?;
+        global = merged;
+        merge_cycles += cycles;
+
+        epochs_run += 1;
+        // The gang converges when every shard's condition fired — for a
+        // one-shard gang this is exactly the serial check.
+        if !flags.is_empty() && flags.iter().all(|f| *f) {
+            converged_early = true;
+            break;
+        }
+    }
+
+    let shard_stats = sessions
+        .into_iter()
+        .map(|s| s.finish(epochs_run, converged_early))
+        .collect();
+    Ok(GangOutcome {
+        models: global,
+        epochs_run,
+        converged_early,
+        shard_stats,
+        shard_tuples,
+        merge_cycles,
+    })
+}
+
+/// One shard's scoring output.
+#[derive(Debug, Clone)]
+pub struct ShardScore {
+    pub predictions: Vec<f32>,
+    pub stats: ScoringStats,
+}
+
+/// Scores every shard concurrently with the same bound program. Returns
+/// per-shard outputs in shard order; concatenating `predictions` yields
+/// the full table's predictions in source page order, bit-identical to a
+/// serial scan (per-tuple scoring math is lane- and boundary-invariant).
+pub fn score_gang<S: TupleSource + Send>(
+    program: &ScoringProgram,
+    lanes: u16,
+    sources: &mut [S],
+) -> ParallelResult<Vec<ShardScore>> {
+    if sources.is_empty() {
+        return Err(ParallelError::EmptyGang);
+    }
+    let results: Vec<Result<ShardScore, dana_infer::InferError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .iter_mut()
+            .map(|source| {
+                scope.spawn(move || {
+                    let mut out =
+                        Vec::with_capacity(source.tuple_count_hint().unwrap_or(0) as usize);
+                    let stats = score_source(program, lanes, source, &mut out)?;
+                    Ok(ShardScore {
+                        predictions: out,
+                        stats,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread must not panic"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(shard, r)| r.map_err(|source| ParallelError::Infer { shard, source }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_engine::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step};
+    use dana_engine::{ConvergenceCheck, EngineDesign, MergePlan, ModelWrite};
+    use dana_ml::Link;
+
+    /// The engine crate's hand-scheduled 2-feature linear regression.
+    fn linreg_design(num_threads: u16, epochs: u32) -> EngineDesign {
+        let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
+        let s = |au, slot| Src::Slot(Loc::new(au, slot));
+        let lr = 0.05f32;
+        EngineDesign {
+            num_threads,
+            acs_per_thread: 1,
+            slots_per_au: 8,
+            bus_lanes: 1,
+            program: EngineProgram {
+                per_tuple: vec![
+                    Step {
+                        ops: vec![
+                            alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2),
+                            alu(1, AluOp::Mul, s(1, 0), s(1, 1), 2),
+                        ],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Add, s(0, 2), s(1, 2), 2)],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)],
+                    },
+                    Step {
+                        ops: vec![
+                            alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2),
+                            alu(1, AluOp::Mul, s(0, 2), s(1, 0), 2),
+                        ],
+                    },
+                ],
+                post_merge: vec![
+                    Step {
+                        ops: vec![
+                            alu(0, AluOp::Mul, Src::Const(lr), s(0, 2), 2),
+                            alu(1, AluOp::Mul, Src::Const(lr), s(1, 2), 2),
+                        ],
+                    },
+                    Step {
+                        ops: vec![
+                            alu(0, AluOp::Sub, s(0, 1), s(0, 2), 4),
+                            alu(1, AluOp::Sub, s(1, 1), s(1, 2), 4),
+                        ],
+                    },
+                ],
+            },
+            input_slots: vec![Loc::new(0, 0), Loc::new(1, 0)],
+            output_slots: vec![Loc::new(0, 3)],
+            meta: vec![],
+            models: vec![dana_engine::engine::ModelDesc {
+                name: "w".into(),
+                rows: 1,
+                cols: 2,
+                broadcast_slots: Some(vec![Loc::new(0, 1), Loc::new(1, 1)]),
+            }],
+            merge: MergePlan::Whole {
+                op: dana_dsl::MergeOp::Sum,
+                slots: vec![Loc::new(0, 2), Loc::new(1, 2)],
+            },
+            model_writes: vec![ModelWrite::Whole {
+                model: 0,
+                src: vec![Loc::new(0, 4), Loc::new(1, 4)],
+            }],
+            convergence: ConvergenceCheck::Epochs(epochs),
+        }
+    }
+
+    fn tuples(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|k| {
+                let x0 = (k % 7) as f32 * 0.25;
+                let x1 = (k % 5) as f32 * 0.5 - 1.0;
+                vec![x0, x1, 2.0 * x0 - x1]
+            })
+            .collect()
+    }
+
+    fn replay(rows: &[Vec<f32>], per_batch: usize) -> crate::ReplaySource {
+        crate::ReplaySource::new(
+            3,
+            rows.chunks(per_batch)
+                .map(|c| TupleBatch::from_rows(3, c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn one_shard_gang_is_bit_identical_to_serial_training() {
+        let design = linreg_design(4, 5);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let rows = tuples(97);
+
+        let mut serial_store = ModelStore::new(&design, vec![vec![0.0, 0.0]]).unwrap();
+        let mut serial_src = replay(&rows, 16);
+        let serial_stats = engine
+            .run_training(&mut serial_src, &mut serial_store)
+            .unwrap();
+
+        let mut sources = vec![replay(&rows, 16)];
+        let outcome = train_gang(&engine, &mut sources, vec![vec![0.0, 0.0]]).unwrap();
+        assert_eq!(outcome.models, serial_store.into_values());
+        assert_eq!(outcome.shard_stats[0], serial_stats);
+        assert_eq!(outcome.merge_cycles, 0);
+        assert_eq!(outcome.epochs_run, 5);
+        assert_eq!(outcome.shard_tuples, vec![97]);
+    }
+
+    #[test]
+    fn multi_shard_gang_is_deterministic_and_learns() {
+        let design = linreg_design(4, 20);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let rows = tuples(240);
+        let halves: Vec<&[Vec<f32>]> = vec![&rows[..120], &rows[120..]];
+        let run = || {
+            let mut sources: Vec<_> = halves.iter().map(|h| replay(h, 16)).collect();
+            train_gang(&engine, &mut sources, vec![vec![0.0, 0.0]]).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.models, b.models, "gang training must be reproducible");
+        assert!(a.merge_cycles > 0, "the merge tier must charge cycles");
+        assert_eq!(a.shard_tuples, vec![120, 120]);
+        // The merged model still fits y = 2·x0 − x1.
+        let w = &a.models[0];
+        assert!((w[0] - 2.0).abs() < 0.15, "w = {w:?}");
+        assert!((w[1] + 1.0).abs() < 0.15, "w = {w:?}");
+    }
+
+    #[test]
+    fn score_gang_concat_matches_serial_scan() {
+        let program = ScoringProgram::Dense {
+            weights: vec![0.7, -0.3],
+            link: Link::Sigmoid,
+            signed_labels: false,
+        };
+        let rows = tuples(101);
+        let mut serial_src = replay(&rows, 13);
+        let mut serial = Vec::new();
+        let serial_stats = score_source(&program, 4, &mut serial_src, &mut serial).unwrap();
+
+        for split in [1usize, 2, 4] {
+            let chunk = rows.len().div_ceil(split);
+            let mut sources: Vec<_> = rows.chunks(chunk).map(|c| replay(c, 13)).collect();
+            let shards = score_gang(&program, 4, &mut sources).unwrap();
+            let concat: Vec<f32> = shards
+                .iter()
+                .flat_map(|s| s.predictions.iter().copied())
+                .collect();
+            assert_eq!(concat, serial, "{split} shards");
+            let total: u64 = shards.iter().map(|s| s.stats.tuples).sum();
+            assert_eq!(total, serial_stats.tuples);
+        }
+    }
+}
+
+/// [`score_gang`] plus the order-preserving concatenation every caller
+/// wants: the full prediction stream in source page order, and the
+/// per-shard counters beside it. This is the single place shard outputs
+/// are stitched back together.
+pub fn score_gang_concat<S: TupleSource + Send>(
+    program: &ScoringProgram,
+    lanes: u16,
+    sources: &mut [S],
+) -> ParallelResult<(Vec<f32>, Vec<ScoringStats>)> {
+    let shards = score_gang(program, lanes, sources)?;
+    let mut predictions = Vec::with_capacity(shards.iter().map(|s| s.predictions.len()).sum());
+    let mut stats = Vec::with_capacity(shards.len());
+    for s in shards {
+        predictions.extend(s.predictions);
+        stats.push(s.stats);
+    }
+    Ok((predictions, stats))
+}
+
+/// One shard's metric fold.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardEval {
+    pub partial: MetricPartial,
+    pub stats: ScoringStats,
+}
+
+/// Evaluates every shard concurrently; the caller absorbs the partials in
+/// shard-index order and finishes the metric once. A one-shard gang's
+/// finished value is bit-identical to the serial streamed metric.
+pub fn evaluate_gang<S: TupleSource + Send>(
+    program: &ScoringProgram,
+    lanes: u16,
+    sources: &mut [S],
+    metric: MetricKind,
+) -> ParallelResult<Vec<ShardEval>> {
+    if sources.is_empty() {
+        return Err(ParallelError::EmptyGang);
+    }
+    let results: Vec<Result<ShardEval, dana_infer::InferError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .iter_mut()
+            .map(|source| {
+                scope.spawn(move || {
+                    let (partial, stats) = evaluate_source_partial(program, lanes, source, metric)?;
+                    Ok(ShardEval { partial, stats })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread must not panic"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(shard, r)| r.map_err(|source| ParallelError::Infer { shard, source }))
+        .collect()
+}

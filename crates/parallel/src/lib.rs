@@ -1,0 +1,48 @@
+//! # dana-parallel — intra-query data parallelism
+//!
+//! DAnA scales one analytic across many lockstep *threads* and merges
+//! their partials with algorithm-aware merge units (§5.2); the
+//! accelerator pool (the serving tier) scales across *queries*. This
+//! crate closes the gap between them: **one query, many accelerators** —
+//! the same model-averaging aggregation pattern Bismarck shows makes
+//! data-parallel in-RDBMS training practical, lifted to whole gang
+//! members:
+//!
+//! ```text
+//!              heap snapshot
+//!                   │ ShardPlan (contiguous page ranges, ±1 page)
+//!       ┌───────────┼───────────┐
+//!       ▼           ▼           ▼
+//!   shard 0      shard 1     shard k-1        (gang lease: k instances,
+//!  TupleSource  TupleSource  TupleSource       atomically acquired)
+//!       │           │           │
+//!   TrainingSession per shard — one epoch each, in lockstep
+//!       └───────────┼───────────┘
+//!                   ▼
+//!            MergeBuffer (epoch boundary)
+//!      dense: tuple-weighted average · LRMF: row ownership
+//!                   │ merged global model
+//!                   └──► next epoch (or done)
+//! ```
+//!
+//! Determinism contract:
+//! * partials merge **in shard-index order**, whatever order shards
+//!   complete in ([`merge::MergeBuffer`] buffers by index);
+//! * a one-shard gang is the **identity merge** — `shards = 1` training
+//!   is bit-identical (models *and* stats) to the serial engine;
+//! * parallel scoring concatenates shard outputs in shard order, which is
+//!   source page order — bit-identical to serial scoring for every shard
+//!   count, because per-tuple scoring math is lane- and
+//!   boundary-invariant.
+
+pub mod error;
+pub mod gang;
+pub mod merge;
+pub mod shard;
+
+pub use error::{ParallelError, ParallelResult};
+pub use gang::{
+    evaluate_gang, score_gang, score_gang_concat, train_gang, GangOutcome, ShardEval, ShardScore,
+};
+pub use merge::{MergeBuffer, MergeSpec, ModelMergeKind, ShardOwnership};
+pub use shard::{ReplaySource, ShardPlan, ShardRange};

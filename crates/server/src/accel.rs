@@ -1,33 +1,74 @@
 //! The accelerator pool: N independent FPGA instances behind a lease
-//! scheduler.
+//! scheduler, with atomic **gang leases** for intra-query parallelism.
 //!
 //! The paper deploys *one* accelerator per query; a serving tier
 //! multiplexes many concurrent queries over a fixed pool of FPGA cards
 //! (each a full Strider + execution-engine machine of the same
-//! [`dana_fpga::FpgaSpec`]). Workers lease an instance, run the admitted
-//! query on it, and release it with the query's **simulated** runtime.
+//! [`dana_fpga::FpgaSpec`]). Workers lease an instance — or a **gang** of
+//! `k` instances for a sharded query — run the admitted query on it, and
+//! release it with the query's **simulated** runtime.
+//!
+//! Grant discipline: requests (singles and gangs alike) queue FIFO and
+//! are granted strictly in arrival order, each **atomically** — a gang
+//! takes all `k` instances in one step or keeps waiting. Waiters hold
+//! nothing while they wait, so gangs cannot deadlock against singles or
+//! each other; FIFO order bounds everyone's wait, so gangs are neither
+//! starved by a stream of singles nor able to starve the singles behind
+//! them indefinitely. Instance selection is deterministic: the
+//! least-loaded free instances win, ties broken by the **lowest instance
+//! id** — so gang placement and utilization metrics are reproducible
+//! run-to-run regardless of how the free list got scrambled by earlier
+//! releases.
 //!
 //! Because all end-to-end timing in this reproduction is analytic, the
 //! pool also plays simulated-time list scheduler: each instance carries a
-//! busy clock, a lease picks the least-loaded free instance, and releasing
-//! advances that instance's clock by the query's simulated seconds. For a
-//! batch of queries all submitted up front this computes exactly the
-//! greedy list-scheduling makespan — the number the throughput benchmark
+//! busy clock, and releasing advances the clock(s) by the query's
+//! simulated seconds (every member of a gang is busy for the gang's whole
+//! runtime — that is what gang scheduling means). For a batch of queries
+//! all submitted up front this computes exactly the greedy
+//! list-scheduling makespan — the number the throughput benchmark
 //! compares against serial back-to-back execution.
 
+use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Simulated seconds (matches `dana::report::Seconds`).
 pub type Seconds = f64;
 
 struct PoolState {
-    /// Free instance ids.
+    /// Free instance ids (order-insignificant; selection sorts).
     free: Vec<usize>,
     /// Accumulated simulated busy seconds per instance.
     busy_seconds: Vec<Seconds>,
     /// Leases granted per instance.
     leases: Vec<u64>,
+    /// FIFO of waiting requests: `(ticket, gang size)`.
+    waiting: VecDeque<(u64, usize)>,
+    next_ticket: u64,
     closed: bool,
+}
+
+impl PoolState {
+    /// Deterministically picks the `k` least-loaded free instances
+    /// (lowest id on ties), removes them from the free list, and counts
+    /// the leases. Caller guarantees `free.len() >= k`.
+    fn take_least_loaded(&mut self, k: usize) -> Vec<usize> {
+        let PoolState {
+            free, busy_seconds, ..
+        } = self;
+        free.sort_unstable_by(|a, b| {
+            busy_seconds[*a]
+                .partial_cmp(&busy_seconds[*b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        let mut ids: Vec<usize> = free.drain(..k).collect();
+        ids.sort_unstable();
+        for &id in &ids {
+            self.leases[id] += 1;
+        }
+        ids
+    }
 }
 
 /// A pool of `n` identical accelerator instances.
@@ -55,14 +96,50 @@ impl Lease<'_> {
     /// to its clock.
     pub fn release(mut self, sim_seconds: Seconds) {
         self.released = true;
-        self.pool.give_back(self.id, sim_seconds.max(0.0));
+        self.pool.give_back(&[self.id], sim_seconds.max(0.0));
     }
 }
 
 impl Drop for Lease<'_> {
     fn drop(&mut self) {
         if !self.released {
-            self.pool.give_back(self.id, 0.0);
+            self.pool.give_back(&[self.id], 0.0);
+        }
+    }
+}
+
+/// Exclusive use of `k` instances, acquired atomically — the gang one
+/// sharded query trains or scores on. Releasing charges **every** member
+/// the gang's simulated runtime (lockstep members idle-wait on the
+/// critical shard; the hardware is occupied either way).
+pub struct GangLease<'a> {
+    pool: &'a AcceleratorPool,
+    ids: Vec<usize>,
+    released: bool,
+}
+
+impl GangLease<'_> {
+    /// Member instance ids, ascending.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    pub fn size(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns every member, charging each `sim_seconds` of simulated
+    /// busy time.
+    pub fn release(mut self, sim_seconds: Seconds) {
+        self.released = true;
+        self.pool.give_back(&self.ids, sim_seconds.max(0.0));
+    }
+}
+
+impl Drop for GangLease<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.pool.give_back(&self.ids, 0.0);
         }
     }
 }
@@ -120,6 +197,8 @@ impl AcceleratorPool {
                 free: (0..n).rev().collect(),
                 busy_seconds: vec![0.0; n],
                 leases: vec![0; n],
+                waiting: VecDeque::new(),
+                next_ticket: 0,
                 closed: false,
             }),
             available: Condvar::new(),
@@ -137,36 +216,32 @@ impl AcceleratorPool {
         self.lock().busy_seconds.len()
     }
 
-    /// Blocks until an instance is free and leases the one with the least
-    /// simulated load (greedy list scheduling). Returns `None` once the
-    /// pool is closed.
-    pub fn lease(&self) -> Option<Lease<'_>> {
+    /// Blocks until this request reaches the head of the FIFO *and*
+    /// enough instances are free, then atomically takes the `k`
+    /// least-loaded ones (lowest ids on ties). Returns `None` once the
+    /// pool is closed. `k` is clamped to the pool size — a larger gang
+    /// could never be satisfied.
+    fn acquire(&self, k: usize) -> Option<Vec<usize>> {
         let mut st = self.lock();
+        let k = k.clamp(1, st.busy_seconds.len());
+        if st.closed {
+            return None;
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.waiting.push_back((ticket, k));
         loop {
             if st.closed {
+                st.waiting.retain(|(t, _)| *t != ticket);
                 return None;
             }
-            if !st.free.is_empty() {
-                // Least-loaded free instance; ties break to the lowest id
-                // for determinism.
-                let (pos, _) = st
-                    .free
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        let (la, lb) = (st.busy_seconds[**a], st.busy_seconds[**b]);
-                        la.partial_cmp(&lb)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.cmp(b))
-                    })
-                    .expect("free list non-empty");
-                let id = st.free.swap_remove(pos);
-                st.leases[id] += 1;
-                return Some(Lease {
-                    pool: self,
-                    id,
-                    released: false,
-                });
+            if st.waiting.front().map(|(t, _)| *t) == Some(ticket) && st.free.len() >= k {
+                st.waiting.pop_front();
+                let ids = st.take_least_loaded(k);
+                drop(st);
+                // Leftover free instances may satisfy the next request.
+                self.available.notify_all();
+                return Some(ids);
             }
             st = match self.available.wait(st) {
                 Ok(g) => g,
@@ -175,15 +250,42 @@ impl AcceleratorPool {
         }
     }
 
-    fn give_back(&self, id: usize, sim_seconds: Seconds) {
-        let mut st = self.lock();
-        st.busy_seconds[id] += sim_seconds;
-        st.free.push(id);
-        drop(st);
-        self.available.notify_one();
+    /// Leases one instance (FIFO with every other request). Returns
+    /// `None` once the pool is closed.
+    pub fn lease(&self) -> Option<Lease<'_>> {
+        let ids = self.acquire(1)?;
+        Some(Lease {
+            pool: self,
+            id: ids[0],
+            released: false,
+        })
     }
 
-    /// Closes the pool: pending and future `lease` calls return `None`.
+    /// Atomically leases a gang of `k` instances (clamped to the pool
+    /// size). The gang waits its FIFO turn and takes all members in one
+    /// step — it can neither deadlock against other gangs (no incremental
+    /// hoarding) nor be starved by a stream of singles (arrival order
+    /// wins). Returns `None` once the pool is closed.
+    pub fn lease_gang(&self, k: usize) -> Option<GangLease<'_>> {
+        let ids = self.acquire(k)?;
+        Some(GangLease {
+            pool: self,
+            ids,
+            released: false,
+        })
+    }
+
+    fn give_back(&self, ids: &[usize], sim_seconds: Seconds) {
+        let mut st = self.lock();
+        for &id in ids {
+            st.busy_seconds[id] += sim_seconds;
+            st.free.push(id);
+        }
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Closes the pool: pending and future leases return `None`.
     pub fn close(&self) {
         self.lock().closed = true;
         self.available.notify_all();
@@ -201,6 +303,9 @@ impl AcceleratorPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn leases_pack_onto_least_loaded_instance() {
@@ -223,6 +328,109 @@ mod tests {
         assert_eq!(u.makespan_seconds(), 10.0);
         assert!((u.speedup_vs_serial() - 1.2).abs() < 1e-12);
         assert_eq!(u.leases.iter().sum::<u64>(), 3);
+    }
+
+    /// Regression: ties on simulated load must break to the lowest
+    /// instance id no matter how earlier lease/release traffic scrambled
+    /// the free list — placement and utilization metrics must be
+    /// reproducible run-to-run.
+    #[test]
+    fn equal_load_ties_break_to_lowest_instance_id() {
+        let pool = AcceleratorPool::new(4);
+        // Scramble the free list: take all four, release out of order
+        // with *equal* charges so every instance stays tied.
+        let leases: Vec<_> = (0..4).map(|_| pool.lease().unwrap()).collect();
+        let mut leases: Vec<_> = leases.into_iter().collect();
+        // Release 2, 0, 3, 1.
+        for want in [2usize, 0, 3, 1] {
+            let pos = leases.iter().position(|l| l.id() == want).unwrap();
+            leases.remove(pos).release(1.0);
+        }
+        // All tied at 1.0s; the next lease must take instance 0, then 1…
+        let a = pool.lease().unwrap();
+        assert_eq!(a.id(), 0, "tie must break to the lowest id");
+        let b = pool.lease().unwrap();
+        assert_eq!(b.id(), 1);
+        drop((a, b));
+
+        // Same for a gang: lowest ids among the least loaded, ascending.
+        let g = pool.lease_gang(3).unwrap();
+        assert_eq!(g.ids(), &[0, 1, 2]);
+        g.release(2.0);
+        // Now 0/1/2 carry 3.0s, instance 3 carries 1.0s: a 2-gang takes
+        // the least-loaded 3 plus the lowest-id tied instance 0.
+        let g = pool.lease_gang(2).unwrap();
+        assert_eq!(g.ids(), &[0, 3]);
+        g.release(0.0);
+    }
+
+    #[test]
+    fn gang_lease_is_atomic_and_charges_every_member() {
+        let pool = AcceleratorPool::new(4);
+        let g = pool.lease_gang(3).unwrap();
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.ids(), &[0, 1, 2]);
+        // One instance left for singles while the gang runs.
+        let s = pool.lease().unwrap();
+        assert_eq!(s.id(), 3);
+        s.release(1.0);
+        g.release(5.0);
+        let u = pool.utilization();
+        assert_eq!(u.busy_seconds, vec![5.0, 5.0, 5.0, 1.0]);
+        assert_eq!(u.makespan_seconds(), 5.0);
+        // Oversized gangs clamp to the pool rather than deadlocking.
+        let g = pool.lease_gang(9).unwrap();
+        assert_eq!(g.size(), 4);
+        g.release(0.0);
+    }
+
+    /// FIFO grant order: a waiting gang is not starved by singles that
+    /// arrive after it, and the singles still run once the gang got its
+    /// turn — neither side starves the other.
+    #[test]
+    fn waiting_gang_neither_starves_nor_is_starved() {
+        let pool = Arc::new(AcceleratorPool::new(2));
+        let l0 = pool.lease().unwrap();
+        let l1 = pool.lease().unwrap();
+
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        let gang_pool = Arc::clone(&pool);
+        let gang_tx = tx.clone();
+        let gang = std::thread::spawn(move || {
+            let g = gang_pool.lease_gang(2).unwrap();
+            gang_tx.send("gang").unwrap();
+            g.release(1.0);
+        });
+        // Give the gang time to enqueue, then queue a single behind it.
+        std::thread::sleep(Duration::from_millis(30));
+        let single_pool = Arc::clone(&pool);
+        let single_tx = tx.clone();
+        let single = std::thread::spawn(move || {
+            let s = single_pool.lease().unwrap();
+            single_tx.send("single").unwrap();
+            s.release(1.0);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+
+        // One instance frees: the gang (head of the queue) still needs
+        // two, and the single behind it must not jump the line.
+        l0.release(1.0);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "nobody can be served on one free instance while a 2-gang heads the queue"
+        );
+        // Second instance frees: the gang takes both, then the single.
+        l1.release(1.0);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "gang");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "single");
+        gang.join().unwrap();
+        single.join().unwrap();
+        let u = pool.utilization();
+        assert_eq!(
+            u.leases.iter().sum::<u64>(),
+            5,
+            "2 singles + 2-gang + 1 single"
+        );
     }
 
     #[test]
@@ -249,6 +457,10 @@ mod tests {
         let again = pool.lease().expect("instance must come back");
         again.release(2.0);
         assert_eq!(pool.utilization().serial_seconds(), 2.0);
+        {
+            let _gang = pool.lease_gang(1).unwrap();
+        }
+        assert!(pool.lease().is_some(), "dropped gang frees its members");
     }
 
     #[test]
@@ -257,10 +469,16 @@ mod tests {
         let held = pool.lease().unwrap();
         let p2 = std::sync::Arc::clone(&pool);
         let waiter = std::thread::spawn(move || p2.lease().is_none());
-        // Give the waiter time to block, then close.
+        let p3 = std::sync::Arc::clone(&pool);
+        let gang_waiter = std::thread::spawn(move || p3.lease_gang(1).is_none());
+        // Give the waiters time to block, then close.
         std::thread::sleep(std::time::Duration::from_millis(20));
         pool.close();
         assert!(waiter.join().unwrap(), "blocked lease must see the close");
+        assert!(
+            gang_waiter.join().unwrap(),
+            "blocked gang must see the close"
+        );
         drop(held);
         assert!(pool.lease().is_none(), "closed pool stays closed");
     }

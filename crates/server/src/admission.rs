@@ -203,6 +203,7 @@ mod tests {
         QueryRequest::RunUdf {
             udf: "linearR".into(),
             table: "t".into(),
+            shards: None,
         }
     }
 

@@ -25,7 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts};
+use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts};
 use dana::{
     DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport, ExecutionMode,
     FeedKind, MetricKind, PredictReport, SharedPageStreamSource,
@@ -35,6 +35,7 @@ use dana_engine::ModelStore;
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
+use dana_parallel::{evaluate_gang, score_gang_concat, train_gang, ShardPlan};
 use dana_storage::{
     AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
     RuntimeCache, SharedBufferPool, TableEntry,
@@ -185,6 +186,20 @@ impl SystemCore {
         self.pool.reset_stats();
     }
 
+    /// Shared snapshot of a live table's heap — what a query would scan.
+    /// Useful for inspecting materialized prediction tables without
+    /// reaching into the catalog lock.
+    pub fn table_snapshot(&self, table: &str) -> DanaResult<Arc<HeapFile>> {
+        Ok(self.snapshot_table(table)?.1)
+    }
+
+    /// Pages in a table's heap, if the table exists — what the serving
+    /// tier clamps gang sizes against (a shard plan never makes more
+    /// shards than pages, so a lease must not hold more instances).
+    pub fn table_pages(&self, table: &str) -> Option<u32> {
+        self.read().table(table).ok().map(|t| t.page_count)
+    }
+
     pub fn table_names(&self) -> Vec<String> {
         self.read()
             .table_names()
@@ -322,6 +337,255 @@ impl SystemCore {
         )
     }
 
+    // ---- intra-query data parallelism -----------------------------------
+
+    /// Runs a deployed accelerator **gang-parallel** across `shards`
+    /// page-range shards of `table` (`EXECUTE … WITH (shards = k)`): the
+    /// gang's members each stream their own range through the shared
+    /// pool concurrently, train the cached lowered program
+    /// epoch-synchronously, and merge partial models deterministically at
+    /// every epoch boundary (weighted averaging for dense analytics,
+    /// factor-row ownership for LRMF). `shards = 1` is bit-identical to
+    /// [`SystemCore::run_udf`] — models, stats, and timing.
+    ///
+    /// The caller (a server worker) is expected to hold a gang lease of
+    /// matching size on the accelerator pool.
+    pub fn run_udf_sharded(&self, udf: &str, table: &str, shards: u16) -> DanaResult<DanaReport> {
+        let cached = self.accelerator_runtime(udf)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let report = self.run_gang_on_heap(
+            &cached,
+            entry.heap_id,
+            &heap,
+            ExecutionMode::Strider,
+            shards,
+        )?;
+        let cat = self.read();
+        if let Ok(entry) = cat.accelerator(udf) {
+            if !entry.stale {
+                exec::store_trained(entry, &report);
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_gang_on_heap(
+        &self,
+        acc: &CachedAccelerator,
+        heap_id: HeapId,
+        heap: &HeapFile,
+        mode: ExecutionMode,
+        shards: u16,
+    ) -> DanaResult<DanaReport> {
+        let budget = acc.budget;
+        let engine = &acc.engine;
+        let design = engine.design();
+        let access = exec::access_engine_for(heap, budget, &self.fpga);
+        let plan = ShardPlan::new(heap, shards as usize);
+        let feed = FeedKind::for_mode(mode);
+        let mut sources: Vec<SharedPageStreamSource<'_>> = plan
+            .ranges()
+            .iter()
+            .map(|r| {
+                SharedPageStreamSource::with_range(
+                    &self.pool,
+                    &self.disk,
+                    heap,
+                    heap_id,
+                    &access,
+                    feed,
+                    r.start_page,
+                    r.end_page,
+                )
+            })
+            .collect();
+        let outcome = train_gang(engine, &mut sources, exec::initial_models(design))?;
+        let arts: Vec<ShardArtifacts> = sources
+            .into_iter()
+            .zip(&outcome.shard_stats)
+            .map(|(src, stats)| {
+                let (access_stats, io_first) = src.into_stats();
+                ShardArtifacts {
+                    engine_stats: *stats,
+                    access_stats,
+                    io_first,
+                }
+            })
+            .collect();
+        exec::assemble_gang_report(
+            mode,
+            design,
+            budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.frames(),
+            heap,
+            arts,
+            outcome.merge_cycles,
+            outcome.models,
+        )
+    }
+
+    /// Gang-parallel PREDICT: shards score their page ranges
+    /// concurrently; outputs concatenate in shard-index order — source
+    /// page order — so the materialized prediction table is
+    /// **bit-identical to serial PREDICT for every shard count**. Same
+    /// guarded install as [`SystemCore::predict`].
+    pub fn predict_sharded(
+        &self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        shards: u16,
+    ) -> DanaResult<PredictReport> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let (entry, heap) = self.snapshot_table(source)?;
+        if self.read().table(dest).is_ok() {
+            return Err(DanaError::Storage(
+                dana_storage::StorageError::DuplicateName(dest.to_string()),
+            ));
+        }
+        let (predictions, stats, timing, k) =
+            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
+                Ok(score_gang_concat(program, lanes, sources)?)
+            })?;
+        let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
+        {
+            let mut cat = self.write();
+            match cat.table(source) {
+                Ok(t) if t.heap_id == entry.heap_id && !t.stale => {
+                    cat.create_derived_table(dest, out_heap, source)?;
+                }
+                _ => {
+                    return Err(DanaError::Storage(
+                        dana_storage::StorageError::UnknownTable(source.to_string()),
+                    ));
+                }
+            }
+        }
+        Ok(PredictReport {
+            udf: udf.to_string(),
+            source_table: source.to_string(),
+            output_table: dest.to_string(),
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            shards: k,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Gang-parallel EVALUATE: shards fold metric partials concurrently;
+    /// partials combine in shard-index order, the metric finishes once.
+    /// `shards = 1` is bit-identical to [`SystemCore::evaluate`].
+    pub fn evaluate_sharded(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        shards: u16,
+    ) -> DanaResult<EvalReport> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
+        setup.recipe.check_metric(metric)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let (value, stats, timing, k) =
+            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
+                let evals = evaluate_gang(program, lanes, sources, metric)?;
+                let mut partial = dana_infer::MetricPartial::default();
+                for e in &evals {
+                    partial.absorb(e.partial);
+                }
+                let stats: Vec<_> = evals.iter().map(|e| e.stats).collect();
+                Ok((partial.finish(metric)?, stats))
+            })?;
+        Ok(EvalReport {
+            udf: udf.to_string(),
+            table: table.to_string(),
+            metric,
+            value,
+            rows_scored: stats.tuples,
+            lanes: setup.lanes,
+            shards: k,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// Gang-parallel raw scoring (the differential suite's entry point).
+    pub fn score_sharded(&self, udf: &str, table: &str, shards: u16) -> DanaResult<Vec<f32>> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let (predictions, _, _, _) =
+            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
+                Ok(score_gang_concat(program, lanes, sources)?)
+            })?;
+        Ok(predictions)
+    }
+
+    /// The one gang-parallel scoring scan: plan page ranges, open one
+    /// concurrent shared-pool range stream per shard, run `scan`
+    /// (scoring or metric fold) over the gang, and compose the gang
+    /// timing from the critical member. Shared by predict/evaluate/score.
+    fn sharded_scoring_scan<R>(
+        &self,
+        setup: &exec::ScoringSetup,
+        entry: &TableEntry,
+        heap: &HeapFile,
+        shards: u16,
+        scan: impl FnOnce(
+            &dana_infer::ScoringProgram,
+            u16,
+            &mut [SharedPageStreamSource<'_>],
+        ) -> DanaResult<(R, Vec<dana::ScoringStats>)>,
+    ) -> DanaResult<(R, dana::ScoringStats, dana::DanaTiming, u16)> {
+        let mode = ExecutionMode::Strider;
+        let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let plan = ShardPlan::new(heap, shards as usize);
+        let feed = FeedKind::for_mode(mode);
+        let mut sources: Vec<SharedPageStreamSource<'_>> = plan
+            .ranges()
+            .iter()
+            .map(|r| {
+                SharedPageStreamSource::with_range(
+                    &self.pool,
+                    &self.disk,
+                    heap,
+                    entry.heap_id,
+                    &access,
+                    feed,
+                    r.start_page,
+                    r.end_page,
+                )
+            })
+            .collect();
+        let (result, stats) = scan(&setup.program, setup.lanes, &mut sources)?;
+        let arts: Vec<ShardArtifacts> = sources
+            .into_iter()
+            .map(|src| {
+                let (access_stats, io_first) = src.into_stats();
+                ShardArtifacts {
+                    engine_stats: Default::default(),
+                    access_stats,
+                    io_first,
+                }
+            })
+            .collect();
+        let (timing, combined) = exec::assemble_gang_scoring_timing(
+            mode,
+            setup.cached.budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.frames(),
+            heap,
+            &arts,
+            &stats,
+        );
+        Ok((result, combined, timing, plan.shards() as u16))
+    }
+
     /// Snapshot of the accelerator's artifact blob, with the stale check.
     /// (Introspection path — queries use [`SystemCore::accelerator_runtime`].)
     pub fn accelerator_blob(&self, udf: &str) -> DanaResult<ArtifactBlob> {
@@ -446,6 +710,7 @@ impl SystemCore {
             output_table: dest.to_string(),
             rows_scored: stats.tuples,
             lanes: setup.lanes,
+            shards: 1,
             scoring: stats,
             timing,
         })
@@ -486,6 +751,7 @@ impl SystemCore {
             value,
             rows_scored: stats.tuples,
             lanes: setup.lanes,
+            shards: 1,
             scoring: stats,
             timing,
         })

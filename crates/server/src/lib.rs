@@ -31,7 +31,7 @@ pub mod error;
 pub mod server;
 pub mod session;
 
-pub use accel::{AcceleratorPool, Lease, PoolUtilization};
+pub use accel::{AcceleratorPool, GangLease, Lease, PoolUtilization};
 pub use admission::{AdmissionConfig, QueueStats, SchedPolicy};
 pub use core::{EngineCacheStats, SystemCore, SystemCoreConfig};
 pub use error::{ServerError, ServerResult};

@@ -46,7 +46,13 @@ pub enum QueryRequest {
     /// `PREDICT … INTO …`, or `EVALUATE …`.
     Sql(String),
     /// Direct invocation of a deployed UDF (full-Strider mode).
-    RunUdf { udf: String, table: String },
+    /// `shards > 1` runs it gang-parallel on that many pool instances
+    /// (acquired atomically; clamped to the pool size).
+    RunUdf {
+        udf: String,
+        table: String,
+        shards: Option<u16>,
+    },
     /// Ad-hoc compile-and-train in a specific execution mode (the
     /// ablation path; nothing is stored in the catalog).
     TrainSpec {
@@ -60,12 +66,14 @@ pub enum QueryRequest {
         udf: String,
         table: String,
         into: String,
+        shards: Option<u16>,
     },
     /// Score `table` and compute an in-database quality metric.
     Evaluate {
         udf: String,
         table: String,
         metric: Option<MetricKind>,
+        shards: Option<u16>,
     },
 }
 
@@ -96,8 +104,12 @@ impl QueryResponse {
 #[derive(Debug, Clone)]
 pub struct QueryReply {
     pub response: QueryResponse,
-    /// Which accelerator-pool instance ran the query.
+    /// Which accelerator-pool instance ran the query (a gang's first
+    /// member for sharded queries).
     pub accelerator: usize,
+    /// Every pool instance the query's gang held, ascending (one entry
+    /// for serial queries).
+    pub gang: Vec<usize>,
     /// Wall-clock seconds spent waiting in the admission queue.
     pub queue_seconds: f64,
     /// Wall-clock seconds spent executing on the worker.
@@ -278,11 +290,15 @@ impl DanaServer {
     /// SJF's ordering key. Training queries are priced by the deploy-time
     /// engine estimate × epochs; scoring queries by tuple count ×
     /// program length (a single pass — under SJF they overtake long
-    /// training jobs). Unknown or ad-hoc work gets a neutral hint (0),
-    /// which SJF treats as "probably interactive": it runs early, keeping
-    /// the policy conservative rather than starving unknowns.
-    fn cost_hint(&self, request: &QueryRequest) -> f64 {
-        match request {
+    /// training jobs). **Sharded queries divide the estimate by their
+    /// gang size** — a 4-shard gang finishes its scan ~4× sooner, and
+    /// pricing it serially would let SJF wrongly starve it behind
+    /// genuinely shorter singles. Unknown or ad-hoc work gets a neutral
+    /// hint (0), which SJF treats as "probably interactive": it runs
+    /// early, keeping the policy conservative rather than starving
+    /// unknowns.
+    pub fn cost_hint(&self, request: &QueryRequest) -> f64 {
+        let serial = match request {
             QueryRequest::Sql(sql) => match parse_statement(sql) {
                 Ok(Statement::Train(call)) => self.core.estimated_seconds(&call.udf).unwrap_or(0.0),
                 Ok(Statement::Predict(p)) => self
@@ -302,7 +318,8 @@ impl DanaServer {
                 .core
                 .estimated_scoring_seconds(udf, table)
                 .unwrap_or(0.0),
-        }
+        };
+        serial / gang_size(request, self.accels.size(), &self.core) as f64
     }
 
     // ---- observability --------------------------------------------------
@@ -337,8 +354,35 @@ impl Drop for DanaServer {
     }
 }
 
-/// One worker: pop an admitted query, lease an accelerator, execute,
-/// release with the simulated runtime, reply.
+/// The gang size a request calls for, clamped to the pool size **and**
+/// the scanned table's page count (the shard planner never makes more
+/// shards than pages) — the number of instances the worker leases
+/// atomically and the shard count the query actually runs with. They
+/// must agree, or the simulated schedule would charge hardware the
+/// query never used.
+fn gang_size(request: &QueryRequest, pool: usize, core: &SystemCore) -> u16 {
+    let (requested, table) = match request {
+        QueryRequest::Sql(sql) => match parse_statement(sql) {
+            Ok(Statement::Train(c)) => (c.shards, Some(c.table)),
+            Ok(Statement::Predict(p)) => (p.shards, Some(p.table)),
+            Ok(Statement::Evaluate(e)) => (e.shards, Some(e.table)),
+            Err(_) => (None, None),
+        },
+        QueryRequest::RunUdf { shards, table, .. }
+        | QueryRequest::Predict { shards, table, .. }
+        | QueryRequest::Evaluate { shards, table, .. } => (*shards, Some(table.clone())),
+        QueryRequest::TrainSpec { .. } => (None, None),
+    };
+    let mut k = requested.unwrap_or(1).clamp(1, pool.max(1) as u16);
+    if let Some(pages) = table.and_then(|t| core.table_pages(&t)) {
+        k = k.min(dana_parallel::ShardPlan::effective_shards(pages, k as usize) as u16);
+    }
+    k
+}
+
+/// One worker: pop an admitted query, atomically lease its gang (size 1
+/// for serial queries), execute, release every member with the simulated
+/// runtime, reply.
 fn worker_loop(
     core: &SystemCore,
     accels: &AcceleratorPool,
@@ -346,35 +390,61 @@ fn worker_loop(
     sessions: &SessionManager,
 ) {
     while let Some(job) = queue.pop() {
-        let Some(lease) = accels.lease() else {
+        let shards = gang_size(&job.request, accels.size(), core);
+        let Some(lease) = accels.lease_gang(shards as usize) else {
             let _ = job.reply.send(Err(ServerError::ShuttingDown));
             continue;
         };
-        let accelerator = lease.id();
+        let gang = lease.ids().to_vec();
+        let accelerator = gang[0];
         let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
         let started = Instant::now();
         let result: DanaResult<QueryResponse> = match &job.request {
             QueryRequest::Sql(sql) => parse_statement(sql).and_then(|stmt| match stmt {
+                Statement::Train(call) if shards > 1 => core
+                    .run_udf_sharded(&call.udf, &call.table, shards)
+                    .map(QueryResponse::Trained),
                 Statement::Train(call) => core
                     .run_udf(&call.udf, &call.table)
                     .map(QueryResponse::Trained),
+                Statement::Predict(p) if shards > 1 => core
+                    .predict_sharded(&p.udf, &p.table, &p.into, shards)
+                    .map(QueryResponse::Predicted),
                 Statement::Predict(p) => core
                     .predict(&p.udf, &p.table, &p.into)
                     .map(QueryResponse::Predicted),
+                Statement::Evaluate(e) if shards > 1 => core
+                    .evaluate_sharded(&e.udf, &e.table, e.metric, shards)
+                    .map(QueryResponse::Evaluated),
                 Statement::Evaluate(e) => core
                     .evaluate(&e.udf, &e.table, e.metric)
                     .map(QueryResponse::Evaluated),
             }),
-            QueryRequest::RunUdf { udf, table } => {
+            QueryRequest::RunUdf { udf, table, .. } if shards > 1 => core
+                .run_udf_sharded(udf, table, shards)
+                .map(QueryResponse::Trained),
+            QueryRequest::RunUdf { udf, table, .. } => {
                 core.run_udf(udf, table).map(QueryResponse::Trained)
             }
             QueryRequest::TrainSpec { spec, table, mode } => core
                 .train_with_spec(spec, table, *mode)
                 .map(QueryResponse::Trained),
-            QueryRequest::Predict { udf, table, into } => {
-                core.predict(udf, table, into).map(QueryResponse::Predicted)
-            }
-            QueryRequest::Evaluate { udf, table, metric } => core
+            QueryRequest::Predict {
+                udf, table, into, ..
+            } if shards > 1 => core
+                .predict_sharded(udf, table, into, shards)
+                .map(QueryResponse::Predicted),
+            QueryRequest::Predict {
+                udf, table, into, ..
+            } => core.predict(udf, table, into).map(QueryResponse::Predicted),
+            QueryRequest::Evaluate {
+                udf, table, metric, ..
+            } if shards > 1 => core
+                .evaluate_sharded(udf, table, *metric, shards)
+                .map(QueryResponse::Evaluated),
+            QueryRequest::Evaluate {
+                udf, table, metric, ..
+            } => core
                 .evaluate(udf, table, *metric)
                 .map(QueryResponse::Evaluated),
         };
@@ -386,6 +456,7 @@ fn worker_loop(
             .map(|response| QueryReply {
                 response,
                 accelerator,
+                gang,
                 queue_seconds,
                 exec_seconds,
             })

@@ -43,6 +43,25 @@ impl HeapFile {
         self.pages.len() as u64 * self.layout.page_size as u64
     }
 
+    /// Tuples living in the page range `[start, end)`: every heap page
+    /// is full (the layout's capacity) except possibly the last — pure
+    /// arithmetic, no page decode. The shard planner and the range scan
+    /// sources share this, so shard tuple counts always agree with what
+    /// a range scan yields.
+    pub fn tuples_in_page_range(&self, start: u32, end: u32) -> u64 {
+        let pages = self.page_count();
+        let capacity = self.layout.capacity as u64;
+        (start..end.min(pages))
+            .map(|p| {
+                if p + 1 == pages {
+                    self.tuple_count - capacity * (pages as u64 - 1)
+                } else {
+                    capacity
+                }
+            })
+            .sum()
+    }
+
     /// Raw image of page `page_no` (what the disk returns).
     pub fn page_bytes(&self, page_no: u32) -> StorageResult<&[u8]> {
         self.pages

@@ -1,0 +1,483 @@
+//! Intra-query parallelism determinism suite.
+//!
+//! The gang executor's contract, held across the four zoo analytics:
+//!
+//! * the epoch-boundary merge is a pure function of (partials, shard
+//!   indices) — **every completion-order permutation** of partial-model
+//!   arrival yields bit-identical merged models;
+//! * `shards = 1` training is **bit-identical to the serial path** —
+//!   models, engine stats, and simulated timing — for all four zoo
+//!   models across Strider / CpuFed / Tabla, on both the serial `Dana`
+//!   facade and the concurrent `SystemCore`;
+//! * parallel PREDICT materializes **bit-identical prediction tables to
+//!   serial PREDICT for every shard count** (1, 2, 4) — shard outputs
+//!   concatenate in page order and per-tuple scoring math is
+//!   shard-invariant;
+//! * multi-shard training is reproducible run-to-run and still learns.
+
+use dana::prelude::*;
+use dana::ExecutionMode;
+use dana_dsl::zoo::{self, Algorithm, DenseParams, LrmfParams};
+use dana_parallel::{MergeBuffer, MergeSpec, ShardOwnership};
+use dana_storage::page::TupleDirection;
+use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
+
+const PAGE: usize = 8 * 1024;
+
+fn dense_heap(n: usize, d: usize, algo: Algorithm) -> HeapFile {
+    let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.8).collect();
+    let mut b = HeapFileBuilder::new(Schema::training(d), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((k * 11 + i * 5) % 17) as f32 - 8.0) / 8.0)
+            .collect();
+        let s: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let y = match algo {
+            Algorithm::Linear => s,
+            Algorithm::Logistic => (s > 0.0) as u8 as f32,
+            Algorithm::Svm => {
+                if s > 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Algorithm::Lrmf => unreachable!(),
+        };
+        b.insert(&Tuple::training(&x, y)).unwrap();
+    }
+    b.finish()
+}
+
+/// Ratings clustered by user row (`i` ascends with insertion order, the
+/// natural layout of a user-sorted ratings table): page-range shards
+/// then own nearly disjoint `L` rows, the regime factor-row ownership
+/// partitioning is designed for.
+fn rating_heap(n: usize, rows: usize, cols: usize) -> HeapFile {
+    let mut b = HeapFileBuilder::new(Schema::rating(), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let (i, j) = (k * rows / n, (k * 13) % cols);
+        let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
+        b.insert(&Tuple::rating(i as i32, j as i32, r)).unwrap();
+    }
+    b.finish()
+}
+
+fn spec_for(algo: Algorithm, epochs: u32) -> AlgoSpec {
+    match algo {
+        Algorithm::Lrmf => zoo::lrmf(LrmfParams {
+            rows: 24,
+            cols: 18,
+            rank: 6,
+            learning_rate: 0.05,
+            merge_coef: 4,
+            epochs,
+        })
+        .unwrap(),
+        _ => zoo::spec_for(
+            algo,
+            DenseParams {
+                n_features: 10,
+                learning_rate: 0.1,
+                merge_coef: 8,
+                epochs,
+            },
+        )
+        .unwrap(),
+    }
+}
+
+fn heap_for(algo: Algorithm, n: usize) -> HeapFile {
+    match algo {
+        Algorithm::Lrmf => rating_heap(n, 24, 18),
+        _ => dense_heap(n, 10, algo),
+    }
+}
+
+fn fresh_dana() -> Dana {
+    Dana::new(
+        FpgaSpec::vu9p(),
+        BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: PAGE,
+        },
+        DiskModel::ssd(),
+    )
+}
+
+const ZOO: [Algorithm; 4] = [
+    Algorithm::Linear,
+    Algorithm::Logistic,
+    Algorithm::Svm,
+    Algorithm::Lrmf,
+];
+
+const MODES: [ExecutionMode; 3] = [
+    ExecutionMode::Strider,
+    ExecutionMode::CpuFed,
+    ExecutionMode::Tabla,
+];
+
+/// Compiles a zoo spec against its table and returns the engine design
+/// (for merge-spec derivation straight off a *real* deployed design).
+fn compiled_design(algo: Algorithm) -> dana_engine::EngineDesign {
+    let spec = spec_for(algo, 1);
+    let heap = heap_for(algo, 300);
+    let hdfg = dana_hdfg::translate(&spec);
+    let acc = dana_compiler::compile(&dana_compiler::CompileInput {
+        hdfg: &hdfg,
+        fpga: FpgaSpec::vu9p(),
+        layout: *heap.layout(),
+        schema_columns: heap.schema().len(),
+        expected_tuples: heap.tuple_count(),
+    })
+    .unwrap();
+    acc.design.clone()
+}
+
+/// All permutations of `0..n` (n! — used with n = 4), via Heap's
+/// algorithm.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            go(items, k - 1, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    go(&mut items, n, &mut out);
+    out
+}
+
+#[test]
+fn merge_is_bit_identical_for_every_completion_order_permutation() {
+    // Dense (linear regression) design: weighted-average merge.
+    let design = compiled_design(Algorithm::Linear);
+    let spec = MergeSpec::derive(&design).unwrap();
+    let k = 4;
+    let partials: Vec<Vec<Vec<f32>>> = (0..k)
+        .map(|s| {
+            design
+                .models
+                .iter()
+                .map(|m| {
+                    (0..m.elements())
+                        .map(|j| (s as f32 + 1.0) * 0.125 + j as f32 * 0.01)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let weights = [130u64, 70, 101, 99];
+    let base: Vec<Vec<f32>> = design
+        .models
+        .iter()
+        .map(|m| vec![0.0; m.elements()])
+        .collect();
+    let perms = permutations(k);
+    assert_eq!(perms.len(), 24);
+    let mut reference: Option<Vec<Vec<f32>>> = None;
+    for perm in &perms {
+        let mut buf = MergeBuffer::new(&spec, k, base.clone());
+        for &s in perm {
+            buf.submit(s, partials[s].clone(), weights[s]);
+        }
+        let (merged, _) = buf.finish(&[]).unwrap();
+        match &reference {
+            None => reference = Some(merged),
+            Some(r) => assert_eq!(&merged, r, "arrival order {perm:?} changed the dense merge"),
+        }
+    }
+
+    // LRMF design: row-ownership merge, contended rows included.
+    let design = compiled_design(Algorithm::Lrmf);
+    let spec = MergeSpec::derive(&design).unwrap();
+    let partials: Vec<Vec<Vec<f32>>> = (0..k)
+        .map(|s| {
+            design
+                .models
+                .iter()
+                .map(|m| {
+                    (0..m.elements())
+                        .map(|j| s as f32 * 100.0 + j as f32)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let ownership: Vec<ShardOwnership> = (0..k)
+        .map(|s| {
+            let mut own = ShardOwnership::for_spec(&spec);
+            for (mi, bits) in own.per_model.iter_mut() {
+                for (row, b) in bits.iter_mut().enumerate() {
+                    // Overlapping ownership: shard s touches rows where
+                    // (row + s + mi) % 3 != 0 — plenty of contention.
+                    *b = (row + s + *mi) % 3 != 0;
+                }
+            }
+            own
+        })
+        .collect();
+    let base: Vec<Vec<f32>> = design
+        .models
+        .iter()
+        .map(|m| vec![-1.0; m.elements()])
+        .collect();
+    let mut reference: Option<Vec<Vec<f32>>> = None;
+    for perm in &perms {
+        let mut buf = MergeBuffer::new(&spec, k, base.clone());
+        for &s in perm {
+            buf.submit(s, partials[s].clone(), 100);
+        }
+        let (merged, _) = buf.finish(&ownership).unwrap();
+        match &reference {
+            None => reference = Some(merged),
+            Some(r) => assert_eq!(&merged, r, "arrival order {perm:?} changed the LRMF merge"),
+        }
+    }
+}
+
+#[test]
+fn one_shard_training_is_bit_identical_to_serial_across_zoo_and_modes() {
+    for algo in ZOO {
+        for mode in MODES {
+            let spec = spec_for(algo, 4);
+            // Serial reference.
+            let mut db = fresh_dana();
+            db.create_table("t", heap_for(algo, 600)).unwrap();
+            db.prewarm("t").unwrap();
+            let serial = db.train_with_spec(&spec, "t", mode).unwrap();
+            // One-shard gang on a fresh system.
+            let mut db = fresh_dana();
+            db.create_table("t", heap_for(algo, 600)).unwrap();
+            db.prewarm("t").unwrap();
+            let gang = db.train_with_spec_sharded(&spec, "t", mode, 1).unwrap();
+            assert_eq!(
+                gang.models, serial.models,
+                "{algo:?}/{mode:?}: models must be bit-identical"
+            );
+            assert_eq!(gang.engine, serial.engine, "{algo:?}/{mode:?}: stats");
+            assert_eq!(
+                gang.timing, serial.timing,
+                "{algo:?}/{mode:?}: simulated timing"
+            );
+            assert_eq!(gang.shards, 1);
+        }
+    }
+}
+
+#[test]
+fn one_shard_run_udf_matches_serial_on_both_facades() {
+    // Serial Dana facade.
+    let spec = spec_for(Algorithm::Linear, 8);
+    let mut a = fresh_dana();
+    a.create_table("t", heap_for(Algorithm::Linear, 700))
+        .unwrap();
+    a.deploy(&spec, "t").unwrap();
+    let serial = a.run_udf("linearR", "t").unwrap();
+    let mut b = fresh_dana();
+    b.create_table("t", heap_for(Algorithm::Linear, 700))
+        .unwrap();
+    b.deploy(&spec, "t").unwrap();
+    let gang = b.run_udf_sharded("linearR", "t", 1).unwrap();
+    assert_eq!(gang.models, serial.models);
+    assert_eq!(gang.engine, serial.engine);
+    assert_eq!(gang.timing, serial.timing);
+    // Sharded training stores the trained model: PREDICT binds it.
+    assert!(b.predict("linearR", "t", "p").is_ok());
+
+    // Concurrent SystemCore.
+    let core = || {
+        let c = dana_server::SystemCore::new(dana_server::SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: PAGE,
+            },
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        });
+        c.create_table("t", heap_for(Algorithm::Linear, 700))
+            .unwrap();
+        c.deploy(&spec, "t").unwrap();
+        c
+    };
+    let c1 = core();
+    let serial = c1.run_udf("linearR", "t").unwrap();
+    let c2 = core();
+    let gang = c2.run_udf_sharded("linearR", "t", 1).unwrap();
+    assert_eq!(gang.models, serial.models);
+    assert_eq!(gang.engine, serial.engine);
+    assert_eq!(gang.timing, serial.timing);
+    assert_eq!(c2.held_frames(), 0, "gang scans must release every frame");
+}
+
+#[test]
+fn parallel_predict_is_bit_identical_for_every_shard_count() {
+    for algo in ZOO {
+        let spec = spec_for(algo, 6);
+        let udf = spec.name.clone();
+        let mut db = fresh_dana();
+        db.create_table("t", heap_for(algo, 900)).unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db.run_udf(&udf, "t").unwrap();
+
+        let serial = db.predict(&udf, "t", "p_serial").unwrap();
+        let reference: Vec<Vec<f32>> = {
+            let (_, heap) = db.catalog().table_heap("p_serial").unwrap();
+            heap.scan_batch()
+                .unwrap()
+                .rows()
+                .map(|r| r.to_vec())
+                .collect()
+        };
+        for k in [1u16, 2, 4] {
+            let dest = format!("p_{k}");
+            let report = db.predict_sharded(&udf, "t", &dest, k).unwrap();
+            assert_eq!(report.rows_scored, serial.rows_scored, "{algo:?} k={k}");
+            assert_eq!(report.shards, k, "{algo:?}: plan must honor the request");
+            let rows: Vec<Vec<f32>> = {
+                let (_, heap) = db.catalog().table_heap(&dest).unwrap();
+                heap.scan_batch()
+                    .unwrap()
+                    .rows()
+                    .map(|r| r.to_vec())
+                    .collect()
+            };
+            assert_eq!(
+                rows, reference,
+                "{algo:?}: {k}-shard prediction table differs from serial"
+            );
+            // One shard reproduces the serial simulated timing exactly.
+            if k == 1 {
+                assert_eq!(report.timing, serial.timing, "{algo:?}");
+                assert_eq!(report.scoring, serial.scoring, "{algo:?}");
+            }
+        }
+
+        // Sharded EVALUATE: k = 1 bit-identical; k > 1 same metric to
+        // tight f64 tolerance (fold order differs across shards only).
+        let es = db.evaluate(&udf, "t", None).unwrap();
+        let e1 = db.evaluate_sharded(&udf, "t", None, 1).unwrap();
+        assert_eq!(e1.value, es.value, "{algo:?}: 1-shard EVALUATE");
+        assert_eq!(e1.metric, es.metric);
+        for k in [2u16, 4] {
+            let ek = db.evaluate_sharded(&udf, "t", None, k).unwrap();
+            assert!(
+                (ek.value - es.value).abs() <= es.value.abs() * 1e-12 + 1e-12,
+                "{algo:?} k={k}: {} vs {}",
+                ek.value,
+                es.value
+            );
+            assert_eq!(ek.rows_scored, es.rows_scored);
+        }
+    }
+}
+
+#[test]
+fn concurrent_core_scoring_matches_serial_for_every_shard_count() {
+    let spec = spec_for(Algorithm::Logistic, 6);
+    let core = dana_server::SystemCore::new(dana_server::SystemCoreConfig {
+        fpga: FpgaSpec::vu9p(),
+        pool: BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: PAGE,
+        },
+        pool_shards: 4,
+        disk: DiskModel::ssd(),
+    });
+    core.create_table("t", heap_for(Algorithm::Logistic, 800))
+        .unwrap();
+    core.deploy(&spec, "t").unwrap();
+    core.run_udf("logisticR", "t").unwrap();
+    let serial = core
+        .score_with("logisticR", "t", ExecutionMode::Strider, None)
+        .unwrap();
+    for k in [1u16, 2, 4] {
+        let sharded = core.score_sharded("logisticR", "t", k).unwrap();
+        assert_eq!(sharded, serial, "{k}-shard score stream");
+    }
+    // Sharded predict materializes identically through the write-locked
+    // install path.
+    core.predict("logisticR", "t", "ps").unwrap();
+    core.predict_sharded("logisticR", "t", "p4", 4).unwrap();
+    let read = |name: &str| -> Vec<Vec<f32>> {
+        core.table_snapshot(name)
+            .unwrap()
+            .scan_batch()
+            .unwrap()
+            .rows()
+            .map(|r| r.to_vec())
+            .collect()
+    };
+    assert_eq!(read("ps"), read("p4"), "materialized tables identical");
+    assert_eq!(core.held_frames(), 0);
+}
+
+#[test]
+fn multi_shard_training_is_reproducible_and_still_learns() {
+    for algo in ZOO {
+        // LRMF's shared R factor averages contended-row updates across
+        // the gang each epoch (a k-times-smaller effective step), so its
+        // sharded run gets proportionally more epochs.
+        let spec = spec_for(algo, if algo == Algorithm::Lrmf { 40 } else { 10 });
+        let udf = spec.name.clone();
+        let run = || {
+            let mut db = fresh_dana();
+            db.create_table("t", heap_for(algo, 900)).unwrap();
+            db.deploy(&spec, "t").unwrap();
+            let out = db
+                .execute_statement(&format!("EXECUTE dana.{udf}('t') WITH (shards = 4);"))
+                .unwrap();
+            let dana::StatementOutcome::Train(t) = out else {
+                panic!("expected train outcome");
+            };
+            let e = db.evaluate(&udf, "t", None).unwrap();
+            (t.report, e.value)
+        };
+        let (a, loss_a) = run();
+        let (b, loss_b) = run();
+        assert_eq!(
+            a.models, b.models,
+            "{algo:?}: sharded training must be reproducible"
+        );
+        assert_eq!(loss_a, loss_b, "{algo:?}");
+        assert_eq!(a.shards, 4, "{algo:?}: gang actually sharded");
+        assert!(loss_a.is_finite(), "{algo:?}");
+
+        // Loss parity: the data-parallel model lands in the same quality
+        // regime as serial training. The dense zoo problems are convex —
+        // model averaging tracks the serial optimum closely. LRMF is
+        // non-convex and its contended factor rows advance at an
+        // averaged (k-times-smaller) step, so the bound there is "still
+        // clearly learning": far below the no-model baseline (predicting
+        // 0 for every rating ≈ the rating RMS, ~2.6 on this data).
+        let mut db = fresh_dana();
+        db.create_table("t", heap_for(algo, 900)).unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db.run_udf(&udf, "t").unwrap();
+        let serial_loss = db.evaluate(&udf, "t", None).unwrap().value;
+        match algo {
+            Algorithm::Lrmf => assert!(
+                loss_a < 1.0,
+                "{algo:?}: sharded RMSE {loss_a} is not meaningfully below the ~2.6 baseline"
+            ),
+            _ => {
+                let (worse, better) = (loss_a.max(serial_loss), loss_a.min(serial_loss));
+                assert!(
+                    (worse - better).abs() <= 0.35 * better.abs() + 0.15,
+                    "{algo:?}: sharded loss {loss_a} too far from serial {serial_loss}"
+                );
+            }
+        }
+    }
+}

@@ -193,6 +193,7 @@ fn mixed_ddl_query_drop_stress_leaks_nothing() {
                             QueryRequest::RunUdf {
                                 udf: uname.clone(),
                                 table: tname.clone(),
+                                shards: None,
                             },
                         )
                         .expect("private query");
@@ -220,6 +221,7 @@ fn mixed_ddl_query_drop_stress_leaks_nothing() {
                         QueryRequest::RunUdf {
                             udf: uname.clone(),
                             table: tname.clone(),
+                            shards: None,
                         },
                     ) {
                         Err(ServerError::Dana(DanaError::StaleAccelerator {
@@ -279,6 +281,7 @@ fn drop_while_scanning_leaves_no_orphan_pages() {
                 QueryRequest::RunUdf {
                     udf: "victimR".into(),
                     table: "t".into(),
+                    shards: None,
                 },
             )
             .unwrap()
@@ -336,6 +339,7 @@ fn admission_control_sheds_overload() {
             QueryRequest::RunUdf {
                 udf: "patientR".into(),
                 table: "t".into(),
+                shards: None,
             },
         ) {
             Ok(t) => tickets.push(t),
@@ -392,6 +396,7 @@ fn sjf_lets_cheap_queries_overtake() {
             QueryRequest::RunUdf {
                 udf: "bigR".into(),
                 table: "big".into(),
+                shards: None,
             },
         )
         .unwrap();
@@ -401,6 +406,7 @@ fn sjf_lets_cheap_queries_overtake() {
             QueryRequest::RunUdf {
                 udf: "bigR".into(),
                 table: "big".into(),
+                shards: None,
             },
         )
         .unwrap();
@@ -410,6 +416,7 @@ fn sjf_lets_cheap_queries_overtake() {
             QueryRequest::RunUdf {
                 udf: "smallR".into(),
                 table: "small".into(),
+                shards: None,
             },
         )
         .unwrap();
@@ -506,6 +513,7 @@ fn predict_and_evaluate_flow_through_the_server() {
             udf: "logisticR".into(),
             table: "t".into(),
             into: "scores".into(),
+            shards: None,
         },
     ) {
         Err(ServerError::Dana(DanaError::ModelNotTrained { .. })) => {}
@@ -545,6 +553,7 @@ fn predict_and_evaluate_flow_through_the_server() {
                 udf: "logisticR".into(),
                 table: "scores".into(),
                 metric: None,
+                shards: None,
             },
         )
         .unwrap();
@@ -602,6 +611,7 @@ fn drop_while_scoring_is_typed_and_leaves_no_orphans() {
             udf: "logisticR".into(),
             table: "t".into(),
             into: "pre_drop_scores".into(),
+            shards: None,
         },
     )
     .unwrap();
@@ -615,6 +625,7 @@ fn drop_while_scoring_is_typed_and_leaves_no_orphans() {
                     udf: "logisticR".into(),
                     table: "t".into(),
                     into: format!("racing_{i}"),
+                    shards: None,
                 },
             )
             .unwrap()
@@ -653,6 +664,7 @@ fn drop_while_scoring_is_typed_and_leaves_no_orphans() {
             udf: "logisticR".into(),
             table: "pre_drop_scores".into(),
             metric: None,
+            shards: None,
         },
     ) {
         Err(ServerError::Dana(
@@ -672,4 +684,198 @@ fn drop_while_scoring_is_typed_and_leaves_no_orphans() {
     assert_eq!(srv.core().resident_pages(), 0, "orphan pages survived");
     let _ = installed;
     srv.shutdown();
+}
+
+/// Intra-query parallelism under load: a 4-shard gang submitted into a
+/// stream of single-instance queries on a 4-instance pool, under SJF.
+/// The FIFO pool grant discipline means the gang is neither starved by
+/// the singles (its turn comes) nor starves them (they run after it) —
+/// every ticket completes, the gang holds four distinct instances, and
+/// its trained model is bit-identical to training the same shards
+/// directly on the shared core.
+#[test]
+fn four_shard_gang_neither_starves_nor_is_starved_under_sjf() {
+    let srv = server(4, SchedPolicy::Sjf, 1024);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    srv.create_table("t", generate(&w, 32 * 1024, 33).unwrap().heap)
+        .unwrap();
+    srv.prewarm("t").unwrap();
+    srv.deploy(&w.spec(), "t").unwrap();
+
+    // Admission cost hints divide by the gang size: a 4-shard gang must
+    // be priced at a quarter of the serial estimate, so SJF does not
+    // misfile it behind genuinely shorter singles.
+    let serial_hint = srv.cost_hint(&QueryRequest::RunUdf {
+        udf: "logisticR".into(),
+        table: "t".into(),
+        shards: None,
+    });
+    let gang_hint = srv.cost_hint(&QueryRequest::RunUdf {
+        udf: "logisticR".into(),
+        table: "t".into(),
+        shards: Some(4),
+    });
+    assert!(serial_hint > 0.0);
+    assert!(
+        (gang_hint - serial_hint / 4.0).abs() < serial_hint * 1e-12,
+        "gang hint {gang_hint} must be serial {serial_hint} / 4"
+    );
+    // The SQL front door prices the WITH clause the same way.
+    let sql_gang_hint = srv.cost_hint(&QueryRequest::Sql(
+        "SELECT * FROM dana.logisticR('t') WITH (shards = 4);".into(),
+    ));
+    assert!((sql_gang_hint - gang_hint).abs() < serial_hint * 1e-12);
+
+    // Overload mix: singles before, gangs in the middle, singles after —
+    // all from concurrent clients. Everything must complete.
+    let results = crossbeam::thread::scope(|s| {
+        let srv = &srv;
+        let mut handles = Vec::new();
+        for c in 0..6 {
+            handles.push(s.spawn(move |_| {
+                let session = srv.open_session(&format!("single-pre-{c}"));
+                let reply = srv
+                    .call(
+                        session,
+                        QueryRequest::RunUdf {
+                            udf: "logisticR".into(),
+                            table: "t".into(),
+                            shards: None,
+                        },
+                    )
+                    .expect("single query must complete");
+                ("single", reply)
+            }));
+        }
+        for c in 0..3 {
+            handles.push(s.spawn(move |_| {
+                let session = srv.open_session(&format!("gang-{c}"));
+                let reply = srv
+                    .call(
+                        session,
+                        QueryRequest::RunUdf {
+                            udf: "logisticR".into(),
+                            table: "t".into(),
+                            shards: Some(4),
+                        },
+                    )
+                    .expect("gang query must complete");
+                ("gang", reply)
+            }));
+        }
+        for c in 0..6 {
+            handles.push(s.spawn(move |_| {
+                let session = srv.open_session(&format!("single-post-{c}"));
+                let reply = srv
+                    .call(
+                        session,
+                        QueryRequest::Sql("EXECUTE dana.logisticR('t') WITH (shards = 2);".into()),
+                    )
+                    .expect("2-gang query must complete");
+                ("pair", reply)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+
+    let mut singles = 0;
+    let mut gangs = 0;
+    let mut pairs = 0;
+    for (kind, reply) in &results {
+        match *kind {
+            "single" => {
+                singles += 1;
+                assert_eq!(reply.gang.len(), 1);
+            }
+            "gang" => {
+                gangs += 1;
+                assert_eq!(reply.gang.len(), 4, "gang must hold 4 instances");
+                let mut ids = reply.gang.clone();
+                ids.dedup();
+                assert_eq!(ids.len(), 4, "gang members must be distinct");
+                assert_eq!(reply.report().shards, 4);
+            }
+            "pair" => {
+                pairs += 1;
+                assert_eq!(reply.gang.len(), 2);
+                assert_eq!(reply.report().shards, 2);
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert_eq!((singles, gangs, pairs), (6, 3, 6));
+
+    // Gang-trained and serial-trained models agree with the shared
+    // core's own sharded run (training is deterministic per shard count).
+    let gang_models = results
+        .iter()
+        .find(|(k, _)| *k == "gang")
+        .map(|(_, r)| r.report().models.clone())
+        .unwrap();
+    let direct = srv.core().run_udf_sharded("logisticR", "t", 4).unwrap();
+    assert_eq!(gang_models, direct.models, "gang training is deterministic");
+
+    let util = srv.shutdown();
+    assert!(
+        util.leases.iter().all(|&l| l > 0),
+        "every instance served work: {:?}",
+        util.leases
+    );
+    // 6 singles + 3×4-member gangs + 6×2-member gangs. (The direct
+    // `core()` run above bypasses the pool — no lease.)
+    assert_eq!(util.leases.iter().sum::<u64>(), 6 + 3 * 4 + 6 * 2);
+}
+
+/// A gang lease must never hold more instances than the shard plan has
+/// shards: a one-page table requested `WITH (shards = 4)` runs — and
+/// leases — a single instance, so utilization metrics never charge
+/// phantom-busy hardware.
+#[test]
+fn gang_size_clamps_to_the_tables_page_count() {
+    let srv = server(4, SchedPolicy::Fifo, 64);
+    // Tiny table: one 32 KB page.
+    let mut b = dana_storage::HeapFileBuilder::new(
+        dana_storage::Schema::training(8),
+        32 * 1024,
+        dana_storage::page::TupleDirection::Ascending,
+    )
+    .unwrap();
+    for k in 0..40 {
+        let x: Vec<f32> = (0..8).map(|i| ((k + i) % 5) as f32 / 5.0).collect();
+        b.insert(&Tuple::training(&x, x.iter().sum())).unwrap();
+    }
+    let heap = b.finish();
+    assert_eq!(heap.page_count(), 1, "test needs a one-page table");
+    srv.create_table("tiny", heap).unwrap();
+    let spec = dana_dsl::zoo::linear_regression(dana_dsl::zoo::DenseParams {
+        n_features: 8,
+        learning_rate: 0.1,
+        merge_coef: 8,
+        epochs: 1,
+    })
+    .unwrap();
+    srv.deploy(&spec, "tiny").unwrap();
+
+    let session = srv.open_session("clamp");
+    let reply = srv
+        .call(
+            session,
+            QueryRequest::Sql("EXECUTE dana.linearR('tiny') WITH (shards = 4);".into()),
+        )
+        .unwrap();
+    assert_eq!(reply.gang.len(), 1, "lease must match the effective plan");
+    assert_eq!(reply.report().shards, 1);
+    let util = srv.shutdown();
+    assert_eq!(
+        util.busy_seconds.iter().filter(|&&b| b > 0.0).count(),
+        1,
+        "only one instance may be charged: {:?}",
+        util.busy_seconds
+    );
 }
