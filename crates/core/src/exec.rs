@@ -15,14 +15,19 @@ use std::any::Any;
 use std::sync::Arc;
 
 use dana_compiler::{CompiledAccelerator, PerfEstimate};
-use dana_engine::{EngineDesign, EngineStats, ExecutionEngine, LoweredProgram, ModelStore};
+use dana_engine::{
+    BackendKind, BackendRun, CpuBackend, EngineDesign, EngineStats, ExecutionEngine, FpgaBackend,
+    LoweredProgram, ModelStore,
+};
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
 use dana_infer::{ScoringProgram, ScoringRecipe, ScoringStats};
 use dana_ml::CpuModel;
 use dana_storage::{AcceleratorEntry, DiskModel, HeapFile};
 use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
 
+use crate::advisor::{self, BackendChoice, HardwareProfile, StrategyComparison, Workload};
 use crate::error::{DanaError, DanaResult};
+use crate::query::Statement;
 use crate::report::{DanaReport, DanaTiming, Seconds};
 use crate::runtime::{compose, EpochCosts, ExecutionMode};
 
@@ -85,18 +90,42 @@ pub struct CachedAccelerator {
     /// The deploy-time scoring recipe, cached beside the training engine
     /// so PREDICT/EVALUATE never re-derive (or re-parse the blob for) it.
     pub scoring: Option<ScoringRecipe>,
+    /// The simulated-FPGA execution backend over `engine`, cached so the
+    /// hot path never re-wraps per query.
+    pub fpga: Arc<FpgaBackend>,
+    /// The native CPU execution backend over the same lowered program.
+    pub cpu: Arc<CpuBackend>,
 }
 
 impl CachedAccelerator {
+    pub fn new(
+        engine: Arc<ExecutionEngine>,
+        budget: ResourceBudget,
+        estimate: PerfEstimate,
+        scoring: Option<ScoringRecipe>,
+    ) -> CachedAccelerator {
+        CachedAccelerator {
+            fpga: Arc::new(FpgaBackend::new(Arc::clone(&engine))),
+            cpu: Arc::new(CpuBackend::new(Arc::clone(&engine))),
+            engine,
+            budget,
+            estimate,
+            scoring,
+        }
+    }
+
     pub fn from_compiled(
         acc: &CompiledAccelerator,
         scoring: Option<ScoringRecipe>,
     ) -> CachedAccelerator {
-        CachedAccelerator {
-            engine: Arc::clone(&acc.engine),
-            budget: acc.budget,
-            estimate: acc.estimate,
-            scoring,
+        CachedAccelerator::new(Arc::clone(&acc.engine), acc.budget, acc.estimate, scoring)
+    }
+
+    /// The cached backend instance for a substrate.
+    pub fn backend(&self, kind: BackendKind) -> Arc<dyn dana_engine::ExecutionBackend> {
+        match kind {
+            BackendKind::Fpga => Arc::clone(&self.fpga) as _,
+            BackendKind::Cpu => Arc::clone(&self.cpu) as _,
         }
     }
 }
@@ -129,12 +158,12 @@ pub fn cached_accelerator(entry: &AcceleratorEntry) -> DanaResult<(Arc<CachedAcc
     }
     let blob = ArtifactBlob::decode(&entry.design_blob)?;
     let engine = Arc::new(ExecutionEngine::from_artifact(blob.design, blob.lowered)?);
-    let cached = Arc::new(CachedAccelerator {
+    let cached = Arc::new(CachedAccelerator::new(
         engine,
-        budget: blob.budget,
-        estimate: blob.estimate,
-        scoring: blob.scoring,
-    });
+        blob.budget,
+        blob.estimate,
+        blob.scoring,
+    ));
     entry
         .runtime
         .set(Arc::clone(&cached) as Arc<dyn Any + Send + Sync>);
@@ -295,10 +324,147 @@ pub fn assemble_report(
         converged_early: stats.converged_early,
         num_threads: design.num_threads,
         shards: 1,
+        backend: BackendKind::Fpga,
         timing,
         engine: stats,
         access: access_stats,
     }
+}
+
+/// Composes a finished **native CPU** training run into a [`DanaReport`]:
+/// no cycle-model composition at all — the timing is the stopwatch the
+/// backend measured ([`DanaTiming::wall_only`]), every simulated slot
+/// stays zero, and the report is tagged [`BackendKind::Cpu`]. Models and
+/// engine counters are the FPGA tier's bit-identical twins.
+pub fn assemble_cpu_report(
+    design: &EngineDesign,
+    run: BackendRun,
+    access_stats: AccessStats,
+    store: ModelStore,
+) -> DanaReport {
+    let model_names = design.models.iter().map(|m| m.name.clone()).collect();
+    DanaReport {
+        models: store.into_values(),
+        model_names,
+        epochs_run: run.stats.epochs_run,
+        converged_early: run.stats.converged_early,
+        num_threads: design.num_threads,
+        shards: 1,
+        backend: BackendKind::Cpu,
+        timing: DanaTiming::wall_only(run.wall_seconds.unwrap_or(0.0)),
+        engine: run.stats,
+        access: access_stats,
+    }
+}
+
+// ---- the backend advisor (shared dispatch) ------------------------------
+
+/// The typed conflict between a gang and the CPU tier: intra-query
+/// parallelism (shards > 1) is accelerator-side only.
+pub fn gang_needs_fpga() -> DanaError {
+    DanaError::Query(
+        "backend = cpu cannot run a gang: intra-query parallelism (shards > 1) \
+         is FPGA-only — drop the shards option or use backend = fpga"
+            .to_string(),
+    )
+}
+
+/// The advisor's workload shape for one statement against a deployed
+/// accelerator: rows from the catalog's tuple count, compute shape from
+/// the cached lowering — no data is touched. Training statements price
+/// the full epoch schedule; scoring statements (PREDICT/EVALUATE) price
+/// one forward pass per tuple on both tiers.
+pub fn statement_workload(cached: &CachedAccelerator, rows: u64, stmt: &Statement) -> Workload {
+    let design = cached.engine.design();
+    let lowered = cached.engine.lowered();
+    match stmt {
+        Statement::Train(_) | Statement::Explain(_) => Workload {
+            rows,
+            epochs: design.convergence.max_epochs(),
+            threads: design.num_threads,
+            cycles_per_group: cached
+                .engine
+                .estimated_batch_cycles(design.num_threads as usize),
+            lane_ops_per_tuple: lowered.per_tuple_lane_ops(),
+            ops_per_group: lowered.per_group_ops(),
+        },
+        _ => {
+            let per_tuple = cached
+                .scoring
+                .as_ref()
+                .map(|r| r.per_tuple_cycles())
+                .unwrap_or_else(|| lowered.per_tuple_lane_ops());
+            Workload {
+                rows,
+                epochs: 1,
+                threads: design.num_threads,
+                cycles_per_group: per_tuple,
+                lane_ops_per_tuple: per_tuple,
+                ops_per_group: 0,
+            }
+        }
+    }
+}
+
+/// The `WITH (backend = …)` request and shard count a statement carries.
+fn statement_request(stmt: &Statement) -> DanaResult<(BackendChoice, Option<u16>)> {
+    match stmt {
+        Statement::Train(c) => Ok((c.backend, c.shards)),
+        Statement::Predict(p) => Ok((p.backend, p.shards)),
+        Statement::Evaluate(e) => Ok((e.backend, e.shards)),
+        Statement::Explain(_) => Err(DanaError::Query("EXPLAIN cannot be nested".to_string())),
+    }
+}
+
+/// Prices a statement on every backend without running it — the
+/// `EXPLAIN` core shared by the serial facade and the serving tier. A
+/// gang (shards > 1) pins the FPGA tier; CPU + gang is a typed conflict.
+pub fn explain_statement(
+    profile: &HardwareProfile,
+    cached: &CachedAccelerator,
+    rows: u64,
+    stmt: &Statement,
+) -> DanaResult<StrategyComparison> {
+    let (requested, shards) = statement_request(stmt)?;
+    let requested = match (shards, requested) {
+        (Some(k), BackendChoice::Cpu) if k > 1 => return Err(gang_needs_fpga()),
+        (Some(k), BackendChoice::Auto) if k > 1 => BackendChoice::Fpga,
+        _ => requested,
+    };
+    let workload = statement_workload(cached, rows, stmt);
+    let statement = match stmt {
+        Statement::Train(c) => format!("EXECUTE {} ON {}", c.udf, c.table),
+        Statement::Predict(p) => format!("PREDICT {} ON {} INTO {}", p.udf, p.table, p.into),
+        Statement::Evaluate(e) => format!("EVALUATE {} ON {}", e.udf, e.table),
+        Statement::Explain(_) => unreachable!("rejected by statement_request"),
+    };
+    Ok(advisor::advise(profile, &workload, requested, statement))
+}
+
+/// Resolves the substrate one statement runs on: a `WITH (backend = …)`
+/// override wins; `auto` asks the advisor; a gang (shards > 1) pins the
+/// FPGA tier, and forcing CPU alongside one is a typed error.
+pub fn resolve_backend(
+    profile: &HardwareProfile,
+    cached: &CachedAccelerator,
+    rows: u64,
+    stmt: &Statement,
+) -> DanaResult<BackendKind> {
+    let (requested, shards) = statement_request(stmt)?;
+    if shards.is_some_and(|k| k > 1) {
+        return match requested {
+            BackendChoice::Cpu => Err(gang_needs_fpga()),
+            _ => Ok(BackendKind::Fpga),
+        };
+    }
+    Ok(match requested {
+        BackendChoice::Fpga => BackendKind::Fpga,
+        BackendChoice::Cpu => BackendKind::Cpu,
+        BackendChoice::Auto => {
+            let workload = statement_workload(cached, rows, stmt);
+            advisor::advise(profile, &workload, BackendChoice::Auto, String::new()).chosen
+        }
+    })
 }
 
 /// The per-epoch cost inputs every streamed scan shares (training and
@@ -495,6 +661,7 @@ pub fn assemble_gang_report(
         converged_early: stats.converged_early,
         num_threads: design.num_threads,
         shards: shard_count,
+        backend: BackendKind::Fpga,
         timing,
         engine: stats,
         access,

@@ -42,6 +42,7 @@
 //! assert!(out.report.timing.total_seconds > 0.0);
 //! ```
 
+pub mod advisor;
 pub mod analytic;
 pub mod error;
 pub mod exec;
@@ -51,10 +52,12 @@ pub mod report;
 pub mod runtime;
 pub mod source;
 
+pub use advisor::{BackendChoice, BackendOption, HardwareProfile, StrategyComparison, Workload};
 pub use analytic::{
     analytic_dana, analytic_dana_threads, analytic_external, analytic_greenplum, analytic_madlib,
     compile_workload, AnalyticTiming, SystemParams,
 };
+pub use dana_engine::{BackendKind, CpuBackend, ExecutionBackend, FpgaBackend};
 pub use dana_infer::{MetricKind, ScoringRecipe, ScoringStats};
 pub use dana_parallel::{ParallelError, ShardPlan, ShardRange};
 pub use error::{DanaError, DanaResult};
@@ -69,11 +72,13 @@ pub use source::{FeedKind, PageStreamSource, SharedPageStreamSource};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use crate::advisor::{BackendChoice, HardwareProfile, StrategyComparison};
     pub use crate::pipeline::{Dana, DeployInfo};
     pub use crate::report::{DanaReport, DanaTiming, QueryOutcome};
     pub use crate::runtime::ExecutionMode;
     pub use crate::{DanaError, DanaResult};
     pub use dana_dsl::{parse_udf, AlgoBuilder, AlgoSpec, MergeOp};
+    pub use dana_engine::BackendKind;
     pub use dana_fpga::FpgaSpec;
     pub use dana_ml::{Algorithm, TrainConfig};
     pub use dana_storage::{BufferPoolConfig, DiskModel, HeapFile, Schema, Tuple};

@@ -15,7 +15,7 @@
 use dana_compiler::{
     compile, compile_with_threads, CompileInput, CompiledAccelerator, PerfEstimate,
 };
-use dana_engine::{EngineError, ModelStore};
+use dana_engine::{BackendKind, EngineError, ExecutionBackend, ModelStore};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_infer::MetricKind;
@@ -27,11 +27,12 @@ use dana_storage::{
 };
 use dana_strider::{disassemble, AccessEngine, AccessStats};
 
+use crate::advisor::{BackendChoice, HardwareProfile, StrategyComparison};
 use crate::error::{DanaError, DanaResult};
 use crate::exec::{self, ArtifactBlob, RunArtifacts, ShardArtifacts};
-use crate::query::{parse_query, parse_statement, Statement};
+use crate::query::{parse_query, parse_statement, QueryCall, Statement};
 use crate::report::{
-    DanaReport, EvalReport, PredictReport, QueryOutcome, Seconds, StatementOutcome,
+    DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, Seconds, StatementOutcome,
 };
 use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
@@ -72,16 +73,27 @@ pub struct Dana {
     disk: DiskModel,
     fpga: FpgaSpec,
     cpu: CpuModel,
+    /// Per-backend throughput estimates the backend advisor prices
+    /// `backend = auto` queries against.
+    profile: HardwareProfile,
 }
 
 impl Dana {
     pub fn new(fpga: FpgaSpec, pool: BufferPoolConfig, disk: DiskModel) -> Dana {
+        // The default system keeps the paper's behavior: every query
+        // offloads (threshold 0 — DAnA has no CPU tier). Calibrating the
+        // advisor, or installing a profile without a manual threshold,
+        // enables the cost-based choice for `backend = auto`.
+        let profile = HardwareProfile::default()
+            .with_clock_hz(fpga.clock.hz)
+            .with_offload_threshold(Some(0));
         Dana {
             catalog: Catalog::new(),
             pool: BufferPool::new(pool),
             disk,
             fpga,
             cpu: CpuModel::i7_6700(),
+            profile,
         }
     }
 
@@ -101,6 +113,25 @@ impl Dana {
 
     pub fn fpga(&self) -> &FpgaSpec {
         &self.fpga
+    }
+
+    /// The backend advisor's hardware profile.
+    pub fn hardware_profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// Replaces the advisor's hardware profile (tests pin decisions with
+    /// synthetic profiles; operators can set a manual offload threshold).
+    pub fn set_hardware_profile(&mut self, profile: HardwareProfile) {
+        self.profile = profile;
+    }
+
+    /// Calibrates the advisor's CPU lane rate with the one-time
+    /// microbench on this host and enables the break-even model for
+    /// `backend = auto` (clearing the default always-offload threshold).
+    pub fn calibrate_backend_advisor(&mut self) {
+        self.profile.cpu_lane_ops_per_second = dana_engine::calibrate_cpu_lane_rate();
+        self.profile.offload_threshold_rows = None;
     }
 
     pub fn pool_stats(&self) -> dana_storage::BufferPoolStats {
@@ -214,13 +245,11 @@ impl Dana {
     }
 
     /// Executes `SELECT * FROM dana.<udf>('<table>');` (or the same with
-    /// `WITH (shards = k)`, routing through the gang-parallel path).
+    /// a `WITH (shards = k, backend = …)` clause, routing through the
+    /// gang-parallel path or the chosen execution backend).
     pub fn execute(&mut self, sql: &str) -> DanaResult<QueryOutcome> {
         let call = parse_query(sql)?;
-        let report = match call.shards {
-            Some(k) => self.run_udf_sharded(&call.udf, &call.table, k)?,
-            None => self.run_udf(&call.udf, &call.table)?,
-        };
+        let report = self.run_train_call(&call)?;
         Ok(QueryOutcome {
             udf: call.udf,
             table: call.table,
@@ -229,29 +258,127 @@ impl Dana {
     }
 
     /// Executes any front-door statement: `SELECT … FROM dana.<udf>(…)`
-    /// (train), `PREDICT … INTO …` (score + materialize), or
-    /// `EVALUATE …` (score + metric).
+    /// (train), `PREDICT … INTO …` (score + materialize), `EVALUATE …`
+    /// (score + metric), or `EXPLAIN <stmt>` (price the statement on
+    /// every backend without running it).
     pub fn execute_statement(&mut self, sql: &str) -> DanaResult<StatementOutcome> {
         match parse_statement(sql)? {
             Statement::Train(call) => {
-                let report = match call.shards {
-                    Some(k) => self.run_udf_sharded(&call.udf, &call.table, k)?,
-                    None => self.run_udf(&call.udf, &call.table)?,
-                };
+                let report = self.run_train_call(&call)?;
                 Ok(StatementOutcome::Train(QueryOutcome {
                     udf: call.udf,
                     table: call.table,
                     report,
                 }))
             }
-            Statement::Predict(p) => Ok(StatementOutcome::Predict(match p.shards {
-                Some(k) => self.predict_sharded(&p.udf, &p.table, &p.into, k)?,
-                None => self.predict(&p.udf, &p.table, &p.into)?,
-            })),
-            Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(match e.shards {
-                Some(k) => self.evaluate_sharded(&e.udf, &e.table, e.metric, k)?,
-                None => self.evaluate(&e.udf, &e.table, e.metric)?,
-            })),
+            Statement::Predict(p) => {
+                let backend = self.resolve_backend_for(&Statement::Predict(p.clone()))?;
+                Ok(StatementOutcome::Predict(match (p.shards, backend) {
+                    (Some(k), _) if k > 1 => self.predict_sharded(&p.udf, &p.table, &p.into, k)?,
+                    (_, BackendKind::Cpu) => self.predict_cpu(&p.udf, &p.table, &p.into)?,
+                    _ => self.predict(&p.udf, &p.table, &p.into)?,
+                }))
+            }
+            Statement::Evaluate(e) => {
+                let backend = self.resolve_backend_for(&Statement::Evaluate(e.clone()))?;
+                Ok(StatementOutcome::Evaluate(match (e.shards, backend) {
+                    (Some(k), _) if k > 1 => {
+                        self.evaluate_sharded(&e.udf, &e.table, e.metric, k)?
+                    }
+                    (_, BackendKind::Cpu) => self.evaluate_cpu(&e.udf, &e.table, e.metric)?,
+                    _ => self.evaluate(&e.udf, &e.table, e.metric)?,
+                }))
+            }
+            Statement::Explain(inner) => Ok(StatementOutcome::Explain(self.explain(&inner)?)),
+        }
+    }
+
+    /// Runs one parsed training call on the substrate its `WITH` clause
+    /// (or the advisor) picked: gang queries stay on the FPGA tier, CPU
+    /// queries bypass the cycle model entirely.
+    fn run_train_call(&mut self, call: &QueryCall) -> DanaResult<DanaReport> {
+        let backend = self.resolve_backend_for(&Statement::Train(call.clone()))?;
+        match (call.shards, backend) {
+            (Some(k), _) if k > 1 => self.run_udf_sharded(&call.udf, &call.table, k),
+            (Some(k), BackendKind::Fpga) => self.run_udf_sharded(&call.udf, &call.table, k),
+            (_, BackendKind::Cpu) => self.run_udf_cpu(&call.udf, &call.table),
+            (None, BackendKind::Fpga) => self.run_udf(&call.udf, &call.table),
+        }
+    }
+
+    // ---- the backend advisor --------------------------------------------
+
+    /// Prices a parsed statement on every backend without running it —
+    /// the `EXPLAIN` entry point. Pass the *inner* statement (the parser
+    /// already rejects nested EXPLAIN).
+    pub fn explain(&mut self, stmt: &Statement) -> DanaResult<StrategyComparison> {
+        let (cached, rows) = self.advisor_inputs(stmt)?;
+        exec::explain_statement(&self.profile, &cached, rows, stmt)
+    }
+
+    /// Parses and explains one statement (`EXPLAIN`'s string front door).
+    pub fn explain_sql(&mut self, sql: &str) -> DanaResult<StrategyComparison> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Explain(inner) => *inner,
+            other => other,
+        };
+        self.explain(&stmt)
+    }
+
+    /// The advisor's inputs for a statement: the cached accelerator
+    /// runtime (stale-checked) and the catalog's tuple count — no data is
+    /// touched.
+    fn advisor_inputs(
+        &self,
+        stmt: &Statement,
+    ) -> DanaResult<(std::sync::Arc<exec::CachedAccelerator>, u64)> {
+        let (udf, table) = match stmt {
+            Statement::Train(c) => (&c.udf, &c.table),
+            Statement::Predict(p) => (&p.udf, &p.table),
+            Statement::Evaluate(e) => (&e.udf, &e.table),
+            Statement::Explain(_) => {
+                return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+        };
+        let entry = self.catalog.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, _built) = exec::cached_accelerator(entry)?;
+        let rows = self.catalog.live_table(table)?.tuple_count;
+        Ok((cached, rows))
+    }
+
+    /// Resolves the substrate one statement runs on: a `WITH (backend=…)`
+    /// override wins; `auto` asks the advisor; a gang (shards > 1) pins
+    /// the FPGA tier, and forcing CPU alongside one is a typed error.
+    fn resolve_backend_for(&self, stmt: &Statement) -> DanaResult<BackendKind> {
+        // Gang rules and explicit overrides resolve without touching the
+        // catalog; only `auto` on a serial statement prices the workload.
+        let (requested, shards) = match stmt {
+            Statement::Train(c) => (c.backend, c.shards),
+            Statement::Predict(p) => (p.backend, p.shards),
+            Statement::Evaluate(e) => (e.backend, e.shards),
+            Statement::Explain(_) => {
+                return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+        };
+        if shards.is_some_and(|k| k > 1) {
+            return match requested {
+                BackendChoice::Cpu => Err(exec::gang_needs_fpga()),
+                _ => Ok(BackendKind::Fpga),
+            };
+        }
+        match requested {
+            BackendChoice::Fpga => Ok(BackendKind::Fpga),
+            BackendChoice::Cpu => Ok(BackendKind::Cpu),
+            BackendChoice::Auto => {
+                let (cached, rows) = self.advisor_inputs(stmt)?;
+                exec::resolve_backend(&self.profile, &cached, rows, stmt)
+            }
         }
     }
 
@@ -279,6 +406,37 @@ impl Dana {
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
         debug_assert!(!decoded.is_empty());
         let report = self.run_with_engine(&cached, table, ExecutionMode::Strider)?;
+        exec::store_trained(self.catalog.accelerator(udf)?, &report);
+        Ok(report)
+    }
+
+    /// Runs a deployed accelerator's lowered program on the **native CPU
+    /// backend** (`… WITH (backend = cpu)`, or `auto` below break-even):
+    /// the identical streamed scan and epoch loop, timed with a stopwatch
+    /// instead of the cycle model. Models and engine counters are
+    /// bit-identical to [`Dana::run_udf`]; the report's timing is
+    /// wall-clock only and no accelerator resources are charged.
+    pub fn run_udf_cpu(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        let entry = self.catalog.accelerator(udf)?;
+        if entry.stale {
+            return Err(DanaError::StaleAccelerator {
+                udf: udf.to_string(),
+                dropped_table: entry.bound_table.clone(),
+            });
+        }
+        let (cached, _built) = exec::cached_accelerator(entry)?;
+        let design = cached.engine.design();
+        let table_entry = self.catalog.live_table(table)?;
+        let heap_id = table_entry.heap_id;
+        let heap = self.catalog.heap(heap_id)?;
+        let access = exec::access_engine_for(heap, cached.budget, &self.fpga);
+        let mut store = ModelStore::new(design, exec::initial_models(design))?;
+        let feed = FeedKind::for_mode(ExecutionMode::Strider);
+        let mut source =
+            PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let run = cached.cpu.run_training(&mut source, &mut store)?;
+        let access_stats = source.into_stats();
+        let report = exec::assemble_cpu_report(design, run, access_stats, store);
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
     }
@@ -436,6 +594,7 @@ impl Dana {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: k,
+            backend: BackendKind::Fpga,
             scoring: stats,
             timing,
         })
@@ -472,6 +631,7 @@ impl Dana {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: k,
+            backend: BackendKind::Fpga,
             scoring: stats,
             timing,
         })
@@ -562,6 +722,37 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<PredictReport> {
+        self.predict_full(udf, source, dest, mode, lanes, BackendKind::Fpga)
+    }
+
+    /// `PREDICT … WITH (backend = cpu)`: the identical scoring scan with
+    /// stopwatch accounting — the materialized predictions are
+    /// bit-identical to the FPGA tier's.
+    pub fn predict_cpu(
+        &mut self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+    ) -> DanaResult<PredictReport> {
+        self.predict_full(
+            udf,
+            source,
+            dest,
+            ExecutionMode::Strider,
+            None,
+            BackendKind::Cpu,
+        )
+    }
+
+    fn predict_full(
+        &mut self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+        backend: BackendKind,
+    ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         // Refuse an existing destination before scanning anything.
         if self.catalog.table(dest).is_ok() {
@@ -570,7 +761,7 @@ impl Dana {
             ));
         }
         let (predictions, stats, timing) =
-            self.scoring_scan(&setup, source, mode, |p, l, stream| {
+            self.scoring_scan(&setup, source, mode, backend, |p, l, stream| {
                 let mut out = Vec::new();
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
@@ -587,6 +778,7 @@ impl Dana {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: 1,
+            backend,
             scoring: stats,
             timing,
         })
@@ -614,12 +806,43 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<EvalReport> {
+        self.evaluate_full(udf, table, metric, mode, lanes, BackendKind::Fpga)
+    }
+
+    /// `EVALUATE … WITH (backend = cpu)`: the identical metric fold with
+    /// stopwatch accounting.
+    pub fn evaluate_cpu(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+    ) -> DanaResult<EvalReport> {
+        self.evaluate_full(
+            udf,
+            table,
+            metric,
+            ExecutionMode::Strider,
+            None,
+            BackendKind::Cpu,
+        )
+    }
+
+    fn evaluate_full(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+        backend: BackendKind,
+    ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
-        let (value, stats, timing) = self.scoring_scan(&setup, table, mode, |p, l, stream| {
-            dana_infer::evaluate_source(p, l, stream, metric)
-        })?;
+        let (value, stats, timing) =
+            self.scoring_scan(&setup, table, mode, backend, |p, l, stream| {
+                dana_infer::evaluate_source(p, l, stream, metric)
+            })?;
         Ok(EvalReport {
             udf: udf.to_string(),
             table: table.to_string(),
@@ -628,6 +851,7 @@ impl Dana {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: 1,
+            backend,
             scoring: stats,
             timing,
         })
@@ -643,11 +867,12 @@ impl Dana {
         lanes: Option<u16>,
     ) -> DanaResult<Vec<f32>> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
-        let (predictions, _, _) = self.scoring_scan(&setup, table, mode, |p, l, stream| {
-            let mut out = Vec::new();
-            let stats = dana_infer::score_source(p, l, stream, &mut out)?;
-            Ok((out, stats))
-        })?;
+        let (predictions, _, _) =
+            self.scoring_scan(&setup, table, mode, BackendKind::Fpga, |p, l, stream| {
+                let mut out = Vec::new();
+                let stats = dana_infer::score_source(p, l, stream, &mut out)?;
+                Ok((out, stats))
+            })?;
         Ok(predictions)
     }
 
@@ -674,13 +899,16 @@ impl Dana {
 
     /// The one scoring scan: stream `table`'s pages through the data path
     /// into `run` (which drives the SoA scorer — collecting predictions
-    /// or folding a metric) and compose the timing. Shared by
+    /// or folding a metric) and account its cost for `backend` — the
+    /// composed cycle-model timing on the FPGA tier, a stopwatch around
+    /// the scan ([`DanaTiming::wall_only`]) on the CPU tier. Shared by
     /// predict/evaluate/score so the scan plumbing exists exactly once.
     fn scoring_scan<R>(
         &mut self,
         setup: &exec::ScoringSetup,
         table: &str,
         mode: ExecutionMode,
+        backend: BackendKind,
         run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -695,21 +923,26 @@ impl Dana {
         let feed = FeedKind::for_mode(mode);
         let mut stream =
             PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let start = std::time::Instant::now();
         let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
+        let wall = start.elapsed().as_secs_f64();
         let access_stats = stream.into_stats();
         let io_first = self.pool.stats().io_seconds - io_before;
-        let timing = exec::assemble_scoring_timing(
-            mode,
-            setup.cached.budget,
-            &self.fpga,
-            &self.cpu,
-            &self.disk,
-            self.pool.config().frames(),
-            heap,
-            &access_stats,
-            io_first,
-            &stats,
-        );
+        let timing = match backend {
+            BackendKind::Cpu => DanaTiming::wall_only(wall),
+            BackendKind::Fpga => exec::assemble_scoring_timing(
+                mode,
+                setup.cached.budget,
+                &self.fpga,
+                &self.cpu,
+                &self.disk,
+                self.pool.config().frames(),
+                heap,
+                &access_stats,
+                io_first,
+                &stats,
+            ),
+        };
         Ok((result, stats, timing))
     }
 
@@ -1180,7 +1413,7 @@ mod tests {
             .execute_statement("SELECT * FROM dana.linearR('t');")
             .unwrap();
         assert!(matches!(out, StatementOutcome::Train(_)));
-        assert!(out.timing().total_seconds > 0.0);
+        assert!(out.timing().unwrap().total_seconds > 0.0);
 
         let out = db
             .execute_statement("PREDICT dana.linearR('t') INTO 'scores';")
@@ -1260,5 +1493,123 @@ mod tests {
         .unwrap();
         db.deploy(&spec, "t").unwrap();
         assert!(db.run_udf("linearR", "missing_table").is_err());
+    }
+
+    fn deployed_db(rows: usize) -> Dana {
+        let mut db = small_system();
+        db.create_table("t", linreg_heap(rows, 8)).unwrap();
+        let spec = linear_regression(DenseParams {
+            n_features: 8,
+            learning_rate: 0.2,
+            merge_coef: 8,
+            epochs: 20,
+        })
+        .unwrap();
+        db.deploy(&spec, "t").unwrap();
+        db
+    }
+
+    /// The out-of-the-box system keeps the paper's semantics: every
+    /// `backend = auto` query offloads to the simulated FPGA.
+    #[test]
+    fn default_profile_always_offloads() {
+        let mut db = deployed_db(300);
+        assert_eq!(db.hardware_profile().offload_threshold_rows, Some(0));
+        let out = db.execute("SELECT * FROM dana.linearR('t');").unwrap();
+        assert_eq!(out.report.backend, BackendKind::Fpga);
+        assert!(out.report.timing.total_seconds > 0.0);
+        assert!(out.report.timing.wall_seconds.is_none());
+    }
+
+    /// Once a model-based profile is installed, `auto` routes a tiny
+    /// table to the CPU tier — and the CPU run is bit-identical.
+    #[test]
+    fn auto_routes_small_tables_to_cpu_once_profile_enabled() {
+        let mut db = deployed_db(300);
+        let fpga = db.execute("SELECT * FROM dana.linearR('t');").unwrap();
+        assert_eq!(fpga.report.backend, BackendKind::Fpga);
+
+        // Enable the throughput model: 300 rows is far below the default
+        // profile's break-even (~tens of thousands of rows).
+        let profile = db.hardware_profile().with_offload_threshold(None);
+        db.set_hardware_profile(profile);
+        let cpu = db.execute("SELECT * FROM dana.linearR('t');").unwrap();
+        assert_eq!(cpu.report.backend, BackendKind::Cpu);
+        assert_eq!(cpu.report.timing.total_seconds, 0.0);
+        assert!(cpu.report.timing.wall_seconds.is_some());
+        assert_eq!(
+            cpu.report.models, fpga.report.models,
+            "backends must agree bit-for-bit"
+        );
+
+        // An explicit WITH override beats the advisor both ways.
+        let forced = db
+            .execute("SELECT * FROM dana.linearR('t') WITH (backend = fpga);")
+            .unwrap();
+        assert_eq!(forced.report.backend, BackendKind::Fpga);
+        assert_eq!(forced.report.models, fpga.report.models);
+        let profile = db.hardware_profile().with_offload_threshold(Some(0));
+        db.set_hardware_profile(profile);
+        let forced_cpu = db
+            .execute("SELECT * FROM dana.linearR('t') WITH (backend = cpu);")
+            .unwrap();
+        assert_eq!(forced_cpu.report.backend, BackendKind::Cpu);
+        assert_eq!(forced_cpu.report.models, fpga.report.models);
+    }
+
+    /// EXPLAIN prints the per-backend comparison without executing
+    /// anything: the model store stays untrained.
+    #[test]
+    fn explain_compares_backends_without_executing() {
+        let mut db = deployed_db(400);
+        let out = db
+            .execute_statement("EXPLAIN SELECT * FROM dana.linearR('t');")
+            .unwrap();
+        let StatementOutcome::Explain(cmp) = out else {
+            panic!("expected explain outcome");
+        };
+        assert_eq!(cmp.rows, 400);
+        assert_eq!(cmp.options.len(), 2);
+        assert!(cmp.estimated_seconds(BackendKind::Fpga).is_some());
+        assert!(cmp.estimated_seconds(BackendKind::Cpu).is_some());
+        // Default profile: manual always-offload threshold pins FPGA.
+        assert_eq!(cmp.chosen, BackendKind::Fpga);
+        let text = cmp.to_string();
+        assert!(text.contains("fpga"), "rendered comparison: {text}");
+        assert!(text.contains("cpu"), "rendered comparison: {text}");
+
+        // Nothing ran: scoring still refuses with ModelNotTrained.
+        assert!(matches!(
+            db.predict("linearR", "t", "p"),
+            Err(DanaError::ModelNotTrained { .. })
+        ));
+
+        // A forced backend shows up as forced in the comparison.
+        let forced = db
+            .explain_sql("EXPLAIN SELECT * FROM dana.linearR('t') WITH (backend = cpu);")
+            .unwrap();
+        assert!(forced.forced);
+        assert_eq!(forced.chosen, BackendKind::Cpu);
+    }
+
+    /// A gang (shards > 1) is FPGA-only: forcing the CPU tier is a typed
+    /// query error, while `auto` quietly resolves to the FPGA.
+    #[test]
+    fn gang_pins_fpga_and_rejects_cpu_backend() {
+        let mut db = deployed_db(600);
+        match db.execute("SELECT * FROM dana.linearR('t') WITH (shards = 2, backend = cpu);") {
+            Err(DanaError::Query(msg)) => {
+                assert!(msg.contains("gang"), "unexpected message: {msg}")
+            }
+            other => panic!("expected typed query error, got {other:?}"),
+        }
+        // Even with a CPU-favoring profile, auto + shards stays FPGA.
+        let profile = db.hardware_profile().with_offload_threshold(None);
+        db.set_hardware_profile(profile);
+        let out = db
+            .execute("SELECT * FROM dana.linearR('t') WITH (shards = 2);")
+            .unwrap();
+        assert_eq!(out.report.backend, BackendKind::Fpga);
+        assert_eq!(out.report.shards, 2);
     }
 }

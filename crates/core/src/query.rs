@@ -8,10 +8,18 @@
 //! * `EVALUATE dana.<udf>('<table>'[, '<metric>']);` — score and fold an
 //!   in-database quality metric, exporting nothing.
 //!
-//! Every form takes an optional trailing **`WITH (shards = k)`** clause:
-//! the query runs intra-query data-parallel on a gang of `k` accelerator
-//! instances (page-range shards, epoch-boundary model merging; parallel
-//! PREDICT stays bit-identical to serial for every `k`).
+//! Every form takes an optional trailing **`WITH (...)`** option clause
+//! with comma-separated options:
+//!
+//! * `shards = k` — the query runs intra-query data-parallel on a gang of
+//!   `k` accelerator instances (page-range shards, epoch-boundary model
+//!   merging; parallel PREDICT stays bit-identical to serial for every `k`);
+//! * `backend = cpu|fpga|auto` — pins the execution substrate, or leaves
+//!   the choice to the cost-based backend advisor (`auto`, the default).
+//!
+//! Prefixing any statement with **`EXPLAIN`** parses the inner statement
+//! and asks the advisor for its per-backend [`crate::StrategyComparison`]
+//! without executing anything.
 //!
 //! "The RDBMS parses, optimizes, and executes the query while treating the
 //! UDF as a black box" (§3) — here the interesting query shapes are exactly
@@ -20,7 +28,15 @@
 
 use dana_infer::MetricKind;
 
+use crate::advisor::BackendChoice;
 use crate::error::{DanaError, DanaResult};
+
+/// The parsed trailing `WITH (...)` option clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct WithOptions {
+    shards: Option<u16>,
+    backend: BackendChoice,
+}
 
 /// A parsed accelerated-UDF training invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +46,8 @@ pub struct QueryCall {
     /// `WITH (shards = k)`: gang size for intra-query parallelism
     /// (`None` = serial).
     pub shards: Option<u16>,
+    /// `WITH (backend = ...)`: the requested execution substrate.
+    pub backend: BackendChoice,
 }
 
 /// A parsed `PREDICT … INTO …` statement.
@@ -42,6 +60,8 @@ pub struct PredictCall {
     pub into: String,
     /// `WITH (shards = k)`: gang size for intra-query parallelism.
     pub shards: Option<u16>,
+    /// `WITH (backend = ...)`: the requested execution substrate.
+    pub backend: BackendChoice,
 }
 
 /// A parsed `EVALUATE` statement.
@@ -53,6 +73,8 @@ pub struct EvaluateCall {
     pub metric: Option<MetricKind>,
     /// `WITH (shards = k)`: gang size for intra-query parallelism.
     pub shards: Option<u16>,
+    /// `WITH (backend = ...)`: the requested execution substrate.
+    pub backend: BackendChoice,
 }
 
 /// Any statement the front door accepts.
@@ -64,18 +86,32 @@ pub enum Statement {
     Predict(PredictCall),
     /// `EVALUATE dana.<udf>('<table>'[, '<metric>']);`.
     Evaluate(EvaluateCall),
+    /// `EXPLAIN <stmt>;` — price the inner statement on every backend
+    /// without running it.
+    Explain(Box<Statement>),
 }
 
 /// Parses any front-door statement.
 pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
     let s = sql.trim().trim_end_matches(';').trim();
-    let (s, shards) = split_with_clause(s)?;
+    let lower_head = s.to_ascii_lowercase();
+    if let Some(rest) = lower_head.strip_prefix("explain") {
+        if !rest.starts_with([' ', '\t']) {
+            return Err(err("expected EXPLAIN <statement>"));
+        }
+        let inner = parse_statement(s["explain".len()..].trim_start())?;
+        if matches!(inner, Statement::Explain(_)) {
+            return Err(err("EXPLAIN cannot be nested"));
+        }
+        return Ok(Statement::Explain(Box::new(inner)));
+    }
+    let (s, opts) = split_with_clause(s)?;
     let lower = s.to_ascii_lowercase();
     if lower.starts_with("predict") {
-        return parse_predict(s, &lower, shards).map(Statement::Predict);
+        return parse_predict(s, &lower, opts).map(Statement::Predict);
     }
     if lower.starts_with("evaluate") {
-        return parse_evaluate(s, &lower, shards).map(Statement::Evaluate);
+        return parse_evaluate(s, &lower, opts).map(Statement::Evaluate);
     }
     if let Some(rest) = lower.strip_prefix("execute") {
         // `EXECUTE dana.<udf>('<table>')` — the paper's verb for running
@@ -86,20 +122,25 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
         let tail = s["execute".len()..].trim_start();
         let (udf, args) = parse_udf_call(tail)?;
         let table = single_arg(&args)?;
-        return Ok(Statement::Train(QueryCall { udf, table, shards }));
+        return Ok(Statement::Train(QueryCall {
+            udf,
+            table,
+            shards: opts.shards,
+            backend: opts.backend,
+        }));
     }
-    parse_select(s, shards).map(Statement::Train)
+    parse_select(s, opts).map(Statement::Train)
 }
 
 /// Parses `SELECT * FROM dana.linearR('training_data_table');` (with an
-/// optional trailing `WITH (shards = k)`).
+/// optional trailing `WITH (...)` option clause).
 pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     let s = sql.trim().trim_end_matches(';').trim();
-    let (s, shards) = split_with_clause(s)?;
-    parse_select(s, shards)
+    let (s, opts) = split_with_clause(s)?;
+    parse_select(s, opts)
 }
 
-fn parse_select(s: &str, shards: Option<u16>) -> DanaResult<QueryCall> {
+fn parse_select(s: &str, opts: WithOptions) -> DanaResult<QueryCall> {
     let lower = s.to_ascii_lowercase();
     let rest = lower
         .strip_prefix("select")
@@ -117,18 +158,23 @@ fn parse_select(s: &str, shards: Option<u16>) -> DanaResult<QueryCall> {
     let tail = &s[s.len() - rest.len()..];
     let (udf, args) = parse_udf_call(tail)?;
     let table = single_arg(&args)?;
-    Ok(QueryCall { udf, table, shards })
+    Ok(QueryCall {
+        udf,
+        table,
+        shards: opts.shards,
+        backend: opts.backend,
+    })
 }
 
-/// Splits an optional trailing `WITH (shards = <n>)` clause off a
-/// statement (keywords case-insensitive, whitespace free-form). Returns
-/// the statement head and the parsed shard count. A `WITH` followed by a
-/// parenthesized group that is *not* a well-formed shards option is a
-/// typed error, not silently ignored.
-fn split_with_clause(s: &str) -> DanaResult<(&str, Option<u16>)> {
+/// Splits an optional trailing `WITH (opt = v[, opt = v])` clause off a
+/// statement (keywords case-insensitive, whitespace free-form). Accepted
+/// options: `shards = <n>` and `backend = cpu|fpga|auto`. A `WITH`
+/// followed by a parenthesized group that is *not* a well-formed option
+/// list is a typed error, not silently ignored.
+fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
     let lower = s.to_ascii_lowercase();
     let Some(pos) = lower.rfind("with") else {
-        return Ok((s, None));
+        return Ok((s, WithOptions::default()));
     };
     // The keyword must follow whitespace or a closing paren and be
     // followed by a parenthesized option group that closes the
@@ -139,33 +185,50 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, Option<u16>)> {
     let boundary_ok = pos > 0 && matches!(lower.as_bytes()[pos - 1], b' ' | b'\t' | b')');
     let tail = s[pos + "with".len()..].trim();
     if !boundary_ok || !tail.starts_with('(') {
-        return Ok((s, None));
+        return Ok((s, WithOptions::default()));
     }
     let inner = tail
         .strip_prefix('(')
         .and_then(|t| t.strip_suffix(')'))
-        .ok_or_else(|| err("WITH options must be parenthesized: WITH (shards = <n>)"))?;
-    let (key, value) = inner
-        .split_once('=')
-        .ok_or_else(|| err("WITH option must be shards = <n>"))?;
-    if !key.trim().eq_ignore_ascii_case("shards") {
-        return Err(err(&format!(
-            "unknown WITH option '{}' (expected shards)",
-            key.trim()
-        )));
+        .ok_or_else(|| err("WITH options must be parenthesized: WITH (opt = value, ...)"))?;
+    let mut opts = WithOptions::default();
+    let mut seen_shards = false;
+    let mut seen_backend = false;
+    for item in inner.split(',') {
+        let (key, value) = item
+            .split_once('=')
+            .ok_or_else(|| err("WITH option must be <name> = <value>"))?;
+        let key = key.trim();
+        let value = value.trim();
+        if key.eq_ignore_ascii_case("shards") {
+            if seen_shards {
+                return Err(err("duplicate WITH option 'shards'"));
+            }
+            seen_shards = true;
+            let n: u16 = value
+                .parse()
+                .map_err(|_| err(&format!("bad shard count '{value}'")))?;
+            if n == 0 {
+                return Err(err("shards must be at least 1"));
+            }
+            opts.shards = Some(n);
+        } else if key.eq_ignore_ascii_case("backend") {
+            if seen_backend {
+                return Err(err("duplicate WITH option 'backend'"));
+            }
+            seen_backend = true;
+            opts.backend = BackendChoice::parse(value)?;
+        } else {
+            return Err(err(&format!(
+                "unknown WITH option '{key}' (expected shards or backend)"
+            )));
+        }
     }
-    let n: u16 = value
-        .trim()
-        .parse()
-        .map_err(|_| err(&format!("bad shard count '{}'", value.trim())))?;
-    if n == 0 {
-        return Err(err("shards must be at least 1"));
-    }
-    Ok((s[..pos].trim_end(), Some(n)))
+    Ok((s[..pos].trim_end(), opts))
 }
 
 /// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`.
-fn parse_predict(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<PredictCall> {
+fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictCall> {
     let rest = lower["predict".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected PREDICT <udf>(...)"));
@@ -197,12 +260,13 @@ fn parse_predict(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<Predic
         udf,
         table,
         into,
-        shards,
+        shards: opts.shards,
+        backend: opts.backend,
     })
 }
 
 /// Parses the tail of `EVALUATE dana.<udf>('<table>'[, '<metric>'])`.
-fn parse_evaluate(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<EvaluateCall> {
+fn parse_evaluate(s: &str, lower: &str, opts: WithOptions) -> DanaResult<EvaluateCall> {
     let rest = lower["evaluate".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected EVALUATE <udf>(...)"));
@@ -233,7 +297,8 @@ fn parse_evaluate(s: &str, lower: &str, shards: Option<u16>) -> DanaResult<Evalu
         udf,
         table,
         metric,
-        shards,
+        shards: opts.shards,
+        backend: opts.backend,
     })
 }
 
@@ -458,6 +523,7 @@ mod tests {
                 table: "patients".into(),
                 into: "patient_scores".into(),
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
         // Case-insensitive keywords, optional schema, mixed quoting.
@@ -469,6 +535,7 @@ mod tests {
                 table: "patients".into(),
                 into: "scores".into(),
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
     }
@@ -495,6 +562,7 @@ mod tests {
                 table: "wlan".into(),
                 metric: None,
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
         let s = parse_statement("EVALUATE dana.linearR('t', 'mse');").unwrap();
@@ -505,6 +573,7 @@ mod tests {
                 table: "t".into(),
                 metric: Some(MetricKind::Mse),
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
         // All four metric names (and case-insensitivity) parse.
@@ -522,6 +591,7 @@ mod tests {
                     table: "t".into(),
                     metric: Some(kind),
                     shards: None,
+                    backend: BackendChoice::Auto,
                 }),
                 "{name}"
             );
@@ -537,6 +607,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
     }
@@ -592,6 +663,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 shards: None,
+                backend: BackendChoice::Auto,
             })
         );
         // Case-insensitive, schema optional, identifier case preserved.
@@ -612,6 +684,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 shards: Some(4),
+                backend: BackendChoice::Auto,
             })
         );
         let s = parse_statement("SELECT * FROM dana.linearR('t') with (SHARDS=2)").unwrap();
@@ -621,6 +694,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 shards: Some(2),
+                backend: BackendChoice::Auto,
             })
         );
         let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (shards = 8);").unwrap();
@@ -631,6 +705,7 @@ mod tests {
                 table: "t".into(),
                 into: "p".into(),
                 shards: Some(8),
+                backend: BackendChoice::Auto,
             })
         );
         let s = parse_statement("EVALUATE dana.f('t', 'mse') WITH (shards = 3);").unwrap();
@@ -641,6 +716,7 @@ mod tests {
                 table: "t".into(),
                 metric: Some(MetricKind::Mse),
                 shards: Some(3),
+                backend: BackendChoice::Auto,
             })
         );
         // parse_query handles the clause too.
@@ -679,5 +755,142 @@ mod tests {
         assert!(parse_statement("PREDICT dana.f('t') INTO 'p' 'q'").is_err());
         // Trailing semicolon and whitespace remain fine.
         assert!(parse_statement("PREDICT dana.f('t') INTO 'p'  ;  ").is_ok());
+    }
+
+    // ---- WITH (backend = ...) grammar ------------------------------------
+
+    fn backend_of(s: &Statement) -> BackendChoice {
+        match s {
+            Statement::Train(q) => q.backend,
+            Statement::Predict(p) => p.backend,
+            Statement::Evaluate(e) => e.backend,
+            Statement::Explain(inner) => backend_of(inner),
+        }
+    }
+
+    #[test]
+    fn with_backend_parses_on_every_statement_form() {
+        for (sql, want) in [
+            (
+                "EXECUTE dana.linearR('t') WITH (backend = cpu);",
+                BackendChoice::Cpu,
+            ),
+            (
+                "SELECT * FROM dana.linearR('t') with (BACKEND=FPGA)",
+                BackendChoice::Fpga,
+            ),
+            (
+                "PREDICT dana.f('t') INTO 'p' WITH (backend = auto);",
+                BackendChoice::Auto,
+            ),
+            (
+                "EVALUATE dana.f('t', 'mse') WITH (backend = cpu);",
+                BackendChoice::Cpu,
+            ),
+        ] {
+            let s = parse_statement(sql).unwrap();
+            assert_eq!(backend_of(&s), want, "{sql}");
+        }
+        // Statements without a clause default to the advisor.
+        let s = parse_statement("EXECUTE dana.f('t');").unwrap();
+        assert_eq!(backend_of(&s), BackendChoice::Auto);
+    }
+
+    #[test]
+    fn with_clause_combines_shards_and_backend() {
+        let s = parse_statement("EXECUTE dana.linearR('t') WITH (shards = 4, backend = fpga);")
+            .unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: Some(4),
+                backend: BackendChoice::Fpga,
+            })
+        );
+        // Order-insensitive.
+        let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (backend = cpu, shards = 2);")
+            .unwrap();
+        assert_eq!(
+            s,
+            Statement::Predict(PredictCall {
+                udf: "f".into(),
+                table: "t".into(),
+                into: "p".into(),
+                shards: Some(2),
+                backend: BackendChoice::Cpu,
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_backend_clauses_are_typed_errors() {
+        for bad in [
+            "EXECUTE dana.f('t') WITH (backend = gpu);", // unknown substrate
+            "EXECUTE dana.f('t') WITH (backend);",       // no value
+            "EXECUTE dana.f('t') WITH (backend = );",    // empty value
+            "EXECUTE dana.f('t') WITH (backend = cpu, backend = fpga);", // duplicate
+            "EXECUTE dana.f('t') WITH (shards = 2, shards = 4);", // duplicate shards
+            "EXECUTE dana.f('t') WITH (backend = cpu,);", // trailing comma
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(
+                matches!(e, DanaError::Query(_)),
+                "{bad} should be a typed Query error, got {e:?}"
+            );
+        }
+        // The unknown-substrate message names the valid choices.
+        let e = parse_statement("EXECUTE dana.f('t') WITH (backend = gpu);").unwrap_err();
+        assert!(e.to_string().contains("expected cpu, fpga, or auto"), "{e}");
+    }
+
+    // ---- EXPLAIN grammar -------------------------------------------------
+
+    #[test]
+    fn explain_wraps_every_statement_form() {
+        for sql in [
+            "EXPLAIN SELECT * FROM dana.linearR('t');",
+            "explain EXECUTE dana.linearR('t') WITH (shards = 2);",
+            "EXPLAIN PREDICT dana.f('t') INTO 'p';",
+            "Explain EVALUATE dana.f('t', 'mse') WITH (backend = cpu);",
+        ] {
+            let s = parse_statement(sql).unwrap();
+            let Statement::Explain(inner) = s else {
+                panic!("{sql} should parse as EXPLAIN");
+            };
+            assert!(
+                !matches!(*inner, Statement::Explain(_)),
+                "inner statement must not be EXPLAIN"
+            );
+        }
+        // The inner statement parses exactly as it would bare.
+        let s = parse_statement("EXPLAIN EXECUTE dana.linearR('t') WITH (backend = cpu);").unwrap();
+        assert_eq!(
+            s,
+            Statement::Explain(Box::new(Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: None,
+                backend: BackendChoice::Cpu,
+            })))
+        );
+    }
+
+    #[test]
+    fn explain_rejects_malformed_forms() {
+        for bad in [
+            "EXPLAIN;",                                                // nothing to explain
+            "EXPLAIN",                                                 // ditto
+            "EXPLAINSELECT * FROM dana.f('t');",                       // keyword typo
+            "EXPLAIN EXPLAIN SELECT * FROM dana.f('t');",              // nested
+            "EXPLAIN INSERT INTO t VALUES (1);",                       // unexplainable inner
+            "EXPLAIN SELECT * FROM dana.f('t') WITH (backend = gpu);", // bad inner clause
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should fail");
+        }
+        // A UDF merely *named* explain stays a plain call.
+        let s = parse_statement("EXECUTE dana.explainer('t');").unwrap();
+        assert!(matches!(s, Statement::Train(_)));
     }
 }

@@ -1,16 +1,22 @@
 //! Run reports: trained models plus the simulated-time breakdown, and
 //! the inference tier's scoring/evaluation outcomes.
 
-use dana_engine::EngineStats;
+use crate::advisor::StrategyComparison;
+use dana_engine::{BackendKind, EngineStats};
 use dana_infer::{MetricKind, ScoringStats};
 use dana_strider::AccessStats;
 
-/// Simulated seconds.
+/// Seconds. Most timing fields are *simulated* seconds from the cycle
+/// model; [`DanaTiming::wall_seconds`] alone is measured wall clock.
 pub type Seconds = f64;
 
-/// Where the time went. All values are simulated seconds; `total_seconds`
-/// composes them with the overlap semantics of [`crate::runtime`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Where the time went. The first six fields are **simulated** seconds
+/// (cycle model + disk/AXI models); `total_seconds` composes them with
+/// the overlap semantics of [`crate::runtime`]. `wall_seconds` is the
+/// one **measured** field, set only by the native CPU backend — the two
+/// units are deliberately separate slots so a gang's simulated total and
+/// a CPU run's stopwatch can never be summed or swapped by accident.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DanaTiming {
     /// Disk → buffer pool (misses only; zero in the warm-cache setting for
     /// resident tables).
@@ -23,8 +29,65 @@ pub struct DanaTiming {
     pub engine_seconds: Seconds,
     /// One-time deployment/configuration transfer.
     pub setup_seconds: Seconds,
-    /// End-to-end, with pipeline overlap applied.
+    /// End-to-end, with pipeline overlap applied. Zero for CPU-backend
+    /// runs: nothing was simulated.
     pub total_seconds: Seconds,
+    /// Measured wall-clock seconds of the host execution loop — `Some`
+    /// only for CPU-backend runs, `None` whenever the run was simulated.
+    pub wall_seconds: Option<Seconds>,
+}
+
+// Hand-written (de)serialization: the vendored serde stub has no
+// `#[serde(default)]`, and artifact blobs written before `wall_seconds`
+// existed must keep deserializing (as simulated-only timings).
+impl serde::Serialize for DanaTiming {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Obj(vec![
+            ("io_seconds".to_string(), self.io_seconds.to_value()),
+            ("axi_seconds".to_string(), self.axi_seconds.to_value()),
+            (
+                "strider_seconds".to_string(),
+                self.strider_seconds.to_value(),
+            ),
+            ("engine_seconds".to_string(), self.engine_seconds.to_value()),
+            ("setup_seconds".to_string(), self.setup_seconds.to_value()),
+            ("total_seconds".to_string(), self.total_seconds.to_value()),
+            ("wall_seconds".to_string(), self.wall_seconds.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for DanaTiming {
+    fn from_value(v: &serde::json::Value) -> Result<Self, String> {
+        let obj = serde::json::as_obj(v, "DanaTiming")?;
+        let f = |key: &str| -> Result<Seconds, String> {
+            serde::Deserialize::from_value(serde::json::field(obj, key, "DanaTiming")?)
+        };
+        Ok(DanaTiming {
+            io_seconds: f("io_seconds")?,
+            axi_seconds: f("axi_seconds")?,
+            strider_seconds: f("strider_seconds")?,
+            engine_seconds: f("engine_seconds")?,
+            setup_seconds: f("setup_seconds")?,
+            total_seconds: f("total_seconds")?,
+            // Absent in pre-backend blobs: default to simulated-only.
+            wall_seconds: match obj.get("wall_seconds") {
+                None => None,
+                Some(v) => serde::Deserialize::from_value(v)?,
+            },
+        })
+    }
+}
+
+impl DanaTiming {
+    /// A wall-clock-only timing for a native CPU run: every simulated
+    /// slot stays zero (nothing was simulated).
+    pub fn wall_only(wall: Seconds) -> DanaTiming {
+        DanaTiming {
+            wall_seconds: Some(wall),
+            ..DanaTiming::default()
+        }
+    }
 }
 
 /// The result of one accelerated training run.
@@ -42,6 +105,8 @@ pub struct DanaReport {
     /// Gang members (page-range shards) the query ran across; 1 for a
     /// serial query.
     pub shards: u16,
+    /// The execution substrate that ran this query.
+    pub backend: BackendKind,
     pub timing: DanaTiming,
     pub engine: EngineStats,
     pub access: AccessStats,
@@ -84,6 +149,8 @@ pub struct PredictReport {
     pub lanes: u16,
     /// Gang members (page-range shards) the scan ran across; 1 = serial.
     pub shards: u16,
+    /// The execution substrate that ran the scoring scan.
+    pub backend: BackendKind,
     pub scoring: ScoringStats,
     pub timing: DanaTiming,
 }
@@ -99,6 +166,8 @@ pub struct EvalReport {
     pub lanes: u16,
     /// Gang members (page-range shards) the scan ran across; 1 = serial.
     pub shards: u16,
+    /// The execution substrate that ran the scoring scan.
+    pub backend: BackendKind,
     pub scoring: ScoringStats,
     pub timing: DanaTiming,
 }
@@ -109,15 +178,31 @@ pub enum StatementOutcome {
     Train(QueryOutcome),
     Predict(PredictReport),
     Evaluate(EvalReport),
+    /// `EXPLAIN <stmt>`: the advisor's per-backend comparison. Nothing
+    /// was executed, so there is no timing.
+    Explain(StrategyComparison),
 }
 
 impl StatementOutcome {
-    /// End-to-end simulated timing, whichever statement ran.
-    pub fn timing(&self) -> &DanaTiming {
+    /// End-to-end timing, whichever statement ran; `None` for EXPLAIN
+    /// (nothing executed).
+    pub fn timing(&self) -> Option<&DanaTiming> {
         match self {
-            StatementOutcome::Train(o) => &o.report.timing,
-            StatementOutcome::Predict(p) => &p.timing,
-            StatementOutcome::Evaluate(e) => &e.timing,
+            StatementOutcome::Train(o) => Some(&o.report.timing),
+            StatementOutcome::Predict(p) => Some(&p.timing),
+            StatementOutcome::Evaluate(e) => Some(&e.timing),
+            StatementOutcome::Explain(_) => None,
+        }
+    }
+
+    /// The substrate that ran the statement (`None` for EXPLAIN, which
+    /// runs nothing — its *recommended* backend is in the comparison).
+    pub fn backend(&self) -> Option<BackendKind> {
+        match self {
+            StatementOutcome::Train(o) => Some(o.report.backend),
+            StatementOutcome::Predict(p) => Some(p.backend),
+            StatementOutcome::Evaluate(e) => Some(e.backend),
+            StatementOutcome::Explain(_) => None,
         }
     }
 }
@@ -134,10 +219,45 @@ mod tests {
             converged_early: false,
             num_threads: 4,
             shards: 1,
+            backend: BackendKind::Fpga,
             timing: DanaTiming::default(),
             engine: EngineStats::default(),
             access: AccessStats::default(),
         }
+    }
+
+    /// Satellite regression: simulated seconds and measured wall seconds
+    /// live in distinct slots and never overload each other. A simulated
+    /// (FPGA/gang) timing has no wall time; a CPU wall-only timing keeps
+    /// every simulated slot at zero.
+    #[test]
+    fn simulated_and_wall_seconds_are_distinct_slots() {
+        let simulated = DanaTiming {
+            engine_seconds: 0.25,
+            total_seconds: 0.4,
+            ..DanaTiming::default()
+        };
+        assert!(simulated.wall_seconds.is_none());
+
+        let cpu = DanaTiming::wall_only(0.0123);
+        assert_eq!(cpu.wall_seconds, Some(0.0123));
+        assert_eq!(
+            cpu.total_seconds, 0.0,
+            "wall time must not leak into the simulated total"
+        );
+        assert_eq!(cpu.engine_seconds, 0.0);
+        assert_eq!(cpu.io_seconds, 0.0);
+        assert_eq!(cpu.setup_seconds, 0.0);
+
+        // And the separation survives serialization — old blobs without
+        // the field deserialize as simulated-only.
+        let json = serde_json::to_string(&cpu).unwrap();
+        let back: DanaTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cpu);
+        let legacy = r#"{"io_seconds":0.0,"axi_seconds":0.0,"strider_seconds":0.0,"engine_seconds":0.1,"setup_seconds":0.0,"total_seconds":0.2}"#;
+        let t: DanaTiming = serde_json::from_str(legacy).unwrap();
+        assert_eq!(t.wall_seconds, None);
+        assert_eq!(t.total_seconds, 0.2);
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Pluggable execution backends over the deploy-time-lowered program.
+//!
+//! The paper's argument is that the right execution substrate depends on
+//! the workload: offloading to the FPGA pays off only once the scan is
+//! large enough to amortize configuration and per-epoch orchestration
+//! overhead. This module makes the substrate a first-class choice by
+//! putting a small trait, [`ExecutionBackend`], over the lowered SoA
+//! program with two implementations:
+//!
+//! * [`FpgaBackend`] — the existing simulated-FPGA tier. Cycle-model
+//!   semantics are untouched: it is exactly
+//!   [`ExecutionEngine::run_training`], and its cost is the simulated
+//!   cycle count (converted to seconds by the caller's clock model).
+//! * [`CpuBackend`] — a native CPU tier that executes the **same**
+//!   [`LoweredProgram`](crate::lowered::LoweredProgram) through the same
+//!   slot-major `buf[word * lanes + l]` lockstep lane loops (op dispatch
+//!   hoisted out of the lane loop, LRMF's sequential gather/scatter path
+//!   preserved), but whose cost is **measured wall time**. Because both
+//!   backends run the identical per-epoch code over the identical SoA
+//!   workspace, their trained models and cycle counters are bit-identical
+//!   by construction — the differential suite holds them to it.
+//!
+//! The distinction is *what the number means*: the FPGA tier's
+//! [`EngineStats::cycles`] model a 150 MHz accelerator fed by Striders;
+//! the CPU tier's [`BackendRun::wall_seconds`] is a stopwatch around the
+//! actual host loop. The backend advisor in `dana-core` compares the two
+//! to pick a substrate per query.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dana_storage::TupleSource;
+
+use crate::engine::{EngineStats, ExecutionEngine, ModelStore};
+use crate::error::{EngineError, EngineResult};
+
+/// Which execution substrate ran (or should run) a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BackendKind {
+    /// The simulated-FPGA tier: cycle-model cost, Strider-fed pipeline.
+    Fpga,
+    /// The native CPU tier: same lowered program, wall-clock cost.
+    Cpu,
+}
+
+impl BackendKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Fpga => "fpga",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one backend training run: the engine's counters plus,
+/// for the CPU tier, the measured wall time of the training loop.
+///
+/// `stats` are identical across backends (same code, same workspace);
+/// `wall_seconds` is `Some` only for backends that execute natively —
+/// simulated tiers have no meaningful wall time to report and leave it
+/// `None` so the two units can never be confused downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendRun {
+    pub stats: EngineStats,
+    pub wall_seconds: Option<f64>,
+}
+
+/// A pluggable execution substrate for the lowered training program.
+///
+/// Implementations share the lowered SoA executor and differ only in how
+/// their cost is accounted (simulated cycles vs measured wall time) and
+/// in which system resources a run occupies (the FPGA tier holds an
+/// accelerator lease; the CPU tier bypasses the pool entirely).
+pub trait ExecutionBackend: Send + Sync {
+    /// Which substrate this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Runs training to convergence (or the epoch cap) from a streaming
+    /// source, exactly like [`ExecutionEngine::run_training`].
+    fn run_training(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<BackendRun>;
+
+    /// The engine whose lowered program this backend executes.
+    fn engine(&self) -> &ExecutionEngine;
+}
+
+/// The simulated-FPGA tier behind the [`ExecutionBackend`] trait —
+/// a zero-cost wrapper over [`ExecutionEngine::run_training`].
+#[derive(Debug, Clone)]
+pub struct FpgaBackend {
+    engine: Arc<ExecutionEngine>,
+}
+
+impl FpgaBackend {
+    pub fn new(engine: Arc<ExecutionEngine>) -> FpgaBackend {
+        FpgaBackend { engine }
+    }
+}
+
+impl ExecutionBackend for FpgaBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Fpga
+    }
+
+    fn run_training(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<BackendRun> {
+        let stats = self.engine.run_training(source, store)?;
+        Ok(BackendRun {
+            stats,
+            wall_seconds: None,
+        })
+    }
+
+    fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+}
+
+/// The native CPU tier: the same lowered program, the same epoch loop,
+/// timed with a stopwatch instead of the cycle model.
+///
+/// The run is the identical [`TrainingSession`](crate::TrainingSession)
+/// epoch loop the FPGA tier uses, so models and counters are
+/// bit-identical; the only addition is the [`Instant`] around it. The
+/// SoA lane loops it executes are the host's SIMD path — `rustc`
+/// auto-vectorizes the per-op lane loops because the op match is hoisted
+/// out of them (see `lowered::lockstep_lanes`).
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    engine: Arc<ExecutionEngine>,
+}
+
+impl CpuBackend {
+    pub fn new(engine: Arc<ExecutionEngine>) -> CpuBackend {
+        CpuBackend { engine }
+    }
+}
+
+impl ExecutionBackend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn run_training(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<BackendRun> {
+        let start = Instant::now();
+        let mut session = self.engine.training_session();
+        let max_epochs = self.engine.design().convergence.max_epochs();
+        let mut epochs_run = 0u32;
+        let mut converged_early = false;
+        for epoch in 0..max_epochs {
+            if epoch > 0 {
+                source.rewind().map_err(EngineError::from)?;
+            }
+            let converged = session.run_epoch(source, store)?;
+            epochs_run += 1;
+            if converged {
+                converged_early = true;
+                break;
+            }
+        }
+        let stats = session.finish(epochs_run, converged_early);
+        Ok(BackendRun {
+            stats,
+            wall_seconds: Some(start.elapsed().as_secs_f64()),
+        })
+    }
+
+    fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+}
+
+/// One-time microbenchmark calibrating the CPU tier's throughput:
+/// measures lowered **lane-ops per second** (one lane-op = one SoA
+/// inner-loop element) on a small synthetic dense design. The backend
+/// advisor divides a program's per-tuple lane-op count by this rate to
+/// estimate CPU seconds per tuple.
+///
+/// The synthetic design is dense (lockstep path), multiply/add-heavy,
+/// and wide enough (16 lanes) to hit the vectorized loops — the same
+/// shape the real zoo programs lower to.
+pub fn calibrate_cpu_lane_rate() -> f64 {
+    use crate::engine::{ConvergenceCheck, EngineDesign, MergePlan, ModelDesc, ModelWrite};
+    use crate::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step};
+    use dana_dsl::MergeOp;
+    use dana_storage::{OneBatchSource, TupleBatch};
+
+    let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
+    let s = |au, slot| Src::Slot(Loc::new(au, slot));
+    // Per-tuple: p = w*x; er = p − y; g = er*x — the linear-model inner
+    // loop, one AU, three steps. Merge sums g; post-merge applies it.
+    let design = EngineDesign {
+        num_threads: 16,
+        acs_per_thread: 1,
+        slots_per_au: 8,
+        bus_lanes: 1,
+        program: EngineProgram {
+            per_tuple: vec![
+                Step {
+                    ops: vec![alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2)],
+                },
+                Step {
+                    ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)],
+                },
+                Step {
+                    ops: vec![alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2)],
+                },
+            ],
+            post_merge: vec![Step {
+                ops: vec![alu(0, AluOp::Sub, s(0, 1), s(0, 2), 4)],
+            }],
+        },
+        input_slots: vec![Loc::new(0, 0)],
+        output_slots: vec![Loc::new(0, 3)],
+        meta: vec![],
+        models: vec![ModelDesc {
+            name: "w".into(),
+            rows: 1,
+            cols: 1,
+            broadcast_slots: Some(vec![Loc::new(0, 1)]),
+        }],
+        merge: MergePlan::Whole {
+            op: MergeOp::Sum,
+            slots: vec![Loc::new(0, 2)],
+        },
+        model_writes: vec![ModelWrite::Whole {
+            model: 0,
+            src: vec![Loc::new(0, 4)],
+        }],
+        convergence: ConvergenceCheck::Epochs(1),
+    };
+    let engine = Arc::new(ExecutionEngine::new(design.clone()).expect("calibration design"));
+    let lane_ops_per_tuple = engine.lowered().per_tuple_lane_ops() as f64;
+    let backend = CpuBackend::new(engine);
+
+    let tuples: Vec<Vec<f32>> = (0..32_768)
+        .map(|k| vec![(k % 97) as f32 * 0.01, (k % 31) as f32 * 0.1])
+        .collect();
+    let batch = TupleBatch::from_rows(2, &tuples);
+    // Warm up once, then take the best of three runs so a scheduler
+    // hiccup can't poison the profile for the whole session.
+    let mut best = f64::INFINITY;
+    for round in 0..4 {
+        let mut store = ModelStore::zeroed(&design);
+        let run = backend
+            .run_training(&mut OneBatchSource::new(&batch), &mut store)
+            .expect("calibration run");
+        let wall = run.wall_seconds.expect("cpu tier measures wall time");
+        if round > 0 && wall > 0.0 {
+            best = best.min(wall);
+        }
+    }
+    let total_lane_ops = lane_ops_per_tuple * tuples.len() as f64;
+    // Clamp to a sane floor so a pathological measurement (e.g. a clock
+    // with no sub-millisecond resolution) still yields a usable rate.
+    (total_lane_ops / best).max(1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ConvergenceCheck, EngineDesign, MergePlan, ModelDesc, ModelWrite};
+    use crate::isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step};
+    use dana_dsl::MergeOp;
+    use dana_storage::{OneBatchSource, TupleBatch};
+
+    fn linreg_design(num_threads: u16) -> EngineDesign {
+        let alu = |au, op, a, b, dst| MicroOp::Alu { au, op, a, b, dst };
+        let s = |au, slot| Src::Slot(Loc::new(au, slot));
+        EngineDesign {
+            num_threads,
+            acs_per_thread: 1,
+            slots_per_au: 8,
+            bus_lanes: 1,
+            program: EngineProgram {
+                per_tuple: vec![
+                    Step {
+                        ops: vec![alu(0, AluOp::Mul, s(0, 0), s(0, 1), 2)],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Sub, s(0, 2), s(0, 3), 2)],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Mul, s(0, 2), s(0, 0), 2)],
+                    },
+                ],
+                post_merge: vec![
+                    Step {
+                        ops: vec![alu(0, AluOp::Mul, Src::Const(0.05), s(0, 2), 2)],
+                    },
+                    Step {
+                        ops: vec![alu(0, AluOp::Sub, s(0, 1), s(0, 2), 4)],
+                    },
+                ],
+            },
+            input_slots: vec![Loc::new(0, 0)],
+            output_slots: vec![Loc::new(0, 3)],
+            meta: vec![],
+            models: vec![ModelDesc {
+                name: "w".into(),
+                rows: 1,
+                cols: 1,
+                broadcast_slots: Some(vec![Loc::new(0, 1)]),
+            }],
+            merge: MergePlan::Whole {
+                op: MergeOp::Sum,
+                slots: vec![Loc::new(0, 2)],
+            },
+            model_writes: vec![ModelWrite::Whole {
+                model: 0,
+                src: vec![Loc::new(0, 4)],
+            }],
+            convergence: ConvergenceCheck::Epochs(3),
+        }
+    }
+
+    fn tuples(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|k| {
+                let x = (k % 13) as f32 * 0.2 - 1.0;
+                vec![x, 1.5 * x]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cpu_and_fpga_backends_are_bit_identical() {
+        for threads in [1u16, 4, 16] {
+            let design = linreg_design(threads);
+            let engine = Arc::new(ExecutionEngine::new(design.clone()).unwrap());
+            let batch = TupleBatch::from_rows(2, tuples(53));
+            let fpga = FpgaBackend::new(engine.clone());
+            let cpu = CpuBackend::new(engine);
+            let mut fpga_store = ModelStore::zeroed(&design);
+            let fpga_run = fpga
+                .run_training(&mut OneBatchSource::new(&batch), &mut fpga_store)
+                .unwrap();
+            let mut cpu_store = ModelStore::zeroed(&design);
+            let cpu_run = cpu
+                .run_training(&mut OneBatchSource::new(&batch), &mut cpu_store)
+                .unwrap();
+            assert_eq!(fpga_store, cpu_store, "threads {threads}");
+            assert_eq!(fpga_run.stats, cpu_run.stats, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn wall_time_is_cpu_only() {
+        let design = linreg_design(4);
+        let engine = Arc::new(ExecutionEngine::new(design.clone()).unwrap());
+        let batch = TupleBatch::from_rows(2, tuples(20));
+        let fpga = FpgaBackend::new(engine.clone());
+        let cpu = CpuBackend::new(engine);
+        assert_eq!(fpga.kind(), BackendKind::Fpga);
+        assert_eq!(cpu.kind(), BackendKind::Cpu);
+        let mut store = ModelStore::zeroed(&design);
+        let run = fpga
+            .run_training(&mut OneBatchSource::new(&batch), &mut store)
+            .unwrap();
+        assert!(
+            run.wall_seconds.is_none(),
+            "simulated tier has no wall time"
+        );
+        let mut store = ModelStore::zeroed(&design);
+        let run = cpu
+            .run_training(&mut OneBatchSource::new(&batch), &mut store)
+            .unwrap();
+        assert!(run.wall_seconds.is_some_and(|w| w >= 0.0));
+    }
+
+    #[test]
+    fn calibration_yields_a_positive_rate() {
+        let rate = calibrate_cpu_lane_rate();
+        assert!(rate >= 1.0e6, "lane rate {rate} implausibly low");
+        assert!(rate.is_finite());
+    }
+
+    #[test]
+    fn backend_kind_names() {
+        assert_eq!(BackendKind::Fpga.name(), "fpga");
+        assert_eq!(BackendKind::Cpu.name(), "cpu");
+        assert_eq!(format!("{}", BackendKind::Cpu), "cpu");
+        let json = serde_json::to_string(&BackendKind::Fpga).unwrap();
+        let back: BackendKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, BackendKind::Fpga);
+    }
+}

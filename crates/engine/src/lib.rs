@@ -43,11 +43,15 @@
 //! equivalence and differential suites hold all tiers bit-identical in
 //! models and stats.
 
+pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod isa;
 pub mod lowered;
 
+pub use backend::{
+    calibrate_cpu_lane_rate, BackendKind, BackendRun, CpuBackend, ExecutionBackend, FpgaBackend,
+};
 pub use engine::{
     ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore, ModelWrite,
 };

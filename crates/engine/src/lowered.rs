@@ -366,10 +366,48 @@ pub(crate) struct SoaWorkspace {
     width: usize,
 }
 
+/// SoA elements one lowered op touches per lane (scalar ops move one
+/// word; gather/scatter move a model row's worth).
+fn op_elems(op: &LoweredOp) -> u64 {
+    match op {
+        LoweredOp::Gather { dst, .. } => dst.len() as u64,
+        LoweredOp::Scatter { src, .. } => src.len() as u64,
+        _ => 1,
+    }
+}
+
 impl LoweredProgram {
     /// Lowered scratchpad words per thread (architectural + staging).
     pub fn words_per_thread(&self) -> usize {
         self.words_per_thread as usize
+    }
+
+    /// SoA inner-loop elements ("lane-ops") the CPU tier executes per
+    /// tuple: every per-tuple op touches one element per lane, and every
+    /// dense-model broadcast element is refilled per lane per group. The
+    /// backend advisor divides this by the calibrated lane rate to
+    /// estimate CPU seconds per tuple.
+    pub fn per_tuple_lane_ops(&self) -> u64 {
+        let ops: u64 = self.per_tuple.iter().map(op_elems).sum();
+        let broadcast: u64 = self.broadcasts.iter().map(|b| b.dst.len() as u64).sum();
+        ops + broadcast
+    }
+
+    /// Elements touched once per thread group (post-merge region, tree
+    /// merge, model write-back) — amortized across the group's lanes by
+    /// the advisor's cost model.
+    pub fn per_group_ops(&self) -> u64 {
+        let post: u64 = self.post_merge.iter().map(op_elems).sum();
+        let merge = self.merge.as_ref().map_or(0, |m| m.slots.len() as u64);
+        let writes: u64 = self
+            .model_writes
+            .iter()
+            .map(|w| match w {
+                LoweredModelWrite::Whole { src, .. } => src.len() as u64,
+                LoweredModelWrite::Row { src, .. } => src.len() as u64,
+            })
+            .sum();
+        post + merge + writes
     }
 
     /// True when the per-tuple region runs op-lockstep across the whole

@@ -27,11 +27,12 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts};
 use dana::{
-    DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport, ExecutionMode,
-    FeedKind, MetricKind, PredictReport, SharedPageStreamSource,
+    BackendKind, DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport,
+    ExecutionMode, FeedKind, HardwareProfile, MetricKind, PredictReport, SharedPageStreamSource,
+    Statement, StrategyComparison,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
-use dana_engine::ModelStore;
+use dana_engine::{ExecutionBackend, ModelStore};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
@@ -71,6 +72,8 @@ pub struct SystemCore {
     disk: DiskModel,
     fpga: FpgaSpec,
     cpu: CpuModel,
+    /// The backend advisor's cost profile (see [`SystemCore::explain_statement`]).
+    profile: RwLock<HardwareProfile>,
     /// Execution engines constructed (deploy-time builds + cache misses) —
     /// the EXECUTE path must never grow this past the deploy count.
     engines_built: AtomicU64,
@@ -92,10 +95,17 @@ impl SystemCore {
             catalog: RwLock::new(Catalog::new()),
             pool: SharedBufferPool::with_shards(config.pool, config.pool_shards),
             disk: config.disk,
-            fpga: config.fpga,
             cpu: CpuModel::i7_6700(),
             engines_built: AtomicU64::new(0),
             engine_cache_hits: AtomicU64::new(0),
+            // Same default as `Dana`: always offload (the paper's
+            // semantics) until an operator installs a real profile.
+            profile: RwLock::new(
+                HardwareProfile::default()
+                    .with_clock_hz(config.fpga.clock.hz)
+                    .with_offload_threshold(Some(0)),
+            ),
+            fpga: config.fpga,
         }
     }
 
@@ -309,6 +319,143 @@ impl SystemCore {
         Ok(report)
     }
 
+    // ---- the backend advisor --------------------------------------------
+
+    /// The advisor's current cost profile (a copy).
+    pub fn hardware_profile(&self) -> HardwareProfile {
+        match self.profile.read() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Installs a new advisor profile (e.g. a calibrated one, or one with
+    /// the always-offload default cleared to enable break-even routing).
+    pub fn set_hardware_profile(&self, profile: HardwareProfile) {
+        match self.profile.write() {
+            Ok(mut g) => *g = profile,
+            Err(poisoned) => *poisoned.into_inner() = profile,
+        }
+    }
+
+    /// Prices a statement on every backend without running it — the
+    /// serving tier's `EXPLAIN`. Runs entirely on catalog metadata and
+    /// the cached lowering; no lease, no scan.
+    pub fn explain_statement(&self, stmt: &Statement) -> DanaResult<StrategyComparison> {
+        let (cached, rows) = self.advisor_inputs(stmt)?;
+        exec::explain_statement(&self.hardware_profile(), &cached, rows, stmt)
+    }
+
+    /// Resolves the substrate one statement runs on (`WITH (backend=…)`
+    /// override, gang rules, or the advisor for `auto`) — what the worker
+    /// consults *before* leasing accelerators, so CPU-tier runs never
+    /// charge the pool.
+    pub fn resolve_backend(&self, stmt: &Statement) -> DanaResult<BackendKind> {
+        let (requested, shards) = match stmt {
+            Statement::Train(c) => (c.backend, c.shards),
+            Statement::Predict(p) => (p.backend, p.shards),
+            Statement::Evaluate(e) => (e.backend, e.shards),
+            Statement::Explain(_) => {
+                return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+        };
+        if shards.is_some_and(|k| k > 1) {
+            return match requested {
+                dana::BackendChoice::Cpu => Err(exec::gang_needs_fpga()),
+                _ => Ok(BackendKind::Fpga),
+            };
+        }
+        match requested {
+            dana::BackendChoice::Fpga => Ok(BackendKind::Fpga),
+            dana::BackendChoice::Cpu => Ok(BackendKind::Cpu),
+            dana::BackendChoice::Auto => {
+                let (cached, rows) = self.advisor_inputs(stmt)?;
+                exec::resolve_backend(&self.hardware_profile(), &cached, rows, stmt)
+            }
+        }
+    }
+
+    /// The advisor's inputs for a statement: the cached accelerator
+    /// runtime (stale-checked, cache-counted) and the live table's tuple
+    /// count.
+    fn advisor_inputs(&self, stmt: &Statement) -> DanaResult<(Arc<CachedAccelerator>, u64)> {
+        let (udf, table) = match stmt {
+            Statement::Train(c) => (&c.udf, &c.table),
+            Statement::Predict(p) => (&p.udf, &p.table),
+            Statement::Evaluate(e) => (&e.udf, &e.table),
+            Statement::Explain(_) => {
+                return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+        };
+        let cached = self.accelerator_runtime(udf)?;
+        let rows = self.read().live_table(table)?.tuple_count;
+        Ok((cached, rows))
+    }
+
+    /// Runs a deployed accelerator's lowered program on the **native CPU
+    /// backend**: the identical shared-pool streamed scan and epoch loop,
+    /// timed with a stopwatch instead of the cycle model. Models and
+    /// engine counters are bit-identical to [`SystemCore::run_udf`]; no
+    /// accelerator lease is required.
+    pub fn run_udf_cpu(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        let cached = self.accelerator_runtime(udf)?;
+        let (entry, heap) = self.snapshot_table(table)?;
+        let design = cached.engine.design();
+        let access = exec::access_engine_for(&heap, cached.budget, &self.fpga);
+        let mut store = ModelStore::new(design, exec::initial_models(design))?;
+        let feed = FeedKind::for_mode(ExecutionMode::Strider);
+        let mut source = SharedPageStreamSource::new(
+            &self.pool,
+            &self.disk,
+            &heap,
+            entry.heap_id,
+            &access,
+            feed,
+        );
+        let run = cached.cpu.run_training(&mut source, &mut store)?;
+        let (access_stats, _io_first) = source.into_stats();
+        let report = exec::assemble_cpu_report(design, run, access_stats, store);
+        let cat = self.read();
+        if let Ok(entry) = cat.accelerator(udf) {
+            if !entry.stale {
+                exec::store_trained(entry, &report);
+            }
+        }
+        Ok(report)
+    }
+
+    /// CPU-tier PREDICT: the identical scoring scan with stopwatch
+    /// accounting; the materialized predictions are bit-identical to the
+    /// FPGA tier's.
+    pub fn predict_cpu(&self, udf: &str, source: &str, dest: &str) -> DanaResult<PredictReport> {
+        self.predict_full(
+            udf,
+            source,
+            dest,
+            ExecutionMode::Strider,
+            None,
+            BackendKind::Cpu,
+        )
+    }
+
+    /// CPU-tier EVALUATE: the identical metric fold with stopwatch
+    /// accounting.
+    pub fn evaluate_cpu(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+    ) -> DanaResult<EvalReport> {
+        self.evaluate_full(
+            udf,
+            table,
+            metric,
+            ExecutionMode::Strider,
+            None,
+            BackendKind::Cpu,
+        )
+    }
+
     /// Compiles `spec` ad hoc and runs it in the given mode (nothing is
     /// stored in the catalog) — the serving twin of
     /// `Dana::train_with_spec`.
@@ -471,6 +618,7 @@ impl SystemCore {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: k,
+            backend: BackendKind::Fpga,
             scoring: stats,
             timing,
         })
@@ -508,6 +656,7 @@ impl SystemCore {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: k,
+            backend: BackendKind::Fpga,
             scoring: stats,
             timing,
         })
@@ -673,6 +822,18 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<PredictReport> {
+        self.predict_full(udf, source, dest, mode, lanes, BackendKind::Fpga)
+    }
+
+    fn predict_full(
+        &self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+        backend: BackendKind,
+    ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let (entry, heap) = self.snapshot_table(source)?;
         // Cheap early refusal; the authoritative check is the guarded
@@ -683,7 +844,7 @@ impl SystemCore {
             ));
         }
         let (predictions, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+            self.scoring_scan(&setup, &entry, &heap, mode, backend, |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
@@ -711,6 +872,7 @@ impl SystemCore {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: 1,
+            backend,
             scoring: stats,
             timing,
         })
@@ -736,12 +898,24 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<EvalReport> {
+        self.evaluate_full(udf, table, metric, mode, lanes, BackendKind::Fpga)
+    }
+
+    fn evaluate_full(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        mode: ExecutionMode,
+        lanes: Option<u16>,
+        backend: BackendKind,
+    ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let (value, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+            self.scoring_scan(&setup, &entry, &heap, mode, backend, |p, l, stream| {
                 dana_infer::evaluate_source(p, l, stream, metric)
             })?;
         Ok(EvalReport {
@@ -752,6 +926,7 @@ impl SystemCore {
             rows_scored: stats.tuples,
             lanes: setup.lanes,
             shards: 1,
+            backend,
             scoring: stats,
             timing,
         })
@@ -768,12 +943,18 @@ impl SystemCore {
     ) -> DanaResult<Vec<f32>> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let (predictions, _, _) =
-            self.scoring_scan(&setup, &entry, &heap, mode, |p, l, stream| {
+        let (predictions, _, _) = self.scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            mode,
+            BackendKind::Fpga,
+            |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
-            })?;
+            },
+        )?;
         Ok(predictions)
     }
 
@@ -814,6 +995,7 @@ impl SystemCore {
         entry: &TableEntry,
         heap: &HeapFile,
         mode: ExecutionMode,
+        backend: BackendKind,
         run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -824,20 +1006,25 @@ impl SystemCore {
         let feed = FeedKind::for_mode(mode);
         let mut stream =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, entry.heap_id, &access, feed);
+        let start = std::time::Instant::now();
         let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
+        let wall = start.elapsed().as_secs_f64();
         let (access_stats, io_first) = stream.into_stats();
-        let timing = exec::assemble_scoring_timing(
-            mode,
-            setup.cached.budget,
-            &self.fpga,
-            &self.cpu,
-            &self.disk,
-            self.pool.frames(),
-            heap,
-            &access_stats,
-            io_first,
-            &stats,
-        );
+        let timing = match backend {
+            BackendKind::Cpu => dana::DanaTiming::wall_only(wall),
+            BackendKind::Fpga => exec::assemble_scoring_timing(
+                mode,
+                setup.cached.budget,
+                &self.fpga,
+                &self.cpu,
+                &self.disk,
+                self.pool.frames(),
+                heap,
+                &access_stats,
+                io_first,
+                &stats,
+            ),
+        };
         Ok((result, stats, timing))
     }
 
@@ -1122,6 +1309,77 @@ mod tests {
             s < train,
             "a scoring pass must undercut training under SJF: {s} vs {train}"
         );
+    }
+
+    #[test]
+    fn cpu_backend_matches_fpga_in_shared_core() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(500, 8)).unwrap();
+        core.deploy(&linreg_spec(8), "t").unwrap();
+
+        let fpga = core.run_udf("linearR", "t").unwrap();
+        let cpu = core.run_udf_cpu("linearR", "t").unwrap();
+        assert_eq!(cpu.backend, BackendKind::Cpu);
+        assert_eq!(cpu.models, fpga.models, "tiers must agree bit-for-bit");
+        assert_eq!(cpu.engine.cycles, fpga.engine.cycles);
+        assert_eq!(cpu.timing.total_seconds, 0.0, "nothing was simulated");
+        assert!(cpu.timing.wall_seconds.is_some());
+        assert_eq!(core.held_frames(), 0, "CPU tier must release every frame");
+
+        // Scoring tiers agree too, and the CPU report keeps the units
+        // separation.
+        let p_fpga = core.predict("linearR", "t", "pf").unwrap();
+        let p_cpu = core.predict_cpu("linearR", "t", "pc").unwrap();
+        assert_eq!(p_cpu.backend, BackendKind::Cpu);
+        assert_eq!(p_fpga.backend, BackendKind::Fpga);
+        assert!(p_cpu.timing.wall_seconds.is_some());
+        let scan = |t: &str| -> Vec<f32> {
+            core.table_snapshot(t)
+                .unwrap()
+                .scan_batch()
+                .unwrap()
+                .rows()
+                .map(|r| r[9])
+                .collect()
+        };
+        assert_eq!(scan("pf"), scan("pc"), "predictions must be bit-identical");
+        let e_fpga = core.evaluate("linearR", "t", None).unwrap();
+        let e_cpu = core.evaluate_cpu("linearR", "t", None).unwrap();
+        assert_eq!(e_cpu.value, e_fpga.value);
+        assert_eq!(e_cpu.backend, BackendKind::Cpu);
+    }
+
+    #[test]
+    fn advisor_routes_statements_in_shared_core() {
+        let core = small_core();
+        core.create_table("t", linreg_heap(300, 8)).unwrap();
+        core.deploy(&linreg_spec(8), "t").unwrap();
+        let stmt = dana::parse_statement("SELECT * FROM dana.linearR('t');").unwrap();
+
+        // Default: always offload, and EXPLAIN prices both tiers.
+        assert_eq!(core.resolve_backend(&stmt).unwrap(), BackendKind::Fpga);
+        let cmp = core.explain_statement(&stmt).unwrap();
+        assert_eq!(cmp.rows, 300);
+        assert_eq!(cmp.options.len(), 2);
+        assert_eq!(cmp.chosen, BackendKind::Fpga);
+
+        // Break-even model on: 300 rows routes to the CPU tier.
+        core.set_hardware_profile(core.hardware_profile().with_offload_threshold(None));
+        assert_eq!(core.resolve_backend(&stmt).unwrap(), BackendKind::Cpu);
+        // Forced backend still wins.
+        let forced =
+            dana::parse_statement("SELECT * FROM dana.linearR('t') WITH (backend = fpga);")
+                .unwrap();
+        assert_eq!(core.resolve_backend(&forced).unwrap(), BackendKind::Fpga);
+        // Gang + cpu is the typed conflict.
+        let conflict = dana::parse_statement(
+            "SELECT * FROM dana.linearR('t') WITH (shards = 2, backend = cpu);",
+        )
+        .unwrap();
+        assert!(matches!(
+            core.resolve_backend(&conflict),
+            Err(DanaError::Query(_))
+        ));
     }
 
     #[test]

@@ -28,8 +28,8 @@ use std::time::Instant;
 use crossbeam::channel::{self, Receiver};
 
 use dana::{
-    parse_statement, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport, ExecutionMode,
-    MetricKind, PredictReport, Statement,
+    parse_statement, BackendKind, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport,
+    ExecutionMode, MetricKind, PredictReport, Statement, StrategyComparison,
 };
 use dana_storage::HeapFile;
 
@@ -87,15 +87,20 @@ pub enum QueryResponse {
     Predicted(PredictReport),
     /// EVALUATE: the computed metric.
     Evaluated(EvalReport),
+    /// EXPLAIN: the advisor's per-backend comparison; nothing executed.
+    Explained(StrategyComparison),
 }
 
 impl QueryResponse {
-    /// End-to-end simulated seconds, whichever query type ran.
+    /// End-to-end simulated seconds, whichever query type ran. Zero for
+    /// EXPLAIN (nothing executed) and for CPU-tier runs (nothing
+    /// simulated — their stopwatch lives in `timing.wall_seconds`).
     pub fn sim_seconds(&self) -> f64 {
         match self {
             QueryResponse::Trained(r) => r.timing.total_seconds,
             QueryResponse::Predicted(p) => p.timing.total_seconds,
             QueryResponse::Evaluated(e) => e.timing.total_seconds,
+            QueryResponse::Explained(_) => 0.0,
         }
     }
 }
@@ -105,10 +110,11 @@ impl QueryResponse {
 pub struct QueryReply {
     pub response: QueryResponse,
     /// Which accelerator-pool instance ran the query (a gang's first
-    /// member for sharded queries).
+    /// member for sharded queries). `usize::MAX` for lease-free work —
+    /// EXPLAIN and CPU-tier runs never touch the pool.
     pub accelerator: usize,
     /// Every pool instance the query's gang held, ascending (one entry
-    /// for serial queries).
+    /// for serial queries; empty for lease-free EXPLAIN/CPU-tier work).
     pub gang: Vec<usize>,
     /// Wall-clock seconds spent waiting in the admission queue.
     pub queue_seconds: f64,
@@ -139,6 +145,14 @@ impl QueryReply {
         match &self.response {
             QueryResponse::Evaluated(e) => e,
             other => panic!("expected an evaluate reply, got {other:?}"),
+        }
+    }
+
+    /// The EXPLAIN comparison (panics for other reply kinds).
+    pub fn comparison(&self) -> &StrategyComparison {
+        match &self.response {
+            QueryResponse::Explained(c) => c,
+            other => panic!("expected an explain reply, got {other:?}"),
         }
     }
 }
@@ -309,6 +323,8 @@ impl DanaServer {
                     .core
                     .estimated_scoring_seconds(&e.udf, &e.table)
                     .unwrap_or(0.0),
+                // Metadata-only: runs instantly, schedule it first.
+                Ok(Statement::Explain(_)) => 0.0,
                 Err(_) => 0.0,
             },
             QueryRequest::RunUdf { udf, .. } => self.core.estimated_seconds(udf).unwrap_or(0.0),
@@ -366,7 +382,7 @@ fn gang_size(request: &QueryRequest, pool: usize, core: &SystemCore) -> u16 {
             Ok(Statement::Train(c)) => (c.shards, Some(c.table)),
             Ok(Statement::Predict(p)) => (p.shards, Some(p.table)),
             Ok(Statement::Evaluate(e)) => (e.shards, Some(e.table)),
-            Err(_) => (None, None),
+            Ok(Statement::Explain(_)) | Err(_) => (None, None),
         },
         QueryRequest::RunUdf { shards, table, .. }
         | QueryRequest::Predict { shards, table, .. }
@@ -380,9 +396,26 @@ fn gang_size(request: &QueryRequest, pool: usize, core: &SystemCore) -> u16 {
     k
 }
 
+/// Whether a request needs the simulated-FPGA tier (and therefore an
+/// accelerator lease). `EXPLAIN` and statements the advisor (or a
+/// `WITH (backend = cpu)` override) routes to the native CPU tier run
+/// lease-free — the pool is accelerator hardware, and a CPU run charging
+/// it would corrupt the utilization accounting. Resolution errors say
+/// FPGA here: the execution dispatch re-resolves and surfaces them typed.
+fn needs_accelerator(core: &SystemCore, request: &QueryRequest) -> bool {
+    match request {
+        QueryRequest::Sql(sql) => match parse_statement(sql) {
+            Ok(Statement::Explain(_)) => false,
+            Ok(stmt) => !matches!(core.resolve_backend(&stmt), Ok(BackendKind::Cpu)),
+            Err(_) => true,
+        },
+        _ => true,
+    }
+}
+
 /// One worker: pop an admitted query, atomically lease its gang (size 1
-/// for serial queries), execute, release every member with the simulated
-/// runtime, reply.
+/// for serial queries; none at all for EXPLAIN and CPU-tier runs),
+/// execute, release every member with the simulated runtime, reply.
 fn worker_loop(
     core: &SystemCore,
     accels: &AcceleratorPool,
@@ -390,35 +423,64 @@ fn worker_loop(
     sessions: &SessionManager,
 ) {
     while let Some(job) = queue.pop() {
-        let shards = gang_size(&job.request, accels.size(), core);
-        let Some(lease) = accels.lease_gang(shards as usize) else {
-            let _ = job.reply.send(Err(ServerError::ShuttingDown));
-            continue;
+        let (shards, lease) = if needs_accelerator(core, &job.request) {
+            let shards = gang_size(&job.request, accels.size(), core);
+            let Some(lease) = accels.lease_gang(shards as usize) else {
+                let _ = job.reply.send(Err(ServerError::ShuttingDown));
+                continue;
+            };
+            (shards, Some(lease))
+        } else {
+            (1, None)
         };
-        let gang = lease.ids().to_vec();
-        let accelerator = gang[0];
+        let gang: Vec<usize> = lease.as_ref().map(|l| l.ids().to_vec()).unwrap_or_default();
+        let accelerator = gang.first().copied().unwrap_or(usize::MAX);
         let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
         let started = Instant::now();
         let result: DanaResult<QueryResponse> = match &job.request {
             QueryRequest::Sql(sql) => parse_statement(sql).and_then(|stmt| match stmt {
+                Statement::Explain(inner) => {
+                    core.explain_statement(&inner).map(QueryResponse::Explained)
+                }
                 Statement::Train(call) if shards > 1 => core
                     .run_udf_sharded(&call.udf, &call.table, shards)
                     .map(QueryResponse::Trained),
-                Statement::Train(call) => core
-                    .run_udf(&call.udf, &call.table)
-                    .map(QueryResponse::Trained),
+                Statement::Train(call) => {
+                    match core.resolve_backend(&Statement::Train(call.clone()))? {
+                        BackendKind::Cpu => core
+                            .run_udf_cpu(&call.udf, &call.table)
+                            .map(QueryResponse::Trained),
+                        BackendKind::Fpga => core
+                            .run_udf(&call.udf, &call.table)
+                            .map(QueryResponse::Trained),
+                    }
+                }
                 Statement::Predict(p) if shards > 1 => core
                     .predict_sharded(&p.udf, &p.table, &p.into, shards)
                     .map(QueryResponse::Predicted),
-                Statement::Predict(p) => core
-                    .predict(&p.udf, &p.table, &p.into)
-                    .map(QueryResponse::Predicted),
+                Statement::Predict(p) => {
+                    match core.resolve_backend(&Statement::Predict(p.clone()))? {
+                        BackendKind::Cpu => core
+                            .predict_cpu(&p.udf, &p.table, &p.into)
+                            .map(QueryResponse::Predicted),
+                        BackendKind::Fpga => core
+                            .predict(&p.udf, &p.table, &p.into)
+                            .map(QueryResponse::Predicted),
+                    }
+                }
                 Statement::Evaluate(e) if shards > 1 => core
                     .evaluate_sharded(&e.udf, &e.table, e.metric, shards)
                     .map(QueryResponse::Evaluated),
-                Statement::Evaluate(e) => core
-                    .evaluate(&e.udf, &e.table, e.metric)
-                    .map(QueryResponse::Evaluated),
+                Statement::Evaluate(e) => {
+                    match core.resolve_backend(&Statement::Evaluate(e.clone()))? {
+                        BackendKind::Cpu => core
+                            .evaluate_cpu(&e.udf, &e.table, e.metric)
+                            .map(QueryResponse::Evaluated),
+                        BackendKind::Fpga => core
+                            .evaluate(&e.udf, &e.table, e.metric)
+                            .map(QueryResponse::Evaluated),
+                    }
+                }
             }),
             QueryRequest::RunUdf { udf, table, .. } if shards > 1 => core
                 .run_udf_sharded(udf, table, shards)
@@ -450,7 +512,9 @@ fn worker_loop(
         };
         let exec_seconds = started.elapsed().as_secs_f64();
         let sim_seconds = result.as_ref().map(|r| r.sim_seconds()).unwrap_or(0.0);
-        lease.release(sim_seconds);
+        if let Some(lease) = lease {
+            lease.release(sim_seconds);
+        }
         sessions.record_done(job.session, result.is_ok(), sim_seconds, exec_seconds);
         let reply = result
             .map(|response| QueryReply {

@@ -879,3 +879,74 @@ fn gang_size_clamps_to_the_tables_page_count() {
         util.busy_seconds
     );
 }
+
+/// CPU-tier and EXPLAIN queries are lease-free: the backend resolves
+/// *before* admission leases, so neither touches the accelerator pool —
+/// its utilization ledger charges only the FPGA-tier run, and the
+/// CPU-trained model is still bit-identical to the offloaded one.
+#[test]
+fn cpu_tier_and_explain_bypass_the_accelerator_pool() {
+    let srv = server(2, SchedPolicy::Fifo, 64);
+    let mut w = workload("Remote Sensing LR").unwrap().scaled(0.004);
+    w.epochs = 2;
+    w.merge_coef = 8;
+    srv.create_table("t", generate(&w, 32 * 1024, 71).unwrap().heap)
+        .unwrap();
+    srv.deploy(&w.spec(), "t").unwrap();
+    let session = srv.open_session("advisor");
+
+    // EXPLAIN: priced, never executed, never leased.
+    let explained = srv
+        .call(
+            session,
+            QueryRequest::Sql("EXPLAIN SELECT * FROM dana.logisticR('t');".into()),
+        )
+        .unwrap();
+    let cmp = explained.comparison();
+    assert_eq!(cmp.options.len(), 2);
+    assert!(explained.gang.is_empty(), "EXPLAIN must not lease");
+    assert_eq!(explained.accelerator, usize::MAX);
+
+    // Forced CPU training: lease-free, wall-timed, zero simulated cost.
+    let cpu = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.logisticR('t') WITH (backend = cpu);".into()),
+        )
+        .unwrap();
+    assert!(cpu.gang.is_empty(), "CPU tier must not lease");
+    assert_eq!(cpu.accelerator, usize::MAX);
+    assert_eq!(cpu.report().backend, BackendKind::Cpu);
+    assert_eq!(cpu.report().timing.total_seconds, 0.0);
+    assert!(cpu.report().timing.wall_seconds.is_some());
+
+    // The offloaded run leases one instance and agrees bit-for-bit.
+    let fpga = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.logisticR('t');".into()),
+        )
+        .unwrap();
+    assert_eq!(fpga.gang.len(), 1);
+    assert_eq!(fpga.report().backend, BackendKind::Fpga);
+    assert_eq!(
+        cpu.report().models,
+        fpga.report().models,
+        "tiers must agree bit-for-bit through the server"
+    );
+
+    assert_eq!(srv.core().held_frames(), 0, "buffer-pool frame leak");
+    let util = srv.shutdown();
+    assert_eq!(
+        util.leases.iter().sum::<u64>(),
+        1,
+        "only the FPGA-tier run may lease: {:?}",
+        util.leases
+    );
+    assert_eq!(
+        util.busy_seconds.iter().filter(|&&b| b > 0.0).count(),
+        1,
+        "only the FPGA-tier run may charge simulated time: {:?}",
+        util.busy_seconds
+    );
+}
