@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use dana::exec::initial_models;
 use dana::prelude::*;
+use dana_bench::{series_path, BenchRecord};
 use dana_compiler::{schedule_hdfg, ScheduleParams};
 use dana_dsl::zoo::{self, Algorithm, DenseParams};
 use dana_engine::{ExecutionEngine, ModelStore};
@@ -63,28 +64,6 @@ fn dense_heap(n: usize) -> HeapFile {
         b.insert(&Tuple::training(&x, s)).unwrap();
     }
     b.finish()
-}
-
-#[derive(serde::Serialize)]
-struct BenchRecord {
-    bench: String,
-    tuples: u64,
-    features: usize,
-    threads: u16,
-    smoke: bool,
-    /// One lowered-SoA training epoch (the CPU backend's hot loop).
-    cpu_soa_ms: f64,
-    /// The same epoch on the per-tuple micro-op interpreter.
-    per_tuple_ms: f64,
-    soa_speedup: f64,
-    /// This host's measured lane rate (ops/s) from calibration.
-    measured_lane_rate: f64,
-    /// Advisor break-even for the crossover program on this host.
-    break_even_rows: u64,
-    /// Measured wall seconds of the CPU-tier run below break-even.
-    cpu_wall_s: f64,
-    /// Simulated seconds of the FPGA-tier run above break-even.
-    fpga_sim_s: f64,
 }
 
 fn main() {
@@ -191,35 +170,15 @@ fn main() {
         fpga_sim * 1e3
     );
 
-    let record = BenchRecord {
-        bench: "backend_race".into(),
-        tuples: n as u64,
-        features: FEATURES,
-        threads: THREADS,
-        smoke,
-        cpu_soa_ms,
-        per_tuple_ms,
-        soa_speedup,
-        measured_lane_rate: measured_rate,
-        break_even_rows: break_even,
-        cpu_wall_s: cpu_wall,
-        fpga_sim_s: fpga_sim,
-    };
-    if smoke {
-        println!("smoke mode: not recording (small-batch numbers are not baselines)");
-    } else {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backend.json");
-        let mut line = serde_json::to_string(&record).unwrap();
-        line.push('\n');
-        use std::io::Write;
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
-            .unwrap();
-        println!("recorded -> {path}");
-    }
+    BenchRecord::new("backend_race", per_tuple_ms, cpu_soa_ms, smoke)
+        .int("tuples", n as u64)
+        .int("features", FEATURES as u64)
+        .int("threads", THREADS as u64)
+        .num("measured_lane_rate", measured_rate)
+        .int("break_even_rows", break_even)
+        .num("cpu_wall_s", cpu_wall)
+        .num("fpga_sim_s", fpga_sim)
+        .append(&series_path("backend"));
 
     // Acceptance: the CPU tier's lowered executor must clear 2× over the
     // per-tuple reference (1.2× in smoke mode).

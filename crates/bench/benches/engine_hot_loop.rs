@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use dana_bench::{series_path, BenchRecord};
 use dana_compiler::{schedule_hdfg, ScheduleParams};
 use dana_dsl::zoo::{logistic_regression, DenseParams};
 use dana_engine::{ExecutionEngine, ModelStore};
@@ -42,28 +43,6 @@ fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
-}
-
-#[derive(serde::Serialize)]
-struct BenchRecord {
-    bench: String,
-    workload: String,
-    tuples: u64,
-    features: usize,
-    threads: u16,
-    epochs: u32,
-    iters: usize,
-    smoke: bool,
-    /// Engine-only (train from a pre-extracted batch), milliseconds.
-    train_rows_reference_ms: f64,
-    train_interpreter_ms: f64,
-    train_lowered_ms: f64,
-    /// End-to-end (extract every page + train), milliseconds.
-    e2e_interpreter_ms: f64,
-    e2e_lowered_ms: f64,
-    /// The acceptance number: lowered executor vs flat-batch interpreter.
-    speedup_lowered_vs_interpreter: f64,
-    speedup_e2e: f64,
 }
 
 fn main() {
@@ -181,39 +160,24 @@ fn main() {
     println!("end-to-end    interpreter    {e2e_interpreter_ms:>8.3} ms");
     println!("end-to-end    lowered SoA    {e2e_lowered_ms:>8.3} ms   ({speedup_e2e:.2}×)");
 
-    let record = BenchRecord {
-        bench: "engine_hot_loop".into(),
-        workload: w.name.to_string(),
-        tuples: heap.tuple_count(),
-        features: width - 1,
-        threads: design.num_threads,
-        epochs: 1,
-        iters,
-        smoke,
-        train_rows_reference_ms,
+    // Append (JSON lines): the trajectory accumulates across PRs.
+    BenchRecord::new(
+        "engine_hot_loop",
         train_interpreter_ms,
         train_lowered_ms,
-        e2e_interpreter_ms,
-        e2e_lowered_ms,
-        speedup_lowered_vs_interpreter: speedup,
-        speedup_e2e,
-    };
-    if smoke {
-        println!("smoke mode: not recording (low-iteration numbers are not baselines)");
-    } else {
-        // Append (JSON lines): the trajectory accumulates across PRs.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-        let mut line = serde_json::to_string(&record).unwrap();
-        line.push('\n');
-        use std::io::Write;
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
-            .unwrap();
-        println!("recorded -> {path}");
-    }
+        smoke,
+    )
+    .str("workload", w.name)
+    .int("tuples", heap.tuple_count())
+    .int("features", (width - 1) as u64)
+    .int("threads", design.num_threads as u64)
+    .int("epochs", 1)
+    .int("iters", iters as u64)
+    .num("train_rows_reference_ms", train_rows_reference_ms)
+    .num("e2e_interpreter_ms", e2e_interpreter_ms)
+    .num("e2e_lowered_ms", e2e_lowered_ms)
+    .num("speedup_e2e", speedup_e2e)
+    .append(&series_path("engine"));
 
     // Acceptance: the lowered executor must clear 2× over the flat-batch
     // interpreter (relaxed in smoke mode, where iteration counts are too

@@ -19,6 +19,7 @@
 use std::time::Instant;
 
 use dana::prelude::*;
+use dana_bench::{series_path, BenchRecord};
 use dana_server::{SystemCore, SystemCoreConfig};
 use dana_storage::page::TupleDirection;
 use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
@@ -37,25 +38,6 @@ fn logistic_heap(n: usize, d: usize) -> HeapFile {
             .unwrap();
     }
     b.finish()
-}
-
-#[derive(serde::Serialize)]
-struct BenchRecord {
-    bench: String,
-    tuples: u64,
-    features: usize,
-    pages: u32,
-    smoke: bool,
-    serial_sim_s: f64,
-    shards2_sim_s: f64,
-    shards4_sim_s: f64,
-    speedup_2: f64,
-    speedup_4: f64,
-    serial_wall_ms: f64,
-    shards4_wall_ms: f64,
-    train_serial_sim_s: f64,
-    train_shards4_sim_s: f64,
-    train_speedup_4: f64,
 }
 
 fn main() {
@@ -138,38 +120,23 @@ fn main() {
         p2.timing.total_seconds, p4.timing.total_seconds
     );
 
-    let record = BenchRecord {
-        bench: "parallel_scaling".into(),
-        tuples: n as u64,
-        features: d,
-        pages,
+    BenchRecord::new(
+        "parallel_scaling",
+        serial.timing.total_seconds * 1e3,
+        p4.timing.total_seconds * 1e3,
         smoke,
-        serial_sim_s: serial.timing.total_seconds,
-        shards2_sim_s: p2.timing.total_seconds,
-        shards4_sim_s: p4.timing.total_seconds,
-        speedup_2: s2,
-        speedup_4: s4,
-        serial_wall_ms: serial_wall,
-        shards4_wall_ms: wall4,
-        train_serial_sim_s: train_serial.timing.total_seconds,
-        train_shards4_sim_s: train4.timing.total_seconds,
-        train_speedup_4: train_speedup,
-    };
-    if smoke {
-        println!("smoke mode: not recording (small-table numbers are not baselines)");
-    } else {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-        let mut line = serde_json::to_string(&record).unwrap();
-        line.push('\n');
-        use std::io::Write;
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
-            .unwrap();
-        println!("recorded -> {path}");
-    }
+    )
+    .int("tuples", n as u64)
+    .int("features", d as u64)
+    .int("pages", pages as u64)
+    .num("shards2_sim_s", p2.timing.total_seconds)
+    .num("speedup_2", s2)
+    .num("serial_wall_ms", serial_wall)
+    .num("shards4_wall_ms", wall4)
+    .num("train_serial_sim_s", train_serial.timing.total_seconds)
+    .num("train_shards4_sim_s", train4.timing.total_seconds)
+    .num("train_speedup_4", train_speedup)
+    .append(&series_path("parallel"));
 
     // Acceptance: 4-shard PREDICT must clear 2.5× over serial (relaxed
     // to 1.3× in smoke mode, where per-query constants dominate the

@@ -21,6 +21,7 @@
 
 use std::time::Instant;
 
+use dana_bench::{series_path, BenchRecord};
 use dana_infer::{score_batch, ScoringProgram};
 use dana_ml::scorer::{score_dense_row, Link};
 use dana_storage::{HeapPage, PageView, Tuple, TupleBatch};
@@ -35,21 +36,6 @@ fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
-}
-
-#[derive(serde::Serialize)]
-struct BenchRecord {
-    bench: String,
-    workload: String,
-    tuples: u64,
-    features: usize,
-    lanes: u16,
-    iters: usize,
-    smoke: bool,
-    /// Full pass (page deform + score), milliseconds.
-    per_tuple_ms: f64,
-    batch_ms: f64,
-    speedup_batch_vs_per_tuple: f64,
 }
 
 fn main() {
@@ -126,33 +112,13 @@ fn main() {
     println!("per-tuple reference {per_tuple_ms:>8.3} ms");
     println!("batch SoA scorer    {batch_ms:>8.3} ms   ({speedup:.2}×)");
 
-    let record = BenchRecord {
-        bench: "scoring_throughput".into(),
-        workload: w.name.to_string(),
-        tuples: heap.tuple_count(),
-        features: d,
-        lanes,
-        iters,
-        smoke,
-        per_tuple_ms,
-        batch_ms,
-        speedup_batch_vs_per_tuple: speedup,
-    };
-    if smoke {
-        println!("smoke mode: not recording (low-iteration numbers are not baselines)");
-    } else {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
-        let mut line = serde_json::to_string(&record).unwrap();
-        line.push('\n');
-        use std::io::Write;
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
-            .unwrap();
-        println!("recorded -> {path}");
-    }
+    BenchRecord::new("scoring_throughput", per_tuple_ms, batch_ms, smoke)
+        .str("workload", w.name)
+        .int("tuples", heap.tuple_count())
+        .int("features", d as u64)
+        .int("lanes", lanes as u64)
+        .int("iters", iters as u64)
+        .append(&series_path("predict"));
 
     // Acceptance: batch scoring must clear 2× over the per-tuple
     // reference (relaxed in smoke mode on noisy shared runners).

@@ -1,0 +1,73 @@
+//! Baseline-noise gate for the recorded bench trajectories.
+//!
+//! Reads each repo-root `BENCH_*.json` series and compares the newest
+//! full (non-smoke) record's speedup against the previous full record's.
+//! The speedup is dimensionless — baseline and candidate run on the same
+//! host in the same process — so it is the one number that stays
+//! comparable across machines; a slowdown the instrumentation introduced
+//! in the candidate path shows up directly as a speedup drop.
+//!
+//! Usage: `cargo run --release -p dana-bench --bin check_baselines`
+//! after running the recording benches. A series with fewer than two
+//! full records is reported and skipped (nothing to diff yet). The
+//! allowed relative drop defaults to 3% and can be widened for noisy
+//! hosts with `DANA_BASELINE_TOLERANCE=0.05`.
+
+use dana_bench::{common_fields_compat, read_series, series_path};
+
+const SERIES: &[&str] = &["engine", "backend", "parallel", "predict"];
+
+fn main() {
+    let tolerance: f64 = std::env::var("DANA_BASELINE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03);
+    println!(
+        "=== bench baseline check (allowed speedup drop {:.0}%) ===",
+        tolerance * 100.0
+    );
+
+    let mut failures = 0;
+    for name in SERIES {
+        let path = series_path(name);
+        let records = match read_series(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("BENCH_{name}: unreadable ({e})");
+                failures += 1;
+                continue;
+            }
+        };
+        // Full-run records only: smoke numbers use reduced workloads.
+        let full: Vec<(f64, f64, f64)> = records
+            .iter()
+            .filter_map(common_fields_compat)
+            .filter(|(_, _, _, smoke)| !smoke)
+            .map(|(b, c, s, _)| (b, c, s))
+            .collect();
+        match full.as_slice() {
+            [] => println!("BENCH_{name}: no full records yet — skipped"),
+            [only] => println!(
+                "BENCH_{name}: single full record (speedup {:.2}x) — nothing to diff yet",
+                only.2
+            ),
+            [.., (_, _, prev), (baseline_ms, candidate_ms, newest)] => {
+                let floor = prev * (1.0 - tolerance);
+                let ok = *newest >= floor;
+                println!(
+                    "BENCH_{name}: speedup {prev:.3}x -> {newest:.3}x \
+                     (candidate {candidate_ms:.3} ms vs baseline {baseline_ms:.3} ms) {}",
+                    if ok { "OK" } else { "REGRESSED" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} series regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("all series within tolerance");
+}

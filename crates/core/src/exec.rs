@@ -22,6 +22,7 @@ use dana_engine::{
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
 use dana_infer::{ScoringProgram, ScoringRecipe, ScoringStats};
 use dana_ml::CpuModel;
+use dana_obs::SpanRecorder;
 use dana_storage::{AcceleratorEntry, DiskModel, HeapFile};
 use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
 
@@ -29,7 +30,129 @@ use crate::advisor::{self, BackendChoice, HardwareProfile, StrategyComparison, W
 use crate::error::{DanaError, DanaResult};
 use crate::query::Statement;
 use crate::report::{DanaReport, DanaTiming, Seconds};
-use crate::runtime::{compose, EpochCosts, ExecutionMode};
+use crate::runtime::{compose, stage_partition, EpochCosts, ExecutionMode};
+
+/// The query-lifecycle trace's stage vocabulary, in lifecycle order.
+/// Both facades pre-register the front half (`parse` → `admission_wait`
+/// → `lease`) and the shared assembly helpers here fill in the execution
+/// stages, so the two paths emit structurally identical traces.
+pub mod stage {
+    pub const PARSE: &str = "parse";
+    pub const ADMISSION: &str = "admission_wait";
+    pub const LEASE: &str = "lease";
+    pub const SCAN: &str = "scan";
+    pub const ENGINE: &str = "engine";
+    pub const MERGE: &str = "merge";
+    pub const MATERIALIZE: &str = "materialize";
+    pub const REPLY: &str = "reply";
+}
+
+/// Pre-registers the lifecycle skeleton on a recorder: the three stages
+/// every query passes before execution, in order, with the measured
+/// parse/wait walls. No-op when the recorder is disabled.
+pub fn begin_trace(rec: &SpanRecorder, parse_wall: Seconds, admission_wall: Seconds) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.stage(stage::PARSE);
+    rec.add_wall(stage::PARSE, parse_wall);
+    rec.stage(stage::ADMISSION);
+    rec.add_wall(stage::ADMISSION, admission_wall);
+    rec.stage(stage::LEASE);
+}
+
+/// Seals a trace: appends the terminal `reply` stage and drains the
+/// recorder into a [`dana_obs::QueryTrace`] carrying the end-to-end
+/// totals. Returns `None` on a disabled recorder.
+pub fn finish_trace(
+    rec: &SpanRecorder,
+    total_sim: Seconds,
+    total_wall: Seconds,
+) -> Option<dana_obs::QueryTrace> {
+    if !rec.is_enabled() {
+        return None;
+    }
+    rec.stage(stage::REPLY);
+    rec.finish(total_sim, total_wall)
+}
+
+/// Records the execution-stage spans (`scan` / `engine` + per-epoch
+/// children / `merge`) of one composed training run. The stage sims are
+/// an exact partition of [`compose`]'s `total_seconds` — `lease + scan +
+/// engine + merge` reproduces the report total to float rounding, which
+/// `EXPLAIN ANALYZE` asserts against the query report.
+///
+/// Counts and children depend only on the statement and the engine's
+/// deterministic epoch outcome — never on gang width or facade — so the
+/// trace *shape* is identical across serial/concurrent paths and shard
+/// counts (gang scan work aggregates into the one `scan` stage via the
+/// critical path, which is exactly how the cost model composes it).
+fn record_training_spans(
+    rec: &SpanRecorder,
+    mode: ExecutionMode,
+    epochs: u32,
+    costs: &EpochCosts,
+    clock_hz: f64,
+    epoch_cycles: &[u64],
+    merge_cycles: u64,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let part = stage_partition(mode, epochs, costs);
+    rec.add_sim(stage::LEASE, part.setup);
+    rec.add_sim(stage::SCAN, part.scan);
+    // The gang's epoch-boundary merge tier rides the engine's cycle
+    // counter in the cost model; carve its share back out so the trace
+    // attributes it to its own stage (bounded by the engine slice).
+    let merge_sim = (merge_cycles as f64 / clock_hz.max(1.0)).min(part.engine);
+    let engine_sim = part.engine - merge_sim;
+    rec.add_sim(stage::ENGINE, engine_sim);
+    let epochs = epochs.max(1) as usize;
+    rec.set_count(stage::ENGINE, epochs as u64);
+    let logged: u64 = epoch_cycles.iter().sum();
+    for e in 0..epochs {
+        // A real per-epoch cycle log distributes the engine slice in the
+        // measured proportions; without one (gang members log per shard)
+        // the epochs share it uniformly. Either way the children sum to
+        // the parent stage.
+        let share = if epoch_cycles.len() == epochs && logged > 0 {
+            engine_sim * epoch_cycles[e] as f64 / logged as f64
+        } else {
+            engine_sim / epochs as f64
+        };
+        rec.child(stage::ENGINE, "epoch", share);
+    }
+    rec.add_sim(stage::MERGE, merge_sim);
+}
+
+/// [`record_training_spans`]'s scoring twin: one pass, no epochs, no
+/// merge tier — `engine` carries the forward-pass compute
+/// ([`ScoringStats::engine_seconds`]) and `merge` stays an empty anchor
+/// so scoring traces keep the same stage order as training.
+fn record_scoring_spans(rec: &SpanRecorder, mode: ExecutionMode, costs: &EpochCosts) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let part = stage_partition(mode, 1, costs);
+    rec.add_sim(stage::LEASE, part.setup);
+    rec.add_sim(stage::SCAN, part.scan);
+    rec.add_sim(stage::ENGINE, part.engine);
+    rec.stage(stage::MERGE);
+}
+
+/// Records the wall-clock execution spans of a native-CPU run, where no
+/// cycle model exists: the measured backend wall lands on `engine`, and
+/// `scan`/`merge` stay structural anchors so CPU traces share the FPGA
+/// trace's stage order.
+pub fn record_cpu_spans(rec: &SpanRecorder, wall_seconds: Seconds) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.stage(stage::SCAN);
+    rec.add_wall(stage::ENGINE, wall_seconds);
+    rec.stage(stage::MERGE);
+}
 
 /// Per-tuple CPU→FPGA handshake cost in the Strider-less ablation
 /// ("significant overhead due to the handshaking between CPU and FPGA",
@@ -277,6 +400,10 @@ pub struct RunArtifacts {
     pub access_stats: AccessStats,
     /// Simulated disk seconds charged by the first (cold-ish) scan.
     pub io_first: Seconds,
+    /// Per-epoch engine-cycle deltas from the training session's log
+    /// (sums to `engine_stats.cycles`). Empty when the run didn't log —
+    /// the trace then shares the engine stage uniformly across epochs.
+    pub epoch_cycles: Vec<u64>,
 }
 
 /// Composes a finished run's stats into the end-to-end [`DanaReport`] via
@@ -294,11 +421,13 @@ pub fn assemble_report(
     heap: &HeapFile,
     run: RunArtifacts,
     store: ModelStore,
+    rec: &SpanRecorder,
 ) -> DanaReport {
     let RunArtifacts {
         engine_stats: stats,
         access_stats,
         io_first,
+        epoch_cycles,
     } = run;
     let epochs = stats.epochs_run.max(1);
     let engine_per_epoch = stats.cycles as f64 / epochs as f64 / fpga.clock.hz;
@@ -315,6 +444,7 @@ pub fn assemble_report(
         engine_per_epoch,
     );
     let timing: DanaTiming = compose(mode, epochs, &costs);
+    record_training_spans(rec, mode, epochs, &costs, fpga.clock.hz, &epoch_cycles, 0);
 
     let model_names = design.models.iter().map(|m| m.name.clone()).collect();
     DanaReport {
@@ -341,7 +471,9 @@ pub fn assemble_cpu_report(
     run: BackendRun,
     access_stats: AccessStats,
     store: ModelStore,
+    rec: &SpanRecorder,
 ) -> DanaReport {
+    record_cpu_spans(rec, run.wall_seconds.unwrap_or(0.0));
     let model_names = design.models.iter().map(|m| m.name.clone()).collect();
     DanaReport {
         models: store.into_values(),
@@ -412,7 +544,12 @@ fn statement_request(stmt: &Statement) -> DanaResult<(BackendChoice, Option<u16>
         Statement::Train(c) => Ok((c.backend, c.shards)),
         Statement::Predict(p) => Ok((p.backend, p.shards)),
         Statement::Evaluate(e) => Ok((e.backend, e.shards)),
-        Statement::Explain(_) => Err(DanaError::Query("EXPLAIN cannot be nested".to_string())),
+        Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
+            Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+        }
+        Statement::ShowStats(_) => Err(DanaError::Query(
+            "SHOW STATS has no execution backend".to_string(),
+        )),
     }
 }
 
@@ -436,7 +573,9 @@ pub fn explain_statement(
         Statement::Train(c) => format!("EXECUTE {} ON {}", c.udf, c.table),
         Statement::Predict(p) => format!("PREDICT {} ON {} INTO {}", p.udf, p.table, p.into),
         Statement::Evaluate(e) => format!("EVALUATE {} ON {}", e.udf, e.table),
-        Statement::Explain(_) => unreachable!("rejected by statement_request"),
+        Statement::Explain(_) | Statement::ExplainAnalyze(_) | Statement::ShowStats(_) => {
+            unreachable!("rejected by statement_request")
+        }
     };
     Ok(advisor::advise(profile, &workload, requested, statement))
 }
@@ -527,6 +666,7 @@ pub fn assemble_scoring_timing(
     access_stats: &AccessStats,
     io_first: Seconds,
     scoring: &ScoringStats,
+    rec: &SpanRecorder,
 ) -> DanaTiming {
     let costs = stream_costs(
         budget,
@@ -538,8 +678,9 @@ pub fn assemble_scoring_timing(
         heap.page_count(),
         access_stats,
         io_first,
-        scoring.cycles as f64 / fpga.clock.hz,
+        scoring.engine_seconds(fpga.clock.hz),
     );
+    record_scoring_spans(rec, mode, &costs);
     compose(mode, 1, &costs)
 }
 
@@ -593,6 +734,7 @@ pub fn assemble_gang_report(
     shards: Vec<ShardArtifacts>,
     merge_cycles: u64,
     models: Vec<Vec<f32>>,
+    rec: &SpanRecorder,
 ) -> DanaResult<DanaReport> {
     let store = ModelStore::new(design, models)?;
     let shard_count = shards.len() as u16;
@@ -611,8 +753,10 @@ pub fn assemble_gang_report(
                 engine_stats: s.engine_stats,
                 access_stats: s.access_stats,
                 io_first: s.io_first,
+                epoch_cycles: Vec::new(),
             },
             store,
+            rec,
         ));
     }
     let mut stats = EngineStats::default();
@@ -653,6 +797,7 @@ pub fn assemble_gang_report(
         engine_per_epoch,
     );
     let timing: DanaTiming = compose(mode, epochs, &costs);
+    record_training_spans(rec, mode, epochs, &costs, fpga.clock.hz, &[], merge_cycles);
     let model_names = design.models.iter().map(|m| m.name.clone()).collect();
     Ok(DanaReport {
         models: store.into_values(),
@@ -683,6 +828,7 @@ pub fn assemble_gang_scoring_timing(
     heap: &HeapFile,
     shards: &[ShardArtifacts],
     scoring: &[ScoringStats],
+    rec: &SpanRecorder,
 ) -> (DanaTiming, ScoringStats) {
     assert_eq!(
         shards.len(),
@@ -701,6 +847,7 @@ pub fn assemble_gang_scoring_timing(
             &shards[0].access_stats,
             shards[0].io_first,
             &scoring[0],
+            rec,
         );
         return (timing, scoring[0]);
     }
@@ -727,8 +874,9 @@ pub fn assemble_gang_scoring_timing(
         scan_pages,
         &access,
         io_first,
-        combined.cycles as f64 / fpga.clock.hz,
+        combined.engine_seconds(fpga.clock.hz),
     );
+    record_scoring_spans(rec, mode, &costs);
     (compose(mode, 1, &costs), combined)
 }
 

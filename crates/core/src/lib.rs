@@ -59,13 +59,15 @@ pub use analytic::{
 };
 pub use dana_engine::{BackendKind, CpuBackend, ExecutionBackend, FpgaBackend};
 pub use dana_infer::{MetricKind, ScoringRecipe, ScoringStats};
+pub use dana_obs::{MetricsRegistry, QueryTrace, SpanRecorder, StatsSnapshot, TraceSpan};
 pub use dana_parallel::{ParallelError, ShardPlan, ShardRange};
 pub use error::{DanaError, DanaResult};
 pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts, TrainedModels};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
 pub use query::{parse_query, parse_statement, EvaluateCall, PredictCall, QueryCall, Statement};
 pub use report::{
-    DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, StatementOutcome,
+    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome,
+    StatementOutcome,
 };
 pub use runtime::ExecutionMode;
 pub use source::{FeedKind, PageStreamSource, SharedPageStreamSource};

@@ -27,12 +27,15 @@ use dana_storage::{
 };
 use dana_strider::{disassemble, AccessEngine, AccessStats};
 
+use dana_obs::{MetricsRegistry, QueryTrace, SpanRecorder, StatEntry, StatsSnapshot};
+
 use crate::advisor::{BackendChoice, HardwareProfile, StrategyComparison};
 use crate::error::{DanaError, DanaResult};
 use crate::exec::{self, ArtifactBlob, RunArtifacts, ShardArtifacts};
 use crate::query::{parse_query, parse_statement, QueryCall, Statement};
 use crate::report::{
-    DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, Seconds, StatementOutcome,
+    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, Seconds,
+    StatementOutcome,
 };
 use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
@@ -76,6 +79,12 @@ pub struct Dana {
     /// Per-backend throughput estimates the backend advisor prices
     /// `backend = auto` queries against.
     profile: HardwareProfile,
+    /// Front-door counters and latency histograms (`SHOW STATS`).
+    metrics: MetricsRegistry,
+    /// The lifecycle-span recorder of the statement currently executing.
+    /// Disabled (every call a no-op) except while a traced statement —
+    /// `EXPLAIN ANALYZE` or `WITH (trace = on)` — is in flight.
+    rec: SpanRecorder,
 }
 
 impl Dana {
@@ -94,6 +103,8 @@ impl Dana {
             fpga,
             cpu: CpuModel::i7_6700(),
             profile,
+            metrics: MetricsRegistry::new(),
+            rec: SpanRecorder::disabled(),
         }
     }
 
@@ -138,6 +149,37 @@ impl Dana {
         self.pool.stats()
     }
 
+    /// The front-door metrics registry (`SHOW STATS` reads it; tests
+    /// assert against it directly).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time statistics snapshot — the `SHOW STATS` result
+    /// surface. Push-side counters and histograms come from the registry;
+    /// pull-side values (buffer-pool state) are read from their
+    /// authoritative owners at snapshot time so the numbers can never
+    /// drift from what the subsystems themselves report.
+    pub fn stats_snapshot(&self, subsystem: Option<&str>) -> StatsSnapshot {
+        let mut entries = Vec::new();
+        self.metrics.snapshot_into(&mut entries);
+        let ps = self.pool.stats();
+        entries.push(StatEntry::new("buffer", "hits", ps.hits as f64));
+        entries.push(StatEntry::new("buffer", "misses", ps.misses as f64));
+        entries.push(StatEntry::new("buffer", "evictions", ps.evictions as f64));
+        entries.push(StatEntry::new("buffer", "io_seconds", ps.io_seconds));
+        entries.push(StatEntry::new(
+            "buffer",
+            "resident_pages",
+            self.pool.resident_pages() as f64,
+        ));
+        let snap = StatsSnapshot::new(entries);
+        match subsystem {
+            Some(s) => snap.filtered(s),
+            None => snap,
+        }
+    }
+
     /// Pages currently resident in the buffer pool (the drop paths must
     /// leave none behind for dropped or stale heaps).
     pub fn resident_pages(&self) -> usize {
@@ -166,6 +208,9 @@ impl Dana {
             self.pool.evict_heap(derived_heap)?;
             stale_prediction_tables.push(table);
         }
+        self.metrics
+            .staleness_invalidations
+            .add((invalidated_udfs.len() + stale_prediction_tables.len()) as u64);
         Ok(DropSummary {
             table: name.to_string(),
             pages_evicted,
@@ -259,20 +304,61 @@ impl Dana {
 
     /// Executes any front-door statement: `SELECT … FROM dana.<udf>(…)`
     /// (train), `PREDICT … INTO …` (score + materialize), `EVALUATE …`
-    /// (score + metric), or `EXPLAIN <stmt>` (price the statement on
-    /// every backend without running it).
+    /// (score + metric), `EXPLAIN <stmt>` (price the statement on every
+    /// backend without running it), `EXPLAIN ANALYZE <stmt>` (run it and
+    /// report the lifecycle trace), or `SHOW STATS` (metrics snapshot).
     pub fn execute_statement(&mut self, sql: &str) -> DanaResult<StatementOutcome> {
-        match parse_statement(sql)? {
+        Ok(self.execute_statement_traced(sql)?.0)
+    }
+
+    /// [`Dana::execute_statement`], returning the lifecycle trace beside
+    /// the outcome when the statement opted in with `WITH (trace = on)`
+    /// (`None` otherwise — tracing off is the free default).
+    pub fn execute_statement_traced(
+        &mut self,
+        sql: &str,
+    ) -> DanaResult<(StatementOutcome, Option<QueryTrace>)> {
+        let parse_start = std::time::Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_wall = parse_start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let result = if stmt.wants_trace() {
+            let rec = SpanRecorder::enabled();
+            exec::begin_trace(&rec, parse_wall, 0.0);
+            self.rec = rec.clone();
+            let outcome = self.execute_parsed(&stmt, parse_wall);
+            self.rec = SpanRecorder::disabled();
+            outcome.map(|outcome| {
+                let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
+                let trace = exec::finish_trace(&rec, total_sim, start.elapsed().as_secs_f64());
+                (outcome, trace)
+            })
+        } else {
+            self.execute_parsed(&stmt, parse_wall).map(|o| (o, None))
+        };
+        self.record_statement_metrics(&result, start.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Dispatches one parsed statement. `parse_wall` is the measured
+    /// parse time, forwarded so `EXPLAIN ANALYZE` can charge it to the
+    /// trace's `parse` stage.
+    fn execute_parsed(
+        &mut self,
+        stmt: &Statement,
+        parse_wall: f64,
+    ) -> DanaResult<StatementOutcome> {
+        match stmt {
             Statement::Train(call) => {
-                let report = self.run_train_call(&call)?;
+                let report = self.run_train_call(call)?;
                 Ok(StatementOutcome::Train(QueryOutcome {
-                    udf: call.udf,
-                    table: call.table,
+                    udf: call.udf.clone(),
+                    table: call.table.clone(),
                     report,
                 }))
             }
             Statement::Predict(p) => {
-                let backend = self.resolve_backend_for(&Statement::Predict(p.clone()))?;
+                let backend = self.resolve_backend_for(stmt)?;
                 Ok(StatementOutcome::Predict(match (p.shards, backend) {
                     (Some(k), _) if k > 1 => self.predict_sharded(&p.udf, &p.table, &p.into, k)?,
                     (_, BackendKind::Cpu) => self.predict_cpu(&p.udf, &p.table, &p.into)?,
@@ -280,7 +366,7 @@ impl Dana {
                 }))
             }
             Statement::Evaluate(e) => {
-                let backend = self.resolve_backend_for(&Statement::Evaluate(e.clone()))?;
+                let backend = self.resolve_backend_for(stmt)?;
                 Ok(StatementOutcome::Evaluate(match (e.shards, backend) {
                     (Some(k), _) if k > 1 => {
                         self.evaluate_sharded(&e.udf, &e.table, e.metric, k)?
@@ -289,7 +375,55 @@ impl Dana {
                     _ => self.evaluate(&e.udf, &e.table, e.metric)?,
                 }))
             }
-            Statement::Explain(inner) => Ok(StatementOutcome::Explain(self.explain(&inner)?)),
+            Statement::Explain(inner) => Ok(StatementOutcome::Explain(self.explain(inner)?)),
+            Statement::ExplainAnalyze(inner) => self.analyze(inner, parse_wall),
+            Statement::ShowStats(filter) => Ok(StatementOutcome::Stats(
+                self.stats_snapshot(filter.as_deref()),
+            )),
+        }
+    }
+
+    /// `EXPLAIN ANALYZE <stmt>`: executes the inner statement with an
+    /// enabled span recorder installed, then packages the lifecycle trace
+    /// beside the outcome and — where the advisor can price the statement
+    /// — the per-backend prediction the observed run calibrates.
+    fn analyze(&mut self, inner: &Statement, parse_wall: f64) -> DanaResult<StatementOutcome> {
+        let rec = SpanRecorder::enabled();
+        exec::begin_trace(&rec, parse_wall, 0.0);
+        let start = std::time::Instant::now();
+        self.rec = rec.clone();
+        let result = self.execute_parsed(inner, 0.0);
+        self.rec = SpanRecorder::disabled();
+        let outcome = result?;
+        let comparison = self.explain(inner).ok();
+        let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
+        let trace = exec::finish_trace(&rec, total_sim, start.elapsed().as_secs_f64())
+            .expect("enabled recorder yields a trace");
+        Ok(StatementOutcome::Analyze(Box::new(AnalyzeReport {
+            outcome,
+            trace,
+            comparison,
+        })))
+    }
+
+    /// Folds one finished front-door statement into the metrics registry:
+    /// completion/failure counters, the wall-clock histogram, the
+    /// backend split, and epochs trained.
+    fn record_statement_metrics<T>(&self, result: &DanaResult<(StatementOutcome, T)>, wall: f64) {
+        match result {
+            Ok((outcome, _)) => {
+                self.metrics.queries_completed.inc();
+                self.metrics.exec_wall.record(wall);
+                match outcome.backend() {
+                    Some(BackendKind::Fpga) => self.metrics.fpga_queries.inc(),
+                    Some(BackendKind::Cpu) => self.metrics.cpu_queries.inc(),
+                    None => {}
+                }
+                if let StatementOutcome::Train(o) = outcome {
+                    self.metrics.epochs_run.add(o.report.epochs_run as u64);
+                }
+            }
+            Err(_) => self.metrics.queries_failed.inc(),
         }
     }
 
@@ -319,7 +453,7 @@ impl Dana {
     /// Parses and explains one statement (`EXPLAIN`'s string front door).
     pub fn explain_sql(&mut self, sql: &str) -> DanaResult<StrategyComparison> {
         let stmt = match parse_statement(sql)? {
-            Statement::Explain(inner) => *inner,
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => *inner,
             other => other,
         };
         self.explain(&stmt)
@@ -336,8 +470,13 @@ impl Dana {
             Statement::Train(c) => (&c.udf, &c.table),
             Statement::Predict(p) => (&p.udf, &p.table),
             Statement::Evaluate(e) => (&e.udf, &e.table),
-            Statement::Explain(_) => {
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+            Statement::ShowStats(_) => {
+                return Err(DanaError::Query(
+                    "SHOW STATS has no execution backend".to_string(),
+                ))
             }
         };
         let entry = self.catalog.accelerator(udf)?;
@@ -362,8 +501,13 @@ impl Dana {
             Statement::Train(c) => (c.backend, c.shards),
             Statement::Predict(p) => (p.backend, p.shards),
             Statement::Evaluate(e) => (e.backend, e.shards),
-            Statement::Explain(_) => {
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+            Statement::ShowStats(_) => {
+                return Err(DanaError::Query(
+                    "SHOW STATS has no execution backend".to_string(),
+                ))
             }
         };
         if shards.is_some_and(|k| k > 1) {
@@ -436,7 +580,7 @@ impl Dana {
             PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
         let run = cached.cpu.run_training(&mut source, &mut store)?;
         let access_stats = source.into_stats();
-        let report = exec::assemble_cpu_report(design, run, access_stats, store);
+        let report = exec::assemble_cpu_report(design, run, access_stats, store, &self.rec);
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
     }
@@ -558,6 +702,7 @@ impl Dana {
             arts,
             outcome.merge_cycles,
             outcome.models,
+            &self.rec,
         )
     }
 
@@ -585,8 +730,11 @@ impl Dana {
         let heap = self
             .catalog
             .heap(self.catalog.live_table(source)?.heap_id)?;
+        let mat_start = std::time::Instant::now();
         let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
         self.catalog.create_derived_table(dest, out_heap, source)?;
+        self.rec
+            .add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
         Ok(PredictReport {
             udf: udf.to_string(),
             source_table: source.to_string(),
@@ -696,6 +844,7 @@ impl Dana {
             heap,
             &arts,
             &stats,
+            &self.rec,
         );
         Ok((result, timing, combined, plan.shards() as u16))
     }
@@ -769,8 +918,11 @@ impl Dana {
         let heap = self
             .catalog
             .heap(self.catalog.live_table(source)?.heap_id)?;
+        let mat_start = std::time::Instant::now();
         let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
         self.catalog.create_derived_table(dest, out_heap, source)?;
+        self.rec
+            .add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
         Ok(PredictReport {
             udf: udf.to_string(),
             source_table: source.to_string(),
@@ -929,7 +1081,10 @@ impl Dana {
         let access_stats = stream.into_stats();
         let io_first = self.pool.stats().io_seconds - io_before;
         let timing = match backend {
-            BackendKind::Cpu => DanaTiming::wall_only(wall),
+            BackendKind::Cpu => {
+                exec::record_cpu_spans(&self.rec, wall);
+                DanaTiming::wall_only(wall)
+            }
             BackendKind::Fpga => exec::assemble_scoring_timing(
                 mode,
                 setup.cached.budget,
@@ -941,6 +1096,7 @@ impl Dana {
                 &access_stats,
                 io_first,
                 &stats,
+                &self.rec,
             ),
         };
         Ok((result, stats, timing))
@@ -1013,7 +1169,7 @@ impl Dana {
         let io_before = pool.stats().io_seconds;
         let feed = FeedKind::for_mode(mode);
         let mut source = PageStreamSource::new(pool, &self.disk, heap, heap_id, &access, feed);
-        let stats = engine.run_training(&mut source, &mut store)?;
+        let (stats, epoch_cycles) = engine.run_training_logged(&mut source, &mut store)?;
         let access_stats = source.into_stats();
         let io_first = pool.stats().io_seconds - io_before;
 
@@ -1032,8 +1188,10 @@ impl Dana {
                 engine_stats: stats,
                 access_stats,
                 io_first,
+                epoch_cycles,
             },
             store,
+            &self.rec,
         ))
     }
 

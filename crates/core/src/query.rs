@@ -36,6 +36,7 @@ use crate::error::{DanaError, DanaResult};
 struct WithOptions {
     shards: Option<u16>,
     backend: BackendChoice,
+    trace: bool,
 }
 
 /// A parsed accelerated-UDF training invocation.
@@ -48,6 +49,8 @@ pub struct QueryCall {
     pub shards: Option<u16>,
     /// `WITH (backend = ...)`: the requested execution substrate.
     pub backend: BackendChoice,
+    /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
+    pub trace: bool,
 }
 
 /// A parsed `PREDICT … INTO …` statement.
@@ -62,6 +65,8 @@ pub struct PredictCall {
     pub shards: Option<u16>,
     /// `WITH (backend = ...)`: the requested execution substrate.
     pub backend: BackendChoice,
+    /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
+    pub trace: bool,
 }
 
 /// A parsed `EVALUATE` statement.
@@ -75,6 +80,8 @@ pub struct EvaluateCall {
     pub shards: Option<u16>,
     /// `WITH (backend = ...)`: the requested execution substrate.
     pub backend: BackendChoice,
+    /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
+    pub trace: bool,
 }
 
 /// Any statement the front door accepts.
@@ -89,6 +96,26 @@ pub enum Statement {
     /// `EXPLAIN <stmt>;` — price the inner statement on every backend
     /// without running it.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <stmt>;` — execute the inner statement with the
+    /// lifecycle trace enabled and render the span tree alongside the
+    /// advisor's prediction.
+    ExplainAnalyze(Box<Statement>),
+    /// `SHOW STATS [('<subsystem>')];` — snapshot the metrics registry.
+    ShowStats(Option<String>),
+}
+
+impl Statement {
+    /// Whether this statement opted into lifecycle tracing with
+    /// `WITH (trace = on)`. EXPLAIN ANALYZE traces regardless; EXPLAIN
+    /// and SHOW STATS execute nothing and have no trace to opt into.
+    pub fn wants_trace(&self) -> bool {
+        match self {
+            Statement::Train(c) => c.trace,
+            Statement::Predict(p) => p.trace,
+            Statement::Evaluate(e) => e.trace,
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) | Statement::ShowStats(_) => false,
+        }
+    }
 }
 
 /// Parses any front-door statement.
@@ -99,11 +126,31 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
         if !rest.starts_with([' ', '\t']) {
             return Err(err("expected EXPLAIN <statement>"));
         }
-        let inner = parse_statement(s["explain".len()..].trim_start())?;
-        if matches!(inner, Statement::Explain(_)) {
-            return Err(err("EXPLAIN cannot be nested"));
+        let tail = s["explain".len()..].trim_start();
+        let tail_lower = tail.to_ascii_lowercase();
+        if let Some(after) = tail_lower.strip_prefix("analyze") {
+            if after.starts_with([' ', '\t']) {
+                let inner = parse_statement(tail["analyze".len()..].trim_start())?;
+                return match inner {
+                    Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
+                        Err(err("EXPLAIN ANALYZE cannot wrap EXPLAIN"))
+                    }
+                    Statement::ShowStats(_) => Err(err("EXPLAIN ANALYZE cannot wrap SHOW STATS")),
+                    inner => Ok(Statement::ExplainAnalyze(Box::new(inner))),
+                };
+            }
         }
-        return Ok(Statement::Explain(Box::new(inner)));
+        let inner = parse_statement(tail)?;
+        return match inner {
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
+                Err(err("EXPLAIN cannot be nested"))
+            }
+            Statement::ShowStats(_) => Err(err("EXPLAIN cannot wrap SHOW STATS")),
+            inner => Ok(Statement::Explain(Box::new(inner))),
+        };
+    }
+    if lower_head.starts_with("show") {
+        return parse_show_stats(s);
     }
     let (s, opts) = split_with_clause(s)?;
     let lower = s.to_ascii_lowercase();
@@ -127,6 +174,7 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
             table,
             shards: opts.shards,
             backend: opts.backend,
+            trace: opts.trace,
         }));
     }
     parse_select(s, opts).map(Statement::Train)
@@ -163,7 +211,46 @@ fn parse_select(s: &str, opts: WithOptions) -> DanaResult<QueryCall> {
         table,
         shards: opts.shards,
         backend: opts.backend,
+        trace: opts.trace,
     })
+}
+
+/// Parses `SHOW STATS [('<subsystem>')]` — the metrics-registry
+/// snapshot query. The subsystem filter is validated against
+/// [`dana_obs::SUBSYSTEMS`] at parse time, so an unknown name is a typed
+/// query error before anything executes.
+fn parse_show_stats(s: &str) -> DanaResult<Statement> {
+    let lower = s.to_ascii_lowercase();
+    let rest = lower.strip_prefix("show").unwrap_or(&lower);
+    if !rest.starts_with([' ', '\t']) {
+        return Err(err("expected SHOW STATS"));
+    }
+    let tail = s["show".len()..].trim_start();
+    let tail_lower = tail.to_ascii_lowercase();
+    if !tail_lower.starts_with("stats") {
+        return Err(err("expected SHOW STATS"));
+    }
+    let after = tail["stats".len()..].trim();
+    if !(after.is_empty() || after.starts_with('(')) {
+        return Err(err("expected SHOW STATS [('<subsystem>')]"));
+    }
+    if after.is_empty() {
+        return Ok(Statement::ShowStats(None));
+    }
+    let inner = after
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| err("expected SHOW STATS ('<subsystem>')"))?;
+    let name = parse_table_arg(inner.trim())?.to_ascii_lowercase();
+    if name.is_empty() {
+        return Err(err("empty stats subsystem name"));
+    }
+    if !dana_obs::known_subsystem(&name) {
+        return Err(err(&format!(
+            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, or engine)"
+        )));
+    }
+    Ok(Statement::ShowStats(Some(name)))
 }
 
 /// Splits an optional trailing `WITH (opt = v[, opt = v])` clause off a
@@ -194,6 +281,7 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
     let mut opts = WithOptions::default();
     let mut seen_shards = false;
     let mut seen_backend = false;
+    let mut seen_trace = false;
     for item in inner.split(',') {
         let (key, value) = item
             .split_once('=')
@@ -218,9 +306,23 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
             }
             seen_backend = true;
             opts.backend = BackendChoice::parse(value)?;
+        } else if key.eq_ignore_ascii_case("trace") {
+            if seen_trace {
+                return Err(err("duplicate WITH option 'trace'"));
+            }
+            seen_trace = true;
+            opts.trace = if value.eq_ignore_ascii_case("on") {
+                true
+            } else if value.eq_ignore_ascii_case("off") {
+                false
+            } else {
+                return Err(err(&format!(
+                    "bad trace value '{value}' (expected on or off)"
+                )));
+            };
         } else {
             return Err(err(&format!(
-                "unknown WITH option '{key}' (expected shards or backend)"
+                "unknown WITH option '{key}' (expected shards, backend, or trace)"
             )));
         }
     }
@@ -262,6 +364,7 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictC
         into,
         shards: opts.shards,
         backend: opts.backend,
+        trace: opts.trace,
     })
 }
 
@@ -299,6 +402,7 @@ fn parse_evaluate(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Evaluat
         metric,
         shards: opts.shards,
         backend: opts.backend,
+        trace: opts.trace,
     })
 }
 
@@ -524,6 +628,7 @@ mod tests {
                 into: "patient_scores".into(),
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         // Case-insensitive keywords, optional schema, mixed quoting.
@@ -536,6 +641,7 @@ mod tests {
                 into: "scores".into(),
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
     }
@@ -563,6 +669,7 @@ mod tests {
                 metric: None,
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         let s = parse_statement("EVALUATE dana.linearR('t', 'mse');").unwrap();
@@ -574,6 +681,7 @@ mod tests {
                 metric: Some(MetricKind::Mse),
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         // All four metric names (and case-insensitivity) parse.
@@ -592,6 +700,7 @@ mod tests {
                     metric: Some(kind),
                     shards: None,
                     backend: BackendChoice::Auto,
+                    trace: false,
                 }),
                 "{name}"
             );
@@ -608,6 +717,7 @@ mod tests {
                 table: "t".into(),
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
     }
@@ -664,6 +774,7 @@ mod tests {
                 table: "t".into(),
                 shards: None,
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         // Case-insensitive, schema optional, identifier case preserved.
@@ -685,6 +796,7 @@ mod tests {
                 table: "t".into(),
                 shards: Some(4),
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         let s = parse_statement("SELECT * FROM dana.linearR('t') with (SHARDS=2)").unwrap();
@@ -695,6 +807,7 @@ mod tests {
                 table: "t".into(),
                 shards: Some(2),
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (shards = 8);").unwrap();
@@ -706,6 +819,7 @@ mod tests {
                 into: "p".into(),
                 shards: Some(8),
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         let s = parse_statement("EVALUATE dana.f('t', 'mse') WITH (shards = 3);").unwrap();
@@ -717,6 +831,7 @@ mod tests {
                 metric: Some(MetricKind::Mse),
                 shards: Some(3),
                 backend: BackendChoice::Auto,
+                trace: false,
             })
         );
         // parse_query handles the clause too.
@@ -764,7 +879,8 @@ mod tests {
             Statement::Train(q) => q.backend,
             Statement::Predict(p) => p.backend,
             Statement::Evaluate(e) => e.backend,
-            Statement::Explain(inner) => backend_of(inner),
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => backend_of(inner),
+            Statement::ShowStats(_) => panic!("SHOW STATS has no backend"),
         }
     }
 
@@ -807,6 +923,7 @@ mod tests {
                 table: "t".into(),
                 shards: Some(4),
                 backend: BackendChoice::Fpga,
+                trace: false,
             })
         );
         // Order-insensitive.
@@ -820,6 +937,7 @@ mod tests {
                 into: "p".into(),
                 shards: Some(2),
                 backend: BackendChoice::Cpu,
+                trace: false,
             })
         );
     }
@@ -873,6 +991,7 @@ mod tests {
                 table: "t".into(),
                 shards: None,
                 backend: BackendChoice::Cpu,
+                trace: false,
             })))
         );
     }
@@ -892,5 +1011,104 @@ mod tests {
         // A UDF merely *named* explain stays a plain call.
         let s = parse_statement("EXECUTE dana.explainer('t');").unwrap();
         assert!(matches!(s, Statement::Train(_)));
+    }
+
+    // ---- EXPLAIN ANALYZE / SHOW STATS / trace grammar --------------------
+
+    #[test]
+    fn explain_analyze_wraps_executable_statements_only() {
+        let s = parse_statement("EXPLAIN ANALYZE EXECUTE dana.linearR('t');").unwrap();
+        let Statement::ExplainAnalyze(inner) = s else {
+            panic!("should parse as EXPLAIN ANALYZE");
+        };
+        assert!(matches!(*inner, Statement::Train(_)));
+        // Keywords are case-insensitive; PREDICT/EVALUATE also wrap.
+        for sql in [
+            "explain analyze PREDICT dana.f('t') INTO 'p';",
+            "Explain Analyze EVALUATE dana.f('t', 'mse');",
+        ] {
+            assert!(
+                matches!(parse_statement(sql), Ok(Statement::ExplainAnalyze(_))),
+                "{sql} should parse as EXPLAIN ANALYZE"
+            );
+        }
+        // Nesting explainers is rejected with a typed error, not a panic.
+        for bad in [
+            "EXPLAIN ANALYZE EXPLAIN SELECT * FROM dana.f('t');",
+            "EXPLAIN ANALYZE EXPLAIN ANALYZE EXECUTE dana.f('t');",
+            "EXPLAIN ANALYZE SHOW STATS;",
+            "EXPLAIN EXPLAIN ANALYZE EXECUTE dana.f('t');",
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn show_stats_parses_with_optional_subsystem_filter() {
+        assert_eq!(
+            parse_statement("SHOW STATS;").unwrap(),
+            Statement::ShowStats(None)
+        );
+        // Filter names are case-folded; quoting is optional.
+        for sql in [
+            "show stats('POOL');",
+            "SHOW STATS ( 'pool' ) ;",
+            "Show Stats(pool)",
+        ] {
+            assert_eq!(
+                parse_statement(sql).unwrap(),
+                Statement::ShowStats(Some("pool".into())),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn show_stats_unknown_subsystem_is_a_typed_error() {
+        let e = parse_statement("SHOW STATS('nope');").unwrap_err();
+        assert!(matches!(e, DanaError::Query(_)), "{e:?}");
+        assert!(
+            e.to_string().contains("unknown stats subsystem 'nope'"),
+            "{e}"
+        );
+        // Malformed forms fail typed too.
+        for bad in ["SHOW STATS('');", "SHOW STATS(;", "SHOW STATSY;"] {
+            assert!(
+                matches!(parse_statement(bad), Err(DanaError::Query(_))),
+                "{bad} should fail typed"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_option_parses_on_every_executable_form() {
+        for (sql, want_trace) in [
+            ("EXECUTE dana.f('t') WITH (trace = on);", true),
+            ("EXECUTE dana.f('t') WITH (trace = off);", false),
+            (
+                "SELECT * FROM dana.f('t') WITH (shards = 2, trace = on);",
+                true,
+            ),
+            ("PREDICT dana.f('t') INTO 'p' WITH (trace = on);", true),
+            ("EVALUATE dana.f('t', 'mse') WITH (trace = on);", true),
+        ] {
+            let s = parse_statement(sql).unwrap();
+            assert_eq!(s.wants_trace(), want_trace, "{sql}");
+        }
+    }
+
+    #[test]
+    fn bad_trace_values_reuse_the_malformed_with_error() {
+        for bad in [
+            "EXECUTE dana.f('t') WITH (trace = banana);",
+            "EXECUTE dana.f('t') WITH (trace = on, trace = on);",
+            "EXECUTE dana.f('t') WITH (trace);",
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+        }
+        let e = parse_statement("EXECUTE dana.f('t') WITH (trace = banana);").unwrap_err();
+        assert!(e.to_string().contains("bad trace value 'banana'"), "{e}");
     }
 }

@@ -181,17 +181,25 @@ pub enum StatementOutcome {
     /// `EXPLAIN <stmt>`: the advisor's per-backend comparison. Nothing
     /// was executed, so there is no timing.
     Explain(StrategyComparison),
+    /// `EXPLAIN ANALYZE <stmt>`: the inner statement's outcome plus its
+    /// lifecycle trace and (where the advisor can price it) the
+    /// prediction the observed run can be checked against.
+    Analyze(Box<AnalyzeReport>),
+    /// `SHOW STATS`: a snapshot of the metrics registry.
+    Stats(dana_obs::StatsSnapshot),
 }
 
 impl StatementOutcome {
     /// End-to-end timing, whichever statement ran; `None` for EXPLAIN
-    /// (nothing executed).
+    /// and SHOW STATS (nothing executed). An EXPLAIN ANALYZE reports its
+    /// inner statement's timing.
     pub fn timing(&self) -> Option<&DanaTiming> {
         match self {
             StatementOutcome::Train(o) => Some(&o.report.timing),
             StatementOutcome::Predict(p) => Some(&p.timing),
             StatementOutcome::Evaluate(e) => Some(&e.timing),
-            StatementOutcome::Explain(_) => None,
+            StatementOutcome::Explain(_) | StatementOutcome::Stats(_) => None,
+            StatementOutcome::Analyze(a) => a.outcome.timing(),
         }
     }
 
@@ -202,8 +210,34 @@ impl StatementOutcome {
             StatementOutcome::Train(o) => Some(o.report.backend),
             StatementOutcome::Predict(p) => Some(p.backend),
             StatementOutcome::Evaluate(e) => Some(e.backend),
-            StatementOutcome::Explain(_) => None,
+            StatementOutcome::Explain(_) | StatementOutcome::Stats(_) => None,
+            StatementOutcome::Analyze(a) => a.outcome.backend(),
         }
+    }
+}
+
+/// What `EXPLAIN ANALYZE <stmt>` returns: the executed statement's
+/// outcome, the lifecycle trace of the run, and — for statements the
+/// advisor can price — the predicted per-backend comparison, so observed
+/// stage times sit next to the estimate they calibrate.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    pub outcome: StatementOutcome,
+    pub trace: dana_obs::QueryTrace,
+    pub comparison: Option<StrategyComparison>,
+}
+
+impl AnalyzeReport {
+    /// Renders the span tree, followed by the advisor comparison when
+    /// one exists — the `EXPLAIN ANALYZE` result surface.
+    pub fn render(&self) -> String {
+        let mut out = self.trace.render();
+        if let Some(cmp) = &self.comparison {
+            out.push('\n');
+            out.push_str(&cmp.to_string());
+            out.push('\n');
+        }
+        out
     }
 }
 

@@ -104,6 +104,53 @@ pub fn compose(mode: ExecutionMode, epochs: u32, c: &EpochCosts) -> DanaTiming {
     timing
 }
 
+/// The simulated time of [`compose`]'s total, split along the trace's
+/// stage vocabulary.
+///
+/// The split mirrors `compose`'s epoch loop operation-for-operation so
+/// that `setup + scan + engine` reproduces `total_seconds` to float
+/// rounding — `EXPLAIN ANALYZE` holds the rendered stage sum to the
+/// query report, so the partition must be a true decomposition rather
+/// than a second estimate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StagePartition {
+    /// One-time configuration — the trace's `lease` stage (sim side).
+    pub setup: Seconds,
+    /// Everything of each epoch that is not engine compute: the
+    /// overlapped feed (I/O / AXI / Strider or CPU feed) surplus over
+    /// compute, pipeline fill, and host epoch overhead — the trace's
+    /// `scan` stage.
+    pub scan: Seconds,
+    /// Engine compute across all epochs — the trace's `engine` stage
+    /// (the gang path carves its merge share out of this).
+    pub engine: Seconds,
+}
+
+/// Splits the composed end-to-end simulated time into trace stages.
+pub fn stage_partition(mode: ExecutionMode, epochs: u32, c: &EpochCosts) -> StagePartition {
+    let epochs = epochs.max(1);
+    let mut part = StagePartition {
+        setup: SETUP_SECONDS,
+        ..StagePartition::default()
+    };
+    for e in 0..epochs {
+        let io = if e == 0 { c.io_first } else { c.io_later };
+        let epoch = match mode {
+            ExecutionMode::Strider => {
+                io.max(c.axi).max(c.strider).max(c.engine) + c.fill + EPOCH_OVERHEAD_S
+            }
+            ExecutionMode::CpuFed | ExecutionMode::Tabla => {
+                io.max(c.cpu_feed + c.engine) + c.fill + EPOCH_OVERHEAD_S
+            }
+        };
+        // `epoch >= c.engine + fill + overhead` in every mode, so the
+        // scan share is non-negative by construction.
+        part.scan += epoch - c.engine;
+        part.engine += c.engine;
+    }
+    part
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +196,29 @@ mod tests {
     fn zero_epochs_clamps_to_one() {
         let t = compose(ExecutionMode::Strider, 0, &costs());
         assert!(t.total_seconds > SETUP_SECONDS);
+    }
+
+    #[test]
+    fn stage_partition_reproduces_composed_total() {
+        for mode in [
+            ExecutionMode::Strider,
+            ExecutionMode::CpuFed,
+            ExecutionMode::Tabla,
+        ] {
+            for epochs in [0u32, 1, 3, 17] {
+                let t = compose(mode, epochs, &costs());
+                let p = stage_partition(mode, epochs, &costs());
+                let sum = p.setup + p.scan + p.engine;
+                assert!(
+                    (sum - t.total_seconds).abs() < 1e-12 * t.total_seconds.max(1.0),
+                    "{mode:?} epochs={epochs}: {sum} vs {}",
+                    t.total_seconds
+                );
+                assert!(p.scan >= 0.0);
+                let engine = epochs.max(1) as f64 * costs().engine;
+                assert!((p.engine - engine).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -338,6 +338,18 @@ impl ExecutionEngine {
         self.lowered.run_streaming(&self.design, source, store)
     }
 
+    /// [`ExecutionEngine::run_training`], also yielding the per-epoch
+    /// engine-cycle log (one delta per epoch run, summing to
+    /// `stats.cycles`) for the query-lifecycle trace's epoch spans.
+    pub fn run_training_logged(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<(EngineStats, Vec<u64>)> {
+        self.lowered
+            .run_streaming_logged(&self.design, source, store)
+    }
+
     /// Starts an epoch-at-a-time [`crate::lowered::TrainingSession`] over
     /// the deploy-time lowering. `run_training` is exactly an epoch loop
     /// over one of these; the gang-scheduled shard executor runs one per

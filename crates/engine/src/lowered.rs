@@ -543,6 +543,17 @@ impl LoweredProgram {
         source: &mut dyn TupleSource,
         store: &mut ModelStore,
     ) -> EngineResult<EngineStats> {
+        Ok(self.run_streaming_logged(d, source, store)?.0)
+    }
+
+    /// [`LoweredProgram::run_streaming`], also yielding the per-epoch
+    /// cycle log.
+    pub(crate) fn run_streaming_logged(
+        &self,
+        d: &EngineDesign,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+    ) -> EngineResult<(EngineStats, Vec<u64>)> {
         let mut session = TrainingSession::new(self, d.num_threads as usize);
         let max_epochs = d.convergence.max_epochs();
         let mut epochs_run = 0u32;
@@ -558,7 +569,7 @@ impl LoweredProgram {
                 break;
             }
         }
-        Ok(session.finish(epochs_run, converged_early))
+        Ok(session.finish_logged(epochs_run, converged_early))
     }
 
     /// One streaming epoch: buffer tuples into the group, flush full
@@ -755,6 +766,10 @@ pub struct TrainingSession<'e> {
     ws: SoaWorkspace,
     stats: EngineStats,
     width: usize,
+    /// Engine cycles charged by each completed epoch, in order — the
+    /// observability layer's per-epoch span source. Cycle deltas, so the
+    /// log always sums to `stats.cycles`.
+    epoch_cycles: Vec<u64>,
 }
 
 impl<'e> TrainingSession<'e> {
@@ -765,6 +780,7 @@ impl<'e> TrainingSession<'e> {
             lowered,
             stats: EngineStats::default(),
             width,
+            epoch_cycles: Vec::new(),
         }
     }
 
@@ -782,8 +798,12 @@ impl<'e> TrainingSession<'e> {
                 expected: self.width,
             });
         }
-        self.lowered
-            .run_epoch(source, store, &mut self.ws, &mut self.stats)
+        let before = self.stats.cycles;
+        let converged = self
+            .lowered
+            .run_epoch(source, store, &mut self.ws, &mut self.stats)?;
+        self.epoch_cycles.push(self.stats.cycles - before);
+        Ok(converged)
     }
 
     /// Cycle counters accumulated so far (epoch bookkeeping is the epoch
@@ -792,13 +812,25 @@ impl<'e> TrainingSession<'e> {
         self.stats
     }
 
+    /// The per-epoch cycle deltas recorded so far (one entry per
+    /// completed [`TrainingSession::run_epoch`] call).
+    pub fn epoch_cycle_log(&self) -> &[u64] {
+        &self.epoch_cycles
+    }
+
     /// Seals the run: stamps the epoch-loop outcome onto the accumulated
     /// counters.
     pub fn finish(self, epochs_run: u32, converged_early: bool) -> EngineStats {
+        self.finish_logged(epochs_run, converged_early).0
+    }
+
+    /// [`TrainingSession::finish`], also yielding the per-epoch cycle log
+    /// for the lifecycle trace's epoch spans.
+    pub fn finish_logged(self, epochs_run: u32, converged_early: bool) -> (EngineStats, Vec<u64>) {
         let mut stats = self.stats;
         stats.epochs_run = epochs_run;
         stats.converged_early = converged_early;
-        stats
+        (stats, self.epoch_cycles)
     }
 }
 

@@ -38,6 +38,14 @@ pub struct ScoringStats {
     pub lanes: u16,
 }
 
+impl ScoringStats {
+    /// The scan's engine-compute seconds at an accelerator clock — the
+    /// lifecycle trace's `engine` span for a scoring query.
+    pub fn engine_seconds(&self, clock_hz: f64) -> f64 {
+        self.cycles as f64 / clock_hz.max(1.0)
+    }
+}
+
 /// Streams a [`TupleSource`] through the scoring program, appending one
 /// prediction per tuple to `out` (in tuple order). Returns the run's
 /// cycle counters.

@@ -1,0 +1,37 @@
+//! # dana-obs — the observability layer
+//!
+//! Everything the system exposes about *itself* funnels through this
+//! crate, in two halves:
+//!
+//! * a **metrics registry** ([`MetricsRegistry`]) of lock-cheap
+//!   primitives — [`Counter`], [`Gauge`], and the log-bucketed
+//!   [`Histogram`] with p50/p95/p99 readout — that the serving tier
+//!   records into on the hot path and snapshots into a serializable
+//!   [`StatsSnapshot`] for `SHOW STATS`;
+//! * a **query-lifecycle trace** ([`QueryTrace`]) of named stage spans
+//!   (parse → admission wait → lease → scan → engine → merge →
+//!   materialize → reply), accumulated through a [`SpanRecorder`] that
+//!   both the serial `Dana` facade and the concurrent server worker
+//!   thread through the shared `dana::exec` assembly helpers — so the
+//!   two facades emit structurally identical traces for `EXPLAIN
+//!   ANALYZE` and `WITH (trace = on)`.
+//!
+//! The recorder is pay-for-what-you-use: a disabled [`SpanRecorder`] is
+//! a `None` and every call on it is a no-op — queries that don't opt in
+//! never touch a lock or an allocation.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use metrics::{StatEntry, StatsSnapshot};
+pub use trace::{QueryTrace, SpanRecorder, TraceSpan};
+
+/// The subsystems `SHOW STATS ('<subsystem>')` can filter on. A name
+/// outside this list is a typed query error at parse time.
+pub const SUBSYSTEMS: &[&str] = &["admission", "pool", "buffer", "sessions", "engine"];
+
+/// Whether `name` is a known stats subsystem.
+pub fn known_subsystem(name: &str) -> bool {
+    SUBSYSTEMS.contains(&name)
+}

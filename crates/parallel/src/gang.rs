@@ -40,6 +40,14 @@ pub struct GangOutcome {
     pub merge_cycles: u64,
 }
 
+impl GangOutcome {
+    /// The merge tier's seconds at an accelerator clock — the lifecycle
+    /// trace's `merge` span for a gang-scheduled query.
+    pub fn merge_seconds(&self, clock_hz: f64) -> f64 {
+        self.merge_cycles as f64 / clock_hz.max(1.0)
+    }
+}
+
 /// Watches a shard's first scan to record which factor rows its tuples
 /// touch (row-ownership merge input). Purely observational — batches
 /// pass through untouched, so wrapping changes nothing numerically.

@@ -40,6 +40,13 @@ struct PoolState {
     free: Vec<usize>,
     /// Accumulated simulated busy seconds per instance.
     busy_seconds: Vec<Seconds>,
+    /// Accumulated simulated idle seconds per instance: the schedule
+    /// holes gang scheduling forces, charged **at grant time** — a gang
+    /// starts in lockstep at its slowest member's clock, so every other
+    /// member sits idle from its own clock until then. Recording the gap
+    /// when it happens is what lets utilization gauges report idle
+    /// directly instead of inferring it from wall clock after the fact.
+    idle_seconds: Vec<Seconds>,
     /// Leases granted per instance.
     leases: Vec<u64>,
     /// FIFO of waiting requests: `(ticket, gang size)`.
@@ -50,8 +57,10 @@ struct PoolState {
 
 impl PoolState {
     /// Deterministically picks the `k` least-loaded free instances
-    /// (lowest id on ties), removes them from the free list, and counts
-    /// the leases. Caller guarantees `free.len() >= k`.
+    /// (lowest id on ties), removes them from the free list, counts the
+    /// leases, and charges the gang-skew idle gap to every member that
+    /// has to wait for the slowest one. Caller guarantees
+    /// `free.len() >= k`.
     fn take_least_loaded(&mut self, k: usize) -> Vec<usize> {
         let PoolState {
             free, busy_seconds, ..
@@ -64,7 +73,15 @@ impl PoolState {
         });
         let mut ids: Vec<usize> = free.drain(..k).collect();
         ids.sort_unstable();
+        // Lockstep start: the gang begins at its most-loaded member's
+        // clock; everyone else idles from their own clock until then.
+        // (A single's start is its own clock — zero idle accrues.)
+        let gang_start = ids
+            .iter()
+            .map(|&id| self.busy_seconds[id])
+            .fold(0.0, f64::max);
         for &id in &ids {
+            self.idle_seconds[id] += gang_start - self.busy_seconds[id];
             self.leases[id] += 1;
         }
         ids
@@ -149,6 +166,9 @@ impl Drop for GangLease<'_> {
 pub struct PoolUtilization {
     /// Simulated busy seconds per instance.
     pub busy_seconds: Vec<Seconds>,
+    /// Simulated idle seconds per instance: schedule holes charged at
+    /// gang-grant time, when a member waits for its most-loaded peer.
+    pub idle_seconds: Vec<Seconds>,
     /// Leases granted per instance.
     pub leases: Vec<u64>,
 }
@@ -196,6 +216,7 @@ impl AcceleratorPool {
             state: Mutex::new(PoolState {
                 free: (0..n).rev().collect(),
                 busy_seconds: vec![0.0; n],
+                idle_seconds: vec![0.0; n],
                 leases: vec![0; n],
                 waiting: VecDeque::new(),
                 next_ticket: 0,
@@ -295,6 +316,7 @@ impl AcceleratorPool {
         let st = self.lock();
         PoolUtilization {
             busy_seconds: st.busy_seconds.clone(),
+            idle_seconds: st.idle_seconds.clone(),
             leases: st.leases.clone(),
         }
     }
@@ -382,6 +404,31 @@ mod tests {
         let g = pool.lease_gang(9).unwrap();
         assert_eq!(g.size(), 4);
         g.release(0.0);
+    }
+
+    /// A gang over uneven clocks starts in lockstep at its slowest
+    /// member, so the lighter members are charged the schedule hole as
+    /// idle time at grant; singles never accrue idle.
+    #[test]
+    fn gang_grant_charges_schedule_hole_idle_to_lighter_members() {
+        let pool = AcceleratorPool::new(2);
+        let a = pool.lease().unwrap();
+        let b = pool.lease().unwrap();
+        a.release(3.0);
+        b.release(1.0);
+        // Singles accrue no idle, whatever their clocks.
+        assert_eq!(pool.utilization().idle_seconds, vec![0.0, 0.0]);
+
+        // Gang starts at t = 3.0 (instance 0's clock); instance 1 sat
+        // idle from t = 1.0 until then.
+        let g = pool.lease_gang(2).unwrap();
+        g.release(2.0);
+        let u = pool.utilization();
+        assert_eq!(u.busy_seconds, vec![5.0, 3.0]);
+        assert_eq!(u.idle_seconds, vec![0.0, 2.0]);
+
+        // Busy-clock accounting is untouched by the idle charge.
+        assert_eq!(u.serial_seconds(), 8.0);
     }
 
     /// FIFO grant order: a waiting gang is not starved by singles that

@@ -27,15 +27,16 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts};
 use dana::{
-    BackendKind, DanaError, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport,
-    ExecutionMode, FeedKind, HardwareProfile, MetricKind, PredictReport, SharedPageStreamSource,
-    Statement, StrategyComparison,
+    AnalyzeReport, BackendKind, DanaError, DanaReport, DanaResult, DeployInfo, DropSummary,
+    EvalReport, ExecutionMode, FeedKind, HardwareProfile, MetricKind, PredictReport, QueryOutcome,
+    SharedPageStreamSource, Statement, StatementOutcome, StrategyComparison,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
 use dana_engine::{ExecutionBackend, ModelStore};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
+use dana_obs::{MetricsRegistry, SpanRecorder, StatEntry, StatsSnapshot};
 use dana_parallel::{evaluate_gang, score_gang_concat, train_gang, ShardPlan};
 use dana_storage::{
     AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
@@ -79,6 +80,9 @@ pub struct SystemCore {
     engines_built: AtomicU64,
     /// EXECUTE/estimate requests served from a cached `Arc<ExecutionEngine>`.
     engine_cache_hits: AtomicU64,
+    /// Push-side observability counters/histograms (`SHOW STATS` rows the
+    /// core owns; the server layers queue/pool/session rows on top).
+    metrics: MetricsRegistry,
 }
 
 /// Engine-construction accounting: how many engines were ever built vs.
@@ -98,6 +102,7 @@ impl SystemCore {
             cpu: CpuModel::i7_6700(),
             engines_built: AtomicU64::new(0),
             engine_cache_hits: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
             // Same default as `Dana`: always offload (the paper's
             // semantics) until an operator installs a real profile.
             profile: RwLock::new(
@@ -150,6 +155,50 @@ impl SystemCore {
         }
     }
 
+    /// The core's metrics registry (workers charge admission/lease waits
+    /// and completion counters here; `SHOW STATS` folds it into rows).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The core-owned `SHOW STATS` rows: registry counters/histograms
+    /// plus pull-side buffer-pool and engine-cache values, read from
+    /// their authoritative owners at snapshot time so they cannot drift.
+    /// The server appends its queue/pool/session rows before filtering.
+    pub fn stats_entries(&self, out: &mut Vec<StatEntry>) {
+        self.metrics.snapshot_into(out);
+        let ps = self.pool.stats();
+        out.push(StatEntry::new("buffer", "hits", ps.hits as f64));
+        out.push(StatEntry::new("buffer", "misses", ps.misses as f64));
+        out.push(StatEntry::new("buffer", "evictions", ps.evictions as f64));
+        out.push(StatEntry::new("buffer", "io_seconds", ps.io_seconds));
+        out.push(StatEntry::new(
+            "buffer",
+            "resident_pages",
+            self.pool.resident_pages() as f64,
+        ));
+        let ec = self.engine_cache_stats();
+        out.push(StatEntry::new("engine", "engines_built", ec.built as f64));
+        out.push(StatEntry::new(
+            "engine",
+            "engine_cache_hits",
+            ec.hits as f64,
+        ));
+    }
+
+    /// A point-in-time snapshot of the core-owned rows only (embedded
+    /// uses without a [`crate::DanaServer`] in front; the server's `SHOW
+    /// STATS` adds queue/pool/session rows).
+    pub fn stats_snapshot(&self, subsystem: Option<&str>) -> StatsSnapshot {
+        let mut entries = Vec::new();
+        self.stats_entries(&mut entries);
+        let snap = StatsSnapshot::new(entries);
+        match subsystem {
+            Some(s) => snap.filtered(s),
+            None => snap,
+        }
+    }
+
     // ---- DDL ------------------------------------------------------------
 
     /// Registers a training table.
@@ -173,6 +222,9 @@ impl SystemCore {
             self.pool.evict_heap_force(heap_id);
             stale_prediction_tables.push(table);
         }
+        self.metrics
+            .staleness_invalidations
+            .add((invalidated_udfs.len() + stale_prediction_tables.len()) as u64);
         Ok(DropSummary {
             table: name.to_string(),
             pages_evicted,
@@ -304,9 +356,16 @@ impl SystemCore {
     /// per query. The trained model is stored back on the entry (last
     /// training wins) for PREDICT/EVALUATE to bind.
     pub fn run_udf(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        self.run_udf_rec(udf, table, &SpanRecorder::disabled())
+    }
+
+    /// [`SystemCore::run_udf`] with a span recorder for the lifecycle
+    /// trace (a no-op when disabled — the common case).
+    fn run_udf_rec(&self, udf: &str, table: &str, rec: &SpanRecorder) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let report = self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider)?;
+        let report =
+            self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider, rec)?;
         // Store through a short read lock (the slot is interior-mutable).
         // A drop that raced the run cleared `trained` and marked the
         // entry stale — don't resurrect a model for a dropped table.
@@ -355,8 +414,13 @@ impl SystemCore {
             Statement::Train(c) => (c.backend, c.shards),
             Statement::Predict(p) => (p.backend, p.shards),
             Statement::Evaluate(e) => (e.backend, e.shards),
-            Statement::Explain(_) => {
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+            Statement::ShowStats(_) => {
+                return Err(DanaError::Query(
+                    "SHOW STATS has no execution backend".to_string(),
+                ))
             }
         };
         if shards.is_some_and(|k| k > 1) {
@@ -383,8 +447,13 @@ impl SystemCore {
             Statement::Train(c) => (&c.udf, &c.table),
             Statement::Predict(p) => (&p.udf, &p.table),
             Statement::Evaluate(e) => (&e.udf, &e.table),
-            Statement::Explain(_) => {
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
+            }
+            Statement::ShowStats(_) => {
+                return Err(DanaError::Query(
+                    "SHOW STATS has no execution backend".to_string(),
+                ))
             }
         };
         let cached = self.accelerator_runtime(udf)?;
@@ -398,6 +467,15 @@ impl SystemCore {
     /// engine counters are bit-identical to [`SystemCore::run_udf`]; no
     /// accelerator lease is required.
     pub fn run_udf_cpu(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        self.run_udf_cpu_rec(udf, table, &SpanRecorder::disabled())
+    }
+
+    fn run_udf_cpu_rec(
+        &self,
+        udf: &str,
+        table: &str,
+        rec: &SpanRecorder,
+    ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let design = cached.engine.design();
@@ -414,7 +492,7 @@ impl SystemCore {
         );
         let run = cached.cpu.run_training(&mut source, &mut store)?;
         let (access_stats, _io_first) = source.into_stats();
-        let report = exec::assemble_cpu_report(design, run, access_stats, store);
+        let report = exec::assemble_cpu_report(design, run, access_stats, store, rec);
         let cat = self.read();
         if let Ok(entry) = cat.accelerator(udf) {
             if !entry.stale {
@@ -435,6 +513,7 @@ impl SystemCore {
             ExecutionMode::Strider,
             None,
             BackendKind::Cpu,
+            &SpanRecorder::disabled(),
         )
     }
 
@@ -453,6 +532,7 @@ impl SystemCore {
             ExecutionMode::Strider,
             None,
             BackendKind::Cpu,
+            &SpanRecorder::disabled(),
         )
     }
 
@@ -481,6 +561,7 @@ impl SystemCore {
             entry.heap_id,
             &heap,
             mode,
+            &SpanRecorder::disabled(),
         )
     }
 
@@ -498,6 +579,16 @@ impl SystemCore {
     /// The caller (a server worker) is expected to hold a gang lease of
     /// matching size on the accelerator pool.
     pub fn run_udf_sharded(&self, udf: &str, table: &str, shards: u16) -> DanaResult<DanaReport> {
+        self.run_udf_sharded_rec(udf, table, shards, &SpanRecorder::disabled())
+    }
+
+    fn run_udf_sharded_rec(
+        &self,
+        udf: &str,
+        table: &str,
+        shards: u16,
+        rec: &SpanRecorder,
+    ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let report = self.run_gang_on_heap(
@@ -506,6 +597,7 @@ impl SystemCore {
             &heap,
             ExecutionMode::Strider,
             shards,
+            rec,
         )?;
         let cat = self.read();
         if let Ok(entry) = cat.accelerator(udf) {
@@ -523,6 +615,7 @@ impl SystemCore {
         heap: &HeapFile,
         mode: ExecutionMode,
         shards: u16,
+        rec: &SpanRecorder,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -571,6 +664,7 @@ impl SystemCore {
             arts,
             outcome.merge_cycles,
             outcome.models,
+            rec,
         )
     }
 
@@ -586,6 +680,17 @@ impl SystemCore {
         dest: &str,
         shards: u16,
     ) -> DanaResult<PredictReport> {
+        self.predict_sharded_rec(udf, source, dest, shards, &SpanRecorder::disabled())
+    }
+
+    fn predict_sharded_rec(
+        &self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        shards: u16,
+        rec: &SpanRecorder,
+    ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let (entry, heap) = self.snapshot_table(source)?;
         if self.read().table(dest).is_ok() {
@@ -593,10 +698,15 @@ impl SystemCore {
                 dana_storage::StorageError::DuplicateName(dest.to_string()),
             ));
         }
-        let (predictions, stats, timing, k) =
-            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
-                Ok(score_gang_concat(program, lanes, sources)?)
-            })?;
+        let (predictions, stats, timing, k) = self.sharded_scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            shards,
+            rec,
+            |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
+        )?;
+        let mat_start = std::time::Instant::now();
         let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
         {
             let mut cat = self.write();
@@ -611,6 +721,7 @@ impl SystemCore {
                 }
             }
         }
+        rec.add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
         Ok(PredictReport {
             udf: udf.to_string(),
             source_table: source.to_string(),
@@ -634,12 +745,28 @@ impl SystemCore {
         metric: Option<MetricKind>,
         shards: u16,
     ) -> DanaResult<EvalReport> {
+        self.evaluate_sharded_rec(udf, table, metric, shards, &SpanRecorder::disabled())
+    }
+
+    fn evaluate_sharded_rec(
+        &self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        shards: u16,
+        rec: &SpanRecorder,
+    ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let (value, stats, timing, k) =
-            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
+        let (value, stats, timing, k) = self.sharded_scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            shards,
+            rec,
+            |program, lanes, sources| {
                 let evals = evaluate_gang(program, lanes, sources, metric)?;
                 let mut partial = dana_infer::MetricPartial::default();
                 for e in &evals {
@@ -647,7 +774,8 @@ impl SystemCore {
                 }
                 let stats: Vec<_> = evals.iter().map(|e| e.stats).collect();
                 Ok((partial.finish(metric)?, stats))
-            })?;
+            },
+        )?;
         Ok(EvalReport {
             udf: udf.to_string(),
             table: table.to_string(),
@@ -666,10 +794,14 @@ impl SystemCore {
     pub fn score_sharded(&self, udf: &str, table: &str, shards: u16) -> DanaResult<Vec<f32>> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let (predictions, _, _, _) =
-            self.sharded_scoring_scan(&setup, &entry, &heap, shards, |program, lanes, sources| {
-                Ok(score_gang_concat(program, lanes, sources)?)
-            })?;
+        let (predictions, _, _, _) = self.sharded_scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            shards,
+            &SpanRecorder::disabled(),
+            |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
+        )?;
         Ok(predictions)
     }
 
@@ -683,6 +815,7 @@ impl SystemCore {
         entry: &TableEntry,
         heap: &HeapFile,
         shards: u16,
+        rec: &SpanRecorder,
         scan: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -731,6 +864,7 @@ impl SystemCore {
             heap,
             &arts,
             &stats,
+            rec,
         );
         Ok((result, combined, timing, plan.shards() as u16))
     }
@@ -822,9 +956,18 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<PredictReport> {
-        self.predict_full(udf, source, dest, mode, lanes, BackendKind::Fpga)
+        self.predict_full(
+            udf,
+            source,
+            dest,
+            mode,
+            lanes,
+            BackendKind::Fpga,
+            &SpanRecorder::disabled(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn predict_full(
         &self,
         udf: &str,
@@ -833,6 +976,7 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
         backend: BackendKind,
+        rec: &SpanRecorder,
     ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let (entry, heap) = self.snapshot_table(source)?;
@@ -844,11 +988,12 @@ impl SystemCore {
             ));
         }
         let (predictions, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, backend, |p, l, stream| {
+            self.scoring_scan(&setup, &entry, &heap, mode, backend, rec, |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
             })?;
+        let mat_start = std::time::Instant::now();
         let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
         {
             let mut cat = self.write();
@@ -865,6 +1010,7 @@ impl SystemCore {
                 }
             }
         }
+        rec.add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
         Ok(PredictReport {
             udf: udf.to_string(),
             source_table: source.to_string(),
@@ -898,9 +1044,18 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<EvalReport> {
-        self.evaluate_full(udf, table, metric, mode, lanes, BackendKind::Fpga)
+        self.evaluate_full(
+            udf,
+            table,
+            metric,
+            mode,
+            lanes,
+            BackendKind::Fpga,
+            &SpanRecorder::disabled(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_full(
         &self,
         udf: &str,
@@ -909,13 +1064,14 @@ impl SystemCore {
         mode: ExecutionMode,
         lanes: Option<u16>,
         backend: BackendKind,
+        rec: &SpanRecorder,
     ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let (value, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, backend, |p, l, stream| {
+            self.scoring_scan(&setup, &entry, &heap, mode, backend, rec, |p, l, stream| {
                 dana_infer::evaluate_source(p, l, stream, metric)
             })?;
         Ok(EvalReport {
@@ -949,6 +1105,7 @@ impl SystemCore {
             &heap,
             mode,
             BackendKind::Fpga,
+            &SpanRecorder::disabled(),
             |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
@@ -989,6 +1146,7 @@ impl SystemCore {
     /// collecting predictions or folding a metric) and compose the
     /// timing. Shared by predict/evaluate/score so the scan plumbing
     /// exists exactly once.
+    #[allow(clippy::too_many_arguments)]
     fn scoring_scan<R>(
         &self,
         setup: &exec::ScoringSetup,
@@ -996,6 +1154,7 @@ impl SystemCore {
         heap: &HeapFile,
         mode: ExecutionMode,
         backend: BackendKind,
+        rec: &SpanRecorder,
         run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -1011,7 +1170,10 @@ impl SystemCore {
         let wall = start.elapsed().as_secs_f64();
         let (access_stats, io_first) = stream.into_stats();
         let timing = match backend {
-            BackendKind::Cpu => dana::DanaTiming::wall_only(wall),
+            BackendKind::Cpu => {
+                exec::record_cpu_spans(rec, wall);
+                dana::DanaTiming::wall_only(wall)
+            }
             BackendKind::Fpga => exec::assemble_scoring_timing(
                 mode,
                 setup.cached.budget,
@@ -1023,9 +1185,108 @@ impl SystemCore {
                 &access_stats,
                 io_first,
                 &stats,
+                rec,
             ),
         };
         Ok((result, stats, timing))
+    }
+
+    // ---- statement dispatch ---------------------------------------------
+
+    /// Dispatches one parsed statement on the substrate its `WITH` clause
+    /// (or the advisor) picked — the concurrent twin of the serial
+    /// façade's dispatcher, shared by every server worker. `shards` is
+    /// the **effective** gang size the caller leased (the worker clamps
+    /// the statement's request to the pool size and the table's page
+    /// count; the run must agree with the lease). `rec` carries the
+    /// lifecycle trace and is a no-op when disabled (the common case).
+    pub fn execute_parsed(
+        &self,
+        stmt: &Statement,
+        shards: u16,
+        rec: &SpanRecorder,
+    ) -> DanaResult<StatementOutcome> {
+        match stmt {
+            Statement::Train(call) => {
+                let report = if shards > 1 {
+                    self.run_udf_sharded_rec(&call.udf, &call.table, shards, rec)?
+                } else {
+                    match self.resolve_backend(stmt)? {
+                        BackendKind::Cpu => self.run_udf_cpu_rec(&call.udf, &call.table, rec)?,
+                        BackendKind::Fpga => self.run_udf_rec(&call.udf, &call.table, rec)?,
+                    }
+                };
+                Ok(StatementOutcome::Train(QueryOutcome {
+                    udf: call.udf.clone(),
+                    table: call.table.clone(),
+                    report,
+                }))
+            }
+            Statement::Predict(p) => Ok(StatementOutcome::Predict(if shards > 1 {
+                self.predict_sharded_rec(&p.udf, &p.table, &p.into, shards, rec)?
+            } else {
+                let backend = self.resolve_backend(stmt)?;
+                self.predict_full(
+                    &p.udf,
+                    &p.table,
+                    &p.into,
+                    ExecutionMode::Strider,
+                    None,
+                    backend,
+                    rec,
+                )?
+            })),
+            Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(if shards > 1 {
+                self.evaluate_sharded_rec(&e.udf, &e.table, e.metric, shards, rec)?
+            } else {
+                let backend = self.resolve_backend(stmt)?;
+                self.evaluate_full(
+                    &e.udf,
+                    &e.table,
+                    e.metric,
+                    ExecutionMode::Strider,
+                    None,
+                    backend,
+                    rec,
+                )?
+            })),
+            Statement::Explain(inner) => {
+                Ok(StatementOutcome::Explain(self.explain_statement(inner)?))
+            }
+            Statement::ExplainAnalyze(inner) => self.analyze_parsed(inner, shards, 0.0, 0.0, 0.0),
+            Statement::ShowStats(filter) => Ok(StatementOutcome::Stats(
+                self.stats_snapshot(filter.as_deref()),
+            )),
+        }
+    }
+
+    /// `EXPLAIN ANALYZE <stmt>`: executes the inner statement with an
+    /// enabled span recorder and packages the lifecycle trace beside the
+    /// outcome. The worker forwards its measured parse / admission-wait /
+    /// lease-wait walls so the trace charges the server-side stages a
+    /// serial run never sees.
+    pub fn analyze_parsed(
+        &self,
+        inner: &Statement,
+        shards: u16,
+        parse_wall: f64,
+        admission_wall: f64,
+        lease_wall: f64,
+    ) -> DanaResult<StatementOutcome> {
+        let rec = SpanRecorder::enabled();
+        exec::begin_trace(&rec, parse_wall, admission_wall);
+        rec.add_wall(exec::stage::LEASE, lease_wall);
+        let start = std::time::Instant::now();
+        let outcome = self.execute_parsed(inner, shards, &rec)?;
+        let comparison = self.explain_statement(inner).ok();
+        let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
+        let trace = exec::finish_trace(&rec, total_sim, start.elapsed().as_secs_f64())
+            .expect("enabled recorder yields a trace");
+        Ok(StatementOutcome::Analyze(Box::new(AnalyzeReport {
+            outcome,
+            trace,
+            comparison,
+        })))
     }
 
     /// Consistent (catalog entry, heap snapshot) for a table, under a read
@@ -1070,6 +1331,7 @@ impl SystemCore {
         heap_id: HeapId,
         heap: &HeapFile,
         mode: ExecutionMode,
+        rec: &SpanRecorder,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -1079,7 +1341,7 @@ impl SystemCore {
         let feed = FeedKind::for_mode(mode);
         let mut source =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, &access, feed);
-        let stats = engine.run_training(&mut source, &mut store)?;
+        let (stats, epoch_cycles) = engine.run_training_logged(&mut source, &mut store)?;
         let (access_stats, io_first) = source.into_stats();
         Ok(exec::assemble_report(
             mode,
@@ -1094,8 +1356,10 @@ impl SystemCore {
                 engine_stats: stats,
                 access_stats,
                 io_first,
+                epoch_cycles,
             },
             store,
+            rec,
         ))
     }
 }

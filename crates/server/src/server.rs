@@ -28,9 +28,11 @@ use std::time::Instant;
 use crossbeam::channel::{self, Receiver};
 
 use dana::{
-    parse_statement, BackendKind, DanaReport, DanaResult, DeployInfo, DropSummary, EvalReport,
-    ExecutionMode, MetricKind, PredictReport, Statement, StrategyComparison,
+    exec, parse_statement, AnalyzeReport, BackendKind, DanaReport, DanaResult, DeployInfo,
+    DropSummary, EvalReport, ExecutionMode, MetricKind, PredictReport, QueryTrace, SpanRecorder,
+    Statement, StatementOutcome, StatsSnapshot, StrategyComparison,
 };
+use dana_obs::StatEntry;
 use dana_storage::HeapFile;
 
 use crate::accel::{AcceleratorPool, PoolUtilization};
@@ -89,18 +91,40 @@ pub enum QueryResponse {
     Evaluated(EvalReport),
     /// EXPLAIN: the advisor's per-backend comparison; nothing executed.
     Explained(StrategyComparison),
+    /// EXPLAIN ANALYZE: the inner statement's outcome plus its lifecycle
+    /// trace (and the advisor prediction it calibrates).
+    Analyzed(Box<AnalyzeReport>),
+    /// SHOW STATS: the server-wide metrics snapshot (core registry +
+    /// admission queue + accelerator pool + sessions).
+    Stats(StatsSnapshot),
 }
 
 impl QueryResponse {
     /// End-to-end simulated seconds, whichever query type ran. Zero for
-    /// EXPLAIN (nothing executed) and for CPU-tier runs (nothing
-    /// simulated — their stopwatch lives in `timing.wall_seconds`).
+    /// EXPLAIN / SHOW STATS (nothing executed) and for CPU-tier runs
+    /// (nothing simulated — their stopwatch lives in
+    /// `timing.wall_seconds`). An EXPLAIN ANALYZE charges its inner
+    /// statement's simulated total (it really ran on the lease).
     pub fn sim_seconds(&self) -> f64 {
         match self {
             QueryResponse::Trained(r) => r.timing.total_seconds,
             QueryResponse::Predicted(p) => p.timing.total_seconds,
             QueryResponse::Evaluated(e) => e.timing.total_seconds,
-            QueryResponse::Explained(_) => 0.0,
+            QueryResponse::Explained(_) | QueryResponse::Stats(_) => 0.0,
+            QueryResponse::Analyzed(a) => {
+                a.outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// The substrate that ran the query, if one did.
+    fn backend(&self) -> Option<BackendKind> {
+        match self {
+            QueryResponse::Trained(r) => Some(r.backend),
+            QueryResponse::Predicted(p) => Some(p.backend),
+            QueryResponse::Evaluated(e) => Some(e.backend),
+            QueryResponse::Explained(_) | QueryResponse::Stats(_) => None,
+            QueryResponse::Analyzed(a) => a.outcome.backend(),
         }
     }
 }
@@ -120,6 +144,10 @@ pub struct QueryReply {
     pub queue_seconds: f64,
     /// Wall-clock seconds spent executing on the worker.
     pub exec_seconds: f64,
+    /// The query-lifecycle trace, present when the statement opted in
+    /// with `WITH (trace = on)`. (`EXPLAIN ANALYZE` carries its trace
+    /// inside [`QueryResponse::Analyzed`] instead.)
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryReply {
@@ -153,6 +181,22 @@ impl QueryReply {
         match &self.response {
             QueryResponse::Explained(c) => c,
             other => panic!("expected an explain reply, got {other:?}"),
+        }
+    }
+
+    /// The EXPLAIN ANALYZE report (panics for other reply kinds).
+    pub fn analyze_report(&self) -> &AnalyzeReport {
+        match &self.response {
+            QueryResponse::Analyzed(a) => a,
+            other => panic!("expected an explain-analyze reply, got {other:?}"),
+        }
+    }
+
+    /// The SHOW STATS snapshot (panics for other reply kinds).
+    pub fn stats(&self) -> &StatsSnapshot {
+        match &self.response {
+            QueryResponse::Stats(s) => s,
+            other => panic!("expected a stats reply, got {other:?}"),
         }
     }
 }
@@ -314,17 +358,7 @@ impl DanaServer {
     pub fn cost_hint(&self, request: &QueryRequest) -> f64 {
         let serial = match request {
             QueryRequest::Sql(sql) => match parse_statement(sql) {
-                Ok(Statement::Train(call)) => self.core.estimated_seconds(&call.udf).unwrap_or(0.0),
-                Ok(Statement::Predict(p)) => self
-                    .core
-                    .estimated_scoring_seconds(&p.udf, &p.table)
-                    .unwrap_or(0.0),
-                Ok(Statement::Evaluate(e)) => self
-                    .core
-                    .estimated_scoring_seconds(&e.udf, &e.table)
-                    .unwrap_or(0.0),
-                // Metadata-only: runs instantly, schedule it first.
-                Ok(Statement::Explain(_)) => 0.0,
+                Ok(stmt) => statement_cost_hint(&self.core, &stmt),
                 Err(_) => 0.0,
             },
             QueryRequest::RunUdf { udf, .. } => self.core.estimated_seconds(udf).unwrap_or(0.0),
@@ -346,6 +380,21 @@ impl DanaServer {
 
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()
+    }
+
+    /// The server-wide `SHOW STATS` snapshot: the core's registry and
+    /// buffer/engine rows plus admission-queue, accelerator-pool, and
+    /// session rows, every pull-side value read from its authoritative
+    /// owner at snapshot time. Identical to what a `SHOW STATS` query
+    /// submitted through a session returns.
+    pub fn stats_snapshot(&self, subsystem: Option<&str>) -> StatsSnapshot {
+        server_stats(
+            &self.core,
+            &self.accels,
+            &self.queue,
+            &self.sessions,
+            subsystem,
+        )
     }
 
     /// Drains admitted work, stops the workers, and returns the final
@@ -370,6 +419,36 @@ impl Drop for DanaServer {
     }
 }
 
+/// SJF's serial ordering key for one parsed statement. `EXPLAIN
+/// ANALYZE` prices its inner statement (it really runs); metadata-only
+/// statements run instantly and schedule first.
+fn statement_cost_hint(core: &SystemCore, stmt: &Statement) -> f64 {
+    match stmt {
+        Statement::Train(call) => core.estimated_seconds(&call.udf).unwrap_or(0.0),
+        Statement::Predict(p) => core
+            .estimated_scoring_seconds(&p.udf, &p.table)
+            .unwrap_or(0.0),
+        Statement::Evaluate(e) => core
+            .estimated_scoring_seconds(&e.udf, &e.table)
+            .unwrap_or(0.0),
+        Statement::ExplainAnalyze(inner) => statement_cost_hint(core, inner),
+        // Metadata-only: runs instantly, schedule it first.
+        Statement::Explain(_) | Statement::ShowStats(_) => 0.0,
+    }
+}
+
+/// The shard request and scanned table of one parsed statement
+/// (`EXPLAIN ANALYZE` leases for its inner statement).
+fn statement_shards(stmt: &Statement) -> (Option<u16>, Option<&str>) {
+    match stmt {
+        Statement::Train(c) => (c.shards, Some(&c.table)),
+        Statement::Predict(p) => (p.shards, Some(&p.table)),
+        Statement::Evaluate(e) => (e.shards, Some(&e.table)),
+        Statement::ExplainAnalyze(inner) => statement_shards(inner),
+        Statement::Explain(_) | Statement::ShowStats(_) => (None, None),
+    }
+}
+
 /// The gang size a request calls for, clamped to the pool size **and**
 /// the scanned table's page count (the shard planner never makes more
 /// shards than pages) — the number of instances the worker leases
@@ -379,43 +458,168 @@ impl Drop for DanaServer {
 fn gang_size(request: &QueryRequest, pool: usize, core: &SystemCore) -> u16 {
     let (requested, table) = match request {
         QueryRequest::Sql(sql) => match parse_statement(sql) {
-            Ok(Statement::Train(c)) => (c.shards, Some(c.table)),
-            Ok(Statement::Predict(p)) => (p.shards, Some(p.table)),
-            Ok(Statement::Evaluate(e)) => (e.shards, Some(e.table)),
-            Ok(Statement::Explain(_)) | Err(_) => (None, None),
+            Ok(stmt) => return statement_gang_size(&stmt, pool, core),
+            Err(_) => (None, None),
         },
         QueryRequest::RunUdf { shards, table, .. }
         | QueryRequest::Predict { shards, table, .. }
         | QueryRequest::Evaluate { shards, table, .. } => (*shards, Some(table.clone())),
         QueryRequest::TrainSpec { .. } => (None, None),
     };
+    clamp_gang(requested, table.as_deref(), pool, core)
+}
+
+/// [`gang_size`] for an already-parsed statement.
+fn statement_gang_size(stmt: &Statement, pool: usize, core: &SystemCore) -> u16 {
+    let (requested, table) = statement_shards(stmt);
+    clamp_gang(requested, table, pool, core)
+}
+
+fn clamp_gang(requested: Option<u16>, table: Option<&str>, pool: usize, core: &SystemCore) -> u16 {
     let mut k = requested.unwrap_or(1).clamp(1, pool.max(1) as u16);
-    if let Some(pages) = table.and_then(|t| core.table_pages(&t)) {
+    if let Some(pages) = table.and_then(|t| core.table_pages(t)) {
         k = k.min(dana_parallel::ShardPlan::effective_shards(pages, k as usize) as u16);
     }
     k
 }
 
 /// Whether a request needs the simulated-FPGA tier (and therefore an
-/// accelerator lease). `EXPLAIN` and statements the advisor (or a
-/// `WITH (backend = cpu)` override) routes to the native CPU tier run
-/// lease-free — the pool is accelerator hardware, and a CPU run charging
-/// it would corrupt the utilization accounting. Resolution errors say
-/// FPGA here: the execution dispatch re-resolves and surfaces them typed.
-fn needs_accelerator(core: &SystemCore, request: &QueryRequest) -> bool {
-    match request {
-        QueryRequest::Sql(sql) => match parse_statement(sql) {
-            Ok(Statement::Explain(_)) => false,
-            Ok(stmt) => !matches!(core.resolve_backend(&stmt), Ok(BackendKind::Cpu)),
-            Err(_) => true,
-        },
-        _ => true,
+/// accelerator lease). `EXPLAIN`, `SHOW STATS`, and statements the
+/// advisor (or a `WITH (backend = cpu)` override) routes to the native
+/// CPU tier run lease-free — the pool is accelerator hardware, and a CPU
+/// run charging it would corrupt the utilization accounting. Resolution
+/// errors say FPGA here: the execution dispatch re-resolves and surfaces
+/// them typed.
+fn statement_needs_accelerator(core: &SystemCore, stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Explain(_) | Statement::ShowStats(_) => false,
+        Statement::ExplainAnalyze(inner) => statement_needs_accelerator(core, inner),
+        _ => !matches!(core.resolve_backend(stmt), Ok(BackendKind::Cpu)),
+    }
+}
+
+/// Maps a dispatched statement outcome to the wire-level reply variant.
+fn outcome_to_response(outcome: StatementOutcome) -> QueryResponse {
+    match outcome {
+        StatementOutcome::Train(o) => QueryResponse::Trained(o.report),
+        StatementOutcome::Predict(p) => QueryResponse::Predicted(p),
+        StatementOutcome::Evaluate(e) => QueryResponse::Evaluated(e),
+        StatementOutcome::Explain(c) => QueryResponse::Explained(c),
+        StatementOutcome::Analyze(a) => QueryResponse::Analyzed(a),
+        StatementOutcome::Stats(s) => QueryResponse::Stats(s),
+    }
+}
+
+/// Assembles the server-wide `SHOW STATS` snapshot: core-owned rows
+/// (registry, buffer pool, engine cache) plus the admission queue's,
+/// accelerator pool's, and session manager's — each read from its
+/// authoritative owner at snapshot time, so `SHOW STATS` can never
+/// disagree with `pool_utilization()` / `queue_stats()`.
+fn server_stats(
+    core: &SystemCore,
+    accels: &AcceleratorPool,
+    queue: &AdmissionQueue,
+    sessions: &SessionManager,
+    subsystem: Option<&str>,
+) -> StatsSnapshot {
+    let mut entries = Vec::new();
+    core.stats_entries(&mut entries);
+    let qs = queue.stats();
+    entries.push(StatEntry::new("admission", "depth", qs.depth as f64));
+    entries.push(StatEntry::new("admission", "admitted", qs.admitted as f64));
+    entries.push(StatEntry::new("admission", "rejected", qs.rejected as f64));
+    let u = accels.utilization();
+    entries.push(StatEntry::new("pool", "instances", u.instances() as f64));
+    entries.push(StatEntry::new("pool", "utilization", u.utilization()));
+    entries.push(StatEntry::new(
+        "pool",
+        "busy_seconds_total",
+        u.serial_seconds(),
+    ));
+    for i in 0..u.instances() {
+        entries.push(StatEntry::new(
+            "pool",
+            format!("busy_seconds_{i}"),
+            u.busy_seconds[i],
+        ));
+        entries.push(StatEntry::new(
+            "pool",
+            format!("idle_seconds_{i}"),
+            u.idle_seconds[i],
+        ));
+        entries.push(StatEntry::new(
+            "pool",
+            format!("leases_{i}"),
+            u.leases[i] as f64,
+        ));
+    }
+    let all = sessions.all_stats();
+    entries.push(StatEntry::new("sessions", "open", all.len() as f64));
+    let sum = |f: fn(&SessionStats) -> f64| all.iter().map(|(_, s)| f(s)).sum::<f64>();
+    entries.push(StatEntry::new(
+        "sessions",
+        "submitted",
+        sum(|s| s.submitted as f64),
+    ));
+    entries.push(StatEntry::new(
+        "sessions",
+        "completed",
+        sum(|s| s.completed as f64),
+    ));
+    entries.push(StatEntry::new(
+        "sessions",
+        "failed",
+        sum(|s| s.failed as f64),
+    ));
+    entries.push(StatEntry::new(
+        "sessions",
+        "sim_seconds",
+        sum(|s| s.sim_seconds),
+    ));
+    entries.push(StatEntry::new(
+        "sessions",
+        "wall_seconds",
+        sum(|s| s.wall_seconds),
+    ));
+    let snap = StatsSnapshot::new(entries);
+    match subsystem {
+        Some(s) => snap.filtered(s),
+        None => snap,
+    }
+}
+
+/// Folds one finished worker dispatch into the core's metrics registry:
+/// completion/failure counters, the exec-wall histogram, the backend
+/// split, and epochs trained.
+fn record_query_metrics(
+    core: &SystemCore,
+    result: &DanaResult<(QueryResponse, Option<QueryTrace>)>,
+    wall: f64,
+) {
+    let m = core.metrics();
+    match result {
+        Ok((response, _)) => {
+            m.queries_completed.inc();
+            m.exec_wall.record(wall);
+            match response.backend() {
+                Some(BackendKind::Fpga) => m.fpga_queries.inc(),
+                Some(BackendKind::Cpu) => m.cpu_queries.inc(),
+                None => {}
+            }
+            if let QueryResponse::Trained(r) = response {
+                m.epochs_run.add(r.epochs_run as u64);
+            }
+        }
+        Err(_) => m.queries_failed.inc(),
     }
 }
 
 /// One worker: pop an admitted query, atomically lease its gang (size 1
-/// for serial queries; none at all for EXPLAIN and CPU-tier runs),
-/// execute, release every member with the simulated runtime, reply.
+/// for serial queries; none at all for EXPLAIN/SHOW STATS and CPU-tier
+/// runs), execute, release every member with the simulated runtime,
+/// reply. SQL is parsed exactly once, before leasing — the measured
+/// parse/admission/lease walls feed the lifecycle trace when the
+/// statement asked for one.
 fn worker_loop(
     core: &SystemCore,
     accels: &AcceleratorPool,
@@ -423,106 +627,135 @@ fn worker_loop(
     sessions: &SessionManager,
 ) {
     while let Some(job) = queue.pop() {
-        let (shards, lease) = if needs_accelerator(core, &job.request) {
-            let shards = gang_size(&job.request, accels.size(), core);
+        let admission_wall = job.submitted_at.elapsed().as_secs_f64();
+        core.metrics().admission_wait.record(admission_wall);
+        let parse_start = Instant::now();
+        let parsed: Option<DanaResult<Statement>> = match &job.request {
+            QueryRequest::Sql(sql) => Some(parse_statement(sql)),
+            _ => None,
+        };
+        let parse_wall = parse_start.elapsed().as_secs_f64();
+        let needs_lease = match &parsed {
+            Some(Ok(stmt)) => statement_needs_accelerator(core, stmt),
+            // Parse errors surface typed from the dispatch below; ad-hoc
+            // (non-SQL) requests always run on the accelerator tier.
+            Some(Err(_)) | None => true,
+        };
+        let (shards, lease, lease_wall) = if needs_lease {
+            let shards = match &parsed {
+                Some(Ok(stmt)) => statement_gang_size(stmt, accels.size(), core),
+                Some(Err(_)) => 1,
+                None => gang_size(&job.request, accels.size(), core),
+            };
+            let lease_start = Instant::now();
             let Some(lease) = accels.lease_gang(shards as usize) else {
                 let _ = job.reply.send(Err(ServerError::ShuttingDown));
                 continue;
             };
-            (shards, Some(lease))
+            let lease_wall = lease_start.elapsed().as_secs_f64();
+            core.metrics().lease_wait.record(lease_wall);
+            (shards, Some(lease), lease_wall)
         } else {
-            (1, None)
+            (1, None, 0.0)
         };
         let gang: Vec<usize> = lease.as_ref().map(|l| l.ids().to_vec()).unwrap_or_default();
         let accelerator = gang.first().copied().unwrap_or(usize::MAX);
         let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
         let started = Instant::now();
-        let result: DanaResult<QueryResponse> = match &job.request {
-            QueryRequest::Sql(sql) => parse_statement(sql).and_then(|stmt| match stmt {
-                Statement::Explain(inner) => {
-                    core.explain_statement(&inner).map(QueryResponse::Explained)
+        let result: DanaResult<(QueryResponse, Option<QueryTrace>)> = match (&job.request, parsed) {
+            (QueryRequest::Sql(_), Some(stmt_result)) => stmt_result.and_then(|stmt| match &stmt {
+                // Worker-level statements: SHOW STATS sees the whole
+                // server (queue/pool/sessions), EXPLAIN ANALYZE charges
+                // the worker's measured front-door walls to its trace.
+                Statement::ShowStats(filter) => Ok((
+                    QueryResponse::Stats(server_stats(
+                        core,
+                        accels,
+                        queue,
+                        sessions,
+                        filter.as_deref(),
+                    )),
+                    None,
+                )),
+                Statement::ExplainAnalyze(inner) => core
+                    .analyze_parsed(inner, shards, parse_wall, admission_wall, lease_wall)
+                    .map(|outcome| (outcome_to_response(outcome), None)),
+                _ if stmt.wants_trace() => {
+                    let rec = SpanRecorder::enabled();
+                    exec::begin_trace(&rec, parse_wall, admission_wall);
+                    rec.add_wall(exec::stage::LEASE, lease_wall);
+                    let exec_start = Instant::now();
+                    core.execute_parsed(&stmt, shards, &rec).map(|outcome| {
+                        let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
+                        let trace =
+                            exec::finish_trace(&rec, total_sim, exec_start.elapsed().as_secs_f64());
+                        (outcome_to_response(outcome), trace)
+                    })
                 }
-                Statement::Train(call) if shards > 1 => core
-                    .run_udf_sharded(&call.udf, &call.table, shards)
-                    .map(QueryResponse::Trained),
-                Statement::Train(call) => {
-                    match core.resolve_backend(&Statement::Train(call.clone()))? {
-                        BackendKind::Cpu => core
-                            .run_udf_cpu(&call.udf, &call.table)
-                            .map(QueryResponse::Trained),
-                        BackendKind::Fpga => core
-                            .run_udf(&call.udf, &call.table)
-                            .map(QueryResponse::Trained),
-                    }
-                }
-                Statement::Predict(p) if shards > 1 => core
-                    .predict_sharded(&p.udf, &p.table, &p.into, shards)
-                    .map(QueryResponse::Predicted),
-                Statement::Predict(p) => {
-                    match core.resolve_backend(&Statement::Predict(p.clone()))? {
-                        BackendKind::Cpu => core
-                            .predict_cpu(&p.udf, &p.table, &p.into)
-                            .map(QueryResponse::Predicted),
-                        BackendKind::Fpga => core
-                            .predict(&p.udf, &p.table, &p.into)
-                            .map(QueryResponse::Predicted),
-                    }
-                }
-                Statement::Evaluate(e) if shards > 1 => core
-                    .evaluate_sharded(&e.udf, &e.table, e.metric, shards)
-                    .map(QueryResponse::Evaluated),
-                Statement::Evaluate(e) => {
-                    match core.resolve_backend(&Statement::Evaluate(e.clone()))? {
-                        BackendKind::Cpu => core
-                            .evaluate_cpu(&e.udf, &e.table, e.metric)
-                            .map(QueryResponse::Evaluated),
-                        BackendKind::Fpga => core
-                            .evaluate(&e.udf, &e.table, e.metric)
-                            .map(QueryResponse::Evaluated),
-                    }
-                }
+                _ => core
+                    .execute_parsed(&stmt, shards, &SpanRecorder::disabled())
+                    .map(|outcome| (outcome_to_response(outcome), None)),
             }),
-            QueryRequest::RunUdf { udf, table, .. } if shards > 1 => core
-                .run_udf_sharded(udf, table, shards)
-                .map(QueryResponse::Trained),
-            QueryRequest::RunUdf { udf, table, .. } => {
-                core.run_udf(udf, table).map(QueryResponse::Trained)
+            (QueryRequest::Sql(_), None) => {
+                unreachable!("SQL requests are always parsed above")
             }
-            QueryRequest::TrainSpec { spec, table, mode } => core
+            (QueryRequest::RunUdf { udf, table, .. }, _) if shards > 1 => core
+                .run_udf_sharded(udf, table, shards)
+                .map(|r| (QueryResponse::Trained(r), None)),
+            (QueryRequest::RunUdf { udf, table, .. }, _) => core
+                .run_udf(udf, table)
+                .map(|r| (QueryResponse::Trained(r), None)),
+            (QueryRequest::TrainSpec { spec, table, mode }, _) => core
                 .train_with_spec(spec, table, *mode)
-                .map(QueryResponse::Trained),
-            QueryRequest::Predict {
-                udf, table, into, ..
-            } if shards > 1 => core
+                .map(|r| (QueryResponse::Trained(r), None)),
+            (
+                QueryRequest::Predict {
+                    udf, table, into, ..
+                },
+                _,
+            ) if shards > 1 => core
                 .predict_sharded(udf, table, into, shards)
-                .map(QueryResponse::Predicted),
-            QueryRequest::Predict {
-                udf, table, into, ..
-            } => core.predict(udf, table, into).map(QueryResponse::Predicted),
-            QueryRequest::Evaluate {
-                udf, table, metric, ..
-            } if shards > 1 => core
+                .map(|p| (QueryResponse::Predicted(p), None)),
+            (
+                QueryRequest::Predict {
+                    udf, table, into, ..
+                },
+                _,
+            ) => core
+                .predict(udf, table, into)
+                .map(|p| (QueryResponse::Predicted(p), None)),
+            (
+                QueryRequest::Evaluate {
+                    udf, table, metric, ..
+                },
+                _,
+            ) if shards > 1 => core
                 .evaluate_sharded(udf, table, *metric, shards)
-                .map(QueryResponse::Evaluated),
-            QueryRequest::Evaluate {
-                udf, table, metric, ..
-            } => core
+                .map(|e| (QueryResponse::Evaluated(e), None)),
+            (
+                QueryRequest::Evaluate {
+                    udf, table, metric, ..
+                },
+                _,
+            ) => core
                 .evaluate(udf, table, *metric)
-                .map(QueryResponse::Evaluated),
+                .map(|e| (QueryResponse::Evaluated(e), None)),
         };
         let exec_seconds = started.elapsed().as_secs_f64();
-        let sim_seconds = result.as_ref().map(|r| r.sim_seconds()).unwrap_or(0.0);
+        let sim_seconds = result.as_ref().map(|(r, _)| r.sim_seconds()).unwrap_or(0.0);
         if let Some(lease) = lease {
             lease.release(sim_seconds);
         }
+        record_query_metrics(core, &result, exec_seconds);
         sessions.record_done(job.session, result.is_ok(), sim_seconds, exec_seconds);
         let reply = result
-            .map(|response| QueryReply {
+            .map(|(response, trace)| QueryReply {
                 response,
                 accelerator,
                 gang,
                 queue_seconds,
                 exec_seconds,
+                trace,
             })
             .map_err(ServerError::Dana);
         // A client that dropped its ticket just doesn't read the reply.

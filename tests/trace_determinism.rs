@@ -1,0 +1,402 @@
+//! Query-lifecycle trace determinism and accounting acceptance suite.
+//!
+//! The tracing contract, held across the four zoo analytics:
+//!
+//! * the trace *shape* — stage names, nesting, and per-stage counts — is
+//!   a pure function of the statement: the serial `Dana` facade and the
+//!   concurrent `DanaServer` emit structurally identical traces, and the
+//!   shape does not change with the gang width (1, 2, 4 shards). Only
+//!   the recorded times may differ;
+//! * `EXPLAIN ANALYZE` stage accounting is honest: the per-stage
+//!   simulated times sum to the query's own end-to-end report within 5%
+//!   on both facades;
+//! * `WITH (trace = on)` attaches the same-shaped trace to an ordinary
+//!   reply instead of replacing the result surface;
+//! * `SHOW STATS` gauges agree exactly with the values the pool and
+//!   queue report through their typed APIs.
+
+use dana::prelude::*;
+use dana::{QueryTrace, StatementOutcome};
+use dana_dsl::zoo::{self, Algorithm, DenseParams, LrmfParams};
+use dana_server::{
+    AdmissionConfig, DanaServer, QueryRequest, QueryResponse, SchedPolicy, ServerConfig,
+    SystemCoreConfig,
+};
+use dana_storage::page::TupleDirection;
+use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
+
+const PAGE: usize = 8 * 1024;
+
+const ZOO: [Algorithm; 4] = [
+    Algorithm::Linear,
+    Algorithm::Logistic,
+    Algorithm::Svm,
+    Algorithm::Lrmf,
+];
+
+fn dense_heap(n: usize, d: usize, algo: Algorithm) -> HeapFile {
+    let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.8).collect();
+    let mut b = HeapFileBuilder::new(Schema::training(d), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((k * 11 + i * 5) % 17) as f32 - 8.0) / 8.0)
+            .collect();
+        let s: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let y = match algo {
+            Algorithm::Linear => s,
+            Algorithm::Logistic => (s > 0.0) as u8 as f32,
+            Algorithm::Svm => {
+                if s > 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Algorithm::Lrmf => unreachable!(),
+        };
+        b.insert(&Tuple::training(&x, y)).unwrap();
+    }
+    b.finish()
+}
+
+fn rating_heap(n: usize, rows: usize, cols: usize) -> HeapFile {
+    let mut b = HeapFileBuilder::new(Schema::rating(), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let (i, j) = (k * rows / n, (k * 13) % cols);
+        let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
+        b.insert(&Tuple::rating(i as i32, j as i32, r)).unwrap();
+    }
+    b.finish()
+}
+
+fn spec_for(algo: Algorithm) -> AlgoSpec {
+    match algo {
+        Algorithm::Lrmf => zoo::lrmf(LrmfParams {
+            rows: 24,
+            cols: 18,
+            rank: 6,
+            learning_rate: 0.05,
+            merge_coef: 4,
+            epochs: 3,
+        })
+        .unwrap(),
+        _ => zoo::spec_for(
+            algo,
+            DenseParams {
+                n_features: 10,
+                learning_rate: 0.1,
+                merge_coef: 8,
+                epochs: 3,
+            },
+        )
+        .unwrap(),
+    }
+}
+
+fn heap_for(algo: Algorithm, n: usize) -> HeapFile {
+    match algo {
+        Algorithm::Lrmf => rating_heap(n, 24, 18),
+        _ => dense_heap(n, 10, algo),
+    }
+}
+
+fn buffer_config() -> BufferPoolConfig {
+    BufferPoolConfig {
+        pool_bytes: 64 << 20,
+        page_size: PAGE,
+    }
+}
+
+fn fresh_dana() -> Dana {
+    Dana::new(FpgaSpec::vu9p(), buffer_config(), DiskModel::ssd())
+}
+
+fn fresh_server(accelerators: usize) -> DanaServer {
+    DanaServer::start(ServerConfig {
+        accelerators,
+        workers: accelerators,
+        admission: AdmissionConfig {
+            max_queued: 256,
+            policy: SchedPolicy::Fifo,
+        },
+        core: SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: buffer_config(),
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        },
+    })
+}
+
+/// `EXPLAIN ANALYZE` through the serial facade, returning the report.
+fn serial_analyze(db: &mut Dana, sql: &str) -> dana::AnalyzeReport {
+    match db.execute_statement(sql).unwrap() {
+        StatementOutcome::Analyze(a) => *a,
+        other => panic!("expected analyze outcome, got {other:?}"),
+    }
+}
+
+/// `EXPLAIN ANALYZE` through the server, returning the report.
+fn server_analyze(
+    srv: &DanaServer,
+    session: dana_server::SessionId,
+    sql: &str,
+) -> dana::AnalyzeReport {
+    let reply = srv
+        .call(session, QueryRequest::Sql(sql.to_string()))
+        .unwrap();
+    match reply.response {
+        QueryResponse::Analyzed(a) => *a,
+        other => panic!("expected analyzed response, got {other:?}"),
+    }
+}
+
+/// The trace's *shape* must be a pure function of the statement: same
+/// stages, same nesting, same counts on the serial facade and the
+/// concurrent server, at every gang width — for all four zoo analytics.
+#[test]
+fn trace_shape_is_facade_and_shard_invariant() {
+    for algo in ZOO {
+        let spec = spec_for(algo);
+        let udf = spec.name.clone();
+
+        let mut shapes: Vec<(String, String)> = Vec::new();
+        for shards in [1u16, 2, 4] {
+            let sql = format!(
+                "EXPLAIN ANALYZE EXECUTE dana.{udf}('t') WITH (backend = fpga, shards = {shards});"
+            );
+
+            let mut db = fresh_dana();
+            db.create_table("t", heap_for(algo, 900)).unwrap();
+            db.deploy(&spec, "t").unwrap();
+            let serial = serial_analyze(&mut db, &sql);
+            shapes.push((format!("serial/x{shards}"), serial.trace.structure()));
+
+            let srv = fresh_server(4);
+            srv.create_table("t", heap_for(algo, 900)).unwrap();
+            srv.deploy(&spec, "t").unwrap();
+            let session = srv.open_session("tracer");
+            let server = server_analyze(&srv, session, &sql);
+            shapes.push((format!("server/x{shards}"), server.trace.structure()));
+            srv.shutdown();
+        }
+
+        let (first_label, first) = &shapes[0];
+        for (label, shape) in &shapes[1..] {
+            assert_eq!(
+                shape, first,
+                "{algo:?}: trace shape diverged between {first_label} and {label}"
+            );
+        }
+        // The shape includes the full lifecycle, front door to reply.
+        for stage in [
+            "parse",
+            "admission_wait",
+            "lease",
+            "scan",
+            "engine",
+            "merge",
+            "reply",
+        ] {
+            assert!(
+                first.contains(stage),
+                "{algo:?}: stage '{stage}' missing from shape:\n{first}"
+            );
+        }
+    }
+}
+
+/// Stage accounting is honest: simulated per-stage times sum to the
+/// query's own end-to-end simulated total within 5%, on both facades,
+/// serial and ganged.
+#[test]
+fn explain_analyze_stage_sums_match_end_to_end_report() {
+    let spec = spec_for(Algorithm::Linear);
+    let check = |label: &str, report: &dana::AnalyzeReport| {
+        let total = report
+            .outcome
+            .timing()
+            .map(|t| t.total_seconds)
+            .expect("train outcome has timing");
+        let sum = report.trace.stage_sim_sum();
+        assert!(total > 0.0, "{label}: degenerate total");
+        assert!(
+            (sum - total).abs() <= 0.05 * total,
+            "{label}: stage sum {sum:.6}s vs end-to-end {total:.6}s (>5% apart)"
+        );
+        assert_eq!(report.trace.total_sim_seconds, total, "{label}");
+    };
+
+    for shards in [1u16, 4] {
+        let sql = format!(
+            "EXPLAIN ANALYZE EXECUTE dana.linearR('t') WITH (backend = fpga, shards = {shards});"
+        );
+        let mut db = fresh_dana();
+        db.create_table("t", heap_for(Algorithm::Linear, 900))
+            .unwrap();
+        db.deploy(&spec, "t").unwrap();
+        check(&format!("serial/x{shards}"), &serial_analyze(&mut db, &sql));
+
+        let srv = fresh_server(4);
+        srv.create_table("t", heap_for(Algorithm::Linear, 900))
+            .unwrap();
+        srv.deploy(&spec, "t").unwrap();
+        let session = srv.open_session("analyzer");
+        check(
+            &format!("server/x{shards}"),
+            &server_analyze(&srv, session, &sql),
+        );
+        srv.shutdown();
+    }
+}
+
+/// `WITH (trace = on)` rides the trace on an ordinary reply — same
+/// shape as `EXPLAIN ANALYZE`, with the normal result still present.
+#[test]
+fn opt_in_trace_matches_explain_analyze_shape() {
+    let spec = spec_for(Algorithm::Logistic);
+
+    // Serial facade.
+    let mut db = fresh_dana();
+    db.create_table("t", heap_for(Algorithm::Logistic, 900))
+        .unwrap();
+    db.deploy(&spec, "t").unwrap();
+    let analyzed = serial_analyze(
+        &mut db,
+        "EXPLAIN ANALYZE EXECUTE dana.logisticR('t') WITH (backend = fpga);",
+    );
+    let (outcome, trace) = db
+        .execute_statement_traced("EXECUTE dana.logisticR('t') WITH (backend = fpga, trace = on);")
+        .unwrap();
+    let trace: QueryTrace = trace.expect("trace = on must attach a trace");
+    assert!(matches!(outcome, StatementOutcome::Train(_)));
+    assert_eq!(trace.structure(), analyzed.trace.structure());
+    // Without the opt-in, no trace is paid for.
+    let (_, no_trace) = db
+        .execute_statement_traced("EXECUTE dana.logisticR('t') WITH (backend = fpga);")
+        .unwrap();
+    assert!(no_trace.is_none());
+
+    // Server facade: the reply carries the trace beside the result.
+    let srv = fresh_server(2);
+    srv.create_table("t", heap_for(Algorithm::Logistic, 900))
+        .unwrap();
+    srv.deploy(&spec, "t").unwrap();
+    let session = srv.open_session("opt-in");
+    let reply = srv
+        .call(
+            session,
+            QueryRequest::Sql(
+                "EXECUTE dana.logisticR('t') WITH (backend = fpga, trace = on);".into(),
+            ),
+        )
+        .unwrap();
+    assert!(!reply.report().models.is_empty());
+    let server_trace = reply.trace.as_ref().expect("server reply must carry trace");
+    assert_eq!(server_trace.structure(), analyzed.trace.structure());
+    let plain = srv
+        .call(
+            session,
+            QueryRequest::Sql("EXECUTE dana.logisticR('t') WITH (backend = fpga);".into()),
+        )
+        .unwrap();
+    assert!(plain.trace.is_none());
+    srv.shutdown();
+}
+
+/// `SHOW STATS` pool and queue gauges must equal — not approximate —
+/// the values the typed `pool_utilization()` / `queue_stats()` APIs
+/// report for the same scenario.
+#[test]
+fn show_stats_gauges_match_typed_pool_and_queue_apis() {
+    let spec = spec_for(Algorithm::Linear);
+    let srv = fresh_server(2);
+    srv.create_table("t", heap_for(Algorithm::Linear, 900))
+        .unwrap();
+    srv.deploy(&spec, "t").unwrap();
+    let session = srv.open_session("gauges");
+
+    for shards in [1u16, 2, 1] {
+        let reply = srv
+            .call(
+                session,
+                QueryRequest::Sql(format!(
+                    "EXECUTE dana.linearR('t') WITH (backend = fpga, shards = {shards});"
+                )),
+            )
+            .unwrap();
+        assert!(reply.response.sim_seconds() > 0.0);
+    }
+
+    let snap = match srv
+        .call(session, QueryRequest::Sql("SHOW STATS;".into()))
+        .unwrap()
+        .response
+    {
+        QueryResponse::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+
+    // Pool gauges: exact equality with the typed utilization snapshot.
+    let u = srv.pool_utilization();
+    assert_eq!(snap.get("pool", "instances"), Some(u.instances() as f64));
+    assert_eq!(snap.get("pool", "utilization"), Some(u.utilization()));
+    assert_eq!(
+        snap.get("pool", "busy_seconds_total"),
+        Some(u.serial_seconds())
+    );
+    for i in 0..u.instances() {
+        assert_eq!(
+            snap.get("pool", &format!("busy_seconds_{i}")),
+            Some(u.busy_seconds[i]),
+            "instance {i} busy gauge"
+        );
+        assert_eq!(
+            snap.get("pool", &format!("idle_seconds_{i}")),
+            Some(u.idle_seconds[i]),
+            "instance {i} idle gauge"
+        );
+        assert_eq!(
+            snap.get("pool", &format!("leases_{i}")),
+            Some(u.leases[i] as f64),
+            "instance {i} lease gauge"
+        );
+    }
+    // The gang run leased both instances; the singles leased one each.
+    assert_eq!(u.leases.iter().sum::<u64>(), 4, "3 queries, one ganged");
+    assert!(u.serial_seconds() > 0.0);
+
+    // Queue gauges: the 3 training queries + SHOW STATS itself.
+    let q = srv.queue_stats();
+    assert_eq!(q.admitted, 4);
+    assert_eq!(q.rejected, 0);
+    assert_eq!(q.depth, 0);
+    assert_eq!(snap.get("admission", "admitted"), Some(q.admitted as f64));
+    assert_eq!(snap.get("admission", "rejected"), Some(q.rejected as f64));
+    assert_eq!(snap.get("admission", "depth"), Some(q.depth as f64));
+
+    // Engine counters saw exactly the completed queries so far.
+    assert_eq!(snap.get("engine", "queries_completed"), Some(3.0));
+    assert_eq!(snap.get("engine", "fpga_queries"), Some(3.0));
+
+    // Session rows come from the same manager the typed API reads.
+    let stats = srv.session_stats(session).unwrap();
+    assert_eq!(
+        snap.get("sessions", "submitted"),
+        Some(stats.submitted as f64)
+    );
+    assert_eq!(snap.get("sessions", "open"), Some(1.0));
+
+    // Subsystem filtering narrows to one subsystem's rows.
+    let pool_only = match srv
+        .call(session, QueryRequest::Sql("SHOW STATS('pool');".into()))
+        .unwrap()
+        .response
+    {
+        QueryResponse::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(!pool_only.entries.is_empty());
+    assert!(pool_only.entries.iter().all(|e| e.subsystem == "pool"));
+    srv.shutdown();
+}
