@@ -63,6 +63,7 @@ fn main() {
             accelerators: n,
             workers: n,
             admission: Default::default(),
+            default_timeout_ms: None,
             core: SystemCoreConfig {
                 fpga: FpgaSpec::vu9p(),
                 pool: pool_cfg,

@@ -101,6 +101,32 @@ impl From<dana_parallel::ParallelError> for DanaError {
     }
 }
 
+impl DanaError {
+    /// Whether this error is the cooperative-cancellation deadline
+    /// signal, surfaced from either the serial engine path or a gang.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        match self {
+            DanaError::Engine(e) => e.is_deadline(),
+            DanaError::Parallel(dana_parallel::ParallelError::Cancelled) => true,
+            DanaError::Parallel(dana_parallel::ParallelError::Engine { source, .. }) => {
+                source.is_deadline()
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether this error is a transient accelerator fault (retryable).
+    pub fn is_transient_fault(&self) -> bool {
+        match self {
+            DanaError::Engine(e) => e.is_transient(),
+            DanaError::Parallel(dana_parallel::ParallelError::Engine { source, .. }) => {
+                source.is_transient()
+            }
+            _ => false,
+        }
+    }
+}
+
 pub type DanaResult<T> = Result<T, DanaError>;
 
 #[cfg(test)]

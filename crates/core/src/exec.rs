@@ -45,6 +45,10 @@ pub mod stage {
     pub const MERGE: &str = "merge";
     pub const MATERIALIZE: &str = "materialize";
     pub const REPLY: &str = "reply";
+    /// Fault-recovery span: present only when a transient fault actually
+    /// fired, so no-fault runs keep the statement-determined trace
+    /// structure. Wall = backoff pauses; count = retries performed.
+    pub const FAULT_RETRY: &str = "fault_retry";
 }
 
 /// Pre-registers the lifecycle skeleton on a recorder: the three stages

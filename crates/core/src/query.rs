@@ -37,6 +37,8 @@ struct WithOptions {
     shards: Option<u16>,
     backend: BackendChoice,
     trace: bool,
+    timeout_ms: Option<u64>,
+    retries: Option<u32>,
 }
 
 /// A parsed accelerated-UDF training invocation.
@@ -51,6 +53,13 @@ pub struct QueryCall {
     pub backend: BackendChoice,
     /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
     pub trace: bool,
+    /// `WITH (timeout_ms = n)`: query deadline; past it, cooperative
+    /// cancellation returns a typed deadline error (`None` = the
+    /// server's default, if any).
+    pub timeout_ms: Option<u64>,
+    /// `WITH (retries = n)`: transient-fault retry budget override
+    /// (`None` = the server's default policy).
+    pub retries: Option<u32>,
 }
 
 /// A parsed `PREDICT … INTO …` statement.
@@ -67,6 +76,13 @@ pub struct PredictCall {
     pub backend: BackendChoice,
     /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
     pub trace: bool,
+    /// `WITH (timeout_ms = n)`: query deadline; past it, cooperative
+    /// cancellation returns a typed deadline error (`None` = the
+    /// server's default, if any).
+    pub timeout_ms: Option<u64>,
+    /// `WITH (retries = n)`: transient-fault retry budget override
+    /// (`None` = the server's default policy).
+    pub retries: Option<u32>,
 }
 
 /// A parsed `EVALUATE` statement.
@@ -82,6 +98,13 @@ pub struct EvaluateCall {
     pub backend: BackendChoice,
     /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
     pub trace: bool,
+    /// `WITH (timeout_ms = n)`: query deadline; past it, cooperative
+    /// cancellation returns a typed deadline error (`None` = the
+    /// server's default, if any).
+    pub timeout_ms: Option<u64>,
+    /// `WITH (retries = n)`: transient-fault retry budget override
+    /// (`None` = the server's default policy).
+    pub retries: Option<u32>,
 }
 
 /// Any statement the front door accepts.
@@ -114,6 +137,30 @@ impl Statement {
             Statement::Predict(p) => p.trace,
             Statement::Evaluate(e) => e.trace,
             Statement::Explain(_) | Statement::ExplainAnalyze(_) | Statement::ShowStats(_) => false,
+        }
+    }
+
+    /// The statement's `WITH (timeout_ms = n)` deadline, if any.
+    /// EXPLAIN ANALYZE executes its inner statement, so it inherits the
+    /// inner clause; plain EXPLAIN and SHOW STATS execute nothing.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            Statement::Train(c) => c.timeout_ms,
+            Statement::Predict(p) => p.timeout_ms,
+            Statement::Evaluate(e) => e.timeout_ms,
+            Statement::ExplainAnalyze(inner) => inner.timeout_ms(),
+            Statement::Explain(_) | Statement::ShowStats(_) => None,
+        }
+    }
+
+    /// The statement's `WITH (retries = n)` retry-budget override.
+    pub fn retries(&self) -> Option<u32> {
+        match self {
+            Statement::Train(c) => c.retries,
+            Statement::Predict(p) => p.retries,
+            Statement::Evaluate(e) => e.retries,
+            Statement::ExplainAnalyze(inner) => inner.retries(),
+            Statement::Explain(_) | Statement::ShowStats(_) => None,
         }
     }
 }
@@ -175,6 +222,8 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
             shards: opts.shards,
             backend: opts.backend,
             trace: opts.trace,
+            timeout_ms: opts.timeout_ms,
+            retries: opts.retries,
         }));
     }
     parse_select(s, opts).map(Statement::Train)
@@ -212,6 +261,8 @@ fn parse_select(s: &str, opts: WithOptions) -> DanaResult<QueryCall> {
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
+        timeout_ms: opts.timeout_ms,
+        retries: opts.retries,
     })
 }
 
@@ -247,7 +298,7 @@ fn parse_show_stats(s: &str) -> DanaResult<Statement> {
     }
     if !dana_obs::known_subsystem(&name) {
         return Err(err(&format!(
-            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, or engine)"
+            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, engine, or faults)"
         )));
     }
     Ok(Statement::ShowStats(Some(name)))
@@ -282,6 +333,8 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
     let mut seen_shards = false;
     let mut seen_backend = false;
     let mut seen_trace = false;
+    let mut seen_timeout = false;
+    let mut seen_retries = false;
     for item in inner.split(',') {
         let (key, value) = item
             .split_once('=')
@@ -320,9 +373,30 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
                     "bad trace value '{value}' (expected on or off)"
                 )));
             };
+        } else if key.eq_ignore_ascii_case("timeout_ms") {
+            if seen_timeout {
+                return Err(err("duplicate WITH option 'timeout_ms'"));
+            }
+            seen_timeout = true;
+            let ms: u64 = value
+                .parse()
+                .map_err(|_| err(&format!("bad timeout_ms value '{value}'")))?;
+            if ms == 0 {
+                return Err(err("timeout_ms must be at least 1"));
+            }
+            opts.timeout_ms = Some(ms);
+        } else if key.eq_ignore_ascii_case("retries") {
+            if seen_retries {
+                return Err(err("duplicate WITH option 'retries'"));
+            }
+            seen_retries = true;
+            let n: u32 = value
+                .parse()
+                .map_err(|_| err(&format!("bad retries value '{value}'")))?;
+            opts.retries = Some(n);
         } else {
             return Err(err(&format!(
-                "unknown WITH option '{key}' (expected shards, backend, or trace)"
+                "unknown WITH option '{key}' (expected shards, backend, trace, timeout_ms, or retries)"
             )));
         }
     }
@@ -365,6 +439,8 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictC
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
+        timeout_ms: opts.timeout_ms,
+        retries: opts.retries,
     })
 }
 
@@ -403,6 +479,8 @@ fn parse_evaluate(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Evaluat
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
+        timeout_ms: opts.timeout_ms,
+        retries: opts.retries,
     })
 }
 
@@ -629,6 +707,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         // Case-insensitive keywords, optional schema, mixed quoting.
@@ -642,6 +722,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
     }
@@ -670,6 +752,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         let s = parse_statement("EVALUATE dana.linearR('t', 'mse');").unwrap();
@@ -682,6 +766,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         // All four metric names (and case-insensitivity) parse.
@@ -701,6 +787,8 @@ mod tests {
                     shards: None,
                     backend: BackendChoice::Auto,
                     trace: false,
+                    timeout_ms: None,
+                    retries: None,
                 }),
                 "{name}"
             );
@@ -718,6 +806,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
     }
@@ -775,6 +865,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         // Case-insensitive, schema optional, identifier case preserved.
@@ -797,6 +889,8 @@ mod tests {
                 shards: Some(4),
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         let s = parse_statement("SELECT * FROM dana.linearR('t') with (SHARDS=2)").unwrap();
@@ -808,6 +902,8 @@ mod tests {
                 shards: Some(2),
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (shards = 8);").unwrap();
@@ -820,6 +916,8 @@ mod tests {
                 shards: Some(8),
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         let s = parse_statement("EVALUATE dana.f('t', 'mse') WITH (shards = 3);").unwrap();
@@ -832,6 +930,8 @@ mod tests {
                 shards: Some(3),
                 backend: BackendChoice::Auto,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         // parse_query handles the clause too.
@@ -924,6 +1024,8 @@ mod tests {
                 shards: Some(4),
                 backend: BackendChoice::Fpga,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
         // Order-insensitive.
@@ -938,6 +1040,8 @@ mod tests {
                 shards: Some(2),
                 backend: BackendChoice::Cpu,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })
         );
     }
@@ -992,6 +1096,8 @@ mod tests {
                 shards: None,
                 backend: BackendChoice::Cpu,
                 trace: false,
+                timeout_ms: None,
+                retries: None,
             })))
         );
     }
@@ -1096,6 +1202,87 @@ mod tests {
             let s = parse_statement(sql).unwrap();
             assert_eq!(s.wants_trace(), want_trace, "{sql}");
         }
+    }
+
+    #[test]
+    fn timeout_and_retries_options_parse_and_compose() {
+        let s = parse_statement(
+            "EXECUTE dana.linearR('t') WITH (timeout_ms = 250, shards = 2, backend = fpga, trace = on, retries = 5);",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::Train(QueryCall {
+                udf: "linearR".into(),
+                table: "t".into(),
+                shards: Some(2),
+                backend: BackendChoice::Fpga,
+                trace: true,
+                timeout_ms: Some(250),
+                retries: Some(5),
+            })
+        );
+        assert_eq!(s.timeout_ms(), Some(250));
+        assert_eq!(s.retries(), Some(5));
+
+        // PREDICT and EVALUATE accept the clause too.
+        let s = parse_statement("PREDICT dana.f('t') INTO 'p' WITH (timeout_ms = 9);").unwrap();
+        assert_eq!(s.timeout_ms(), Some(9));
+        let s = parse_statement("EVALUATE dana.f('t') WITH (retries = 0);").unwrap();
+        assert_eq!(s.retries(), Some(0), "retries = 0 disables retrying");
+
+        // EXPLAIN ANALYZE inherits the inner clause; plain EXPLAIN
+        // executes nothing and reports none.
+        let s =
+            parse_statement("EXPLAIN ANALYZE EXECUTE dana.f('t') WITH (timeout_ms = 7);").unwrap();
+        assert_eq!(s.timeout_ms(), Some(7));
+        let s = parse_statement("EXPLAIN EXECUTE dana.f('t') WITH (timeout_ms = 7);").unwrap();
+        assert_eq!(s.timeout_ms(), None);
+
+        // No clause: no deadline, no override.
+        let s = parse_statement("EXECUTE dana.f('t');").unwrap();
+        assert_eq!(s.timeout_ms(), None);
+        assert_eq!(s.retries(), None);
+    }
+
+    #[test]
+    fn bad_timeout_and_retries_values_are_typed_errors() {
+        let e = parse_statement("EXECUTE dana.f('t') WITH (timeout_ms = banana);").unwrap_err();
+        assert!(
+            e.to_string().contains("bad timeout_ms value 'banana'"),
+            "{e}"
+        );
+        let e = parse_statement("EXECUTE dana.f('t') WITH (timeout_ms = 0);").unwrap_err();
+        assert!(
+            e.to_string().contains("timeout_ms must be at least 1"),
+            "{e}"
+        );
+        let e = parse_statement("EXECUTE dana.f('t') WITH (retries = -1);").unwrap_err();
+        assert!(e.to_string().contains("bad retries value '-1'"), "{e}");
+        for bad in [
+            "EXECUTE dana.f('t') WITH (timeout_ms = 1, timeout_ms = 2);",
+            "EXECUTE dana.f('t') WITH (retries = 1, retries = 2);",
+            "EXECUTE dana.f('t') WITH (timeout_ms);",
+            "EXECUTE dana.f('t') WITH (timeout_ms = 18446744073709551616);", // u64 overflow
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+        }
+        // The unknown-option message names the full vocabulary.
+        let e = parse_statement("EXECUTE dana.f('t') WITH (timeout = 5);").unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("expected shards, backend, trace, timeout_ms, or retries"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn show_stats_accepts_the_faults_subsystem() {
+        let s = parse_statement("SHOW STATS ('faults');").unwrap();
+        assert_eq!(s, Statement::ShowStats(Some("faults".into())));
+        let e = parse_statement("SHOW STATS ('thermals');").unwrap_err();
+        assert!(e.to_string().contains("or faults"), "{e}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use dana_storage::TupleSource;
 
 use crate::engine::{EngineStats, ExecutionEngine, ModelStore};
 use crate::error::{EngineError, EngineResult};
+use crate::fault::{run_training_guarded, FaultEvents, RunGuard};
 
 /// Which execution substrate ran (or should run) a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -91,6 +92,29 @@ pub trait ExecutionBackend: Send + Sync {
 
     /// The engine whose lowered program this backend executes.
     fn engine(&self) -> &ExecutionEngine;
+
+    /// Guarded variant of [`ExecutionBackend::run_training`]: the same
+    /// epoch loop, with cooperative cancellation, deterministic fault
+    /// injection, and bounded-backoff retry at epoch boundaries (see
+    /// [`run_training_guarded`]). An undisturbed guarded run is
+    /// bit-identical to the plain one.
+    fn run_training_guarded(
+        &self,
+        source: &mut dyn TupleSource,
+        store: &mut ModelStore,
+        guard: &RunGuard<'_>,
+    ) -> EngineResult<(BackendRun, FaultEvents)> {
+        let wants_wall = self.kind() == BackendKind::Cpu;
+        let start = Instant::now();
+        let run = run_training_guarded(self.engine(), source, store, guard)?;
+        Ok((
+            BackendRun {
+                stats: run.stats,
+                wall_seconds: wants_wall.then(|| start.elapsed().as_secs_f64()),
+            },
+            run.events,
+        ))
+    }
 }
 
 /// The simulated-FPGA tier behind the [`ExecutionBackend`] trait —

@@ -186,6 +186,30 @@ impl ModelStore {
     pub fn into_values(self) -> Vec<Vec<f32>> {
         self.values
     }
+
+    /// Clones the current model values — the epoch-boundary snapshot the
+    /// retry path warm-starts from (Bismarck-style restartability).
+    pub fn snapshot(&self) -> Vec<Vec<f32>> {
+        self.values.clone()
+    }
+
+    /// Restores a snapshot taken from this store (shapes must match).
+    pub fn restore(&mut self, snapshot: &[Vec<f32>]) -> EngineResult<()> {
+        if snapshot.len() != self.values.len()
+            || snapshot
+                .iter()
+                .zip(&self.values)
+                .any(|(s, v)| s.len() != v.len())
+        {
+            return Err(EngineError::ModelShape(
+                "snapshot shape disagrees with the store".to_string(),
+            ));
+        }
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            v.clone_from(s);
+        }
+        Ok(())
+    }
 }
 
 /// Cycle and progress counters for one training run.

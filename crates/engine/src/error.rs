@@ -29,6 +29,27 @@ pub enum EngineError {
     TupleWidth { got: usize, expected: usize },
     /// The upstream tuple source failed while producing a batch.
     Source(String),
+    /// The query's deadline passed; raised by cooperative cancellation
+    /// checks at epoch boundaries.
+    DeadlineExceeded,
+    /// A transient accelerator fault (injected or reported) at an epoch
+    /// boundary. Retryable: training resumes from the last completed
+    /// epoch's model snapshot.
+    TransientFault { epoch: u32 },
+}
+
+impl EngineError {
+    /// Whether a retry (warm-started from the last epoch-boundary model
+    /// snapshot) can possibly succeed. Deterministic program errors —
+    /// bad schedules, shape mismatches — are not retryable.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::TransientFault { .. })
+    }
+
+    /// Whether this is the cooperative-cancellation deadline signal.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, EngineError::DeadlineExceeded)
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -64,6 +85,13 @@ impl fmt::Display for EngineError {
                 write!(f, "tuple has {got} values, engine expects {expected}")
             }
             EngineError::Source(msg) => write!(f, "tuple source: {msg}"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::TransientFault { epoch } => {
+                write!(
+                    f,
+                    "transient accelerator fault at epoch {epoch} (retryable)"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,475 @@
+//! Fault injection, cooperative cancellation, and guarded training runs.
+//!
+//! The serving stack assumes accelerators that can hiccup mid-query: an
+//! instance drops a lease, a gang member faults at an epoch boundary, a
+//! query overruns its deadline. This module provides the three primitives
+//! the rest of the stack builds fault tolerance from:
+//!
+//! * [`CancelToken`] — cooperative cancellation. Queries carry a token and
+//!   the epoch loop checks it at every epoch boundary; an expired deadline
+//!   surfaces as the typed [`EngineError::DeadlineExceeded`], so the
+//!   caller unwinds cleanly (leases released, buffer-pool frames dropped)
+//!   instead of being killed mid-scatter.
+//! * [`FaultPlan`] — a deterministic injection plan for tests and smoke
+//!   runs. Faults fire at exact epoch boundaries with a bounded budget, so
+//!   a seeded test replays bit-identically: no timers, no randomness.
+//! * [`run_training_guarded`] — the serial epoch loop (identical to
+//!   [`crate::backend::CpuBackend`]/[`crate::backend::FpgaBackend`]'s,
+//!   hence bit-identical models) with cancellation checks, fault
+//!   injection, and bounded-exponential-backoff retry that warm-starts
+//!   from the last completed epoch's model snapshot — Bismarck's
+//!   observation that epoch-structured UDA training is naturally
+//!   restartable from a model snapshot, applied to fault recovery.
+//!
+//! Injection happens *at* epoch boundaries — before any of the epoch's
+//! tuples are processed — so a retried epoch re-runs from exactly the
+//! state the no-fault run would have seen. That is what makes the
+//! recovered run's models **and** cycle counters bit-identical to an
+//! undisturbed one.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dana_storage::TupleSource;
+
+use crate::engine::{EngineStats, ExecutionEngine, ModelStore};
+use crate::error::{EngineError, EngineResult};
+
+/// Cooperative cancellation handle: a deadline, an explicit cancel flag,
+/// or both. Clones share the flag, so a server can cancel a running query
+/// from another thread; the running query observes it at its next
+/// epoch-boundary [`CancelToken::check`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels.
+    pub fn none() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Cancels when `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// Cancels `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A manually cancellable token (no deadline). Clone it into the
+    /// query; call [`CancelToken::cancel`] on either clone.
+    pub fn manual() -> CancelToken {
+        CancelToken {
+            deadline: None,
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// Trips the cancel flag (no-op for deadline-only tokens).
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// The deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the token has tripped (flag set or deadline passed).
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::SeqCst) {
+                return true;
+            }
+        }
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// The cooperative check: called at epoch boundaries.
+    pub fn check(&self) -> EngineResult<()> {
+        if self.is_cancelled() {
+            Err(EngineError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A deterministic fault-injection plan, installed per-test (or per smoke
+/// run) and consulted by the guarded epoch loops and the accelerator
+/// pool. Every fault site is an exact (shard, epoch) coordinate with a
+/// bounded budget, so injected runs replay deterministically.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Epoch boundary at which to inject a transient fault.
+    fail_epoch: Option<u32>,
+    /// Restrict the injection to one gang shard (`None` hits serial runs
+    /// and every shard alike).
+    fail_shard: Option<usize>,
+    /// Epoch boundary at which to panic (worker isolation tests).
+    panic_epoch: Option<u32>,
+    /// Stall every lease grant by this long (deadline tests).
+    stall: Option<Duration>,
+    /// Remaining injections; each firing consumes one.
+    budget: AtomicU32,
+    /// Total faults actually fired.
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Injects `budget` transient faults at the boundary of `epoch` in
+    /// serial (non-gang) training runs.
+    pub fn transient_at_epoch(epoch: u32, budget: u32) -> FaultPlan {
+        FaultPlan {
+            fail_epoch: Some(epoch),
+            budget: AtomicU32::new(budget),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Faults gang member `shard` once, at the boundary of `epoch`.
+    pub fn shard_fault(shard: usize, epoch: u32) -> FaultPlan {
+        FaultPlan {
+            fail_epoch: Some(epoch),
+            fail_shard: Some(shard),
+            budget: AtomicU32::new(1),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Panics the executing worker at the boundary of `epoch`.
+    pub fn panic_at_epoch(epoch: u32) -> FaultPlan {
+        FaultPlan {
+            panic_epoch: Some(epoch),
+            budget: AtomicU32::new(1),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Stalls every lease grant by `stall`.
+    pub fn lease_stall(stall: Duration) -> FaultPlan {
+        FaultPlan {
+            stall: Some(stall),
+            budget: AtomicU32::new(u32::MAX),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// How long a lease grant should stall, if this plan stalls leases.
+    pub fn lease_stall_for(&self) -> Option<Duration> {
+        self.stall
+    }
+
+    /// Consumes one injection if the plan targets this (shard, epoch)
+    /// coordinate. Serial runs pass `shard = None`; a shard-targeted plan
+    /// never fires for them.
+    pub fn should_fail(&self, shard: Option<usize>, epoch: u32) -> bool {
+        if self.fail_epoch != Some(epoch) {
+            return false;
+        }
+        if self.fail_shard.is_some() && self.fail_shard != shard {
+            return false;
+        }
+        self.take_budget()
+    }
+
+    /// Consumes one injection if the plan panics at this epoch boundary.
+    pub fn should_panic(&self, epoch: u32) -> bool {
+        self.panic_epoch == Some(epoch) && self.take_budget()
+    }
+
+    /// Total faults this plan has actually fired.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn take_budget(&self) -> bool {
+        let took = self
+            .budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok();
+        if took {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        took
+    }
+}
+
+/// Bounded exponential backoff for transient-fault retries. Deterministic
+/// (no jitter) so injected tests replay exactly; the base is tiny because
+/// the simulated faults it answers are instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per epoch boundary before the fault is terminal.
+    pub max_retries: u32,
+    /// First backoff pause; doubles per consecutive retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient fault is terminal.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (0-based): `base << attempt`,
+    /// capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let scaled = self
+            .base_backoff
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        scaled.min(self.max_backoff)
+    }
+}
+
+/// What happened, fault-wise, during one guarded run. All-zero for an
+/// undisturbed query — observability layers add fault spans and counters
+/// only when something actually fired, so no-fault trace structure is
+/// unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultEvents {
+    /// Transient faults observed (injected or reported).
+    pub transient_faults: u32,
+    /// Retries performed (each warm-started from the last snapshot).
+    pub retries: u32,
+    /// Total backoff pause across retries.
+    pub backoff_seconds: f64,
+    /// Gang shards that faulted and were re-executed on a survivor.
+    pub faulted_shards: Vec<usize>,
+}
+
+impl FaultEvents {
+    /// True when nothing fired — the run was undisturbed.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultEvents::default()
+    }
+
+    /// Folds another run's events into this one.
+    pub fn absorb(&mut self, other: &FaultEvents) {
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.backoff_seconds += other.backoff_seconds;
+        self.faulted_shards
+            .extend(other.faulted_shards.iter().copied());
+    }
+}
+
+/// Guard context for one training run: cancellation, optional fault
+/// injection, and the retry policy answering transient faults.
+#[derive(Debug, Clone, Copy)]
+pub struct RunGuard<'a> {
+    pub cancel: &'a CancelToken,
+    pub fault: Option<&'a FaultPlan>,
+    pub retry: RetryPolicy,
+}
+
+impl<'a> RunGuard<'a> {
+    /// A guard with cancellation only (no injection, default retries).
+    pub fn new(cancel: &'a CancelToken) -> RunGuard<'a> {
+        RunGuard {
+            cancel,
+            fault: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    pub fn with_fault(mut self, fault: Option<&'a FaultPlan>) -> RunGuard<'a> {
+        self.fault = fault;
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RunGuard<'a> {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Result of a guarded training run: the sealed counters, the per-epoch
+/// cycle log (for lifecycle traces), and the fault events that occurred.
+#[derive(Debug, Clone)]
+pub struct GuardedRun {
+    pub stats: EngineStats,
+    pub epoch_cycles: Vec<u64>,
+    pub events: FaultEvents,
+}
+
+/// The guarded serial epoch loop. Identical per-epoch code to the plain
+/// backends — an undisturbed guarded run is bit-identical in models and
+/// stats — plus, at every epoch boundary:
+///
+/// 1. a cooperative [`CancelToken::check`] (typed
+///    [`EngineError::DeadlineExceeded`] on expiry);
+/// 2. fault injection per the guard's [`FaultPlan`], if any;
+/// 3. on a transient fault: bounded exponential backoff, then retry the
+///    epoch warm-started from the last completed epoch's model snapshot.
+///    Because injection precedes the epoch's work, the snapshot equals
+///    the store's live state and the recovered run stays bit-identical.
+///
+/// Retries exhausted ⇒ the transient fault surfaces typed; the caller
+/// (server worker) releases the lease and reports the instance.
+pub fn run_training_guarded(
+    engine: &ExecutionEngine,
+    source: &mut dyn TupleSource,
+    store: &mut ModelStore,
+    guard: &RunGuard<'_>,
+) -> EngineResult<GuardedRun> {
+    let mut session = engine.training_session();
+    let max_epochs = engine.design().convergence.max_epochs();
+    let mut epochs_run = 0u32;
+    let mut converged_early = false;
+    let mut events = FaultEvents::default();
+    // Last epoch-boundary snapshot (initial models before epoch 0).
+    let mut snapshot = store.snapshot();
+    let mut epoch = 0u32;
+    // Consecutive failed attempts at the current epoch boundary.
+    let mut attempt = 0u32;
+    while epoch < max_epochs {
+        guard.cancel.check()?;
+        if let Some(plan) = guard.fault {
+            if plan.should_panic(epoch) {
+                panic!("injected accelerator panic at epoch {epoch}");
+            }
+            if plan.should_fail(None, epoch) {
+                events.transient_faults += 1;
+                if attempt >= guard.retry.max_retries {
+                    return Err(EngineError::TransientFault { epoch });
+                }
+                let pause = guard.retry.backoff_for(attempt);
+                attempt += 1;
+                events.retries += 1;
+                events.backoff_seconds += pause.as_secs_f64();
+                std::thread::sleep(pause);
+                // Bismarck-style warm start: restore the last completed
+                // epoch's model snapshot, then re-run this epoch.
+                store.restore(&snapshot)?;
+                continue;
+            }
+        }
+        if epoch > 0 {
+            source.rewind().map_err(EngineError::from)?;
+        }
+        let converged = session.run_epoch(source, store)?;
+        epochs_run += 1;
+        snapshot = store.snapshot();
+        attempt = 0;
+        epoch += 1;
+        if converged {
+            converged_early = true;
+            break;
+        }
+    }
+    let (stats, epoch_cycles) = session.finish_logged(epochs_run, converged_early);
+    Ok(GuardedRun {
+        stats,
+        epoch_cycles,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_none_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn token_deadline_trips() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn token_manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::manual();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn plan_budget_is_consumed() {
+        let plan = FaultPlan::transient_at_epoch(2, 2);
+        assert!(!plan.should_fail(None, 1));
+        assert!(plan.should_fail(None, 2));
+        assert!(plan.should_fail(None, 2));
+        assert!(!plan.should_fail(None, 2), "budget spent");
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn shard_targeted_plan_skips_serial_and_other_shards() {
+        let plan = FaultPlan::shard_fault(1, 0);
+        assert!(!plan.should_fail(None, 0), "serial run untouched");
+        assert!(!plan.should_fail(Some(0), 0), "other shard untouched");
+        assert!(plan.should_fail(Some(1), 0));
+        assert!(!plan.should_fail(Some(1), 0), "single-shot");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(4), "capped");
+        assert_eq!(
+            p.backoff_for(40),
+            Duration::from_millis(4),
+            "shift overflow capped"
+        );
+    }
+
+    #[test]
+    fn quiet_events_are_quiet() {
+        let mut a = FaultEvents::default();
+        assert!(a.is_quiet());
+        let b = FaultEvents {
+            transient_faults: 1,
+            retries: 1,
+            backoff_seconds: 0.001,
+            faulted_shards: vec![2],
+        };
+        a.absorb(&b);
+        assert!(!a.is_quiet());
+        assert_eq!(a.faulted_shards, vec![2]);
+    }
+}

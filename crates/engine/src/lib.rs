@@ -46,6 +46,7 @@
 pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod isa;
 pub mod lowered;
 
@@ -56,5 +57,8 @@ pub use engine::{
     ConvergenceCheck, EngineDesign, EngineStats, ExecutionEngine, MergePlan, ModelStore, ModelWrite,
 };
 pub use error::{EngineError, EngineResult};
+pub use fault::{
+    run_training_guarded, CancelToken, FaultEvents, FaultPlan, GuardedRun, RetryPolicy, RunGuard,
+};
 pub use isa::{AluOp, EngineProgram, Loc, MicroOp, Src, Step, AUS_PER_AC};
 pub use lowered::{lower, LoweredOp, LoweredProgram, TrainingSession};

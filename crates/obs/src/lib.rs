@@ -29,7 +29,14 @@ pub use trace::{QueryTrace, SpanRecorder, TraceSpan};
 
 /// The subsystems `SHOW STATS ('<subsystem>')` can filter on. A name
 /// outside this list is a typed query error at parse time.
-pub const SUBSYSTEMS: &[&str] = &["admission", "pool", "buffer", "sessions", "engine"];
+pub const SUBSYSTEMS: &[&str] = &[
+    "admission",
+    "pool",
+    "buffer",
+    "sessions",
+    "engine",
+    "faults",
+];
 
 /// Whether `name` is a known stats subsystem.
 pub fn known_subsystem(name: &str) -> bool {

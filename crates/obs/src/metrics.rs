@@ -201,6 +201,18 @@ pub struct MetricsRegistry {
     pub epochs_run: Counter,
     /// Accelerators + prediction tables invalidated by DDL (drops).
     pub staleness_invalidations: Counter,
+    /// Transient accelerator faults observed (injected or reported).
+    pub transient_faults: Counter,
+    /// Retries performed, each warm-started from the last epoch snapshot.
+    pub fault_retries: Counter,
+    /// Queries that hit their deadline during execution.
+    pub deadline_exceeded: Counter,
+    /// Gang members that faulted mid-training.
+    pub gang_member_faults: Counter,
+    /// Failed shards re-executed on a surviving gang member.
+    pub shard_reexecutions: Counter,
+    /// Panicking dispatches caught and turned into typed replies.
+    pub panics_caught: Counter,
 }
 
 impl MetricsRegistry {
@@ -276,6 +288,17 @@ impl MetricsRegistry {
             "staleness_invalidations",
             self.staleness_invalidations.get() as f64,
         ));
+        let faults: &[(&str, &Counter)] = &[
+            ("transient_faults", &self.transient_faults),
+            ("retries", &self.fault_retries),
+            ("deadline_exceeded", &self.deadline_exceeded),
+            ("gang_member_faults", &self.gang_member_faults),
+            ("shard_reexecutions", &self.shard_reexecutions),
+            ("panics_caught", &self.panics_caught),
+        ];
+        for (name, c) in faults {
+            out.push(StatEntry::new("faults", *name, c.get() as f64));
+        }
     }
 }
 

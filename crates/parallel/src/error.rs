@@ -20,6 +20,9 @@ pub enum ParallelError {
     UnsupportedMerge { model: String, reason: String },
     /// A gang needs at least one shard.
     EmptyGang,
+    /// The gang's query deadline passed at an epoch boundary
+    /// (cooperative cancellation).
+    Cancelled,
     /// Per-shard partial models disagree with the design's model shapes.
     ModelShape(String),
 }
@@ -40,6 +43,9 @@ impl fmt::Display for ParallelError {
                 )
             }
             ParallelError::EmptyGang => write!(f, "a gang needs at least one shard"),
+            ParallelError::Cancelled => {
+                write!(f, "gang training cancelled: query deadline exceeded")
+            }
             ParallelError::ModelShape(msg) => write!(f, "partial-model shape: {msg}"),
         }
     }

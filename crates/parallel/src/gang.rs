@@ -14,7 +14,7 @@
 //! composed by the caller from the per-shard counters returned here
 //! (critical-path shard + merge-tier cycles).
 
-use dana_engine::{EngineStats, ExecutionEngine, ModelStore};
+use dana_engine::{CancelToken, EngineStats, ExecutionEngine, FaultPlan, ModelStore};
 use dana_infer::{
     evaluate_source_partial, score_source, MetricKind, MetricPartial, ScoringProgram, ScoringStats,
 };
@@ -38,6 +38,11 @@ pub struct GangOutcome {
     /// Tree-bus / model-port cycles the epoch-boundary merge tier
     /// charged, summed over all epochs. Zero for a one-shard gang.
     pub merge_cycles: u64,
+    /// Shards that faulted mid-training and were re-executed on a
+    /// survivor (deduplicated, ascending). Empty for a no-fault run.
+    pub faulted_shards: Vec<usize>,
+    /// Shard-epochs re-executed to recover from faults.
+    pub reexecuted_epochs: u32,
 }
 
 impl GangOutcome {
@@ -119,6 +124,49 @@ pub fn train_gang<S: TupleSource + Send>(
     sources: &mut [S],
     init: Vec<Vec<f32>>,
 ) -> ParallelResult<GangOutcome> {
+    let cancel = CancelToken::none();
+    train_gang_guarded(engine, sources, init, &GangGuard::new(&cancel))
+}
+
+/// Guard context for a gang run: cooperative cancellation plus an
+/// optional deterministic fault plan (see [`dana_engine::FaultPlan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GangGuard<'a> {
+    pub cancel: &'a CancelToken,
+    pub fault: Option<&'a FaultPlan>,
+}
+
+impl<'a> GangGuard<'a> {
+    /// Cancellation only, no injection.
+    pub fn new(cancel: &'a CancelToken) -> GangGuard<'a> {
+        GangGuard {
+            cancel,
+            fault: None,
+        }
+    }
+
+    pub fn with_fault(mut self, fault: Option<&'a FaultPlan>) -> GangGuard<'a> {
+        self.fault = fault;
+        self
+    }
+}
+
+/// [`train_gang`] with graceful degradation. At every epoch boundary the
+/// guard's token is checked (typed [`ParallelError::Cancelled`] on
+/// expiry) and the fault plan, if any, may fail a gang member. A faulted
+/// shard's epoch is **re-executed on a survivor** after the barrier:
+/// because every shard starts each epoch from a fresh store holding the
+/// merged global model, and injection precedes the epoch's work, the
+/// re-executed epoch — and therefore the deterministic merge and the
+/// final models — is bit-identical to the no-fault run. The outcome
+/// reports which shards faulted so the pool can quarantine the instances
+/// that backed them.
+pub fn train_gang_guarded<S: TupleSource + Send>(
+    engine: &ExecutionEngine,
+    sources: &mut [S],
+    init: Vec<Vec<f32>>,
+    guard: &GangGuard<'_>,
+) -> ParallelResult<GangOutcome> {
     let k = sources.len();
     if k == 0 {
         return Err(ParallelError::EmptyGang);
@@ -136,8 +184,18 @@ pub fn train_gang<S: TupleSource + Send>(
     let mut converged_early = false;
     let mut merge_cycles = 0u64;
     let mut shard_tuples: Vec<u64> = vec![0; k];
+    let mut faulted_shards: Vec<usize> = Vec::new();
+    let mut reexecuted_epochs = 0u32;
 
     for epoch in 0..max_epochs {
+        if guard.cancel.is_cancelled() {
+            return Err(ParallelError::Cancelled);
+        }
+        if let Some(plan) = guard.fault {
+            if plan.should_panic(epoch) {
+                panic!("injected accelerator panic at gang epoch {epoch}");
+            }
+        }
         // Every shard starts the epoch from the merged global model.
         let mut stores: Vec<ModelStore> = Vec::with_capacity(k);
         for _ in 0..k {
@@ -156,9 +214,19 @@ pub fn train_gang<S: TupleSource + Send>(
                 .zip(sessions.iter_mut())
                 .zip(stores.iter_mut())
                 .zip(ownership.iter_mut())
-                .map(|(((source, session), store), own)| {
+                .enumerate()
+                .map(|(shard, (((source, session), store), own))| {
                     let columns = own_columns.as_slice();
+                    let fault = guard.fault;
                     scope.spawn(move || {
+                        if let Some(plan) = fault {
+                            // The member faults *before* touching any of
+                            // the epoch's tuples, so the survivor re-runs
+                            // from exactly the epoch-start state.
+                            if plan.should_fail(Some(shard), epoch) {
+                                return Err(dana_engine::EngineError::TransientFault { epoch });
+                            }
+                        }
                         if epoch > 0 {
                             source.rewind().map_err(dana_engine::EngineError::from)?;
                             session.run_epoch(source, store)
@@ -182,14 +250,52 @@ pub fn train_gang<S: TupleSource + Send>(
                 .collect()
         });
 
-        // Surface the lowest-index failure, deterministically.
-        let mut flags = Vec::with_capacity(k);
+        // Surface the lowest-index *terminal* failure deterministically;
+        // transient member faults degrade to survivor re-execution.
+        let mut flags: Vec<Option<bool>> = vec![None; k];
+        let mut faulted_now: Vec<usize> = Vec::new();
         for (shard, r) in results.into_iter().enumerate() {
             match r {
-                Ok(flag) => flags.push(flag),
+                Ok(flag) => flags[shard] = Some(flag),
+                Err(source) if source.is_transient() => faulted_now.push(shard),
                 Err(source) => return Err(ParallelError::Engine { shard, source }),
             }
         }
+
+        // Graceful degradation: re-execute each faulted shard's epoch on
+        // a survivor. A fresh store from the epoch-start global model and
+        // a rewound source reproduce the epoch bit-identically, keeping
+        // the deterministic merge — and the final models — unchanged.
+        for &s in &faulted_now {
+            stores[s] = ModelStore::new(design, global.clone())
+                .map_err(|e| ParallelError::ModelShape(e.to_string()))?;
+            sources[s].rewind().map_err(|e| ParallelError::Engine {
+                shard: s,
+                source: dana_engine::EngineError::from(e),
+            })?;
+            let run = if epoch == 0 && !own_columns.is_empty() {
+                ownership[s] = ShardOwnership::for_spec(&spec);
+                let mut recorder = OwnershipRecorder {
+                    inner: &mut sources[s],
+                    columns: own_columns.as_slice(),
+                    ownership: &mut ownership[s],
+                };
+                sessions[s].run_epoch(&mut recorder, &mut stores[s])
+            } else {
+                sessions[s].run_epoch(&mut sources[s], &mut stores[s])
+            };
+            let flag = run.map_err(|source| ParallelError::Engine { shard: s, source })?;
+            flags[s] = Some(flag);
+            reexecuted_epochs += 1;
+            if !faulted_shards.contains(&s) {
+                faulted_shards.push(s);
+            }
+        }
+        let flags: Vec<bool> = flags
+            .into_iter()
+            .map(|f| f.expect("every shard either ran or was re-executed"))
+            .collect();
+
         if epoch == 0 {
             for (s, session) in sessions.iter().enumerate() {
                 shard_tuples[s] = session.stats().tuples_processed;
@@ -218,6 +324,7 @@ pub fn train_gang<S: TupleSource + Send>(
         .into_iter()
         .map(|s| s.finish(epochs_run, converged_early))
         .collect();
+    faulted_shards.sort_unstable();
     Ok(GangOutcome {
         models: global,
         epochs_run,
@@ -225,6 +332,8 @@ pub fn train_gang<S: TupleSource + Send>(
         shard_stats,
         shard_tuples,
         merge_cycles,
+        faulted_shards,
+        reexecuted_epochs,
     })
 }
 
@@ -407,6 +516,70 @@ mod tests {
         let w = &a.models[0];
         assert!((w[0] - 2.0).abs() < 0.15, "w = {w:?}");
         assert!((w[1] + 1.0).abs() < 0.15, "w = {w:?}");
+    }
+
+    #[test]
+    fn gang_member_fault_degrades_bit_identically() {
+        let design = linreg_design(4, 20);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let rows = tuples(240);
+        let halves: Vec<&[Vec<f32>]> = vec![&rows[..120], &rows[120..]];
+        let run = |fault: Option<&FaultPlan>| {
+            let mut sources: Vec<_> = halves.iter().map(|h| replay(h, 16)).collect();
+            let cancel = CancelToken::none();
+            let guard = GangGuard::new(&cancel).with_fault(fault);
+            train_gang_guarded(&engine, &mut sources, vec![vec![0.0, 0.0]], &guard).unwrap()
+        };
+        let clean = run(None);
+        assert!(clean.faulted_shards.is_empty());
+        assert_eq!(clean.reexecuted_epochs, 0);
+
+        let plan = FaultPlan::shard_fault(1, 3);
+        let degraded = run(Some(&plan));
+        assert_eq!(plan.injected(), 1, "the member fault must fire");
+        assert_eq!(degraded.faulted_shards, vec![1]);
+        assert_eq!(degraded.reexecuted_epochs, 1);
+        assert_eq!(
+            degraded.models, clean.models,
+            "survivor re-execution must keep the merge bit-identical"
+        );
+        assert_eq!(degraded.shard_stats, clean.shard_stats);
+        assert_eq!(degraded.merge_cycles, clean.merge_cycles);
+    }
+
+    #[test]
+    fn epoch_zero_member_fault_preserves_ownership_merge() {
+        // Epoch-0 faults exercise the ownership-recorder re-wrap path.
+        let design = linreg_design(4, 6);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let rows = tuples(160);
+        let halves: Vec<&[Vec<f32>]> = vec![&rows[..80], &rows[80..]];
+        let run = |fault: Option<&FaultPlan>| {
+            let mut sources: Vec<_> = halves.iter().map(|h| replay(h, 16)).collect();
+            let cancel = CancelToken::none();
+            let guard = GangGuard::new(&cancel).with_fault(fault);
+            train_gang_guarded(&engine, &mut sources, vec![vec![0.0, 0.0]], &guard).unwrap()
+        };
+        let clean = run(None);
+        let plan = FaultPlan::shard_fault(0, 0);
+        let degraded = run(Some(&plan));
+        assert_eq!(degraded.models, clean.models);
+        assert_eq!(degraded.shard_tuples, clean.shard_tuples);
+        assert_eq!(degraded.faulted_shards, vec![0]);
+    }
+
+    #[test]
+    fn cancelled_gang_returns_typed_error() {
+        let design = linreg_design(4, 20);
+        let engine = ExecutionEngine::new(design.clone()).unwrap();
+        let rows = tuples(64);
+        let mut sources = vec![replay(&rows, 16)];
+        let cancel = CancelToken::manual();
+        cancel.cancel();
+        let guard = GangGuard::new(&cancel);
+        let err =
+            train_gang_guarded(&engine, &mut sources, vec![vec![0.0, 0.0]], &guard).unwrap_err();
+        assert!(matches!(err, ParallelError::Cancelled), "{err}");
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod shard;
 
 pub use error::{ParallelError, ParallelResult};
 pub use gang::{
-    evaluate_gang, score_gang, score_gang_concat, train_gang, GangOutcome, ShardEval, ShardScore,
+    evaluate_gang, score_gang, score_gang_concat, train_gang, train_gang_guarded, GangGuard,
+    GangOutcome, ShardEval, ShardScore,
 };
 pub use merge::{MergeBuffer, MergeSpec, ModelMergeKind, ShardOwnership};
 pub use shard::{ReplaySource, ShardPlan, ShardRange};

@@ -13,6 +13,8 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
+use dana::DanaError;
+use dana_engine::EngineError;
 
 use crate::error::{ServerError, ServerResult};
 use crate::server::{QueryRequest, ReplyResult};
@@ -55,6 +57,10 @@ pub(crate) struct Job {
     pub cost_hint: f64,
     pub reply: Sender<ReplyResult>,
     pub submitted_at: Instant,
+    /// The query's deadline (statement `timeout_ms` or the server
+    /// default), anchored at submission. Expired jobs are shed at
+    /// dequeue time — they never reach a worker or take a lease.
+    pub deadline: Option<Instant>,
 }
 
 /// Queue counters for observability.
@@ -62,6 +68,10 @@ pub(crate) struct Job {
 pub struct QueueStats {
     pub admitted: u64,
     pub rejected: u64,
+    /// Queries shed at dequeue time because their deadline had already
+    /// passed while they waited (replied with the typed deadline error,
+    /// never leased).
+    pub shed: u64,
     /// Currently waiting (not yet picked up by a worker).
     pub depth: usize,
 }
@@ -71,7 +81,13 @@ struct QState {
     next_seq: u64,
     admitted: u64,
     rejected: u64,
+    shed: u64,
     closed: bool,
+}
+
+/// Whether a job's deadline has already passed.
+fn expired(job: &Job) -> bool {
+    matches!(job.deadline, Some(d) if Instant::now() >= d)
 }
 
 /// The admission queue proper.
@@ -89,6 +105,7 @@ impl AdmissionQueue {
                 next_seq: 0,
                 admitted: 0,
                 rejected: 0,
+                shed: 0,
                 closed: false,
             }),
             readable: Condvar::new(),
@@ -109,6 +126,7 @@ impl AdmissionQueue {
         session: SessionId,
         request: QueryRequest,
         cost_hint: f64,
+        deadline: Option<Instant>,
         reply: Sender<ReplyResult>,
     ) -> ServerResult<u64> {
         let mut st = self.lock();
@@ -132,6 +150,7 @@ impl AdmissionQueue {
             cost_hint,
             reply,
             submitted_at: Instant::now(),
+            deadline,
         });
         drop(st);
         self.readable.notify_one();
@@ -144,6 +163,24 @@ impl AdmissionQueue {
     pub fn pop(&self) -> Option<Job> {
         let mut st = self.lock();
         loop {
+            // Shed queries that outlived their deadline while queued:
+            // reply with the typed deadline error now, so they never
+            // occupy a worker or an accelerator lease.
+            if st.jobs.iter().any(expired) {
+                let now = Instant::now();
+                let mut kept = Vec::with_capacity(st.jobs.len());
+                for job in std::mem::take(&mut st.jobs) {
+                    if matches!(job.deadline, Some(d) if now >= d) {
+                        st.shed += 1;
+                        let _ = job.reply.send(Err(ServerError::Dana(DanaError::Engine(
+                            EngineError::DeadlineExceeded,
+                        ))));
+                    } else {
+                        kept.push(job);
+                    }
+                }
+                st.jobs = kept;
+            }
             if !st.jobs.is_empty() {
                 let idx = match self.config.policy {
                     SchedPolicy::Fifo => st
@@ -189,6 +226,7 @@ impl AdmissionQueue {
         QueueStats {
             admitted: st.admitted,
             rejected: st.rejected,
+            shed: st.shed,
             depth: st.jobs.len(),
         }
     }
@@ -219,7 +257,8 @@ mod tests {
         let q = queue(16, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
         for cost in [3.0, 1.0, 2.0] {
-            q.submit(1, dummy_request(), cost, tx.clone()).unwrap();
+            q.submit(1, dummy_request(), cost, None, tx.clone())
+                .unwrap();
         }
         let order: Vec<f64> = (0..3).map(|_| q.pop().unwrap().cost_hint).collect();
         assert_eq!(order, vec![3.0, 1.0, 2.0]);
@@ -231,7 +270,7 @@ mod tests {
         let (tx, _rx) = channel::unbounded();
         let seqs: Vec<u64> = [3.0, 1.0, 2.0, 1.0]
             .iter()
-            .map(|c| q.submit(1, dummy_request(), *c, tx.clone()).unwrap())
+            .map(|c| q.submit(1, dummy_request(), *c, None, tx.clone()).unwrap())
             .collect();
         let popped: Vec<u64> = (0..4).map(|_| q.pop().unwrap().seq).collect();
         // Costs 1.0 (seq 1), 1.0 (seq 3), 2.0 (seq 2), 3.0 (seq 0).
@@ -242,9 +281,9 @@ mod tests {
     fn overload_is_refused_with_counts() {
         let q = queue(2, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
-        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
-        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
-        match q.submit(1, dummy_request(), 1.0, tx.clone()) {
+        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
+        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
+        match q.submit(1, dummy_request(), 1.0, None, tx.clone()) {
             Err(ServerError::Overloaded {
                 queued: 2,
                 limit: 2,
@@ -258,13 +297,42 @@ mod tests {
     }
 
     #[test]
+    fn expired_jobs_are_shed_at_dequeue_never_leased() {
+        let q = queue(16, SchedPolicy::Fifo);
+        let (expired_tx, expired_rx) = channel::unbounded();
+        let (live_tx, _live_rx) = channel::unbounded();
+        // One job already past its deadline, one without a deadline.
+        q.submit(
+            1,
+            dummy_request(),
+            1.0,
+            Some(Instant::now() - std::time::Duration::from_millis(5)),
+            expired_tx,
+        )
+        .unwrap();
+        q.submit(1, dummy_request(), 1.0, None, live_tx).unwrap();
+        // The pop skips the expired job and hands out the live one.
+        let job = q.pop().unwrap();
+        assert!(job.deadline.is_none());
+        let shed_reply = expired_rx.try_recv().expect("shed job must be replied to");
+        assert!(
+            matches!(&shed_reply, Err(e) if e.is_deadline_exceeded()),
+            "{shed_reply:?}"
+        );
+        let s = q.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.admitted, 2, "shed jobs were admitted, then expired");
+    }
+
+    #[test]
     fn close_drains_then_ends() {
         let q = queue(16, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
-        q.submit(1, dummy_request(), 1.0, tx.clone()).unwrap();
+        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
         q.close();
         assert!(matches!(
-            q.submit(1, dummy_request(), 1.0, tx),
+            q.submit(1, dummy_request(), 1.0, None, tx),
             Err(ServerError::ShuttingDown)
         ));
         assert!(q.pop().is_some(), "admitted work still drains");

@@ -23,7 +23,7 @@
 //! equivalence suite holds the serving tier to.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts};
 use dana::{
@@ -32,12 +32,15 @@ use dana::{
     SharedPageStreamSource, Statement, StatementOutcome, StrategyComparison,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
-use dana_engine::{ExecutionBackend, ModelStore};
+use dana_engine::{
+    run_training_guarded, CancelToken, ExecutionBackend, FaultEvents, FaultPlan, ModelStore,
+    RetryPolicy, RunGuard,
+};
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
 use dana_obs::{MetricsRegistry, SpanRecorder, StatEntry, StatsSnapshot};
-use dana_parallel::{evaluate_gang, score_gang_concat, train_gang, ShardPlan};
+use dana_parallel::{evaluate_gang, score_gang_concat, train_gang_guarded, GangGuard, ShardPlan};
 use dana_storage::{
     AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
     RuntimeCache, SharedBufferPool, TableEntry,
@@ -66,6 +69,56 @@ impl Default for SystemCoreConfig {
     }
 }
 
+/// Per-query execution context: the cooperative cancellation token the
+/// epoch loops check at every boundary, the retry policy answering
+/// transient faults, and the out-channel reporting which gang shards
+/// faulted (so the worker can quarantine the pool instances behind
+/// them). Built by the server worker from the statement's `WITH
+/// (timeout_ms / retries)` options; [`QueryCtx::unbounded`] is the
+/// embedded/default path — never cancels, default retries.
+#[derive(Debug, Default)]
+pub struct QueryCtx {
+    /// Cooperative cancellation (deadline and/or manual flag).
+    pub cancel: CancelToken,
+    /// Backoff/retry policy for transient accelerator faults.
+    pub retry: RetryPolicy,
+    /// Gang shards that faulted during this query (filled by the gang
+    /// path; drained by the worker for pool quarantine).
+    faulted: Mutex<Vec<usize>>,
+}
+
+impl QueryCtx {
+    /// A context that never cancels, with the default retry policy.
+    pub fn unbounded() -> QueryCtx {
+        QueryCtx::new(CancelToken::none(), RetryPolicy::default())
+    }
+
+    pub fn new(cancel: CancelToken, retry: RetryPolicy) -> QueryCtx {
+        QueryCtx {
+            cancel,
+            retry,
+            faulted: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Gang shards that faulted while this query ran (ascending, deduped
+    /// by the gang executor).
+    pub fn faulted_shards(&self) -> Vec<usize> {
+        match self.faulted.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn record_faulted(&self, shards: &[usize]) {
+        let mut g = match self.faulted.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        g.extend_from_slice(shards);
+    }
+}
+
 /// The shared catalog + buffer pool + models, usable from any thread.
 pub struct SystemCore {
     catalog: RwLock<Catalog>,
@@ -83,6 +136,10 @@ pub struct SystemCore {
     /// Push-side observability counters/histograms (`SHOW STATS` rows the
     /// core owns; the server layers queue/pool/session rows on top).
     metrics: MetricsRegistry,
+    /// Deterministic fault-injection plan consulted by every guarded
+    /// training path. `None` (the production state) injects nothing;
+    /// tests and smoke runs install a plan to rehearse recovery.
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 /// Engine-construction accounting: how many engines were ever built vs.
@@ -103,6 +160,7 @@ impl SystemCore {
             engines_built: AtomicU64::new(0),
             engine_cache_hits: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
+            fault_plan: RwLock::new(None),
             // Same default as `Dana`: always offload (the paper's
             // semantics) until an operator installs a real profile.
             profile: RwLock::new(
@@ -159,6 +217,42 @@ impl SystemCore {
     /// and completion counters here; `SHOW STATS` folds it into rows).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Installs (or clears, with `None`) the deterministic
+    /// fault-injection plan every guarded training path consults.
+    pub fn install_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        match self.fault_plan.write() {
+            Ok(mut g) => *g = plan,
+            Err(poisoned) => *poisoned.into_inner() = plan,
+        }
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        match self.fault_plan.read() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Folds one guarded run's fault events into the registry and the
+    /// lifecycle trace. A quiet run records nothing — the `fault_retry`
+    /// span exists only when a fault actually fired, so no-fault trace
+    /// structure is a function of the statement alone.
+    fn record_fault_events(&self, events: &FaultEvents, rec: &SpanRecorder) {
+        if events.is_quiet() {
+            return;
+        }
+        self.metrics
+            .transient_faults
+            .add(events.transient_faults as u64);
+        self.metrics.fault_retries.add(events.retries as u64);
+        self.metrics
+            .gang_member_faults
+            .add(events.faulted_shards.len() as u64);
+        rec.add_wall(exec::stage::FAULT_RETRY, events.backoff_seconds);
+        rec.set_count(exec::stage::FAULT_RETRY, events.retries as u64);
     }
 
     /// The core-owned `SHOW STATS` rows: registry counters/histograms
@@ -356,16 +450,34 @@ impl SystemCore {
     /// per query. The trained model is stored back on the entry (last
     /// training wins) for PREDICT/EVALUATE to bind.
     pub fn run_udf(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
-        self.run_udf_rec(udf, table, &SpanRecorder::disabled())
+        self.run_udf_rec(
+            udf,
+            table,
+            &SpanRecorder::disabled(),
+            &QueryCtx::unbounded(),
+        )
     }
 
     /// [`SystemCore::run_udf`] with a span recorder for the lifecycle
-    /// trace (a no-op when disabled — the common case).
-    fn run_udf_rec(&self, udf: &str, table: &str, rec: &SpanRecorder) -> DanaResult<DanaReport> {
+    /// trace (a no-op when disabled — the common case) and the query's
+    /// cancellation/retry context.
+    fn run_udf_rec(
+        &self,
+        udf: &str,
+        table: &str,
+        rec: &SpanRecorder,
+        ctx: &QueryCtx,
+    ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let report =
-            self.run_on_heap(&cached, entry.heap_id, &heap, ExecutionMode::Strider, rec)?;
+        let report = self.run_on_heap(
+            &cached,
+            entry.heap_id,
+            &heap,
+            ExecutionMode::Strider,
+            rec,
+            ctx,
+        )?;
         // Store through a short read lock (the slot is interior-mutable).
         // A drop that raced the run cleared `trained` and marked the
         // entry stale — don't resurrect a model for a dropped table.
@@ -467,7 +579,12 @@ impl SystemCore {
     /// engine counters are bit-identical to [`SystemCore::run_udf`]; no
     /// accelerator lease is required.
     pub fn run_udf_cpu(&self, udf: &str, table: &str) -> DanaResult<DanaReport> {
-        self.run_udf_cpu_rec(udf, table, &SpanRecorder::disabled())
+        self.run_udf_cpu_rec(
+            udf,
+            table,
+            &SpanRecorder::disabled(),
+            &QueryCtx::unbounded(),
+        )
     }
 
     fn run_udf_cpu_rec(
@@ -475,6 +592,7 @@ impl SystemCore {
         udf: &str,
         table: &str,
         rec: &SpanRecorder,
+        ctx: &QueryCtx,
     ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
@@ -490,7 +608,14 @@ impl SystemCore {
             &access,
             feed,
         );
-        let run = cached.cpu.run_training(&mut source, &mut store)?;
+        let plan = self.fault_plan();
+        let guard = RunGuard::new(&ctx.cancel)
+            .with_fault(plan.as_deref())
+            .with_retry(ctx.retry);
+        let (run, events) = cached
+            .cpu
+            .run_training_guarded(&mut source, &mut store, &guard)?;
+        self.record_fault_events(&events, rec);
         let (access_stats, _io_first) = source.into_stats();
         let report = exec::assemble_cpu_report(design, run, access_stats, store, rec);
         let cat = self.read();
@@ -562,6 +687,7 @@ impl SystemCore {
             &heap,
             mode,
             &SpanRecorder::disabled(),
+            &QueryCtx::unbounded(),
         )
     }
 
@@ -579,7 +705,13 @@ impl SystemCore {
     /// The caller (a server worker) is expected to hold a gang lease of
     /// matching size on the accelerator pool.
     pub fn run_udf_sharded(&self, udf: &str, table: &str, shards: u16) -> DanaResult<DanaReport> {
-        self.run_udf_sharded_rec(udf, table, shards, &SpanRecorder::disabled())
+        self.run_udf_sharded_rec(
+            udf,
+            table,
+            shards,
+            &SpanRecorder::disabled(),
+            &QueryCtx::unbounded(),
+        )
     }
 
     fn run_udf_sharded_rec(
@@ -588,6 +720,7 @@ impl SystemCore {
         table: &str,
         shards: u16,
         rec: &SpanRecorder,
+        ctx: &QueryCtx,
     ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
@@ -598,6 +731,7 @@ impl SystemCore {
             ExecutionMode::Strider,
             shards,
             rec,
+            ctx,
         )?;
         let cat = self.read();
         if let Ok(entry) = cat.accelerator(udf) {
@@ -608,6 +742,7 @@ impl SystemCore {
         Ok(report)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_gang_on_heap(
         &self,
         acc: &CachedAccelerator,
@@ -616,6 +751,7 @@ impl SystemCore {
         mode: ExecutionMode,
         shards: u16,
         rec: &SpanRecorder,
+        ctx: &QueryCtx,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -639,7 +775,25 @@ impl SystemCore {
                 )
             })
             .collect();
-        let outcome = train_gang(engine, &mut sources, exec::initial_models(design))?;
+        let plan = self.fault_plan();
+        let guard = GangGuard::new(&ctx.cancel).with_fault(plan.as_deref());
+        let outcome =
+            train_gang_guarded(engine, &mut sources, exec::initial_models(design), &guard)?;
+        if !outcome.faulted_shards.is_empty() {
+            self.record_fault_events(
+                &FaultEvents {
+                    transient_faults: outcome.faulted_shards.len() as u32,
+                    faulted_shards: outcome.faulted_shards.clone(),
+                    ..FaultEvents::default()
+                },
+                rec,
+            );
+            self.metrics
+                .shard_reexecutions
+                .add(outcome.reexecuted_epochs as u64);
+            rec.set_count(exec::stage::FAULT_RETRY, outcome.reexecuted_epochs as u64);
+            ctx.record_faulted(&outcome.faulted_shards);
+        }
         let arts: Vec<ShardArtifacts> = sources
             .into_iter()
             .zip(&outcome.shard_stats)
@@ -1206,14 +1360,31 @@ impl SystemCore {
         shards: u16,
         rec: &SpanRecorder,
     ) -> DanaResult<StatementOutcome> {
+        self.execute_parsed_ctx(stmt, shards, rec, &QueryCtx::unbounded())
+    }
+
+    /// [`SystemCore::execute_parsed`] with the query's
+    /// cancellation/retry context (the server worker's entry point —
+    /// deadlines from `WITH (timeout_ms = …)` or the server default are
+    /// checked cooperatively at epoch boundaries and before every
+    /// scoring scan).
+    pub fn execute_parsed_ctx(
+        &self,
+        stmt: &Statement,
+        shards: u16,
+        rec: &SpanRecorder,
+        ctx: &QueryCtx,
+    ) -> DanaResult<StatementOutcome> {
         match stmt {
             Statement::Train(call) => {
                 let report = if shards > 1 {
-                    self.run_udf_sharded_rec(&call.udf, &call.table, shards, rec)?
+                    self.run_udf_sharded_rec(&call.udf, &call.table, shards, rec, ctx)?
                 } else {
                     match self.resolve_backend(stmt)? {
-                        BackendKind::Cpu => self.run_udf_cpu_rec(&call.udf, &call.table, rec)?,
-                        BackendKind::Fpga => self.run_udf_rec(&call.udf, &call.table, rec)?,
+                        BackendKind::Cpu => {
+                            self.run_udf_cpu_rec(&call.udf, &call.table, rec, ctx)?
+                        }
+                        BackendKind::Fpga => self.run_udf_rec(&call.udf, &call.table, rec, ctx)?,
                     }
                 };
                 Ok(StatementOutcome::Train(QueryOutcome {
@@ -1223,8 +1394,10 @@ impl SystemCore {
                 }))
             }
             Statement::Predict(p) => Ok(StatementOutcome::Predict(if shards > 1 {
+                self.check_deadline(ctx)?;
                 self.predict_sharded_rec(&p.udf, &p.table, &p.into, shards, rec)?
             } else {
+                self.check_deadline(ctx)?;
                 let backend = self.resolve_backend(stmt)?;
                 self.predict_full(
                     &p.udf,
@@ -1237,8 +1410,10 @@ impl SystemCore {
                 )?
             })),
             Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(if shards > 1 {
+                self.check_deadline(ctx)?;
                 self.evaluate_sharded_rec(&e.udf, &e.table, e.metric, shards, rec)?
             } else {
+                self.check_deadline(ctx)?;
                 let backend = self.resolve_backend(stmt)?;
                 self.evaluate_full(
                     &e.udf,
@@ -1253,11 +1428,20 @@ impl SystemCore {
             Statement::Explain(inner) => {
                 Ok(StatementOutcome::Explain(self.explain_statement(inner)?))
             }
-            Statement::ExplainAnalyze(inner) => self.analyze_parsed(inner, shards, 0.0, 0.0, 0.0),
+            Statement::ExplainAnalyze(inner) => {
+                self.analyze_parsed_ctx(inner, shards, 0.0, 0.0, 0.0, ctx)
+            }
             Statement::ShowStats(filter) => Ok(StatementOutcome::Stats(
                 self.stats_snapshot(filter.as_deref()),
             )),
         }
+    }
+
+    /// Pre-scan cooperative deadline check for scoring queries (their
+    /// single pass has no epoch boundaries to observe the token at, so
+    /// an already-expired deadline is refused before the scan starts).
+    fn check_deadline(&self, ctx: &QueryCtx) -> DanaResult<()> {
+        Ok(ctx.cancel.check()?)
     }
 
     /// `EXPLAIN ANALYZE <stmt>`: executes the inner statement with an
@@ -1273,11 +1457,33 @@ impl SystemCore {
         admission_wall: f64,
         lease_wall: f64,
     ) -> DanaResult<StatementOutcome> {
+        self.analyze_parsed_ctx(
+            inner,
+            shards,
+            parse_wall,
+            admission_wall,
+            lease_wall,
+            &QueryCtx::unbounded(),
+        )
+    }
+
+    /// [`SystemCore::analyze_parsed`] with the query's
+    /// cancellation/retry context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_parsed_ctx(
+        &self,
+        inner: &Statement,
+        shards: u16,
+        parse_wall: f64,
+        admission_wall: f64,
+        lease_wall: f64,
+        ctx: &QueryCtx,
+    ) -> DanaResult<StatementOutcome> {
         let rec = SpanRecorder::enabled();
         exec::begin_trace(&rec, parse_wall, admission_wall);
         rec.add_wall(exec::stage::LEASE, lease_wall);
         let start = std::time::Instant::now();
-        let outcome = self.execute_parsed(inner, shards, &rec)?;
+        let outcome = self.execute_parsed_ctx(inner, shards, &rec, ctx)?;
         let comparison = self.explain_statement(inner).ok();
         let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
         let trace = exec::finish_trace(&rec, total_sim, start.elapsed().as_secs_f64())
@@ -1332,6 +1538,7 @@ impl SystemCore {
         heap: &HeapFile,
         mode: ExecutionMode,
         rec: &SpanRecorder,
+        ctx: &QueryCtx,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -1341,7 +1548,13 @@ impl SystemCore {
         let feed = FeedKind::for_mode(mode);
         let mut source =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, &access, feed);
-        let (stats, epoch_cycles) = engine.run_training_logged(&mut source, &mut store)?;
+        let plan = self.fault_plan();
+        let guard = RunGuard::new(&ctx.cancel)
+            .with_fault(plan.as_deref())
+            .with_retry(ctx.retry);
+        let run = run_training_guarded(engine, &mut source, &mut store, &guard)?;
+        self.record_fault_events(&run.events, rec);
+        let (stats, epoch_cycles) = (run.stats, run.epoch_cycles);
         let (access_stats, io_first) = source.into_stats();
         Ok(exec::assemble_report(
             mode,

@@ -22,6 +22,21 @@ pub enum ServerError {
     /// The worker executing the query disappeared before replying (it
     /// panicked); the query's outcome is unknown.
     WorkerLost,
+    /// The query's dispatch panicked; the worker caught the panic
+    /// (`catch_unwind`) and kept serving. The payload is the panic
+    /// message, if it was a string.
+    QueryPanicked(String),
+    /// A typed-accessor mismatch: the reply holds a different response
+    /// kind than the accessor asked for.
+    UnexpectedReply { expected: &'static str, got: String },
+}
+
+impl ServerError {
+    /// Whether this error is the typed deadline signal — from admission
+    /// shedding or from cooperative cancellation during execution.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, ServerError::Dana(e) if e.is_deadline_exceeded())
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -34,6 +49,12 @@ impl fmt::Display for ServerError {
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
             ServerError::WorkerLost => write!(f, "worker lost before replying"),
+            ServerError::QueryPanicked(msg) => {
+                write!(f, "query dispatch panicked (worker recovered): {msg}")
+            }
+            ServerError::UnexpectedReply { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
         }
     }
 }

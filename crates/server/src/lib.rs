@@ -31,9 +31,9 @@ pub mod error;
 pub mod server;
 pub mod session;
 
-pub use accel::{AcceleratorPool, GangLease, Lease, PoolUtilization};
+pub use accel::{AcceleratorPool, GangLease, Health, Lease, PoolHealth, PoolUtilization};
 pub use admission::{AdmissionConfig, QueueStats, SchedPolicy};
-pub use core::{EngineCacheStats, SystemCore, SystemCoreConfig};
+pub use core::{EngineCacheStats, QueryCtx, SystemCore, SystemCoreConfig};
 pub use error::{ServerError, ServerResult};
 pub use server::{DanaServer, QueryReply, QueryRequest, QueryResponse, ServerConfig, Ticket};
 pub use session::{SessionId, SessionManager, SessionStats};

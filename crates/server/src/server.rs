@@ -21,9 +21,10 @@
 //! that trains) are admitted, scheduled, and executed on a leased
 //! accelerator by the worker pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver};
 
@@ -32,12 +33,13 @@ use dana::{
     DropSummary, EvalReport, ExecutionMode, MetricKind, PredictReport, QueryTrace, SpanRecorder,
     Statement, StatementOutcome, StatsSnapshot, StrategyComparison,
 };
+use dana_engine::{CancelToken, FaultPlan, RetryPolicy};
 use dana_obs::StatEntry;
 use dana_storage::HeapFile;
 
-use crate::accel::{AcceleratorPool, PoolUtilization};
+use crate::accel::{AcceleratorPool, PoolHealth, PoolUtilization};
 use crate::admission::{AdmissionConfig, AdmissionQueue, QueueStats};
-use crate::core::{SystemCore, SystemCoreConfig};
+use crate::core::{QueryCtx, SystemCore, SystemCoreConfig};
 use crate::error::{ServerError, ServerResult};
 use crate::session::{SessionId, SessionManager, SessionStats};
 
@@ -117,6 +119,18 @@ impl QueryResponse {
         }
     }
 
+    /// Short kind name for typed-accessor mismatch errors.
+    fn kind(&self) -> &'static str {
+        match self {
+            QueryResponse::Trained(_) => "training",
+            QueryResponse::Predicted(_) => "predict",
+            QueryResponse::Evaluated(_) => "evaluate",
+            QueryResponse::Explained(_) => "explain",
+            QueryResponse::Analyzed(_) => "explain-analyze",
+            QueryResponse::Stats(_) => "stats",
+        }
+    }
+
     /// The substrate that ran the query, if one did.
     fn backend(&self) -> Option<BackendKind> {
         match self {
@@ -151,53 +165,93 @@ pub struct QueryReply {
 }
 
 impl QueryReply {
-    /// The training report (panics for scoring replies — the training
-    /// clients' convenience accessor).
-    pub fn report(&self) -> &DanaReport {
+    /// The training report, or the typed
+    /// [`ServerError::UnexpectedReply`] for other reply kinds.
+    pub fn try_report(&self) -> ServerResult<&DanaReport> {
         match &self.response {
-            QueryResponse::Trained(r) => r,
-            other => panic!("expected a training reply, got {other:?}"),
+            QueryResponse::Trained(r) => Ok(r),
+            other => Err(unexpected("training", other)),
         }
+    }
+
+    /// The prediction report, or the typed mismatch error.
+    pub fn try_predict_report(&self) -> ServerResult<&PredictReport> {
+        match &self.response {
+            QueryResponse::Predicted(p) => Ok(p),
+            other => Err(unexpected("predict", other)),
+        }
+    }
+
+    /// The evaluation report, or the typed mismatch error.
+    pub fn try_eval_report(&self) -> ServerResult<&EvalReport> {
+        match &self.response {
+            QueryResponse::Evaluated(e) => Ok(e),
+            other => Err(unexpected("evaluate", other)),
+        }
+    }
+
+    /// The EXPLAIN comparison, or the typed mismatch error.
+    pub fn try_comparison(&self) -> ServerResult<&StrategyComparison> {
+        match &self.response {
+            QueryResponse::Explained(c) => Ok(c),
+            other => Err(unexpected("explain", other)),
+        }
+    }
+
+    /// The EXPLAIN ANALYZE report, or the typed mismatch error.
+    pub fn try_analyze_report(&self) -> ServerResult<&AnalyzeReport> {
+        match &self.response {
+            QueryResponse::Analyzed(a) => Ok(a),
+            other => Err(unexpected("explain-analyze", other)),
+        }
+    }
+
+    /// The SHOW STATS snapshot, or the typed mismatch error.
+    pub fn try_stats(&self) -> ServerResult<&StatsSnapshot> {
+        match &self.response {
+            QueryResponse::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", other)),
+        }
+    }
+
+    /// The training report (panics for other reply kinds — the training
+    /// clients' convenience accessor; [`QueryReply::try_report`] is the
+    /// non-panicking form).
+    pub fn report(&self) -> &DanaReport {
+        self.try_report().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The prediction report (panics for other reply kinds).
     pub fn predict_report(&self) -> &PredictReport {
-        match &self.response {
-            QueryResponse::Predicted(p) => p,
-            other => panic!("expected a predict reply, got {other:?}"),
-        }
+        self.try_predict_report().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The evaluation report (panics for other reply kinds).
     pub fn eval_report(&self) -> &EvalReport {
-        match &self.response {
-            QueryResponse::Evaluated(e) => e,
-            other => panic!("expected an evaluate reply, got {other:?}"),
-        }
+        self.try_eval_report().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The EXPLAIN comparison (panics for other reply kinds).
     pub fn comparison(&self) -> &StrategyComparison {
-        match &self.response {
-            QueryResponse::Explained(c) => c,
-            other => panic!("expected an explain reply, got {other:?}"),
-        }
+        self.try_comparison().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The EXPLAIN ANALYZE report (panics for other reply kinds).
     pub fn analyze_report(&self) -> &AnalyzeReport {
-        match &self.response {
-            QueryResponse::Analyzed(a) => a,
-            other => panic!("expected an explain-analyze reply, got {other:?}"),
-        }
+        self.try_analyze_report().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The SHOW STATS snapshot (panics for other reply kinds).
     pub fn stats(&self) -> &StatsSnapshot {
-        match &self.response {
-            QueryResponse::Stats(s) => s,
-            other => panic!("expected a stats reply, got {other:?}"),
-        }
+        self.try_stats().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// The typed accessor-mismatch error.
+fn unexpected(expected: &'static str, got: &QueryResponse) -> ServerError {
+    ServerError::UnexpectedReply {
+        expected,
+        got: got.kind().to_string(),
     }
 }
 
@@ -221,6 +275,10 @@ pub struct ServerConfig {
     pub workers: usize,
     pub admission: AdmissionConfig,
     pub core: SystemCoreConfig,
+    /// Default per-query deadline, applied to every submission whose
+    /// statement doesn't carry its own `WITH (timeout_ms = …)`. `None`
+    /// (the default) means queries without the option never time out.
+    pub default_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -238,7 +296,14 @@ impl ServerConfig {
             workers: n,
             admission: AdmissionConfig::default(),
             core: SystemCoreConfig::default(),
+            default_timeout_ms: None,
         }
+    }
+
+    /// Sets the server-wide default query deadline.
+    pub fn with_default_timeout_ms(mut self, ms: u64) -> ServerConfig {
+        self.default_timeout_ms = Some(ms);
+        self
     }
 }
 
@@ -249,6 +314,7 @@ pub struct DanaServer {
     queue: Arc<AdmissionQueue>,
     sessions: Arc<SessionManager>,
     workers: Vec<JoinHandle<()>>,
+    default_timeout_ms: Option<u64>,
 }
 
 impl DanaServer {
@@ -277,6 +343,7 @@ impl DanaServer {
             queue,
             sessions,
             workers,
+            default_timeout_ms: config.default_timeout_ms,
         }
     }
 
@@ -329,9 +396,29 @@ impl DanaServer {
     pub fn submit(&self, session: SessionId, request: QueryRequest) -> ServerResult<Ticket> {
         self.sessions.record_submit(session)?;
         let cost_hint = self.cost_hint(&request);
+        let deadline = self.deadline_for(&request);
         let (tx, rx) = channel::bounded(1);
-        let seq = self.queue.submit(session, request, cost_hint, tx)?;
+        let seq = self
+            .queue
+            .submit(session, request, cost_hint, deadline, tx)?;
         Ok(Ticket { seq, session, rx })
+    }
+
+    /// The query's deadline, anchored at submit time (admission wait
+    /// counts against it): the statement's `WITH (timeout_ms = …)`, or
+    /// the server-wide default for statements (and ad-hoc requests)
+    /// without one.
+    fn deadline_for(&self, request: &QueryRequest) -> Option<Instant> {
+        let ms = match request {
+            QueryRequest::Sql(sql) => match parse_statement(sql) {
+                Ok(stmt) => stmt.timeout_ms().or(self.default_timeout_ms),
+                // Parse errors surface typed from the dispatch; don't
+                // let a deadline shed them into a misleading timeout.
+                Err(_) => None,
+            },
+            _ => self.default_timeout_ms,
+        };
+        ms.map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
     /// Blocks until the ticket's query finishes.
@@ -380,6 +467,31 @@ impl DanaServer {
 
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    /// Installs (or clears) the deterministic fault-injection plan:
+    /// guarded training paths consult it at epoch boundaries, and the
+    /// accelerator pool applies its lease stall, if any. Test/smoke-run
+    /// machinery — production servers never install one.
+    pub fn install_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.accels
+            .set_lease_stall(plan.as_ref().and_then(|p| p.lease_stall_for()));
+        self.core.install_fault_plan(plan);
+    }
+
+    /// Snapshot of per-instance health and the quarantine counters.
+    pub fn pool_health(&self) -> PoolHealth {
+        self.accels.health()
+    }
+
+    /// Probes a quarantined accelerator instance and reinstates it on
+    /// success (the injected faults this build answers are transient, so
+    /// a probe always passes). Returns whether the instance was
+    /// reinstated; healthy instances return `false`.
+    pub fn probe_accelerator(&self, id: usize) -> bool {
+        self.accels.probe(id)
     }
 
     /// The server-wide `SHOW STATS` snapshot: the core's registry and
@@ -528,6 +640,31 @@ fn server_stats(
     entries.push(StatEntry::new("admission", "depth", qs.depth as f64));
     entries.push(StatEntry::new("admission", "admitted", qs.admitted as f64));
     entries.push(StatEntry::new("admission", "rejected", qs.rejected as f64));
+    entries.push(StatEntry::new("admission", "shed", qs.shed as f64));
+    let h = accels.health();
+    entries.push(StatEntry::new(
+        "faults",
+        "quarantined_now",
+        h.quarantined_now() as f64,
+    ));
+    entries.push(StatEntry::new(
+        "faults",
+        "quarantines",
+        h.quarantines as f64,
+    ));
+    entries.push(StatEntry::new("faults", "reinstates", h.reinstates as f64));
+    entries.push(StatEntry::new(
+        "faults",
+        "faults_reported",
+        h.faults_reported as f64,
+    ));
+    for (i, state) in h.states.iter().enumerate() {
+        entries.push(StatEntry::new(
+            "faults",
+            format!("health_{i}"),
+            state.code() as f64,
+        ));
+    }
     let u = accels.utilization();
     entries.push(StatEntry::new("pool", "instances", u.instances() as f64));
     entries.push(StatEntry::new("pool", "utilization", u.utilization()));
@@ -593,7 +730,7 @@ fn server_stats(
 /// split, and epochs trained.
 fn record_query_metrics(
     core: &SystemCore,
-    result: &DanaResult<(QueryResponse, Option<QueryTrace>)>,
+    result: &ServerResult<(QueryResponse, Option<QueryTrace>)>,
     wall: f64,
 ) {
     let m = core.metrics();
@@ -610,7 +747,12 @@ fn record_query_metrics(
                 m.epochs_run.add(r.epochs_run as u64);
             }
         }
-        Err(_) => m.queries_failed.inc(),
+        Err(e) => {
+            m.queries_failed.inc();
+            if e.is_deadline_exceeded() {
+                m.deadline_exceeded.inc();
+            }
+        }
     }
 }
 
@@ -661,86 +803,66 @@ fn worker_loop(
         let gang: Vec<usize> = lease.as_ref().map(|l| l.ids().to_vec()).unwrap_or_default();
         let accelerator = gang.first().copied().unwrap_or(usize::MAX);
         let queue_seconds = job.submitted_at.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let result: DanaResult<(QueryResponse, Option<QueryTrace>)> = match (&job.request, parsed) {
-            (QueryRequest::Sql(_), Some(stmt_result)) => stmt_result.and_then(|stmt| match &stmt {
-                // Worker-level statements: SHOW STATS sees the whole
-                // server (queue/pool/sessions), EXPLAIN ANALYZE charges
-                // the worker's measured front-door walls to its trace.
-                Statement::ShowStats(filter) => Ok((
-                    QueryResponse::Stats(server_stats(
-                        core,
-                        accels,
-                        queue,
-                        sessions,
-                        filter.as_deref(),
-                    )),
-                    None,
-                )),
-                Statement::ExplainAnalyze(inner) => core
-                    .analyze_parsed(inner, shards, parse_wall, admission_wall, lease_wall)
-                    .map(|outcome| (outcome_to_response(outcome), None)),
-                _ if stmt.wants_trace() => {
-                    let rec = SpanRecorder::enabled();
-                    exec::begin_trace(&rec, parse_wall, admission_wall);
-                    rec.add_wall(exec::stage::LEASE, lease_wall);
-                    let exec_start = Instant::now();
-                    core.execute_parsed(&stmt, shards, &rec).map(|outcome| {
-                        let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
-                        let trace =
-                            exec::finish_trace(&rec, total_sim, exec_start.elapsed().as_secs_f64());
-                        (outcome_to_response(outcome), trace)
-                    })
-                }
-                _ => core
-                    .execute_parsed(&stmt, shards, &SpanRecorder::disabled())
-                    .map(|outcome| (outcome_to_response(outcome), None)),
-            }),
-            (QueryRequest::Sql(_), None) => {
-                unreachable!("SQL requests are always parsed above")
-            }
-            (QueryRequest::RunUdf { udf, table, .. }, _) if shards > 1 => core
-                .run_udf_sharded(udf, table, shards)
-                .map(|r| (QueryResponse::Trained(r), None)),
-            (QueryRequest::RunUdf { udf, table, .. }, _) => core
-                .run_udf(udf, table)
-                .map(|r| (QueryResponse::Trained(r), None)),
-            (QueryRequest::TrainSpec { spec, table, mode }, _) => core
-                .train_with_spec(spec, table, *mode)
-                .map(|r| (QueryResponse::Trained(r), None)),
-            (
-                QueryRequest::Predict {
-                    udf, table, into, ..
-                },
-                _,
-            ) if shards > 1 => core
-                .predict_sharded(udf, table, into, shards)
-                .map(|p| (QueryResponse::Predicted(p), None)),
-            (
-                QueryRequest::Predict {
-                    udf, table, into, ..
-                },
-                _,
-            ) => core
-                .predict(udf, table, into)
-                .map(|p| (QueryResponse::Predicted(p), None)),
-            (
-                QueryRequest::Evaluate {
-                    udf, table, metric, ..
-                },
-                _,
-            ) if shards > 1 => core
-                .evaluate_sharded(udf, table, *metric, shards)
-                .map(|e| (QueryResponse::Evaluated(e), None)),
-            (
-                QueryRequest::Evaluate {
-                    udf, table, metric, ..
-                },
-                _,
-            ) => core
-                .evaluate(udf, table, *metric)
-                .map(|e| (QueryResponse::Evaluated(e), None)),
+        // The query's cancellation/retry context: the deadline was
+        // anchored at submit time (admission wait counts against it);
+        // the statement's `WITH (retries = n)` overrides the default
+        // retry budget.
+        let retry = match &parsed {
+            Some(Ok(stmt)) => stmt
+                .retries()
+                .map(|n| RetryPolicy {
+                    max_retries: n,
+                    ..RetryPolicy::default()
+                })
+                .unwrap_or_default(),
+            _ => RetryPolicy::default(),
         };
+        let cancel = match job.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::none(),
+        };
+        let ctx = QueryCtx::new(cancel, retry);
+        let started = Instant::now();
+        // Panic isolation: a panicking dispatch (a bug, or an injected
+        // accelerator panic) is caught here and surfaced as the typed
+        // `QueryPanicked` reply — the worker thread survives to serve
+        // the next query.
+        let dispatched = catch_unwind(AssertUnwindSafe(|| {
+            dispatch_job(
+                core,
+                accels,
+                queue,
+                sessions,
+                &job.request,
+                parsed,
+                shards,
+                &ctx,
+                parse_wall,
+                admission_wall,
+                lease_wall,
+            )
+        }));
+        let result: ServerResult<(QueryResponse, Option<QueryTrace>)> = match dispatched {
+            Ok(r) => r.map_err(ServerError::Dana),
+            Err(payload) => {
+                core.metrics().panics_caught.inc();
+                Err(ServerError::QueryPanicked(panic_message(payload.as_ref())))
+            }
+        };
+        // Quarantine wiring: gang members whose shards faulted (even
+        // when the run recovered) and serially-leased instances whose
+        // retries were exhausted report to the pool's health machine.
+        if let Some(lease) = &lease {
+            let mut faulted = ctx.faulted_shards();
+            if matches!(&result, Err(ServerError::Dana(e)) if e.is_transient_fault()) {
+                faulted.push(0);
+            }
+            for shard in faulted {
+                if let Some(&id) = lease.ids().get(shard) {
+                    accels.report_fault(id);
+                }
+            }
+        }
         let exec_seconds = started.elapsed().as_secs_f64();
         let sim_seconds = result.as_ref().map(|(r, _)| r.sim_seconds()).unwrap_or(0.0);
         if let Some(lease) = lease {
@@ -748,17 +870,124 @@ fn worker_loop(
         }
         record_query_metrics(core, &result, exec_seconds);
         sessions.record_done(job.session, result.is_ok(), sim_seconds, exec_seconds);
-        let reply = result
-            .map(|(response, trace)| QueryReply {
-                response,
-                accelerator,
-                gang,
-                queue_seconds,
-                exec_seconds,
-                trace,
-            })
-            .map_err(ServerError::Dana);
+        let reply = result.map(|(response, trace)| QueryReply {
+            response,
+            accelerator,
+            gang,
+            queue_seconds,
+            exec_seconds,
+            trace,
+        });
         // A client that dropped its ticket just doesn't read the reply.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// The panic payload's message, when it carried one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One query's dispatch, exactly as the worker runs it (factored out so
+/// the worker can wrap it in `catch_unwind`).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_job(
+    core: &SystemCore,
+    accels: &AcceleratorPool,
+    queue: &AdmissionQueue,
+    sessions: &SessionManager,
+    request: &QueryRequest,
+    parsed: Option<DanaResult<Statement>>,
+    shards: u16,
+    ctx: &QueryCtx,
+    parse_wall: f64,
+    admission_wall: f64,
+    lease_wall: f64,
+) -> DanaResult<(QueryResponse, Option<QueryTrace>)> {
+    match (request, parsed) {
+        (QueryRequest::Sql(_), Some(stmt_result)) => stmt_result.and_then(|stmt| match &stmt {
+            // Worker-level statements: SHOW STATS sees the whole
+            // server (queue/pool/sessions), EXPLAIN ANALYZE charges
+            // the worker's measured front-door walls to its trace.
+            Statement::ShowStats(filter) => Ok((
+                QueryResponse::Stats(server_stats(
+                    core,
+                    accels,
+                    queue,
+                    sessions,
+                    filter.as_deref(),
+                )),
+                None,
+            )),
+            Statement::ExplainAnalyze(inner) => core
+                .analyze_parsed_ctx(inner, shards, parse_wall, admission_wall, lease_wall, ctx)
+                .map(|outcome| (outcome_to_response(outcome), None)),
+            _ if stmt.wants_trace() => {
+                let rec = SpanRecorder::enabled();
+                exec::begin_trace(&rec, parse_wall, admission_wall);
+                rec.add_wall(exec::stage::LEASE, lease_wall);
+                let exec_start = Instant::now();
+                core.execute_parsed_ctx(&stmt, shards, &rec, ctx)
+                    .map(|outcome| {
+                        let total_sim = outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0);
+                        let trace =
+                            exec::finish_trace(&rec, total_sim, exec_start.elapsed().as_secs_f64());
+                        (outcome_to_response(outcome), trace)
+                    })
+            }
+            _ => core
+                .execute_parsed_ctx(&stmt, shards, &SpanRecorder::disabled(), ctx)
+                .map(|outcome| (outcome_to_response(outcome), None)),
+        }),
+        (QueryRequest::Sql(_), None) => {
+            unreachable!("SQL requests are always parsed above")
+        }
+        (QueryRequest::RunUdf { udf, table, .. }, _) if shards > 1 => core
+            .run_udf_sharded(udf, table, shards)
+            .map(|r| (QueryResponse::Trained(r), None)),
+        (QueryRequest::RunUdf { udf, table, .. }, _) => core
+            .run_udf(udf, table)
+            .map(|r| (QueryResponse::Trained(r), None)),
+        (QueryRequest::TrainSpec { spec, table, mode }, _) => core
+            .train_with_spec(spec, table, *mode)
+            .map(|r| (QueryResponse::Trained(r), None)),
+        (
+            QueryRequest::Predict {
+                udf, table, into, ..
+            },
+            _,
+        ) if shards > 1 => core
+            .predict_sharded(udf, table, into, shards)
+            .map(|p| (QueryResponse::Predicted(p), None)),
+        (
+            QueryRequest::Predict {
+                udf, table, into, ..
+            },
+            _,
+        ) => core
+            .predict(udf, table, into)
+            .map(|p| (QueryResponse::Predicted(p), None)),
+        (
+            QueryRequest::Evaluate {
+                udf, table, metric, ..
+            },
+            _,
+        ) if shards > 1 => core
+            .evaluate_sharded(udf, table, *metric, shards)
+            .map(|e| (QueryResponse::Evaluated(e), None)),
+        (
+            QueryRequest::Evaluate {
+                udf, table, metric, ..
+            },
+            _,
+        ) => core
+            .evaluate(udf, table, *metric)
+            .map(|e| (QueryResponse::Evaluated(e), None)),
     }
 }

@@ -33,6 +33,7 @@ fn main() {
         accelerators: 4,
         workers: 4,
         admission: Default::default(),
+        default_timeout_ms: None,
         core: SystemCoreConfig {
             fpga: FpgaSpec::vu9p(),
             pool: BufferPoolConfig {

@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         accelerators: 4,
         workers: 4,
         admission: Default::default(),
+        default_timeout_ms: None,
         core: SystemCoreConfig {
             fpga: FpgaSpec::vu9p(),
             pool: BufferPoolConfig {

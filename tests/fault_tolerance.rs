@@ -1,0 +1,373 @@
+//! Fault-tolerance acceptance suite for the serving tier: deterministic
+//! accelerator fault injection ([`dana_engine::FaultPlan`]) rehearsed
+//! against a live [`DanaServer`], asserting
+//!
+//! * a gang run that loses a member mid-training completes degraded but
+//!   **bit-identical** to the no-fault run (quarantine + shard
+//!   re-execution on a survivor);
+//! * serial transient faults retry with bounded backoff, warm-started
+//!   from the last epoch's model snapshot, and stay bit-identical;
+//! * a timed-out query surfaces the typed deadline error and releases
+//!   its lease and every buffer-pool frame;
+//! * a panicking dispatch returns the typed `QueryPanicked` reply while
+//!   the same worker keeps serving.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dana::prelude::*;
+use dana_dsl::zoo::{linear_regression, DenseParams};
+use dana_engine::FaultPlan;
+use dana_server::{
+    AdmissionConfig, DanaServer, Health, QueryRequest, SchedPolicy, ServerConfig, ServerError,
+    SystemCoreConfig,
+};
+use dana_storage::page::TupleDirection;
+use dana_storage::{BufferPoolConfig, HeapFile, HeapFileBuilder, Schema, Tuple};
+
+const PAGE: usize = 8 * 1024;
+
+fn linreg_heap(n: usize, d: usize) -> HeapFile {
+    let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.5).collect();
+    let mut b = HeapFileBuilder::new(Schema::training(d), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((k * 7 + i * 3) % 11) as f32 - 5.0) / 5.0)
+            .collect();
+        let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        b.insert(&Tuple::training(&x, y)).unwrap();
+    }
+    b.finish()
+}
+
+fn spec(d: usize) -> dana_dsl::AlgoSpec {
+    linear_regression(DenseParams {
+        n_features: d,
+        learning_rate: 0.2,
+        merge_coef: 8,
+        epochs: 12,
+    })
+    .unwrap()
+}
+
+fn server(accelerators: usize, workers: usize) -> DanaServer {
+    DanaServer::start(ServerConfig {
+        accelerators,
+        workers,
+        admission: AdmissionConfig {
+            max_queued: 256,
+            policy: SchedPolicy::Fifo,
+        },
+        default_timeout_ms: None,
+        core: SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: PAGE,
+            },
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        },
+    })
+}
+
+fn trained_server(accelerators: usize, workers: usize) -> DanaServer {
+    let srv = server(accelerators, workers);
+    srv.create_table("t", linreg_heap(600, 8)).unwrap();
+    srv.prewarm("t").unwrap();
+    srv.deploy(&spec(8), "t").unwrap();
+    srv
+}
+
+/// A gang run that loses member 1 at epoch 3 completes via shard
+/// re-execution on a survivor, bit-identical to the undisturbed run;
+/// the faulted member's pool instance is reported to the health machine.
+#[test]
+fn gang_member_fault_degrades_bit_identically() {
+    let srv = trained_server(4, 2);
+    let session = srv.open_session("gang-fault");
+    let sql = "SELECT * FROM dana.linearR('t') WITH (shards = 3);";
+
+    let clean = srv
+        .call(session, QueryRequest::Sql(sql.into()))
+        .unwrap()
+        .report()
+        .clone();
+    assert_eq!(clean.shards, 3);
+
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::shard_fault(1, 3))));
+    let reply = srv.call(session, QueryRequest::Sql(sql.into())).unwrap();
+    let degraded = reply.try_report().unwrap();
+    srv.install_fault_plan(None);
+
+    assert_eq!(degraded.models, clean.models, "merge must be bit-identical");
+    assert_eq!(degraded.epochs_run, clean.epochs_run);
+    assert_eq!(degraded.engine.cycles, clean.engine.cycles);
+
+    // The faulted shard's instance was reported: health stepped off
+    // Healthy and the counters advanced.
+    let health = srv.pool_health();
+    assert_eq!(health.faults_reported, 1);
+    assert_eq!(
+        health
+            .states
+            .iter()
+            .filter(|h| **h != Health::Healthy)
+            .count(),
+        1,
+        "exactly one instance reported: {:?}",
+        health.states
+    );
+    let stats = srv.stats_snapshot(Some("faults"));
+    assert_eq!(stats.get("faults", "gang_member_faults"), Some(1.0));
+    assert_eq!(stats.get("faults", "faults_reported"), Some(1.0));
+    assert!(stats.get("faults", "shard_reexecutions").unwrap_or(0.0) >= 1.0);
+    assert_eq!(srv.core().held_frames(), 0);
+}
+
+/// Serial transient faults retry with backoff (warm-started from the
+/// last epoch's snapshot) and the recovered run is bit-identical; with
+/// `WITH (retries = 0)` the same fault is terminal and quarantines the
+/// instance after a second strike.
+#[test]
+fn serial_transient_fault_retries_bit_identically() {
+    let srv = trained_server(2, 1);
+    let session = srv.open_session("retry");
+    let sql = "SELECT * FROM dana.linearR('t');";
+
+    let clean = srv
+        .call(session, QueryRequest::Sql(sql.into()))
+        .unwrap()
+        .report()
+        .clone();
+
+    // Two injected faults at epoch 1; the default budget (3 retries)
+    // absorbs both.
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::transient_at_epoch(1, 2))));
+    let recovered = srv
+        .call(session, QueryRequest::Sql(sql.into()))
+        .unwrap()
+        .report()
+        .clone();
+    assert_eq!(recovered.models, clean.models, "warm start must be exact");
+    assert_eq!(recovered.epochs_run, clean.epochs_run);
+    assert_eq!(recovered.engine.cycles, clean.engine.cycles);
+    let stats = srv.stats_snapshot(Some("faults"));
+    assert_eq!(stats.get("faults", "transient_faults"), Some(2.0));
+    assert_eq!(stats.get("faults", "retries"), Some(2.0));
+
+    // retries = 0 makes the next injected fault terminal and typed.
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::transient_at_epoch(1, 1))));
+    let err = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.linearR('t') WITH (retries = 0);".into()),
+        )
+        .unwrap_err();
+    match &err {
+        ServerError::Dana(e) => assert!(e.is_transient_fault(), "got {e}"),
+        other => panic!("expected a transient-fault error, got {other}"),
+    }
+    srv.install_fault_plan(None);
+    let health = srv.pool_health();
+    assert!(
+        health.states.contains(&Health::Suspect),
+        "exhausted retries must report the instance: {:?}",
+        health.states
+    );
+    assert_eq!(srv.core().held_frames(), 0);
+}
+
+/// A query whose deadline expires mid-flight surfaces the typed
+/// deadline error, releases its lease and every buffer-pool frame, and
+/// the server keeps serving.
+#[test]
+fn timed_out_query_releases_lease_and_frames() {
+    let srv = trained_server(1, 1);
+    let session = srv.open_session("deadline");
+
+    // Stall every lease grant long enough that a 5 ms deadline expires
+    // while the query holds the lease; the epoch-0 cooperative check
+    // then fires deterministically.
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::lease_stall(
+        Duration::from_millis(40),
+    ))));
+    let err = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.linearR('t') WITH (timeout_ms = 5);".into()),
+        )
+        .unwrap_err();
+    assert!(err.is_deadline_exceeded(), "got {err}");
+    srv.install_fault_plan(None);
+
+    // The lease and frames came back: gauges are clean and the very
+    // next query (same single worker, same single instance) succeeds.
+    assert_eq!(srv.core().held_frames(), 0, "frames must be released");
+    let stats = srv.stats_snapshot(None);
+    assert_eq!(stats.get("faults", "deadline_exceeded"), Some(1.0));
+    let reply = srv
+        .call(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.linearR('t');".into()),
+        )
+        .unwrap();
+    assert_eq!(reply.accelerator, 0, "the instance is schedulable again");
+    assert_eq!(srv.core().held_frames(), 0);
+}
+
+/// A deadline that passes while the query waits in the admission queue
+/// sheds it at dequeue — typed reply, never leased.
+#[test]
+fn queued_past_deadline_query_is_shed() {
+    let srv = trained_server(1, 1);
+    let session = srv.open_session("shed");
+
+    // Park the single worker behind a stalled lease, then enqueue a
+    // query whose deadline expires while it waits.
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::lease_stall(
+        Duration::from_millis(60),
+    ))));
+    let blocker = srv
+        .submit(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.linearR('t');".into()),
+        )
+        .unwrap();
+    let doomed = srv
+        .submit(
+            session,
+            QueryRequest::Sql("SELECT * FROM dana.linearR('t') WITH (timeout_ms = 10);".into()),
+        )
+        .unwrap();
+    let err = srv.wait(doomed).unwrap_err();
+    assert!(err.is_deadline_exceeded(), "got {err}");
+    srv.wait(blocker).unwrap();
+    srv.install_fault_plan(None);
+    assert_eq!(srv.queue_stats().shed, 1);
+    let stats = srv.stats_snapshot(Some("admission"));
+    assert_eq!(stats.get("admission", "shed"), Some(1.0));
+}
+
+/// A panicking dispatch is caught (`catch_unwind`): the reply is the
+/// typed `QueryPanicked`, and the same worker — there is only one —
+/// serves the next query.
+#[test]
+fn panicking_dispatch_is_isolated_and_worker_survives() {
+    let srv = trained_server(1, 1);
+    let session = srv.open_session("panic");
+    let sql = "SELECT * FROM dana.linearR('t');";
+
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::panic_at_epoch(0))));
+    let err = srv
+        .call(session, QueryRequest::Sql(sql.into()))
+        .unwrap_err();
+    match &err {
+        ServerError::QueryPanicked(msg) => {
+            assert!(msg.contains("injected accelerator panic"), "got {msg}")
+        }
+        other => panic!("expected QueryPanicked, got {other}"),
+    }
+    srv.install_fault_plan(None);
+
+    // The worker thread survived the panic and serves the next query.
+    let reply = srv.call(session, QueryRequest::Sql(sql.into())).unwrap();
+    assert!(reply.try_report().is_ok());
+    let stats = srv.stats_snapshot(Some("faults"));
+    assert_eq!(stats.get("faults", "panics_caught"), Some(1.0));
+}
+
+/// Quarantine lifecycle: two strikes quarantine an instance (withheld
+/// from leasing), a probe reinstates it, and the `SHOW STATS('faults')`
+/// rows track every transition.
+#[test]
+fn quarantine_and_probe_lifecycle() {
+    let srv = trained_server(2, 1);
+    let session = srv.open_session("quarantine");
+
+    // Two terminal faults on the same (single-leased, least-loaded)
+    // instance: healthy → suspect → quarantined.
+    for _ in 0..2 {
+        srv.install_fault_plan(Some(Arc::new(FaultPlan::transient_at_epoch(0, 1))));
+        let err = srv
+            .call(
+                session,
+                QueryRequest::Sql("SELECT * FROM dana.linearR('t') WITH (retries = 0);".into()),
+            )
+            .unwrap_err();
+        assert!(matches!(&err, ServerError::Dana(e) if e.is_transient_fault()));
+    }
+    srv.install_fault_plan(None);
+    let health = srv.pool_health();
+    assert_eq!(health.quarantined_now(), 1, "states: {:?}", health.states);
+    assert_eq!(health.quarantines, 1);
+
+    // The survivor keeps serving; a probe reinstates the quarantined
+    // instance.
+    srv.call(
+        session,
+        QueryRequest::Sql("SELECT * FROM dana.linearR('t');".into()),
+    )
+    .unwrap();
+    let quarantined = health
+        .states
+        .iter()
+        .position(|h| *h == Health::Quarantined)
+        .unwrap();
+    assert!(srv.probe_accelerator(quarantined));
+    let health = srv.pool_health();
+    assert_eq!(health.quarantined_now(), 0);
+    assert_eq!(health.reinstates, 1);
+    let stats = srv.stats_snapshot(Some("faults"));
+    assert_eq!(stats.get("faults", "reinstates"), Some(1.0));
+    assert_eq!(stats.get("faults", "quarantines"), Some(1.0));
+    assert_eq!(stats.get("faults", "quarantined_now"), Some(0.0));
+}
+
+/// `EXPLAIN ANALYZE` of a fault-recovered run carries the `fault_retry`
+/// span; an undisturbed run's trace has no such span (trace structure is
+/// a function of the statement alone).
+#[test]
+fn fault_retry_span_appears_only_when_faults_fired() {
+    let srv = trained_server(2, 1);
+    let session = srv.open_session("trace");
+    let sql = "EXPLAIN ANALYZE SELECT * FROM dana.linearR('t');";
+
+    let clean = srv.call(session, QueryRequest::Sql(sql.into())).unwrap();
+    let clean_trace = &clean.try_analyze_report().unwrap().trace;
+    assert!(
+        !clean_trace.stages.iter().any(|s| s.name == "fault_retry"),
+        "undisturbed trace must not grow a fault span"
+    );
+
+    srv.install_fault_plan(Some(Arc::new(FaultPlan::transient_at_epoch(2, 1))));
+    let faulted = srv.call(session, QueryRequest::Sql(sql.into())).unwrap();
+    srv.install_fault_plan(None);
+    let trace = &faulted.try_analyze_report().unwrap().trace;
+    let span = trace
+        .stages
+        .iter()
+        .find(|s| s.name == "fault_retry")
+        .expect("recovered run must carry the fault_retry span");
+    assert_eq!(span.count, 1, "one retry");
+}
+
+/// The typed accessor mismatch: asking a stats reply for a training
+/// report returns `UnexpectedReply` instead of panicking.
+#[test]
+fn try_accessors_return_typed_mismatch() {
+    let srv = trained_server(1, 1);
+    let session = srv.open_session("accessors");
+    let reply = srv
+        .call(session, QueryRequest::Sql("SHOW STATS;".into()))
+        .unwrap();
+    assert!(reply.try_stats().is_ok());
+    let err = reply.try_report().unwrap_err();
+    match &err {
+        ServerError::UnexpectedReply { expected, got } => {
+            assert_eq!(*expected, "training");
+            assert_eq!(got, "stats");
+        }
+        other => panic!("expected UnexpectedReply, got {other}"),
+    }
+}

@@ -29,6 +29,7 @@ fn server(accelerators: usize, policy: SchedPolicy, max_queued: usize) -> DanaSe
         accelerators,
         workers: accelerators,
         admission: AdmissionConfig { max_queued, policy },
+        default_timeout_ms: None,
         core: small_core_config(),
     })
 }

@@ -119,6 +119,7 @@ fn fresh_server(accelerators: usize) -> DanaServer {
             max_queued: 256,
             policy: SchedPolicy::Fifo,
         },
+        default_timeout_ms: None,
         core: SystemCoreConfig {
             fpga: FpgaSpec::vu9p(),
             pool: buffer_config(),
