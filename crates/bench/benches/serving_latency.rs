@@ -1,0 +1,274 @@
+//! Online-serving acceptance benchmark: coalesced vs singleton point
+//! dispatch, plus sustained concurrent QPS with latency percentiles.
+//!
+//! One trained linear accelerator behind a single worker. Two parts:
+//!
+//! * **Acceptance — dispatch amortization.** The fixed per-request cost
+//!   (admission, worker hand-off, leasing, reply plumbing) is what
+//!   coalescing exists to amortize. We time N single-row `PredictPoint`
+//!   calls through the full server front door against one coalesced
+//!   N-row call scoring the identical rows, best-of-iters. Per-row
+//!   predictions are batch-composition-independent, so both shapes
+//!   return bit-identical values (asserted). The coalesced form must
+//!   clear 2× per-request throughput.
+//! * **Reported — sustained concurrent QPS.** A fleet of closed-loop
+//!   client threads drives the serving tier with the batcher in
+//!   singleton mode (window zero) and in coalescing mode; both QPS
+//!   figures and the coalescing run's client-observed p50/p99 land in
+//!   the record. Closed-loop lockstep is the batcher's *worst* case
+//!   (every round convoys on the slowest thread wakeup), so these
+//!   numbers are informational, not gated.
+//!
+//! The cache is disabled throughout so every request pays a real
+//! dispatch. Full runs append to `BENCH_serve.json`; smoke runs
+//! (`DANA_SMOKE=1`) assert but do not record.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dana::prelude::*;
+use dana_bench::{series_path, BenchRecord};
+use dana_dsl::zoo::{self, DenseParams};
+use dana_serve::{BatcherConfig, CacheConfig, ServeConfig, ServeTier};
+use dana_server::{
+    AdmissionConfig, DanaServer, QueryRequest, SchedPolicy, ServerConfig, SystemCoreConfig,
+};
+use dana_storage::page::TupleDirection;
+use dana_storage::{BufferPoolConfig, HeapFileBuilder, Schema};
+
+const PAGE: usize = 8 * 1024;
+const D: usize = 12;
+
+fn dense_heap(n: usize) -> HeapFile {
+    let truth: Vec<f32> = (0..D).map(|i| 0.35 * i as f32 - 0.9).collect();
+    let mut b = HeapFileBuilder::new(Schema::training(D), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let x: Vec<f32> = (0..D)
+            .map(|i| (((k * 11 + i * 5) % 17) as f32 - 8.0) / 8.0)
+            .collect();
+        let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        b.insert(&Tuple::training(&x, y)).unwrap();
+    }
+    b.finish()
+}
+
+fn server() -> Arc<DanaServer> {
+    Arc::new(DanaServer::start(ServerConfig {
+        accelerators: 1,
+        workers: 1,
+        admission: AdmissionConfig {
+            max_queued: 4096,
+            policy: SchedPolicy::Fifo,
+        },
+        default_timeout_ms: None,
+        core: SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: PAGE,
+            },
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        },
+    }))
+}
+
+/// Drives `clients × per_client` point predictions through `tier` and
+/// returns (total wall ms, sorted per-request latencies in µs, one
+/// spot-check prediction for row 0).
+fn drive(
+    tier: &Arc<ServeTier>,
+    udf: &str,
+    rows: &[Vec<f32>],
+    clients: usize,
+    per_client: usize,
+) -> (f64, Vec<f64>, f32) {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let tier = Arc::clone(tier);
+        let barrier = Arc::clone(&barrier);
+        let udf = udf.to_string();
+        let rows = rows.to_vec();
+        handles.push(std::thread::spawn(move || {
+            let session = tier.server().open_session(&format!("bench-{c}"));
+            barrier.wait();
+            let mut lat = Vec::with_capacity(per_client);
+            let mut spot = 0.0f32;
+            for i in 0..per_client {
+                let row = &rows[(c * per_client + i) % rows.len()];
+                let t = Instant::now();
+                let reply = tier.predict_point(session, &udf, row).unwrap();
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+                if (c * per_client + i).is_multiple_of(rows.len()) {
+                    spot = reply.prediction;
+                }
+            }
+            (lat, spot)
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut lat = Vec::with_capacity(clients * per_client);
+    let mut spot = 0.0f32;
+    for h in handles {
+        let (l, s) = h.join().unwrap();
+        lat.extend(l);
+        if s != 0.0 {
+            spot = s;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall_ms, lat, spot)
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::var("DANA_SMOKE").is_ok();
+    let (clients, per_client) = if smoke { (16, 10) } else { (32, 100) };
+
+    let srv = server();
+    srv.create_table("t", dense_heap(600)).unwrap();
+    let spec = zoo::linear_regression(DenseParams {
+        n_features: D,
+        learning_rate: 0.1,
+        merge_coef: 8,
+        epochs: 6,
+    })
+    .unwrap();
+    let udf = spec.name.clone();
+    srv.deploy(&spec, "t").unwrap();
+    let session = srv.open_session("train");
+    srv.call(
+        session,
+        QueryRequest::RunUdf {
+            udf: udf.clone(),
+            table: "t".to_string(),
+            shards: None,
+        },
+    )
+    .unwrap();
+    let rows: Vec<Vec<f32>> = srv
+        .core()
+        .table_snapshot("t")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .take(64)
+        .map(|r| r.to_vec())
+        .collect();
+
+    // ---- acceptance: dispatch amortization ------------------------------
+    // N single-row calls vs one N-row call over identical rows, through
+    // the full server front door, best-of-iters.
+    let batch_rows = 16usize;
+    let iters = if smoke { 10 } else { 50 };
+    let amortize = Arc::new(ServeTier::new(
+        Arc::clone(&srv),
+        ServeConfig {
+            cache: CacheConfig { capacity: 0 },
+            batcher: BatcherConfig {
+                max_batch: 1,
+                window: Duration::ZERO,
+            },
+        },
+    ));
+    let probe: Vec<Vec<f32>> = rows.iter().take(batch_rows).cloned().collect();
+
+    let one_by_one: Vec<f32> = probe
+        .iter()
+        .map(|r| amortize.predict_point(session, &udf, r).unwrap().prediction)
+        .collect();
+    let together = amortize.predict_rows(session, &udf, probe.clone()).unwrap();
+    assert_eq!(
+        one_by_one, together,
+        "coalescing must not change a single prediction bit"
+    );
+
+    let best_ms = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let singleton_ms = best_ms(&mut || {
+        for r in &probe {
+            std::hint::black_box(amortize.predict_point(session, &udf, r).unwrap());
+        }
+    });
+    let coalesced_ms = best_ms(&mut || {
+        std::hint::black_box(amortize.predict_rows(session, &udf, probe.clone()).unwrap());
+    });
+    let speedup = singleton_ms / coalesced_ms;
+    println!(
+        "=== serving_latency: {batch_rows} rows, singleton vs coalesced dispatch, best of {iters} ==="
+    );
+    println!("singleton dispatches {singleton_ms:>8.3} ms");
+    println!("coalesced dispatch   {coalesced_ms:>8.3} ms   ({speedup:.2}×)");
+
+    // ---- reported: sustained concurrent QPS + latency percentiles -------
+    let total = clients * per_client;
+    let tier_for = |window: Duration| {
+        Arc::new(ServeTier::new(
+            Arc::clone(&srv),
+            ServeConfig {
+                cache: CacheConfig { capacity: 0 },
+                batcher: BatcherConfig {
+                    max_batch: clients,
+                    window,
+                },
+            },
+        ))
+    };
+    let singleton = tier_for(Duration::ZERO);
+    let (singleton_drive_ms, _, _) = drive(&singleton, &udf, &rows, clients, per_client);
+    let coalescing = tier_for(Duration::from_micros(100));
+    let (coalesced_drive_ms, coalesced_lat, _) =
+        drive(&coalescing, &udf, &rows, clients, per_client);
+
+    let qps_singleton = total as f64 / (singleton_drive_ms / 1e3);
+    let qps_coalesced = total as f64 / (coalesced_drive_ms / 1e3);
+    println!(
+        "{clients} closed-loop clients × {per_client}: singleton {qps_singleton:>8.0} qps, \
+         coalescing {qps_coalesced:>8.0} qps, p50 {:.1} µs, p99 {:.1} µs",
+        pct(&coalesced_lat, 0.50),
+        pct(&coalesced_lat, 0.99)
+    );
+    let snap = srv.stats_snapshot(Some("serving"));
+    println!(
+        "coalesced dispatches: {}",
+        snap.get("serving", "coalesced_dispatches").unwrap_or(0.0)
+    );
+
+    BenchRecord::new("serving_latency", singleton_ms, coalesced_ms, smoke)
+        .int("batch_rows", batch_rows as u64)
+        .int("iters", iters as u64)
+        .num("qps_singleton", qps_singleton)
+        .num("qps_coalesced", qps_coalesced)
+        .num("p50_us", pct(&coalesced_lat, 0.50))
+        .num("p99_us", pct(&coalesced_lat, 0.99))
+        .int("clients", clients as u64)
+        .int("requests", total as u64)
+        .append(&series_path("serve"));
+
+    // Acceptance: one coalesced dispatch must beat N singleton
+    // dispatches ≥2× on a full run (relaxed in smoke mode on noisy
+    // shared runners).
+    let floor = if smoke { 1.3 } else { 2.0 };
+    assert!(
+        speedup >= floor,
+        "coalesced dispatch speedup {speedup:.2}× is below the {floor}× acceptance floor"
+    );
+}

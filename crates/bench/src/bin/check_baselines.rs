@@ -15,7 +15,7 @@
 
 use dana_bench::{common_fields_compat, read_series, series_path};
 
-const SERIES: &[&str] = &["engine", "backend", "parallel", "predict"];
+const SERIES: &[&str] = &["engine", "backend", "parallel", "predict", "serve"];
 
 fn main() {
     let tolerance: f64 = std::env::var("DANA_BASELINE_TOLERANCE")

@@ -547,6 +547,9 @@ fn statement_request(stmt: &Statement) -> DanaResult<(BackendChoice, Option<u16>
     match stmt {
         Statement::Train(c) => Ok((c.backend, c.shards)),
         Statement::Predict(p) => Ok((p.backend, p.shards)),
+        // The point form has no scan to shard — the parser rejects the
+        // shards option, so the request is always serial.
+        Statement::PredictPoint(p) => Ok((p.backend, None)),
         Statement::Evaluate(e) => Ok((e.backend, e.shards)),
         Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
             Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
@@ -576,6 +579,9 @@ pub fn explain_statement(
     let statement = match stmt {
         Statement::Train(c) => format!("EXECUTE {} ON {}", c.udf, c.table),
         Statement::Predict(p) => format!("PREDICT {} ON {} INTO {}", p.udf, p.table, p.into),
+        Statement::PredictPoint(p) => {
+            format!("PREDICT {} ON {} inline row(s)", p.udf, p.rows.len())
+        }
         Statement::Evaluate(e) => format!("EVALUATE {} ON {}", e.udf, e.table),
         Statement::Explain(_) | Statement::ExplainAnalyze(_) | Statement::ShowStats(_) => {
             unreachable!("rejected by statement_request")
@@ -896,6 +902,65 @@ pub fn scoring_estimate_seconds(
     let groups = tuples.div_ceil(lanes.max(1) as u64);
     fpga.clock
         .to_seconds(groups.saturating_mul(recipe.per_tuple_cycles()))
+}
+
+/// Validates point-form PREDICT rows against the bound scoring program
+/// and packs them into one in-memory SoA batch — the fast path's bind
+/// step, shared by the serial facade and the serving tier. Every row
+/// must have the same width, at least the program's scoring width
+/// (extra trailing columns, e.g. a label as stored in the source heap,
+/// are carried but ignored by the forward pass — exactly like the
+/// materializing scan).
+pub fn point_batch(
+    udf: &str,
+    program: &ScoringProgram,
+    rows: &[Vec<f32>],
+) -> DanaResult<dana_storage::TupleBatch> {
+    if rows.is_empty() {
+        return Err(DanaError::Query(
+            "point-form PREDICT needs at least one VALUES row".to_string(),
+        ));
+    }
+    let need = program.min_width();
+    let width = rows[0].len();
+    if width < need {
+        return Err(DanaError::Query(format!(
+            "VALUES row has {width} value(s) but '{udf}' scoring reads {need} column(s)"
+        )));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != width {
+            return Err(DanaError::Query(format!(
+                "VALUES row {} has {} value(s) but row 0 has {width} — all rows must have the \
+                 same width",
+                i + 1,
+                row.len()
+            )));
+        }
+    }
+    Ok(dana_storage::TupleBatch::from_rows(width, rows))
+}
+
+/// Timing for a point scoring dispatch: the CPU tier reports the
+/// measured stopwatch; the FPGA tier composes an engine-only simulated
+/// cost (there is no scan — no disk, AXI, or Strider term to charge).
+pub fn point_timing(
+    backend: BackendKind,
+    stats: &ScoringStats,
+    wall: Seconds,
+    fpga: &FpgaSpec,
+) -> DanaTiming {
+    match backend {
+        BackendKind::Cpu => DanaTiming::wall_only(wall),
+        BackendKind::Fpga => {
+            let engine = stats.engine_seconds(fpga.clock.hz);
+            DanaTiming {
+                engine_seconds: engine,
+                total_seconds: engine,
+                ..DanaTiming::default()
+            }
+        }
+    }
 }
 
 /// Coarse run-time prediction from the *deploy-time* estimate alone — the

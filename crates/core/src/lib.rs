@@ -64,9 +64,11 @@ pub use dana_parallel::{ParallelError, ShardPlan, ShardRange};
 pub use error::{DanaError, DanaResult};
 pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts, TrainedModels};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
-pub use query::{parse_query, parse_statement, EvaluateCall, PredictCall, QueryCall, Statement};
+pub use query::{
+    parse_query, parse_statement, EvaluateCall, PointCall, PredictCall, QueryCall, Statement,
+};
 pub use report::{
-    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome,
+    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PointReport, PredictReport, QueryOutcome,
     StatementOutcome,
 };
 pub use runtime::ExecutionMode;

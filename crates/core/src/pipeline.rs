@@ -34,8 +34,8 @@ use crate::error::{DanaError, DanaResult};
 use crate::exec::{self, ArtifactBlob, RunArtifacts, ShardArtifacts};
 use crate::query::{parse_query, parse_statement, QueryCall, Statement};
 use crate::report::{
-    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PredictReport, QueryOutcome, Seconds,
-    StatementOutcome,
+    AnalyzeReport, DanaReport, DanaTiming, EvalReport, PointReport, PredictReport, QueryOutcome,
+    Seconds, StatementOutcome,
 };
 use crate::runtime::ExecutionMode;
 use crate::source::{FeedKind, PageStreamSource};
@@ -365,6 +365,12 @@ impl Dana {
                     _ => self.predict(&p.udf, &p.table, &p.into)?,
                 }))
             }
+            Statement::PredictPoint(p) => {
+                let backend = self.resolve_backend_for(stmt)?;
+                Ok(StatementOutcome::Point(
+                    self.predict_point(&p.udf, &p.rows, backend)?,
+                ))
+            }
             Statement::Evaluate(e) => {
                 let backend = self.resolve_backend_for(stmt)?;
                 Ok(StatementOutcome::Evaluate(match (e.shards, backend) {
@@ -467,9 +473,11 @@ impl Dana {
         stmt: &Statement,
     ) -> DanaResult<(std::sync::Arc<exec::CachedAccelerator>, u64)> {
         let (udf, table) = match stmt {
-            Statement::Train(c) => (&c.udf, &c.table),
-            Statement::Predict(p) => (&p.udf, &p.table),
-            Statement::Evaluate(e) => (&e.udf, &e.table),
+            Statement::Train(c) => (&c.udf, Some(&c.table)),
+            Statement::Predict(p) => (&p.udf, Some(&p.table)),
+            // The point form scores its literal rows — no table to count.
+            Statement::PredictPoint(p) => (&p.udf, None),
+            Statement::Evaluate(e) => (&e.udf, Some(&e.table)),
             Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
             }
@@ -487,7 +495,11 @@ impl Dana {
             });
         }
         let (cached, _built) = exec::cached_accelerator(entry)?;
-        let rows = self.catalog.live_table(table)?.tuple_count;
+        let rows = match (table, stmt) {
+            (Some(table), _) => self.catalog.live_table(table)?.tuple_count,
+            (None, Statement::PredictPoint(p)) => p.rows.len() as u64,
+            (None, _) => unreachable!("only the point form has no table"),
+        };
         Ok((cached, rows))
     }
 
@@ -500,6 +512,7 @@ impl Dana {
         let (requested, shards) = match stmt {
             Statement::Train(c) => (c.backend, c.shards),
             Statement::Predict(p) => (p.backend, p.shards),
+            Statement::PredictPoint(p) => (p.backend, None),
             Statement::Evaluate(e) => (e.backend, e.shards),
             Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
@@ -891,6 +904,38 @@ impl Dana {
             None,
             BackendKind::Cpu,
         )
+    }
+
+    /// Point-form `PREDICT dana.<udf>(VALUES ...)`: binds the literal
+    /// rows straight into the cached scoring program and scores them as
+    /// one in-memory SoA batch — no heap scan, no buffer-pool traffic,
+    /// nothing materialized. Bit-identical to the materializing path on
+    /// the same rows because the identical SoA executor runs in both.
+    pub fn predict_point(
+        &mut self,
+        udf: &str,
+        rows: &[Vec<f32>],
+        backend: BackendKind,
+    ) -> DanaResult<PointReport> {
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let batch = exec::point_batch(udf, &setup.program, rows)?;
+        let start = std::time::Instant::now();
+        let (predictions, stats) = dana_infer::score_batch(&setup.program, setup.lanes, &batch)?;
+        let wall = start.elapsed().as_secs_f64();
+        let timing = exec::point_timing(backend, &stats, wall, &self.fpga);
+        match backend {
+            BackendKind::Cpu => exec::record_cpu_spans(&self.rec, wall),
+            BackendKind::Fpga => self.rec.add_sim(exec::stage::ENGINE, timing.engine_seconds),
+        }
+        Ok(PointReport {
+            udf: udf.to_string(),
+            predictions,
+            lanes: setup.lanes,
+            backend,
+            cached: false,
+            scoring: stats,
+            timing,
+        })
     }
 
     fn predict_full(

@@ -85,6 +85,28 @@ pub struct PredictCall {
     pub retries: Option<u32>,
 }
 
+/// A parsed point-form `PREDICT dana.<udf>(VALUES (...), ...)` statement:
+/// the online fast path. Rows are bound directly from the statement —
+/// there is no source table, no heap scan, and no materialized
+/// destination; predictions come back inline in the reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointCall {
+    pub udf: String,
+    /// The literal parameter vectors to score, one per VALUES group.
+    pub rows: Vec<Vec<f32>>,
+    /// `WITH (backend = ...)`: the requested execution substrate.
+    pub backend: BackendChoice,
+    /// `WITH (trace = on)`: attach a query-lifecycle trace to the reply.
+    pub trace: bool,
+    /// `WITH (timeout_ms = n)`: query deadline; past it, cooperative
+    /// cancellation returns a typed deadline error (`None` = the
+    /// server's default, if any).
+    pub timeout_ms: Option<u64>,
+    /// `WITH (retries = n)`: transient-fault retry budget override
+    /// (`None` = the server's default policy).
+    pub retries: Option<u32>,
+}
+
 /// A parsed `EVALUATE` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvaluateCall {
@@ -114,6 +136,10 @@ pub enum Statement {
     Train(QueryCall),
     /// `PREDICT dana.<udf>('<table>') INTO '<dest>';`.
     Predict(PredictCall),
+    /// `PREDICT dana.<udf>(VALUES (x, ...), ...);` — the online point
+    /// fast path: score literal rows against the cached scoring program
+    /// without a heap scan or a materialized destination.
+    PredictPoint(PointCall),
     /// `EVALUATE dana.<udf>('<table>'[, '<metric>']);`.
     Evaluate(EvaluateCall),
     /// `EXPLAIN <stmt>;` — price the inner statement on every backend
@@ -135,6 +161,7 @@ impl Statement {
         match self {
             Statement::Train(c) => c.trace,
             Statement::Predict(p) => p.trace,
+            Statement::PredictPoint(p) => p.trace,
             Statement::Evaluate(e) => e.trace,
             Statement::Explain(_) | Statement::ExplainAnalyze(_) | Statement::ShowStats(_) => false,
         }
@@ -147,6 +174,7 @@ impl Statement {
         match self {
             Statement::Train(c) => c.timeout_ms,
             Statement::Predict(p) => p.timeout_ms,
+            Statement::PredictPoint(p) => p.timeout_ms,
             Statement::Evaluate(e) => e.timeout_ms,
             Statement::ExplainAnalyze(inner) => inner.timeout_ms(),
             Statement::Explain(_) | Statement::ShowStats(_) => None,
@@ -158,6 +186,7 @@ impl Statement {
         match self {
             Statement::Train(c) => c.retries,
             Statement::Predict(p) => p.retries,
+            Statement::PredictPoint(p) => p.retries,
             Statement::Evaluate(e) => e.retries,
             Statement::ExplainAnalyze(inner) => inner.retries(),
             Statement::Explain(_) | Statement::ShowStats(_) => None,
@@ -202,7 +231,7 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
     let (s, opts) = split_with_clause(s)?;
     let lower = s.to_ascii_lowercase();
     if lower.starts_with("predict") {
-        return parse_predict(s, &lower, opts).map(Statement::Predict);
+        return parse_predict(s, &lower, opts);
     }
     if lower.starts_with("evaluate") {
         return parse_evaluate(s, &lower, opts).map(Statement::Evaluate);
@@ -298,7 +327,7 @@ fn parse_show_stats(s: &str) -> DanaResult<Statement> {
     }
     if !dana_obs::known_subsystem(&name) {
         return Err(err(&format!(
-            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, engine, or faults)"
+            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, engine, faults, or serving)"
         )));
     }
     Ok(Statement::ShowStats(Some(name)))
@@ -403,13 +432,29 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
     Ok((s[..pos].trim_end(), opts))
 }
 
-/// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`.
-fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictCall> {
+/// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`, or
+/// the point form `PREDICT dana.<udf>(VALUES (x, ...), ...)`.
+fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Statement> {
     let rest = lower["predict".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected PREDICT <udf>(...)"));
     }
     let tail = s["predict".len()..].trim_start();
+    // A call whose argument text leads with the VALUES keyword is the
+    // online point form — dispatch before the INTO requirement kicks in.
+    // The keyword must be followed by whitespace or a row-opening '(' so
+    // a table merely *named* values/values_v2 stays the table form.
+    if let Some(open) = tail.find('(') {
+        let arg_head = tail[open + 1..].trim_start().to_ascii_lowercase();
+        if arg_head.starts_with("values")
+            && matches!(
+                arg_head["values".len()..].chars().next(),
+                Some(' ' | '\t' | '(')
+            )
+        {
+            return parse_predict_point(tail, opts).map(Statement::PredictPoint);
+        }
+    }
     // Split at the INTO keyword (outside the call's parentheses: the call
     // ends at its closing ')', so a simple case-insensitive search after
     // the close is exact).
@@ -432,7 +477,7 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictC
     if into.is_empty() {
         return Err(err("empty destination table name"));
     }
-    Ok(PredictCall {
+    Ok(Statement::Predict(PredictCall {
         udf,
         table,
         into,
@@ -441,7 +486,109 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<PredictC
         trace: opts.trace,
         timeout_ms: opts.timeout_ms,
         retries: opts.retries,
+    }))
+}
+
+/// Parses the point form's call tail: `dana.<udf>(VALUES (x, ...), ...)`.
+/// Every value is a literal f32; each parenthesized group is one row.
+/// There is no INTO (nothing is materialized) and `shards` is rejected
+/// (there is no scan to shard).
+fn parse_predict_point(tail: &str, opts: WithOptions) -> DanaResult<PointCall> {
+    if opts.shards.is_some() {
+        return Err(err(
+            "point-form PREDICT (VALUES ...) has no scan to shard; drop the 'shards' option",
+        ));
+    }
+    let open = tail
+        .find('(')
+        .ok_or_else(|| err("expected UDF call '(...)'"))?;
+    let close = tail.rfind(')').ok_or_else(|| err("unclosed ')'"))?;
+    if close < open {
+        return Err(err("malformed parentheses"));
+    }
+    let after = tail[close + 1..].trim();
+    if !after.is_empty() {
+        if after.to_ascii_lowercase().starts_with("into") {
+            return Err(err(
+                "point-form PREDICT (VALUES ...) returns predictions inline and takes no INTO",
+            ));
+        }
+        return Err(err("unexpected input after UDF call"));
+    }
+    let mut udf = tail[..open].trim();
+    if let Some(dot) = udf.rfind('.') {
+        let schema = &udf[..dot];
+        if !schema.eq_ignore_ascii_case("dana") {
+            return Err(err(&format!("unknown schema '{schema}' (expected dana)")));
+        }
+        udf = &udf[dot + 1..];
+    }
+    if udf.is_empty() || !udf.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(&format!("bad UDF name '{udf}'")));
+    }
+    let inner = tail[open + 1..close].trim();
+    let keyword_len = "values".len();
+    debug_assert!(inner[..keyword_len.min(inner.len())].eq_ignore_ascii_case("values"));
+    let groups_text = inner[keyword_len..].trim_start();
+    if !groups_text.starts_with('(') {
+        return Err(err(
+            "VALUES needs at least one parenthesized row: VALUES (x, ...)",
+        ));
+    }
+    let rows = parse_values_rows(groups_text)?;
+    Ok(PointCall {
+        udf: udf.to_string(),
+        rows,
+        backend: opts.backend,
+        trace: opts.trace,
+        timeout_ms: opts.timeout_ms,
+        retries: opts.retries,
     })
+}
+
+/// Parses `(x, ...), (y, ...)` row groups into literal f32 vectors.
+/// Rejects empty rows, non-numeric or non-finite values, unbalanced
+/// parentheses, and stray text between groups.
+fn parse_values_rows(text: &str) -> DanaResult<Vec<Vec<f32>>> {
+    let mut rows = Vec::new();
+    let mut rest = text.trim();
+    loop {
+        let body = rest
+            .strip_prefix('(')
+            .ok_or_else(|| err("expected a parenthesized VALUES row: (x, ...)"))?;
+        let end = body.find(')').ok_or_else(|| err("unclosed VALUES row"))?;
+        let row_text = &body[..end];
+        if row_text.trim().is_empty() {
+            return Err(err("VALUES row must have at least one value"));
+        }
+        let mut row = Vec::new();
+        for piece in row_text.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                return Err(err("empty value in VALUES row"));
+            }
+            let v: f32 = piece
+                .parse()
+                .map_err(|_| err(&format!("bad numeric value '{piece}' in VALUES row")))?;
+            if !v.is_finite() {
+                return Err(err(&format!("non-finite value '{piece}' in VALUES row")));
+            }
+            row.push(v);
+        }
+        rows.push(row);
+        rest = body[end + 1..].trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| err("VALUES rows must be separated by commas"))?
+            .trim_start();
+        if rest.is_empty() {
+            return Err(err("trailing comma after VALUES row"));
+        }
+    }
+    Ok(rows)
 }
 
 /// Parses the tail of `EVALUATE dana.<udf>('<table>'[, '<metric>'])`.
@@ -978,6 +1125,7 @@ mod tests {
         match s {
             Statement::Train(q) => q.backend,
             Statement::Predict(p) => p.backend,
+            Statement::PredictPoint(p) => p.backend,
             Statement::Evaluate(e) => e.backend,
             Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => backend_of(inner),
             Statement::ShowStats(_) => panic!("SHOW STATS has no backend"),
@@ -1282,7 +1430,13 @@ mod tests {
         let s = parse_statement("SHOW STATS ('faults');").unwrap();
         assert_eq!(s, Statement::ShowStats(Some("faults".into())));
         let e = parse_statement("SHOW STATS ('thermals');").unwrap_err();
-        assert!(e.to_string().contains("or faults"), "{e}");
+        assert!(e.to_string().contains("faults, or serving"), "{e}");
+    }
+
+    #[test]
+    fn show_stats_accepts_the_serving_subsystem() {
+        let s = parse_statement("SHOW STATS ('serving');").unwrap();
+        assert_eq!(s, Statement::ShowStats(Some("serving".into())));
     }
 
     #[test]
@@ -1297,5 +1451,124 @@ mod tests {
         }
         let e = parse_statement("EXECUTE dana.f('t') WITH (trace = banana);").unwrap_err();
         assert!(e.to_string().contains("bad trace value 'banana'"), "{e}");
+    }
+
+    // ---- point-form PREDICT (VALUES ...) grammar -------------------------
+
+    #[test]
+    fn parses_point_predict_single_row() {
+        let s = parse_statement("PREDICT dana.linearR(VALUES (1.0, 2.5, -3.0));").unwrap();
+        assert_eq!(
+            s,
+            Statement::PredictPoint(PointCall {
+                udf: "linearR".into(),
+                rows: vec![vec![1.0, 2.5, -3.0]],
+                backend: BackendChoice::Auto,
+                trace: false,
+                timeout_ms: None,
+                retries: None,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_point_predict_micro_batch_and_flexible_case() {
+        let s = parse_statement("predict svm(values (1, 2), (3, 4), (5, 6))").unwrap();
+        assert_eq!(
+            s,
+            Statement::PredictPoint(PointCall {
+                udf: "svm".into(),
+                rows: vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+                backend: BackendChoice::Auto,
+                trace: false,
+                timeout_ms: None,
+                retries: None,
+            })
+        );
+        // Schema prefix, free-form whitespace, scientific notation.
+        let Statement::PredictPoint(p) =
+            parse_statement("PREDICT DANA.MyUdf( VALUES ( 1e-2 ,  2.5E1 ) );").unwrap()
+        else {
+            panic!("expected point predict");
+        };
+        assert_eq!(p.udf, "MyUdf");
+        assert_eq!(p.rows, vec![vec![0.01, 25.0]]);
+    }
+
+    #[test]
+    fn point_predict_composes_with_backend_trace_timeout_retries() {
+        let s = parse_statement(
+            "PREDICT dana.f(VALUES (1.0)) WITH (backend = cpu, trace = on, timeout_ms = 50, retries = 2);",
+        )
+        .unwrap();
+        let Statement::PredictPoint(p) = &s else {
+            panic!("expected point predict");
+        };
+        assert_eq!(p.backend, BackendChoice::Cpu);
+        assert!(s.wants_trace());
+        assert_eq!(s.timeout_ms(), Some(50));
+        assert_eq!(s.retries(), Some(2));
+        // EXPLAIN and EXPLAIN ANALYZE wrap the point form like any other.
+        assert!(matches!(
+            parse_statement("EXPLAIN PREDICT dana.f(VALUES (1.0));").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE PREDICT dana.f(VALUES (1.0));").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+    }
+
+    #[test]
+    fn point_predict_rejects_shards_and_into_as_typed_errors() {
+        let e = parse_statement("PREDICT dana.f(VALUES (1.0)) WITH (shards = 2);").unwrap_err();
+        assert!(e.to_string().contains("no scan to shard"), "{e}");
+        let e = parse_statement("PREDICT dana.f(VALUES (1.0)) INTO 'p';").unwrap_err();
+        assert!(e.to_string().contains("takes no INTO"), "{e}");
+    }
+
+    #[test]
+    fn point_predict_rejects_malformed_values_rows() {
+        for bad in [
+            "PREDICT dana.f(VALUES);",             // no rows
+            "PREDICT dana.f(VALUES ());",          // empty row
+            "PREDICT dana.f(VALUES (1.0), ());",   // empty second row
+            "PREDICT dana.f(VALUES (1.0,));",      // trailing comma in row
+            "PREDICT dana.f(VALUES (,1.0));",      // leading comma in row
+            "PREDICT dana.f(VALUES (1.0,,2.0));",  // double comma
+            "PREDICT dana.f(VALUES (1.0),);",      // trailing comma after row
+            "PREDICT dana.f(VALUES (1.0) (2.0));", // missing separator
+            "PREDICT dana.f(VALUES (banana));",    // not a number
+            "PREDICT dana.f(VALUES ('1.0'));",     // quoted literal
+            "PREDICT dana.f(VALUES (nan));",       // non-finite
+            "PREDICT dana.f(VALUES (inf));",       // non-finite
+            "PREDICT dana.f(VALUES (1.0);",        // unbalanced parens
+            "PREDICT dana.f(VALUES 1.0);",         // bare value, no row parens
+            "PREDICT dana.f(VALUES (1.0)) extra;", // trailing garbage
+            "PREDICT other.f(VALUES (1.0));",      // unknown schema
+            "PREDICT dana.(VALUES (1.0));",        // empty UDF name
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+        }
+        // The messages are diagnostic, not generic.
+        let e = parse_statement("PREDICT dana.f(VALUES (banana));").unwrap_err();
+        assert!(e.to_string().contains("bad numeric value 'banana'"), "{e}");
+        let e = parse_statement("PREDICT dana.f(VALUES (nan));").unwrap_err();
+        assert!(e.to_string().contains("non-finite value 'nan'"), "{e}");
+    }
+
+    #[test]
+    fn point_predict_does_not_shadow_tables_named_values() {
+        // A source table merely *named* like the keyword stays the
+        // materializing form: quoting marks it as an identifier.
+        let s = parse_statement("PREDICT dana.f('values') INTO 'p';").unwrap();
+        let Statement::Predict(p) = s else {
+            panic!("expected materializing predict");
+        };
+        assert_eq!(p.table, "values");
+        // And a bare table called values_v2 is not the point form either.
+        let s = parse_statement("PREDICT dana.f(values_v2) INTO 'p';").unwrap();
+        assert!(matches!(s, Statement::Predict(_)));
     }
 }

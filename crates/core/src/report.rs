@@ -155,6 +155,25 @@ pub struct PredictReport {
     pub timing: DanaTiming,
 }
 
+/// The result of one point-form PREDICT: inline predictions for the
+/// statement's literal rows. Nothing is materialized and no heap scan
+/// runs — the rows were bound straight into the cached scoring program.
+#[derive(Debug, Clone)]
+pub struct PointReport {
+    pub udf: String,
+    /// One prediction per VALUES row, in statement order.
+    pub predictions: Vec<f32>,
+    /// Lockstep lanes the scoring program ran across.
+    pub lanes: u16,
+    /// The execution substrate that scored the rows.
+    pub backend: BackendKind,
+    /// Whether the reply was served from the prediction cache (set by
+    /// the serving tier; the core scorer always reports `false`).
+    pub cached: bool,
+    pub scoring: ScoringStats,
+    pub timing: DanaTiming,
+}
+
 /// The result of one EVALUATE: an in-database quality metric.
 #[derive(Debug, Clone)]
 pub struct EvalReport {
@@ -177,6 +196,8 @@ pub struct EvalReport {
 pub enum StatementOutcome {
     Train(QueryOutcome),
     Predict(PredictReport),
+    /// Point-form PREDICT (VALUES ...): inline predictions, no scan.
+    Point(PointReport),
     Evaluate(EvalReport),
     /// `EXPLAIN <stmt>`: the advisor's per-backend comparison. Nothing
     /// was executed, so there is no timing.
@@ -197,6 +218,7 @@ impl StatementOutcome {
         match self {
             StatementOutcome::Train(o) => Some(&o.report.timing),
             StatementOutcome::Predict(p) => Some(&p.timing),
+            StatementOutcome::Point(p) => Some(&p.timing),
             StatementOutcome::Evaluate(e) => Some(&e.timing),
             StatementOutcome::Explain(_) | StatementOutcome::Stats(_) => None,
             StatementOutcome::Analyze(a) => a.outcome.timing(),
@@ -209,6 +231,7 @@ impl StatementOutcome {
         match self {
             StatementOutcome::Train(o) => Some(o.report.backend),
             StatementOutcome::Predict(p) => Some(p.backend),
+            StatementOutcome::Point(p) => Some(p.backend),
             StatementOutcome::Evaluate(e) => Some(e.backend),
             StatementOutcome::Explain(_) | StatementOutcome::Stats(_) => None,
             StatementOutcome::Analyze(a) => a.outcome.backend(),

@@ -36,6 +36,7 @@ pub const SUBSYSTEMS: &[&str] = &[
     "sessions",
     "engine",
     "faults",
+    "serving",
 ];
 
 /// Whether `name` is a known stats subsystem.

@@ -213,6 +213,21 @@ pub struct MetricsRegistry {
     pub shard_reexecutions: Counter,
     /// Panicking dispatches caught and turned into typed replies.
     pub panics_caught: Counter,
+    // ---- online serving tier ------------------------------------------
+    /// Wall seconds per point-PREDICT, submit to reply.
+    pub point_latency: Histogram,
+    /// Rows per coalesced batcher dispatch (occupancy histogram — the
+    /// recorded "seconds" are row counts; read the `_count`/`_p*` rows
+    /// as rows, not time).
+    pub batch_occupancy: Histogram,
+    /// Point queries served.
+    pub point_queries: Counter,
+    /// Coalesced batcher dispatches issued.
+    pub coalesced_dispatches: Counter,
+    /// Prediction-cache hits / misses / entries flushed by invalidation.
+    pub prediction_cache_hits: Counter,
+    pub prediction_cache_misses: Counter,
+    pub prediction_cache_invalidations: Counter,
 }
 
 impl MetricsRegistry {
@@ -298,6 +313,18 @@ impl MetricsRegistry {
         ];
         for (name, c) in faults {
             out.push(StatEntry::new("faults", *name, c.get() as f64));
+        }
+        hist(out, "serving", "point_latency", &self.point_latency);
+        hist(out, "serving", "batch_occupancy", &self.batch_occupancy);
+        let serving: &[(&str, &Counter)] = &[
+            ("point_queries", &self.point_queries),
+            ("coalesced_dispatches", &self.coalesced_dispatches),
+            ("cache_hits", &self.prediction_cache_hits),
+            ("cache_misses", &self.prediction_cache_misses),
+            ("cache_invalidations", &self.prediction_cache_invalidations),
+        ];
+        for (name, c) in serving {
+            out.push(StatEntry::new("serving", *name, c.get() as f64));
         }
     }
 }

@@ -1,0 +1,455 @@
+//! Acceptance suite for the online serving tier.
+//!
+//! * Point-form PREDICT (typed and SQL VALUES form) must be
+//!   **bit-identical** to the materializing PREDICT path on the same
+//!   rows, for all four zoo models.
+//! * The prediction cache must never serve a value computed under a
+//!   superseded model generation: retrain invalidates, drop refuses
+//!   with the same typed error the scan path uses.
+//! * Cross-request coalescing must be deterministic: every caller gets
+//!   exactly its own row's prediction, bit-equal to serial scoring,
+//!   regardless of batch composition or arrival order.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use dana::prelude::*;
+use dana_dsl::zoo::{self, Algorithm, DenseParams, LrmfParams};
+use dana_serve::{BatcherConfig, CacheConfig, ServeConfig, ServeTier};
+use dana_server::{
+    AdmissionConfig, DanaServer, QueryRequest, SchedPolicy, ServerConfig, SystemCoreConfig,
+};
+use dana_storage::page::TupleDirection;
+use dana_storage::{HeapFileBuilder, Schema};
+
+const PAGE: usize = 8 * 1024;
+
+fn server() -> Arc<DanaServer> {
+    Arc::new(DanaServer::start(ServerConfig {
+        accelerators: 2,
+        workers: 2,
+        admission: AdmissionConfig {
+            max_queued: 1024,
+            policy: SchedPolicy::Fifo,
+        },
+        default_timeout_ms: None,
+        core: SystemCoreConfig {
+            fpga: FpgaSpec::vu9p(),
+            pool: BufferPoolConfig {
+                pool_bytes: 64 << 20,
+                page_size: PAGE,
+            },
+            pool_shards: 4,
+            disk: DiskModel::ssd(),
+        },
+    }))
+}
+
+/// A serving tier whose batcher is in singleton mode — every request
+/// dispatches alone, keeping single-threaded tests deterministic.
+fn singleton_tier(srv: &Arc<DanaServer>) -> ServeTier {
+    ServeTier::new(
+        Arc::clone(srv),
+        ServeConfig {
+            cache: CacheConfig::default(),
+            batcher: BatcherConfig {
+                max_batch: 16,
+                window: Duration::ZERO,
+            },
+        },
+    )
+}
+
+/// The predict_differential dense table, with a tunable truth offset so
+/// two tables can train visibly different models.
+fn dense_heap(n: usize, d: usize, algo: Algorithm, truth_off: f32) -> HeapFile {
+    let truth: Vec<f32> = (0..d).map(|i| 0.35 * i as f32 - 0.9 + truth_off).collect();
+    let mut b = HeapFileBuilder::new(Schema::training(d), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((k * 11 + i * 5) % 17) as f32 - 8.0) / 8.0)
+            .collect();
+        let s: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let y = match algo {
+            Algorithm::Linear => s,
+            Algorithm::Logistic => {
+                if s > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Algorithm::Svm => {
+                if s > 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Algorithm::Lrmf => unreachable!("dense heap"),
+        };
+        b.insert(&Tuple::training(&x, y)).unwrap();
+    }
+    b.finish()
+}
+
+fn rating_heap(n: usize, rows: usize, cols: usize) -> HeapFile {
+    let mut b = HeapFileBuilder::new(Schema::rating(), PAGE, TupleDirection::Ascending).unwrap();
+    for k in 0..n {
+        let i = (k * 7) % rows;
+        let j = (k * 13) % cols;
+        let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
+        b.insert(&Tuple::rating(i as i32, j as i32, r)).unwrap();
+    }
+    b.finish()
+}
+
+fn dense_spec(algo: Algorithm, d: usize) -> dana_dsl::AlgoSpec {
+    zoo::spec_for(
+        algo,
+        DenseParams {
+            n_features: d,
+            learning_rate: 0.1,
+            merge_coef: 8,
+            epochs: 6,
+        },
+    )
+    .unwrap()
+}
+
+/// Creates table `t`, deploys the dense zoo spec, trains it through the
+/// server's front door, and returns the UDF name.
+fn dense_setup(srv: &Arc<DanaServer>, algo: Algorithm, n: usize, d: usize) -> String {
+    srv.create_table("t", dense_heap(n, d, algo, 0.0)).unwrap();
+    let spec = dense_spec(algo, d);
+    let udf = spec.name.clone();
+    srv.deploy(&spec, "t").unwrap();
+    let session = srv.open_session("setup");
+    srv.call(
+        session,
+        QueryRequest::RunUdf {
+            udf: udf.clone(),
+            table: "t".to_string(),
+            shards: None,
+        },
+    )
+    .unwrap();
+    udf
+}
+
+/// Materializes PREDICT over `table` and returns (source rows, the
+/// prediction column) — the reference the point path must bit-match.
+fn materialized(
+    srv: &Arc<DanaServer>,
+    udf: &str,
+    table: &str,
+    pred_col: usize,
+) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let session = srv.open_session("materialize");
+    srv.call(
+        session,
+        QueryRequest::Predict {
+            udf: udf.to_string(),
+            table: table.to_string(),
+            into: "scores".to_string(),
+            shards: None,
+        },
+    )
+    .unwrap();
+    let src: Vec<Vec<f32>> = srv
+        .core()
+        .table_snapshot(table)
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .map(|r| r.to_vec())
+        .collect();
+    let preds: Vec<f32> = srv
+        .core()
+        .table_snapshot("scores")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .map(|r| r[pred_col])
+        .collect();
+    assert_eq!(src.len(), preds.len());
+    (src, preds)
+}
+
+/// Point predictions — typed request and SQL VALUES form — must be
+/// bit-identical to the materializing PREDICT on the same rows.
+fn dense_point_vs_materialized(algo: Algorithm) {
+    let d = 12;
+    let srv = server();
+    let udf = dense_setup(&srv, algo, 600, d);
+    let (src, reference) = materialized(&srv, &udf, "t", d + 1);
+
+    let tier = singleton_tier(&srv);
+    let session = srv.open_session("client");
+    // The feature generator has period 17 in k, so some sampled rows
+    // repeat — those may legitimately hit the cache; either way the
+    // bits must match.
+    for k in (0..src.len()).step_by(13) {
+        let reply = tier.predict_point(session, &udf, &src[k]).unwrap();
+        assert_eq!(
+            reply.prediction, reference[k],
+            "{udf}: point row {k} must bit-match the materialized column"
+        );
+    }
+
+    // The SQL VALUES form runs the same fast path.
+    let vals: Vec<String> = src[0].iter().map(|v| format!("{v}")).collect();
+    let sql = format!("PREDICT dana.{udf}(VALUES ({}));", vals.join(", "));
+    let reply = srv.call(session, QueryRequest::Sql(sql)).unwrap();
+    let report = reply.point_report();
+    assert_eq!(report.predictions, vec![reference[0]]);
+    assert_eq!(report.udf, udf);
+}
+
+#[test]
+fn linear_point_matches_materialized_bit_exactly() {
+    dense_point_vs_materialized(Algorithm::Linear);
+}
+
+#[test]
+fn logistic_point_matches_materialized_bit_exactly() {
+    dense_point_vs_materialized(Algorithm::Logistic);
+}
+
+#[test]
+fn svm_point_matches_materialized_bit_exactly() {
+    dense_point_vs_materialized(Algorithm::Svm);
+}
+
+#[test]
+fn lrmf_point_matches_materialized_bit_exactly() {
+    let (rows, cols) = (24usize, 18usize);
+    let srv = server();
+    srv.create_table("ratings", rating_heap(400, rows, cols))
+        .unwrap();
+    let spec = zoo::lrmf(LrmfParams {
+        rows,
+        cols,
+        rank: 8,
+        learning_rate: 0.05,
+        merge_coef: 4,
+        epochs: 4,
+    })
+    .unwrap();
+    srv.deploy(&spec, "ratings").unwrap();
+    let session = srv.open_session("setup");
+    srv.call(
+        session,
+        QueryRequest::RunUdf {
+            udf: "lrmf".to_string(),
+            table: "ratings".to_string(),
+            shards: None,
+        },
+    )
+    .unwrap();
+    // Rating tuples are (i, j, r); the materialized table appends the
+    // predicted rating at column 3.
+    let (src, reference) = materialized(&srv, "lrmf", "ratings", 3);
+
+    let tier = singleton_tier(&srv);
+    for k in (0..src.len()).step_by(11) {
+        let reply = tier.predict_point(session, "lrmf", &src[k]).unwrap();
+        assert_eq!(
+            reply.prediction, reference[k],
+            "lrmf: point row {k} must bit-match the materialized column"
+        );
+    }
+}
+
+/// Retrain-vs-cached-hit: a hit is served only under the generation
+/// that computed it. Rebinding the UDF to a different table and
+/// retraining must turn the warm entry stale — the next call dispatches
+/// fresh and returns the *new* model's value.
+#[test]
+fn retrained_model_invalidates_warm_cache_entries() {
+    let d = 12;
+    let srv = server();
+    let udf = dense_setup(&srv, Algorithm::Linear, 600, d);
+    let tier = singleton_tier(&srv);
+    let session = srv.open_session("client");
+    let row: Vec<f32> = srv
+        .core()
+        .table_snapshot("t")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .next()
+        .unwrap()
+        .to_vec();
+
+    let p1 = tier.predict_point(session, &udf, &row).unwrap();
+    assert!(!p1.cached);
+    let p2 = tier.predict_point(session, &udf, &row).unwrap();
+    assert!(p2.cached, "second identical call must hit the cache");
+    assert_eq!(p2.prediction, p1.prediction);
+
+    // Rebind the same UDF name to a table with a shifted truth vector
+    // and retrain: a new model generation with visibly different
+    // weights.
+    srv.create_table("t2", dense_heap(600, d, Algorithm::Linear, 1.5))
+        .unwrap();
+    srv.deploy(&dense_spec(Algorithm::Linear, d), "t2").unwrap();
+    srv.call(
+        session,
+        QueryRequest::RunUdf {
+            udf: udf.clone(),
+            table: "t2".to_string(),
+            shards: None,
+        },
+    )
+    .unwrap();
+
+    // Direct dispatch (never cached) gives the new model's reference.
+    let fresh = tier.predict_rows(session, &udf, vec![row.clone()]).unwrap()[0];
+    let p3 = tier.predict_point(session, &udf, &row).unwrap();
+    assert!(!p3.cached, "stale entry must not serve after retrain");
+    assert_eq!(p3.prediction, fresh);
+    assert_ne!(
+        p3.prediction, p1.prediction,
+        "shifted truth must change the trained model's output"
+    );
+
+    let snap = srv.stats_snapshot(Some("serving"));
+    assert!(snap.get("serving", "cache_invalidations").unwrap() >= 1.0);
+    assert!(snap.get("serving", "cache_hits").unwrap() >= 1.0);
+}
+
+/// Drop-vs-point-predict: after the bound table is dropped, a warm
+/// cache must not answer — the call refuses with the same typed
+/// stale-accelerator error the scan path uses.
+#[test]
+fn dropped_table_refuses_point_predict_despite_warm_cache() {
+    let d = 12;
+    let srv = server();
+    let udf = dense_setup(&srv, Algorithm::Linear, 600, d);
+    let tier = singleton_tier(&srv);
+    let session = srv.open_session("client");
+    let row: Vec<f32> = srv
+        .core()
+        .table_snapshot("t")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .next()
+        .unwrap()
+        .to_vec();
+
+    tier.predict_point(session, &udf, &row).unwrap();
+    let warm = tier.predict_point(session, &udf, &row).unwrap();
+    assert!(warm.cached);
+
+    srv.drop_table("t").unwrap();
+    let err = tier.predict_point(session, &udf, &row).unwrap_err();
+    assert!(
+        err.is_stale_model(),
+        "expected the typed stale-accelerator refusal, got: {err}"
+    );
+}
+
+/// Batcher determinism through the full server: N concurrent clients
+/// with distinct rows coalesce, and every reply bit-equals the serial
+/// reference for exactly its own row.
+#[test]
+fn coalesced_predictions_are_bit_identical_to_serial() {
+    let d = 12;
+    let srv = server();
+    let udf = dense_setup(&srv, Algorithm::Linear, 600, d);
+    // Cache off: every call must dispatch; a generous window so the
+    // barrier-released threads land in one batch.
+    let tier = Arc::new(ServeTier::new(
+        Arc::clone(&srv),
+        ServeConfig {
+            cache: CacheConfig { capacity: 0 },
+            batcher: BatcherConfig {
+                max_batch: 8,
+                window: Duration::from_millis(200),
+            },
+        },
+    ));
+    let rows: Vec<Vec<f32>> = srv
+        .core()
+        .table_snapshot("t")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .take(8)
+        .map(|r| r.to_vec())
+        .collect();
+    let session = srv.open_session("reference");
+    let reference = tier.predict_rows(session, &udf, rows.clone()).unwrap();
+
+    let barrier = Arc::new(Barrier::new(rows.len()));
+    let mut handles = Vec::new();
+    for (k, row) in rows.iter().cloned().enumerate() {
+        let tier = Arc::clone(&tier);
+        let barrier = Arc::clone(&barrier);
+        let udf = udf.clone();
+        let srv = Arc::clone(&srv);
+        handles.push(std::thread::spawn(move || {
+            let session = srv.open_session(&format!("client-{k}"));
+            barrier.wait();
+            (k, tier.predict_point(session, &udf, &row).unwrap())
+        }));
+    }
+    let mut coalesced = false;
+    for h in handles {
+        let (k, reply) = h.join().unwrap();
+        assert_eq!(
+            reply.prediction, reference[k],
+            "client {k} must get exactly its own row's serial prediction"
+        );
+        coalesced |= reply.batch_rows > 1;
+    }
+    assert!(coalesced, "barrier-released clients must share a dispatch");
+
+    let snap = srv.stats_snapshot(Some("serving"));
+    assert!(snap.get("serving", "coalesced_dispatches").unwrap() >= 1.0);
+    assert!(snap.get("serving", "batch_occupancy_count").unwrap() >= 1.0);
+}
+
+/// The serving counters surface through `SHOW STATS ('serving')` — the
+/// SQL front door, not just the typed snapshot.
+#[test]
+fn serving_stats_surface_through_show_stats() {
+    let d = 12;
+    let srv = server();
+    let udf = dense_setup(&srv, Algorithm::Linear, 600, d);
+    let tier = singleton_tier(&srv);
+    let session = srv.open_session("client");
+    let row: Vec<f32> = srv
+        .core()
+        .table_snapshot("t")
+        .unwrap()
+        .scan_batch()
+        .unwrap()
+        .rows()
+        .next()
+        .unwrap()
+        .to_vec();
+    tier.predict_point(session, &udf, &row).unwrap();
+    tier.predict_point(session, &udf, &row).unwrap();
+
+    let reply = srv
+        .call(
+            session,
+            QueryRequest::Sql("SHOW STATS ('serving');".to_string()),
+        )
+        .unwrap();
+    let snap = reply.stats();
+    assert!(snap.get("serving", "point_queries").unwrap() >= 2.0);
+    assert!(snap.get("serving", "cache_hits").unwrap() >= 1.0);
+    assert!(snap.get("serving", "cache_misses").unwrap() >= 1.0);
+    assert!(snap.get("serving", "point_latency_count").unwrap() >= 1.0);
+    let table = snap.render_table();
+    assert!(table.contains("cache_hits"), "table:\n{table}");
+}

@@ -30,6 +30,22 @@ pub enum SchedPolicy {
     Sjf,
 }
 
+/// Admission priority class. The dequeue always prefers a waiting
+/// `Interactive` job over any `Batch` job, whatever the configured
+/// policy; within a class the policy (FIFO/SJF) orders as before. Point
+/// predictions are `Interactive` — microseconds of work that must never
+/// be starved behind a gang training job occupying the whole pool.
+/// (`Interactive` declares first so the derived `Ord` sorts it ahead.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Latency-bound work (point predictions): dequeued before any
+    /// waiting `Batch` job.
+    Interactive,
+    /// Training and scan-bound analytical queries (the default).
+    #[default]
+    Batch,
+}
+
 /// Admission controller configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionConfig {
@@ -53,6 +69,9 @@ pub(crate) struct Job {
     pub seq: u64,
     pub session: SessionId,
     pub request: QueryRequest,
+    /// Admission class: `Interactive` jobs dequeue before any `Batch`
+    /// job regardless of policy.
+    pub priority: Priority,
     /// Estimated simulated runtime (SJF's ordering key; FIFO ignores it).
     pub cost_hint: f64,
     pub reply: Sender<ReplyResult>,
@@ -125,6 +144,7 @@ impl AdmissionQueue {
         &self,
         session: SessionId,
         request: QueryRequest,
+        priority: Priority,
         cost_hint: f64,
         deadline: Option<Instant>,
         reply: Sender<ReplyResult>,
@@ -147,6 +167,7 @@ impl AdmissionQueue {
             seq,
             session,
             request,
+            priority,
             cost_hint,
             reply,
             submitted_at: Instant::now(),
@@ -182,12 +203,15 @@ impl AdmissionQueue {
                 st.jobs = kept;
             }
             if !st.jobs.is_empty() {
+                // Priority class first — an Interactive point query
+                // beats any Batch job — then the configured policy
+                // within the class.
                 let idx = match self.config.policy {
                     SchedPolicy::Fifo => st
                         .jobs
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, j)| j.seq)
+                        .min_by_key(|(_, j)| (j.priority, j.seq))
                         .map(|(i, _)| i)
                         .expect("non-empty"),
                     SchedPolicy::Sjf => st
@@ -195,10 +219,12 @@ impl AdmissionQueue {
                         .iter()
                         .enumerate()
                         .min_by(|(_, a), (_, b)| {
-                            a.cost_hint
-                                .partial_cmp(&b.cost_hint)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then(a.seq.cmp(&b.seq))
+                            a.priority.cmp(&b.priority).then(
+                                a.cost_hint
+                                    .partial_cmp(&b.cost_hint)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(a.seq.cmp(&b.seq)),
+                            )
                         })
                         .map(|(i, _)| i)
                         .expect("non-empty"),
@@ -257,7 +283,7 @@ mod tests {
         let q = queue(16, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
         for cost in [3.0, 1.0, 2.0] {
-            q.submit(1, dummy_request(), cost, None, tx.clone())
+            q.submit(1, dummy_request(), Priority::Batch, cost, None, tx.clone())
                 .unwrap();
         }
         let order: Vec<f64> = (0..3).map(|_| q.pop().unwrap().cost_hint).collect();
@@ -270,7 +296,10 @@ mod tests {
         let (tx, _rx) = channel::unbounded();
         let seqs: Vec<u64> = [3.0, 1.0, 2.0, 1.0]
             .iter()
-            .map(|c| q.submit(1, dummy_request(), *c, None, tx.clone()).unwrap())
+            .map(|c| {
+                q.submit(1, dummy_request(), Priority::Batch, *c, None, tx.clone())
+                    .unwrap()
+            })
             .collect();
         let popped: Vec<u64> = (0..4).map(|_| q.pop().unwrap().seq).collect();
         // Costs 1.0 (seq 1), 1.0 (seq 3), 2.0 (seq 2), 3.0 (seq 0).
@@ -281,9 +310,11 @@ mod tests {
     fn overload_is_refused_with_counts() {
         let q = queue(2, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
-        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
-        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
-        match q.submit(1, dummy_request(), 1.0, None, tx.clone()) {
+        q.submit(1, dummy_request(), Priority::Batch, 1.0, None, tx.clone())
+            .unwrap();
+        q.submit(1, dummy_request(), Priority::Batch, 1.0, None, tx.clone())
+            .unwrap();
+        match q.submit(1, dummy_request(), Priority::Batch, 1.0, None, tx.clone()) {
             Err(ServerError::Overloaded {
                 queued: 2,
                 limit: 2,
@@ -305,12 +336,14 @@ mod tests {
         q.submit(
             1,
             dummy_request(),
+            Priority::Batch,
             1.0,
             Some(Instant::now() - std::time::Duration::from_millis(5)),
             expired_tx,
         )
         .unwrap();
-        q.submit(1, dummy_request(), 1.0, None, live_tx).unwrap();
+        q.submit(1, dummy_request(), Priority::Batch, 1.0, None, live_tx)
+            .unwrap();
         // The pop skips the expired job and hands out the live one.
         let job = q.pop().unwrap();
         assert!(job.deadline.is_none());
@@ -326,13 +359,51 @@ mod tests {
     }
 
     #[test]
+    fn interactive_overtakes_batch_under_fifo() {
+        let q = queue(16, SchedPolicy::Fifo);
+        let (tx, _rx) = channel::unbounded();
+        // Two batch jobs first, then an interactive point query.
+        let b0 = q
+            .submit(1, dummy_request(), Priority::Batch, 5.0, None, tx.clone())
+            .unwrap();
+        let b1 = q
+            .submit(1, dummy_request(), Priority::Batch, 5.0, None, tx.clone())
+            .unwrap();
+        let point = q
+            .submit(1, dummy_request(), Priority::Interactive, 0.1, None, tx)
+            .unwrap();
+        let popped: Vec<u64> = (0..3).map(|_| q.pop().unwrap().seq).collect();
+        assert_eq!(
+            popped,
+            vec![point, b0, b1],
+            "the interactive job dequeues first; batch stays FIFO"
+        );
+    }
+
+    #[test]
+    fn interactive_overtakes_batch_under_sjf_even_when_pricier() {
+        let q = queue(16, SchedPolicy::Sjf);
+        let (tx, _rx) = channel::unbounded();
+        // The batch job has a *cheaper* cost hint — class still wins.
+        let batch = q
+            .submit(1, dummy_request(), Priority::Batch, 0.001, None, tx.clone())
+            .unwrap();
+        let point = q
+            .submit(1, dummy_request(), Priority::Interactive, 1.0, None, tx)
+            .unwrap();
+        let popped: Vec<u64> = (0..2).map(|_| q.pop().unwrap().seq).collect();
+        assert_eq!(popped, vec![point, batch]);
+    }
+
+    #[test]
     fn close_drains_then_ends() {
         let q = queue(16, SchedPolicy::Fifo);
         let (tx, _rx) = channel::unbounded();
-        q.submit(1, dummy_request(), 1.0, None, tx.clone()).unwrap();
+        q.submit(1, dummy_request(), Priority::Batch, 1.0, None, tx.clone())
+            .unwrap();
         q.close();
         assert!(matches!(
-            q.submit(1, dummy_request(), 1.0, None, tx),
+            q.submit(1, dummy_request(), Priority::Batch, 1.0, None, tx),
             Err(ServerError::ShuttingDown)
         ));
         assert!(q.pop().is_some(), "admitted work still drains");

@@ -28,8 +28,9 @@ use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts};
 use dana::{
     AnalyzeReport, BackendKind, DanaError, DanaReport, DanaResult, DeployInfo, DropSummary,
-    EvalReport, ExecutionMode, FeedKind, HardwareProfile, MetricKind, PredictReport, QueryOutcome,
-    SharedPageStreamSource, Statement, StatementOutcome, StrategyComparison,
+    EvalReport, ExecutionMode, FeedKind, HardwareProfile, MetricKind, PointCall, PointReport,
+    PredictReport, QueryOutcome, SharedPageStreamSource, Statement, StatementOutcome,
+    StrategyComparison,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
 use dana_engine::{
@@ -526,6 +527,7 @@ impl SystemCore {
             Statement::Train(c) => (c.backend, c.shards),
             Statement::Predict(p) => (p.backend, p.shards),
             Statement::Evaluate(e) => (e.backend, e.shards),
+            Statement::PredictPoint(p) => (p.backend, None),
             Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
             }
@@ -552,13 +554,15 @@ impl SystemCore {
     }
 
     /// The advisor's inputs for a statement: the cached accelerator
-    /// runtime (stale-checked, cache-counted) and the live table's tuple
-    /// count.
+    /// runtime (stale-checked, cache-counted) and the row count it
+    /// would score — the live table's tuple count, or the inline
+    /// VALUES row count for point-form PREDICT (no table involved).
     fn advisor_inputs(&self, stmt: &Statement) -> DanaResult<(Arc<CachedAccelerator>, u64)> {
         let (udf, table) = match stmt {
-            Statement::Train(c) => (&c.udf, &c.table),
-            Statement::Predict(p) => (&p.udf, &p.table),
-            Statement::Evaluate(e) => (&e.udf, &e.table),
+            Statement::Train(c) => (&c.udf, Some(&c.table)),
+            Statement::Predict(p) => (&p.udf, Some(&p.table)),
+            Statement::Evaluate(e) => (&e.udf, Some(&e.table)),
+            Statement::PredictPoint(p) => (&p.udf, None),
             Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 return Err(DanaError::Query("EXPLAIN cannot be nested".to_string()))
             }
@@ -569,7 +573,11 @@ impl SystemCore {
             }
         };
         let cached = self.accelerator_runtime(udf)?;
-        let rows = self.read().live_table(table)?.tuple_count;
+        let rows = match (table, stmt) {
+            (Some(table), _) => self.read().live_table(table)?.tuple_count,
+            (None, Statement::PredictPoint(p)) => p.rows.len() as u64,
+            (None, _) => unreachable!("only point predictions are table-less"),
+        };
         Ok((cached, rows))
     }
 
@@ -1089,6 +1097,42 @@ impl SystemCore {
         ))
     }
 
+    /// SJF's ordering key for a *point* scoring query: the inline row
+    /// count × per-tuple program length across the lanes. Never the
+    /// bound table's tuples × epochs — a handful of VALUES rows is
+    /// microseconds of work and must sort ahead of any scan.
+    pub fn estimated_point_seconds(&self, udf: &str, rows: u64) -> DanaResult<f64> {
+        let cached = self.accelerator_runtime(udf)?;
+        let Some(recipe) = cached.scoring.as_ref() else {
+            return Ok(0.0); // unknown work: the conservative (early) hint
+        };
+        Ok(exec::scoring_estimate_seconds(
+            recipe,
+            rows,
+            cached.engine.design().num_threads as u32,
+            &self.fpga,
+        ))
+    }
+
+    /// The UDF's current trained-model generation: the `Arc` in its
+    /// trained-model slot, as an identity witness. `None` when
+    /// untrained, stale, or unknown. The serving tier's prediction
+    /// cache stamps entries with this `Arc` and refuses hits whose
+    /// stamp is no longer pointer-equal to the live one — a retrain
+    /// swaps the `Arc` (last write wins) and a drop clears the slot,
+    /// so either way the stamp mismatch invalidates without any flag
+    /// on the hot path. Holding the `Arc` (not a raw pointer) makes
+    /// the comparison ABA-safe: the old generation's allocation cannot
+    /// be reused while a cache entry still references it.
+    pub fn trained_generation(&self, udf: &str) -> Option<Arc<dana::TrainedModels>> {
+        let cat = self.read();
+        let entry = cat.accelerator(udf).ok()?;
+        if entry.stale {
+            return None;
+        }
+        exec::trained_models(entry)
+    }
+
     // ---- the inference tier --------------------------------------------
 
     /// Scores `source` with `udf`'s latest trained model and materializes
@@ -1173,6 +1217,87 @@ impl SystemCore {
             lanes: setup.lanes,
             shards: 1,
             backend,
+            scoring: stats,
+            timing,
+        })
+    }
+
+    /// The **point fast path**: scores inline VALUES rows against
+    /// `udf`'s latest trained model — no heap scan, no buffer-pool
+    /// traffic, no materialization, and (on the CPU tier) no
+    /// accelerator lease. The rows bind straight into the cached
+    /// scoring program's SoA batch scorer, which is the same lockstep
+    /// kernel the materializing path streams pages through — so the
+    /// predictions are bit-identical to `PREDICT … INTO` on the same
+    /// rows.
+    pub fn predict_point(
+        &self,
+        udf: &str,
+        rows: &[Vec<f32>],
+        backend: BackendKind,
+    ) -> DanaResult<PointReport> {
+        self.predict_point_rec(
+            udf,
+            rows,
+            backend,
+            &SpanRecorder::disabled(),
+            &QueryCtx::unbounded(),
+        )
+    }
+
+    /// [`SystemCore::predict_point`] with the backend resolved through
+    /// the advisor (the typed `QueryRequest::PredictPoint` entry point).
+    pub fn predict_point_ctx(
+        &self,
+        udf: &str,
+        rows: &[Vec<f32>],
+        ctx: &QueryCtx,
+    ) -> DanaResult<PointReport> {
+        let backend = self.point_backend(udf, rows)?;
+        self.predict_point_rec(udf, rows, backend, &SpanRecorder::disabled(), ctx)
+    }
+
+    /// The substrate a typed (non-SQL) point prediction runs on: the
+    /// advisor's verdict for its inline row count (point batches are
+    /// tiny, so a break-even profile routes them to the CPU tier and
+    /// they never lease an accelerator).
+    pub fn point_backend(&self, udf: &str, rows: &[Vec<f32>]) -> DanaResult<BackendKind> {
+        let stmt = Statement::PredictPoint(PointCall {
+            udf: udf.to_string(),
+            rows: rows.to_vec(),
+            backend: dana::BackendChoice::Auto,
+            trace: false,
+            timeout_ms: None,
+            retries: None,
+        });
+        self.resolve_backend(&stmt)
+    }
+
+    fn predict_point_rec(
+        &self,
+        udf: &str,
+        rows: &[Vec<f32>],
+        backend: BackendKind,
+        rec: &SpanRecorder,
+        ctx: &QueryCtx,
+    ) -> DanaResult<PointReport> {
+        self.check_deadline(ctx)?;
+        let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
+        let batch = exec::point_batch(udf, &setup.program, rows)?;
+        let start = std::time::Instant::now();
+        let (predictions, stats) = dana_infer::score_batch(&setup.program, setup.lanes, &batch)?;
+        let wall = start.elapsed().as_secs_f64();
+        let timing = exec::point_timing(backend, &stats, wall, &self.fpga);
+        match backend {
+            BackendKind::Cpu => exec::record_cpu_spans(rec, wall),
+            BackendKind::Fpga => rec.add_sim(exec::stage::ENGINE, timing.engine_seconds),
+        }
+        Ok(PointReport {
+            udf: udf.to_string(),
+            predictions,
+            lanes: setup.lanes,
+            backend,
+            cached: false,
             scoring: stats,
             timing,
         })
@@ -1425,6 +1550,12 @@ impl SystemCore {
                     rec,
                 )?
             })),
+            Statement::PredictPoint(p) => {
+                let backend = self.resolve_backend(stmt)?;
+                Ok(StatementOutcome::Point(
+                    self.predict_point_rec(&p.udf, &p.rows, backend, rec, ctx)?,
+                ))
+            }
             Statement::Explain(inner) => {
                 Ok(StatementOutcome::Explain(self.explain_statement(inner)?))
             }

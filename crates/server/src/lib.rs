@@ -32,7 +32,7 @@ pub mod server;
 pub mod session;
 
 pub use accel::{AcceleratorPool, GangLease, Health, Lease, PoolHealth, PoolUtilization};
-pub use admission::{AdmissionConfig, QueueStats, SchedPolicy};
+pub use admission::{AdmissionConfig, Priority, QueueStats, SchedPolicy};
 pub use core::{EngineCacheStats, QueryCtx, SystemCore, SystemCoreConfig};
 pub use error::{ServerError, ServerResult};
 pub use server::{DanaServer, QueryReply, QueryRequest, QueryResponse, ServerConfig, Ticket};

@@ -30,15 +30,15 @@ use crossbeam::channel::{self, Receiver};
 
 use dana::{
     exec, parse_statement, AnalyzeReport, BackendKind, DanaReport, DanaResult, DeployInfo,
-    DropSummary, EvalReport, ExecutionMode, MetricKind, PredictReport, QueryTrace, SpanRecorder,
-    Statement, StatementOutcome, StatsSnapshot, StrategyComparison,
+    DropSummary, EvalReport, ExecutionMode, MetricKind, PointReport, PredictReport, QueryTrace,
+    SpanRecorder, Statement, StatementOutcome, StatsSnapshot, StrategyComparison,
 };
 use dana_engine::{CancelToken, FaultPlan, RetryPolicy};
 use dana_obs::StatEntry;
 use dana_storage::HeapFile;
 
 use crate::accel::{AcceleratorPool, PoolHealth, PoolUtilization};
-use crate::admission::{AdmissionConfig, AdmissionQueue, QueueStats};
+use crate::admission::{AdmissionConfig, AdmissionQueue, Priority, QueueStats};
 use crate::core::{QueryCtx, SystemCore, SystemCoreConfig};
 use crate::error::{ServerError, ServerResult};
 use crate::session::{SessionId, SessionManager, SessionStats};
@@ -79,6 +79,13 @@ pub enum QueryRequest {
         metric: Option<MetricKind>,
         shards: Option<u16>,
     },
+    /// The **point fast path**: score inline parameter rows against
+    /// `udf`'s latest trained model — no heap scan, no buffer-pool
+    /// traffic, no materialization, and no accelerator lease when the
+    /// advisor routes it to the CPU tier. Admitted `Interactive`, so
+    /// it is never starved behind gang training jobs. The typed twin
+    /// of `PREDICT dana.<udf>(VALUES (…), …)`.
+    PredictPoint { udf: String, rows: Vec<Vec<f32>> },
 }
 
 /// What a finished query produced: training, scoring, and evaluation
@@ -96,6 +103,8 @@ pub enum QueryResponse {
     /// EXPLAIN ANALYZE: the inner statement's outcome plus its lifecycle
     /// trace (and the advisor prediction it calibrates).
     Analyzed(Box<AnalyzeReport>),
+    /// Point-form PREDICT: inline predictions, nothing materialized.
+    Point(PointReport),
     /// SHOW STATS: the server-wide metrics snapshot (core registry +
     /// admission queue + accelerator pool + sessions).
     Stats(StatsSnapshot),
@@ -112,6 +121,7 @@ impl QueryResponse {
             QueryResponse::Trained(r) => r.timing.total_seconds,
             QueryResponse::Predicted(p) => p.timing.total_seconds,
             QueryResponse::Evaluated(e) => e.timing.total_seconds,
+            QueryResponse::Point(p) => p.timing.total_seconds,
             QueryResponse::Explained(_) | QueryResponse::Stats(_) => 0.0,
             QueryResponse::Analyzed(a) => {
                 a.outcome.timing().map(|t| t.total_seconds).unwrap_or(0.0)
@@ -125,6 +135,7 @@ impl QueryResponse {
             QueryResponse::Trained(_) => "training",
             QueryResponse::Predicted(_) => "predict",
             QueryResponse::Evaluated(_) => "evaluate",
+            QueryResponse::Point(_) => "point-predict",
             QueryResponse::Explained(_) => "explain",
             QueryResponse::Analyzed(_) => "explain-analyze",
             QueryResponse::Stats(_) => "stats",
@@ -137,6 +148,7 @@ impl QueryResponse {
             QueryResponse::Trained(r) => Some(r.backend),
             QueryResponse::Predicted(p) => Some(p.backend),
             QueryResponse::Evaluated(e) => Some(e.backend),
+            QueryResponse::Point(p) => Some(p.backend),
             QueryResponse::Explained(_) | QueryResponse::Stats(_) => None,
             QueryResponse::Analyzed(a) => a.outcome.backend(),
         }
@@ -190,6 +202,14 @@ impl QueryReply {
         }
     }
 
+    /// The point-prediction report, or the typed mismatch error.
+    pub fn try_point_report(&self) -> ServerResult<&PointReport> {
+        match &self.response {
+            QueryResponse::Point(p) => Ok(p),
+            other => Err(unexpected("point-predict", other)),
+        }
+    }
+
     /// The EXPLAIN comparison, or the typed mismatch error.
     pub fn try_comparison(&self) -> ServerResult<&StrategyComparison> {
         match &self.response {
@@ -229,6 +249,11 @@ impl QueryReply {
     /// The evaluation report (panics for other reply kinds).
     pub fn eval_report(&self) -> &EvalReport {
         self.try_eval_report().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The point-prediction report (panics for other reply kinds).
+    pub fn point_report(&self) -> &PointReport {
+        self.try_point_report().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The EXPLAIN comparison (panics for other reply kinds).
@@ -395,12 +420,13 @@ impl DanaServer {
     /// (overload, unknown session, shutdown) is immediate and typed.
     pub fn submit(&self, session: SessionId, request: QueryRequest) -> ServerResult<Ticket> {
         self.sessions.record_submit(session)?;
+        let priority = priority_for(&request);
         let cost_hint = self.cost_hint(&request);
         let deadline = self.deadline_for(&request);
         let (tx, rx) = channel::bounded(1);
         let seq = self
             .queue
-            .submit(session, request, cost_hint, deadline, tx)?;
+            .submit(session, request, priority, cost_hint, deadline, tx)?;
         Ok(Ticket { seq, session, rx })
     }
 
@@ -454,6 +480,10 @@ impl DanaServer {
             | QueryRequest::Evaluate { udf, table, .. } => self
                 .core
                 .estimated_scoring_seconds(udf, table)
+                .unwrap_or(0.0),
+            QueryRequest::PredictPoint { udf, rows } => self
+                .core
+                .estimated_point_seconds(udf, rows.len() as u64)
                 .unwrap_or(0.0),
         };
         serial / gang_size(request, self.accels.size(), &self.core) as f64
@@ -531,6 +561,32 @@ impl Drop for DanaServer {
     }
 }
 
+/// The admission class one request rides in: point predictions (typed
+/// or SQL form) are `Interactive` — the dequeue prefers them over any
+/// waiting batch job, so a microsecond lookup is never starved behind
+/// a gang training job. Everything else (including unparseable SQL,
+/// which surfaces its error from the dispatch) is `Batch`.
+fn priority_for(request: &QueryRequest) -> Priority {
+    match request {
+        QueryRequest::PredictPoint { .. } => Priority::Interactive,
+        QueryRequest::Sql(sql) => match parse_statement(sql) {
+            Ok(stmt) => statement_priority(&stmt),
+            Err(_) => Priority::Batch,
+        },
+        _ => Priority::Batch,
+    }
+}
+
+/// [`priority_for`] for an already-parsed statement (`EXPLAIN ANALYZE`
+/// rides its inner statement's class — it really runs it).
+fn statement_priority(stmt: &Statement) -> Priority {
+    match stmt {
+        Statement::PredictPoint(_) => Priority::Interactive,
+        Statement::ExplainAnalyze(inner) => statement_priority(inner),
+        _ => Priority::Batch,
+    }
+}
+
 /// SJF's serial ordering key for one parsed statement. `EXPLAIN
 /// ANALYZE` prices its inner statement (it really runs); metadata-only
 /// statements run instantly and schedule first.
@@ -542,6 +598,13 @@ fn statement_cost_hint(core: &SystemCore, stmt: &Statement) -> f64 {
             .unwrap_or(0.0),
         Statement::Evaluate(e) => core
             .estimated_scoring_seconds(&e.udf, &e.table)
+            .unwrap_or(0.0),
+        // Point queries are priced by their inline row count × program
+        // length across the lanes — never the bound table's
+        // tuples × epochs, so SJF sees them for the microseconds of
+        // work they are.
+        Statement::PredictPoint(p) => core
+            .estimated_point_seconds(&p.udf, p.rows.len() as u64)
             .unwrap_or(0.0),
         Statement::ExplainAnalyze(inner) => statement_cost_hint(core, inner),
         // Metadata-only: runs instantly, schedule it first.
@@ -556,6 +619,8 @@ fn statement_shards(stmt: &Statement) -> (Option<u16>, Option<&str>) {
         Statement::Train(c) => (c.shards, Some(&c.table)),
         Statement::Predict(p) => (p.shards, Some(&p.table)),
         Statement::Evaluate(e) => (e.shards, Some(&e.table)),
+        // Point-form PREDICT has no scan: nothing to shard, no table.
+        Statement::PredictPoint(_) => (None, None),
         Statement::ExplainAnalyze(inner) => statement_shards(inner),
         Statement::Explain(_) | Statement::ShowStats(_) => (None, None),
     }
@@ -576,7 +641,7 @@ fn gang_size(request: &QueryRequest, pool: usize, core: &SystemCore) -> u16 {
         QueryRequest::RunUdf { shards, table, .. }
         | QueryRequest::Predict { shards, table, .. }
         | QueryRequest::Evaluate { shards, table, .. } => (*shards, Some(table.clone())),
-        QueryRequest::TrainSpec { .. } => (None, None),
+        QueryRequest::TrainSpec { .. } | QueryRequest::PredictPoint { .. } => (None, None),
     };
     clamp_gang(requested, table.as_deref(), pool, core)
 }
@@ -610,12 +675,26 @@ fn statement_needs_accelerator(core: &SystemCore, stmt: &Statement) -> bool {
     }
 }
 
+/// [`statement_needs_accelerator`] for ad-hoc (typed, non-SQL)
+/// requests: they run on the accelerator tier — except point
+/// predictions the advisor routes to the CPU tier, which are
+/// lease-free exactly like their SQL form.
+fn request_needs_accelerator(core: &SystemCore, request: &QueryRequest) -> bool {
+    match request {
+        QueryRequest::PredictPoint { udf, rows } => {
+            !matches!(core.point_backend(udf, rows), Ok(BackendKind::Cpu))
+        }
+        _ => true,
+    }
+}
+
 /// Maps a dispatched statement outcome to the wire-level reply variant.
 fn outcome_to_response(outcome: StatementOutcome) -> QueryResponse {
     match outcome {
         StatementOutcome::Train(o) => QueryResponse::Trained(o.report),
         StatementOutcome::Predict(p) => QueryResponse::Predicted(p),
         StatementOutcome::Evaluate(e) => QueryResponse::Evaluated(e),
+        StatementOutcome::Point(p) => QueryResponse::Point(p),
         StatementOutcome::Explain(c) => QueryResponse::Explained(c),
         StatementOutcome::Analyze(a) => QueryResponse::Analyzed(a),
         StatementOutcome::Stats(s) => QueryResponse::Stats(s),
@@ -746,6 +825,10 @@ fn record_query_metrics(
             if let QueryResponse::Trained(r) = response {
                 m.epochs_run.add(r.epochs_run as u64);
             }
+            if let QueryResponse::Point(_) = response {
+                m.point_queries.inc();
+                m.point_latency.record(wall);
+            }
         }
         Err(e) => {
             m.queries_failed.inc();
@@ -779,9 +862,9 @@ fn worker_loop(
         let parse_wall = parse_start.elapsed().as_secs_f64();
         let needs_lease = match &parsed {
             Some(Ok(stmt)) => statement_needs_accelerator(core, stmt),
-            // Parse errors surface typed from the dispatch below; ad-hoc
-            // (non-SQL) requests always run on the accelerator tier.
-            Some(Err(_)) | None => true,
+            // Parse errors surface typed from the dispatch below.
+            Some(Err(_)) => true,
+            None => request_needs_accelerator(core, &job.request),
         };
         let (shards, lease, lease_wall) = if needs_lease {
             let shards = match &parsed {
@@ -989,5 +1072,8 @@ fn dispatch_job(
         ) => core
             .evaluate(udf, table, *metric)
             .map(|e| (QueryResponse::Evaluated(e), None)),
+        (QueryRequest::PredictPoint { udf, rows }, _) => core
+            .predict_point_ctx(udf, rows, ctx)
+            .map(|p| (QueryResponse::Point(p), None)),
     }
 }
