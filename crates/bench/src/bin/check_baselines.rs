@@ -15,7 +15,7 @@
 
 use dana_bench::{common_fields_compat, read_series, series_path};
 
-const SERIES: &[&str] = &["engine", "backend", "parallel", "predict", "serve"];
+const SERIES: &[&str] = &["engine", "backend", "parallel", "predict", "serve", "scan"];
 
 fn main() {
     let tolerance: f64 = std::env::var("DANA_BASELINE_TOLERANCE")

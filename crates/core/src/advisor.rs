@@ -146,12 +146,32 @@ pub struct Workload {
     pub lane_ops_per_tuple: u64,
     /// CPU ops per thread group (post-merge, tree merge, write-back).
     pub ops_per_group: u64,
+    /// Post-filter fraction of `rows` a pushdown `WHERE` is estimated to
+    /// keep (1.0 = no predicates). Every row-proportional term on both
+    /// tiers scales by it — a selective scan feeds the engine fewer
+    /// tuples no matter where it runs.
+    pub selectivity: f64,
+    /// Fraction of the table's columns a `COLUMNS` projection feeds the
+    /// engine (1.0 = full width). Scales the CPU tier's per-tuple ops —
+    /// its lanes touch only projected values — while the FPGA schedule's
+    /// per-group cycles are fixed by the compiled design.
+    pub width_fraction: f64,
 }
 
 impl Workload {
+    /// Rows estimated to reach the engine after the pushdown filter.
+    pub fn effective_rows(&self) -> u64 {
+        (self.rows as f64 * self.selectivity.clamp(0.0, 1.0)).ceil() as u64
+    }
+
     fn groups(&self) -> u64 {
         let threads = self.threads.max(1) as u64;
-        self.rows.div_ceil(threads).max(1)
+        self.effective_rows().div_ceil(threads).max(1)
+    }
+
+    /// CPU lane-ops per tuple after projection.
+    fn cpu_ops_per_tuple(&self) -> f64 {
+        self.lane_ops_per_tuple as f64 * self.width_fraction.clamp(0.0, 1.0)
     }
 }
 
@@ -244,7 +264,7 @@ pub fn fpga_seconds(p: &HardwareProfile, w: &Workload) -> f64 {
 /// rate, no fixed offload costs.
 pub fn cpu_seconds(p: &HardwareProfile, w: &Workload) -> f64 {
     let epochs = w.epochs.max(1) as f64;
-    let per_tuple = w.rows as f64 * w.lane_ops_per_tuple as f64;
+    let per_tuple = w.effective_rows() as f64 * w.cpu_ops_per_tuple();
     let per_group = w.groups() as f64 * w.ops_per_group as f64;
     epochs * (per_tuple + per_group) / p.cpu_lane_ops_per_second
 }
@@ -259,7 +279,7 @@ pub fn break_even_rows(p: &HardwareProfile, w: &Workload) -> Option<u64> {
     let threads = w.threads.max(1) as f64;
     let epochs = w.epochs.max(1) as f64;
     // Marginal seconds per row on each tier.
-    let cpu_slope = epochs * (w.lane_ops_per_tuple as f64 + w.ops_per_group as f64 / threads)
+    let cpu_slope = epochs * (w.cpu_ops_per_tuple() + w.ops_per_group as f64 / threads)
         / p.cpu_lane_ops_per_second;
     let fpga_slope = epochs * w.cycles_per_group as f64 / threads / p.fpga_clock_hz;
     let advantage = cpu_slope - fpga_slope;
@@ -282,8 +302,9 @@ pub fn advise(
     let fpga = fpga_seconds(profile, workload);
     let cpu = cpu_seconds(profile, workload);
     let break_even = break_even_rows(profile, workload);
+    let rows = workload.effective_rows();
     let auto_choice = match break_even {
-        Some(be) if workload.rows >= be => BackendKind::Fpga,
+        Some(be) if rows >= be => BackendKind::Fpga,
         _ => BackendKind::Cpu,
     };
     let (chosen, forced) = match requested {
@@ -302,14 +323,12 @@ pub fn advise(
         format!("WITH (backend = {}) override", chosen.name())
     } else {
         match break_even {
-            Some(be) if workload.rows >= be => format!(
-                "{} rows ≥ break-even {be}: fixed offload cost amortized",
-                workload.rows
-            ),
-            Some(be) => format!(
-                "{} rows < break-even {be}: offload overhead dominates",
-                workload.rows
-            ),
+            Some(be) if rows >= be => {
+                format!("{rows} rows ≥ break-even {be}: fixed offload cost amortized")
+            }
+            Some(be) => {
+                format!("{rows} rows < break-even {be}: offload overhead dominates")
+            }
             None => "CPU marginal rate ≥ FPGA: offload never pays for this program".to_string(),
         }
     };
@@ -354,7 +373,43 @@ mod tests {
             cycles_per_group: 100,
             lane_ops_per_tuple: 10,
             ops_per_group: 8,
+            selectivity: 1.0,
+            width_fraction: 1.0,
         }
+    }
+
+    #[test]
+    fn selectivity_scales_both_tiers_and_can_flip_the_choice() {
+        let p = profile();
+        // A table comfortably past break-even offloads…
+        let full = advise(&p, &workload(100_000), BackendChoice::Auto, "E".into());
+        assert_eq!(full.chosen, dana_engine::BackendKind::Fpga);
+        // …but a 10%-selective pushdown scan of it feeds the engine only
+        // 10k rows, under break-even, so auto routes it to the CPU tier.
+        let mut filtered = workload(100_000);
+        filtered.selectivity = 0.1;
+        assert_eq!(filtered.effective_rows(), 10_000);
+        let c = advise(&p, &filtered, BackendChoice::Auto, "E".into());
+        assert_eq!(c.chosen, dana_engine::BackendKind::Cpu);
+        // Both tiers price the filtered scan cheaper than the full one.
+        assert!(cpu_seconds(&p, &filtered) < cpu_seconds(&p, &workload(100_000)));
+        assert!(fpga_seconds(&p, &filtered) < fpga_seconds(&p, &workload(100_000)));
+    }
+
+    #[test]
+    fn projection_cheapens_the_cpu_tier_only() {
+        let p = profile();
+        let mut narrow = workload(100_000);
+        narrow.width_fraction = 0.25;
+        assert!(cpu_seconds(&p, &narrow) < cpu_seconds(&p, &workload(100_000)));
+        assert_eq!(
+            fpga_seconds(&p, &narrow),
+            fpga_seconds(&p, &workload(100_000))
+        );
+        // A narrower CPU feed raises the FPGA's break-even row count.
+        let be_full = break_even_rows(&p, &workload(1)).unwrap();
+        let be_narrow = break_even_rows(&p, &narrow).unwrap();
+        assert!(be_narrow > be_full, "full={be_full} narrow={be_narrow}");
     }
 
     #[test]

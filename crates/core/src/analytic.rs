@@ -150,6 +150,8 @@ fn dana_timing_for(
             .disk
             .sequential_read_time(later_misses * p.page_size as u64),
         axi: axi.stream_time(bytes, p.page_size as u64),
+        // Paper-scale analytic workloads model raw (uncompressed) pages.
+        decompress: 0.0,
         strider: clock
             .to_seconds(strider_cycles.div_ceil(acc.budget.num_page_buffers.max(1) as u64)),
         engine: clock.to_seconds(acc.estimate.epoch_engine_cycles),

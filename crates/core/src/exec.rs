@@ -22,8 +22,11 @@ use dana_engine::{
 use dana_fpga::{AxiLink, FpgaSpec, ResourceBudget};
 use dana_infer::{ScoringProgram, ScoringRecipe, ScoringStats};
 use dana_ml::CpuModel;
-use dana_obs::SpanRecorder;
-use dana_storage::{AcceleratorEntry, DiskModel, HeapFile};
+use dana_obs::{MetricsRegistry, SpanRecorder};
+use dana_scan::{BoundScanSpec, ScanSidecar, ScanSpec};
+use dana_storage::{
+    AcceleratorEntry, DiskModel, HeapFile, PageLayoutDesc, TableEntry, TUPLE_HEADER_BYTES,
+};
 use dana_strider::{AccessEngine, AccessEngineConfig, AccessStats};
 
 use crate::advisor::{self, BackendChoice, HardwareProfile, StrategyComparison, Workload};
@@ -398,6 +401,166 @@ pub fn access_engine_for(heap: &HeapFile, budget: ResourceBudget, fpga: &FpgaSpe
     )
 }
 
+// ---- pushdown scan plumbing (shared by both facades) ---------------------
+
+/// Resolves a statement's optional `WHERE`/`COLUMNS` spec into the
+/// [`ScanState`] the page sources consume: `None` for no spec or a
+/// trivial one (plain full scans never touch the sidecar), otherwise the
+/// spec bound to the heap's schema plus the table's compressed sidecar —
+/// built on first use and cached on the catalog entry's runtime slot, so
+/// every later pushdown scan of the table shares one sidecar and a DROP
+/// discards it with the entry.
+pub fn scan_state(
+    entry: &TableEntry,
+    heap: &HeapFile,
+    spec: Option<&ScanSpec>,
+) -> DanaResult<Option<crate::source::ScanState>> {
+    let Some(spec) = spec else { return Ok(None) };
+    if spec.is_trivial() {
+        return Ok(None);
+    }
+    let bound = spec
+        .bind(heap.schema())
+        .map_err(|e| DanaError::Query(e.to_string()))?;
+    let cached = entry
+        .scan
+        .get()
+        .and_then(|a| a.downcast::<ScanSidecar>().ok());
+    let sidecar = match cached {
+        Some(s) => s,
+        None => {
+            let built: Arc<ScanSidecar> = Arc::new(ScanSidecar::build(heap)?);
+            // First write wins; re-read so concurrent builders converge on
+            // one shared sidecar.
+            entry.scan.set(built.clone());
+            entry
+                .scan
+                .get()
+                .and_then(|a| a.downcast::<ScanSidecar>().ok())
+                .unwrap_or(built)
+        }
+    };
+    Ok(Some(crate::source::ScanState {
+        sidecar,
+        spec: Arc::new(bound),
+    }))
+}
+
+/// Charges one finished pushdown scan to the `SHOW STATS ('scan')`
+/// counters. `rows_considered` is the pre-filter tuple count of the
+/// scanned range (the selectivity denominator); the post-filter rows,
+/// skipped pages, and decompressed bytes come off the scan's access
+/// stats, and the sidecar contributes the compression-ratio terms.
+pub fn record_scan_metrics(
+    metrics: &MetricsRegistry,
+    stats: &AccessStats,
+    sidecar: &ScanSidecar,
+    rows_considered: u64,
+) {
+    metrics.scan_queries.inc();
+    metrics.scan_pages_skipped.add(stats.pages_skipped);
+    metrics
+        .scan_bytes_decompressed
+        .add(stats.decompressed_bytes);
+    metrics.scan_rows_considered.add(rows_considered);
+    metrics.scan_rows_emitted.add(stats.tuples);
+    metrics.scan_raw_bytes.add(sidecar.raw_bytes());
+    metrics
+        .scan_compressed_bytes
+        .add(sidecar.compressed_bytes());
+}
+
+/// Tuples per page of the virtual *materialized filtered table* a
+/// pushdown gang plans its shard boundaries against: the page capacity a
+/// [`dana_storage::HeapFileBuilder`] would compute for the projected
+/// schema at the source heap's page size and placement direction.
+/// Post-filter tuples land densely packed in such a table, so splitting
+/// the filtered stream at multiples of this capacity reproduces the
+/// table's [`dana_parallel::ShardPlan`] boundaries exactly — which is
+/// what keeps a filtered gang bit-identical to running the same gang on
+/// the pre-materialized table.
+pub fn packed_page_capacity(heap: &HeapFile, spec: &BoundScanSpec) -> DanaResult<u64> {
+    let schema = heap.schema();
+    let data_width: usize = match &spec.projection {
+        Some(proj) => proj.iter().map(|&c| schema.columns()[c].ty.width()).sum(),
+        None => schema.tuple_data_width(),
+    };
+    let layout = PageLayoutDesc::new(
+        heap.layout().page_size,
+        0,
+        TUPLE_HEADER_BYTES + data_width,
+        TUPLE_HEADER_BYTES,
+        heap.layout().direction,
+    )?;
+    Ok(u64::from(layout.capacity))
+}
+
+/// Splits one filtered scan's measured stats into per-shard
+/// [`ShardArtifacts`] inputs, `splits[i]` tuples apiece. A filtered gang
+/// runs ONE scan of the source (post-filter rows don't align with page
+/// boundaries) and replays slices of it per member; this divides the
+/// scan's cost model the same way — tuples exactly per split, integer
+/// counters evenly with the remainder on the earliest shards, float
+/// terms evenly. One shard passes the stats through untouched, which is
+/// what keeps a `shards = 1` filtered gang bit-identical to the serial
+/// filtered query.
+pub fn split_filtered_scan_stats(
+    stats: &AccessStats,
+    io_first: Seconds,
+    splits: &[u64],
+) -> Vec<(AccessStats, Seconds)> {
+    let k = splits.len().max(1) as u64;
+    if k == 1 {
+        return vec![(*stats, io_first)];
+    }
+    let div = |v: u64, i: u64| v / k + u64::from(i < v % k);
+    splits
+        .iter()
+        .enumerate()
+        .map(|(i, &tuples)| {
+            let i = i as u64;
+            let share = AccessStats {
+                pages: div(stats.pages, i),
+                tuples,
+                bytes_transferred: div(stats.bytes_transferred, i),
+                axi_seconds: stats.axi_seconds / k as f64,
+                strider_cycles: div(stats.strider_cycles, i),
+                conversion_cycles: div(stats.conversion_cycles, i),
+                decompress_cycles: div(stats.decompress_cycles, i),
+                decompressed_bytes: div(stats.decompressed_bytes, i),
+                pages_skipped: div(stats.pages_skipped, i),
+                access_seconds: stats.access_seconds / k as f64,
+            };
+            (share, io_first / k as f64)
+        })
+        .collect()
+}
+
+/// Materializes a PREDICT's output heap, honoring an optional pushdown
+/// scan: without one every source tuple is kept (the classic path); with
+/// one, only the tuples the predicates kept and the columns the
+/// projection named survive into the prediction table — byte-for-byte
+/// what scoring a pre-materialized filtered table would build.
+pub fn materialize_predictions(
+    entry: &TableEntry,
+    heap: &HeapFile,
+    scan: Option<&ScanSpec>,
+    predictions: &[f32],
+) -> DanaResult<HeapFile> {
+    match scan_state(entry, heap, scan)? {
+        None => Ok(dana_infer::build_prediction_heap(heap, predictions)?),
+        Some(state) => {
+            let slots = dana_scan::select_slots(heap, &state.spec)?;
+            Ok(dana_infer::build_prediction_heap_selected(
+                heap,
+                &slots,
+                state.spec.projection.as_deref(),
+                predictions,
+            )?)
+        }
+    }
+}
+
 /// Everything one training run measured, handed to [`assemble_report`].
 pub struct RunArtifacts {
     pub engine_stats: EngineStats,
@@ -510,9 +673,20 @@ pub fn gang_needs_fpga() -> DanaError {
 /// the cached lowering — no data is touched. Training statements price
 /// the full epoch schedule; scoring statements (PREDICT/EVALUATE) price
 /// one forward pass per tuple on both tiers.
-pub fn statement_workload(cached: &CachedAccelerator, rows: u64, stmt: &Statement) -> Workload {
+pub fn statement_workload(
+    cached: &CachedAccelerator,
+    rows: u64,
+    columns: usize,
+    stmt: &Statement,
+) -> Workload {
     let design = cached.engine.design();
     let lowered = cached.engine.lowered();
+    let scan = statement_scan(stmt);
+    let selectivity = scan.map_or(1.0, ScanSpec::planning_selectivity);
+    let width_fraction = match scan.and_then(|s| s.projection.as_ref()) {
+        Some(proj) if columns > 0 => (proj.len() as f64 / columns as f64).clamp(0.0, 1.0),
+        _ => 1.0,
+    };
     match stmt {
         Statement::Train(_) | Statement::Explain(_) => Workload {
             rows,
@@ -523,6 +697,8 @@ pub fn statement_workload(cached: &CachedAccelerator, rows: u64, stmt: &Statemen
                 .estimated_batch_cycles(design.num_threads as usize),
             lane_ops_per_tuple: lowered.per_tuple_lane_ops(),
             ops_per_group: lowered.per_group_ops(),
+            selectivity,
+            width_fraction,
         },
         _ => {
             let per_tuple = cached
@@ -537,8 +713,24 @@ pub fn statement_workload(cached: &CachedAccelerator, rows: u64, stmt: &Statemen
                 cycles_per_group: per_tuple,
                 lane_ops_per_tuple: per_tuple,
                 ops_per_group: 0,
+                selectivity,
+                width_fraction,
             }
         }
+    }
+}
+
+/// The pushdown scan spec a statement carries, if any. The point form
+/// and the meta statements have none.
+pub fn statement_scan(stmt: &Statement) -> Option<&ScanSpec> {
+    match stmt {
+        Statement::Train(c) => c.scan.as_ref(),
+        Statement::Predict(p) => p.scan.as_ref(),
+        Statement::Evaluate(e) => e.scan.as_ref(),
+        Statement::PredictPoint(_)
+        | Statement::Explain(_)
+        | Statement::ExplainAnalyze(_)
+        | Statement::ShowStats(_) => None,
     }
 }
 
@@ -567,6 +759,7 @@ pub fn explain_statement(
     profile: &HardwareProfile,
     cached: &CachedAccelerator,
     rows: u64,
+    columns: usize,
     stmt: &Statement,
 ) -> DanaResult<StrategyComparison> {
     let (requested, shards) = statement_request(stmt)?;
@@ -575,7 +768,7 @@ pub fn explain_statement(
         (Some(k), BackendChoice::Auto) if k > 1 => BackendChoice::Fpga,
         _ => requested,
     };
-    let workload = statement_workload(cached, rows, stmt);
+    let workload = statement_workload(cached, rows, columns, stmt);
     let statement = match stmt {
         Statement::Train(c) => format!("EXECUTE {} ON {}", c.udf, c.table),
         Statement::Predict(p) => format!("PREDICT {} ON {} INTO {}", p.udf, p.table, p.into),
@@ -597,6 +790,7 @@ pub fn resolve_backend(
     profile: &HardwareProfile,
     cached: &CachedAccelerator,
     rows: u64,
+    columns: usize,
     stmt: &Statement,
 ) -> DanaResult<BackendKind> {
     let (requested, shards) = statement_request(stmt)?;
@@ -610,7 +804,7 @@ pub fn resolve_backend(
         BackendChoice::Fpga => BackendKind::Fpga,
         BackendChoice::Cpu => BackendKind::Cpu,
         BackendChoice::Auto => {
-            let workload = statement_workload(cached, rows, stmt);
+            let workload = statement_workload(cached, rows, columns, stmt);
             advisor::advise(profile, &workload, BackendChoice::Auto, String::new()).chosen
         }
     })
@@ -645,6 +839,7 @@ fn stream_costs(
         io_first,
         io_later: missing_later * disk.read_time(page_size as u64),
         axi: access_stats.axi_seconds,
+        decompress: clock.to_seconds(access_stats.decompress_cycles),
         strider: clock.to_seconds(
             access_stats
                 .strider_cycles
@@ -717,6 +912,9 @@ fn critical_access(shards: &[ShardArtifacts]) -> AccessStats {
         crit.axi_seconds = crit.axi_seconds.max(a.axi_seconds);
         crit.strider_cycles = crit.strider_cycles.max(a.strider_cycles);
         crit.conversion_cycles = crit.conversion_cycles.max(a.conversion_cycles);
+        crit.decompress_cycles = crit.decompress_cycles.max(a.decompress_cycles);
+        crit.decompressed_bytes = crit.decompressed_bytes.max(a.decompressed_bytes);
+        crit.pages_skipped = crit.pages_skipped.max(a.pages_skipped);
         crit.access_seconds = crit.access_seconds.max(a.access_seconds);
     }
     crit

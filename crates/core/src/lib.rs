@@ -61,6 +61,7 @@ pub use dana_engine::{BackendKind, CpuBackend, ExecutionBackend, FpgaBackend};
 pub use dana_infer::{MetricKind, ScoringRecipe, ScoringStats};
 pub use dana_obs::{MetricsRegistry, QueryTrace, SpanRecorder, StatsSnapshot, TraceSpan};
 pub use dana_parallel::{ParallelError, ShardPlan, ShardRange};
+pub use dana_scan::{CmpOp, Predicate, ScanSpec};
 pub use error::{DanaError, DanaResult};
 pub use exec::{ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtifacts, TrainedModels};
 pub use pipeline::{Dana, DeployInfo, DropSummary};
@@ -72,7 +73,7 @@ pub use report::{
     StatementOutcome,
 };
 pub use runtime::ExecutionMode;
-pub use source::{FeedKind, PageStreamSource, SharedPageStreamSource};
+pub use source::{FeedKind, PageStreamSource, ScanState, SharedPageStreamSource};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {

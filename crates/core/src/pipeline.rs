@@ -20,7 +20,11 @@ use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_infer::MetricKind;
 use dana_ml::CpuModel;
-use dana_parallel::{evaluate_gang, score_gang_concat, train_gang, ReplaySource, ShardPlan};
+use dana_parallel::{
+    evaluate_gang, packed_tuple_splits, score_gang_concat, split_replay_sources, train_gang,
+    ReplaySource, ShardPlan,
+};
+use dana_scan::ScanSpec;
 use dana_storage::{
     AcceleratorEntry, BufferPool, BufferPoolConfig, Catalog, DiskModel, HeapFile, HeapId, PageId,
     Tuple,
@@ -38,7 +42,7 @@ use crate::report::{
     Seconds, StatementOutcome,
 };
 use crate::runtime::ExecutionMode;
-use crate::source::{FeedKind, PageStreamSource};
+use crate::source::{FeedKind, PageStreamSource, ScanState};
 
 pub use crate::exec::CPU_FEED_HANDSHAKE_S;
 
@@ -173,6 +177,20 @@ impl Dana {
             "resident_pages",
             self.pool.resident_pages() as f64,
         ));
+        entries.push(StatEntry::new(
+            "buffer",
+            "resident_bytes",
+            self.pool.resident_bytes() as f64,
+        ));
+        let mut per_heap = self.pool.per_heap_frames();
+        per_heap.sort_unstable();
+        for (heap_id, frames) in per_heap {
+            entries.push(StatEntry::new(
+                "buffer",
+                format!("heap_{heap_id}_frames"),
+                frames as f64,
+            ));
+        }
         let snap = StatsSnapshot::new(entries);
         match subsystem {
             Some(s) => snap.filtered(s),
@@ -200,12 +218,16 @@ impl Dana {
         // Evict before touching the catalog so a pinned-page refusal
         // leaves the table fully intact.
         let heap_id = self.catalog.table(name)?.heap_id;
-        let pages_evicted = self.pool.evict_heap(heap_id)?;
+        let mut pages_evicted = self.pool.evict_heap(heap_id)?;
+        // Compressed sidecar frames live under the heap's shadow id; a
+        // drop must leave neither raw nor compressed pages resident.
+        pages_evicted += self.pool.evict_heap(heap_id.shadow())?;
         self.catalog.drop_table(name)?;
         let invalidated_udfs = self.catalog.invalidate_accelerators_for(name);
         let mut stale_prediction_tables = Vec::new();
         for (table, derived_heap) in self.catalog.invalidate_derived_for(name) {
             self.pool.evict_heap(derived_heap)?;
+            self.pool.evict_heap(derived_heap.shadow())?;
             stale_prediction_tables.push(table);
         }
         self.metrics
@@ -359,10 +381,29 @@ impl Dana {
             }
             Statement::Predict(p) => {
                 let backend = self.resolve_backend_for(stmt)?;
+                let scan = p.scan.as_ref();
                 Ok(StatementOutcome::Predict(match (p.shards, backend) {
-                    (Some(k), _) if k > 1 => self.predict_sharded(&p.udf, &p.table, &p.into, k)?,
-                    (_, BackendKind::Cpu) => self.predict_cpu(&p.udf, &p.table, &p.into)?,
-                    _ => self.predict(&p.udf, &p.table, &p.into)?,
+                    (Some(k), _) if k > 1 => {
+                        self.predict_sharded_scan(&p.udf, &p.table, &p.into, k, scan)?
+                    }
+                    (_, BackendKind::Cpu) => self.predict_full(
+                        &p.udf,
+                        &p.table,
+                        &p.into,
+                        ExecutionMode::Strider,
+                        None,
+                        BackendKind::Cpu,
+                        scan,
+                    )?,
+                    _ => self.predict_full(
+                        &p.udf,
+                        &p.table,
+                        &p.into,
+                        ExecutionMode::Strider,
+                        None,
+                        BackendKind::Fpga,
+                        scan,
+                    )?,
                 }))
             }
             Statement::PredictPoint(p) => {
@@ -373,12 +414,29 @@ impl Dana {
             }
             Statement::Evaluate(e) => {
                 let backend = self.resolve_backend_for(stmt)?;
+                let scan = e.scan.as_ref();
                 Ok(StatementOutcome::Evaluate(match (e.shards, backend) {
                     (Some(k), _) if k > 1 => {
-                        self.evaluate_sharded(&e.udf, &e.table, e.metric, k)?
+                        self.evaluate_sharded_scan(&e.udf, &e.table, e.metric, k, scan)?
                     }
-                    (_, BackendKind::Cpu) => self.evaluate_cpu(&e.udf, &e.table, e.metric)?,
-                    _ => self.evaluate(&e.udf, &e.table, e.metric)?,
+                    (_, BackendKind::Cpu) => self.evaluate_full(
+                        &e.udf,
+                        &e.table,
+                        e.metric,
+                        ExecutionMode::Strider,
+                        None,
+                        BackendKind::Cpu,
+                        scan,
+                    )?,
+                    _ => self.evaluate_full(
+                        &e.udf,
+                        &e.table,
+                        e.metric,
+                        ExecutionMode::Strider,
+                        None,
+                        BackendKind::Fpga,
+                        scan,
+                    )?,
                 }))
             }
             Statement::Explain(inner) => Ok(StatementOutcome::Explain(self.explain(inner)?)),
@@ -438,11 +496,16 @@ impl Dana {
     /// queries bypass the cycle model entirely.
     fn run_train_call(&mut self, call: &QueryCall) -> DanaResult<DanaReport> {
         let backend = self.resolve_backend_for(&Statement::Train(call.clone()))?;
+        let scan = call.scan.as_ref();
         match (call.shards, backend) {
-            (Some(k), _) if k > 1 => self.run_udf_sharded(&call.udf, &call.table, k),
-            (Some(k), BackendKind::Fpga) => self.run_udf_sharded(&call.udf, &call.table, k),
-            (_, BackendKind::Cpu) => self.run_udf_cpu(&call.udf, &call.table),
-            (None, BackendKind::Fpga) => self.run_udf(&call.udf, &call.table),
+            (Some(k), _) if k > 1 => {
+                self.train_sharded_scan(&call.udf, &call.table, ExecutionMode::Strider, k, scan)
+            }
+            (Some(k), BackendKind::Fpga) => {
+                self.train_sharded_scan(&call.udf, &call.table, ExecutionMode::Strider, k, scan)
+            }
+            (_, BackendKind::Cpu) => self.run_udf_cpu_scan(&call.udf, &call.table, scan),
+            (None, BackendKind::Fpga) => self.run_udf_scan(&call.udf, &call.table, scan),
         }
     }
 
@@ -452,8 +515,8 @@ impl Dana {
     /// the `EXPLAIN` entry point. Pass the *inner* statement (the parser
     /// already rejects nested EXPLAIN).
     pub fn explain(&mut self, stmt: &Statement) -> DanaResult<StrategyComparison> {
-        let (cached, rows) = self.advisor_inputs(stmt)?;
-        exec::explain_statement(&self.profile, &cached, rows, stmt)
+        let (cached, rows, columns) = self.advisor_inputs(stmt)?;
+        exec::explain_statement(&self.profile, &cached, rows, columns, stmt)
     }
 
     /// Parses and explains one statement (`EXPLAIN`'s string front door).
@@ -466,12 +529,12 @@ impl Dana {
     }
 
     /// The advisor's inputs for a statement: the cached accelerator
-    /// runtime (stale-checked) and the catalog's tuple count — no data is
-    /// touched.
+    /// runtime (stale-checked), the catalog's tuple count, and the table's
+    /// column count (0 for the point form) — no data is touched.
     fn advisor_inputs(
         &self,
         stmt: &Statement,
-    ) -> DanaResult<(std::sync::Arc<exec::CachedAccelerator>, u64)> {
+    ) -> DanaResult<(std::sync::Arc<exec::CachedAccelerator>, u64, usize)> {
         let (udf, table) = match stmt {
             Statement::Train(c) => (&c.udf, Some(&c.table)),
             Statement::Predict(p) => (&p.udf, Some(&p.table)),
@@ -495,12 +558,16 @@ impl Dana {
             });
         }
         let (cached, _built) = exec::cached_accelerator(entry)?;
-        let rows = match (table, stmt) {
-            (Some(table), _) => self.catalog.live_table(table)?.tuple_count,
-            (None, Statement::PredictPoint(p)) => p.rows.len() as u64,
+        let (rows, columns) = match (table, stmt) {
+            (Some(table), _) => {
+                let t = self.catalog.live_table(table)?;
+                let columns = self.catalog.heap(t.heap_id)?.schema().len();
+                (t.tuple_count, columns)
+            }
+            (None, Statement::PredictPoint(p)) => (p.rows.len() as u64, 0),
             (None, _) => unreachable!("only the point form has no table"),
         };
-        Ok((cached, rows))
+        Ok((cached, rows, columns))
     }
 
     /// Resolves the substrate one statement runs on: a `WITH (backend=…)`
@@ -533,8 +600,8 @@ impl Dana {
             BackendChoice::Fpga => Ok(BackendKind::Fpga),
             BackendChoice::Cpu => Ok(BackendKind::Cpu),
             BackendChoice::Auto => {
-                let (cached, rows) = self.advisor_inputs(stmt)?;
-                exec::resolve_backend(&self.profile, &cached, rows, stmt)
+                let (cached, rows, columns) = self.advisor_inputs(stmt)?;
+                exec::resolve_backend(&self.profile, &cached, rows, columns, stmt)
             }
         }
     }
@@ -547,6 +614,18 @@ impl Dana {
     /// back on the catalog entry (last training wins), making it
     /// available to PREDICT/EVALUATE.
     pub fn run_udf(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        self.run_udf_scan(udf, table, None)
+    }
+
+    /// [`Dana::run_udf`] with an optional pushdown scan spec (the SQL
+    /// front door's `WHERE` / `COLUMNS` clauses): training sees only the
+    /// filtered, projected tuple stream.
+    fn run_udf_scan(
+        &mut self,
+        udf: &str,
+        table: &str,
+        scan: Option<&ScanSpec>,
+    ) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
         if entry.stale {
             // The accelerator's Strider program walks a page layout whose
@@ -562,7 +641,7 @@ impl Dana {
         // decode back into a program.
         let decoded = dana_strider::isa::decode_program(&entry.strider_program)?;
         debug_assert!(!decoded.is_empty());
-        let report = self.run_with_engine(&cached, table, ExecutionMode::Strider)?;
+        let report = self.run_with_engine(&cached, table, ExecutionMode::Strider, scan)?;
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
     }
@@ -574,6 +653,16 @@ impl Dana {
     /// bit-identical to [`Dana::run_udf`]; the report's timing is
     /// wall-clock only and no accelerator resources are charged.
     pub fn run_udf_cpu(&mut self, udf: &str, table: &str) -> DanaResult<DanaReport> {
+        self.run_udf_cpu_scan(udf, table, None)
+    }
+
+    /// [`Dana::run_udf_cpu`] with an optional pushdown scan spec.
+    fn run_udf_cpu_scan(
+        &mut self,
+        udf: &str,
+        table: &str,
+        scan: Option<&ScanSpec>,
+    ) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
         if entry.stale {
             return Err(DanaError::StaleAccelerator {
@@ -587,12 +676,19 @@ impl Dana {
         let heap_id = table_entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let access = exec::access_engine_for(heap, cached.budget, &self.fpga);
+        let state = exec::scan_state(table_entry, heap, scan)?;
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let feed = FeedKind::for_mode(ExecutionMode::Strider);
-        let mut source =
-            PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let base = PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let mut source = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let run = cached.cpu.run_training(&mut source, &mut store)?;
         let access_stats = source.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         let report = exec::assemble_cpu_report(design, run, access_stats, store, &self.rec);
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
@@ -630,6 +726,21 @@ impl Dana {
         mode: ExecutionMode,
         shards: u16,
     ) -> DanaResult<DanaReport> {
+        self.train_sharded_scan(udf, table, mode, shards, None)
+    }
+
+    /// [`Dana::train_sharded_with`] with an optional pushdown scan spec:
+    /// the filtered stream is extracted once and the surviving tuples are
+    /// re-split at packed page boundaries, so the gang's merge schedule is
+    /// identical to training on a pre-materialized filtered table.
+    fn train_sharded_scan(
+        &mut self,
+        udf: &str,
+        table: &str,
+        mode: ExecutionMode,
+        shards: u16,
+        scan: Option<&ScanSpec>,
+    ) -> DanaResult<DanaReport> {
         let entry = self.catalog.accelerator(udf)?;
         if entry.stale {
             return Err(DanaError::StaleAccelerator {
@@ -638,7 +749,7 @@ impl Dana {
             });
         }
         let (cached, _built) = exec::cached_accelerator(entry)?;
-        let report = self.run_gang_with_engine(&cached, table, mode, shards)?;
+        let report = self.run_gang_with_engine(&cached, table, mode, shards, scan)?;
         exec::store_trained(self.catalog.accelerator(udf)?, &report);
         Ok(report)
     }
@@ -664,6 +775,7 @@ impl Dana {
             table,
             mode,
             shards,
+            None,
         )
     }
 
@@ -673,6 +785,7 @@ impl Dana {
         table: &str,
         mode: ExecutionMode,
         shards: u16,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -681,7 +794,7 @@ impl Dana {
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let access = exec::access_engine_for(heap, budget, &self.fpga);
-        let plan = ShardPlan::new(heap, shards as usize);
+        let state = exec::scan_state(entry, heap, scan)?;
         let (mut sources, scans) = shard_replay_sources(
             &mut self.pool,
             &self.disk,
@@ -689,7 +802,9 @@ impl Dana {
             heap_id,
             &access,
             FeedKind::for_mode(mode),
-            &plan,
+            shards as usize,
+            state.as_ref(),
+            &self.metrics,
         )?;
         let init = exec::initial_models(design);
         let outcome = train_gang(engine, &mut sources, init)?;
@@ -730,6 +845,20 @@ impl Dana {
         dest: &str,
         shards: u16,
     ) -> DanaResult<PredictReport> {
+        self.predict_sharded_scan(udf, source, dest, shards, None)
+    }
+
+    /// [`Dana::predict_sharded`] with an optional pushdown scan spec:
+    /// shards score the filtered stream and the materialized table keeps
+    /// only surviving tuples and projected columns.
+    fn predict_sharded_scan(
+        &mut self,
+        udf: &str,
+        source: &str,
+        dest: &str,
+        shards: u16,
+        scan: Option<&ScanSpec>,
+    ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         if self.catalog.table(dest).is_ok() {
             return Err(DanaError::Storage(
@@ -737,14 +866,13 @@ impl Dana {
             ));
         }
         let (predictions, timing, stats, k) =
-            self.sharded_scoring_scan(&setup, source, shards, |program, lanes, sources| {
+            self.sharded_scoring_scan(&setup, source, shards, scan, |program, lanes, sources| {
                 Ok(score_gang_concat(program, lanes, sources)?)
             })?;
-        let heap = self
-            .catalog
-            .heap(self.catalog.live_table(source)?.heap_id)?;
+        let entry = self.catalog.live_table(source)?;
+        let heap = self.catalog.heap(entry.heap_id)?;
         let mat_start = std::time::Instant::now();
-        let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
+        let out_heap = exec::materialize_predictions(entry, heap, scan, &predictions)?;
         self.catalog.create_derived_table(dest, out_heap, source)?;
         self.rec
             .add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
@@ -771,11 +899,23 @@ impl Dana {
         metric: Option<MetricKind>,
         shards: u16,
     ) -> DanaResult<EvalReport> {
+        self.evaluate_sharded_scan(udf, table, metric, shards, None)
+    }
+
+    /// [`Dana::evaluate_sharded`] with an optional pushdown scan spec.
+    fn evaluate_sharded_scan(
+        &mut self,
+        udf: &str,
+        table: &str,
+        metric: Option<MetricKind>,
+        shards: u16,
+        scan: Option<&ScanSpec>,
+    ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (value, timing, stats, k) =
-            self.sharded_scoring_scan(&setup, table, shards, |program, lanes, sources| {
+            self.sharded_scoring_scan(&setup, table, shards, scan, |program, lanes, sources| {
                 let evals = evaluate_gang(program, lanes, sources, metric)?;
                 let mut partial = dana_infer::MetricPartial::default();
                 for e in &evals {
@@ -802,7 +942,7 @@ impl Dana {
     pub fn score_sharded(&mut self, udf: &str, table: &str, shards: u16) -> DanaResult<Vec<f32>> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let (predictions, _, _, _) =
-            self.sharded_scoring_scan(&setup, table, shards, |program, lanes, sources| {
+            self.sharded_scoring_scan(&setup, table, shards, None, |program, lanes, sources| {
                 Ok(score_gang_concat(program, lanes, sources)?)
             })?;
         Ok(predictions)
@@ -817,7 +957,8 @@ impl Dana {
         setup: &exec::ScoringSetup,
         table: &str,
         shards: u16,
-        scan: impl FnOnce(
+        scan: Option<&ScanSpec>,
+        run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
             &mut [ReplaySource],
@@ -828,7 +969,7 @@ impl Dana {
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
-        let plan = ShardPlan::new(heap, shards as usize);
+        let state = exec::scan_state(entry, heap, scan)?;
         let (mut sources, scans) = shard_replay_sources(
             &mut self.pool,
             &self.disk,
@@ -836,9 +977,12 @@ impl Dana {
             heap_id,
             &access,
             FeedKind::for_mode(mode),
-            &plan,
+            shards as usize,
+            state.as_ref(),
+            &self.metrics,
         )?;
-        let (result, stats) = scan(&setup.program, setup.lanes, &mut sources)?;
+        let shard_count = sources.len() as u16;
+        let (result, stats) = run(&setup.program, setup.lanes, &mut sources)?;
         let arts: Vec<ShardArtifacts> = scans
             .into_iter()
             .map(|(access_stats, io_first)| ShardArtifacts {
@@ -859,7 +1003,7 @@ impl Dana {
             &stats,
             &self.rec,
         );
-        Ok((result, timing, combined, plan.shards() as u16))
+        Ok((result, timing, combined, shard_count))
     }
 
     // ---- the inference tier --------------------------------------------
@@ -884,7 +1028,7 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<PredictReport> {
-        self.predict_full(udf, source, dest, mode, lanes, BackendKind::Fpga)
+        self.predict_full(udf, source, dest, mode, lanes, BackendKind::Fpga, None)
     }
 
     /// `PREDICT … WITH (backend = cpu)`: the identical scoring scan with
@@ -903,6 +1047,7 @@ impl Dana {
             ExecutionMode::Strider,
             None,
             BackendKind::Cpu,
+            None,
         )
     }
 
@@ -938,6 +1083,7 @@ impl Dana {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn predict_full(
         &mut self,
         udf: &str,
@@ -946,6 +1092,7 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
         backend: BackendKind,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         // Refuse an existing destination before scanning anything.
@@ -955,16 +1102,15 @@ impl Dana {
             ));
         }
         let (predictions, stats, timing) =
-            self.scoring_scan(&setup, source, mode, backend, |p, l, stream| {
+            self.scoring_scan(&setup, source, mode, backend, scan, |p, l, stream| {
                 let mut out = Vec::new();
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
             })?;
-        let heap = self
-            .catalog
-            .heap(self.catalog.live_table(source)?.heap_id)?;
+        let entry = self.catalog.live_table(source)?;
+        let heap = self.catalog.heap(entry.heap_id)?;
         let mat_start = std::time::Instant::now();
-        let out_heap = dana_infer::build_prediction_heap(heap, &predictions)?;
+        let out_heap = exec::materialize_predictions(entry, heap, scan, &predictions)?;
         self.catalog.create_derived_table(dest, out_heap, source)?;
         self.rec
             .add_wall(exec::stage::MATERIALIZE, mat_start.elapsed().as_secs_f64());
@@ -1003,7 +1149,7 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
     ) -> DanaResult<EvalReport> {
-        self.evaluate_full(udf, table, metric, mode, lanes, BackendKind::Fpga)
+        self.evaluate_full(udf, table, metric, mode, lanes, BackendKind::Fpga, None)
     }
 
     /// `EVALUATE … WITH (backend = cpu)`: the identical metric fold with
@@ -1021,9 +1167,11 @@ impl Dana {
             ExecutionMode::Strider,
             None,
             BackendKind::Cpu,
+            None,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_full(
         &mut self,
         udf: &str,
@@ -1032,12 +1180,13 @@ impl Dana {
         mode: ExecutionMode,
         lanes: Option<u16>,
         backend: BackendKind,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (value, stats, timing) =
-            self.scoring_scan(&setup, table, mode, backend, |p, l, stream| {
+            self.scoring_scan(&setup, table, mode, backend, scan, |p, l, stream| {
                 dana_infer::evaluate_source(p, l, stream, metric)
             })?;
         Ok(EvalReport {
@@ -1064,12 +1213,18 @@ impl Dana {
         lanes: Option<u16>,
     ) -> DanaResult<Vec<f32>> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
-        let (predictions, _, _) =
-            self.scoring_scan(&setup, table, mode, BackendKind::Fpga, |p, l, stream| {
+        let (predictions, _, _) = self.scoring_scan(
+            &setup,
+            table,
+            mode,
+            BackendKind::Fpga,
+            None,
+            |p, l, stream| {
                 let mut out = Vec::new();
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
-            })?;
+            },
+        )?;
         Ok(predictions)
     }
 
@@ -1106,6 +1261,7 @@ impl Dana {
         table: &str,
         mode: ExecutionMode,
         backend: BackendKind,
+        scan: Option<&ScanSpec>,
         run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -1116,14 +1272,21 @@ impl Dana {
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
         let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let state = exec::scan_state(entry, heap, scan)?;
         let io_before = self.pool.stats().io_seconds;
         let feed = FeedKind::for_mode(mode);
-        let mut stream =
-            PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let base = PageStreamSource::new(&mut self.pool, &self.disk, heap, heap_id, &access, feed);
+        let mut stream = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let start = std::time::Instant::now();
         let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
         let wall = start.elapsed().as_secs_f64();
         let access_stats = stream.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         let io_first = self.pool.stats().io_seconds - io_before;
         let timing = match backend {
             BackendKind::Cpu => {
@@ -1166,6 +1329,7 @@ impl Dana {
             &exec::CachedAccelerator::from_compiled(&acc, None),
             table,
             mode,
+            None,
         )
     }
 
@@ -1195,6 +1359,7 @@ impl Dana {
         acc: &exec::CachedAccelerator,
         table: &str,
         mode: ExecutionMode,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
@@ -1202,8 +1367,9 @@ impl Dana {
         let entry = self.catalog.live_table(table)?;
         let heap_id = entry.heap_id;
         let heap = self.catalog.heap(heap_id)?;
-        let pool = &mut self.pool;
         let access = exec::access_engine_for(heap, budget, &self.fpga);
+        let state = exec::scan_state(entry, heap, scan)?;
+        let pool = &mut self.pool;
 
         // ---- compute path, fed by the streaming data path ---------------
         // The shared, deploy-time-built engine pulls flat batches
@@ -1213,9 +1379,16 @@ impl Dana {
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let io_before = pool.stats().io_seconds;
         let feed = FeedKind::for_mode(mode);
-        let mut source = PageStreamSource::new(pool, &self.disk, heap, heap_id, &access, feed);
+        let base = PageStreamSource::new(pool, &self.disk, heap, heap_id, &access, feed);
+        let mut source = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let (stats, epoch_cycles) = engine.run_training_logged(&mut source, &mut store)?;
         let access_stats = source.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         let io_first = pool.stats().io_seconds - io_before;
 
         // ---- timing composition (shared with the serving tier) -----------
@@ -1295,6 +1468,13 @@ type ShardScan = (AccessStats, Seconds);
 /// (identical fetch → extract sequence and per-page batch boundaries to a
 /// streaming first scan, with its disk seconds metered per shard) and
 /// wraps the batches as replaying gang sources.
+///
+/// With a pushdown scan attached the whole table is streamed **once**
+/// through the filter, and the surviving tuples are re-split at the page
+/// boundaries a pre-materialized filtered table would have — so shard
+/// contents (and therefore the gang's merged models) are bit-identical to
+/// sharding that table, and the shard count never exceeds its page count.
+#[allow(clippy::too_many_arguments)]
 fn shard_replay_sources(
     pool: &mut BufferPool,
     disk: &DiskModel,
@@ -1302,30 +1482,49 @@ fn shard_replay_sources(
     heap_id: HeapId,
     access: &AccessEngine,
     feed: FeedKind,
-    plan: &ShardPlan,
+    requested: usize,
+    scan: Option<&ScanState>,
+    metrics: &MetricsRegistry,
 ) -> DanaResult<(Vec<ReplaySource>, Vec<ShardScan>)> {
-    let width = heap.schema().len();
-    let mut sources = Vec::with_capacity(plan.shards());
-    let mut scans = Vec::with_capacity(plan.shards());
-    for r in plan.ranges() {
-        let io_before = pool.stats().io_seconds;
-        let src = PageStreamSource::with_range(
-            pool,
-            disk,
-            heap,
-            heap_id,
-            access,
-            feed,
-            r.start_page,
-            r.end_page,
-        );
-        let (batches, stats) = src
-            .into_cache()
-            .map_err(|e| DanaError::Engine(EngineError::from(e)))?;
-        let io_first = pool.stats().io_seconds - io_before;
-        sources.push(ReplaySource::new(width, batches));
-        scans.push((stats, io_first));
-    }
+    let Some(state) = scan else {
+        let plan = ShardPlan::new(heap, requested);
+        let width = heap.schema().len();
+        let mut sources = Vec::with_capacity(plan.shards());
+        let mut scans = Vec::with_capacity(plan.shards());
+        for r in plan.ranges() {
+            let io_before = pool.stats().io_seconds;
+            let src = PageStreamSource::with_range(
+                pool,
+                disk,
+                heap,
+                heap_id,
+                access,
+                feed,
+                r.start_page,
+                r.end_page,
+            );
+            let (batches, stats) = src
+                .into_cache()
+                .map_err(|e| DanaError::Engine(EngineError::from(e)))?;
+            let io_first = pool.stats().io_seconds - io_before;
+            sources.push(ReplaySource::new(width, batches));
+            scans.push((stats, io_first));
+        }
+        return Ok((sources, scans));
+    };
+    let io_before = pool.stats().io_seconds;
+    let src =
+        PageStreamSource::new(pool, disk, heap, heap_id, access, feed).with_scan(state.clone());
+    let (batches, stats) = src
+        .into_cache()
+        .map_err(|e| DanaError::Engine(EngineError::from(e)))?;
+    let io_first = pool.stats().io_seconds - io_before;
+    exec::record_scan_metrics(metrics, &stats, &state.sidecar, heap.tuple_count());
+    let capacity = exec::packed_page_capacity(heap, &state.spec)?;
+    let splits = packed_tuple_splits(stats.tuples, capacity, requested);
+    let width = state.spec.output_width(heap.schema().len());
+    let sources = split_replay_sources(width, &batches, &splits);
+    let scans = exec::split_filtered_scan_stats(&stats, io_first, &splits);
     Ok((sources, scans))
 }
 

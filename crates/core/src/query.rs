@@ -8,14 +8,22 @@
 //! * `EVALUATE dana.<udf>('<table>'[, '<metric>']);` — score and fold an
 //!   in-database quality metric, exporting nothing.
 //!
-//! Every form takes an optional trailing **`WITH (...)`** option clause
-//! with comma-separated options:
+//! Every table-scanning form takes up to three optional trailing clauses,
+//! **in any order**, each at most once:
 //!
-//! * `shards = k` — the query runs intra-query data-parallel on a gang of
-//!   `k` accelerator instances (page-range shards, epoch-boundary model
-//!   merging; parallel PREDICT stays bit-identical to serial for every `k`);
-//! * `backend = cpu|fpga|auto` — pins the execution substrate, or leaves
-//!   the choice to the cost-based backend advisor (`auto`, the default).
+//! * **`WHERE <col> <op> <number> [AND …]`** — pushdown predicate: rows
+//!   are filtered page-at-a-time *before* tuple extraction, and zone maps
+//!   skip pages no row of which can match;
+//! * **`COLUMNS (c1, c2, …)`** — pushdown projection: only the named
+//!   columns reach the engine;
+//! * **`WITH (...)`** — comma-separated options:
+//!   * `shards = k` — the query runs intra-query data-parallel on a gang
+//!     of `k` accelerator instances (page-range shards, epoch-boundary
+//!     model merging; parallel PREDICT stays bit-identical to serial for
+//!     every `k`);
+//!   * `backend = cpu|fpga|auto` — pins the execution substrate, or
+//!     leaves the choice to the cost-based backend advisor (`auto`, the
+//!     default).
 //!
 //! Prefixing any statement with **`EXPLAIN`** parses the inner statement
 //! and asks the advisor for its per-backend [`crate::StrategyComparison`]
@@ -27,6 +35,7 @@
 //! keywords, optional schema prefix, single- or double-quoted names).
 
 use dana_infer::MetricKind;
+use dana_scan::{CmpOp, Predicate, ScanSpec};
 
 use crate::advisor::BackendChoice;
 use crate::error::{DanaError, DanaResult};
@@ -42,10 +51,13 @@ struct WithOptions {
 }
 
 /// A parsed accelerated-UDF training invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryCall {
     pub udf: String,
     pub table: String,
+    /// `WHERE`/`COLUMNS` pushdown spec compiled at parse time (`None` = a
+    /// plain full-table scan).
+    pub scan: Option<ScanSpec>,
     /// `WITH (shards = k)`: gang size for intra-query parallelism
     /// (`None` = serial).
     pub shards: Option<u16>,
@@ -63,13 +75,16 @@ pub struct QueryCall {
 }
 
 /// A parsed `PREDICT … INTO …` statement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictCall {
     pub udf: String,
     /// The table whose rows are scored.
     pub table: String,
     /// The materialized prediction table to create.
     pub into: String,
+    /// `WHERE`/`COLUMNS` pushdown spec compiled at parse time (`None` = a
+    /// plain full-table scan).
+    pub scan: Option<ScanSpec>,
     /// `WITH (shards = k)`: gang size for intra-query parallelism.
     pub shards: Option<u16>,
     /// `WITH (backend = ...)`: the requested execution substrate.
@@ -114,6 +129,9 @@ pub struct EvaluateCall {
     pub table: String,
     /// Explicit metric, or `None` for the analytic's default.
     pub metric: Option<MetricKind>,
+    /// `WHERE`/`COLUMNS` pushdown spec compiled at parse time (`None` = a
+    /// plain full-table scan).
+    pub scan: Option<ScanSpec>,
     /// `WITH (shards = k)`: gang size for intra-query parallelism.
     pub shards: Option<u16>,
     /// `WITH (backend = ...)`: the requested execution substrate.
@@ -228,13 +246,13 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
     if lower_head.starts_with("show") {
         return parse_show_stats(s);
     }
-    let (s, opts) = split_with_clause(s)?;
+    let (s, scan, opts) = split_tail_clauses(s)?;
     let lower = s.to_ascii_lowercase();
     if lower.starts_with("predict") {
-        return parse_predict(s, &lower, opts);
+        return parse_predict(s, &lower, scan, opts);
     }
     if lower.starts_with("evaluate") {
-        return parse_evaluate(s, &lower, opts).map(Statement::Evaluate);
+        return parse_evaluate(s, &lower, scan, opts).map(Statement::Evaluate);
     }
     if let Some(rest) = lower.strip_prefix("execute") {
         // `EXECUTE dana.<udf>('<table>')` — the paper's verb for running
@@ -248,6 +266,7 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
         return Ok(Statement::Train(QueryCall {
             udf,
             table,
+            scan,
             shards: opts.shards,
             backend: opts.backend,
             trace: opts.trace,
@@ -255,18 +274,18 @@ pub fn parse_statement(sql: &str) -> DanaResult<Statement> {
             retries: opts.retries,
         }));
     }
-    parse_select(s, opts).map(Statement::Train)
+    parse_select(s, scan, opts).map(Statement::Train)
 }
 
-/// Parses `SELECT * FROM dana.linearR('training_data_table');` (with an
-/// optional trailing `WITH (...)` option clause).
+/// Parses `SELECT * FROM dana.linearR('training_data_table');` (with the
+/// optional trailing `WHERE`/`COLUMNS`/`WITH` clauses).
 pub fn parse_query(sql: &str) -> DanaResult<QueryCall> {
     let s = sql.trim().trim_end_matches(';').trim();
-    let (s, opts) = split_with_clause(s)?;
-    parse_select(s, opts)
+    let (s, scan, opts) = split_tail_clauses(s)?;
+    parse_select(s, scan, opts)
 }
 
-fn parse_select(s: &str, opts: WithOptions) -> DanaResult<QueryCall> {
+fn parse_select(s: &str, scan: Option<ScanSpec>, opts: WithOptions) -> DanaResult<QueryCall> {
     let lower = s.to_ascii_lowercase();
     let rest = lower
         .strip_prefix("select")
@@ -287,6 +306,7 @@ fn parse_select(s: &str, opts: WithOptions) -> DanaResult<QueryCall> {
     Ok(QueryCall {
         udf,
         table,
+        scan,
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
@@ -327,37 +347,213 @@ fn parse_show_stats(s: &str) -> DanaResult<Statement> {
     }
     if !dana_obs::known_subsystem(&name) {
         return Err(err(&format!(
-            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, engine, faults, or serving)"
+            "unknown stats subsystem '{name}' (expected admission, pool, buffer, sessions, engine, faults, serving, or scan)"
         )));
     }
     Ok(Statement::ShowStats(Some(name)))
 }
 
-/// Splits an optional trailing `WITH (opt = v[, opt = v])` clause off a
-/// statement (keywords case-insensitive, whitespace free-form). Accepted
-/// options: `shards = <n>` and `backend = cpu|fpga|auto`. A `WITH`
-/// followed by a parenthesized group that is *not* a well-formed option
-/// list is a typed error, not silently ignored.
-fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
+/// Byte offset of the first top-level (outside quotes) trailing-clause
+/// keyword — `where`, `columns`, or `with` — in `s`, or `None`. A keyword
+/// counts only at a word boundary (after whitespace or `)`) and with its
+/// clause shape behind it: `WHERE` needs a following space, `COLUMNS` and
+/// `WITH` must lead a parenthesized group. Anything else — a table named
+/// "with…", the word inside a quoted string (quotes are NOT boundaries, so
+/// a quoted name like 'with (x = 1)' passes through intact) — is left for
+/// the statement parsers to judge.
+fn find_clause_start(s: &str) -> Option<usize> {
     let lower = s.to_ascii_lowercase();
-    let Some(pos) = lower.rfind("with") else {
-        return Ok((s, WithOptions::default()));
-    };
-    // The keyword must follow whitespace or a closing paren and be
-    // followed by a parenthesized option group that closes the
-    // statement; anything else — a table named "with…", the word inside
-    // a quoted string (quotes are NOT boundaries, so a quoted name like
-    // 'with (x = 1)' passes through intact) — is left for the statement
-    // parsers to judge.
-    let boundary_ok = pos > 0 && matches!(lower.as_bytes()[pos - 1], b' ' | b'\t' | b')');
-    let tail = s[pos + "with".len()..].trim();
-    if !boundary_ok || !tail.starts_with('(') {
-        return Ok((s, WithOptions::default()));
+    let bytes = lower.as_bytes();
+    let mut quote: Option<u8> = None;
+    for i in 0..bytes.len() {
+        let c = bytes[i];
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+                continue;
+            }
+            None if c == b'\'' || c == b'"' => {
+                quote = Some(c);
+                continue;
+            }
+            None => {}
+        }
+        if i == 0 || !matches!(bytes[i - 1], b' ' | b'\t' | b')') {
+            continue;
+        }
+        for kw in ["where", "columns", "with"] {
+            if !lower[i..].starts_with(kw) {
+                continue;
+            }
+            let tail = &lower[i + kw.len()..];
+            let ok = match kw {
+                "where" => matches!(tail.as_bytes().first(), Some(b' ' | b'\t')),
+                _ => {
+                    matches!(tail.as_bytes().first(), None | Some(b' ' | b'\t' | b'('))
+                        && tail.trim_start().starts_with('(')
+                }
+            };
+            if ok {
+                return Some(i);
+            }
+        }
     }
-    let inner = tail
-        .strip_prefix('(')
-        .and_then(|t| t.strip_suffix(')'))
-        .ok_or_else(|| err("WITH options must be parenthesized: WITH (opt = value, ...)"))?;
+    None
+}
+
+/// Splits the optional trailing clauses — `WHERE <preds>`, `COLUMNS (…)`,
+/// `WITH (opts)` — off a statement. The clauses compose **in any order**,
+/// each at most once; a duplicate is a typed error.
+fn split_tail_clauses(s: &str) -> DanaResult<(&str, Option<ScanSpec>, WithOptions)> {
+    let Some(start) = find_clause_start(s) else {
+        return Ok((s, None, WithOptions::default()));
+    };
+    let head = s[..start].trim_end();
+    let mut predicates: Option<Vec<Predicate>> = None;
+    let mut projection: Option<Vec<String>> = None;
+    let mut opts: Option<WithOptions> = None;
+    let mut rest = s[start..].trim_start();
+    while !rest.is_empty() {
+        let lower = rest.to_ascii_lowercase();
+        if lower.starts_with("where") {
+            if predicates.is_some() {
+                return Err(err("duplicate WHERE clause"));
+            }
+            let body = &rest["where".len()..];
+            // The predicate text runs to the next clause keyword (or the
+            // statement's end).
+            let end = find_clause_start(body).unwrap_or(body.len());
+            predicates = Some(parse_predicates(body[..end].trim())?);
+            rest = body[end..].trim_start();
+        } else if lower.starts_with("columns") {
+            if projection.is_some() {
+                return Err(err("duplicate COLUMNS clause"));
+            }
+            let body = rest["columns".len()..].trim_start();
+            let inner = body
+                .strip_prefix('(')
+                .ok_or_else(|| err("COLUMNS list must be parenthesized: COLUMNS (c1, c2, ...)"))?;
+            let close = inner
+                .find(')')
+                .ok_or_else(|| err("COLUMNS list must be parenthesized: COLUMNS (c1, c2, ...)"))?;
+            projection = Some(parse_projection(&inner[..close])?);
+            rest = inner[close + 1..].trim_start();
+        } else if lower.starts_with("with") {
+            if opts.is_some() {
+                return Err(err("duplicate WITH clause"));
+            }
+            let body = rest["with".len()..].trim_start();
+            let inner = body.strip_prefix('(').ok_or_else(|| {
+                err("WITH options must be parenthesized: WITH (opt = value, ...)")
+            })?;
+            let close = inner.find(')').ok_or_else(|| {
+                err("WITH options must be parenthesized: WITH (opt = value, ...)")
+            })?;
+            opts = Some(parse_with_options(&inner[..close])?);
+            rest = inner[close + 1..].trim_start();
+        } else {
+            return Err(err(&format!("unexpected input after statement: '{rest}'")));
+        }
+    }
+    let scan = if predicates.is_none() && projection.is_none() {
+        None
+    } else {
+        Some(ScanSpec {
+            predicates: predicates.unwrap_or_default(),
+            projection,
+        })
+    };
+    Ok((head, scan, opts.unwrap_or_default()))
+}
+
+/// Parses a `WHERE` body: `<column> <op> <number> [AND …]`.
+fn parse_predicates(text: &str) -> DanaResult<Vec<Predicate>> {
+    if text.is_empty() {
+        return Err(err(
+            "WHERE needs at least one predicate: <column> <op> <number>",
+        ));
+    }
+    split_conjuncts(text)
+        .iter()
+        .map(|c| parse_one_predicate(c.trim()))
+        .collect()
+}
+
+/// Splits a predicate body on the standalone keyword `AND`
+/// (case-insensitive).
+fn split_conjuncts(text: &str) -> Vec<&str> {
+    let lower = text.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i + 3 <= bytes.len() {
+        let before_ok = i == 0 || bytes[i - 1].is_ascii_whitespace();
+        let after_ok = i + 3 == bytes.len() || bytes[i + 3].is_ascii_whitespace();
+        if &lower[i..i + 3] == "and" && before_ok && after_ok {
+            parts.push(&text[start..i]);
+            start = i + 3;
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Parses one `<column> <op> <number>` conjunct.
+fn parse_one_predicate(text: &str) -> DanaResult<Predicate> {
+    // Two-character operators first so `<=` never parses as `<` + `=1`.
+    for op_str in ["<=", ">=", "!=", "<>", "<", ">", "="] {
+        let Some(pos) = text.find(op_str) else {
+            continue;
+        };
+        let column = text[..pos].trim();
+        let value = text[pos + op_str.len()..].trim();
+        if column.is_empty() || !column.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(&format!("bad WHERE column name '{column}'")));
+        }
+        let v: f32 = value
+            .parse()
+            .map_err(|_| err(&format!("bad WHERE constant '{value}' (expected a number)")))?;
+        if !v.is_finite() {
+            return Err(err(&format!("non-finite WHERE constant '{value}'")));
+        }
+        let op = CmpOp::parse(op_str).expect("operator table entries all parse");
+        return Ok(Predicate {
+            column: column.to_string(),
+            op,
+            value: v,
+        });
+    }
+    Err(err(&format!(
+        "bad WHERE predicate '{text}' (expected <column> <op> <number>)"
+    )))
+}
+
+/// Parses a `COLUMNS (…)` list into projection column names.
+fn parse_projection(inner: &str) -> DanaResult<Vec<String>> {
+    if inner.trim().is_empty() {
+        return Err(err("COLUMNS list cannot be empty"));
+    }
+    let mut cols = Vec::new();
+    for piece in inner.split(',') {
+        let name = parse_table_arg(piece.trim())?;
+        if name.is_empty() {
+            return Err(err("empty column name in COLUMNS list"));
+        }
+        cols.push(name.to_string());
+    }
+    Ok(cols)
+}
+
+/// Parses the interior of a `WITH (opt = v[, opt = v])` clause (keywords
+/// case-insensitive, whitespace free-form). A group that is *not* a
+/// well-formed option list is a typed error, not silently ignored.
+fn parse_with_options(inner: &str) -> DanaResult<WithOptions> {
     let mut opts = WithOptions::default();
     let mut seen_shards = false;
     let mut seen_backend = false;
@@ -429,12 +625,17 @@ fn split_with_clause(s: &str) -> DanaResult<(&str, WithOptions)> {
             )));
         }
     }
-    Ok((s[..pos].trim_end(), opts))
+    Ok(opts)
 }
 
 /// Parses the tail of `PREDICT dana.<udf>('<table>') INTO '<dest>'`, or
 /// the point form `PREDICT dana.<udf>(VALUES (x, ...), ...)`.
-fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Statement> {
+fn parse_predict(
+    s: &str,
+    lower: &str,
+    scan: Option<ScanSpec>,
+    opts: WithOptions,
+) -> DanaResult<Statement> {
     let rest = lower["predict".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected PREDICT <udf>(...)"));
@@ -452,6 +653,11 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Statemen
                 Some(' ' | '\t' | '(')
             )
         {
+            if scan.is_some() {
+                return Err(err(
+                    "point-form PREDICT (VALUES ...) has no table scan; drop the WHERE/COLUMNS clause",
+                ));
+            }
             return parse_predict_point(tail, opts).map(Statement::PredictPoint);
         }
     }
@@ -481,6 +687,7 @@ fn parse_predict(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Statemen
         udf,
         table,
         into,
+        scan,
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
@@ -592,7 +799,12 @@ fn parse_values_rows(text: &str) -> DanaResult<Vec<Vec<f32>>> {
 }
 
 /// Parses the tail of `EVALUATE dana.<udf>('<table>'[, '<metric>'])`.
-fn parse_evaluate(s: &str, lower: &str, opts: WithOptions) -> DanaResult<EvaluateCall> {
+fn parse_evaluate(
+    s: &str,
+    lower: &str,
+    scan: Option<ScanSpec>,
+    opts: WithOptions,
+) -> DanaResult<EvaluateCall> {
     let rest = lower["evaluate".len()..].to_string();
     if !rest.starts_with([' ', '\t']) {
         return Err(err("expected EVALUATE <udf>(...)"));
@@ -623,6 +835,7 @@ fn parse_evaluate(s: &str, lower: &str, opts: WithOptions) -> DanaResult<Evaluat
         udf,
         table,
         metric,
+        scan,
         shards: opts.shards,
         backend: opts.backend,
         trace: opts.trace,
@@ -831,13 +1044,17 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage_after_call() {
         for bad in [
-            "SELECT * FROM dana.f('t') WHERE x = 1;",
             "SELECT * FROM dana.f('t') extra",
+            "SELECT * FROM dana.f('t') WHERE", // bare keyword, no predicate
+            "SELECT * FROM dana.f('t') HAVING x = 1",
         ] {
             assert!(parse_query(bad).is_err(), "{bad} should fail");
         }
-        // A trailing semicolon and whitespace remain fine.
+        // A trailing semicolon and whitespace remain fine, and WHERE is a
+        // legal pushdown clause now, not garbage.
         assert!(parse_query("SELECT * FROM dana.f('t')  ;  ").is_ok());
+        let q = parse_query("SELECT * FROM dana.f('t') WHERE x = 1;").unwrap();
+        assert_eq!(q.scan.unwrap().predicates.len(), 1);
     }
 
     // ---- PREDICT / EVALUATE grammar -------------------------------------
@@ -851,6 +1068,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "patients".into(),
                 into: "patient_scores".into(),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -866,6 +1084,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "patients".into(),
                 into: "scores".into(),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -896,6 +1115,7 @@ mod tests {
                 udf: "logisticR".into(),
                 table: "wlan".into(),
                 metric: None,
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -910,6 +1130,7 @@ mod tests {
                 udf: "linearR".into(),
                 table: "t".into(),
                 metric: Some(MetricKind::Mse),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -931,6 +1152,7 @@ mod tests {
                     udf: "f".into(),
                     table: "t".into(),
                     metric: Some(kind),
+                    scan: None,
                     shards: None,
                     backend: BackendChoice::Auto,
                     trace: false,
@@ -950,6 +1172,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1009,6 +1232,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1033,6 +1257,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: Some(4),
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1046,6 +1271,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: Some(2),
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1060,6 +1286,7 @@ mod tests {
                 udf: "f".into(),
                 table: "t".into(),
                 into: "p".into(),
+                scan: None,
                 shards: Some(8),
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1074,6 +1301,7 @@ mod tests {
                 udf: "f".into(),
                 table: "t".into(),
                 metric: Some(MetricKind::Mse),
+                scan: None,
                 shards: Some(3),
                 backend: BackendChoice::Auto,
                 trace: false,
@@ -1169,6 +1397,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: Some(4),
                 backend: BackendChoice::Fpga,
                 trace: false,
@@ -1185,6 +1414,7 @@ mod tests {
                 udf: "f".into(),
                 table: "t".into(),
                 into: "p".into(),
+                scan: None,
                 shards: Some(2),
                 backend: BackendChoice::Cpu,
                 trace: false,
@@ -1241,6 +1471,7 @@ mod tests {
             Statement::Explain(Box::new(Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: None,
                 backend: BackendChoice::Cpu,
                 trace: false,
@@ -1363,6 +1594,7 @@ mod tests {
             Statement::Train(QueryCall {
                 udf: "linearR".into(),
                 table: "t".into(),
+                scan: None,
                 shards: Some(2),
                 backend: BackendChoice::Fpga,
                 trace: true,
@@ -1430,7 +1662,7 @@ mod tests {
         let s = parse_statement("SHOW STATS ('faults');").unwrap();
         assert_eq!(s, Statement::ShowStats(Some("faults".into())));
         let e = parse_statement("SHOW STATS ('thermals');").unwrap_err();
-        assert!(e.to_string().contains("faults, or serving"), "{e}");
+        assert!(e.to_string().contains("faults, serving, or scan"), "{e}");
     }
 
     #[test]
@@ -1556,6 +1788,190 @@ mod tests {
         assert!(e.to_string().contains("bad numeric value 'banana'"), "{e}");
         let e = parse_statement("PREDICT dana.f(VALUES (nan));").unwrap_err();
         assert!(e.to_string().contains("non-finite value 'nan'"), "{e}");
+    }
+
+    // ---- WHERE / COLUMNS pushdown grammar --------------------------------
+
+    fn scan_of(s: &Statement) -> Option<&ScanSpec> {
+        match s {
+            Statement::Train(q) => q.scan.as_ref(),
+            Statement::Predict(p) => p.scan.as_ref(),
+            Statement::Evaluate(e) => e.scan.as_ref(),
+            other => panic!("no scan on {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_clause_parses_on_every_scanning_form() {
+        for sql in [
+            "EXECUTE dana.f('t') WHERE x0 < 1.5;",
+            "SELECT * FROM dana.f('t') where X0 < 1.5",
+            "PREDICT dana.f('t') INTO 'p' WHERE x0 < 1.5;",
+            "EVALUATE dana.f('t', 'mse') WHERE x0 < 1.5;",
+        ] {
+            let s = parse_statement(sql).unwrap();
+            let scan = scan_of(&s).unwrap_or_else(|| panic!("{sql} should carry a scan"));
+            assert_eq!(scan.predicates.len(), 1, "{sql}");
+            assert_eq!(scan.predicates[0].op, CmpOp::Lt, "{sql}");
+            assert_eq!(scan.predicates[0].value, 1.5, "{sql}");
+            assert!(scan.projection.is_none(), "{sql}");
+        }
+        // Column-name case is preserved (binding decides validity).
+        let Statement::Train(q) =
+            parse_statement("EXECUTE dana.f('t') WHERE MyCol >= -2e1").unwrap()
+        else {
+            panic!("expected train");
+        };
+        assert_eq!(q.scan.as_ref().unwrap().predicates[0].column, "MyCol");
+        assert_eq!(q.scan.unwrap().predicates[0].value, -20.0);
+    }
+
+    #[test]
+    fn where_conjuncts_and_every_operator_parse() {
+        let s = parse_statement(
+            "EXECUTE dana.f('t') WHERE a < 1 AND b <= 2 and c > 3 AND d >= 4 AND e = 5 AND f != 6 AND g <> 7;",
+        )
+        .unwrap();
+        let scan = scan_of(&s).unwrap();
+        let ops: Vec<CmpOp> = scan.predicates.iter().map(|p| p.op).collect();
+        assert_eq!(
+            ops,
+            [
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Ne,
+            ]
+        );
+        assert_eq!(scan.predicates[6].column, "g");
+        assert_eq!(scan.predicates[6].value, 7.0);
+    }
+
+    #[test]
+    fn columns_clause_parses_and_composes_with_where() {
+        let s = parse_statement("EXECUTE dana.f('t') COLUMNS (x0, x1, y);").unwrap();
+        let scan = scan_of(&s).unwrap();
+        assert!(scan.predicates.is_empty());
+        assert_eq!(
+            scan.projection,
+            Some(vec!["x0".to_string(), "x1".to_string(), "y".to_string()])
+        );
+        // Quoted column names work; WHERE composes.
+        let s = parse_statement("EXECUTE dana.f('t') WHERE y > 0 COLUMNS ('x1', \"y\");").unwrap();
+        let scan = scan_of(&s).unwrap();
+        assert_eq!(scan.predicates.len(), 1);
+        assert_eq!(
+            scan.projection,
+            Some(vec!["x1".to_string(), "y".to_string()])
+        );
+    }
+
+    #[test]
+    fn tail_clauses_compose_in_any_order() {
+        let want = parse_statement(
+            "EXECUTE dana.f('t') WHERE x0 < 1 COLUMNS (x0, y) WITH (shards = 2, backend = fpga);",
+        )
+        .unwrap();
+        for sql in [
+            "EXECUTE dana.f('t') WHERE x0 < 1 WITH (shards = 2, backend = fpga) COLUMNS (x0, y);",
+            "EXECUTE dana.f('t') COLUMNS (x0, y) WHERE x0 < 1 WITH (shards = 2, backend = fpga);",
+            "EXECUTE dana.f('t') COLUMNS (x0, y) WITH (shards = 2, backend = fpga) WHERE x0 < 1;",
+            "EXECUTE dana.f('t') WITH (shards = 2, backend = fpga) WHERE x0 < 1 COLUMNS (x0, y);",
+            "EXECUTE dana.f('t') WITH (shards = 2, backend = fpga) COLUMNS (x0, y) WHERE x0 < 1;",
+        ] {
+            assert_eq!(parse_statement(sql).unwrap(), want, "{sql}");
+        }
+        // PREDICT keeps INTO ahead of the clause region.
+        let s = parse_statement(
+            "PREDICT dana.f('t') INTO 'p' WITH (shards = 2) WHERE x0 < 1 COLUMNS (x0);",
+        )
+        .unwrap();
+        let Statement::Predict(p) = s else {
+            panic!("expected predict");
+        };
+        assert_eq!(p.into, "p");
+        assert_eq!(p.shards, Some(2));
+        assert_eq!(p.scan.unwrap().predicates.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tail_clauses_are_typed_errors() {
+        for (bad, what) in [
+            (
+                "EXECUTE dana.f('t') WHERE x < 1 WHERE y < 2;",
+                "duplicate WHERE clause",
+            ),
+            (
+                "EXECUTE dana.f('t') COLUMNS (a) COLUMNS (b);",
+                "duplicate COLUMNS clause",
+            ),
+            (
+                "EXECUTE dana.f('t') WITH (shards = 2) WITH (shards = 3);",
+                "duplicate WITH clause",
+            ),
+            (
+                "EXECUTE dana.f('t') WHERE x < 1 COLUMNS (a) WHERE y < 2;",
+                "duplicate WHERE clause",
+            ),
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+            assert!(e.to_string().contains(what), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn malformed_where_and_columns_clauses_are_typed_errors() {
+        for bad in [
+            "EXECUTE dana.f('t') WHERE x ~ 1;",      // unknown operator
+            "EXECUTE dana.f('t') WHERE x < banana;", // not a number
+            "EXECUTE dana.f('t') WHERE x < nan;",    // non-finite constant
+            "EXECUTE dana.f('t') WHERE x < inf;",    // non-finite constant
+            "EXECUTE dana.f('t') WHERE < 1;",        // missing column
+            "EXECUTE dana.f('t') WHERE x y < 1;",    // bad column name
+            "EXECUTE dana.f('t') WHERE x < 1 AND;",  // dangling AND
+            "EXECUTE dana.f('t') WHERE AND x < 1;",  // leading AND
+            "EXECUTE dana.f('t') COLUMNS ();",       // empty list
+            "EXECUTE dana.f('t') COLUMNS (a,,b);",   // empty name
+            "EXECUTE dana.f('t') COLUMNS (a;",       // unclosed list
+            "EXECUTE dana.f('t') COLUMNS a, b;",     // unparenthesized
+        ] {
+            let e = parse_statement(bad).unwrap_err();
+            assert!(matches!(e, DanaError::Query(_)), "{bad}: {e:?}");
+        }
+        // The messages are diagnostic, not generic.
+        let e = parse_statement("EXECUTE dana.f('t') WHERE x < banana;").unwrap_err();
+        assert!(e.to_string().contains("bad WHERE constant 'banana'"), "{e}");
+        let e = parse_statement("EXECUTE dana.f('t') COLUMNS ();").unwrap_err();
+        assert!(
+            e.to_string().contains("COLUMNS list cannot be empty"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn point_predict_rejects_scan_clauses() {
+        let e = parse_statement("PREDICT dana.f(VALUES (1.0)) WHERE x < 1;").unwrap_err();
+        assert!(e.to_string().contains("no table scan"), "{e}");
+        let e = parse_statement("PREDICT dana.f(VALUES (1.0)) COLUMNS (a);").unwrap_err();
+        assert!(e.to_string().contains("no table scan"), "{e}");
+    }
+
+    #[test]
+    fn scan_clauses_survive_explain_and_identifier_lookalikes() {
+        // EXPLAIN wraps a filtered statement intact.
+        let s = parse_statement("EXPLAIN EXECUTE dana.f('t') WHERE x < 1;").unwrap();
+        let Statement::Explain(inner) = s else {
+            panic!("expected explain");
+        };
+        assert_eq!(scan_of(&inner).unwrap().predicates.len(), 1);
+        // A quoted table name shaped like a clause stays an identifier.
+        let q = parse_query("SELECT * FROM dana.f('where x = 1');").unwrap();
+        assert_eq!(q.table, "where x = 1");
+        assert!(q.scan.is_none());
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct DanaTiming {
     pub axi_seconds: Seconds,
     /// Strider extraction (already divided across parallel Striders).
     pub strider_seconds: Seconds,
+    /// Page decompression (the scan tier's codec), upstream of AXI.
+    /// Zero when the scan read raw pages.
+    pub decompress_seconds: Seconds,
     /// Execution-engine compute (all threads).
     pub engine_seconds: Seconds,
     /// One-time deployment/configuration transfer.
@@ -49,6 +52,10 @@ impl serde::Serialize for DanaTiming {
                 "strider_seconds".to_string(),
                 self.strider_seconds.to_value(),
             ),
+            (
+                "decompress_seconds".to_string(),
+                self.decompress_seconds.to_value(),
+            ),
             ("engine_seconds".to_string(), self.engine_seconds.to_value()),
             ("setup_seconds".to_string(), self.setup_seconds.to_value()),
             ("total_seconds".to_string(), self.total_seconds.to_value()),
@@ -67,6 +74,12 @@ impl serde::Deserialize for DanaTiming {
             io_seconds: f("io_seconds")?,
             axi_seconds: f("axi_seconds")?,
             strider_seconds: f("strider_seconds")?,
+            // Absent in blobs written before the scan tier: raw pages,
+            // nothing decompressed.
+            decompress_seconds: match obj.get("decompress_seconds") {
+                None => 0.0,
+                Some(v) => serde::Deserialize::from_value(v)?,
+            },
             engine_seconds: f("engine_seconds")?,
             setup_seconds: f("setup_seconds")?,
             total_seconds: f("total_seconds")?,

@@ -49,6 +49,10 @@ pub struct EpochCosts {
     pub io_later: Seconds,
     /// AXI page streaming per epoch.
     pub axi: Seconds,
+    /// Page decompression per epoch (the scan tier's codec; zero for raw
+    /// pages). Pipelines with AXI at page granularity in Strider mode;
+    /// serializes into the CPU feed chain in the ablations.
+    pub decompress: Seconds,
     /// Strider extraction per epoch (already divided across Striders).
     pub strider: Seconds,
     /// Engine compute per epoch.
@@ -82,19 +86,24 @@ pub fn compose(mode: ExecutionMode, epochs: u32, c: &EpochCosts) -> DanaTiming {
     for e in 0..epochs {
         let io = if e == 0 { c.io_first } else { c.io_later };
         let epoch = match mode {
-            // Full pipeline overlap at page granularity.
+            // Full pipeline overlap at page granularity (decompression is
+            // one more page-granular stream to overlap).
             ExecutionMode::Strider => {
-                io.max(c.axi).max(c.strider).max(c.engine) + c.fill + EPOCH_OVERHEAD_S
+                io.max(c.decompress).max(c.axi).max(c.strider).max(c.engine)
+                    + c.fill
+                    + EPOCH_OVERHEAD_S
             }
             // CPU feed serializes with compute: the handshake prevents the
             // interleave ("using the CPU for data extraction would have a
             // significant overhead due to the handshaking", §5.1.1). Only
-            // disk I/O still overlaps (prefetch).
+            // disk I/O still overlaps (prefetch). The CPU also does its
+            // own decompression ahead of the deform.
             ExecutionMode::CpuFed | ExecutionMode::Tabla => {
-                io.max(c.cpu_feed + c.engine) + c.fill + EPOCH_OVERHEAD_S
+                io.max(c.decompress + c.cpu_feed + c.engine) + c.fill + EPOCH_OVERHEAD_S
             }
         };
         timing.io_seconds += io;
+        timing.decompress_seconds += c.decompress;
         timing.axi_seconds += if mode.uses_striders() { c.axi } else { 0.0 };
         timing.strider_seconds += if mode.uses_striders() { c.strider } else { 0.0 };
         timing.engine_seconds += c.engine;
@@ -137,10 +146,12 @@ pub fn stage_partition(mode: ExecutionMode, epochs: u32, c: &EpochCosts) -> Stag
         let io = if e == 0 { c.io_first } else { c.io_later };
         let epoch = match mode {
             ExecutionMode::Strider => {
-                io.max(c.axi).max(c.strider).max(c.engine) + c.fill + EPOCH_OVERHEAD_S
+                io.max(c.decompress).max(c.axi).max(c.strider).max(c.engine)
+                    + c.fill
+                    + EPOCH_OVERHEAD_S
             }
             ExecutionMode::CpuFed | ExecutionMode::Tabla => {
-                io.max(c.cpu_feed + c.engine) + c.fill + EPOCH_OVERHEAD_S
+                io.max(c.decompress + c.cpu_feed + c.engine) + c.fill + EPOCH_OVERHEAD_S
             }
         };
         // `epoch >= c.engine + fill + overhead` in every mode, so the
@@ -160,6 +171,7 @@ mod tests {
             io_first: 0.5,
             io_later: 0.1,
             axi: 0.2,
+            decompress: 0.0,
             strider: 0.05,
             engine: 0.08,
             cpu_feed: 0.4,

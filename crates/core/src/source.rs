@@ -18,13 +18,70 @@
 //! epoch — keeping the simulated timing identical to the hardware schedule
 //! while the functional replay stays cheap and deterministic.
 
+use std::sync::Arc;
+
+use dana_scan::{BoundScanSpec, ScanSidecar};
 use dana_storage::{
-    BufferPool, DiskModel, HeapFile, HeapId, PageId, PageView, SharedBufferPool, SourceError,
-    TupleBatch, TupleSource,
+    BufferPool, ColumnType, DiskModel, HeapFile, HeapId, PageId, PageView, SharedBufferPool,
+    SourceError, StorageResult, TupleBatch, TupleSource,
 };
 use dana_strider::{AccessEngine, AccessStats};
 
 use crate::report::Seconds;
+
+/// Pushdown state for one scan: the table's compressed sidecar (shared out
+/// of the catalog's runtime cache) plus the `WHERE`/`COLUMNS` spec bound to
+/// its schema. Attaching this to a page source flips the whole data path:
+/// pages stream *compressed* through the buffer pool (under the heap's
+/// shadow id, charged at compressed size), are decompressed on fetch with
+/// cycles charged to the access stats, zone-unmatchable pages are skipped
+/// without a fetch, and surviving tuples are filtered/projected before the
+/// engine sees them.
+#[derive(Clone)]
+pub struct ScanState {
+    pub sidecar: Arc<ScanSidecar>,
+    pub spec: Arc<BoundScanSpec>,
+}
+
+/// CPU-deform twin of the Strider filtered extraction: decodes each tuple
+/// full-width with the same per-cell [`ColumnType::decode_f32`] conversion
+/// `deform_all_into` uses, gates it on the spec, and pushes the projected
+/// row — so the Fig. 11 ablation stays bit-identical to the Strider feed
+/// under pushdown too.
+fn cpu_extract_filtered(
+    bytes: &[u8],
+    heap: &HeapFile,
+    spec: &BoundScanSpec,
+    batch: &mut TupleBatch,
+) -> Result<(), SourceError> {
+    let layout = heap.layout();
+    let schema = heap.schema();
+    let view = PageView::new(bytes, *layout)?;
+    let cols: Vec<(usize, ColumnType)> = (0..schema.len())
+        .map(|i| Ok((schema.column_offset(i)?, schema.columns()[i].ty)))
+        .collect::<StorageResult<_>>()?;
+    let mut row = vec![0f32; schema.len()];
+    for slot in 0..view.tuple_count() {
+        let data = &view.tuple_bytes(slot)?[layout.tuple_header_bytes..];
+        for (c, &(off, ty)) in cols.iter().enumerate() {
+            row[c] = ty.decode_f32(&data[off..off + ty.width()]);
+        }
+        if !spec.row_matches(&row) {
+            continue;
+        }
+        match &spec.projection {
+            Some(proj) => {
+                let mut out = batch.start_row();
+                for &c in proj {
+                    out.push(row[c]);
+                }
+                out.finish();
+            }
+            None => batch.push_row(&row),
+        }
+    }
+    Ok(())
+}
 
 /// How raw page bytes become engine-native f32 rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +123,7 @@ pub struct PageStreamSource<'a> {
     replay: usize,
     cache: Vec<TupleBatch>,
     stats: AccessStats,
+    scan: Option<ScanState>,
 }
 
 impl<'a> PageStreamSource<'a> {
@@ -119,7 +177,15 @@ impl<'a> PageStreamSource<'a> {
             replay: 0,
             cache: Vec::with_capacity((end_page - start_page) as usize),
             stats: AccessStats::default(),
+            scan: None,
         }
+    }
+
+    /// Attaches a pushdown [`ScanState`] — see its docs for how it changes
+    /// the data path.
+    pub fn with_scan(mut self, scan: ScanState) -> PageStreamSource<'a> {
+        self.scan = Some(scan);
+        self
     }
 
     /// Extraction-pass counters accumulated by the first scan, completed
@@ -143,38 +209,88 @@ impl<'a> PageStreamSource<'a> {
     }
 
     /// Fetches and extracts page `page_no`, appending its batch to the
-    /// cache.
-    fn extract_next_page(&mut self, page_no: u32) -> Result<(), SourceError> {
-        let (frame, _) =
-            self.pool
-                .fetch(PageId::new(self.heap_id, page_no), self.heap, self.disk)?;
-        let bytes = self.pool.frame_bytes(frame);
-        let width = self.heap.schema().len();
+    /// cache. Returns `false` when the page was zone-pruned (no fetch, no
+    /// batch).
+    fn extract_next_page(&mut self, page_no: u32) -> Result<bool, SourceError> {
+        if let Some(scan) = &self.scan {
+            if !scan.spec.page_can_match(scan.sidecar.zone(page_no)) {
+                self.stats.pages_skipped += 1;
+                return Ok(false);
+            }
+        }
+        let width = self.width();
         let mut batch = TupleBatch::with_capacity(width, self.heap.layout().capacity as usize);
-        let extracted = match self.feed {
-            FeedKind::Strider => self
-                .access
-                .extract_page_into(bytes, &mut batch)
-                .map(|cycles| self.stats.strider_cycles += cycles)
-                .map_err(|e| SourceError(e.to_string())),
-            FeedKind::Cpu => PageView::new(bytes, *self.heap.layout())
-                .and_then(|view| view.deform_all_into(self.heap.schema(), &mut batch))
-                .map_err(SourceError::from),
+        let extracted = match &self.scan {
+            None => {
+                let (frame, _) =
+                    self.pool
+                        .fetch(PageId::new(self.heap_id, page_no), self.heap, self.disk)?;
+                let bytes = self.pool.frame_bytes(frame);
+                let r = match self.feed {
+                    FeedKind::Strider => self
+                        .access
+                        .extract_page_into(bytes, &mut batch)
+                        .map(|cycles| self.stats.strider_cycles += cycles)
+                        .map_err(|e| SourceError(e.to_string())),
+                    FeedKind::Cpu => PageView::new(bytes, *self.heap.layout())
+                        .and_then(|view| view.deform_all_into(self.heap.schema(), &mut batch))
+                        .map_err(SourceError::from),
+                };
+                // Unpin before propagating any extraction error: a corrupt
+                // page must not leave its frame pinned for the pool's
+                // lifetime.
+                self.pool.unpin(frame);
+                r
+            }
+            Some(scan) => {
+                // The compressed image goes through the pool under the
+                // shadow id (never colliding with raw page frames); the
+                // miss is charged at *compressed* size — the codec's I/O
+                // saving.
+                let (frame, _) = self.pool.fetch_raw(
+                    PageId::new(self.heap_id.shadow(), page_no),
+                    scan.sidecar.page(page_no),
+                    self.disk,
+                )?;
+                let raw = dana_scan::decompress_page(
+                    self.pool.frame_bytes(frame),
+                    self.heap.layout(),
+                    self.heap.schema(),
+                )
+                .map_err(|e| SourceError(e.to_string()));
+                self.pool.unpin(frame);
+                let raw = raw?;
+                self.stats.decompress_cycles += dana_scan::decompress_cycles(raw.len());
+                self.stats.decompressed_bytes += raw.len() as u64;
+                match self.feed {
+                    FeedKind::Strider => self
+                        .access
+                        .extract_page_filtered_into(
+                            &raw,
+                            &mut batch,
+                            scan.spec.projection.as_deref(),
+                            |row| scan.spec.row_matches(row),
+                        )
+                        .map(|cycles| self.stats.strider_cycles += cycles)
+                        .map_err(|e| SourceError(e.to_string())),
+                    FeedKind::Cpu => cpu_extract_filtered(&raw, self.heap, &scan.spec, &mut batch),
+                }
+            }
         };
-        // Unpin before propagating any extraction error: a corrupt page
-        // must not leave its frame pinned for the pool's lifetime.
-        self.pool.unpin(frame);
         extracted?;
         self.stats.pages += 1;
         self.stats.tuples += batch.len() as u64;
         self.cache.push(batch);
-        Ok(())
+        Ok(true)
     }
 }
 
 impl TupleSource for PageStreamSource<'_> {
     fn width(&self) -> usize {
-        self.heap.schema().len()
+        match &self.scan {
+            Some(s) => s.spec.output_width(self.heap.schema().len()),
+            None => self.heap.schema().len(),
+        }
     }
 
     fn next_batch(&mut self) -> Result<Option<&TupleBatch>, SourceError> {
@@ -186,14 +302,19 @@ impl TupleSource for PageStreamSource<'_> {
             self.replay += 1;
             return Ok(Some(&self.cache[self.replay - 1]));
         }
-        if self.next_page >= self.end_page {
-            self.scan_done = true;
-            self.replay = self.cache.len();
-            return Ok(None);
+        loop {
+            if self.next_page >= self.end_page {
+                self.scan_done = true;
+                self.replay = self.cache.len();
+                return Ok(None);
+            }
+            let page_no = self.next_page;
+            self.next_page += 1;
+            // Zone-pruned pages push no batch; keep walking the range.
+            if self.extract_next_page(page_no)? {
+                break;
+            }
         }
-        let page_no = self.next_page;
-        self.next_page += 1;
-        self.extract_next_page(page_no)?;
         Ok(Some(self.cache.last().expect("page just extracted")))
     }
 
@@ -210,10 +331,16 @@ impl TupleSource for PageStreamSource<'_> {
     }
 
     fn tuple_count_hint(&self) -> Option<u64> {
-        Some(
-            self.heap
-                .tuples_in_page_range(self.start_page, self.end_page),
-        )
+        match &self.scan {
+            // Post-filter estimate off the zone maps; a sizing hint only.
+            Some(s) => Some(s.spec.estimated_tuples(
+                &s.sidecar.zones()[self.start_page as usize..self.end_page as usize],
+            )),
+            None => Some(
+                self.heap
+                    .tuples_in_page_range(self.start_page, self.end_page),
+            ),
+        }
     }
 }
 
@@ -246,6 +373,7 @@ pub struct SharedPageStreamSource<'a> {
     cache: Vec<TupleBatch>,
     stats: AccessStats,
     io_seconds: Seconds,
+    scan: Option<ScanState>,
 }
 
 impl<'a> SharedPageStreamSource<'a> {
@@ -301,7 +429,15 @@ impl<'a> SharedPageStreamSource<'a> {
             cache: Vec::with_capacity((end_page - start_page) as usize),
             stats: AccessStats::default(),
             io_seconds: 0.0,
+            scan: None,
         }
+    }
+
+    /// Attaches a pushdown [`ScanState`] — see its docs for how it changes
+    /// the data path.
+    pub fn with_scan(mut self, scan: ScanState) -> SharedPageStreamSource<'a> {
+        self.scan = Some(scan);
+        self
     }
 
     /// Extraction-pass counters plus the simulated disk seconds this
@@ -312,35 +448,91 @@ impl<'a> SharedPageStreamSource<'a> {
         (stats, self.io_seconds)
     }
 
-    fn extract_next_page(&mut self, page_no: u32) -> Result<(), SourceError> {
-        let (bytes, io) =
-            self.pool
-                .fetch(PageId::new(self.heap_id, page_no), self.heap, self.disk)?;
-        self.io_seconds += io;
-        let width = self.heap.schema().len();
+    /// Completes the scan (if it has not finished) and dismantles the
+    /// source into its extracted per-page batches, finished access stats,
+    /// and metered I/O — the concurrent facade's way of building replaying
+    /// shard sources for a *filtered* gang, whose post-filter shard
+    /// boundaries do not fall on source page boundaries.
+    pub fn into_cache(mut self) -> Result<(Vec<TupleBatch>, AccessStats, Seconds), SourceError> {
+        self.rewind()?;
+        let mut stats = self.stats;
+        self.access.finish_stats(&mut stats);
+        Ok((self.cache, stats, self.io_seconds))
+    }
+
+    /// Returns `false` when the page was zone-pruned (no fetch, no batch).
+    fn extract_next_page(&mut self, page_no: u32) -> Result<bool, SourceError> {
+        if let Some(scan) = &self.scan {
+            if !scan.spec.page_can_match(scan.sidecar.zone(page_no)) {
+                self.stats.pages_skipped += 1;
+                return Ok(false);
+            }
+        }
+        let width = self.width();
         let mut batch = TupleBatch::with_capacity(width, self.heap.layout().capacity as usize);
-        match self.feed {
-            FeedKind::Strider => self
-                .access
-                .extract_page_into(&bytes, &mut batch)
-                .map(|cycles| self.stats.strider_cycles += cycles)
-                .map_err(|e| SourceError(e.to_string()))?,
-            FeedKind::Cpu => PageView::new(&bytes, *self.heap.layout())
-                .and_then(|view| view.deform_all_into(self.heap.schema(), &mut batch))
-                .map_err(SourceError::from)?,
+        match &self.scan {
+            None => {
+                let (bytes, io) =
+                    self.pool
+                        .fetch(PageId::new(self.heap_id, page_no), self.heap, self.disk)?;
+                self.io_seconds += io;
+                match self.feed {
+                    FeedKind::Strider => self
+                        .access
+                        .extract_page_into(&bytes, &mut batch)
+                        .map(|cycles| self.stats.strider_cycles += cycles)
+                        .map_err(|e| SourceError(e.to_string()))?,
+                    FeedKind::Cpu => PageView::new(&bytes, *self.heap.layout())
+                        .and_then(|view| view.deform_all_into(self.heap.schema(), &mut batch))
+                        .map_err(SourceError::from)?,
+                };
+                // `bytes` drops here, releasing the frame hold — errors
+                // included, so a corrupt page cannot leak a held frame.
+            }
+            Some(scan) => {
+                // Compressed image under the shadow id, charged at
+                // compressed size; the frame hold is released as soon as
+                // the page is reconstructed.
+                let (bytes, io) = self.pool.fetch_raw(
+                    PageId::new(self.heap_id.shadow(), page_no),
+                    scan.sidecar.page(page_no),
+                    self.disk,
+                )?;
+                self.io_seconds += io;
+                let raw =
+                    dana_scan::decompress_page(&bytes, self.heap.layout(), self.heap.schema())
+                        .map_err(|e| SourceError(e.to_string()))?;
+                drop(bytes);
+                self.stats.decompress_cycles += dana_scan::decompress_cycles(raw.len());
+                self.stats.decompressed_bytes += raw.len() as u64;
+                match self.feed {
+                    FeedKind::Strider => self
+                        .access
+                        .extract_page_filtered_into(
+                            &raw,
+                            &mut batch,
+                            scan.spec.projection.as_deref(),
+                            |row| scan.spec.row_matches(row),
+                        )
+                        .map(|cycles| self.stats.strider_cycles += cycles)
+                        .map_err(|e| SourceError(e.to_string()))?,
+                    FeedKind::Cpu => cpu_extract_filtered(&raw, self.heap, &scan.spec, &mut batch)?,
+                }
+            }
         };
-        // `bytes` drops here, releasing the frame hold — errors included,
-        // so a corrupt page cannot leak a held frame.
         self.stats.pages += 1;
         self.stats.tuples += batch.len() as u64;
         self.cache.push(batch);
-        Ok(())
+        Ok(true)
     }
 }
 
 impl TupleSource for SharedPageStreamSource<'_> {
     fn width(&self) -> usize {
-        self.heap.schema().len()
+        match &self.scan {
+            Some(s) => s.spec.output_width(self.heap.schema().len()),
+            None => self.heap.schema().len(),
+        }
     }
 
     fn next_batch(&mut self) -> Result<Option<&TupleBatch>, SourceError> {
@@ -351,14 +543,19 @@ impl TupleSource for SharedPageStreamSource<'_> {
             self.replay += 1;
             return Ok(Some(&self.cache[self.replay - 1]));
         }
-        if self.next_page >= self.end_page {
-            self.scan_done = true;
-            self.replay = self.cache.len();
-            return Ok(None);
+        loop {
+            if self.next_page >= self.end_page {
+                self.scan_done = true;
+                self.replay = self.cache.len();
+                return Ok(None);
+            }
+            let page_no = self.next_page;
+            self.next_page += 1;
+            // Zone-pruned pages push no batch; keep walking the range.
+            if self.extract_next_page(page_no)? {
+                break;
+            }
         }
-        let page_no = self.next_page;
-        self.next_page += 1;
-        self.extract_next_page(page_no)?;
         Ok(Some(self.cache.last().expect("page just extracted")))
     }
 
@@ -375,9 +572,15 @@ impl TupleSource for SharedPageStreamSource<'_> {
     }
 
     fn tuple_count_hint(&self) -> Option<u64> {
-        Some(
-            self.heap
-                .tuples_in_page_range(self.start_page, self.end_page),
-        )
+        match &self.scan {
+            // Post-filter estimate off the zone maps; a sizing hint only.
+            Some(s) => Some(s.spec.estimated_tuples(
+                &s.sidecar.zones()[self.start_page as usize..self.end_page as usize],
+            )),
+            None => Some(
+                self.heap
+                    .tuples_in_page_range(self.start_page, self.end_page),
+            ),
+        }
     }
 }

@@ -33,5 +33,7 @@ pub use executor::{
     evaluate_source, evaluate_source_partial, score_batch, score_source, MetricPartial,
     ScoringStats,
 };
-pub use materialize::{build_prediction_heap, prediction_schema, PREDICTION_COLUMN};
+pub use materialize::{
+    build_prediction_heap, build_prediction_heap_selected, prediction_schema, PREDICTION_COLUMN,
+};
 pub use scoring::{derive_recipe, MetricKind, ScoringProgram, ScoringRecipe};

@@ -74,6 +74,83 @@ pub fn build_prediction_heap(source: &HeapFile, predictions: &[f32]) -> InferRes
     Ok(builder.finish())
 }
 
+/// [`build_prediction_heap`] for a *pushdown* scoring scan: materializes
+/// only the tuples the scan's predicates kept (`slots[page]` lists each
+/// page's surviving slot numbers, in slot order — the scan tier's
+/// `select_slots` output) and only its projected columns, with one
+/// prediction per surviving tuple in scan order. Kept cells are copied
+/// byte-for-byte, so the output heap is identical to scoring a
+/// pre-materialized filtered/projected table.
+pub fn build_prediction_heap_selected(
+    source: &HeapFile,
+    slots: &[Vec<u16>],
+    projection: Option<&[usize]>,
+    predictions: &[f32],
+) -> InferResult<HeapFile> {
+    if slots.len() != source.page_count() as usize {
+        return Err(InferError::Storage(
+            dana_storage::StorageError::SchemaMismatch(format!(
+                "slot selection covers {} pages, heap has {}",
+                slots.len(),
+                source.page_count()
+            )),
+        ));
+    }
+    let selected: u64 = slots.iter().map(|s| s.len() as u64).sum();
+    if predictions.len() as u64 != selected {
+        return Err(InferError::PredictionCount {
+            predictions: predictions.len(),
+            tuples: selected,
+        });
+    }
+    let src_schema = source.schema();
+    let cols: Vec<usize> = match projection {
+        Some(p) => p.to_vec(),
+        None => (0..src_schema.len()).collect(),
+    };
+    let mut projected: Vec<(String, ColumnType)> = Vec::with_capacity(cols.len());
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(cols.len());
+    for &c in &cols {
+        let col = src_schema.columns().get(c).ok_or_else(|| {
+            InferError::Storage(dana_storage::StorageError::SchemaMismatch(format!(
+                "projected column index {c} out of range for {}-column schema",
+                src_schema.len()
+            )))
+        })?;
+        projected.push((col.name.clone(), col.ty));
+        spans.push((src_schema.column_offset(c)?, col.ty.width()));
+    }
+    let schema = prediction_schema(&Schema::new(projected))?;
+    let layout = *source.layout();
+    let src_width = src_schema.tuple_data_width();
+    let mut builder = HeapFileBuilder::new(schema, layout.page_size, layout.direction)?;
+    let mut next = predictions.iter();
+    for (page_no, keep) in slots.iter().enumerate() {
+        let view = PageView::new(source.page_bytes(page_no as u32)?, layout)?;
+        for &slot in keep {
+            let rec = view.tuple_bytes(slot)?;
+            let hoff = rec.get(10).copied().unwrap_or(0) as usize;
+            if hoff < TUPLE_HEADER_BYTES || hoff + src_width > rec.len() {
+                return Err(InferError::Storage(
+                    dana_storage::StorageError::SchemaMismatch(format!(
+                        "tuple on page {page_no} has bad t_hoff {hoff} for {} bytes",
+                        rec.len()
+                    )),
+                ));
+            }
+            let data = &rec[hoff..hoff + src_width];
+            let p = next.next().expect("count checked above").to_le_bytes();
+            let mut parts: Vec<&[u8]> = Vec::with_capacity(spans.len() + 1);
+            for &(off, w) in &spans {
+                parts.push(&data[off..off + w]);
+            }
+            parts.push(&p);
+            builder.insert_raw(&parts)?;
+        }
+    }
+    Ok(builder.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +190,60 @@ mod tests {
             assert_eq!(t.values[0], Datum::Int4(k as i32));
             assert_eq!(t.values[1], Datum::Int4((k * 3) as i32));
             assert_eq!(t.values[3], Datum::Float4(predictions[k]));
+        }
+    }
+
+    #[test]
+    fn selected_heap_keeps_only_chosen_slots_and_columns() {
+        let heap = rating_heap(500);
+        // Keep every third tuple, page by page, exactly as select_slots
+        // would list them.
+        let layout = *heap.layout();
+        let mut slots: Vec<Vec<u16>> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        let mut k = 0usize;
+        for page_no in 0..heap.page_count() {
+            let view = PageView::new(heap.page_bytes(page_no).unwrap(), layout).unwrap();
+            let mut page_slots = Vec::new();
+            for slot in 0..view.tuple_count() {
+                if k.is_multiple_of(3) {
+                    page_slots.push(slot);
+                    kept.push(k);
+                }
+                k += 1;
+            }
+            slots.push(page_slots);
+        }
+        let predictions: Vec<f32> = kept.iter().map(|&k| k as f32 * 0.5).collect();
+        // Project columns (2, 0): reordered and partial.
+        let out =
+            build_prediction_heap_selected(&heap, &slots, Some(&[2, 0]), &predictions).unwrap();
+        assert_eq!(out.tuple_count(), kept.len() as u64);
+        assert_eq!(out.schema().len(), 3);
+        assert_eq!(out.schema().columns()[2].name, PREDICTION_COLUMN);
+        for (i, t) in out.scan().enumerate() {
+            let k = kept[i];
+            assert_eq!(t.values[0], Datum::Float4(k as f32 / 2.0));
+            assert_eq!(t.values[1], Datum::Int4(k as i32));
+            assert_eq!(t.values[2], Datum::Float4(predictions[i]));
+        }
+        // No projection keeps the full schema, like build_prediction_heap.
+        let full = build_prediction_heap_selected(&heap, &slots, None, &predictions).unwrap();
+        assert_eq!(full.schema().len(), 4);
+        // Selecting every slot with no projection matches the unselected
+        // builder bit-for-bit.
+        let all: Vec<Vec<u16>> = (0..heap.page_count())
+            .map(|p| {
+                let view = PageView::new(heap.page_bytes(p).unwrap(), layout).unwrap();
+                (0..view.tuple_count()).collect()
+            })
+            .collect();
+        let preds: Vec<f32> = (0..500).map(|k| k as f32).collect();
+        let a = build_prediction_heap_selected(&heap, &all, None, &preds).unwrap();
+        let b = build_prediction_heap(&heap, &preds).unwrap();
+        assert_eq!(a.page_count(), b.page_count());
+        for p in 0..a.page_count() {
+            assert_eq!(a.page_bytes(p).unwrap(), b.page_bytes(p).unwrap());
         }
     }
 

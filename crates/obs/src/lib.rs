@@ -37,6 +37,7 @@ pub const SUBSYSTEMS: &[&str] = &[
     "engine",
     "faults",
     "serving",
+    "scan",
 ];
 
 /// Whether `name` is a known stats subsystem.

@@ -228,6 +228,22 @@ pub struct MetricsRegistry {
     pub prediction_cache_hits: Counter,
     pub prediction_cache_misses: Counter,
     pub prediction_cache_invalidations: Counter,
+    // ---- pushdown scan tier -------------------------------------------
+    /// Queries that ran with a pushdown scan spec (WHERE / COLUMNS).
+    pub scan_queries: Counter,
+    /// Pages zone-map-pruned without a fetch, across all pushdown scans.
+    pub scan_pages_skipped: Counter,
+    /// Reconstructed page bytes the decompressor produced.
+    pub scan_bytes_decompressed: Counter,
+    /// Rows in the scanned ranges before filtering (the selectivity
+    /// denominator).
+    pub scan_rows_considered: Counter,
+    /// Rows that survived predicates and reached the engine.
+    pub scan_rows_emitted: Counter,
+    /// Raw vs. compressed sidecar bytes behind those scans (the
+    /// compression-ratio numerator and denominator).
+    pub scan_raw_bytes: Counter,
+    pub scan_compressed_bytes: Counter,
 }
 
 impl MetricsRegistry {
@@ -326,6 +342,39 @@ impl MetricsRegistry {
         for (name, c) in serving {
             out.push(StatEntry::new("serving", *name, c.get() as f64));
         }
+        let scan: &[(&str, &Counter)] = &[
+            ("queries", &self.scan_queries),
+            ("pages_skipped", &self.scan_pages_skipped),
+            ("bytes_decompressed", &self.scan_bytes_decompressed),
+            ("rows_considered", &self.scan_rows_considered),
+            ("rows_emitted", &self.scan_rows_emitted),
+            ("raw_bytes", &self.scan_raw_bytes),
+            ("compressed_bytes", &self.scan_compressed_bytes),
+        ];
+        for (name, c) in scan {
+            out.push(StatEntry::new("scan", *name, c.get() as f64));
+        }
+        // Derived gauges, guarded against empty denominators.
+        let compressed = self.scan_compressed_bytes.get();
+        out.push(StatEntry::new(
+            "scan",
+            "compression_ratio",
+            if compressed == 0 {
+                0.0
+            } else {
+                self.scan_raw_bytes.get() as f64 / compressed as f64
+            },
+        ));
+        let considered = self.scan_rows_considered.get();
+        out.push(StatEntry::new(
+            "scan",
+            "selectivity",
+            if considered == 0 {
+                0.0
+            } else {
+                self.scan_rows_emitted.get() as f64 / considered as f64
+            },
+        ));
     }
 }
 

@@ -46,4 +46,4 @@ pub use gang::{
     GangOutcome, ShardEval, ShardScore,
 };
 pub use merge::{MergeBuffer, MergeSpec, ModelMergeKind, ShardOwnership};
-pub use shard::{ReplaySource, ShardPlan, ShardRange};
+pub use shard::{packed_tuple_splits, split_replay_sources, ReplaySource, ShardPlan, ShardRange};

@@ -89,6 +89,59 @@ impl ShardPlan {
     }
 }
 
+/// Plans shard boundaries for a *filtered* scan in **tuple space**: the
+/// per-shard tuple counts [`ShardPlan::new`] would produce over a virtual
+/// heap holding `total_tuples` densely packed at `capacity` tuples per
+/// page. This is the shard plan of the equivalent pre-materialized
+/// filtered table, which is what keeps a pushdown-sharded gang
+/// bit-identical to running the same gang on `SELECT … INTO t_f` output:
+/// post-filter tuples land packed in the materialized heap, so its page
+/// boundaries fall at multiples of the packed page capacity.
+pub fn packed_tuple_splits(total_tuples: u64, capacity: u64, requested: usize) -> Vec<u64> {
+    assert!(capacity > 0, "page capacity must be positive");
+    let pages = total_tuples.div_ceil(capacity);
+    let k = requested.clamp(1, (pages as usize).max(1));
+    let base = pages / k as u64;
+    let extra = pages % k as u64;
+    let mut splits = Vec::with_capacity(k);
+    let mut start_page = 0u64;
+    for index in 0..k {
+        let end_page = start_page + base + u64::from((index as u64) < extra);
+        let start_tuple = (start_page * capacity).min(total_tuples);
+        let end_tuple = (end_page * capacity).min(total_tuples);
+        splits.push(end_tuple - start_tuple);
+        start_page = end_page;
+    }
+    debug_assert_eq!(splits.iter().sum::<u64>(), total_tuples);
+    splits
+}
+
+/// Re-batches a flat tuple stream (page-at-a-time extraction `batches`)
+/// into one [`ReplaySource`] per entry of `splits` (per-shard tuple
+/// counts, as from [`packed_tuple_splits`]). Row order is preserved:
+/// concatenating the shards in order replays the input stream exactly.
+/// Each shard's rows are packed into a single batch — the execution
+/// engine's within-shard results depend only on the flat row stream, so
+/// batch boundaries inside a shard are free.
+pub fn split_replay_sources(
+    width: usize,
+    batches: &[TupleBatch],
+    splits: &[u64],
+) -> Vec<ReplaySource> {
+    let mut rows = batches.iter().flat_map(|b| b.rows());
+    splits
+        .iter()
+        .map(|&n| {
+            let mut batch = TupleBatch::with_capacity(width, n as usize);
+            for _ in 0..n {
+                let row = rows.next().expect("splits exceed available tuples");
+                batch.push_row(row);
+            }
+            ReplaySource::new(width, vec![batch])
+        })
+        .collect()
+}
+
 /// A rewindable [`TupleSource`] over pre-extracted batches — the serial
 /// facade's shard source. `Dana` owns a `&mut` buffer pool, so it cannot
 /// run several streaming scans at once; instead it extracts each shard's
@@ -191,6 +244,41 @@ mod tests {
         assert_eq!(plan.total_tuples(), 0);
         // Zero requested clamps to one.
         assert_eq!(ShardPlan::new(&h, 0).shards(), 1);
+    }
+
+    #[test]
+    fn packed_splits_match_shard_plan_over_materialized_heap() {
+        // The virtual plan must agree with ShardPlan::new over a real heap
+        // holding the same tuples densely packed.
+        for n in [0usize, 1, 50, 137, 1000] {
+            let h = heap(n);
+            let capacity = u64::from(h.layout().capacity);
+            for k in [1usize, 2, 3, 4, 7] {
+                let plan = ShardPlan::new(&h, k);
+                let splits = packed_tuple_splits(n as u64, capacity, k);
+                assert_eq!(splits.len(), plan.shards(), "n={n} k={k}");
+                assert_eq!(splits, plan.tuple_counts(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_replay_sources_preserve_order_and_counts() {
+        let batches = vec![
+            TupleBatch::from_rows(1, [[0.0], [1.0], [2.0]]),
+            TupleBatch::from_rows(1, [[3.0], [4.0]]),
+            TupleBatch::from_rows(1, [[5.0], [6.0], [7.0], [8.0]]),
+        ];
+        let mut sources = split_replay_sources(1, &batches, &[4, 3, 2]);
+        assert_eq!(sources.len(), 3);
+        let mut seen = Vec::new();
+        for (src, want) in sources.iter_mut().zip([4u64, 3, 2]) {
+            assert_eq!(src.tuple_count_hint(), Some(want));
+            while let Some(b) = src.next_batch().unwrap() {
+                seen.extend(b.rows().map(|r| r[0]));
+            }
+        }
+        assert_eq!(seen, (0..9).map(|v| v as f32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Per-page compression codecs.
+//!
+//! Two codecs, chosen per page at sidecar-build time:
+//!
+//! * **raw** (`CODEC_RAW`) — the page image verbatim. Always applicable.
+//! * **FOR** (`CODEC_FOR`) — frame-of-reference + bit-packing over the
+//!   page's integer lanes. A slotted heap page of fixed-width tuples is a
+//!   collection of parallel integer sequences: the tuple-header words
+//!   (xids count up, ctids count slots) and, per column, the little-endian
+//!   bit patterns of the cell values (floats are packed as their `u32`/
+//!   `u64` bit patterns, which keeps NaN payloads, signed zeros and
+//!   subnormals byte-exact — the codec never interprets floats). Each lane
+//!   stores its minimum and the bit-packed deltas. Everything else on a
+//!   canonical page is reconstructed from the layout (line pointers) or is
+//!   zero (free space), so only the 24-byte header and the special space
+//!   ride along verbatim.
+//!
+//! [`compress_page`] decompresses its own output and compares against the
+//! original before committing to the FOR form — a page that deviates from
+//! the canonical builder layout in any way (or that doesn't shrink) falls
+//! back to raw, making the round trip bit-exact *unconditionally*.
+
+use dana_storage::{
+    PageLayoutDesc, Schema, StorageError, StorageResult, LINE_POINTER_BYTES, PAGE_HEADER_BYTES,
+};
+
+/// Codec id: page image stored verbatim.
+pub const CODEC_RAW: u8 = 0;
+/// Codec id: frame-of-reference + bit-packed lanes.
+pub const CODEC_FOR: u8 = 1;
+
+/// Compresses one page image. The result always begins with a codec id
+/// byte and always decompresses (via [`decompress_page`] with the same
+/// layout and schema) to exactly `bytes`.
+pub fn compress_page(bytes: &[u8], layout: &PageLayoutDesc, schema: &Schema) -> Vec<u8> {
+    if let Some(packed) = try_compress_for(bytes, layout, schema) {
+        if packed.len() < 1 + bytes.len() {
+            // Commit to FOR only if the reconstruction is bit-exact.
+            if let Ok(back) = decompress_page(&packed, layout, schema) {
+                if back == bytes {
+                    return packed;
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(1 + bytes.len());
+    out.push(CODEC_RAW);
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decompresses a page produced by [`compress_page`] back to its exact
+/// image.
+pub fn decompress_page(
+    packed: &[u8],
+    layout: &PageLayoutDesc,
+    schema: &Schema,
+) -> StorageResult<Vec<u8>> {
+    let (&codec, body) = packed
+        .split_first()
+        .ok_or_else(|| StorageError::CorruptPage("empty compressed page".to_string()))?;
+    match codec {
+        CODEC_RAW => {
+            if body.len() != layout.page_size {
+                return Err(StorageError::CorruptPage(format!(
+                    "raw codec body is {} bytes, layout says {}",
+                    body.len(),
+                    layout.page_size
+                )));
+            }
+            Ok(body.to_vec())
+        }
+        CODEC_FOR => decompress_for(body, layout, schema),
+        other => Err(StorageError::CorruptPage(format!(
+            "unknown page codec {other}"
+        ))),
+    }
+}
+
+/// Attempts the FOR encoding. Returns `None` when the page visibly
+/// deviates from the canonical builder layout (the final round-trip check
+/// in [`compress_page`] catches anything this misses).
+fn try_compress_for(bytes: &[u8], layout: &PageLayoutDesc, schema: &Schema) -> Option<Vec<u8>> {
+    if bytes.len() != layout.page_size || !layout.tuple_header_bytes.is_multiple_of(4) {
+        return None;
+    }
+    let count = u16::from_le_bytes(bytes[16..18].try_into().unwrap());
+    if count > layout.capacity {
+        return None;
+    }
+    // Line pointers must be exactly what the layout dictates (used slots)
+    // or zero (unused slots) — they are regenerated, not stored.
+    for slot in 0..layout.capacity {
+        let lp = PAGE_HEADER_BYTES + slot as usize * LINE_POINTER_BYTES;
+        let off = u16::from_le_bytes(bytes[lp..lp + 2].try_into().unwrap());
+        let len = u16::from_le_bytes(bytes[lp + 2..lp + 4].try_into().unwrap());
+        if slot < count {
+            if off as usize != layout.tuple_offset(slot) || len as usize != layout.tuple_bytes {
+                return None;
+            }
+        } else if off != 0 || len != 0 {
+            return None;
+        }
+    }
+    let n = count as usize;
+    let mut out = Vec::with_capacity(layout.page_size / 2);
+    out.push(CODEC_FOR);
+    out.extend_from_slice(&bytes[..PAGE_HEADER_BYTES]);
+    out.extend_from_slice(&bytes[layout.special_start()..]);
+
+    // Tuple-header word lanes.
+    let header_words = layout.tuple_header_bytes / 4;
+    let mut lane = Vec::with_capacity(n);
+    for w in 0..header_words {
+        lane.clear();
+        for slot in 0..count {
+            let at = layout.tuple_offset(slot) + w * 4;
+            lane.push(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as u64);
+        }
+        encode_lane(&lane, 4, &mut out);
+    }
+    // One lane per column: the cells' little-endian bit patterns.
+    for (idx, col) in schema.columns().iter().enumerate() {
+        let col_off = schema.column_offset(idx).ok()?;
+        let width = col.ty.width();
+        lane.clear();
+        for slot in 0..count {
+            let at = layout.tuple_offset(slot) + layout.tuple_header_bytes + col_off;
+            lane.push(match width {
+                4 => u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as u64,
+                _ => u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()),
+            });
+        }
+        encode_lane(&lane, width, &mut out);
+    }
+    Some(out)
+}
+
+fn decompress_for(body: &[u8], layout: &PageLayoutDesc, schema: &Schema) -> StorageResult<Vec<u8>> {
+    let corrupt = |what: &str| StorageError::CorruptPage(format!("FOR codec: {what}"));
+    let mut r = Reader { body, at: 0 };
+    let header = r.take(PAGE_HEADER_BYTES).ok_or_else(|| corrupt("header"))?;
+    let special = r
+        .take(layout.special_bytes)
+        .ok_or_else(|| corrupt("special space"))?;
+    let mut page = vec![0u8; layout.page_size];
+    page[..PAGE_HEADER_BYTES].copy_from_slice(header);
+    page[layout.special_start()..].copy_from_slice(special);
+    let count = u16::from_le_bytes(header[16..18].try_into().unwrap());
+    if count > layout.capacity {
+        return Err(corrupt("tuple_count exceeds capacity"));
+    }
+    for slot in 0..count {
+        let lp = PAGE_HEADER_BYTES + slot as usize * LINE_POINTER_BYTES;
+        page[lp..lp + 2].copy_from_slice(&(layout.tuple_offset(slot) as u16).to_le_bytes());
+        page[lp + 2..lp + 4].copy_from_slice(&(layout.tuple_bytes as u16).to_le_bytes());
+    }
+    let n = count as usize;
+    let mut lane = Vec::with_capacity(n);
+    let header_words = layout.tuple_header_bytes / 4;
+    for w in 0..header_words {
+        r.decode_lane(n, 4, &mut lane)
+            .ok_or_else(|| corrupt("tuple-header lane"))?;
+        for (slot, &v) in lane.iter().enumerate() {
+            let at = layout.tuple_offset(slot as u16) + w * 4;
+            page[at..at + 4].copy_from_slice(&(v as u32).to_le_bytes());
+        }
+    }
+    for (idx, col) in schema.columns().iter().enumerate() {
+        let col_off = schema
+            .column_offset(idx)
+            .map_err(|e| corrupt(&e.to_string()))?;
+        let width = col.ty.width();
+        r.decode_lane(n, width, &mut lane)
+            .ok_or_else(|| corrupt("column lane"))?;
+        for (slot, &v) in lane.iter().enumerate() {
+            let at = layout.tuple_offset(slot as u16) + layout.tuple_header_bytes + col_off;
+            match width {
+                4 => page[at..at + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+                _ => page[at..at + 8].copy_from_slice(&v.to_le_bytes()),
+            }
+        }
+    }
+    if r.at != body.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(page)
+}
+
+/// Lane mode: frame-of-reference over the raw integer values.
+const LANE_FOR: u8 = 0;
+/// Lane mode: sorted dictionary + bit-packed indices (low-cardinality
+/// lanes — e.g. categorical or quantized float columns — where the value
+/// *range* is wide but the distinct count is small).
+const LANE_DICT: u8 = 1;
+
+/// Maximum dictionary size worth trying (12-bit indices).
+const DICT_MAX: usize = 4096;
+
+/// Encodes one lane, choosing the smaller of
+/// `[LANE_FOR][min: width bytes LE][bit_width: u8][packed deltas]` and
+/// `[LANE_DICT][n_dict: u16 LE][dict: n_dict × width bytes][bit_width: u8][packed indices]`.
+fn encode_lane(values: &[u64], width: usize, out: &mut Vec<u8>) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max_delta = values.iter().map(|&v| v - min).max().unwrap_or(0);
+    let for_bw = 64 - max_delta.leading_zeros() as usize; // 0 when all equal
+    let for_len = width + 1 + packed_len(values.len(), for_bw);
+
+    let mut dict: Vec<u64> = values.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    let dict_bw = usize::BITS as usize - (dict.len().max(1) - 1).leading_zeros() as usize;
+    let dict_len = 2 + dict.len() * width + 1 + packed_len(values.len(), dict_bw);
+
+    if dict.len() <= DICT_MAX && dict_len < for_len {
+        out.push(LANE_DICT);
+        out.extend_from_slice(&(dict.len() as u16).to_le_bytes());
+        for &v in &dict {
+            put_value(v, width, out);
+        }
+        out.push(dict_bw as u8);
+        pack_bits(
+            values
+                .iter()
+                .map(|v| dict.binary_search(v).expect("value in dict") as u64),
+            dict_bw,
+            out,
+        );
+    } else {
+        out.push(LANE_FOR);
+        put_value(min, width, out);
+        out.push(for_bw as u8);
+        pack_bits(values.iter().map(|&v| v - min), for_bw, out);
+    }
+}
+
+fn put_value(v: u64, width: usize, out: &mut Vec<u8>) {
+    match width {
+        4 => out.extend_from_slice(&(v as u32).to_le_bytes()),
+        _ => out.extend_from_slice(&v.to_le_bytes()),
+    }
+}
+
+fn packed_len(n: usize, bw: usize) -> usize {
+    (n * bw).div_ceil(8)
+}
+
+fn pack_bits(values: impl Iterator<Item = u64>, bw: usize, out: &mut Vec<u8>) {
+    let mut acc: u128 = 0;
+    let mut nbits = 0usize;
+    for v in values {
+        acc |= (v as u128) << nbits;
+        nbits += bw;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.body.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+
+    fn value(&mut self, width: usize) -> Option<u64> {
+        Some(match width {
+            4 => u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as u64,
+            _ => u64::from_le_bytes(self.take(8)?.try_into().unwrap()),
+        })
+    }
+
+    /// Decodes one lane of `n` values of on-page `width` into `lane`.
+    fn decode_lane(&mut self, n: usize, width: usize, lane: &mut Vec<u64>) -> Option<()> {
+        let mode = *self.take(1)?.first()?;
+        match mode {
+            LANE_FOR => {
+                let min = self.value(width)?;
+                let raw = self.unpack(n)?;
+                lane.clear();
+                for d in raw {
+                    lane.push(min.wrapping_add(d));
+                }
+            }
+            LANE_DICT => {
+                let n_dict = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+                let mut dict = Vec::with_capacity(n_dict);
+                for _ in 0..n_dict {
+                    dict.push(self.value(width)?);
+                }
+                let idx = self.unpack(n)?;
+                lane.clear();
+                for i in idx {
+                    lane.push(*dict.get(i as usize)?);
+                }
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Reads `[bit_width: u8][packed]` and unpacks `n` values.
+    fn unpack(&mut self, n: usize) -> Option<Vec<u64>> {
+        let bw = *self.take(1)?.first()? as usize;
+        if bw > 64 {
+            return None;
+        }
+        let packed = self.take(packed_len(n, bw))?;
+        let mut out = Vec::with_capacity(n);
+        let mut acc: u128 = 0;
+        let mut nbits = 0usize;
+        let mut next = 0usize;
+        let mask: u128 = if bw == 0 { 0 } else { (!0u128) >> (128 - bw) };
+        for _ in 0..n {
+            while nbits < bw {
+                acc |= (packed[next] as u128) << nbits;
+                next += 1;
+                nbits += 8;
+            }
+            out.push((acc & mask) as u64);
+            acc >>= bw;
+            nbits -= bw;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dana_storage::page::TupleDirection;
+    use dana_storage::{HeapFileBuilder, Tuple};
+
+    fn build_pages(n: usize, d: usize, dir: TupleDirection) -> (Vec<Vec<u8>>, PageLayoutDesc) {
+        let schema = Schema::training(d);
+        let mut b = HeapFileBuilder::new(schema, 8 * 1024, dir).unwrap();
+        for k in 0..n {
+            let x: Vec<f32> = (0..d).map(|i| ((k * 3 + i) % 7) as f32 * 0.25).collect();
+            b.insert(&Tuple::training(&x, k as f32)).unwrap();
+        }
+        let heap = b.finish();
+        let layout = *heap.layout();
+        let pages = (0..heap.page_count())
+            .map(|p| heap.page_bytes(p).unwrap().to_vec())
+            .collect();
+        (pages, layout)
+    }
+
+    #[test]
+    fn builder_pages_round_trip_and_shrink() {
+        for dir in [TupleDirection::Ascending, TupleDirection::Descending] {
+            let (pages, layout) = build_pages(500, 8, dir);
+            let schema = Schema::training(8);
+            let mut raw = 0usize;
+            let mut packed_total = 0usize;
+            for page in &pages {
+                let packed = compress_page(page, &layout, &schema);
+                assert_eq!(packed[0], CODEC_FOR, "builder pages are canonical");
+                let back = decompress_page(&packed, &layout, &schema).unwrap();
+                assert_eq!(&back, page);
+                raw += page.len();
+                packed_total += packed.len();
+            }
+            assert!(
+                packed_total < raw / 2,
+                "clustered data must compress ≥2×: {packed_total} vs {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn special_float_bit_patterns_survive() {
+        let schema = Schema::training(2);
+        let mut b =
+            HeapFileBuilder::new(schema.clone(), 8 * 1024, TupleDirection::Ascending).unwrap();
+        let oddballs = [
+            f32::NAN,
+            f32::from_bits(0x7fc0_1234), // NaN with payload
+            -0.0,
+            0.0,
+            f32::from_bits(1), // smallest subnormal
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+        ];
+        for (k, &v) in oddballs.iter().enumerate() {
+            b.insert(&Tuple::training(&[v, -v], k as f32)).unwrap();
+        }
+        let heap = b.finish();
+        let page = heap.page_bytes(0).unwrap();
+        let packed = compress_page(page, heap.layout(), &schema);
+        let back = decompress_page(&packed, heap.layout(), &schema).unwrap();
+        assert_eq!(back.as_slice(), page, "bit patterns must survive exactly");
+    }
+
+    #[test]
+    fn corrupted_page_falls_back_to_raw() {
+        let (pages, layout) = build_pages(50, 4, TupleDirection::Ascending);
+        let schema = Schema::training(4);
+        let mut bent = pages[0].clone();
+        // Scribble on a line pointer: no longer canonical.
+        bent[PAGE_HEADER_BYTES] ^= 0xFF;
+        let packed = compress_page(&bent, &layout, &schema);
+        assert_eq!(packed[0], CODEC_RAW);
+        assert_eq!(decompress_page(&packed, &layout, &schema).unwrap(), bent);
+    }
+
+    #[test]
+    fn unknown_codec_and_truncation_are_typed_errors() {
+        let layout = PageLayoutDesc::new(8 * 1024, 0, 60, 16, TupleDirection::Ascending).unwrap();
+        let schema = Schema::training(10);
+        assert!(decompress_page(&[], &layout, &schema).is_err());
+        assert!(decompress_page(&[9, 0, 0], &layout, &schema).is_err());
+        assert!(decompress_page(&[CODEC_RAW, 0], &layout, &schema).is_err());
+        assert!(decompress_page(&[CODEC_FOR, 1, 2], &layout, &schema).is_err());
+    }
+}

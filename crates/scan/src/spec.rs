@@ -1,0 +1,347 @@
+//! The pushdown scan specification: what `WHERE` and `COLUMNS` compile to.
+//!
+//! A [`ScanSpec`] carries column *names* (the parser knows no schema); at
+//! query time it binds against the scanned table's schema into a
+//! [`BoundScanSpec`], which does three jobs page-at-a-time, *before* tuple
+//! extraction: prune whole pages via zone maps, filter individual rows,
+//! and project the surviving rows down to the requested columns.
+
+use crate::zonemap::PageZone;
+use dana_storage::Schema;
+
+/// A typed scan-binding or scan-grammar error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError(pub String);
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Comparison operator of one `WHERE` conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Parses the SQL spelling (`<`, `<=`, `>`, `>=`, `=`, `!=`/`<>`).
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "=" => CmpOp::Eq,
+            "!=" | "<>" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// IEEE-754 comparison semantics: NaN fails everything except `!=`.
+    pub fn matches(&self, cell: f32, constant: f32) -> bool {
+        match self {
+            CmpOp::Lt => cell < constant,
+            CmpOp::Le => cell <= constant,
+            CmpOp::Gt => cell > constant,
+            CmpOp::Ge => cell >= constant,
+            CmpOp::Eq => cell == constant,
+            CmpOp::Ne => cell != constant,
+        }
+    }
+}
+
+/// One `WHERE` conjunct, by column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub column: String,
+    pub op: CmpOp,
+    pub value: f32,
+}
+
+/// The parse-time pushdown spec: AND-combined predicates plus an optional
+/// projection column list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanSpec {
+    pub predicates: Vec<Predicate>,
+    pub projection: Option<Vec<String>>,
+}
+
+impl ScanSpec {
+    /// True when the spec does nothing (no predicates, no projection).
+    pub fn is_trivial(&self) -> bool {
+        self.predicates.is_empty() && self.projection.is_none()
+    }
+
+    /// Resolves column names against `schema`.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundScanSpec, ScanError> {
+        let lookup = |name: &str| {
+            schema.column_index(name).ok_or_else(|| {
+                let known: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+                ScanError(format!(
+                    "unknown column '{name}' (table columns: {})",
+                    known.join(", ")
+                ))
+            })
+        };
+        let predicates = self
+            .predicates
+            .iter()
+            .map(|p| {
+                Ok(BoundPredicate {
+                    column: lookup(&p.column)?,
+                    op: p.op,
+                    value: p.value,
+                })
+            })
+            .collect::<Result<Vec<_>, ScanError>>()?;
+        let projection = match &self.projection {
+            None => None,
+            Some(cols) => {
+                if cols.is_empty() {
+                    return Err(ScanError("COLUMNS list cannot be empty".to_string()));
+                }
+                Some(cols.iter().map(|c| lookup(c)).collect::<Result<_, _>>()?)
+            }
+        };
+        Ok(BoundScanSpec {
+            predicates,
+            projection,
+        })
+    }
+
+    /// Schema-free selectivity estimate for cost planning, usable before
+    /// any zone maps exist (the advisor prices a statement without
+    /// touching the table): equality keeps 5% of rows, inequality (`!=`)
+    /// 95%, each range conjunct one third; conjuncts multiply and the
+    /// product is clamped to `[0.01, 1.0]`. Never used for correctness.
+    pub fn planning_selectivity(&self) -> f64 {
+        let mut s = 1.0f64;
+        for p in &self.predicates {
+            s *= match p.op {
+                CmpOp::Eq => 0.05,
+                CmpOp::Ne => 0.95,
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => 1.0 / 3.0,
+            };
+        }
+        s.clamp(0.01, 1.0)
+    }
+}
+
+/// One conjunct bound to a column index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundPredicate {
+    pub column: usize,
+    pub op: CmpOp,
+    pub value: f32,
+}
+
+impl BoundPredicate {
+    /// Whether *any* tuple on a page with this zone could match.
+    fn page_can_match(&self, zone: &PageZone) -> bool {
+        let (min, max) = (zone.min[self.column], zone.max[self.column]);
+        let has_real = min <= max; // false when all-NaN/empty
+        match self.op {
+            CmpOp::Lt => has_real && min < self.value,
+            CmpOp::Le => has_real && min <= self.value,
+            CmpOp::Gt => has_real && max > self.value,
+            CmpOp::Ge => has_real && max >= self.value,
+            CmpOp::Eq => has_real && min <= self.value && self.value <= max,
+            // NaN != c for every c, so a page with NaN cells always may
+            // match; otherwise only an all-equal page can be pruned.
+            CmpOp::Ne => {
+                zone.has_nan[self.column] || (has_real && (min != self.value || max != self.value))
+            }
+        }
+    }
+
+    /// Estimated match fraction on a page, from its zone (uniform
+    /// assumption within `[min, max]`) — drives EXPLAIN's priced scan and
+    /// post-filter shard planning; never used for correctness.
+    fn page_selectivity(&self, zone: &PageZone) -> f64 {
+        if !self.page_can_match(zone) {
+            return 0.0;
+        }
+        let (min, max) = (zone.min[self.column] as f64, zone.max[self.column] as f64);
+        let v = self.value as f64;
+        let span = max - min;
+        let frac_below = if span > 0.0 {
+            ((v - min) / span).clamp(0.0, 1.0)
+        } else if v >= min {
+            1.0
+        } else {
+            0.0
+        };
+        match self.op {
+            CmpOp::Lt | CmpOp::Le => frac_below.max(0.01),
+            CmpOp::Gt | CmpOp::Ge => (1.0 - frac_below).max(0.01),
+            CmpOp::Eq => 0.05,
+            CmpOp::Ne => 0.95,
+        }
+    }
+}
+
+/// A [`ScanSpec`] bound to a concrete schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoundScanSpec {
+    pub predicates: Vec<BoundPredicate>,
+    pub projection: Option<Vec<usize>>,
+}
+
+impl BoundScanSpec {
+    /// Width of the post-projection tuple stream.
+    pub fn output_width(&self, schema_len: usize) -> usize {
+        match &self.projection {
+            Some(p) => p.len(),
+            None => schema_len,
+        }
+    }
+
+    /// Whether any tuple on a page with this zone could match every
+    /// conjunct (false → the page is skipped without being fetched).
+    pub fn page_can_match(&self, zone: &PageZone) -> bool {
+        zone.tuples > 0 && self.predicates.iter().all(|p| p.page_can_match(zone))
+    }
+
+    /// Whether one full-width row passes every conjunct.
+    pub fn row_matches(&self, row: &[f32]) -> bool {
+        self.predicates
+            .iter()
+            .all(|p| p.op.matches(row[p.column], p.value))
+    }
+
+    /// Estimated post-filter tuple count over `zones` (zone-pruned pages
+    /// contribute zero; surviving pages contribute their tuple count times
+    /// the product of per-conjunct selectivities). An *estimate* for
+    /// pricing and shard planning only.
+    pub fn estimated_tuples(&self, zones: &[PageZone]) -> u64 {
+        zones
+            .iter()
+            .map(|z| {
+                if !self.page_can_match(z) {
+                    return 0u64;
+                }
+                let sel: f64 = self
+                    .predicates
+                    .iter()
+                    .map(|p| p.page_selectivity(z))
+                    .product();
+                (z.tuples as f64 * sel).ceil() as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(min: f32, max: f32, nan: bool) -> PageZone {
+        PageZone {
+            min: vec![min],
+            max: vec![max],
+            has_nan: vec![nan],
+            tuples: 100,
+        }
+    }
+
+    #[test]
+    fn cmp_ops_follow_ieee_semantics() {
+        assert!(CmpOp::Lt.matches(1.0, 2.0));
+        assert!(!CmpOp::Lt.matches(f32::NAN, 2.0));
+        assert!(CmpOp::Ne.matches(f32::NAN, 2.0), "NaN != c holds");
+        assert!(CmpOp::Eq.matches(-0.0, 0.0), "IEEE -0 == +0");
+        assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("=="), None);
+    }
+
+    #[test]
+    fn binding_resolves_names_and_rejects_unknowns() {
+        let schema = Schema::training(2); // x0, x1, y
+        let spec = ScanSpec {
+            predicates: vec![Predicate {
+                column: "y".into(),
+                op: CmpOp::Gt,
+                value: 0.5,
+            }],
+            projection: Some(vec!["x1".into(), "y".into()]),
+        };
+        let bound = spec.bind(&schema).unwrap();
+        assert_eq!(bound.predicates[0].column, 2);
+        assert_eq!(bound.projection, Some(vec![1, 2]));
+        assert_eq!(bound.output_width(3), 2);
+
+        let bad = ScanSpec {
+            predicates: vec![Predicate {
+                column: "ghost".into(),
+                op: CmpOp::Lt,
+                value: 0.0,
+            }],
+            projection: None,
+        };
+        let err = bad.bind(&schema).unwrap_err();
+        assert!(err.0.contains("ghost"), "{err}");
+
+        let empty = ScanSpec {
+            predicates: vec![],
+            projection: Some(vec![]),
+        };
+        assert!(empty.bind(&schema).is_err());
+    }
+
+    #[test]
+    fn zone_pruning_is_conservative() {
+        let schema = Schema::new(vec![("a".into(), dana_storage::ColumnType::Float4)]);
+        let gt = ScanSpec {
+            predicates: vec![Predicate {
+                column: "a".into(),
+                op: CmpOp::Gt,
+                value: 10.0,
+            }],
+            projection: None,
+        }
+        .bind(&schema)
+        .unwrap();
+        assert!(!gt.page_can_match(&zone(0.0, 5.0, false)), "max below cut");
+        assert!(gt.page_can_match(&zone(0.0, 50.0, false)));
+
+        let ne = ScanSpec {
+            predicates: vec![Predicate {
+                column: "a".into(),
+                op: CmpOp::Ne,
+                value: 3.0,
+            }],
+            projection: None,
+        }
+        .bind(&schema)
+        .unwrap();
+        // All-equal page of exactly the constant: prunable…
+        assert!(!ne.page_can_match(&zone(3.0, 3.0, false)));
+        // …unless NaNs hide on the page (NaN != 3.0 matches).
+        assert!(ne.page_can_match(&zone(3.0, 3.0, true)));
+
+        // Empty page never matches anything.
+        let mut empty = zone(0.0, 1.0, false);
+        empty.tuples = 0;
+        assert!(!gt.page_can_match(&empty));
+    }
+}

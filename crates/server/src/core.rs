@@ -29,24 +29,27 @@ use dana::exec::{self, ArtifactBlob, CachedAccelerator, RunArtifacts, ShardArtif
 use dana::{
     AnalyzeReport, BackendKind, DanaError, DanaReport, DanaResult, DeployInfo, DropSummary,
     EvalReport, ExecutionMode, FeedKind, HardwareProfile, MetricKind, PointCall, PointReport,
-    PredictReport, QueryOutcome, SharedPageStreamSource, Statement, StatementOutcome,
-    StrategyComparison,
+    PredictReport, QueryOutcome, ScanSpec, ScanState, SharedPageStreamSource, Statement,
+    StatementOutcome, StrategyComparison,
 };
 use dana_compiler::{compile, compile_with_threads, CompileInput, CompiledAccelerator};
 use dana_engine::{
-    run_training_guarded, CancelToken, ExecutionBackend, FaultEvents, FaultPlan, ModelStore,
-    RetryPolicy, RunGuard,
+    run_training_guarded, CancelToken, EngineError, ExecutionBackend, FaultEvents, FaultPlan,
+    ModelStore, RetryPolicy, RunGuard,
 };
 use dana_fpga::FpgaSpec;
 use dana_hdfg::translate;
 use dana_ml::CpuModel;
 use dana_obs::{MetricsRegistry, SpanRecorder, StatEntry, StatsSnapshot};
-use dana_parallel::{evaluate_gang, score_gang_concat, train_gang_guarded, GangGuard, ShardPlan};
+use dana_parallel::{
+    evaluate_gang, packed_tuple_splits, score_gang_concat, split_replay_sources,
+    train_gang_guarded, GangGuard, ReplaySource, ShardPlan,
+};
 use dana_storage::{
     AcceleratorEntry, BufferPoolConfig, BufferPoolStats, Catalog, DiskModel, HeapFile, HeapId,
     RuntimeCache, SharedBufferPool, TableEntry,
 };
-use dana_strider::disassemble;
+use dana_strider::{disassemble, AccessEngine, AccessStats};
 
 /// How to build a [`SystemCore`].
 #[derive(Debug, Clone, Copy)]
@@ -272,6 +275,20 @@ impl SystemCore {
             "resident_pages",
             self.pool.resident_pages() as f64,
         ));
+        out.push(StatEntry::new(
+            "buffer",
+            "resident_bytes",
+            self.pool.resident_bytes() as f64,
+        ));
+        let mut per_heap = self.pool.per_heap_frames();
+        per_heap.sort_unstable();
+        for (heap_id, frames) in per_heap {
+            out.push(StatEntry::new(
+                "buffer",
+                format!("heap_{heap_id}_frames"),
+                frames as f64,
+            ));
+        }
         let ec = self.engine_cache_stats();
         out.push(StatEntry::new("engine", "engines_built", ec.built as f64));
         out.push(StatEntry::new(
@@ -311,10 +328,14 @@ impl SystemCore {
         let invalidated_udfs = cat.invalidate_accelerators_for(name);
         let derived = cat.invalidate_derived_for(name);
         drop(cat);
-        let pages_evicted = self.pool.evict_heap_force(entry.heap_id);
+        // Evict raw frames and the scan tier's compressed shadow frames;
+        // the zone-map/codec sidecar died with the catalog entry above.
+        let pages_evicted = self.pool.evict_heap_force(entry.heap_id)
+            + self.pool.evict_heap_force(entry.heap_id.shadow());
         let mut stale_prediction_tables = Vec::new();
         for (table, heap_id) in derived {
             self.pool.evict_heap_force(heap_id);
+            self.pool.evict_heap_force(heap_id.shadow());
             stale_prediction_tables.push(table);
         }
         self.metrics
@@ -456,28 +477,32 @@ impl SystemCore {
             table,
             &SpanRecorder::disabled(),
             &QueryCtx::unbounded(),
+            None,
         )
     }
 
     /// [`SystemCore::run_udf`] with a span recorder for the lifecycle
-    /// trace (a no-op when disabled — the common case) and the query's
-    /// cancellation/retry context.
+    /// trace (a no-op when disabled — the common case), the query's
+    /// cancellation/retry context, and the SQL front door's optional
+    /// pushdown scan spec.
     fn run_udf_rec(
         &self,
         udf: &str,
         table: &str,
         rec: &SpanRecorder,
         ctx: &QueryCtx,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let report = self.run_on_heap(
             &cached,
-            entry.heap_id,
+            &entry,
             &heap,
             ExecutionMode::Strider,
             rec,
             ctx,
+            scan,
         )?;
         // Store through a short read lock (the slot is interior-mutable).
         // A drop that raced the run cleared `trained` and marked the
@@ -514,8 +539,8 @@ impl SystemCore {
     /// serving tier's `EXPLAIN`. Runs entirely on catalog metadata and
     /// the cached lowering; no lease, no scan.
     pub fn explain_statement(&self, stmt: &Statement) -> DanaResult<StrategyComparison> {
-        let (cached, rows) = self.advisor_inputs(stmt)?;
-        exec::explain_statement(&self.hardware_profile(), &cached, rows, stmt)
+        let (cached, rows, columns) = self.advisor_inputs(stmt)?;
+        exec::explain_statement(&self.hardware_profile(), &cached, rows, columns, stmt)
     }
 
     /// Resolves the substrate one statement runs on (`WITH (backend=…)`
@@ -547,8 +572,8 @@ impl SystemCore {
             dana::BackendChoice::Fpga => Ok(BackendKind::Fpga),
             dana::BackendChoice::Cpu => Ok(BackendKind::Cpu),
             dana::BackendChoice::Auto => {
-                let (cached, rows) = self.advisor_inputs(stmt)?;
-                exec::resolve_backend(&self.hardware_profile(), &cached, rows, stmt)
+                let (cached, rows, columns) = self.advisor_inputs(stmt)?;
+                exec::resolve_backend(&self.hardware_profile(), &cached, rows, columns, stmt)
             }
         }
     }
@@ -557,7 +582,7 @@ impl SystemCore {
     /// runtime (stale-checked, cache-counted) and the row count it
     /// would score — the live table's tuple count, or the inline
     /// VALUES row count for point-form PREDICT (no table involved).
-    fn advisor_inputs(&self, stmt: &Statement) -> DanaResult<(Arc<CachedAccelerator>, u64)> {
+    fn advisor_inputs(&self, stmt: &Statement) -> DanaResult<(Arc<CachedAccelerator>, u64, usize)> {
         let (udf, table) = match stmt {
             Statement::Train(c) => (&c.udf, Some(&c.table)),
             Statement::Predict(p) => (&p.udf, Some(&p.table)),
@@ -573,12 +598,17 @@ impl SystemCore {
             }
         };
         let cached = self.accelerator_runtime(udf)?;
-        let rows = match (table, stmt) {
-            (Some(table), _) => self.read().live_table(table)?.tuple_count,
-            (None, Statement::PredictPoint(p)) => p.rows.len() as u64,
+        let (rows, columns) = match (table, stmt) {
+            (Some(table), _) => {
+                let cat = self.read();
+                let t = cat.live_table(table)?;
+                let columns = cat.heap(t.heap_id)?.schema().len();
+                (t.tuple_count, columns)
+            }
+            (None, Statement::PredictPoint(p)) => (p.rows.len() as u64, 0),
             (None, _) => unreachable!("only point predictions are table-less"),
         };
-        Ok((cached, rows))
+        Ok((cached, rows, columns))
     }
 
     /// Runs a deployed accelerator's lowered program on the **native CPU
@@ -592,6 +622,7 @@ impl SystemCore {
             table,
             &SpanRecorder::disabled(),
             &QueryCtx::unbounded(),
+            None,
         )
     }
 
@@ -601,14 +632,16 @@ impl SystemCore {
         table: &str,
         rec: &SpanRecorder,
         ctx: &QueryCtx,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let design = cached.engine.design();
         let access = exec::access_engine_for(&heap, cached.budget, &self.fpga);
+        let state = exec::scan_state(&entry, &heap, scan)?;
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let feed = FeedKind::for_mode(ExecutionMode::Strider);
-        let mut source = SharedPageStreamSource::new(
+        let base = SharedPageStreamSource::new(
             &self.pool,
             &self.disk,
             &heap,
@@ -616,6 +649,10 @@ impl SystemCore {
             &access,
             feed,
         );
+        let mut source = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let plan = self.fault_plan();
         let guard = RunGuard::new(&ctx.cancel)
             .with_fault(plan.as_deref())
@@ -625,6 +662,9 @@ impl SystemCore {
             .run_training_guarded(&mut source, &mut store, &guard)?;
         self.record_fault_events(&events, rec);
         let (access_stats, _io_first) = source.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         let report = exec::assemble_cpu_report(design, run, access_stats, store, rec);
         let cat = self.read();
         if let Ok(entry) = cat.accelerator(udf) {
@@ -647,6 +687,7 @@ impl SystemCore {
             None,
             BackendKind::Cpu,
             &SpanRecorder::disabled(),
+            None,
         )
     }
 
@@ -666,6 +707,7 @@ impl SystemCore {
             None,
             BackendKind::Cpu,
             &SpanRecorder::disabled(),
+            None,
         )
     }
 
@@ -691,11 +733,12 @@ impl SystemCore {
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         self.run_on_heap(
             &CachedAccelerator::from_compiled(&acc, None),
-            entry.heap_id,
+            &entry,
             &heap,
             mode,
             &SpanRecorder::disabled(),
             &QueryCtx::unbounded(),
+            None,
         )
     }
 
@@ -719,9 +762,11 @@ impl SystemCore {
             shards,
             &SpanRecorder::disabled(),
             &QueryCtx::unbounded(),
+            None,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_udf_sharded_rec(
         &self,
         udf: &str,
@@ -729,17 +774,19 @@ impl SystemCore {
         shards: u16,
         rec: &SpanRecorder,
         ctx: &QueryCtx,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let cached = self.accelerator_runtime(udf)?;
         let (entry, heap) = self.snapshot_table(table)?;
         let report = self.run_gang_on_heap(
             &cached,
-            entry.heap_id,
+            &entry,
             &heap,
             ExecutionMode::Strider,
             shards,
             rec,
             ctx,
+            scan,
         )?;
         let cat = self.read();
         if let Ok(entry) = cat.accelerator(udf) {
@@ -754,39 +801,75 @@ impl SystemCore {
     fn run_gang_on_heap(
         &self,
         acc: &CachedAccelerator,
-        heap_id: HeapId,
+        entry: &TableEntry,
         heap: &HeapFile,
         mode: ExecutionMode,
         shards: u16,
         rec: &SpanRecorder,
         ctx: &QueryCtx,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
         let design = engine.design();
+        let heap_id = entry.heap_id;
         let access = exec::access_engine_for(heap, budget, &self.fpga);
-        let plan = ShardPlan::new(heap, shards as usize);
         let feed = FeedKind::for_mode(mode);
-        let mut sources: Vec<SharedPageStreamSource<'_>> = plan
-            .ranges()
-            .iter()
-            .map(|r| {
-                SharedPageStreamSource::with_range(
-                    &self.pool,
-                    &self.disk,
-                    heap,
-                    heap_id,
-                    &access,
-                    feed,
-                    r.start_page,
-                    r.end_page,
-                )
-            })
-            .collect();
-        let plan = self.fault_plan();
-        let guard = GangGuard::new(&ctx.cancel).with_fault(plan.as_deref());
-        let outcome =
-            train_gang_guarded(engine, &mut sources, exec::initial_models(design), &guard)?;
+        let state = exec::scan_state(entry, heap, scan)?;
+        let fault = self.fault_plan();
+        let guard = GangGuard::new(&ctx.cancel).with_fault(fault.as_deref());
+        let (outcome, arts) = match &state {
+            None => {
+                let plan = ShardPlan::new(heap, shards as usize);
+                let mut sources: Vec<SharedPageStreamSource<'_>> = plan
+                    .ranges()
+                    .iter()
+                    .map(|r| {
+                        SharedPageStreamSource::with_range(
+                            &self.pool,
+                            &self.disk,
+                            heap,
+                            heap_id,
+                            &access,
+                            feed,
+                            r.start_page,
+                            r.end_page,
+                        )
+                    })
+                    .collect();
+                let outcome =
+                    train_gang_guarded(engine, &mut sources, exec::initial_models(design), &guard)?;
+                let arts: Vec<ShardArtifacts> = sources
+                    .into_iter()
+                    .zip(&outcome.shard_stats)
+                    .map(|(src, stats)| {
+                        let (access_stats, io_first) = src.into_stats();
+                        ShardArtifacts {
+                            engine_stats: *stats,
+                            access_stats,
+                            io_first,
+                        }
+                    })
+                    .collect();
+                (outcome, arts)
+            }
+            Some(st) => {
+                let (mut sources, scans) =
+                    self.filtered_replay_shards(heap, heap_id, &access, feed, shards, st)?;
+                let outcome =
+                    train_gang_guarded(engine, &mut sources, exec::initial_models(design), &guard)?;
+                let arts: Vec<ShardArtifacts> = scans
+                    .into_iter()
+                    .zip(&outcome.shard_stats)
+                    .map(|((access_stats, io_first), stats)| ShardArtifacts {
+                        engine_stats: *stats,
+                        access_stats,
+                        io_first,
+                    })
+                    .collect();
+                (outcome, arts)
+            }
+        };
         if !outcome.faulted_shards.is_empty() {
             self.record_fault_events(
                 &FaultEvents {
@@ -802,18 +885,6 @@ impl SystemCore {
             rec.set_count(exec::stage::FAULT_RETRY, outcome.reexecuted_epochs as u64);
             ctx.record_faulted(&outcome.faulted_shards);
         }
-        let arts: Vec<ShardArtifacts> = sources
-            .into_iter()
-            .zip(&outcome.shard_stats)
-            .map(|(src, stats)| {
-                let (access_stats, io_first) = src.into_stats();
-                ShardArtifacts {
-                    engine_stats: *stats,
-                    access_stats,
-                    io_first,
-                }
-            })
-            .collect();
         exec::assemble_gang_report(
             mode,
             design,
@@ -842,7 +913,7 @@ impl SystemCore {
         dest: &str,
         shards: u16,
     ) -> DanaResult<PredictReport> {
-        self.predict_sharded_rec(udf, source, dest, shards, &SpanRecorder::disabled())
+        self.predict_sharded_rec(udf, source, dest, shards, &SpanRecorder::disabled(), None)
     }
 
     fn predict_sharded_rec(
@@ -852,6 +923,7 @@ impl SystemCore {
         dest: &str,
         shards: u16,
         rec: &SpanRecorder,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let (entry, heap) = self.snapshot_table(source)?;
@@ -860,16 +932,28 @@ impl SystemCore {
                 dana_storage::StorageError::DuplicateName(dest.to_string()),
             ));
         }
-        let (predictions, stats, timing, k) = self.sharded_scoring_scan(
-            &setup,
-            &entry,
-            &heap,
-            shards,
-            rec,
-            |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
-        )?;
+        let state = exec::scan_state(&entry, &heap, scan)?;
+        let (predictions, stats, timing, k) = match &state {
+            None => self.sharded_scoring_scan(
+                &setup,
+                &entry,
+                &heap,
+                shards,
+                rec,
+                |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
+            )?,
+            Some(st) => self.sharded_scoring_scan_filtered(
+                &setup,
+                &entry,
+                &heap,
+                shards,
+                st,
+                rec,
+                |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
+            )?,
+        };
         let mat_start = std::time::Instant::now();
-        let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
+        let out_heap = exec::materialize_predictions(&entry, &heap, scan, &predictions)?;
         {
             let mut cat = self.write();
             match cat.table(source) {
@@ -907,9 +991,10 @@ impl SystemCore {
         metric: Option<MetricKind>,
         shards: u16,
     ) -> DanaResult<EvalReport> {
-        self.evaluate_sharded_rec(udf, table, metric, shards, &SpanRecorder::disabled())
+        self.evaluate_sharded_rec(udf, table, metric, shards, &SpanRecorder::disabled(), None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_sharded_rec(
         &self,
         udf: &str,
@@ -917,27 +1002,40 @@ impl SystemCore {
         metric: Option<MetricKind>,
         shards: u16,
         rec: &SpanRecorder,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, ExecutionMode::Strider, None)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let (value, stats, timing, k) = self.sharded_scoring_scan(
-            &setup,
-            &entry,
-            &heap,
-            shards,
-            rec,
-            |program, lanes, sources| {
-                let evals = evaluate_gang(program, lanes, sources, metric)?;
-                let mut partial = dana_infer::MetricPartial::default();
-                for e in &evals {
-                    partial.absorb(e.partial);
-                }
-                let stats: Vec<_> = evals.iter().map(|e| e.stats).collect();
-                Ok((partial.finish(metric)?, stats))
-            },
-        )?;
+        let state = exec::scan_state(&entry, &heap, scan)?;
+        let fold = |evals: Vec<dana_parallel::ShardEval>| {
+            let mut partial = dana_infer::MetricPartial::default();
+            for e in &evals {
+                partial.absorb(e.partial);
+            }
+            let stats: Vec<_> = evals.iter().map(|e| e.stats).collect();
+            Ok((partial.finish(metric)?, stats))
+        };
+        let (value, stats, timing, k) = match &state {
+            None => self.sharded_scoring_scan(
+                &setup,
+                &entry,
+                &heap,
+                shards,
+                rec,
+                |program, lanes, sources| fold(evaluate_gang(program, lanes, sources, metric)?),
+            )?,
+            Some(st) => self.sharded_scoring_scan_filtered(
+                &setup,
+                &entry,
+                &heap,
+                shards,
+                st,
+                rec,
+                |program, lanes, sources| fold(evaluate_gang(program, lanes, sources, metric)?),
+            )?,
+        };
         Ok(EvalReport {
             udf: udf.to_string(),
             table: table.to_string(),
@@ -965,6 +1063,85 @@ impl SystemCore {
             |program, lanes, sources| Ok(score_gang_concat(program, lanes, sources)?),
         )?;
         Ok(predictions)
+    }
+
+    /// Streams the whole table once through a pushdown scan and re-splits
+    /// the surviving tuples at the page boundaries a pre-materialized
+    /// filtered table would have (see `dana`'s serial twin): shard
+    /// contents — and so gang merges and concatenated scores — are
+    /// bit-identical to sharding that table. Returns replaying shard
+    /// sources plus each shard's share of the scan's measured cost.
+    #[allow(clippy::type_complexity)]
+    fn filtered_replay_shards(
+        &self,
+        heap: &HeapFile,
+        heap_id: HeapId,
+        access: &AccessEngine,
+        feed: FeedKind,
+        shards: u16,
+        state: &ScanState,
+    ) -> DanaResult<(Vec<ReplaySource>, Vec<(AccessStats, f64)>)> {
+        let src = SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, access, feed)
+            .with_scan(state.clone());
+        let (batches, stats, io_first) = src
+            .into_cache()
+            .map_err(|e| DanaError::Engine(EngineError::from(e)))?;
+        exec::record_scan_metrics(&self.metrics, &stats, &state.sidecar, heap.tuple_count());
+        let capacity = exec::packed_page_capacity(heap, &state.spec)?;
+        let splits = packed_tuple_splits(stats.tuples, capacity, shards as usize);
+        let width = state.spec.output_width(heap.schema().len());
+        let sources = split_replay_sources(width, &batches, &splits);
+        let scans = exec::split_filtered_scan_stats(&stats, io_first, &splits);
+        Ok((sources, scans))
+    }
+
+    /// [`SystemCore::sharded_scoring_scan`]'s pushdown twin: the gang
+    /// scores replayed slices of one filtered scan instead of concurrent
+    /// page-range streams (post-filter rows don't align with page
+    /// boundaries, so ranges can't partition them).
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_scoring_scan_filtered<R>(
+        &self,
+        setup: &exec::ScoringSetup,
+        entry: &TableEntry,
+        heap: &HeapFile,
+        shards: u16,
+        state: &ScanState,
+        rec: &SpanRecorder,
+        run: impl FnOnce(
+            &dana_infer::ScoringProgram,
+            u16,
+            &mut [ReplaySource],
+        ) -> DanaResult<(R, Vec<dana::ScoringStats>)>,
+    ) -> DanaResult<(R, dana::ScoringStats, dana::DanaTiming, u16)> {
+        let mode = ExecutionMode::Strider;
+        let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let feed = FeedKind::for_mode(mode);
+        let (mut sources, scans) =
+            self.filtered_replay_shards(heap, entry.heap_id, &access, feed, shards, state)?;
+        let k = sources.len() as u16;
+        let (result, stats) = run(&setup.program, setup.lanes, &mut sources)?;
+        let arts: Vec<ShardArtifacts> = scans
+            .into_iter()
+            .map(|(access_stats, io_first)| ShardArtifacts {
+                engine_stats: Default::default(),
+                access_stats,
+                io_first,
+            })
+            .collect();
+        let (timing, combined) = exec::assemble_gang_scoring_timing(
+            mode,
+            setup.cached.budget,
+            &self.fpga,
+            &self.cpu,
+            &self.disk,
+            self.pool.frames(),
+            heap,
+            &arts,
+            &stats,
+            rec,
+        );
+        Ok((result, combined, timing, k))
     }
 
     /// The one gang-parallel scoring scan: plan page ranges, open one
@@ -1162,6 +1339,7 @@ impl SystemCore {
             lanes,
             BackendKind::Fpga,
             &SpanRecorder::disabled(),
+            None,
         )
     }
 
@@ -1175,6 +1353,7 @@ impl SystemCore {
         lanes: Option<u16>,
         backend: BackendKind,
         rec: &SpanRecorder,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<PredictReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let (entry, heap) = self.snapshot_table(source)?;
@@ -1185,14 +1364,22 @@ impl SystemCore {
                 dana_storage::StorageError::DuplicateName(dest.to_string()),
             ));
         }
-        let (predictions, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, backend, rec, |p, l, stream| {
+        let (predictions, stats, timing) = self.scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            mode,
+            backend,
+            rec,
+            scan,
+            |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
                 Ok((out, stats))
-            })?;
+            },
+        )?;
         let mat_start = std::time::Instant::now();
-        let out_heap = dana_infer::build_prediction_heap(&heap, &predictions)?;
+        let out_heap = exec::materialize_predictions(&entry, &heap, scan, &predictions)?;
         {
             let mut cat = self.write();
             match cat.table(source) {
@@ -1331,6 +1518,7 @@ impl SystemCore {
             lanes,
             BackendKind::Fpga,
             &SpanRecorder::disabled(),
+            None,
         )
     }
 
@@ -1344,15 +1532,22 @@ impl SystemCore {
         lanes: Option<u16>,
         backend: BackendKind,
         rec: &SpanRecorder,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<EvalReport> {
         let setup = self.scoring_setup(udf, mode, lanes)?;
         let metric = metric.unwrap_or_else(|| setup.recipe.default_metric());
         setup.recipe.check_metric(metric)?;
         let (entry, heap) = self.snapshot_table(table)?;
-        let (value, stats, timing) =
-            self.scoring_scan(&setup, &entry, &heap, mode, backend, rec, |p, l, stream| {
-                dana_infer::evaluate_source(p, l, stream, metric)
-            })?;
+        let (value, stats, timing) = self.scoring_scan(
+            &setup,
+            &entry,
+            &heap,
+            mode,
+            backend,
+            rec,
+            scan,
+            |p, l, stream| dana_infer::evaluate_source(p, l, stream, metric),
+        )?;
         Ok(EvalReport {
             udf: udf.to_string(),
             table: table.to_string(),
@@ -1385,6 +1580,7 @@ impl SystemCore {
             mode,
             BackendKind::Fpga,
             &SpanRecorder::disabled(),
+            None,
             |p, l, stream| {
                 let mut out = Vec::with_capacity(heap.tuple_count() as usize);
                 let stats = dana_infer::score_source(p, l, stream, &mut out)?;
@@ -1434,6 +1630,7 @@ impl SystemCore {
         mode: ExecutionMode,
         backend: BackendKind,
         rec: &SpanRecorder,
+        scan: Option<&ScanSpec>,
         run: impl FnOnce(
             &dana_infer::ScoringProgram,
             u16,
@@ -1441,13 +1638,21 @@ impl SystemCore {
         ) -> dana_infer::InferResult<(R, dana::ScoringStats)>,
     ) -> DanaResult<(R, dana::ScoringStats, dana::DanaTiming)> {
         let access = exec::access_engine_for(heap, setup.cached.budget, &self.fpga);
+        let state = exec::scan_state(entry, heap, scan)?;
         let feed = FeedKind::for_mode(mode);
-        let mut stream =
+        let base =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, entry.heap_id, &access, feed);
+        let mut stream = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let start = std::time::Instant::now();
         let (result, stats) = run(&setup.program, setup.lanes, &mut stream)?;
         let wall = start.elapsed().as_secs_f64();
         let (access_stats, io_first) = stream.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         let timing = match backend {
             BackendKind::Cpu => {
                 exec::record_cpu_spans(rec, wall);
@@ -1502,14 +1707,17 @@ impl SystemCore {
     ) -> DanaResult<StatementOutcome> {
         match stmt {
             Statement::Train(call) => {
+                let scan = call.scan.as_ref();
                 let report = if shards > 1 {
-                    self.run_udf_sharded_rec(&call.udf, &call.table, shards, rec, ctx)?
+                    self.run_udf_sharded_rec(&call.udf, &call.table, shards, rec, ctx, scan)?
                 } else {
                     match self.resolve_backend(stmt)? {
                         BackendKind::Cpu => {
-                            self.run_udf_cpu_rec(&call.udf, &call.table, rec, ctx)?
+                            self.run_udf_cpu_rec(&call.udf, &call.table, rec, ctx, scan)?
                         }
-                        BackendKind::Fpga => self.run_udf_rec(&call.udf, &call.table, rec, ctx)?,
+                        BackendKind::Fpga => {
+                            self.run_udf_rec(&call.udf, &call.table, rec, ctx, scan)?
+                        }
                     }
                 };
                 Ok(StatementOutcome::Train(QueryOutcome {
@@ -1520,7 +1728,7 @@ impl SystemCore {
             }
             Statement::Predict(p) => Ok(StatementOutcome::Predict(if shards > 1 {
                 self.check_deadline(ctx)?;
-                self.predict_sharded_rec(&p.udf, &p.table, &p.into, shards, rec)?
+                self.predict_sharded_rec(&p.udf, &p.table, &p.into, shards, rec, p.scan.as_ref())?
             } else {
                 self.check_deadline(ctx)?;
                 let backend = self.resolve_backend(stmt)?;
@@ -1532,11 +1740,12 @@ impl SystemCore {
                     None,
                     backend,
                     rec,
+                    p.scan.as_ref(),
                 )?
             })),
             Statement::Evaluate(e) => Ok(StatementOutcome::Evaluate(if shards > 1 {
                 self.check_deadline(ctx)?;
-                self.evaluate_sharded_rec(&e.udf, &e.table, e.metric, shards, rec)?
+                self.evaluate_sharded_rec(&e.udf, &e.table, e.metric, shards, rec, e.scan.as_ref())?
             } else {
                 self.check_deadline(ctx)?;
                 let backend = self.resolve_backend(stmt)?;
@@ -1548,6 +1757,7 @@ impl SystemCore {
                     None,
                     backend,
                     rec,
+                    e.scan.as_ref(),
                 )?
             })),
             Statement::PredictPoint(p) => {
@@ -1662,23 +1872,31 @@ impl SystemCore {
     /// The concurrent query hot path: stream the snapshotted heap through
     /// the shared pool into the shared DEPLOY-time engine — no locks held
     /// while training runs, no per-query engine construction.
+    #[allow(clippy::too_many_arguments)]
     fn run_on_heap(
         &self,
         acc: &CachedAccelerator,
-        heap_id: HeapId,
+        entry: &TableEntry,
         heap: &HeapFile,
         mode: ExecutionMode,
         rec: &SpanRecorder,
         ctx: &QueryCtx,
+        scan: Option<&ScanSpec>,
     ) -> DanaResult<DanaReport> {
         let budget = acc.budget;
         let engine = &acc.engine;
         let design = engine.design();
+        let heap_id = entry.heap_id;
         let access = exec::access_engine_for(heap, budget, &self.fpga);
+        let state = exec::scan_state(entry, heap, scan)?;
         let mut store = ModelStore::new(design, exec::initial_models(design))?;
         let feed = FeedKind::for_mode(mode);
-        let mut source =
+        let base =
             SharedPageStreamSource::new(&self.pool, &self.disk, heap, heap_id, &access, feed);
+        let mut source = match &state {
+            Some(s) => base.with_scan(s.clone()),
+            None => base,
+        };
         let plan = self.fault_plan();
         let guard = RunGuard::new(&ctx.cancel)
             .with_fault(plan.as_deref())
@@ -1687,6 +1905,9 @@ impl SystemCore {
         self.record_fault_events(&run.events, rec);
         let (stats, epoch_cycles) = (run.stats, run.epoch_cycles);
         let (access_stats, io_first) = source.into_stats();
+        if let Some(s) = &state {
+            exec::record_scan_metrics(&self.metrics, &access_stats, &s.sidecar, heap.tuple_count());
+        }
         Ok(exec::assemble_report(
             mode,
             design,

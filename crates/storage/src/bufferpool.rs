@@ -118,6 +118,33 @@ impl BufferPool {
         self.page_table.len()
     }
 
+    /// Total bytes of resident page images. With raw pages this is
+    /// `resident_pages * page_size`, but compressed shadow frames hold
+    /// fewer bytes than a page — this gauge is the live numerator of the
+    /// pool-level compression ratio.
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .filter(|f| f.page.is_some())
+            .map(|f| f.bytes.len() as u64)
+            .sum()
+    }
+
+    /// Resident frame count per heap id (sorted by heap id). Shadow heaps
+    /// appear under their aliased id, so compressed and raw residency of
+    /// the same table show up as separate rows.
+    pub fn per_heap_frames(&self) -> Vec<(u32, usize)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for f in self.frames.iter() {
+            if let Some(p) = f.page {
+                *counts.entry(p.heap.0).or_insert(0) += 1;
+            }
+        }
+        let mut rows: Vec<(u32, usize)> = counts.into_iter().collect();
+        rows.sort_unstable();
+        rows
+    }
+
     /// Fetches a page into the pool (if absent), pins it, and returns its
     /// frame index plus the simulated I/O seconds this access cost.
     ///
@@ -147,6 +174,40 @@ impl BufferPool {
             self.stats.evictions += 1;
         }
         self.frames[frame].bytes = bytes;
+        self.frames[frame].page = Some(page_id);
+        self.frames[frame].pin_count = 1;
+        self.frames[frame].referenced = true;
+        self.page_table.insert(page_id, frame);
+        Ok((frame, io))
+    }
+
+    /// Fetches caller-provided bytes into the pool under `page_id` — the
+    /// scan tier's *compressed-frame* path. Unlike [`BufferPool::fetch`],
+    /// the frame holds exactly `bytes` (typically a compressed page image,
+    /// cached under a shadow heap id) and the miss is priced at the
+    /// *actual* byte count, which is where compressed storage saves its
+    /// I/O. Pin/unpin discipline is identical to `fetch`.
+    pub fn fetch_raw(
+        &mut self,
+        page_id: PageId,
+        bytes: &[u8],
+        disk: &DiskModel,
+    ) -> StorageResult<(usize, Seconds)> {
+        if let Some(&frame) = self.page_table.get(&page_id) {
+            self.stats.hits += 1;
+            self.frames[frame].pin_count += 1;
+            self.frames[frame].referenced = true;
+            return Ok((frame, 0.0));
+        }
+        self.stats.misses += 1;
+        let io = disk.read_time(bytes.len() as u64);
+        self.stats.io_seconds += io;
+        let frame = self.find_victim()?;
+        if let Some(old) = self.frames[frame].page.take() {
+            self.page_table.remove(&old);
+            self.stats.evictions += 1;
+        }
+        self.frames[frame].bytes = bytes.to_vec();
         self.frames[frame].page = Some(page_id);
         self.frames[frame].pin_count = 1;
         self.frames[frame].referenced = true;

@@ -124,6 +124,11 @@ pub struct TableEntry {
     /// True once the source table has been dropped. Querying a stale
     /// table is a typed error; dropping it (cleanup) still works.
     pub stale: bool,
+    /// Scan-tier sidecar cache (compressed pages + zone maps), opaque to
+    /// the catalog. Built lazily by the first pushdown scan and shared by
+    /// every later one; dies with the entry on DROP, so a rebuilt table
+    /// of the same name starts with a cold sidecar.
+    pub scan: RuntimeCache,
 }
 
 /// Catalog record for one deployed accelerator (one UDF).
@@ -215,6 +220,7 @@ impl Catalog {
                 page_count: heap.page_count(),
                 derived_from,
                 stale: false,
+                scan: RuntimeCache::default(),
             },
         );
         self.heaps.insert(id, Arc::new(heap));

@@ -54,6 +54,26 @@ pub use tuple::{Datum, Tuple, TUPLE_HEADER_BYTES};
 )]
 pub struct HeapId(pub u32);
 
+impl HeapId {
+    /// Bit marking a *shadow* heap id — the compressed-frame alias of a
+    /// real heap. The scan tier caches compressed page images in the
+    /// buffer pool under `heap.shadow()` so they never collide with the
+    /// raw pages of the same table, while drop paths can still find and
+    /// evict them. The catalog allocates ids sequentially from 1, so the
+    /// high bit is never assigned to a real heap.
+    pub const SHADOW_BIT: u32 = 1 << 31;
+
+    /// The shadow (compressed-frame) alias of this heap id.
+    pub fn shadow(self) -> HeapId {
+        HeapId(self.0 | Self::SHADOW_BIT)
+    }
+
+    /// True if this id is a shadow alias.
+    pub fn is_shadow(self) -> bool {
+        self.0 & Self::SHADOW_BIT != 0
+    }
+}
+
 /// Identifies a page: a heap file plus a page number within it.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,

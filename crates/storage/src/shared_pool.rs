@@ -215,6 +215,36 @@ impl SharedBufferPool {
         Ok((bytes, io))
     }
 
+    /// Fetches caller-provided bytes into the pool under `page_id` — the
+    /// scan tier's *compressed-frame* path (see
+    /// [`crate::BufferPool::fetch_raw`]). The miss is priced at the actual
+    /// byte count rather than the configured page size, which is where
+    /// compressed storage saves its I/O. Honors tombstones exactly like
+    /// [`SharedBufferPool::fetch`].
+    pub fn fetch_raw(
+        &self,
+        page_id: PageId,
+        bytes: &[u8],
+        disk: &DiskModel,
+    ) -> StorageResult<(Arc<[u8]>, Seconds)> {
+        let mut shard = self.lock(self.shard_of(page_id));
+        if let Some(&frame) = shard.page_table.get(&page_id) {
+            shard.stats.hits += 1;
+            shard.frames[frame].referenced = true;
+            return Ok((Arc::clone(&shard.frames[frame].bytes), 0.0));
+        }
+        shard.stats.misses += 1;
+        let io = disk.read_time(bytes.len() as u64);
+        shard.stats.io_seconds += io;
+        let bytes: Arc<[u8]> = Arc::from(bytes);
+        if self.is_tombstoned(page_id.heap) {
+            return Ok((bytes, io));
+        }
+        let frame = shard.find_victim()?;
+        shard.install(frame, page_id, Arc::clone(&bytes));
+        Ok((bytes, io))
+    }
+
     /// Aggregated statistics across every shard.
     pub fn stats(&self) -> BufferPoolStats {
         let mut total = BufferPoolStats::default();
@@ -238,6 +268,42 @@ impl SharedBufferPool {
         (0..self.shards.len())
             .map(|i| self.lock(i).page_table.len())
             .sum()
+    }
+
+    /// Total bytes of resident page images across all shards. With raw
+    /// pages this is `resident_pages * page_size`, but compressed shadow
+    /// frames hold fewer bytes than a page — this gauge is the live
+    /// numerator of the pool-level compression ratio.
+    pub fn resident_bytes(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                let shard = self.lock(i);
+                shard
+                    .frames
+                    .iter()
+                    .filter(|f| f.page.is_some())
+                    .map(|f| f.bytes.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Resident frame count per heap id (sorted by heap id). Shadow heaps
+    /// appear under their aliased id, so compressed and raw residency of
+    /// the same table show up as separate rows.
+    pub fn per_heap_frames(&self) -> Vec<(u32, usize)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for i in 0..self.shards.len() {
+            let shard = self.lock(i);
+            for f in shard.frames.iter() {
+                if let Some(p) = f.page {
+                    *counts.entry(p.heap.0).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut rows: Vec<(u32, usize)> = counts.into_iter().collect();
+        rows.sort_unstable();
+        rows
     }
 
     /// Frames whose page image is still referenced by a reader. After every

@@ -81,6 +81,16 @@ pub struct AccessStats {
     pub strider_cycles: u64,
     /// Float-conversion cycles (one per extracted column value).
     pub conversion_cycles: u64,
+    /// Page-decompression cycles spent upstream of the Striders (the scan
+    /// tier's codec). Zero on raw-page scans; charged by the page sources
+    /// when frames are cached compressed.
+    pub decompress_cycles: u64,
+    /// Reconstructed page bytes the decompressor produced (the numerator
+    /// of `SHOW STATS ('scan')`'s bytes-decompressed gauge).
+    pub decompressed_bytes: u64,
+    /// Pages a pushdown scan proved unmatchable from their zone maps and
+    /// never fetched. Excluded from `pages`/`bytes_transferred`.
+    pub pages_skipped: u64,
     /// Wall-clock seconds for the access engine with `num_striders`-way
     /// parallel extraction overlapped against AXI streaming.
     pub access_seconds: Seconds,
@@ -134,6 +144,57 @@ impl AccessEngine {
         for rec in run.records() {
             self.convert_record_into(rec, batch)?;
             conversion += self.schema.len() as u64;
+        }
+        Ok(run.cycles + conversion)
+    }
+
+    /// Filtered/projected variant of [`AccessEngine::extract_page_into`]:
+    /// every tuple is still walked and float-converted (the Striders and
+    /// conversion unit do full-width work — pushdown saves *downstream*
+    /// tuples, not extraction cycles on a matched page), but only rows
+    /// passing `keep` reach `batch`, and only the columns in `projection`
+    /// (schema order; `None` = all). The batch's width must equal the
+    /// projected width.
+    ///
+    /// The predicate sees the full-width row in schema order, so the same
+    /// closure drives this path and the scan tier's slot selection —
+    /// membership can never disagree between them.
+    pub fn extract_page_filtered_into(
+        &self,
+        page: &[u8],
+        batch: &mut TupleBatch,
+        projection: Option<&[usize]>,
+        mut keep: impl FnMut(&[f32]) -> bool,
+    ) -> StriderResult<u64> {
+        let run = self.machine.run(page)?;
+        let mut conversion = 0u64;
+        let mut row = vec![0f32; self.schema.len()];
+        for rec in run.records() {
+            self.check_record_len(rec)?;
+            let mut off = 0usize;
+            for (c, col) in self.schema.columns().iter().enumerate() {
+                let w = col.ty.width();
+                row[c] = convert_cell(col.ty, &rec[off..off + w]);
+                off += w;
+            }
+            conversion += self.schema.len() as u64;
+            if !keep(&row) {
+                continue;
+            }
+            let mut out = batch.start_row();
+            match projection {
+                Some(cols) => {
+                    for &c in cols {
+                        out.push(row[c]);
+                    }
+                }
+                None => {
+                    for &v in &row {
+                        out.push(v);
+                    }
+                }
+            }
+            out.finish();
         }
         Ok(run.cycles + conversion)
     }

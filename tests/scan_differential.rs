@@ -1,0 +1,386 @@
+//! Scan-tier differential suite — the acceptance gate for pushdown.
+//!
+//! The contract of `WHERE`/`COLUMNS` pushdown is *virtual
+//! materialization*: a filtered/projected EXECUTE, PREDICT, or EVALUATE
+//! must behave **bit-identically** to running the same statement over a
+//! manually pre-materialized filtered table — models, materialized
+//! prediction pages, and metric values — across all four zoo analytics,
+//! on the serial `Dana` facade and the concurrent `SystemCore`, for
+//! gangs of 1, 2, and 4 shards. A drop racing a filtered scan must
+//! leave no buffer-pool frame held and no compressed sidecar resident.
+
+use dana::prelude::*;
+use dana::{parse_statement, SpanRecorder, StatementOutcome};
+use dana_dsl::zoo::{self, Algorithm, DenseParams, LrmfParams};
+use dana_server::{SystemCore, SystemCoreConfig};
+use dana_storage::page::TupleDirection;
+use dana_storage::{HeapFileBuilder, Schema};
+
+const PAGE: usize = 8 * 1024;
+
+fn fresh_dana() -> Dana {
+    Dana::new(
+        FpgaSpec::vu9p(),
+        BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: PAGE,
+        },
+        DiskModel::ssd(),
+    )
+}
+
+fn fresh_core() -> SystemCore {
+    SystemCore::new(SystemCoreConfig {
+        fpga: FpgaSpec::vu9p(),
+        pool: BufferPoolConfig {
+            pool_bytes: 64 << 20,
+            page_size: PAGE,
+        },
+        pool_shards: 4,
+        disk: DiskModel::ssd(),
+    })
+}
+
+/// Deterministic dense rows: `d` features + label for `algo`.
+fn dense_rows(n: usize, d: usize, algo: Algorithm) -> Vec<(Vec<f32>, f32)> {
+    let truth: Vec<f32> = (0..d).map(|i| 0.3 * i as f32 - 0.8).collect();
+    (0..n)
+        .map(|k| {
+            let x: Vec<f32> = (0..d)
+                .map(|i| (((k * 11 + i * 5) % 17) as f32 - 8.0) / 8.0)
+                .collect();
+            let s: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            let y = match algo {
+                Algorithm::Linear => s,
+                Algorithm::Logistic => (s > 0.0) as u8 as f32,
+                Algorithm::Svm => {
+                    if s > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                Algorithm::Lrmf => unreachable!("dense rows"),
+            };
+            (x, y)
+        })
+        .collect()
+}
+
+fn dense_heap_of(rows: &[(Vec<f32>, f32)], d: usize) -> HeapFile {
+    let mut b = HeapFileBuilder::new(Schema::training(d), PAGE, TupleDirection::Ascending).unwrap();
+    for (x, y) in rows {
+        b.insert(&Tuple::training(x, *y)).unwrap();
+    }
+    b.finish()
+}
+
+/// Deterministic ratings clustered by user row.
+fn rating_rows(n: usize, rows: usize, cols: usize) -> Vec<(i32, i32, f32)> {
+    (0..n)
+        .map(|k| {
+            let (i, j) = (k * rows / n, (k * 13) % cols);
+            let r = 1.0 + ((i * 3 + j * 5) % 4) as f32;
+            (i as i32, j as i32, r)
+        })
+        .collect()
+}
+
+fn rating_heap_of(rows: &[(i32, i32, f32)]) -> HeapFile {
+    let mut b = HeapFileBuilder::new(Schema::rating(), PAGE, TupleDirection::Ascending).unwrap();
+    for &(i, j, r) in rows {
+        b.insert(&Tuple::rating(i, j, r)).unwrap();
+    }
+    b.finish()
+}
+
+fn spec_for(algo: Algorithm, epochs: u32) -> AlgoSpec {
+    match algo {
+        Algorithm::Lrmf => zoo::lrmf(LrmfParams {
+            rows: 24,
+            cols: 18,
+            rank: 6,
+            learning_rate: 0.05,
+            merge_coef: 4,
+            epochs,
+        })
+        .unwrap(),
+        _ => zoo::spec_for(
+            algo,
+            DenseParams {
+                n_features: 10,
+                learning_rate: 0.1,
+                merge_coef: 8,
+                epochs,
+            },
+        )
+        .unwrap(),
+    }
+}
+
+/// (full heap, pre-materialized filtered heap, WHERE clause) per algo.
+/// The predicate is evaluated here exactly as the scan tier will: a
+/// strict comparison on the decoded column value.
+fn tables_for(algo: Algorithm) -> (HeapFile, HeapFile, &'static str) {
+    match algo {
+        Algorithm::Lrmf => {
+            let rows = rating_rows(900, 24, 18);
+            let kept: Vec<_> = rows.iter().copied().filter(|&(i, _, _)| i < 12).collect();
+            (rating_heap_of(&rows), rating_heap_of(&kept), "WHERE i < 12")
+        }
+        _ => {
+            let rows = dense_rows(1400, 10, algo);
+            let kept: Vec<_> = rows.iter().filter(|(x, _)| x[0] < 0.0).cloned().collect();
+            (
+                dense_heap_of(&rows, 10),
+                dense_heap_of(&kept, 10),
+                "WHERE x0 < 0",
+            )
+        }
+    }
+}
+
+const ZOO: [Algorithm; 4] = [
+    Algorithm::Linear,
+    Algorithm::Logistic,
+    Algorithm::Svm,
+    Algorithm::Lrmf,
+];
+
+fn train_report(outcome: StatementOutcome) -> DanaReport {
+    match outcome {
+        StatementOutcome::Train(q) => q.report,
+        other => panic!("expected a train outcome, got {other:?}"),
+    }
+}
+
+fn eval_report(outcome: StatementOutcome) -> dana::EvalReport {
+    match outcome {
+        StatementOutcome::Evaluate(e) => e,
+        other => panic!("expected an evaluate outcome, got {other:?}"),
+    }
+}
+
+fn pages_of(heap: &HeapFile) -> Vec<Vec<u8>> {
+    (0..heap.page_count())
+        .map(|p| heap.page_bytes(p).unwrap().to_vec())
+        .collect()
+}
+
+/// Serial facade: filtered EXECUTE / PREDICT / EVALUATE against the full
+/// table must be bit-identical to the plain statement against the
+/// pre-materialized filtered table, for every zoo model × shard count.
+#[test]
+fn filtered_statements_match_prematerialized_table_serial_facade() {
+    for algo in ZOO {
+        let spec = spec_for(algo, 3);
+        let udf = spec.name.clone();
+        let (full, filtered, wher) = tables_for(algo);
+        let mut db = fresh_dana();
+        db.create_table("t", full).unwrap();
+        db.create_table("tf", filtered).unwrap();
+        db.deploy(&spec, "tf").unwrap();
+
+        for k in [1u16, 2, 4] {
+            let with = format!("WITH (shards = {k}, backend = fpga)");
+            // EXECUTE: models bit-identical.
+            let got = train_report(
+                db.execute_statement(&format!("SELECT * FROM dana.{udf}('t') {wher} {with};"))
+                    .unwrap(),
+            );
+            let want = train_report(
+                db.execute_statement(&format!("SELECT * FROM dana.{udf}('tf') {with};"))
+                    .unwrap(),
+            );
+            assert_eq!(got.models, want.models, "{algo:?} k={k}: trained models");
+            assert_eq!(got.engine, want.engine, "{algo:?} k={k}: engine counters");
+
+            // PREDICT: materialized pages byte-identical. (The reference
+            // train above bound the model both runs score with.)
+            db.execute_statement(&format!(
+                "PREDICT dana.{udf}('t') INTO 'pf_{k}' {wher} {with};"
+            ))
+            .unwrap();
+            db.execute_statement(&format!("PREDICT dana.{udf}('tf') INTO 'pr_{k}' {with};"))
+                .unwrap();
+            let got_pages = pages_of(db.catalog().table_heap(&format!("pf_{k}")).unwrap().1);
+            let want_pages = pages_of(db.catalog().table_heap(&format!("pr_{k}")).unwrap().1);
+            assert_eq!(got_pages, want_pages, "{algo:?} k={k}: prediction pages");
+
+            // EVALUATE: metric value and row count bit-identical.
+            let got = eval_report(
+                db.execute_statement(&format!("EVALUATE dana.{udf}('t') {wher} {with};"))
+                    .unwrap(),
+            );
+            let want = eval_report(
+                db.execute_statement(&format!("EVALUATE dana.{udf}('tf') {with};"))
+                    .unwrap(),
+            );
+            assert_eq!(got.value, want.value, "{algo:?} k={k}: metric value");
+            assert_eq!(got.rows_scored, want.rows_scored, "{algo:?} k={k}");
+        }
+    }
+}
+
+/// Concurrent facade: the same contract through `SystemCore`'s parsed
+/// dispatcher (the path every server worker takes).
+#[test]
+fn filtered_statements_match_prematerialized_table_concurrent_facade() {
+    let rec = SpanRecorder::disabled();
+    for algo in ZOO {
+        let spec = spec_for(algo, 3);
+        let udf = spec.name.clone();
+        let (full, filtered, wher) = tables_for(algo);
+        let core = fresh_core();
+        core.create_table("t", full).unwrap();
+        core.create_table("tf", filtered).unwrap();
+        core.deploy(&spec, "tf").unwrap();
+
+        let run = |sql: &str, shards: u16| {
+            core.execute_parsed(&parse_statement(sql).unwrap(), shards, &rec)
+                .unwrap()
+        };
+        for k in [1u16, 2, 4] {
+            let got = train_report(run(
+                &format!("SELECT * FROM dana.{udf}('t') {wher} WITH (backend = fpga);"),
+                k,
+            ));
+            let want = train_report(run(
+                &format!("SELECT * FROM dana.{udf}('tf') WITH (backend = fpga);"),
+                k,
+            ));
+            assert_eq!(got.models, want.models, "{algo:?} k={k}: trained models");
+            assert_eq!(got.engine, want.engine, "{algo:?} k={k}: engine counters");
+
+            run(
+                &format!("PREDICT dana.{udf}('t') INTO 'pf_{k}' {wher} WITH (backend = fpga);"),
+                k,
+            );
+            run(
+                &format!("PREDICT dana.{udf}('tf') INTO 'pr_{k}' WITH (backend = fpga);"),
+                k,
+            );
+            let got_pages = pages_of(&core.table_snapshot(&format!("pf_{k}")).unwrap());
+            let want_pages = pages_of(&core.table_snapshot(&format!("pr_{k}")).unwrap());
+            assert_eq!(got_pages, want_pages, "{algo:?} k={k}: prediction pages");
+
+            let got = eval_report(run(
+                &format!("EVALUATE dana.{udf}('t') {wher} WITH (backend = fpga);"),
+                k,
+            ));
+            let want = eval_report(run(
+                &format!("EVALUATE dana.{udf}('tf') WITH (backend = fpga);"),
+                k,
+            ));
+            assert_eq!(got.value, want.value, "{algo:?} k={k}: metric value");
+            assert_eq!(got.rows_scored, want.rows_scored, "{algo:?} k={k}");
+        }
+        assert_eq!(core.held_frames(), 0, "{algo:?}: leaked frames");
+    }
+}
+
+/// `COLUMNS (…)` projection: training a narrower UDF over a wide table
+/// with a projection (composed with a predicate) is bit-identical to
+/// the pre-materialized projected+filtered table — including PREDICT's
+/// materialized output schema and pages.
+#[test]
+fn projection_matches_prematerialized_table() {
+    let d_wide = 12;
+    let d = 8;
+    let rows = dense_rows(1400, d_wide, Algorithm::Linear);
+    let kept: Vec<(Vec<f32>, f32)> = rows
+        .iter()
+        .filter(|(x, _)| x[0] < 0.0)
+        .map(|(x, y)| (x[..d].to_vec(), *y))
+        .collect();
+    let spec = zoo::linear_regression(DenseParams {
+        n_features: d,
+        learning_rate: 0.1,
+        merge_coef: 8,
+        epochs: 3,
+    })
+    .unwrap();
+    let cols = "COLUMNS (x0, x1, x2, x3, x4, x5, x6, x7, y)";
+
+    let mut db = fresh_dana();
+    db.create_table("wide", dense_heap_of(&rows, d_wide))
+        .unwrap();
+    db.create_table("tp", dense_heap_of(&kept, d)).unwrap();
+    // Deploy against the projected-width table: the engine's design is
+    // sized for what the scan emits, not what is stored.
+    db.deploy(&spec, "tp").unwrap();
+
+    for k in [1u16, 2, 4] {
+        let with = format!("WITH (shards = {k}, backend = fpga)");
+        let got = train_report(
+            db.execute_statement(&format!(
+                "SELECT * FROM dana.linearR('wide') WHERE x0 < 0 {cols} {with};"
+            ))
+            .unwrap(),
+        );
+        let want = train_report(
+            db.execute_statement(&format!("SELECT * FROM dana.linearR('tp') {with};"))
+                .unwrap(),
+        );
+        assert_eq!(got.models, want.models, "k={k}: projected training");
+
+        db.execute_statement(&format!(
+            "PREDICT dana.linearR('wide') INTO 'pf_{k}' WHERE x0 < 0 {cols} {with};"
+        ))
+        .unwrap();
+        db.execute_statement(&format!("PREDICT dana.linearR('tp') INTO 'pr_{k}' {with};"))
+            .unwrap();
+        let (_, got_heap) = db.catalog().table_heap(&format!("pf_{k}")).unwrap();
+        let (_, want_heap) = db.catalog().table_heap(&format!("pr_{k}")).unwrap();
+        assert_eq!(
+            got_heap.schema().columns().len(),
+            d + 2,
+            "projected prediction schema: {d} features + y + prediction"
+        );
+        assert_eq!(
+            pages_of(got_heap),
+            pages_of(want_heap),
+            "k={k}: projected prediction pages"
+        );
+    }
+}
+
+/// DROP racing filtered scans: the compressed sidecar and its shadow
+/// frames go with the entry, the scans finish (or fail typed) on their
+/// snapshots, and no buffer-pool frame stays held.
+#[test]
+fn drop_racing_filtered_scan_releases_every_frame() {
+    let spec = spec_for(Algorithm::Linear, 2);
+    let core = fresh_core();
+    let rows = dense_rows(1400, 10, Algorithm::Linear);
+    core.create_table("seed", dense_heap_of(&rows, 10)).unwrap();
+    core.deploy(&spec, "seed").unwrap();
+    core.run_udf("linearR", "seed").unwrap();
+    let rec = SpanRecorder::disabled();
+
+    for round in 0..6 {
+        let name = format!("t{round}");
+        core.create_table(&name, dense_heap_of(&rows, 10)).unwrap();
+        let stmt = parse_statement(&format!(
+            "EVALUATE dana.linearR('{name}') WHERE x0 < 0 WITH (backend = fpga);"
+        ))
+        .unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    // The scan runs on its catalog snapshot; a drop that
+                    // lands first surfaces as a typed catalog error.
+                    let _ = core.execute_parsed(&stmt, 1 + round % 2, &rec);
+                });
+            }
+            s.spawn(|| {
+                let _ = core.drop_table(&name);
+            });
+        });
+        // Whoever lost the race: the table must be droppable exactly once
+        // and nothing of it (raw or compressed shadow) stays resident.
+        let _ = core.drop_table(&name);
+        assert_eq!(core.held_frames(), 0, "round {round}: held frames");
+    }
+    assert_eq!(core.held_frames(), 0);
+}
